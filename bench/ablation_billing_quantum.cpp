@@ -1,0 +1,49 @@
+// Ablation A2: sensitivity to the billing quantum. The paper bills whole
+// time units ("any partial hours are rounded up as in the case of EC2").
+// This sweep shows how the feasible budget range and the CG result react
+// as the quantum shrinks toward continuous billing.
+#include <iostream>
+
+#include "sched/bounds.hpp"
+#include "sched/critical_greedy.hpp"
+#include "util/table.hpp"
+#include "workflow/patterns.hpp"
+
+int main() {
+  std::cout << "=== Ablation A2 -- billing quantum sensitivity ===\n\n";
+  const struct {
+    const char* name;
+    double quantum;
+  } quanta[] = {
+      {"1 unit (paper)", 1.0},
+      {"1/2 unit", 0.5},
+      {"1/4 unit", 0.25},
+      {"1 minute", 1.0 / 60.0},
+      {"continuous", 1e-9},
+  };
+
+  medcc::util::Table t({"quantum", "Cmin", "Cmax", "MED @ B=0.25 range",
+                        "MED @ B=0.50 range", "MED @ B=0.75 range"});
+  for (const auto& q : quanta) {
+    const auto inst = medcc::sched::Instance::from_model(
+        medcc::workflow::example6(), medcc::cloud::example_catalog(),
+        medcc::cloud::BillingPolicy(q.quantum));
+    const auto bounds = medcc::sched::cost_bounds(inst);
+    std::vector<std::string> row{q.name, medcc::util::fmt(bounds.cmin, 2),
+                                 medcc::util::fmt(bounds.cmax, 2)};
+    for (double frac : {0.25, 0.5, 0.75}) {
+      const double budget =
+          bounds.cmin + frac * (bounds.cmax - bounds.cmin);
+      row.push_back(medcc::util::fmt(
+          medcc::sched::critical_greedy(inst, budget).eval.med, 2));
+    }
+    t.add_row(std::move(row));
+  }
+  std::cout << t.render() << '\n';
+  std::cout
+      << "reading: coarser quanta inflate both cost bounds (partial units "
+         "are paid in\nfull) and coarsen CG's trade-off space; with "
+         "continuous billing the same\nbudget fraction buys a faster "
+         "schedule because no money is lost to rounding.\n";
+  return 0;
+}

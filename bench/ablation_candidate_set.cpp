@@ -1,0 +1,85 @@
+// Ablation A1: what makes Critical-Greedy work -- the critical-only
+// candidate set, or the absolute-dT criterion? Crosses both knobs and adds
+// the strengthened all-pairs GAIN as a reference, over the paper's problem
+// sizes.
+#include <iostream>
+
+#include "expr/compare.hpp"
+#include "sched/critical_greedy.hpp"
+#include "sched/gain_loss.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+int main() {
+  std::cout << "=== Ablation A1 -- candidate set and criterion ===\n"
+            << "avg MED over 20 budget levels x 5 instances per size\n\n";
+  auto& pool = medcc::util::global_pool();
+
+  const std::vector<medcc::expr::ProblemSize> sizes = {
+      {10, 17, 4}, {25, 201, 5}, {50, 503, 7}, {100, 2344, 9}};
+  constexpr std::size_t kInstances = 5;
+  constexpr std::size_t kLevels = 20;
+
+  struct Config {
+    const char* name;
+    medcc::sched::CriticalGreedyOptions cg;
+    bool is_gain = false;
+    medcc::sched::GainMoveSet gain_moves =
+        medcc::sched::GainMoveSet::FastestType;
+  };
+  const std::vector<Config> configs = {
+      {"CG (critical, max dT)", {}, false, {}},
+      {"CG-all (all modules, max dT)", {true, false}, false, {}},
+      {"CG-ratio (critical, dT/dC)", {false, true}, false, {}},
+      {"GAIN3 (paper baseline)", {}, true,
+       medcc::sched::GainMoveSet::FastestType},
+      {"GAIN3+ (all pairs)", {}, true, medcc::sched::GainMoveSet::AllPairs},
+  };
+
+  medcc::util::Table t({"size", "CG", "CG-all", "CG-ratio", "GAIN3",
+                        "GAIN3+ (all pairs)"});
+  medcc::util::Prng root(606);
+  for (const auto& size : sizes) {
+    std::vector<double> sums(configs.size(), 0.0);
+    std::vector<std::vector<double>> per_instance(
+        kInstances, std::vector<double>(configs.size(), 0.0));
+    medcc::util::parallel_for_index(pool, kInstances, [&](std::size_t k) {
+      auto rng = root.fork(size.modules * 1000 + k);
+      const auto inst = medcc::expr::make_instance(size, rng);
+      const auto bounds = medcc::sched::cost_bounds(inst);
+      for (double budget : medcc::sched::budget_levels(bounds, kLevels)) {
+        for (std::size_t c = 0; c < configs.size(); ++c) {
+          double med;
+          if (configs[c].is_gain) {
+            med = medcc::sched::gain(inst, budget,
+                                     medcc::sched::GainLossVariant::V3,
+                                     configs[c].gain_moves)
+                      .eval.med;
+          } else {
+            med = medcc::sched::critical_greedy(inst, budget, configs[c].cg)
+                      .eval.med;
+          }
+          per_instance[k][c] += med;
+        }
+      }
+    });
+    for (std::size_t k = 0; k < kInstances; ++k)
+      for (std::size_t c = 0; c < configs.size(); ++c)
+        sums[c] += per_instance[k][c];
+
+    std::vector<std::string> row{
+        "(" + std::to_string(size.modules) + "," +
+        std::to_string(size.edges) + "," + std::to_string(size.types) + ")"};
+    for (double sum : sums)
+      row.push_back(
+          medcc::util::fmt(sum / double(kInstances * kLevels), 2));
+    t.add_row(std::move(row));
+  }
+  std::cout << t.render() << '\n';
+  std::cout << "reading: lower is better. The critical-only candidate set "
+               "is the decisive\ningredient (CG vs CG-all); the dT vs "
+               "dT/dC criterion matters less; the\nall-pairs GAIN closes "
+               "much of the gap, confirming the paper's diagnosis that\n"
+               "plain GAIN3 wastes budget on branch modules.\n";
+  return 0;
+}

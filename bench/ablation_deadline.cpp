@@ -1,0 +1,77 @@
+// Ablation A7: the dual problem -- minimum cost under a deadline (the
+// objective of the deadline-constrained related work: Yu et al., Abrishami
+// et al.). Compares the LOSS-style heuristic against the exact optimum on
+// small instances, and shows the deadline -> recommended-budget mapping
+// (the "resource provisioning reference" of the paper's introduction).
+#include <iostream>
+
+#include "expr/instance_gen.hpp"
+#include "workflow/patterns.hpp"
+#include "sched/bounds.hpp"
+#include "sched/deadline.hpp"
+#include "sched/pcp.hpp"
+#include "util/table.hpp"
+
+int main() {
+  std::cout << "=== Ablation A7 -- minimum cost under a deadline ===\n\n";
+  using namespace medcc;
+
+  // Heuristic vs exact over small random instances and deadline tiers.
+  {
+    util::Table t({"instance", "deadline tier", "heuristic $", "PCP $",
+                   "exact $", "gap (%)"});
+    util::Prng root(321);
+    double worst_gap = 0.0;
+    for (int k = 0; k < 6; ++k) {
+      auto rng = root.fork(static_cast<std::uint64_t>(k));
+      const auto inst = expr::make_instance({8, 18, 3}, rng);
+      const auto fastest =
+          sched::evaluate(inst, sched::fastest_schedule(inst));
+      const auto least =
+          sched::evaluate(inst, sched::least_cost_schedule(inst));
+      int tier = 0;
+      for (double frac : {0.15, 0.5, 0.85}) {
+        ++tier;
+        const double deadline =
+            fastest.med + frac * (least.med - fastest.med);
+        const auto heuristic = sched::deadline_loss(inst, deadline);
+        const auto pcp = sched::pcp_deadline(inst, deadline);
+        const auto exact =
+            sched::min_cost_under_deadline_exact(inst, deadline);
+        const double gap = exact.eval.cost > 0.0
+                               ? (heuristic.eval.cost - exact.eval.cost) /
+                                     exact.eval.cost * 100.0
+                               : 0.0;
+        worst_gap = std::max(worst_gap, gap);
+        t.add_row({util::fmt(k + 1), "T" + std::to_string(tier),
+                   util::fmt(heuristic.eval.cost, 2),
+                   util::fmt(pcp.eval.cost, 2),
+                   util::fmt(exact.eval.cost, 2), util::fmt(gap, 1)});
+      }
+    }
+    std::cout << t.render() << "worst heuristic gap: "
+              << util::fmt(worst_gap, 1) << "%\n\n";
+  }
+
+  // Deadline -> budget advisory curve on the paper's numerical example.
+  {
+    const auto inst = sched::Instance::from_model(
+        workflow::example6(), cloud::example_catalog());
+    util::Table t({"deadline (h)", "budget to request ($)",
+                   "min cost (deadline_loss)"});
+    for (double deadline : {5.5, 6.0, 6.77, 7.5, 8.2, 10.77, 13.0, 16.77}) {
+      t.add_row({util::fmt(deadline, 2),
+                 util::fmt(sched::budget_for_deadline(inst, deadline), 0),
+                 util::fmt(sched::deadline_loss(inst, deadline).eval.cost,
+                           0)});
+    }
+    std::cout << "Deadline advisory on the numerical example:\n"
+              << t.render() << '\n';
+  }
+  std::cout << "reading: the LOSS-style heuristic tracks the exact optimum "
+               "closely at loose\ndeadlines and degrades gracefully near "
+               "the fastest-schedule bound; the advisory\ncolumn is the "
+               "budget a user should request so Critical-Greedy meets the "
+               "deadline.\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Ablation A8: how much MED is left on the table by greedy? Compares
+// Critical-Greedy, its ratio variant, and the genetic algorithm (the
+// related-work metaheuristic, seeded and unseeded) across problem sizes,
+// with the exhaustive optimum where tractable.
+#include <iostream>
+
+#include "expr/compare.hpp"
+#include "sched/critical_greedy.hpp"
+#include "sched/exhaustive.hpp"
+#include "sched/annealing.hpp"
+#include "sched/genetic.hpp"
+#include "util/table.hpp"
+
+int main() {
+  std::cout << "=== Ablation A8 -- greedy vs metaheuristic vs optimal ===\n"
+            << "avg MED over 8 budget levels x 4 instances per size\n\n";
+  using namespace medcc;
+
+  const std::vector<expr::ProblemSize> sizes = {
+      {8, 18, 3}, {15, 65, 5}, {30, 269, 6}, {60, 842, 7}};
+  constexpr std::size_t kInstances = 4;
+  constexpr std::size_t kLevels = 8;
+
+  util::Table t({"size", "CG", "CG-ratio", "GA (seeded)", "GA (unseeded)",
+                 "SA (seeded)", "optimal"});
+  util::Prng root(808);
+  for (const auto& size : sizes) {
+    double cg = 0, cg_ratio = 0, ga = 0, ga_raw = 0, sa = 0, opt = 0;
+    bool opt_available = size.modules <= 8;
+    for (std::size_t k = 0; k < kInstances; ++k) {
+      auto rng = root.fork(size.modules * 100 + k);
+      const auto inst = expr::make_instance(size, rng);
+      const auto bounds = sched::cost_bounds(inst);
+      for (double budget : sched::budget_levels(bounds, kLevels)) {
+        cg += sched::critical_greedy(inst, budget).eval.med;
+        sched::CriticalGreedyOptions ratio;
+        ratio.ratio_criterion = true;
+        cg_ratio += sched::critical_greedy(inst, budget, ratio).eval.med;
+        sched::GeneticOptions gopts;
+        gopts.seed = size.modules * 1000 + k;
+        ga += sched::genetic(inst, budget, gopts).eval.med;
+        sched::GeneticOptions raw = gopts;
+        raw.seed_with_cg = false;
+        ga_raw += sched::genetic(inst, budget, raw).eval.med;
+        sched::AnnealingOptions sopts;
+        sopts.seed = size.modules * 1000 + k;
+        sopts.iterations = 1500;
+        sa += sched::annealing(inst, budget, sopts).eval.med;
+        if (opt_available)
+          opt += sched::exhaustive_optimal(inst, budget).eval.med;
+      }
+    }
+    const double denom = double(kInstances * kLevels);
+    t.add_row({"(" + std::to_string(size.modules) + "," +
+                   std::to_string(size.edges) + "," +
+                   std::to_string(size.types) + ")",
+               util::fmt(cg / denom, 2), util::fmt(cg_ratio / denom, 2),
+               util::fmt(ga / denom, 2), util::fmt(ga_raw / denom, 2),
+               util::fmt(sa / denom, 2),
+               opt_available ? util::fmt(opt / denom, 2) : "-"});
+  }
+  std::cout << t.render() << '\n';
+  std::cout << "reading: the seeded GA polishes CG's schedules a little at "
+               "every size; the\nratio criterion captures most of that gap "
+               "at none of the GA's cost; unseeded\nGA degrades with size "
+               "(the search space grows as n^m).\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Ablation A6 (paper's future work, Section VII): multi-cloud scheduling
+// with inter-cloud data-movement costs. Sweeps the inter-cloud link
+// quality and charge and reports when "bursting" from the home cloud to a
+// faster remote cloud pays off -- and when the data movement kills it.
+#include <iostream>
+
+#include "multicloud/multicloud.hpp"
+#include "sched/bounds.hpp"
+#include "sched/critical_greedy.hpp"
+#include "util/table.hpp"
+#include "workflow/random_workflow.hpp"
+
+int main() {
+  std::cout << "=== Ablation A6 -- multi-cloud bursting ===\n\n";
+  using namespace medcc;
+
+  // A data-heavy mid-size workflow.
+  util::Prng rng(515);
+  workflow::RandomWorkflowSpec spec;
+  spec.modules = 16;
+  spec.edges = 40;
+  spec.data_size_min = 2.0;
+  spec.data_size_max = 20.0;
+  const auto wf = workflow::random_workflow(spec, rng);
+
+  // Home cloud: the paper's Table I. Remote cloud: 3x faster, premium
+  // rates.
+  const multicloud::CloudSite home{"home", cloud::example_catalog()};
+  const multicloud::CloudSite remote{
+      "remote", cloud::VmCatalog({{"R1", 45.0, 14.0}, {"R2", 90.0, 30.0}})};
+
+  // Single-cloud reference on the home catalog.
+  const auto sc_inst =
+      sched::Instance::from_model(wf, cloud::example_catalog());
+  const auto sc_bounds = sched::cost_bounds(sc_inst);
+  const double budget = sc_bounds.cmin + 1.2 * (sc_bounds.cmax - sc_bounds.cmin);
+  const auto sc = sched::critical_greedy(
+      sc_inst, std::min(budget, sc_bounds.cmax));
+
+  util::Table t({"link (BW, $/unit)", "MC MED", "MC cost", "transfer $",
+                 "modules remote", "vs single-cloud MED"});
+  struct LinkCase {
+    const char* name;
+    double bw;
+    double cost;
+  };
+  for (const LinkCase& lc :
+       {LinkCase{"free + instant", 0.0, 0.0}, LinkCase{"fast, cheap", 50.0, 0.05},
+        LinkCase{"fast, pricey", 50.0, 1.0}, LinkCase{"slow, cheap", 2.0, 0.05},
+        LinkCase{"slow, pricey", 2.0, 1.0},
+        LinkCase{"hostile", 0.1, 10.0}}) {
+    multicloud::InterCloudLink link;
+    link.bandwidth = lc.bw;
+    link.cost_per_unit = lc.cost;
+    const multicloud::McInstance inst(
+        wf, multicloud::Federation({home, remote}, link));
+    const auto r = multicloud::critical_greedy_mc(inst, budget);
+    std::size_t remote_count = 0;
+    for (const auto& p : r.schedule.of)
+      if (p.site == 1) ++remote_count;
+    t.add_row({lc.name, util::fmt(r.eval.med, 2), util::fmt(r.eval.cost, 2),
+               util::fmt(r.eval.transfer_cost, 2), util::fmt(remote_count),
+               util::fmt((sc.eval.med - r.eval.med) / sc.eval.med * 100.0,
+                         1) +
+                   "%"});
+  }
+  std::cout << t.render() << '\n';
+  std::cout << "single-cloud CG reference: MED " << util::fmt(sc.eval.med, 2)
+            << " at cost " << util::fmt(sc.eval.cost, 2) << " (budget "
+            << util::fmt(budget, 2) << ")\n\n"
+            << "reading: as the link gets slower/pricier the scheduler "
+               "bursts fewer modules,\nand under a hostile link it "
+               "degenerates exactly to the single-cloud schedule --\nthe "
+               "gradient the paper's future-work section anticipates. Note "
+               "the free-link\nrows can end *slower* than single-cloud: "
+               "the remote premium types tempt the\ngreedy max-dT rule "
+               "into early expensive moves that starve later rounds -- "
+               "the\nsame splurge pathology ablation A1 quantifies for "
+               "Critical-Greedy itself.\n";
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Ablation A9: schedule robustness under runtime noise. The paper
+// schedules against measured execution times; this bench asks what happens
+// when real runs jitter -- how much realized-MED risk do CG and GAIN3
+// schedules carry, and what budget premium buys a 95th-percentile
+// guarantee.
+#include <iostream>
+
+#include "expr/compare.hpp"
+#include "expr/robustness.hpp"
+#include "sched/critical_greedy.hpp"
+#include "sched/gain_loss.hpp"
+#include "testbed/wrf_experiment.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+int main() {
+  std::cout << "=== Ablation A9 -- schedule robustness under 10% runtime "
+               "noise ===\n\n";
+  using namespace medcc;
+  auto& pool = util::global_pool();
+
+  expr::RobustnessOptions ropts;
+  ropts.noise = 0.10;
+  ropts.trials = 1000;
+  ropts.seed = 20130613;
+
+  {
+    util::Table t({"schedule", "nominal MED", "mean", "p95", "max",
+                   "P(miss nominal+5%)"});
+    const auto inst = testbed::wrf_instance();
+    for (double budget : {155.0, 180.1}) {
+      for (int which = 0; which < 2; ++which) {
+        const auto r = which == 0 ? sched::critical_greedy(inst, budget)
+                                  : sched::gain3(inst, budget);
+        const auto rep = expr::assess_robustness(inst, r.schedule, pool,
+                                                 ropts);
+        t.add_row({std::string(which == 0 ? "CG" : "GAIN3") + " @ " +
+                       util::fmt(budget, 1),
+                   util::fmt(rep.nominal_med, 1), util::fmt(rep.mean, 1),
+                   util::fmt(rep.p95, 1), util::fmt(rep.max, 1),
+                   util::fmt(rep.miss_rate(rep.nominal_med * 1.05), 2)});
+      }
+    }
+    std::cout << "WRF instance:\n" << t.render() << '\n';
+  }
+
+  // Budget premium for a p95 guarantee: sweep budgets; find the cheapest
+  // CG schedule whose p95 meets a target that the nominal-optimal budget
+  // only meets in expectation.
+  {
+    const auto inst = testbed::wrf_instance();
+    const auto bounds = sched::cost_bounds(inst);
+    const double target = 250.0;  // seconds
+    double nominal_budget = -1.0, robust_budget = -1.0;
+    for (double budget : sched::budget_levels(bounds, 40)) {
+      const auto r = sched::critical_greedy(inst, budget);
+      if (nominal_budget < 0.0 && r.eval.med <= target)
+        nominal_budget = r.eval.cost;
+      if (robust_budget < 0.0) {
+        const auto rep =
+            expr::assess_robustness(inst, r.schedule, pool, ropts);
+        if (rep.p95 <= target) robust_budget = r.eval.cost;
+      }
+    }
+    std::cout << "to finish within " << util::fmt(target, 0)
+              << " s: nominal plan costs " << util::fmt(nominal_budget, 1)
+              << "; a p95-guaranteed plan costs "
+              << util::fmt(robust_budget, 1) << " ("
+              << util::fmt((robust_budget / nominal_budget - 1.0) * 100.0, 1)
+              << "% premium)\n\n";
+  }
+  std::cout << "reading: nominal MEDs understate realized delay (max-of-"
+               "paths is convex in the\nmodule times); tight schedules "
+               "carry meaningful deadline risk, and a modest\nbudget "
+               "premium converts the point estimate into a p95 "
+               "guarantee.\n";
+  return 0;
+}

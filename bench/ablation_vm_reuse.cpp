@@ -1,0 +1,82 @@
+// Ablation A4: VM reuse (Section V-B). Compares the provisioned fleet
+// size and the actually billed cost with and without sharing same-type
+// VMs among sequentially ordered modules, across workflow shapes.
+#include <iostream>
+
+#include "expr/instance_gen.hpp"
+#include "sched/bounds.hpp"
+#include "sched/critical_greedy.hpp"
+#include "sched/vm_reuse.hpp"
+#include "sim/executor.hpp"
+#include "testbed/wrf_experiment.hpp"
+#include "util/table.hpp"
+#include "workflow/patterns.hpp"
+
+namespace {
+
+void report(const std::string& name, const medcc::sched::Instance& inst,
+            double budget, medcc::util::Table& t) {
+  const auto r = medcc::sched::critical_greedy(inst, budget);
+  const auto plan = medcc::sched::plan_vm_reuse(inst, r.schedule);
+  medcc::sim::ExecutorOptions reuse;
+  reuse.reuse_vms = true;
+  const auto sim = medcc::sim::execute(inst, r.schedule, reuse);
+  const double saving = (plan.cost_without_reuse - plan.billed_cost_uptime) /
+                        plan.cost_without_reuse * 100.0;
+  t.add_row({name,
+             medcc::util::fmt(inst.workflow().computing_module_count()),
+             medcc::util::fmt(plan.instances.size()),
+             medcc::util::fmt(plan.cost_without_reuse, 2),
+             medcc::util::fmt(plan.billed_cost_uptime, 2),
+             medcc::util::fmt(saving, 1),
+             medcc::util::fmt(sim.makespan, 2)});
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Ablation A4 -- VM reuse ===\n\n";
+  medcc::util::Table t({"workflow", "modules", "VMs w/reuse",
+                        "cost w/o reuse", "billed w/reuse", "saving (%)",
+                        "makespan"});
+  medcc::util::Prng rng(99);
+
+  {
+    const auto inst = medcc::sched::Instance::from_model(
+        medcc::workflow::example6(), medcc::cloud::example_catalog());
+    report("example6 (B=60)", inst, 60.0, t);
+  }
+  {
+    const auto inst = medcc::testbed::wrf_instance();
+    report("WRF grouped (B=155)", inst, 155.0, t);
+  }
+  {
+    const auto wf = medcc::workflow::montage_like(6, rng);
+    const auto inst = medcc::sched::Instance::from_model(
+        wf, medcc::cloud::example_catalog());
+    const auto bounds = medcc::sched::cost_bounds(inst);
+    report("montage-like (median B)", inst,
+           0.5 * (bounds.cmin + bounds.cmax), t);
+  }
+  {
+    const auto wf = medcc::workflow::epigenomics_like(3, 3, rng);
+    const auto inst = medcc::sched::Instance::from_model(
+        wf, medcc::cloud::example_catalog());
+    const auto bounds = medcc::sched::cost_bounds(inst);
+    report("epigenomics-like (median B)", inst,
+           0.5 * (bounds.cmin + bounds.cmax), t);
+  }
+  for (std::uint64_t k = 0; k < 3; ++k) {
+    auto sub = rng.fork(k);
+    const auto inst = medcc::expr::make_instance({30, 120, 5}, sub);
+    const auto bounds = medcc::sched::cost_bounds(inst);
+    report("random (30,120,5) #" + std::to_string(k + 1), inst,
+           0.5 * (bounds.cmin + bounds.cmax), t);
+  }
+  std::cout << t.render() << '\n';
+  std::cout << "reading: reuse shrinks the fleet well below one VM per "
+               "module and the billed\ncost below the analytic per-module "
+               "cost (shared partial quanta); the makespan\nis unchanged "
+               "because only non-overlapping executions share a VM.\n";
+  return 0;
+}

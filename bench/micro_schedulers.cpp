@@ -1,0 +1,88 @@
+// Ablation A5: scheduler micro-benchmarks (google-benchmark). Measures
+// the runtime scaling of CPM, Critical-Greedy, GAIN3 and the simulator as
+// problem size grows, plus instance-generation and parallel-sweep
+// throughput.
+#include <benchmark/benchmark.h>
+
+#include "expr/compare.hpp"
+#include "sched/bounds.hpp"
+#include "sched/critical_greedy.hpp"
+#include "sched/gain_loss.hpp"
+#include "sim/executor.hpp"
+
+namespace {
+
+medcc::sched::Instance instance_for(std::size_t m) {
+  medcc::util::Prng rng(m * 2654435761u + 17);
+  // Density and catalog size scale like the paper's Table IV settings.
+  const std::size_t edges = m * (m - 1) / 4;
+  const std::size_t types = 3 + m / 16;
+  return medcc::expr::make_instance({m, edges, types}, rng);
+}
+
+void BM_Cpm(benchmark::State& state) {
+  const auto inst = instance_for(static_cast<std::size_t>(state.range(0)));
+  const auto least = medcc::sched::least_cost_schedule(inst);
+  const auto weights = medcc::sched::durations(inst, least);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(medcc::dag::compute_cpm(
+        inst.workflow().graph(), weights, inst.edge_times()));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Cpm)->RangeMultiplier(4)->Range(16, 1024)->Complexity();
+
+void BM_CriticalGreedy(benchmark::State& state) {
+  const auto inst = instance_for(static_cast<std::size_t>(state.range(0)));
+  const auto bounds = medcc::sched::cost_bounds(inst);
+  const double budget = 0.5 * (bounds.cmin + bounds.cmax);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(medcc::sched::critical_greedy(inst, budget));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_CriticalGreedy)->RangeMultiplier(4)->Range(16, 1024)->Complexity();
+
+void BM_Gain3(benchmark::State& state) {
+  const auto inst = instance_for(static_cast<std::size_t>(state.range(0)));
+  const auto bounds = medcc::sched::cost_bounds(inst);
+  const double budget = 0.5 * (bounds.cmin + bounds.cmax);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(medcc::sched::gain3(inst, budget));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Gain3)->RangeMultiplier(4)->Range(16, 1024)->Complexity();
+
+void BM_Simulate(benchmark::State& state) {
+  const auto inst = instance_for(static_cast<std::size_t>(state.range(0)));
+  const auto bounds = medcc::sched::cost_bounds(inst);
+  const auto r = medcc::sched::critical_greedy(
+      inst, 0.5 * (bounds.cmin + bounds.cmax));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(medcc::sim::execute(inst, r.schedule));
+  }
+}
+BENCHMARK(BM_Simulate)->RangeMultiplier(4)->Range(16, 256);
+
+void BM_InstanceGeneration(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  medcc::util::Prng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        medcc::expr::make_instance({m, m * (m - 1) / 4, 5}, rng));
+  }
+}
+BENCHMARK(BM_InstanceGeneration)->RangeMultiplier(4)->Range(16, 1024);
+
+void BM_BudgetSweep20Levels(benchmark::State& state) {
+  const auto inst = instance_for(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(medcc::expr::sweep_budgets(inst, 20));
+  }
+}
+BENCHMARK(BM_BudgetSweep20Levels)->Arg(50)->Arg(100);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,44 @@
+// Reproduces Fig. 7: the percentage of instances on which Critical-Greedy
+// and GAIN3 reach the exhaustive optimum -- problem sizes (5,6,3) to
+// (8,18,3), 100 random instances each, budget = median of [Cmin, Cmax].
+#include <iostream>
+
+#include "expr/compare.hpp"
+#include "util/ascii_plot.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+int main() {
+  std::cout << "=== Fig. 7 -- percentage of optimal, CG vs GAIN3 ===\n\n";
+  auto& pool = medcc::util::global_pool();
+  const auto studies = medcc::expr::optimality_study(
+      pool, medcc::expr::fig7_sizes(), /*instances=*/100,
+      /*seed=*/777);
+
+  medcc::util::Table t(
+      {"problem size", "CG % optimal", "GAIN3 % optimal"});
+  std::vector<std::string> labels;
+  std::vector<double> cg_values, gain_values;
+  for (const auto& study : studies) {
+    const std::string label = "(" + std::to_string(study.size.modules) +
+                              "," + std::to_string(study.size.edges) + "," +
+                              std::to_string(study.size.types) + ")";
+    t.add_row({label, medcc::util::fmt(study.cg_percent_optimal, 1),
+               medcc::util::fmt(study.gain_percent_optimal, 1)});
+    labels.push_back(label);
+    cg_values.push_back(study.cg_percent_optimal);
+    gain_values.push_back(study.gain_percent_optimal);
+  }
+  std::cout << t.render() << '\n';
+
+  medcc::util::PlotOptions opts;
+  opts.title =
+      "Fig. 7 -- % of 100 instances reaching the optimal MED (median "
+      "budget)";
+  std::cout << medcc::util::grouped_bar_chart(
+      labels, std::vector<std::string>{"Critical-Greedy", "GAIN3"},
+      {cg_values, gain_values}, opts);
+  std::cout << "\nExpected shape (paper): CG reaches optimality more often "
+               "than GAIN3 at every size.\n";
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Reproduces Table III: Critical-Greedy vs the exhaustive optimum on
+// small-scale problems -- sizes (5,6,3), (6,11,3), (7,14,3), five random
+// instances each, one random budget per instance within [Cmin, Cmax].
+#include <iostream>
+
+#include "expr/compare.hpp"
+#include "sched/critical_greedy.hpp"
+#include "sched/exhaustive.hpp"
+#include "util/table.hpp"
+
+int main() {
+  std::cout << "=== Table III -- Critical-Greedy vs optimal (small scale) "
+               "===\n\n";
+  const std::vector<medcc::expr::ProblemSize> sizes = {
+      {5, 6, 3}, {6, 11, 3}, {7, 14, 3}};
+
+  medcc::util::Table t({"instance", "(5,6,3) CG", "(5,6,3) Opt",
+                        "(6,11,3) CG", "(6,11,3) Opt", "(7,14,3) CG",
+                        "(7,14,3) Opt"});
+  constexpr std::size_t kInstances = 5;
+  std::vector<std::vector<std::string>> cells(
+      kInstances, std::vector<std::string>(sizes.size() * 2));
+  std::size_t cg_optimal = 0, total = 0;
+
+  medcc::util::Prng root(20130613);  // ICPP'13 vintage seed
+  for (std::size_t s = 0; s < sizes.size(); ++s) {
+    for (std::size_t k = 0; k < kInstances; ++k) {
+      auto rng = root.fork(s * 100 + k);
+      const auto inst = medcc::expr::make_instance(sizes[s], rng);
+      const auto bounds = medcc::sched::cost_bounds(inst);
+      const double budget = rng.uniform_real(bounds.cmin, bounds.cmax);
+      const double cg =
+          medcc::sched::critical_greedy(inst, budget).eval.med;
+      const double opt =
+          medcc::sched::exhaustive_optimal(inst, budget).eval.med;
+      cells[k][2 * s] = medcc::util::fmt(cg, 2);
+      cells[k][2 * s + 1] = medcc::util::fmt(opt, 2);
+      ++total;
+      if (cg <= opt + 1e-9) ++cg_optimal;
+    }
+  }
+  for (std::size_t k = 0; k < kInstances; ++k) {
+    std::vector<std::string> row{medcc::util::fmt(k + 1)};
+    row.insert(row.end(), cells[k].begin(), cells[k].end());
+    t.add_row(std::move(row));
+  }
+  std::cout << t.render() << '\n';
+  std::cout << "Critical-Greedy attained the optimum in " << cg_optimal
+            << "/" << total
+            << " instances (paper: 13/15 -- \"the same results as the "
+               "optimal solution in most cases\").\n";
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Reproduces the WRF testbed experiment (Section VI-C): Table V (VM
+// types), Table VI (measured execution-time matrix), Table VII (CG vs
+// GAIN3 schedules and MED at six budgets) and Fig. 15 -- plus the parts
+// the paper narrates around them: Nimbus provisioning, VM reuse, and
+// event-driven validation of every schedule.
+#include <iostream>
+
+#include "sched/bounds.hpp"
+#include "sched/vm_reuse.hpp"
+#include "sim/executor.hpp"
+#include "testbed/nimbus.hpp"
+#include "testbed/wrf_experiment.hpp"
+#include "util/ascii_plot.hpp"
+#include "util/table.hpp"
+#include "workflow/wrf.hpp"
+
+namespace {
+using medcc::util::fmt;
+}
+
+int main() {
+  std::cout << "=== WRF experiment (Section VI-C) ===\n\n";
+  const auto inst = medcc::testbed::wrf_instance();
+
+  {
+    medcc::util::Table t({"VM type", "CPU (GHz)", "CV_j ($/s)"});
+    for (std::size_t j = 0; j < inst.type_count(); ++j)
+      t.add_row({inst.catalog().type(j).name,
+                 fmt(inst.catalog().type(j).processing_power, 2),
+                 fmt(inst.catalog().type(j).cost_rate, 1)});
+    std::cout << "Table V -- testbed VM types\n" << t.render() << '\n';
+  }
+  {
+    medcc::util::Table t({"TE (s)", "w1", "w2", "w3", "w4", "w5", "w6"});
+    const auto& te = medcc::workflow::wrf_te_matrix();
+    for (std::size_t j = 0; j < 3; ++j) {
+      std::vector<std::string> row{"VT" + std::to_string(j + 1)};
+      for (std::size_t i = 0; i < 6; ++i) row.push_back(fmt(te[j][i], 1));
+      t.add_row(std::move(row));
+    }
+    std::cout << "Table VI -- measured execution-time matrix\n" << t.render()
+              << '\n';
+  }
+
+  const auto bounds = medcc::sched::cost_bounds(inst);
+  std::cout << "Cmin = " << fmt(bounds.cmin, 1)
+            << " (paper: 125.9),  Cmax = " << fmt(bounds.cmax, 1)
+            << " (paper: 243.6)\n\n";
+
+  // Nimbus provisioning of the least-cost virtual cluster.
+  {
+    medcc::testbed::NimbusCloud cloud(medcc::testbed::NimbusConfig{},
+                                      inst.catalog());
+    const auto least = medcc::sched::least_cost_schedule(inst);
+    std::vector<std::size_t> types;
+    for (auto m : inst.workflow().computing_modules())
+      types.push_back(least.type_of[m]);
+    std::cout << "Nimbus-emulated cluster provisioning (least-cost fleet): "
+              << "ready after " << fmt(cloud.cluster_ready_time(types), 1)
+              << " s (image propagation + Xen boot; VMs are launched in "
+                 "advance so this stays off the critical path)\n\n";
+  }
+
+  const auto rows = medcc::testbed::run_wrf_comparison();
+  {
+    medcc::util::Table t({"budget", "algo", "w1", "w2", "w3", "w4", "w5",
+                          "w6", "MED (s)", "cost", "sim MED", "VMs w/reuse"});
+    for (const auto& row : rows) {
+      for (int which = 0; which < 2; ++which) {
+        const auto& r = which == 0 ? row.cg : row.gain3;
+        std::vector<std::string> cells{
+            which == 0 ? fmt(row.budget, 1) : std::string{},
+            which == 0 ? "CG" : "GAIN3"};
+        for (std::size_t i = 1; i <= 6; ++i)
+          cells.push_back(
+              inst.catalog().type(r.schedule.type_of[i]).name.substr(2));
+        cells.push_back(fmt(r.eval.med, 1));
+        cells.push_back(fmt(r.eval.cost, 1));
+        // Validate through the event-driven simulator with VM reuse.
+        medcc::sim::ExecutorOptions opts;
+        opts.reuse_vms = true;
+        const auto sim = medcc::sim::execute(inst, r.schedule, opts);
+        cells.push_back(fmt(sim.makespan, 1));
+        cells.push_back(fmt(sim.vms.size()));
+        t.add_row(std::move(cells));
+      }
+    }
+    std::cout << "Table VII -- schedules and MED under six budgets\n"
+              << t.render() << '\n';
+    std::cout << "(Extraction note: the published Table VII rows are "
+                 "internally inconsistent --\n"
+                 " several printed schedules exceed their budget column "
+                 "under the paper's own\n"
+                 " billing -- so we report model-consistent values; the "
+                 "published GAIN3 MED 784.0\n"
+                 " at B=155.0 is reproduced exactly. See EXPERIMENTS.md.)\n\n";
+  }
+
+  {
+    std::vector<std::string> groups;
+    std::vector<double> cg, gain;
+    for (const auto& row : rows) {
+      groups.push_back(fmt(row.budget, 1));
+      cg.push_back(row.cg.eval.med);
+      gain.push_back(row.gain3.eval.med);
+    }
+    medcc::util::PlotOptions opts;
+    opts.title = "Fig. 15 -- CG vs GAIN3 MED at each budget (seconds)";
+    std::cout << medcc::util::grouped_bar_chart(
+        groups, std::vector<std::string>{"CG", "GAIN3"}, {cg, gain}, opts);
+  }
+  return 0;
+}

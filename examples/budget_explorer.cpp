@@ -1,0 +1,84 @@
+// Budget explorer: for a (random or WRF) workflow instance, chart how the
+// achievable end-to-end delay falls as the budget grows, compare the
+// schedulers, and print the budget a user should request for a target
+// deadline -- the "resource provisioning reference" use-case from the
+// paper's introduction.
+//
+//   $ ./examples/budget_explorer [modules] [edges] [types] [seed]
+//   $ ./examples/budget_explorer wrf
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "expr/instance_gen.hpp"
+#include "sched/bounds.hpp"
+#include "sched/critical_greedy.hpp"
+#include "sched/exhaustive.hpp"
+#include "sched/gain_loss.hpp"
+#include "testbed/wrf_experiment.hpp"
+#include "util/ascii_plot.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using medcc::util::fmt;
+
+  medcc::sched::Instance inst = [&] {
+    if (argc > 1 && std::strcmp(argv[1], "wrf") == 0)
+      return medcc::testbed::wrf_instance();
+    const std::size_t m = argc > 1 ? std::stoul(argv[1]) : 20;
+    const std::size_t e = argc > 2 ? std::stoul(argv[2]) : 80;
+    const std::size_t n = argc > 3 ? std::stoul(argv[3]) : 5;
+    medcc::util::Prng rng(argc > 4 ? std::stoull(argv[4]) : 7);
+    return medcc::expr::make_instance({m, e, n}, rng);
+  }();
+
+  const auto bounds = medcc::sched::cost_bounds(inst);
+  std::cout << "workflow: " << inst.workflow().computing_module_count()
+            << " modules, " << inst.workflow().dependency_count()
+            << " dependencies, " << inst.type_count() << " VM types\n"
+            << "feasible budgets: [" << fmt(bounds.cmin, 2) << ", "
+            << fmt(bounds.cmax, 2) << "]\n\n";
+
+  medcc::util::Table t(
+      {"budget", "CG MED", "GAIN3 MED", "LOSS MED", "CG cost"});
+  medcc::util::Series cg_series{"Critical-Greedy", {}, {}, '*'};
+  medcc::util::Series gain_series{"GAIN3", {}, {}, 'o'};
+  for (double budget : medcc::sched::budget_levels(bounds, 12)) {
+    const auto cg = medcc::sched::critical_greedy(inst, budget);
+    const auto g3 = medcc::sched::gain3(inst, budget);
+    const auto ls = medcc::sched::loss(inst, budget);
+    t.add_row({fmt(budget, 2), fmt(cg.eval.med, 2), fmt(g3.eval.med, 2),
+               fmt(ls.eval.med, 2), fmt(cg.eval.cost, 2)});
+    cg_series.xs.push_back(budget);
+    cg_series.ys.push_back(cg.eval.med);
+    gain_series.xs.push_back(budget);
+    gain_series.ys.push_back(g3.eval.med);
+  }
+  std::cout << t.render() << '\n';
+
+  medcc::util::PlotOptions opts;
+  opts.title = "MED vs budget";
+  opts.x_label = "budget";
+  opts.y_label = "MED";
+  std::cout << medcc::util::line_plot(
+      std::vector<medcc::util::Series>{cg_series, gain_series}, opts);
+
+  // Deadline advisor: smallest swept budget whose CG MED meets a deadline
+  // halfway between the best and worst achievable delay.
+  const double best = cg_series.ys.back();
+  const double worst = cg_series.ys.front();
+  const double deadline = 0.5 * (best + worst);
+  for (std::size_t k = 0; k < cg_series.xs.size(); ++k) {
+    if (cg_series.ys[k] <= deadline) {
+      std::cout << "\nto finish within " << fmt(deadline, 2)
+                << " time units, request a budget of about "
+                << fmt(cg_series.xs[k], 2) << " ("
+                << fmt((cg_series.xs[k] - bounds.cmin) /
+                           (bounds.cmax - bounds.cmin) * 100.0,
+                       0)
+                << "% above the minimum)\n";
+      break;
+    }
+  }
+  return 0;
+}

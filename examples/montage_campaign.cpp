@@ -1,0 +1,72 @@
+// Campaign planner: an astronomy group wants to build sky mosaics of
+// growing size (Montage-like workflows) and needs to know, for each mosaic
+// size, the money/time frontier -- minimum cost, minimum delay, and the
+// knee point Critical-Greedy finds in between -- plus the VM fleet to
+// request. Demonstrates the library on non-WRF science workloads.
+//
+//   $ ./examples/montage_campaign [max_tiles]
+#include <cstdlib>
+#include <iostream>
+
+#include "sched/bounds.hpp"
+#include "sched/critical_greedy.hpp"
+#include "sched/vm_reuse.hpp"
+#include "util/table.hpp"
+#include "workflow/patterns.hpp"
+
+int main(int argc, char** argv) {
+  using medcc::util::fmt;
+  const std::size_t max_tiles = argc > 1 ? std::stoul(argv[1]) : 10;
+
+  const medcc::cloud::VmCatalog catalog(
+      {{"c1", 4.0, 1.0}, {"c4", 17.0, 4.0}, {"c8", 35.0, 8.0}});
+  medcc::util::Prng rng(2026);
+
+  medcc::util::Table t({"tiles", "modules", "Cmin", "Cmax", "MED@min$",
+                        "MED@knee", "knee $", "MED@max$", "VMs@knee"});
+  for (std::size_t tiles = 2; tiles <= max_tiles; tiles += 2) {
+    auto sub = rng.fork(tiles);
+    const auto wf = medcc::workflow::montage_like(tiles, sub);
+    const auto inst = medcc::sched::Instance::from_model(wf, catalog);
+    const auto bounds = medcc::sched::cost_bounds(inst);
+
+    // Scan the budget range for the knee: the point where spending one
+    // more dollar stops buying at least `knee_rate` hours.
+    const auto at = [&](double budget) {
+      return medcc::sched::critical_greedy(inst, budget);
+    };
+    const auto cheap = at(bounds.cmin);
+    const auto fast = at(bounds.cmax);
+    double knee_budget = bounds.cmax;
+    double previous_med = cheap.eval.med;
+    const double knee_rate =
+        (cheap.eval.med - fast.eval.med) /
+        std::max(1.0, bounds.cmax - bounds.cmin);  // average trade rate
+    for (double budget : medcc::sched::budget_levels(bounds, 16)) {
+      const auto r = at(budget);
+      const double step = bounds.cmax > bounds.cmin
+                              ? (bounds.cmax - bounds.cmin) / 16.0
+                              : 1.0;
+      const double rate = (previous_med - r.eval.med) / step;
+      previous_med = r.eval.med;
+      if (rate < knee_rate) {
+        knee_budget = budget;
+        break;
+      }
+    }
+    const auto knee = at(knee_budget);
+    const auto fleet = medcc::sched::plan_vm_reuse(inst, knee.schedule);
+
+    t.add_row({fmt(tiles), fmt(wf.computing_module_count()),
+               fmt(bounds.cmin, 0), fmt(bounds.cmax, 0),
+               fmt(cheap.eval.med, 2), fmt(knee.eval.med, 2),
+               fmt(knee_budget, 0), fmt(fast.eval.med, 2),
+               fmt(fleet.instances.size())});
+  }
+  std::cout << "Montage campaign frontier (times in hours, money in $)\n"
+            << t.render()
+            << "\nreading: the knee budget buys most of the speedup; "
+               "beyond it the marginal\ndollar buys less than the "
+               "campaign-average rate.\n";
+  return 0;
+}

@@ -1,0 +1,17 @@
+#include "cloud/billing.hpp"
+
+#include <cmath>
+
+namespace medcc::cloud {
+
+double BillingPolicy::billed_time(double duration) const {
+  if (duration < 0.0)
+    throw InvalidArgument("BillingPolicy: negative duration");
+  if (duration == 0.0) return 0.0;
+  const double quanta = duration / quantum_;
+  // Tolerate fp noise so integral durations are not bumped a full quantum.
+  const double rounded = std::ceil(quanta - 1e-9);
+  return std::max(1.0, rounded) * quantum_;
+}
+
+}  // namespace medcc::cloud

@@ -1,0 +1,44 @@
+#include "cloud/cost_model.hpp"
+
+namespace medcc::cloud {
+
+double execution_time(double workload, const VmType& vm) {
+  if (workload < 0.0) throw InvalidArgument("execution_time: negative workload");
+  return workload / vm.processing_power;
+}
+
+double execution_cost(double execution_time, const VmType& vm,
+                      const BillingPolicy& billing) {
+  return billing.cost(execution_time, vm.cost_rate);
+}
+
+double transfer_time(double data_size, const NetworkModel& net) {
+  if (data_size < 0.0) throw InvalidArgument("transfer_time: negative data");
+  if (data_size == 0.0) return 0.0;
+  if (net.instantaneous()) return 0.0;
+  const double wire = net.bandwidth > 0.0 ? data_size / net.bandwidth : 0.0;
+  return wire + net.link_delay;
+}
+
+double transfer_cost(double data_size, const NetworkModel& net) {
+  if (data_size < 0.0) throw InvalidArgument("transfer_cost: negative data");
+  return net.transfer_cost_rate * data_size;
+}
+
+double program_time(double workload, double total_io_data, const VmType& vm,
+                    const NetworkModel& net,
+                    const VmLifecycleModel& lifecycle) {
+  return lifecycle.startup_time + execution_time(workload, vm) +
+         transfer_time(total_io_data, net);
+}
+
+double program_cost(double workload, double total_io_data, const VmType& vm,
+                    const NetworkModel& net,
+                    const VmLifecycleModel& lifecycle,
+                    const BillingPolicy& billing) {
+  return lifecycle.startup_cost +
+         execution_cost(execution_time(workload, vm), vm, billing) +
+         transfer_cost(total_io_data, net) + lifecycle.storage_cost;
+}
+
+}  // namespace medcc::cloud

@@ -1,0 +1,64 @@
+// The analytical cost/time components of Section III-A (Eqs. 1-7).
+//
+// Execution:      T(E_ij) = WL_i / VP_j                 (Eq. 6)
+//                 C(E_ij) = CV_j * T'(E_ij)             (Eq. 7)
+// Data transfer:  T(R_ij) = DS_ij / BW'_pq + d'_pq      (Eq. 5)
+//                 C(R_ij) = CR * DS_ij                  (Eq. 4)
+// Full program:   C_ij = C(I_j) + C(E_ij) + C(R_i) + C(S_i)   (Eq. 1)
+//                 T_ij = T(I_j) + T(E_ij) + T(R_i)            (Eq. 2)
+//
+// The MED-CC evaluation targets a single datacenter, so CR = 0 and the
+// network parameters default to "free and instant"; the simulator and the
+// transfer-sensitivity ablation set them explicitly.
+#pragma once
+
+#include "cloud/billing.hpp"
+#include "cloud/vm_type.hpp"
+
+namespace medcc::cloud {
+
+/// Shared-storage network parameters of the virtual resource graph.
+struct NetworkModel {
+  /// Virtual-link bandwidth BW' (data units per time unit);
+  /// infinity models the paper's negligible intra-cloud transfers.
+  double bandwidth = 0.0;  // 0 means "infinite"
+  double link_delay = 0.0; ///< d'_pq
+  double transfer_cost_rate = 0.0;  ///< CR, currency per data unit
+
+  [[nodiscard]] bool instantaneous() const {
+    return bandwidth <= 0.0 && link_delay <= 0.0;
+  }
+};
+
+/// VM lifecycle parameters (initialization and storage, Eqs. 1-2).
+struct VmLifecycleModel {
+  double startup_time = 0.0;   ///< T(I_j)
+  double startup_cost = 0.0;   ///< C(I_j)
+  double storage_cost = 0.0;   ///< C(S_i) per module
+};
+
+/// T(E_ij) = WL_i / VP_j.
+[[nodiscard]] double execution_time(double workload, const VmType& vm);
+
+/// C(E_ij) = CV_j * T'(E_ij).
+[[nodiscard]] double execution_cost(double execution_time, const VmType& vm,
+                                    const BillingPolicy& billing);
+
+/// T(R_ij) = DS_ij / BW + d (0 when the network is instantaneous).
+[[nodiscard]] double transfer_time(double data_size, const NetworkModel& net);
+
+/// C(R_ij) = CR * DS_ij.
+[[nodiscard]] double transfer_cost(double data_size, const NetworkModel& net);
+
+/// Eq. 2: full wall-time of running one program on a fresh VM.
+[[nodiscard]] double program_time(double workload, double total_io_data,
+                                  const VmType& vm, const NetworkModel& net,
+                                  const VmLifecycleModel& lifecycle);
+
+/// Eq. 1: full financial cost of running one program on a fresh VM.
+[[nodiscard]] double program_cost(double workload, double total_io_data,
+                                  const VmType& vm, const NetworkModel& net,
+                                  const VmLifecycleModel& lifecycle,
+                                  const BillingPolicy& billing);
+
+}  // namespace medcc::cloud

@@ -1,0 +1,101 @@
+#include "cloud/vm_type.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace medcc::cloud {
+
+VmCatalog::VmCatalog(std::vector<VmType> types) : types_(std::move(types)) {
+  if (types_.empty())
+    throw InvalidArgument("VmCatalog: at least one VM type required");
+  for (const auto& t : types_) {
+    if (t.processing_power <= 0.0)
+      throw InvalidArgument("VmCatalog: non-positive processing power for " +
+                            t.name);
+    if (t.cost_rate < 0.0)
+      throw InvalidArgument("VmCatalog: negative cost rate for " + t.name);
+  }
+}
+
+std::size_t VmCatalog::fastest_index() const {
+  MEDCC_EXPECTS(!types_.empty());
+  std::size_t best = 0;
+  for (std::size_t j = 1; j < types_.size(); ++j) {
+    if (types_[j].processing_power > types_[best].processing_power ||
+        (types_[j].processing_power == types_[best].processing_power &&
+         types_[j].cost_rate < types_[best].cost_rate))
+      best = j;
+  }
+  return best;
+}
+
+std::size_t VmCatalog::cheapest_rate_index() const {
+  MEDCC_EXPECTS(!types_.empty());
+  std::size_t best = 0;
+  for (std::size_t j = 1; j < types_.size(); ++j) {
+    if (types_[j].cost_rate < types_[best].cost_rate ||
+        (types_[j].cost_rate == types_[best].cost_rate &&
+         types_[j].processing_power > types_[best].processing_power))
+      best = j;
+  }
+  return best;
+}
+
+VmCatalog example_catalog() {
+  return VmCatalog({{"VT1", 3.0, 1.0}, {"VT2", 15.0, 4.0}, {"VT3", 30.0, 8.0}});
+}
+
+VmCatalog wrf_catalog() {
+  // Table V: one 0.73 GHz core, one 2.93 GHz core, two 2.93 GHz cores;
+  // module programs are single-threaded pipelines, so VT3's benefit shows
+  // mainly in the measured matrix, but the catalog models peak power.
+  return VmCatalog(
+      {{"VT1", 0.73, 0.1}, {"VT2", 2.93, 0.4}, {"VT3", 5.86, 0.8}});
+}
+
+VmCatalog linear_catalog(const std::vector<double>& units, double base_power,
+                         double base_price) {
+  if (units.empty())
+    throw InvalidArgument("linear_catalog: empty unit list");
+  if (base_power <= 0.0 || base_price < 0.0)
+    throw InvalidArgument("linear_catalog: bad base power/price");
+  std::vector<VmType> types;
+  types.reserve(units.size());
+  for (std::size_t j = 0; j < units.size(); ++j) {
+    if (units[j] <= 0.0)
+      throw InvalidArgument("linear_catalog: non-positive unit count");
+    types.push_back(VmType{"VT" + std::to_string(j + 1),
+                           units[j] * base_power, units[j] * base_price});
+  }
+  return VmCatalog(std::move(types));
+}
+
+VmCatalog random_linear_catalog(std::size_t n, std::size_t max_units,
+                                util::Prng& rng, double base_power,
+                                double base_price, double efficiency) {
+  if (n == 0) throw InvalidArgument("random_linear_catalog: n must be >= 1");
+  if (max_units < n)
+    throw InvalidArgument(
+        "random_linear_catalog: need max_units >= n for distinct unit counts");
+  if (efficiency < 0.0)
+    throw InvalidArgument("random_linear_catalog: negative efficiency");
+  std::set<std::size_t> chosen;
+  // Always include the single-unit baseline type so every catalog has a
+  // cheap option; the remaining types are distinct random unit counts.
+  chosen.insert(1);
+  while (chosen.size() < n) {
+    chosen.insert(static_cast<std::size_t>(
+        rng.uniform_int(1, static_cast<std::int64_t>(max_units))));
+  }
+  std::vector<VmType> types;
+  std::size_t j = 0;
+  for (std::size_t u : chosen) {
+    const auto units = static_cast<double>(u);
+    const double scale = 1.0 + efficiency * (1.0 - 1.0 / units);
+    types.push_back(VmType{"VT" + std::to_string(++j),
+                           units * base_power * scale, units * base_price});
+  }
+  return VmCatalog(std::move(types));
+}
+
+}  // namespace medcc::cloud

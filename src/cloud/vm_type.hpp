@@ -1,0 +1,72 @@
+// VM types and catalogs (Section III-B): each type VT_j = {VP_j, CV_j}
+// bundles the overall processing power and the per-unit-time charging rate.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/prng.hpp"
+
+namespace medcc::cloud {
+
+/// One virtual machine type.
+struct VmType {
+  std::string name;
+  double processing_power = 1.0;  ///< VP_j: work units per unit time
+  double cost_rate = 1.0;         ///< CV_j: currency per unit time
+};
+
+/// An ordered set of available VM types VT = {VT_0 .. VT_{n-1}}.
+class VmCatalog {
+public:
+  VmCatalog() = default;
+  explicit VmCatalog(std::vector<VmType> types);
+
+  [[nodiscard]] std::size_t size() const { return types_.size(); }
+  [[nodiscard]] bool empty() const { return types_.empty(); }
+  [[nodiscard]] const VmType& type(std::size_t j) const {
+    MEDCC_EXPECTS(j < types_.size());
+    return types_[j];
+  }
+  [[nodiscard]] const std::vector<VmType>& types() const { return types_; }
+
+  /// Index of the most powerful type (ties -> lowest rate).
+  [[nodiscard]] std::size_t fastest_index() const;
+  /// Index of the cheapest-rate type (ties -> highest power).
+  [[nodiscard]] std::size_t cheapest_rate_index() const;
+
+private:
+  std::vector<VmType> types_;
+};
+
+/// Table I of the paper: VP {3, 15, 30}, CV {1, 4, 8}.
+[[nodiscard]] VmCatalog example_catalog();
+
+/// Table V of the paper (WRF testbed): CPU {0.73, 2.93, 5.86} GHz,
+/// CV {0.1, 0.4, 0.8} per second. Note VT3 is 2x2.93 GHz; the paper prices
+/// linearly in processing units.
+[[nodiscard]] VmCatalog wrf_catalog();
+
+/// EC2-style linear pricing (Section VI-A): type j has `units[j]` base
+/// processing units; VP = units*base_power, CV = units*base_price.
+[[nodiscard]] VmCatalog linear_catalog(const std::vector<double>& units,
+                                       double base_power = 1.0,
+                                       double base_price = 1.0);
+
+/// Random linear catalog for simulation campaigns: n types with strictly
+/// increasing integer unit counts drawn from [1, max_units]. The price is
+/// linear in the unit count (the paper's EC2-style rule); the processing
+/// power is units * base_power * (1 + efficiency * (1 - 1/units)), i.e.
+/// larger types get up to `efficiency` more power per priced unit -- the
+/// economies of scale visible in the paper's own Table I, where VP/unit
+/// is 3.0 for VT1 but 3.75 for VT2/VT3. efficiency = 0 gives strictly
+/// proportional power.
+[[nodiscard]] VmCatalog random_linear_catalog(std::size_t n,
+                                              std::size_t max_units,
+                                              util::Prng& rng,
+                                              double base_power = 1.0,
+                                              double base_price = 1.0,
+                                              double efficiency = 0.0);
+
+}  // namespace medcc::cloud

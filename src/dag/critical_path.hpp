@@ -1,0 +1,49 @@
+// Critical-path-method (CPM) analysis over a weighted DAG.
+//
+// Implements the timing quantities of Section III-B of the paper: earliest
+// start/finish (est/eft), latest start/finish (lst/lft), the buffer time
+// lst(w)-est(w), and the critical path -- the longest node+edge-weighted
+// path, consisting of the modules with zero buffer. One pass is O(V + E).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dag/graph.hpp"
+
+namespace medcc::dag {
+
+/// Timing analysis of one weighted DAG.
+struct CpmResult {
+  std::vector<double> est;  ///< earliest start time per node
+  std::vector<double> eft;  ///< earliest finish time per node
+  std::vector<double> lst;  ///< latest start time per node
+  std::vector<double> lft;  ///< latest finish time per node
+  /// Slack per node: lst - est (== lft - eft). Zero on the critical path.
+  std::vector<double> buffer;
+  /// True for nodes whose buffer is zero (within tolerance).
+  std::vector<bool> critical;
+  /// One maximal-length source-to-sink path of critical nodes, in order.
+  std::vector<NodeId> critical_path;
+  /// End-to-end delay: max eft over all nodes.
+  double makespan = 0.0;
+};
+
+/// Tolerance used to classify a node as critical. Relative to makespan.
+inline constexpr double kCpmSlackTolerance = 1e-9;
+
+/// Runs CPM with per-node durations and optional per-edge delays
+/// (edge_weights.empty() means every edge costs zero, the paper's
+/// single-datacenter assumption; otherwise size must equal edge_count).
+///
+/// Throws InvalidArgument if the graph has a cycle or weights are negative.
+[[nodiscard]] CpmResult compute_cpm(const Dag& graph,
+                                    std::span<const double> node_weights,
+                                    std::span<const double> edge_weights = {});
+
+/// Convenience: just the makespan of the weighted DAG.
+[[nodiscard]] double makespan(const Dag& graph,
+                              std::span<const double> node_weights,
+                              std::span<const double> edge_weights = {});
+
+}  // namespace medcc::dag

@@ -1,0 +1,40 @@
+#include "dag/dot.hpp"
+
+#include <sstream>
+
+namespace medcc::dag {
+
+std::string to_dot(const Dag& graph, const DotOptions& options) {
+  if (!options.node_labels.empty())
+    MEDCC_EXPECTS(options.node_labels.size() == graph.node_count());
+  if (!options.edge_labels.empty())
+    MEDCC_EXPECTS(options.edge_labels.size() == graph.edge_count());
+  if (!options.highlight.empty())
+    MEDCC_EXPECTS(options.highlight.size() == graph.node_count());
+
+  std::ostringstream os;
+  os << "digraph " << options.graph_name << " {\n";
+  os << "  rankdir=TB;\n  node [shape=ellipse];\n";
+  for (NodeId v = 0; v < graph.node_count(); ++v) {
+    os << "  n" << v << " [label=\"";
+    if (options.node_labels.empty())
+      os << 'w' << v;
+    else
+      os << options.node_labels[v];
+    os << '"';
+    if (!options.highlight.empty() && options.highlight[v])
+      os << ", style=filled, fillcolor=lightcoral";
+    os << "];\n";
+  }
+  for (EdgeId e = 0; e < graph.edge_count(); ++e) {
+    const auto& edge = graph.edge(e);
+    os << "  n" << edge.src << " -> n" << edge.dst;
+    if (!options.edge_labels.empty())
+      os << " [label=\"" << options.edge_labels[e] << "\"]";
+    os << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace medcc::dag

@@ -1,0 +1,26 @@
+// Graphviz DOT export for DAGs, with optional labels and critical-path
+// highlighting -- handy for inspecting generated workflow instances.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dag/graph.hpp"
+
+namespace medcc::dag {
+
+struct DotOptions {
+  std::string graph_name = "workflow";
+  /// Optional per-node labels; empty means "w<i>".
+  std::vector<std::string> node_labels;
+  /// Optional per-edge labels (e.g. data sizes); empty means unlabeled.
+  std::vector<std::string> edge_labels;
+  /// Optional mask of highlighted (critical) nodes.
+  std::vector<bool> highlight;
+};
+
+/// Renders the graph in Graphviz DOT syntax.
+[[nodiscard]] std::string to_dot(const Dag& graph, const DotOptions& options = {});
+
+}  // namespace medcc::dag

@@ -1,0 +1,99 @@
+// A compact directed-acyclic-graph container.
+//
+// Nodes are dense indices [0, node_count). Edges are stored once and
+// indexed from both endpoints, so forward (est/eft) and backward (lst/lft)
+// passes are O(V + E). The container itself does not prevent cycles while
+// edges are being added; validate() / topological_order() detect them.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace medcc::dag {
+
+using NodeId = std::size_t;
+using EdgeId = std::size_t;
+
+/// A directed edge from `src` to `dst`.
+struct Edge {
+  NodeId src;
+  NodeId dst;
+};
+
+class Dag {
+public:
+  Dag() = default;
+  /// Creates a graph with `nodes` isolated nodes.
+  explicit Dag(std::size_t nodes) : out_(nodes), in_(nodes) {}
+
+  [[nodiscard]] std::size_t node_count() const { return out_.size(); }
+  [[nodiscard]] std::size_t edge_count() const { return edges_.size(); }
+
+  /// Appends a new isolated node and returns its id.
+  NodeId add_node();
+
+  /// Adds the edge src->dst and returns its id.
+  /// Parallel edges and self-loops are rejected.
+  EdgeId add_edge(NodeId src, NodeId dst);
+
+  /// True if the edge src->dst exists.
+  [[nodiscard]] bool has_edge(NodeId src, NodeId dst) const;
+
+  /// Edge ids leaving / entering `node`.
+  [[nodiscard]] std::span<const EdgeId> out_edges(NodeId node) const {
+    MEDCC_EXPECTS(node < node_count());
+    return out_[node];
+  }
+  [[nodiscard]] std::span<const EdgeId> in_edges(NodeId node) const {
+    MEDCC_EXPECTS(node < node_count());
+    return in_[node];
+  }
+
+  [[nodiscard]] const Edge& edge(EdgeId id) const {
+    MEDCC_EXPECTS(id < edges_.size());
+    return edges_[id];
+  }
+
+  [[nodiscard]] std::size_t out_degree(NodeId node) const {
+    return out_edges(node).size();
+  }
+  [[nodiscard]] std::size_t in_degree(NodeId node) const {
+    return in_edges(node).size();
+  }
+
+  /// Successor / predecessor node ids (materialized).
+  [[nodiscard]] std::vector<NodeId> successors(NodeId node) const;
+  [[nodiscard]] std::vector<NodeId> predecessors(NodeId node) const;
+
+  /// Nodes with no incoming / outgoing edges.
+  [[nodiscard]] std::vector<NodeId> sources() const;
+  [[nodiscard]] std::vector<NodeId> sinks() const;
+
+  /// Kahn topological order, or nullopt if the graph contains a cycle.
+  [[nodiscard]] std::optional<std::vector<NodeId>> topological_order() const;
+
+  [[nodiscard]] bool is_acyclic() const {
+    return topological_order().has_value();
+  }
+
+  /// True if `target` is reachable from `origin` along directed edges.
+  [[nodiscard]] bool reachable(NodeId origin, NodeId target) const;
+
+  /// Per-node reachability bitmap from `origin` (BFS).
+  [[nodiscard]] std::vector<bool> reachable_set(NodeId origin) const;
+
+  /// Ids of edges (u,v) for which another u->v path exists; removing them
+  /// leaves an equivalent precedence relation (transitive reduction).
+  [[nodiscard]] std::vector<EdgeId> redundant_edges() const;
+
+private:
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> out_;
+  std::vector<std::vector<EdgeId>> in_;
+};
+
+}  // namespace medcc::dag

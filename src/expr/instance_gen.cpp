@@ -1,0 +1,40 @@
+#include "expr/instance_gen.hpp"
+
+#include "workflow/random_workflow.hpp"
+
+namespace medcc::expr {
+
+const std::vector<ProblemSize>& table4_sizes() {
+  static const std::vector<ProblemSize> sizes = {
+      {5, 6, 3},     {10, 17, 4},   {15, 65, 5},   {20, 80, 5},
+      {25, 201, 5},  {30, 269, 6},  {35, 401, 6},  {40, 434, 6},
+      {45, 473, 6},  {50, 503, 7},  {55, 838, 7},  {60, 842, 7},
+      {65, 993, 7},  {70, 1142, 7}, {75, 1179, 8}, {80, 1352, 8},
+      {85, 1424, 8}, {90, 1825, 8}, {95, 1891, 9}, {100, 2344, 9},
+  };
+  return sizes;
+}
+
+const std::vector<ProblemSize>& fig7_sizes() {
+  static const std::vector<ProblemSize> sizes = {
+      {5, 6, 3}, {6, 11, 3}, {7, 14, 3}, {8, 18, 3}};
+  return sizes;
+}
+
+sched::Instance make_instance(const ProblemSize& size, util::Prng& rng,
+                              const InstanceGenOptions& options) {
+  MEDCC_EXPECTS(size.modules >= 2 && size.types >= 1);
+  workflow::RandomWorkflowSpec spec;
+  spec.modules = size.modules;
+  spec.edges = size.edges;
+  spec.workload_min = options.workload_min;
+  spec.workload_max = options.workload_max;
+  auto wf = workflow::random_workflow(spec, rng);
+  auto catalog = cloud::random_linear_catalog(
+      size.types, options.unit_span * size.types, rng, options.base_power,
+      options.base_price, options.efficiency);
+  return sched::Instance::from_model(std::move(wf), std::move(catalog),
+                                     options.billing);
+}
+
+}  // namespace medcc::expr

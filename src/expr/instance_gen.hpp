@@ -1,0 +1,45 @@
+// Random problem-instance generation for the simulation campaigns of
+// Section VI: a problem size is the 3-tuple (m, |Ew|, n); instances pair a
+// random workflow with an EC2-style linear-priced VM catalog.
+#pragma once
+
+#include <vector>
+
+#include "sched/instance.hpp"
+#include "util/prng.hpp"
+
+namespace medcc::expr {
+
+/// The paper's problem size tuple (m modules, |Ew| links, n VM types).
+struct ProblemSize {
+  std::size_t modules = 0;
+  std::size_t edges = 0;
+  std::size_t types = 0;
+};
+
+/// The 20 problem sizes of Table IV, in order (index 1..20 in the paper).
+[[nodiscard]] const std::vector<ProblemSize>& table4_sizes();
+
+/// The four small-scale sizes of Fig. 7 ((5,6,3) .. (8,18,3)).
+[[nodiscard]] const std::vector<ProblemSize>& fig7_sizes();
+
+/// Generation knobs ("appropriate ranges" in the paper's wording).
+struct InstanceGenOptions {
+  double workload_min = 10.0;
+  double workload_max = 100.0;
+  /// Catalog unit counts are distinct integers in [1, unit_span * types].
+  std::size_t unit_span = 4;
+  double base_power = 1.0;
+  double base_price = 1.0;
+  /// Power-per-unit bonus of larger types (Table I's economy of scale);
+  /// see cloud::random_linear_catalog.
+  double efficiency = 0.25;
+  cloud::BillingPolicy billing = cloud::BillingPolicy::per_unit_time();
+};
+
+/// Deterministically generates the instance for (size, rng stream).
+[[nodiscard]] sched::Instance make_instance(const ProblemSize& size,
+                                            util::Prng& rng,
+                                            const InstanceGenOptions& options = {});
+
+}  // namespace medcc::expr

@@ -1,0 +1,43 @@
+// Monte-Carlo robustness assessment of a schedule: the paper schedules
+// against *measured/estimated* execution times (Table VI notes the module
+// times "remain stable"), but real runs jitter. This module samples
+// perturbed realizations of the module durations and reports the
+// distribution of the realized end-to-end delay -- so a user can pick a
+// budget with a makespan guarantee instead of a point estimate.
+#pragma once
+
+#include "sched/schedule.hpp"
+#include "util/prng.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+
+namespace medcc::expr {
+
+struct RobustnessOptions {
+  std::size_t trials = 500;
+  /// Relative duration noise: each module's realized duration is
+  /// nominal * max(0.05, 1 + N(0, noise)).
+  double noise = 0.1;
+  std::uint64_t seed = 1;
+};
+
+struct RobustnessReport {
+  double nominal_med = 0.0;   ///< deterministic MED of the schedule
+  double mean = 0.0;
+  double stddev = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double max = 0.0;
+  std::vector<double> samples;  ///< realized MEDs, one per trial
+
+  /// Fraction of trials whose realized MED exceeds `deadline`.
+  [[nodiscard]] double miss_rate(double deadline) const;
+};
+
+/// Samples `options.trials` perturbed realizations in parallel on `pool`.
+/// Deterministic given options.seed (per-trial forked PRNG streams).
+[[nodiscard]] RobustnessReport assess_robustness(
+    const sched::Instance& inst, const sched::Schedule& schedule,
+    util::ThreadPool& pool, const RobustnessOptions& options = {});
+
+}  // namespace medcc::expr

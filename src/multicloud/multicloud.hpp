@@ -1,0 +1,144 @@
+// Multi-cloud workflow scheduling -- the paper's stated future work:
+// "We also plan to incorporate the cost of inter-cloud data movement into
+//  workflow scheduling in multi-cloud environments. Such data transfer may
+//  pose some restrictions on VM provisioning as we need to consider VMs'
+//  connectivity to support inter-module communication based on the
+//  available bandwidth in the cloud infrastructure."
+//
+// The model generalizes Section III: a module is mapped to a (cloud site,
+// VM type) pair. Transfers within a site remain free and instantaneous
+// (shared storage); transfers between sites take DS/BW + d time and cost
+// CR * DS (Eqs. 4-5 with CR > 0).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cloud/billing.hpp"
+#include "cloud/cost_model.hpp"
+#include "cloud/vm_type.hpp"
+#include "dag/critical_path.hpp"
+#include "workflow/workflow.hpp"
+
+namespace medcc::multicloud {
+
+using workflow::NodeId;
+using workflow::Workflow;
+
+/// One IaaS provider/datacenter with its own VM catalog.
+struct CloudSite {
+  std::string name;
+  cloud::VmCatalog catalog;
+};
+
+/// Directed inter-site link parameters (applied to every site pair unless
+/// overridden; intra-site transfers are always free and instantaneous).
+struct InterCloudLink {
+  double bandwidth = 0.0;          ///< data units per time unit; 0 = infinite
+  double delay = 0.0;              ///< d'_pq
+  double cost_per_unit = 0.0;      ///< CR
+};
+
+/// The federation: sites plus a default inter-site link (optionally
+/// overridden per ordered pair).
+class Federation {
+public:
+  Federation(std::vector<CloudSite> sites, InterCloudLink default_link);
+
+  [[nodiscard]] std::size_t site_count() const { return sites_.size(); }
+  [[nodiscard]] const CloudSite& site(std::size_t s) const {
+    MEDCC_EXPECTS(s < sites_.size());
+    return sites_[s];
+  }
+
+  /// Overrides the link for the ordered pair (from, to).
+  void set_link(std::size_t from, std::size_t to, InterCloudLink link);
+
+  [[nodiscard]] const InterCloudLink& link(std::size_t from,
+                                           std::size_t to) const;
+
+  /// Transfer time / cost of `data` units from site a to site b.
+  [[nodiscard]] double transfer_time(std::size_t a, std::size_t b,
+                                     double data) const;
+  [[nodiscard]] double transfer_cost(std::size_t a, std::size_t b,
+                                     double data) const;
+
+private:
+  std::vector<CloudSite> sites_;
+  InterCloudLink default_link_;
+  /// Sparse overrides keyed by from * site_count + to.
+  std::vector<std::pair<std::size_t, InterCloudLink>> overrides_;
+};
+
+/// One module's placement.
+struct Placement {
+  std::size_t site = 0;
+  std::size_t type = 0;
+
+  [[nodiscard]] bool operator==(const Placement&) const = default;
+};
+
+/// A multi-cloud schedule: a placement per module id.
+struct McSchedule {
+  std::vector<Placement> of;
+
+  [[nodiscard]] bool operator==(const McSchedule&) const = default;
+};
+
+/// A multi-cloud MED-CC instance.
+class McInstance {
+public:
+  McInstance(Workflow wf, Federation federation,
+             cloud::BillingPolicy billing = cloud::BillingPolicy::per_unit_time());
+
+  [[nodiscard]] const Workflow& workflow() const { return workflow_; }
+  [[nodiscard]] const Federation& federation() const { return federation_; }
+  [[nodiscard]] const cloud::BillingPolicy& billing() const {
+    return billing_;
+  }
+  [[nodiscard]] std::size_t module_count() const {
+    return workflow_.module_count();
+  }
+
+  /// Execution time / billed cost of module i at placement p.
+  [[nodiscard]] double time(NodeId i, const Placement& p) const;
+  [[nodiscard]] double cost(NodeId i, const Placement& p) const;
+
+private:
+  Workflow workflow_;
+  Federation federation_;
+  cloud::BillingPolicy billing_;
+};
+
+/// Full evaluation: critical-path makespan with placement-dependent edge
+/// weights, plus execution and inter-cloud transfer costs.
+struct McEvaluation {
+  double med = 0.0;
+  double cost = 0.0;           ///< execution + transfer
+  double transfer_cost = 0.0;  ///< inter-cloud share of `cost`
+  dag::CpmResult cpm;
+};
+
+[[nodiscard]] McEvaluation evaluate(const McInstance& inst,
+                                    const McSchedule& schedule);
+
+/// The best single-site least-cost schedule: every module on one site,
+/// each at its cheapest type (no inter-cloud transfers). Always feasible;
+/// its cost is the budget floor the multi-cloud CG uses.
+[[nodiscard]] McSchedule single_site_least_cost(const McInstance& inst);
+
+/// Multi-cloud Critical-Greedy: generalizes Alg. 1 -- starting from the
+/// best single-site least-cost schedule, repeatedly move one *critical*
+/// module to the (site, type) placement with the largest end-to-end delay
+/// decrease whose *total* cost increase (execution + incident transfer
+/// cost changes) fits the remaining budget. dT is evaluated on the true
+/// makespan because placement changes also re-weight incident edges.
+struct McResult {
+  McSchedule schedule;
+  McEvaluation eval;
+  std::size_t iterations = 0;
+};
+[[nodiscard]] McResult critical_greedy_mc(const McInstance& inst,
+                                          double budget);
+
+}  // namespace medcc::multicloud

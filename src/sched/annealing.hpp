@@ -1,0 +1,29 @@
+// Simulated annealing for MED-CC: the second standard metaheuristic
+// baseline next to the genetic algorithm. Neighbourhood: change one random
+// module's type; over-budget neighbours are repaired the same way the GA
+// repairs its offspring (cheapest time-per-dollar downgrades), so the walk
+// stays feasible. Geometric cooling with a CG-seeded start.
+#pragma once
+
+#include "sched/schedule.hpp"
+#include "util/prng.hpp"
+
+namespace medcc::sched {
+
+struct AnnealingOptions {
+  std::size_t iterations = 4000;
+  /// Initial temperature as a fraction of the seed schedule's MED.
+  double initial_temperature_fraction = 0.25;
+  double cooling = 0.999;  ///< per-iteration geometric factor
+  std::uint64_t seed = 1;
+  /// Start from Critical-Greedy's schedule (else from least-cost).
+  bool seed_with_cg = true;
+};
+
+/// Runs simulated annealing under budget B; returns the best feasible
+/// schedule visited. Throws Infeasible when B < Cmin. Deterministic given
+/// options.seed.
+[[nodiscard]] Result annealing(const Instance& inst, double budget,
+                               const AnnealingOptions& options = {});
+
+}  // namespace medcc::sched

@@ -1,0 +1,57 @@
+#include "sched/bounds.hpp"
+
+namespace medcc::sched {
+namespace {
+
+template <typename Better>
+Schedule argmin_schedule(const Instance& inst, Better better) {
+  Schedule s;
+  s.type_of.assign(inst.module_count(), 0);
+  for (NodeId i = 0; i < inst.module_count(); ++i) {
+    std::size_t best = 0;
+    for (std::size_t j = 1; j < inst.type_count(); ++j)
+      if (better(inst, i, j, best)) best = j;
+    s.type_of[i] = best;
+  }
+  return s;
+}
+
+}  // namespace
+
+Schedule least_cost_schedule(const Instance& inst) {
+  return argmin_schedule(
+      inst, [](const Instance& in, NodeId i, std::size_t j, std::size_t best) {
+        const double cj = in.cost(i, j), cb = in.cost(i, best);
+        if (cj != cb) return cj < cb;
+        return in.time(i, j) < in.time(i, best);
+      });
+}
+
+Schedule fastest_schedule(const Instance& inst) {
+  return argmin_schedule(
+      inst, [](const Instance& in, NodeId i, std::size_t j, std::size_t best) {
+        const double tj = in.time(i, j), tb = in.time(i, best);
+        if (tj != tb) return tj < tb;
+        return in.cost(i, j) < in.cost(i, best);
+      });
+}
+
+CostBounds cost_bounds(const Instance& inst) {
+  return CostBounds{total_cost(inst, least_cost_schedule(inst)),
+                    total_cost(inst, fastest_schedule(inst))};
+}
+
+std::vector<double> budget_levels(const CostBounds& bounds,
+                                  std::size_t levels) {
+  MEDCC_EXPECTS(levels >= 1);
+  MEDCC_EXPECTS(bounds.cmax >= bounds.cmin);
+  const double delta =
+      (bounds.cmax - bounds.cmin) / static_cast<double>(levels);
+  std::vector<double> budgets;
+  budgets.reserve(levels);
+  for (std::size_t k = 1; k <= levels; ++k)
+    budgets.push_back(bounds.cmin + static_cast<double>(k) * delta);
+  return budgets;
+}
+
+}  // namespace medcc::sched

@@ -1,0 +1,33 @@
+// Boundary schedules and the reasonable budget range [Cmin, Cmax]
+// (Section V-B): any budget below Cmin is infeasible, any budget above
+// Cmax buys nothing beyond the fastest schedule.
+#pragma once
+
+#include <vector>
+
+#include "sched/schedule.hpp"
+
+namespace medcc::sched {
+
+/// S_least-cost: each module on its cheapest type; ties -> fastest among
+/// the cheapest (Alg. 1, line 2).
+[[nodiscard]] Schedule least_cost_schedule(const Instance& inst);
+
+/// S_fastest: each module on its fastest type; ties -> cheapest among the
+/// fastest.
+[[nodiscard]] Schedule fastest_schedule(const Instance& inst);
+
+/// [Cmin, Cmax] = [cost(S_least-cost), cost(S_fastest)].
+struct CostBounds {
+  double cmin = 0.0;
+  double cmax = 0.0;
+};
+[[nodiscard]] CostBounds cost_bounds(const Instance& inst);
+
+/// The paper's budget sweep: `levels` budgets from Cmin to Cmax at a
+/// uniform interval dC = (Cmax-Cmin)/levels, i.e. Cmin + k*dC for
+/// k = 1..levels (level `levels` == Cmax). levels >= 1.
+[[nodiscard]] std::vector<double> budget_levels(const CostBounds& bounds,
+                                                std::size_t levels);
+
+}  // namespace medcc::sched

@@ -1,0 +1,58 @@
+// Critical-Greedy (Alg. 1 of the paper), the proposed MED-CC heuristic.
+//
+// Starting from the least-cost schedule, the algorithm repeatedly
+//   1. recomputes the critical path of the currently mapped workflow,
+//   2. over all critical modules and all VM types, finds the reassignment
+//      with the largest execution-time decrease dT whose cost increase dC
+//      fits in the remaining budget (ties -> smallest dC),
+//   3. applies it and charges dC against the budget,
+// until no affordable improving reassignment of a critical module exists.
+//
+// Complexity: the CP recomputation is O(m + |Ew|) per round; the candidate
+// scan is O(|CP| * n).
+#pragma once
+
+#include "sched/schedule.hpp"
+
+namespace medcc::sched {
+
+/// Tuning knobs for the ablation study (bench/ablation_candidate_set);
+/// the defaults are exactly Alg. 1.
+struct CriticalGreedyOptions {
+  /// Consider every module, not just critical ones (GAIN-like candidate
+  /// set with CG's absolute-dT criterion).
+  bool all_modules = false;
+  /// Rank candidates by dT/dC instead of absolute dT (GAIN-like criterion
+  /// with CG's critical-only candidate set).
+  bool ratio_criterion = false;
+};
+
+/// Runs Critical-Greedy under budget B.
+/// Throws Infeasible when B < Cmin (Alg. 1, lines 4-5).
+[[nodiscard]] Result critical_greedy(const Instance& inst, double budget,
+                                     const CriticalGreedyOptions& options = {});
+
+/// One applied reassignment of a Critical-Greedy run.
+struct CgMove {
+  NodeId module = 0;
+  std::size_t from_type = 0;
+  std::size_t to_type = 0;
+  double dt = 0.0;         ///< module execution-time decrease (Eq. 10)
+  double dc = 0.0;         ///< cost increase charged (Eq. 11)
+  double med_after = 0.0;  ///< end-to-end delay after applying the move
+  double cost_after = 0.0;
+};
+
+/// The full rescheduling storyline (the Section V-B walkthrough, e.g. at
+/// B=57: w4 then w3 then w6 then w2, ending at MED 6.77 with $1 unused).
+struct CgTrace {
+  Result result;
+  std::vector<CgMove> moves;
+};
+
+/// Same algorithm as critical_greedy, additionally recording every move.
+[[nodiscard]] CgTrace critical_greedy_trace(
+    const Instance& inst, double budget,
+    const CriticalGreedyOptions& options = {});
+
+}  // namespace medcc::sched

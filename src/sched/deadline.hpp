@@ -1,0 +1,48 @@
+// The dual problem: Minimum Cost under a Deadline constraint (MCD) -- the
+// objective of the deadline-constrained related work the paper builds on
+// (Yu et al.'s deadline assignment, Abrishami et al.'s PCP). Two solvers:
+//
+//  * deadline_loss  -- a LOSS-style heuristic: start from the fastest
+//    schedule and repeatedly apply the downgrade with the best cost saving
+//    whose resulting makespan still meets the deadline (ties -> smallest
+//    makespan growth). Polynomial, any instance size.
+//  * min_cost_under_deadline_exact -- branch-and-bound (small instances),
+//    used to validate the heuristic in tests.
+#pragma once
+
+#include <cstdint>
+
+#include "sched/schedule.hpp"
+
+namespace medcc::sched {
+
+/// Result of a deadline-constrained scheduling run.
+struct DeadlineResult {
+  Schedule schedule;
+  Evaluation eval;
+  std::size_t iterations = 0;
+};
+
+/// LOSS-style heuristic. Throws Infeasible when even the fastest schedule
+/// misses the deadline.
+[[nodiscard]] DeadlineResult deadline_loss(const Instance& inst,
+                                           double deadline);
+
+/// Exact minimum-cost schedule with MED <= deadline, by depth-first search
+/// with cost/deadline pruning. Ties on cost break towards smaller MED.
+/// Throws Infeasible when the deadline is unattainable and Error when
+/// `max_nodes` is exceeded.
+[[nodiscard]] DeadlineResult min_cost_under_deadline_exact(
+    const Instance& inst, double deadline,
+    std::uint64_t max_nodes = 200'000'000);
+
+/// Budget a user should request so Critical-Greedy meets `deadline`:
+/// sweeps `levels` budgets over [Cmin, Cmax] and returns the cheapest
+/// *achieved CG cost* whose MED makes the deadline (CG is not
+/// budget-monotone, so this scans rather than bisects).
+/// Throws Infeasible when no swept budget meets the deadline.
+[[nodiscard]] double budget_for_deadline(const Instance& inst,
+                                         double deadline,
+                                         std::size_t levels = 64);
+
+}  // namespace medcc::sched

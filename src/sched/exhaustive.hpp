@@ -1,0 +1,35 @@
+// Exact MED-CC by exhaustive search with branch-and-bound, used for the
+// small-scale optimality comparisons (Table III, Fig. 7). The search
+// enumerates the n^m type assignments depth-first and prunes on
+//  * cost: partial cost + sum of per-module minimum costs of the
+//    unassigned suffix must stay within the budget;
+//  * time: an optimistic makespan (unassigned modules at their fastest
+//    type) must beat the incumbent.
+#pragma once
+
+#include <cstdint>
+
+#include "sched/schedule.hpp"
+
+namespace medcc::sched {
+
+struct ExhaustiveOptions {
+  /// Abort guard: maximum number of search nodes visited. The search
+  /// throws Error when exceeded, so callers never silently get a
+  /// non-optimal "optimal".
+  std::uint64_t max_nodes = 200'000'000;
+};
+
+struct ExhaustiveResult {
+  Schedule schedule;
+  Evaluation eval;
+  std::uint64_t nodes_visited = 0;
+};
+
+/// Returns the optimal schedule (minimum MED, cost <= budget).
+/// Ties on MED are broken towards lower cost.
+/// Throws Infeasible when even the least-cost schedule exceeds the budget.
+[[nodiscard]] ExhaustiveResult exhaustive_optimal(
+    const Instance& inst, double budget, const ExhaustiveOptions& options = {});
+
+}  // namespace medcc::sched

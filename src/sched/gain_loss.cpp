@@ -1,0 +1,238 @@
+#include "sched/gain_loss.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "sched/bounds.hpp"
+
+namespace medcc::sched {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+double cost_eps(double budget) { return 1e-9 * std::max(1.0, budget); }
+
+/// Makespan after hypothetically moving module i to type j.
+double makespan_if(const Instance& inst, std::vector<double>& weights,
+                   NodeId i, std::size_t j) {
+  const double saved = weights[i];
+  weights[i] = inst.time(i, j);
+  const double ms = dag::makespan(inst.workflow().graph(), weights,
+                                  inst.edge_times());
+  weights[i] = saved;
+  return ms;
+}
+
+struct Move {
+  NodeId module = 0;
+  std::size_t type = 0;
+  double weight = 0.0;
+  double dt = 0.0;
+  double dc = 0.0;
+};
+
+}  // namespace
+
+Result gain(const Instance& inst, double budget, GainLossVariant variant,
+            GainMoveSet move_set) {
+  Result result;
+  result.schedule = least_cost_schedule(inst);
+  double current_cost = total_cost(inst, result.schedule);
+  if (budget < current_cost) {
+    std::ostringstream os;
+    os << "gain: budget " << budget << " below least-cost cost "
+       << current_cost;
+    throw Infeasible(os.str());
+  }
+  auto weights = durations(inst, result.schedule);
+  const auto computing = inst.workflow().computing_modules();
+  const double eps = cost_eps(budget);
+
+  // Candidate target types for task i given the current assignment.
+  const auto targets = [&](NodeId i,
+                           std::size_t cur) -> std::vector<std::size_t> {
+    if (move_set == GainMoveSet::AllPairs) {
+      std::vector<std::size_t> all;
+      for (std::size_t j = 0; j < inst.type_count(); ++j)
+        if (j != cur) all.push_back(j);
+      return all;
+    }
+    // FastestType: the single type with minimum execution time for i
+    // (ties -> cheaper).
+    std::size_t best = cur;
+    for (std::size_t j = 0; j < inst.type_count(); ++j) {
+      if (inst.time(i, j) < inst.time(i, best) ||
+          (inst.time(i, j) == inst.time(i, best) &&
+           inst.cost(i, j) < inst.cost(i, best)))
+        best = j;
+    }
+    if (best == cur) return {};
+    return {best};
+  };
+
+  if (variant == GainLossVariant::V3) {
+    // Static weights against the initial least-cost schedule; each task is
+    // reassigned at most once, in descending weight order.
+    std::vector<Move> moves;
+    for (NodeId i : computing) {
+      const std::size_t cur = result.schedule.type_of[i];
+      for (std::size_t j : targets(i, cur)) {
+        const double dt = inst.time(i, cur) - inst.time(i, j);
+        const double dc = inst.cost(i, j) - inst.cost(i, cur);
+        if (dt <= 0.0) continue;
+        moves.push_back(Move{i, j, dc <= 0.0 ? kInf : dt / dc, dt, dc});
+      }
+    }
+    std::stable_sort(moves.begin(), moves.end(),
+                     [](const Move& a, const Move& b) {
+                       if (a.weight != b.weight) return a.weight > b.weight;
+                       return a.dt > b.dt;
+                     });
+    std::vector<bool> moved(inst.module_count(), false);
+    for (const Move& mv : moves) {
+      if (moved[mv.module]) continue;
+      if (mv.dc > budget - current_cost + eps) continue;
+      result.schedule.type_of[mv.module] = mv.type;
+      current_cost += mv.dc;
+      moved[mv.module] = true;
+      ++result.iterations;
+    }
+    result.eval = evaluate(inst, result.schedule);
+    return result;
+  }
+
+  // Variants 1 and 2: fully dynamic greedy.
+  for (;;) {
+    const double left = budget - current_cost;
+    if (left <= eps) break;
+    const double med_cur =
+        variant == GainLossVariant::V2
+            ? dag::makespan(inst.workflow().graph(), weights,
+                            inst.edge_times())
+            : 0.0;
+
+    bool found = false;
+    Move best;
+    for (NodeId i : computing) {
+      const std::size_t cur = result.schedule.type_of[i];
+      for (std::size_t j : targets(i, cur)) {
+        const double dc = inst.cost(i, j) - inst.cost(i, cur);
+        if (dc > left + eps) continue;
+        double dt;
+        if (variant == GainLossVariant::V2) {
+          dt = med_cur - makespan_if(inst, weights, i, j);
+        } else {
+          dt = inst.time(i, cur) - inst.time(i, j);
+        }
+        if (dt <= 0.0) continue;
+        const double w = dc <= 0.0 ? kInf : dt / dc;
+        if (!found || w > best.weight ||
+            (w == best.weight && dt > best.dt)) {
+          found = true;
+          best = Move{i, j, w, dt, dc};
+        }
+      }
+    }
+    if (!found) break;
+    result.schedule.type_of[best.module] = best.type;
+    weights[best.module] = inst.time(best.module, best.type);
+    current_cost += best.dc;
+    ++result.iterations;
+  }
+  result.eval = evaluate(inst, result.schedule);
+  return result;
+}
+
+Result loss(const Instance& inst, double budget, GainLossVariant variant) {
+  const double cmin = total_cost(inst, least_cost_schedule(inst));
+  if (budget < cmin) {
+    std::ostringstream os;
+    os << "loss: budget " << budget << " below least-cost cost " << cmin;
+    throw Infeasible(os.str());
+  }
+
+  Result result;
+  result.schedule = fastest_schedule(inst);
+  double current_cost = total_cost(inst, result.schedule);
+  auto weights = durations(inst, result.schedule);
+  const auto computing = inst.workflow().computing_modules();
+  const double eps = cost_eps(budget);
+
+  const auto over_budget = [&] { return current_cost > budget + eps; };
+
+  if (variant == GainLossVariant::V3 && over_budget()) {
+    std::vector<Move> moves;
+    for (NodeId i : computing) {
+      const std::size_t cur = result.schedule.type_of[i];
+      for (std::size_t j = 0; j < inst.type_count(); ++j) {
+        if (j == cur) continue;
+        const double saving = inst.cost(i, cur) - inst.cost(i, j);
+        if (saving <= 0.0) continue;
+        const double loss_t = inst.time(i, j) - inst.time(i, cur);
+        moves.push_back(
+            Move{i, j, loss_t <= 0.0 ? -kInf : loss_t / saving, loss_t,
+                 -saving});
+      }
+    }
+    std::stable_sort(moves.begin(), moves.end(),
+                     [](const Move& a, const Move& b) {
+                       if (a.weight != b.weight) return a.weight < b.weight;
+                       return a.dc < b.dc;  // bigger saving first on ties
+                     });
+    std::vector<bool> moved(inst.module_count(), false);
+    for (const Move& mv : moves) {
+      if (!over_budget()) break;
+      if (moved[mv.module]) continue;
+      result.schedule.type_of[mv.module] = mv.type;
+      weights[mv.module] = inst.time(mv.module, mv.type);
+      current_cost += mv.dc;
+      moved[mv.module] = true;
+      ++result.iterations;
+    }
+    // The single static pass can leave the schedule above budget (each task
+    // moved at most once, to one target); finish with dynamic downgrades.
+  }
+
+  while (over_budget()) {
+    const double med_cur =
+        variant == GainLossVariant::V2
+            ? dag::makespan(inst.workflow().graph(), weights,
+                            inst.edge_times())
+            : 0.0;
+    bool found = false;
+    Move best;
+    for (NodeId i : computing) {
+      const std::size_t cur = result.schedule.type_of[i];
+      for (std::size_t j = 0; j < inst.type_count(); ++j) {
+        if (j == cur) continue;
+        const double saving = inst.cost(i, cur) - inst.cost(i, j);
+        if (saving <= 0.0) continue;
+        double loss_t;
+        if (variant == GainLossVariant::V2) {
+          loss_t = makespan_if(inst, weights, i, j) - med_cur;
+        } else {
+          loss_t = inst.time(i, j) - inst.time(i, cur);
+        }
+        const double w = loss_t <= 0.0 ? -kInf : loss_t / saving;
+        if (!found || w < best.weight ||
+            (w == best.weight && saving > -best.dc)) {
+          found = true;
+          best = Move{i, j, w, loss_t, -saving};
+        }
+      }
+    }
+    MEDCC_ENSURES(found);  // guaranteed while cost > Cmin
+    result.schedule.type_of[best.module] = best.type;
+    weights[best.module] = inst.time(best.module, best.type);
+    current_cost += best.dc;
+    ++result.iterations;
+  }
+
+  result.eval = evaluate(inst, result.schedule);
+  MEDCC_ENSURES(result.eval.cost <= budget + 1e-6 * std::max(1.0, budget));
+  return result;
+}
+
+}  // namespace medcc::sched

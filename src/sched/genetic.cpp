@@ -1,0 +1,137 @@
+#include "sched/genetic.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "sched/bounds.hpp"
+#include "sched/critical_greedy.hpp"
+
+namespace medcc::sched {
+namespace {
+
+/// Greedy repair: while over budget, apply the downgrade losing the least
+/// time per dollar saved. Terminates because the least-cost schedule fits.
+void repair(const Instance& inst, double budget, Schedule& schedule) {
+  const auto computing = inst.workflow().computing_modules();
+  double cost = total_cost(inst, schedule);
+  while (cost > budget + 1e-9) {
+    NodeId best_module = 0;
+    std::size_t best_type = 0;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    bool found = false;
+    for (NodeId i : computing) {
+      const std::size_t cur = schedule.type_of[i];
+      for (std::size_t j = 0; j < inst.type_count(); ++j) {
+        if (j == cur) continue;
+        const double saving = inst.cost(i, cur) - inst.cost(i, j);
+        if (saving <= 0.0) continue;
+        const double loss = inst.time(i, j) - inst.time(i, cur);
+        const double ratio = loss <= 0.0
+                                 ? -std::numeric_limits<double>::infinity()
+                                 : loss / saving;
+        if (!found || ratio < best_ratio) {
+          found = true;
+          best_ratio = ratio;
+          best_module = i;
+          best_type = j;
+        }
+      }
+    }
+    MEDCC_ENSURES(found);  // guaranteed while cost > Cmin
+    cost += inst.cost(best_module, best_type) -
+            inst.cost(best_module, schedule.type_of[best_module]);
+    schedule.type_of[best_module] = best_type;
+  }
+}
+
+}  // namespace
+
+Result genetic(const Instance& inst, double budget,
+               const GeneticOptions& options) {
+  MEDCC_EXPECTS(options.population >= 2);
+  MEDCC_EXPECTS(options.tournament >= 1);
+  const auto least = least_cost_schedule(inst);
+  const double cmin = total_cost(inst, least);
+  if (budget < cmin)
+    throw Infeasible("genetic: budget below least-cost schedule cost");
+
+  util::Prng rng(options.seed);
+  const auto computing = inst.workflow().computing_modules();
+
+  struct Individual {
+    Schedule schedule;
+    double med = 0.0;
+  };
+  const auto fitness = [&](Schedule schedule) {
+    repair(inst, budget, schedule);
+    Individual ind;
+    ind.med = dag::makespan(inst.workflow().graph(),
+                            durations(inst, schedule), inst.edge_times());
+    ind.schedule = std::move(schedule);
+    return ind;
+  };
+
+  // Seed population.
+  std::vector<Individual> population;
+  population.reserve(options.population);
+  population.push_back(fitness(least));
+  population.push_back(fitness(fastest_schedule(inst)));
+  if (options.seed_with_cg)
+    population.push_back(fitness(critical_greedy(inst, budget).schedule));
+  while (population.size() < options.population) {
+    Schedule random = least;
+    for (NodeId i : computing)
+      random.type_of[i] = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(inst.type_count()) - 1));
+    population.push_back(fitness(std::move(random)));
+  }
+
+  const auto tournament_pick = [&]() -> const Individual& {
+    const Individual* winner = nullptr;
+    for (std::size_t k = 0; k < options.tournament; ++k) {
+      const auto& candidate = population[static_cast<std::size_t>(
+          rng.uniform_int(0,
+                          static_cast<std::int64_t>(population.size()) - 1))];
+      if (!winner || candidate.med < winner->med) winner = &candidate;
+    }
+    return *winner;
+  };
+
+  for (std::size_t gen = 0; gen < options.generations; ++gen) {
+    std::vector<Individual> next;
+    next.reserve(options.population);
+    // Elitism: carry the best individual forward untouched.
+    const auto best_it = std::min_element(
+        population.begin(), population.end(),
+        [](const Individual& a, const Individual& b) { return a.med < b.med; });
+    next.push_back(*best_it);
+    while (next.size() < options.population) {
+      Schedule child = tournament_pick().schedule;
+      if (rng.bernoulli(options.crossover_rate)) {
+        const auto& other = tournament_pick().schedule;
+        for (NodeId i : computing)
+          if (rng.bernoulli(0.5)) child.type_of[i] = other.type_of[i];
+      }
+      for (NodeId i : computing) {
+        if (rng.bernoulli(options.mutation_rate)) {
+          child.type_of[i] = static_cast<std::size_t>(rng.uniform_int(
+              0, static_cast<std::int64_t>(inst.type_count()) - 1));
+        }
+      }
+      next.push_back(fitness(std::move(child)));
+    }
+    population = std::move(next);
+  }
+
+  const auto best_it = std::min_element(
+      population.begin(), population.end(),
+      [](const Individual& a, const Individual& b) { return a.med < b.med; });
+  Result result;
+  result.schedule = best_it->schedule;
+  result.eval = evaluate(inst, result.schedule);
+  result.iterations = options.generations;
+  MEDCC_ENSURES(result.eval.cost <= budget + 1e-6 * std::max(1.0, budget));
+  return result;
+}
+
+}  // namespace medcc::sched

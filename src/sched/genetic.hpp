@@ -1,0 +1,37 @@
+// A genetic-algorithm scheduler for MED-CC -- the metaheuristic baseline
+// of the related work (Yu, "A budget constrained scheduling of workflow
+// applications on utility grids using genetic algorithms", SC WORKS 2006),
+// adapted to the paper's VM-type model.
+//
+// Chromosome: the type vector of a Schedule. Fitness: MED, with
+// over-budget individuals repaired by greedy downgrades (cheapest
+// cost-per-lost-hour first) rather than penalized, so the whole population
+// stays feasible. Selection: tournament; crossover: uniform; mutation:
+// per-gene type resampling. The population is seeded with the least-cost
+// schedule, the (repaired) fastest schedule, and Critical-Greedy's result,
+// so the GA never returns anything worse than CG.
+#pragma once
+
+#include "sched/schedule.hpp"
+#include "util/prng.hpp"
+
+namespace medcc::sched {
+
+struct GeneticOptions {
+  std::size_t population = 40;
+  std::size_t generations = 60;
+  std::size_t tournament = 3;
+  double crossover_rate = 0.9;
+  double mutation_rate = 0.05;  ///< per gene
+  std::uint64_t seed = 1;
+  /// Seed the population with Critical-Greedy's schedule (recommended);
+  /// disable to measure the GA's unaided quality.
+  bool seed_with_cg = true;
+};
+
+/// Runs the GA under budget B. Throws Infeasible when B < Cmin.
+/// Deterministic given options.seed.
+[[nodiscard]] Result genetic(const Instance& inst, double budget,
+                             const GeneticOptions& options = {});
+
+}  // namespace medcc::sched

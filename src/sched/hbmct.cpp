@@ -1,0 +1,203 @@
+#include "sched/hbmct.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace medcc::sched {
+namespace {
+
+double exec_time(const Instance& inst, NodeId i, const cloud::VmType& mach) {
+  const auto& mod = inst.workflow().module(i);
+  if (mod.is_fixed()) return *mod.fixed_time;
+  return cloud::execution_time(mod.workload, mach);
+}
+
+/// Per-machine busy timeline with insertion-based placement.
+struct MachineLanes {
+  struct Interval {
+    double start, finish;
+  };
+  std::vector<std::vector<Interval>> busy;
+
+  explicit MachineLanes(std::size_t machines) : busy(machines) {}
+
+  /// Earliest start >= ready on machine k for a task of length dur.
+  [[nodiscard]] double earliest_slot(std::size_t k, double ready,
+                                     double dur) const {
+    double slot = ready;
+    for (const auto& iv : busy[k]) {
+      if (slot + dur <= iv.start + 1e-12) break;
+      slot = std::max(slot, iv.finish);
+    }
+    return slot;
+  }
+
+  void occupy(std::size_t k, double start, double finish) {
+    auto& lane = busy[k];
+    lane.insert(std::upper_bound(lane.begin(), lane.end(), start,
+                                 [](double s, const Interval& iv) {
+                                   return s < iv.start;
+                                 }),
+                Interval{start, finish});
+  }
+
+  void release(std::size_t k, double start, double finish) {
+    auto& lane = busy[k];
+    const auto it = std::find_if(lane.begin(), lane.end(),
+                                 [&](const Interval& iv) {
+                                   return std::abs(iv.start - start) < 1e-12 &&
+                                          std::abs(iv.finish - finish) < 1e-12;
+                                 });
+    MEDCC_EXPECTS(it != lane.end());
+    lane.erase(it);
+  }
+};
+
+}  // namespace
+
+HbmctResult hbmct(const Instance& inst,
+                  const std::vector<cloud::VmType>& machines) {
+  if (machines.empty()) throw InvalidArgument("hbmct: empty machine pool");
+  const auto& wf = inst.workflow();
+  const auto& g = wf.graph();
+  const std::size_t m = wf.module_count();
+
+  // Phase 1: upward ranks with mean execution times (as in HEFT).
+  std::vector<double> mean_time(m, 0.0);
+  for (NodeId i = 0; i < m; ++i) {
+    for (const auto& mach : machines) mean_time[i] += exec_time(inst, i, mach);
+    mean_time[i] /= static_cast<double>(machines.size());
+  }
+  const auto order = g.topological_order();
+  MEDCC_EXPECTS(order.has_value());
+  std::vector<double> rank(m, 0.0);
+  for (auto it = order->rbegin(); it != order->rend(); ++it) {
+    const NodeId v = *it;
+    double tail = 0.0;
+    for (dag::EdgeId e : g.out_edges(v)) {
+      const NodeId s = g.edge(e).dst;
+      tail = std::max(tail, inst.edge_time(e) + rank[s]);
+    }
+    rank[v] = mean_time[v] + tail;
+  }
+  std::vector<std::size_t> topo_pos(m);
+  for (std::size_t k = 0; k < order->size(); ++k) topo_pos[(*order)[k]] = k;
+  std::vector<NodeId> by_rank(m);
+  for (NodeId v = 0; v < m; ++v) by_rank[v] = v;
+  std::sort(by_rank.begin(), by_rank.end(), [&](NodeId a, NodeId b) {
+    if (rank[a] != rank[b]) return rank[a] > rank[b];
+    return topo_pos[a] < topo_pos[b];
+  });
+
+  // Phase 2: cut groups of mutually independent tasks along the ranking.
+  std::vector<std::vector<NodeId>> groups;
+  std::vector<bool> in_current(m, false);
+  std::vector<NodeId> current;
+  const auto depends_on_current = [&](NodeId v) {
+    for (NodeId p : g.predecessors(v))
+      if (in_current[p]) return true;
+    return false;
+  };
+  for (NodeId v : by_rank) {
+    if (depends_on_current(v)) {
+      groups.push_back(current);
+      for (NodeId u : current) in_current[u] = false;
+      current.clear();
+    }
+    current.push_back(v);
+    in_current[v] = true;
+  }
+  if (!current.empty()) groups.push_back(current);
+
+  // Phase 3: per group, MCT assignment + rebalancing.
+  HbmctResult result;
+  result.groups = groups.size();
+  result.placement.assign(m, {});
+  MachineLanes lanes(machines.size());
+  std::vector<bool> placed(m, false);
+
+  const auto ready_time = [&](NodeId v) {
+    double ready = 0.0;
+    for (dag::EdgeId e : g.in_edges(v)) {
+      const NodeId p = g.edge(e).src;
+      MEDCC_EXPECTS(placed[p]);
+      ready = std::max(ready, result.placement[p].finish + inst.edge_time(e));
+    }
+    return ready;
+  };
+
+  const auto place = [&](NodeId v, std::size_t k) {
+    const double dur = exec_time(inst, v, machines[k]);
+    const double start = lanes.earliest_slot(k, ready_time(v), dur);
+    result.placement[v] = HeftPlacement{k, start, start + dur};
+    lanes.occupy(k, start, start + dur);
+    placed[v] = true;
+  };
+  const auto unplace = [&](NodeId v) {
+    const auto& p = result.placement[v];
+    lanes.release(p.machine, p.start, p.finish);
+    placed[v] = false;
+  };
+  const auto best_machine = [&](NodeId v) {
+    std::size_t best = 0;
+    double best_finish = std::numeric_limits<double>::infinity();
+    for (std::size_t k = 0; k < machines.size(); ++k) {
+      const double dur = exec_time(inst, v, machines[k]);
+      const double finish = lanes.earliest_slot(k, ready_time(v), dur) + dur;
+      if (finish < best_finish - 1e-12) {
+        best_finish = finish;
+        best = k;
+      }
+    }
+    return best;
+  };
+
+  for (const auto& group : groups) {
+    // Initial MCT assignment in rank order.
+    for (NodeId v : group) place(v, best_machine(v));
+
+    // Rebalance: move a task off the group's latest-finishing machine when
+    // that strictly improves the group completion time. The move cap is a
+    // safety net against fp-tolerance ping-pong; each accepted move
+    // strictly lowers the moved task's finish, so it never binds in
+    // practice.
+    bool improved = true;
+    std::size_t moves_left = 10 * group.size() * machines.size();
+    while (improved && moves_left-- > 0) {
+      improved = false;
+      // Group completion and its defining task.
+      NodeId worst_task = group.front();
+      for (NodeId v : group)
+        if (result.placement[v].finish >
+            result.placement[worst_task].finish)
+          worst_task = v;
+      const double group_finish = result.placement[worst_task].finish;
+      // Try every alternative machine for the defining task.
+      const auto saved = result.placement[worst_task];
+      unplace(worst_task);
+      std::size_t best = saved.machine;
+      double best_finish = group_finish;
+      for (std::size_t k = 0; k < machines.size(); ++k) {
+        if (k == saved.machine) continue;
+        const double dur = exec_time(inst, worst_task, machines[k]);
+        const double finish =
+            lanes.earliest_slot(k, ready_time(worst_task), dur) + dur;
+        if (finish < best_finish - 1e-12) {
+          best_finish = finish;
+          best = k;
+        }
+      }
+      place(worst_task, best);
+      if (best != saved.machine) {
+        improved = true;
+        ++result.rebalance_moves;
+      }
+    }
+  }
+
+  for (const auto& p : result.placement)
+    result.makespan = std::max(result.makespan, p.finish);
+  return result;
+}
+
+}  // namespace medcc::sched

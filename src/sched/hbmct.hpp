@@ -1,0 +1,35 @@
+// HBMCT -- Hybrid Balanced Minimum Completion Time (Sakellariou & Zhao,
+// IPDPS 2004), the second makespan baseline the related-work section
+// names: "HBMCT first assigns weights to the nodes and edges of a workflow
+// graph, and then partitions the nodes into ordered groups and schedules
+// independent tasks within each group."
+//
+// Like HEFT it maps modules onto a bounded pool of concrete machines.
+// Phases:
+//  1. rank tasks by upward rank (mean execution + downstream);
+//  2. walking down the rank order, cut a new *group* whenever a task
+//     depends on a task already in the current group -- groups therefore
+//     contain mutually independent tasks;
+//  3. per group, assign every task to the machine minimizing its
+//     completion time, then rebalance: repeatedly try to move a task off
+//     the group's makespan-defining machine if that lowers the group's
+//     completion time.
+#pragma once
+
+#include "sched/heft.hpp"
+
+namespace medcc::sched {
+
+struct HbmctResult {
+  std::vector<HeftPlacement> placement;  ///< per module id
+  double makespan = 0.0;
+  std::size_t groups = 0;
+  std::size_t rebalance_moves = 0;
+};
+
+/// Schedules the instance's workflow on `machines`. Fixed modules run in
+/// their fixed duration on any machine.
+[[nodiscard]] HbmctResult hbmct(const Instance& inst,
+                                const std::vector<cloud::VmType>& machines);
+
+}  // namespace medcc::sched

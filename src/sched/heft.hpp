@@ -1,0 +1,42 @@
+// HEFT -- Heterogeneous Earliest Finish Time (Topcuoglu, Hariri, Wu 2002),
+// the classic makespan-minimization baseline the related-work section
+// builds on. Unlike the MED-CC schedulers, HEFT maps modules onto a
+// *bounded pool of concrete machines* (several modules can share one
+// machine sequentially), so it exercises the insertion-based scheduling
+// substrate the simulator also validates.
+//
+// With an unbounded pool (one machine of the fastest type per module) HEFT
+// degenerates to the fastest schedule, which is exactly what the
+// LOSS-family seeds use.
+#pragma once
+
+#include <vector>
+
+#include "cloud/vm_type.hpp"
+#include "sched/instance.hpp"
+
+namespace medcc::sched {
+
+/// One module's placement in a HEFT schedule.
+struct HeftPlacement {
+  std::size_t machine = 0;
+  double start = 0.0;
+  double finish = 0.0;
+};
+
+struct HeftResult {
+  std::vector<HeftPlacement> placement;  ///< per module id
+  double makespan = 0.0;
+  /// Upward ranks used for the scheduling order (diagnostics/tests).
+  std::vector<double> upward_rank;
+};
+
+/// Schedules the instance's workflow on `machines` (a concrete pool of VM
+/// instances, each of some catalog type given by its processing power).
+/// Uses mean execution times for ranking and insertion-based earliest
+/// finish time for placement. Fixed modules run in their fixed duration on
+/// any machine.
+[[nodiscard]] HeftResult heft(const Instance& inst,
+                              const std::vector<cloud::VmType>& machines);
+
+}  // namespace medcc::sched

@@ -1,0 +1,93 @@
+#include "sched/instance.hpp"
+
+namespace medcc::sched {
+
+Instance::Instance(Workflow wf, cloud::VmCatalog catalog,
+                   cloud::BillingPolicy billing, cloud::NetworkModel network)
+    : workflow_(std::move(wf)),
+      catalog_(std::move(catalog)),
+      billing_(billing),
+      network_(network) {
+  workflow_.ensure_valid();
+  if (catalog_.empty())
+    throw InvalidArgument("Instance: empty VM catalog");
+}
+
+void Instance::finalize_edges() {
+  const auto& g = workflow_.graph();
+  edge_time_.resize(g.edge_count());
+  total_transfer_cost_ = 0.0;
+  for (dag::EdgeId e = 0; e < g.edge_count(); ++e) {
+    edge_time_[e] = cloud::transfer_time(workflow_.data_size(e), network_);
+    total_transfer_cost_ +=
+        cloud::transfer_cost(workflow_.data_size(e), network_);
+  }
+}
+
+Instance Instance::from_model(Workflow wf, cloud::VmCatalog catalog,
+                              cloud::BillingPolicy billing,
+                              cloud::NetworkModel network) {
+  Instance inst(std::move(wf), std::move(catalog), billing, network);
+  const std::size_t m = inst.workflow_.module_count();
+  const std::size_t n = inst.catalog_.size();
+  inst.te_.assign(m, std::vector<double>(n, 0.0));
+  inst.ce_.assign(m, std::vector<double>(n, 0.0));
+  for (NodeId i = 0; i < m; ++i) {
+    const auto& mod = inst.workflow_.module(i);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (mod.is_fixed()) {
+        inst.te_[i][j] = *mod.fixed_time;
+        inst.ce_[i][j] = 0.0;
+      } else {
+        const double t =
+            cloud::execution_time(mod.workload, inst.catalog_.type(j));
+        inst.te_[i][j] = t;
+        inst.ce_[i][j] =
+            cloud::execution_cost(t, inst.catalog_.type(j), billing);
+      }
+    }
+  }
+  inst.finalize_edges();
+  return inst;
+}
+
+Instance Instance::from_matrix(Workflow wf, cloud::VmCatalog catalog,
+                               const std::vector<std::vector<double>>& times,
+                               cloud::BillingPolicy billing,
+                               cloud::NetworkModel network) {
+  Instance inst(std::move(wf), std::move(catalog), billing, network);
+  const std::size_t m = inst.workflow_.module_count();
+  const std::size_t n = inst.catalog_.size();
+  const auto computing = inst.workflow_.computing_modules();
+  if (times.size() != computing.size())
+    throw InvalidArgument("Instance::from_matrix: row count != computing "
+                          "module count");
+  for (const auto& row : times) {
+    if (row.size() != n)
+      throw InvalidArgument("Instance::from_matrix: column count != types");
+    for (double t : row)
+      if (t < 0.0)
+        throw InvalidArgument("Instance::from_matrix: negative time");
+  }
+
+  inst.te_.assign(m, std::vector<double>(n, 0.0));
+  inst.ce_.assign(m, std::vector<double>(n, 0.0));
+  std::size_t row = 0;
+  for (NodeId i = 0; i < m; ++i) {
+    const auto& mod = inst.workflow_.module(i);
+    if (mod.is_fixed()) {
+      for (std::size_t j = 0; j < n; ++j) inst.te_[i][j] = *mod.fixed_time;
+      continue;
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      inst.te_[i][j] = times[row][j];
+      inst.ce_[i][j] = cloud::execution_cost(times[row][j],
+                                             inst.catalog_.type(j), billing);
+    }
+    ++row;
+  }
+  inst.finalize_edges();
+  return inst;
+}
+
+}  // namespace medcc::sched

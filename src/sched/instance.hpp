@@ -1,0 +1,91 @@
+// A MED-CC problem instance: workflow + VM catalog + billing, with the
+// execution-time matrix TE and execution-cost matrix CE precomputed
+// (Alg. 1, line 1). Matrices can come from the analytic model
+// T(E_ij) = WL_i / VP_j, or be supplied directly (the WRF experiment uses
+// the measured Table VI matrix, which real programs do not reproduce with
+// a proportional model).
+#pragma once
+
+#include <vector>
+
+#include "cloud/billing.hpp"
+#include "cloud/cost_model.hpp"
+#include "cloud/vm_type.hpp"
+#include "workflow/workflow.hpp"
+
+namespace medcc::sched {
+
+using workflow::NodeId;
+using workflow::Workflow;
+
+class Instance {
+public:
+  /// Builds TE from the analytic model (Eq. 6) and CE from Eq. 7.
+  [[nodiscard]] static Instance from_model(
+      Workflow wf, cloud::VmCatalog catalog,
+      cloud::BillingPolicy billing = cloud::BillingPolicy::per_unit_time(),
+      cloud::NetworkModel network = {});
+
+  /// Builds from a measured time matrix: `times[k][j]` is the execution
+  /// time of the k-th computing module (in ascending module id) on catalog
+  /// type j. Fixed modules keep their fixed durations.
+  [[nodiscard]] static Instance from_matrix(
+      Workflow wf, cloud::VmCatalog catalog,
+      const std::vector<std::vector<double>>& times,
+      cloud::BillingPolicy billing = cloud::BillingPolicy::per_unit_time(),
+      cloud::NetworkModel network = {});
+
+  [[nodiscard]] const Workflow& workflow() const { return workflow_; }
+  [[nodiscard]] const cloud::VmCatalog& catalog() const { return catalog_; }
+  [[nodiscard]] const cloud::BillingPolicy& billing() const {
+    return billing_;
+  }
+  [[nodiscard]] const cloud::NetworkModel& network() const { return network_; }
+
+  [[nodiscard]] std::size_t module_count() const {
+    return workflow_.module_count();
+  }
+  [[nodiscard]] std::size_t type_count() const { return catalog_.size(); }
+
+  /// T(E_ij): execution time of module i on VM type j. Fixed modules
+  /// return their fixed duration for every j.
+  [[nodiscard]] double time(NodeId i, std::size_t j) const {
+    MEDCC_EXPECTS(i < te_.size() && j < catalog_.size());
+    return te_[i][j];
+  }
+  /// C(E_ij): billed execution cost of module i on type j (0 for fixed).
+  [[nodiscard]] double cost(NodeId i, std::size_t j) const {
+    MEDCC_EXPECTS(i < ce_.size() && j < catalog_.size());
+    return ce_[i][j];
+  }
+
+  /// Transfer time over dependency edge e under the network model.
+  [[nodiscard]] double edge_time(dag::EdgeId e) const {
+    MEDCC_EXPECTS(e < edge_time_.size());
+    return edge_time_[e];
+  }
+  /// Transfer times for every edge (indexable by EdgeId).
+  [[nodiscard]] const std::vector<double>& edge_times() const {
+    return edge_time_;
+  }
+  /// Total transfer cost (CR * total data); 0 in the single-cloud setting.
+  [[nodiscard]] double total_transfer_cost() const {
+    return total_transfer_cost_;
+  }
+
+private:
+  Instance(Workflow wf, cloud::VmCatalog catalog, cloud::BillingPolicy billing,
+           cloud::NetworkModel network);
+  void finalize_edges();
+
+  Workflow workflow_;
+  cloud::VmCatalog catalog_;
+  cloud::BillingPolicy billing_;
+  cloud::NetworkModel network_;
+  std::vector<std::vector<double>> te_;  ///< [module][type]
+  std::vector<std::vector<double>> ce_;  ///< [module][type]
+  std::vector<double> edge_time_;
+  double total_transfer_cost_ = 0.0;
+};
+
+}  // namespace medcc::sched

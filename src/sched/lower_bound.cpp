@@ -1,0 +1,105 @@
+#include "sched/lower_bound.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+#include <vector>
+
+#include "sched/bounds.hpp"
+#include "sched/critical_greedy.hpp"
+#include "sched/mckp.hpp"
+
+namespace medcc::sched {
+namespace {
+
+/// Minimum achievable total time of the computing modules on `path` when
+/// their combined billed cost may not exceed `path_budget` (the pipeline
+/// MCKP of Section IV); fixed modules contribute their constant times.
+/// Returns +inf when even the cheapest choices exceed the budget (cannot
+/// happen when the caller subtracts true minima, but kept defensive).
+double min_path_time(const Instance& inst, const std::vector<NodeId>& path,
+                     double path_budget, double weight_scale) {
+  double fixed_time = 0.0;
+  MckpInstance mckp;
+  mckp.capacity = path_budget;
+  double k_const = 0.0;
+  std::vector<NodeId> computing;
+  for (NodeId i : path) {
+    if (inst.workflow().module(i).is_fixed()) {
+      fixed_time += *inst.workflow().module(i).fixed_time;
+      continue;
+    }
+    computing.push_back(i);
+    for (std::size_t j = 0; j < inst.type_count(); ++j)
+      k_const = std::max(k_const, inst.time(i, j));
+  }
+  for (NodeId i : computing) {
+    std::vector<MckpItem> cls;
+    for (std::size_t j = 0; j < inst.type_count(); ++j)
+      cls.push_back(MckpItem{k_const - inst.time(i, j), inst.cost(i, j)});
+    mckp.classes.push_back(std::move(cls));
+  }
+  if (mckp.classes.empty()) return fixed_time;
+  const auto solution = solve_mckp_dp(mckp, weight_scale);
+  if (!solution.feasible) return std::numeric_limits<double>::infinity();
+  return fixed_time +
+         k_const * static_cast<double>(mckp.classes.size()) -
+         solution.total_profit;
+}
+
+/// Per-module minimum billed cost.
+double min_cost(const Instance& inst, NodeId i) {
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t j = 0; j < inst.type_count(); ++j)
+    best = std::min(best, inst.cost(i, j));
+  return best;
+}
+
+}  // namespace
+
+double med_lower_bound(const Instance& inst, double budget,
+                       const LowerBoundOptions& options) {
+  const auto bounds = cost_bounds(inst);
+  if (budget < bounds.cmin)
+    throw Infeasible("med_lower_bound: budget below Cmin");
+
+  // Candidate paths: critical paths of the boundary schedules (+ CG's).
+  std::set<std::vector<NodeId>> paths;
+  const auto add_path = [&](const Schedule& s) {
+    const auto eval = evaluate(inst, s);
+    if (!eval.cpm.critical_path.empty())
+      paths.insert(eval.cpm.critical_path);
+  };
+  add_path(fastest_schedule(inst));
+  add_path(least_cost_schedule(inst));
+  if (options.probe_cg_path)
+    add_path(critical_greedy(inst, budget).schedule);
+
+  double total_min_cost = inst.total_transfer_cost();
+  for (NodeId i : inst.workflow().computing_modules())
+    total_min_cost += min_cost(inst, i);
+
+  double bound = 0.0;
+  for (const auto& path : paths) {
+    double others_min = total_min_cost;
+    for (NodeId i : path)
+      if (!inst.workflow().module(i).is_fixed())
+        others_min -= min_cost(inst, i);
+    const double path_budget = budget - others_min;
+    double t = min_path_time(inst, path, path_budget, options.weight_scale);
+    // Transfer delays along the path are type-independent constants.
+    for (std::size_t k = 0; k + 1 < path.size(); ++k) {
+      for (dag::EdgeId e : inst.workflow().graph().out_edges(path[k])) {
+        if (inst.workflow().graph().edge(e).dst == path[k + 1]) {
+          t += inst.edge_time(e);
+          break;
+        }
+      }
+    }
+    if (std::isfinite(t)) bound = std::max(bound, t);
+  }
+  return bound;
+}
+
+}  // namespace medcc::sched

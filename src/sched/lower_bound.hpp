@@ -1,0 +1,37 @@
+// A certified lower bound on the optimal MED under a budget -- usable at
+// problem sizes where the exhaustive search is hopeless, so the benches
+// can report how far Critical-Greedy is from optimal at the paper's
+// largest scales.
+//
+// The bound: fix any source-to-sink path P. Every schedule must run P
+// sequentially, and must spend at least the per-module minimum cost on the
+// modules outside P; therefore
+//
+//   MED_opt(B)  >=  minTime(P | budget B - Cmin(V \ P)),
+//
+// where the inner problem is MED-CC on the pipeline P -- solvable exactly
+// by the Section-IV MCKP reduction. Maximizing over several candidate
+// paths (the critical paths of the fastest / least-cost / CG schedules)
+// tightens the bound.
+#pragma once
+
+#include "sched/schedule.hpp"
+
+namespace medcc::sched {
+
+struct LowerBoundOptions {
+  /// Weight scale for the MCKP DP (see solve_mckp_dp); must make the
+  /// instance's CE entries integral. 1.0 fits integer-rate catalogs,
+  /// 10.0 fits the WRF testbed's {0.1,0.4,0.8} rates.
+  double weight_scale = 1.0;
+  /// Also probe the critical path of Critical-Greedy's own schedule at
+  /// the queried budget (costs one CG run; usually the tightest path).
+  bool probe_cg_path = true;
+};
+
+/// Returns a value <= the optimal MED at `budget` (and <= every feasible
+/// schedule's MED). Throws Infeasible when budget < Cmin.
+[[nodiscard]] double med_lower_bound(const Instance& inst, double budget,
+                                     const LowerBoundOptions& options = {});
+
+}  // namespace medcc::sched

@@ -1,0 +1,215 @@
+#include "sched/mckp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace medcc::sched {
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+std::int64_t scaled_weight(double w, double scale) {
+  const double s = w * scale;
+  const auto rounded = std::llround(s);
+  if (std::abs(s - static_cast<double>(rounded)) > 1e-6 * std::max(1.0, s))
+    throw InvalidArgument(
+        "solve_mckp_dp: weight not integral under the given scale");
+  if (rounded < 0)
+    throw InvalidArgument("solve_mckp_dp: negative weight");
+  return rounded;
+}
+
+}  // namespace
+
+MckpSolution solve_mckp_dp(const MckpInstance& mckp, double weight_scale) {
+  const std::size_t m = mckp.classes.size();
+  MckpSolution solution;
+  if (m == 0) {
+    solution.feasible = true;
+    return solution;
+  }
+  for (const auto& cls : mckp.classes)
+    if (cls.empty())
+      throw InvalidArgument("solve_mckp_dp: empty class");
+
+  const auto capacity = static_cast<std::int64_t>(
+      std::floor(mckp.capacity * weight_scale + 1e-9));
+  if (capacity < 0) return solution;  // infeasible: nothing fits
+  const auto cap = static_cast<std::size_t>(capacity);
+
+  // dp[c] = max profit choosing one item from each processed class with
+  // total scaled weight exactly <= c (monotone closure applied at the end
+  // of each round); choice[k][c] records the item picked for class k.
+  std::vector<double> dp(cap + 1, 0.0);
+  std::vector<std::vector<std::uint32_t>> choice(
+      m, std::vector<std::uint32_t>(cap + 1, 0));
+
+  std::vector<double> next(cap + 1);
+  for (std::size_t k = 0; k < m; ++k) {
+    std::fill(next.begin(), next.end(), kNegInf);
+    for (std::size_t item = 0; item < mckp.classes[k].size(); ++item) {
+      const auto& it = mckp.classes[k][item];
+      const std::int64_t w = scaled_weight(it.weight, weight_scale);
+      if (w > capacity) continue;
+      for (std::size_t c = static_cast<std::size_t>(w); c <= cap; ++c) {
+        const double base = dp[c - static_cast<std::size_t>(w)];
+        if (base == kNegInf) continue;
+        const double candidate = base + it.profit;
+        if (candidate > next[c]) {
+          next[c] = candidate;
+          choice[k][c] = static_cast<std::uint32_t>(item);
+        }
+      }
+    }
+    dp.swap(next);
+  }
+
+  // Best over all capacities; also track the weight used.
+  std::size_t best_c = 0;
+  double best_profit = kNegInf;
+  for (std::size_t c = 0; c <= cap; ++c) {
+    if (dp[c] > best_profit) {
+      best_profit = dp[c];
+      best_c = c;
+    }
+  }
+  if (best_profit == kNegInf) return solution;  // no feasible choice
+
+  solution.feasible = true;
+  solution.total_profit = best_profit;
+  solution.pick.assign(m, 0);
+  std::size_t c = best_c;
+  for (std::size_t k = m; k-- > 0;) {
+    const std::size_t item = choice[k][c];
+    solution.pick[k] = item;
+    const auto w = static_cast<std::size_t>(
+        scaled_weight(mckp.classes[k][item].weight, weight_scale));
+    MEDCC_ENSURES(w <= c);
+    c -= w;
+  }
+  for (std::size_t k = 0; k < m; ++k)
+    solution.total_weight += mckp.classes[k][solution.pick[k]].weight;
+  return solution;
+}
+
+namespace {
+
+struct BbState {
+  const MckpInstance* mckp = nullptr;
+  std::vector<double> max_profit_suffix;
+  std::vector<double> min_weight_suffix;
+  std::vector<std::size_t> current;
+  MckpSolution best;
+  std::uint64_t nodes = 0;
+  std::uint64_t max_nodes = 0;
+
+  void dfs(std::size_t k, double profit, double weight) {
+    if (++nodes > max_nodes)
+      throw Error("solve_mckp_bb: node budget exceeded");
+    if (k == mckp->classes.size()) {
+      if (!best.feasible || profit > best.total_profit ||
+          (profit == best.total_profit && weight < best.total_weight)) {
+        best.feasible = true;
+        best.total_profit = profit;
+        best.total_weight = weight;
+        best.pick = current;
+      }
+      return;
+    }
+    if (best.feasible &&
+        profit + max_profit_suffix[k] <= best.total_profit - 1e-15)
+      return;
+    for (std::size_t item = 0; item < mckp->classes[k].size(); ++item) {
+      const auto& it = mckp->classes[k][item];
+      const double w = weight + it.weight;
+      if (w + min_weight_suffix[k + 1] > mckp->capacity + 1e-9) continue;
+      current[k] = item;
+      dfs(k + 1, profit + it.profit, w);
+    }
+  }
+};
+
+}  // namespace
+
+MckpSolution solve_mckp_bb(const MckpInstance& mckp, std::uint64_t max_nodes) {
+  for (const auto& cls : mckp.classes)
+    if (cls.empty())
+      throw InvalidArgument("solve_mckp_bb: empty class");
+
+  BbState state;
+  state.mckp = &mckp;
+  state.max_nodes = max_nodes;
+  const std::size_t m = mckp.classes.size();
+  state.current.assign(m, 0);
+  state.max_profit_suffix.assign(m + 1, 0.0);
+  state.min_weight_suffix.assign(m + 1, 0.0);
+  for (std::size_t k = m; k-- > 0;) {
+    double maxp = kNegInf;
+    double minw = std::numeric_limits<double>::infinity();
+    for (const auto& it : mckp.classes[k]) {
+      maxp = std::max(maxp, it.profit);
+      minw = std::min(minw, it.weight);
+    }
+    state.max_profit_suffix[k] = state.max_profit_suffix[k + 1] + maxp;
+    state.min_weight_suffix[k] = state.min_weight_suffix[k + 1] + minw;
+  }
+  state.dfs(0, 0.0, 0.0);
+  return state.best;
+}
+
+bool is_pipeline(const Instance& inst) {
+  const auto computing = inst.workflow().computing_modules();
+  const auto& g = inst.workflow().graph();
+  for (NodeId v : computing) {
+    std::size_t computing_preds = 0, computing_succs = 0;
+    for (NodeId p : g.predecessors(v))
+      if (!inst.workflow().module(p).is_fixed()) ++computing_preds;
+    for (NodeId s : g.successors(v))
+      if (!inst.workflow().module(s).is_fixed()) ++computing_succs;
+    if (computing_preds > 1 || computing_succs > 1) return false;
+  }
+  return true;
+}
+
+MckpInstance pipeline_to_mckp(const Instance& inst, double budget) {
+  if (!is_pipeline(inst))
+    throw InvalidArgument("pipeline_to_mckp: workflow is not a pipeline");
+
+  // K >= max T(E_ij) so every profit K - T(E_ij) is non-negative.
+  double k_const = 0.0;
+  const auto computing = inst.workflow().computing_modules();
+  for (NodeId i : computing)
+    for (std::size_t j = 0; j < inst.type_count(); ++j)
+      k_const = std::max(k_const, inst.time(i, j));
+
+  MckpInstance mckp;
+  mckp.capacity = budget - inst.total_transfer_cost();
+  mckp.classes.reserve(computing.size());
+  for (NodeId i : computing) {
+    std::vector<MckpItem> cls;
+    cls.reserve(inst.type_count());
+    for (std::size_t j = 0; j < inst.type_count(); ++j)
+      cls.push_back(MckpItem{k_const - inst.time(i, j), inst.cost(i, j)});
+    mckp.classes.push_back(std::move(cls));
+  }
+  return mckp;
+}
+
+Result pipeline_optimal(const Instance& inst, double budget,
+                        double weight_scale) {
+  const auto mckp = pipeline_to_mckp(inst, budget);
+  const auto solution = solve_mckp_dp(mckp, weight_scale);
+  if (!solution.feasible)
+    throw Infeasible("pipeline_optimal: no schedule fits the budget");
+
+  Result result;
+  result.schedule.type_of.assign(inst.module_count(), 0);
+  const auto computing = inst.workflow().computing_modules();
+  for (std::size_t k = 0; k < computing.size(); ++k)
+    result.schedule.type_of[computing[k]] = solution.pick[k];
+  result.eval = evaluate(inst, result.schedule);
+  return result;
+}
+
+}  // namespace medcc::sched

@@ -1,0 +1,74 @@
+// The Multiple-Choice Knapsack Problem (MCKP) and its correspondence with
+// MED-CC-Pipeline (Section IV of the paper).
+//
+// MCKP: m classes of items, each item with profit p and weight w; choose
+// exactly one item per class maximizing total profit with total weight
+// <= capacity.
+//
+// The paper proves MED-CC NP-complete by showing that its pipeline special
+// case (zero transfer time) *is* MCKP: class i = module w_i, item j = VM
+// type j with weight C(E_ij) and profit K - T(E_ij). We implement
+//  * an exact dynamic program over integer weights,
+//  * a branch-and-bound solver for fractional weights,
+//  * both reduction directions, so the equivalence is executable and
+//    property-tested (tests/sched_mckp_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sched/schedule.hpp"
+
+namespace medcc::sched {
+
+/// One MCKP item.
+struct MckpItem {
+  double profit = 0.0;
+  double weight = 0.0;
+};
+
+/// An MCKP instance: classes of items and a capacity.
+struct MckpInstance {
+  std::vector<std::vector<MckpItem>> classes;
+  double capacity = 0.0;
+};
+
+/// A choice of one item index per class.
+struct MckpSolution {
+  std::vector<std::size_t> pick;
+  double total_profit = 0.0;
+  double total_weight = 0.0;
+  bool feasible = false;
+};
+
+/// Exact DP over integer weights. Weights are scaled by `weight_scale`
+/// and rounded; the caller picks a scale that makes all weights integral
+/// (e.g. 10 for the WRF rates {0.1,0.4,0.8}). Memory/time is
+/// O(total_capacity * total_items) after scaling.
+[[nodiscard]] MckpSolution solve_mckp_dp(const MckpInstance& mckp,
+                                         double weight_scale = 1.0);
+
+/// Exact branch-and-bound for arbitrary real weights. Classes are searched
+/// in order with a linear-relaxation-free optimistic bound (max profit of
+/// the remaining classes); practical for the paper's small-scale sizes.
+[[nodiscard]] MckpSolution solve_mckp_bb(const MckpInstance& mckp,
+                                         std::uint64_t max_nodes = 50'000'000);
+
+/// The Section-IV forward reduction: MED-CC-Pipeline -> MCKP.
+/// `inst` must be a pipeline workflow (every computing module has at most
+/// one computing predecessor/successor); K is chosen as max T(E_ij) so all
+/// profits are non-negative. Throws InvalidArgument otherwise.
+[[nodiscard]] MckpInstance pipeline_to_mckp(const Instance& inst,
+                                            double budget);
+
+/// Solves MED-CC on a pipeline instance exactly via the MCKP DP.
+/// Returns the schedule with minimum total execution time within budget.
+/// `weight_scale` as in solve_mckp_dp.
+[[nodiscard]] Result pipeline_optimal(const Instance& inst, double budget,
+                                      double weight_scale = 1.0);
+
+/// True when the instance's workflow is a chain of computing modules
+/// (optionally bracketed by fixed entry/exit modules).
+[[nodiscard]] bool is_pipeline(const Instance& inst);
+
+}  // namespace medcc::sched

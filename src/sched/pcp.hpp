@@ -1,0 +1,33 @@
+// A Partial-Critical-Paths (PCP) scheduler for the deadline-constrained
+// dual problem -- the related-work heuristic of Abrishami & Naghibzadeh
+// ("Deadline-constrained workflow scheduling in SaaS clouds"), adapted to
+// the paper's VM-type model.
+//
+// The algorithm starts from the all-fastest assignment, then decomposes
+// the workflow into partial critical paths: repeatedly, walking back from
+// an assigned anchor, it chains the not-yet-assigned "critical parent"
+// (the predecessor finishing last) into a path, cheapens that path as a
+// unit (greedy downgrades, cheapest time-per-dollar first) while the
+// whole workflow still meets the deadline, marks it assigned, and recurses
+// into the parents of every path member.
+//
+// Compared with sched::deadline_loss (which downgrades globally), PCP
+// localizes the budget decisions per path -- the trade the original paper
+// makes for scalability; tests and ablation A7 quantify the gap.
+#pragma once
+
+#include "sched/schedule.hpp"
+
+namespace medcc::sched {
+
+struct PcpResult {
+  Schedule schedule;
+  Evaluation eval;
+  std::size_t paths = 0;  ///< partial critical paths processed
+};
+
+/// Minimum-cost-under-deadline via partial critical paths.
+/// Throws Infeasible when even the fastest schedule misses the deadline.
+[[nodiscard]] PcpResult pcp_deadline(const Instance& inst, double deadline);
+
+}  // namespace medcc::sched

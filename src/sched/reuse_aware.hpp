@@ -1,0 +1,33 @@
+// Reuse-aware Critical-Greedy: the synthesis suggested by ablation A10.
+//
+// The paper's CTotal (Eq. 9) charges every module a full rounded-up
+// instance quantum, but Section V-B's own VM-reuse observation means the
+// *billed* cost of a schedule is lower: sequential same-type modules share
+// one VM and its partial quanta. This variant runs the same critical-path
+// greedy loop as Alg. 1 while charging candidate reassignments their
+// *billed-with-reuse* cost delta (plan_vm_reuse uptime billing), so the
+// budget buys strictly more rescheduling.
+//
+// Feasibility is with respect to the billed cost: the schedule's
+// plan_vm_reuse uptime billing never exceeds the budget (which is also an
+// upper bound on what the provider actually charges when the plan's VM
+// sharing is realized, as sim::execute verifies).
+#pragma once
+
+#include "sched/schedule.hpp"
+
+namespace medcc::sched {
+
+struct ReuseAwareResult {
+  Schedule schedule;
+  Evaluation eval;          ///< analytic per-module evaluation (Eq. 8-9)
+  double billed_cost = 0.0; ///< plan_vm_reuse uptime billing of `schedule`
+  std::size_t iterations = 0;
+};
+
+/// Critical-Greedy with reuse-aware billing. Throws Infeasible when the
+/// budget is below the least-cost schedule's *billed* cost.
+[[nodiscard]] ReuseAwareResult critical_greedy_reuse_aware(
+    const Instance& inst, double budget);
+
+}  // namespace medcc::sched

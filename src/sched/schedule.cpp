@@ -1,0 +1,48 @@
+#include "sched/schedule.hpp"
+
+#include <sstream>
+
+namespace medcc::sched {
+
+std::vector<double> durations(const Instance& inst, const Schedule& schedule) {
+  const std::size_t m = inst.module_count();
+  MEDCC_EXPECTS(schedule.type_of.size() == m);
+  std::vector<double> d(m);
+  for (NodeId i = 0; i < m; ++i) {
+    MEDCC_EXPECTS(schedule.type_of[i] < inst.type_count());
+    d[i] = inst.time(i, schedule.type_of[i]);
+  }
+  return d;
+}
+
+Evaluation evaluate(const Instance& inst, const Schedule& schedule) {
+  Evaluation eval;
+  const auto weights = durations(inst, schedule);
+  eval.cpm =
+      dag::compute_cpm(inst.workflow().graph(), weights, inst.edge_times());
+  eval.med = eval.cpm.makespan;
+  eval.cost = total_cost(inst, schedule);
+  return eval;
+}
+
+double total_cost(const Instance& inst, const Schedule& schedule) {
+  MEDCC_EXPECTS(schedule.type_of.size() == inst.module_count());
+  double cost = inst.total_transfer_cost();
+  for (NodeId i = 0; i < inst.module_count(); ++i)
+    cost += inst.cost(i, schedule.type_of[i]);
+  return cost;
+}
+
+std::string to_string(const Instance& inst, const Schedule& schedule) {
+  std::ostringstream os;
+  bool first = true;
+  for (NodeId i : inst.workflow().computing_modules()) {
+    if (!first) os << ' ';
+    first = false;
+    os << inst.workflow().module(i).name << "->"
+       << inst.catalog().type(schedule.type_of[i]).name;
+  }
+  return os.str();
+}
+
+}  // namespace medcc::sched

@@ -1,0 +1,74 @@
+#include "sched/vm_reuse.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace medcc::sched {
+
+ReusePlan plan_vm_reuse(const Instance& inst, const Schedule& schedule) {
+  const auto eval = evaluate(inst, schedule);
+  const auto& wf = inst.workflow();
+
+  // Modules sorted by planned (earliest) start time; ties by id.
+  auto computing = wf.computing_modules();
+  std::stable_sort(computing.begin(), computing.end(),
+                   [&](NodeId a, NodeId b) {
+                     return eval.cpm.est[a] < eval.cpm.est[b];
+                   });
+
+  ReusePlan plan;
+  plan.instance_of.assign(wf.module_count(),
+                          std::numeric_limits<std::size_t>::max());
+
+  const auto& billing = inst.billing();
+  for (NodeId v : computing) {
+    const std::size_t type = schedule.type_of[v];
+    const double start = eval.cpm.est[v];
+    const double finish = eval.cpm.eft[v];
+    const double fresh_billed = billing.billed_time(finish - start);
+
+    // Candidate instances: same type, free before our start, and cheap to
+    // extend -- the incremental billed quanta of keeping the instance up
+    // through the idle gap must not exceed what a fresh instance would
+    // bill. (This makes uptime billing with reuse never worse than the
+    // analytic per-module billing, by induction over modules.)
+    std::size_t best = std::numeric_limits<std::size_t>::max();
+    double best_delta = std::numeric_limits<double>::infinity();
+    for (std::size_t k = 0; k < plan.instances.size(); ++k) {
+      const auto& vm = plan.instances[k];
+      if (vm.type != type) continue;
+      if (vm.last_finish > start + 1e-12) continue;  // still busy
+      const double delta =
+          billing.billed_time(finish - vm.first_start) -
+          billing.billed_time(vm.last_finish - vm.first_start);
+      if (delta > fresh_billed + 1e-12) continue;  // gap too expensive
+      const bool better =
+          best == std::numeric_limits<std::size_t>::max() ||
+          delta < best_delta - 1e-12 ||
+          (delta <= best_delta + 1e-12 &&
+           vm.last_finish > plan.instances[best].last_finish);
+      if (better) {
+        best = k;
+        best_delta = delta;
+      }
+    }
+    if (best == std::numeric_limits<std::size_t>::max()) {
+      plan.instances.push_back(VmInstance{type, {}, start, finish});
+      best = plan.instances.size() - 1;
+    }
+    auto& vm = plan.instances[best];
+    vm.modules.push_back(v);
+    vm.first_start = std::min(vm.first_start, start);
+    vm.last_finish = std::max(vm.last_finish, finish);
+    plan.instance_of[v] = best;
+  }
+
+  for (const auto& vm : plan.instances) {
+    plan.billed_cost_uptime += inst.billing().cost(
+        vm.uptime(), inst.catalog().type(vm.type).cost_rate);
+  }
+  plan.cost_without_reuse = eval.cost - inst.total_transfer_cost();
+  return plan;
+}
+
+}  // namespace medcc::sched

@@ -1,0 +1,44 @@
+// VM reuse analysis (Section V-B and the testbed experiments): once a
+// schedule S maps modules to VM *types*, modules of the same type whose
+// executions cannot overlap in time may share one VM instance, reducing
+// both the number of VMs provisioned and -- under quantum billing -- the
+// actually billed cost (partial quanta are shared).
+//
+// We place each module at its earliest start time (the CPM est) and run a
+// greedy interval assignment per type: a module reuses the instance of its
+// type that became free most recently before the module's start; otherwise
+// a new instance is provisioned.
+#pragma once
+
+#include <vector>
+
+#include "sched/schedule.hpp"
+
+namespace medcc::sched {
+
+/// One provisioned VM instance in the reuse plan.
+struct VmInstance {
+  std::size_t type = 0;
+  std::vector<NodeId> modules;  ///< in execution order
+  double first_start = 0.0;
+  double last_finish = 0.0;
+
+  [[nodiscard]] double uptime() const { return last_finish - first_start; }
+};
+
+struct ReusePlan {
+  std::vector<VmInstance> instances;
+  /// instance index per module id (fixed modules get SIZE_MAX).
+  std::vector<std::size_t> instance_of;
+  /// Billed cost when each instance is kept up from its first start to its
+  /// last finish and billed in whole quanta (uptime billing).
+  double billed_cost_uptime = 0.0;
+  /// Analytic per-module cost (no reuse), for comparison: sum of C(E_ij).
+  double cost_without_reuse = 0.0;
+};
+
+/// Computes the reuse plan for `schedule` on `inst`.
+[[nodiscard]] ReusePlan plan_vm_reuse(const Instance& inst,
+                                      const Schedule& schedule);
+
+}  // namespace medcc::sched

@@ -1,0 +1,74 @@
+#include "sim/bandwidth.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace medcc::sim {
+
+SharedBandwidth::SharedBandwidth(SimEngine& engine,
+                                 double aggregate_bandwidth)
+    : engine_(engine), bandwidth_(aggregate_bandwidth) {
+  if (aggregate_bandwidth <= 0.0)
+    throw InvalidArgument("SharedBandwidth: bandwidth must be positive");
+}
+
+std::size_t SharedBandwidth::active_transfers() const {
+  return static_cast<std::size_t>(
+      std::count_if(transfers_.begin(), transfers_.end(),
+                    [](const Transfer& t) { return !t.done; }));
+}
+
+double SharedBandwidth::current_rate() const {
+  const auto active = active_transfers();
+  return active == 0 ? 0.0 : bandwidth_ / static_cast<double>(active);
+}
+
+void SharedBandwidth::start_transfer(double data,
+                                     std::function<void()> on_done) {
+  MEDCC_EXPECTS(on_done != nullptr);
+  if (data < 0.0) throw InvalidArgument("SharedBandwidth: negative data");
+  if (data == 0.0) {
+    engine_.schedule_in(0.0, std::move(on_done));
+    return;
+  }
+  // Account progress of the existing transfers up to now first.
+  apply_progress();
+  transfers_.push_back(Transfer{data, std::move(on_done), false});
+  recompute();
+}
+
+void SharedBandwidth::apply_progress() {
+  const double elapsed = engine_.now() - last_update_;
+  last_update_ = engine_.now();
+  if (elapsed <= 0.0) return;
+  const double rate = current_rate();
+  if (rate <= 0.0) return;
+  for (auto& t : transfers_)
+    if (!t.done) t.remaining -= rate * elapsed;
+}
+
+void SharedBandwidth::recompute() {
+  apply_progress();
+
+  // Fire everything that has (numerically) finished.
+  for (auto& t : transfers_) {
+    if (!t.done && t.remaining <= 1e-12) {
+      t.done = true;
+      auto cb = std::move(t.on_done);
+      engine_.schedule_in(0.0, std::move(cb));
+    }
+  }
+
+  const double rate = current_rate();
+  if (rate <= 0.0) return;
+  double next = std::numeric_limits<double>::infinity();
+  for (const auto& t : transfers_)
+    if (!t.done) next = std::min(next, t.remaining / rate);
+  const std::uint64_t stamp = ++version_;
+  engine_.schedule_in(next, [this, stamp] {
+    if (stamp != version_) return;  // superseded by a newer recompute
+    recompute();
+  });
+}
+
+}  // namespace medcc::sim

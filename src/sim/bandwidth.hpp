@@ -1,0 +1,51 @@
+// Processor-sharing transfer scheduling: the paper's Eq. 5 gives each
+// transfer a private bandwidth, but a real shared storage system divides
+// its aggregate bandwidth among concurrent transfers. This manager models
+// max-min fair (equal-share) progress: with k active transfers each
+// proceeds at BW/k, and rates are recomputed whenever a transfer starts or
+// finishes. Completion events carry a version stamp so stale events
+// (scheduled before a rate change) are ignored.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace medcc::sim {
+
+/// Shares `aggregate_bandwidth` equally among active transfers.
+class SharedBandwidth {
+public:
+  SharedBandwidth(SimEngine& engine, double aggregate_bandwidth);
+
+  /// Starts a transfer of `data` units; `on_done` fires at completion.
+  /// Zero-size transfers complete via a zero-delay event.
+  void start_transfer(double data, std::function<void()> on_done);
+
+  [[nodiscard]] std::size_t active_transfers() const;
+  [[nodiscard]] double bandwidth() const { return bandwidth_; }
+
+private:
+  struct Transfer {
+    double remaining = 0.0;
+    std::function<void()> on_done;
+    bool done = false;
+  };
+
+  /// Applies progress since the last recompute, then schedules a fresh
+  /// completion event for the transfer finishing next.
+  void recompute();
+  /// Advances every active transfer by (now - last_update) * rate.
+  void apply_progress();
+  [[nodiscard]] double current_rate() const;
+
+  SimEngine& engine_;
+  double bandwidth_;
+  std::vector<Transfer> transfers_;
+  SimTime last_update_ = 0.0;
+  std::uint64_t version_ = 0;
+};
+
+}  // namespace medcc::sim

@@ -1,0 +1,113 @@
+#include "sim/datacenter.hpp"
+
+namespace medcc::sim {
+
+Datacenter::Datacenter(SimEngine& engine, Trace& trace,
+                       DatacenterConfig config,
+                       const cloud::VmCatalog& catalog)
+    : engine_(engine),
+      trace_(trace),
+      config_(std::move(config)),
+      catalog_(catalog) {
+  free_capacity_.reserve(config_.hosts.size());
+  for (const auto& host : config_.hosts) {
+    if (host.capacity <= 0.0)
+      throw InvalidArgument("Datacenter: host capacity must be positive");
+    free_capacity_.push_back(host.capacity);
+  }
+}
+
+std::size_t Datacenter::request_vm(std::size_t type,
+                                   std::function<void()> on_ready) {
+  MEDCC_EXPECTS(type < catalog_.size());
+  MEDCC_EXPECTS(on_ready != nullptr);
+  VmRecord record;
+  record.type = type;
+  record.requested = engine_.now();
+  record.on_ready = std::move(on_ready);
+  vms_.push_back(std::move(record));
+  const std::size_t id = vms_.size() - 1;
+  trace_.record(engine_.now(), TraceKind::VmRequested, id,
+                catalog_.type(type).name);
+  if (!try_boot(id)) waiting_.push_back(id);
+  return id;
+}
+
+bool Datacenter::try_boot(std::size_t vm) {
+  auto& record = vms_[vm];
+  MEDCC_EXPECTS(record.state == VmState::Requested);
+  if (bounded()) {
+    const double need = catalog_.type(record.type).processing_power;
+    std::size_t placed = free_capacity_.size();
+    for (std::size_t h = 0; h < free_capacity_.size(); ++h) {
+      if (free_capacity_[h] + 1e-12 >= need) {
+        placed = h;
+        break;
+      }
+    }
+    if (placed == free_capacity_.size()) return false;
+    free_capacity_[placed] -= need;
+    record.host = placed;
+  }
+  record.state = VmState::Booting;
+  record.boot_started = engine_.now();
+  engine_.schedule_in(config_.vm_boot_time, [this, vm] {
+    auto& r = vms_[vm];
+    r.state = VmState::Ready;
+    r.ready = engine_.now();
+    trace_.record(engine_.now(), TraceKind::VmBooted, vm);
+    if (r.on_ready) {
+      auto cb = std::move(r.on_ready);
+      r.on_ready = nullptr;
+      cb();
+    }
+  });
+  return true;
+}
+
+void Datacenter::stop_vm(std::size_t vm) {
+  MEDCC_EXPECTS(vm < vms_.size());
+  auto& record = vms_[vm];
+  MEDCC_EXPECTS(record.state == VmState::Ready);
+  record.state = VmState::Stopped;
+  record.stopped = engine_.now();
+  trace_.record(engine_.now(), TraceKind::VmStopped, vm);
+  if (bounded() && record.host.has_value()) {
+    free_capacity_[*record.host] +=
+        catalog_.type(record.type).processing_power;
+    // Wake queued requests that now fit (FIFO with skips).
+    for (auto it = waiting_.begin(); it != waiting_.end();) {
+      if (try_boot(*it))
+        it = waiting_.erase(it);
+      else
+        ++it;
+    }
+  }
+}
+
+VmState Datacenter::state(std::size_t vm) const {
+  MEDCC_EXPECTS(vm < vms_.size());
+  return vms_[vm].state;
+}
+
+std::optional<std::size_t> Datacenter::host_of(std::size_t vm) const {
+  MEDCC_EXPECTS(vm < vms_.size());
+  return vms_[vm].host;
+}
+
+SimTime Datacenter::boot_start(std::size_t vm) const {
+  MEDCC_EXPECTS(vm < vms_.size());
+  return vms_[vm].boot_started;
+}
+
+SimTime Datacenter::ready_at(std::size_t vm) const {
+  MEDCC_EXPECTS(vm < vms_.size());
+  return vms_[vm].ready;
+}
+
+SimTime Datacenter::stopped_at(std::size_t vm) const {
+  MEDCC_EXPECTS(vm < vms_.size());
+  return vms_[vm].stopped;
+}
+
+}  // namespace medcc::sim

@@ -1,0 +1,84 @@
+// The cloud-infrastructure layer of the simulator: physical hosts with
+// finite capacity, a first-fit VM allocation policy, and VM lifecycle
+// (request -> boot -> ready -> stopped) with configurable boot latency.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "cloud/vm_type.hpp"
+#include "sim/engine.hpp"
+#include "sim/trace.hpp"
+
+namespace medcc::sim {
+
+/// One physical machine: capacity in processing-power units.
+struct HostSpec {
+  double capacity = 0.0;
+};
+
+struct DatacenterConfig {
+  /// Physical hosts. Empty means an unlimited datacenter (the paper's
+  /// simulation assumption); non-empty enables capacity contention (the
+  /// testbed's 4 VMM nodes).
+  std::vector<HostSpec> hosts;
+  /// T(I_j): VM startup latency (identical across types in the paper's
+  /// testbed since images share one disk size).
+  SimTime vm_boot_time = 0.0;
+};
+
+/// VM lifecycle states.
+enum class VmState { Requested, Booting, Ready, Stopped };
+
+/// Brokered VM provisioning over a SimEngine.
+class Datacenter {
+public:
+  Datacenter(SimEngine& engine, Trace& trace, DatacenterConfig config,
+             const cloud::VmCatalog& catalog);
+
+  /// Requests a VM of catalog type `type`; `on_ready` fires when booted.
+  /// Returns the VM id.
+  std::size_t request_vm(std::size_t type, std::function<void()> on_ready);
+
+  /// Stops a READY VM, freeing host capacity (may boot queued requests).
+  void stop_vm(std::size_t vm);
+
+  [[nodiscard]] VmState state(std::size_t vm) const;
+  [[nodiscard]] std::size_t vm_count() const { return vms_.size(); }
+  /// Host index a VM was placed on (meaningful for bounded datacenters).
+  [[nodiscard]] std::optional<std::size_t> host_of(std::size_t vm) const;
+
+  /// Time the VM's boot started / it became ready / it stopped.
+  [[nodiscard]] SimTime boot_start(std::size_t vm) const;
+  [[nodiscard]] SimTime ready_at(std::size_t vm) const;
+  [[nodiscard]] SimTime stopped_at(std::size_t vm) const;
+
+private:
+  struct VmRecord {
+    std::size_t type = 0;
+    VmState state = VmState::Requested;
+    std::optional<std::size_t> host;
+    SimTime requested = 0.0;
+    SimTime boot_started = 0.0;
+    SimTime ready = 0.0;
+    SimTime stopped = 0.0;
+    std::function<void()> on_ready;
+  };
+
+  [[nodiscard]] bool bounded() const { return !config_.hosts.empty(); }
+  /// Tries to place and boot a requested VM; true on success.
+  bool try_boot(std::size_t vm);
+
+  SimEngine& engine_;
+  Trace& trace_;
+  DatacenterConfig config_;
+  const cloud::VmCatalog& catalog_;
+  std::vector<VmRecord> vms_;
+  std::vector<double> free_capacity_;
+  std::deque<std::size_t> waiting_;
+};
+
+}  // namespace medcc::sim

@@ -1,0 +1,196 @@
+#include "sim/dynamic.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace medcc::sim {
+namespace {
+
+struct FleetVm {
+  std::size_t type = 0;
+  SimTime up_start = 0.0;     ///< spawn time (boot included in the span)
+  SimTime busy_until = 0.0;   ///< end of the last placed execution
+};
+
+struct DynState {
+  const sched::Instance* inst = nullptr;
+  const DynamicOptions* options = nullptr;
+  SimEngine engine;
+  Trace trace;
+  std::vector<FleetVm> fleet;
+  std::vector<std::size_t> pending_inputs;
+  std::vector<bool> finished;
+  std::size_t finished_count = 0;
+  double spent = 0.0;    ///< committed billed cost of the fleet so far
+  double reserve = 0.0;  ///< sum of cheapest placements of unplaced modules
+  std::vector<double> cheapest_cost;  ///< per module, spawn-cheapest
+  DynamicReport report;
+
+  [[nodiscard]] double billed(double span) const {
+    return span <= 0.0 ? 0.0 : inst->billing().billed_time(span);
+  }
+  [[nodiscard]] double rate(std::size_t type) const {
+    return inst->catalog().type(type).cost_rate;
+  }
+
+  /// Places ready module m per the policy and schedules its completion.
+  void place(sched::NodeId m) {
+    const auto& mod = inst->workflow().module(m);
+    if (mod.is_fixed()) {
+      const SimTime finish = engine.now() + *mod.fixed_time;
+      trace.record(engine.now(), TraceKind::ModuleStart, m, mod.name);
+      engine.schedule_at(finish, [this, m] { complete(m); });
+      return;
+    }
+
+    struct Candidate {
+      bool spawn = false;
+      std::size_t vm = 0;    ///< fleet index (reuse) or type (spawn)
+      SimTime start = 0.0;
+      SimTime finish = 0.0;
+      double delta = 0.0;    ///< incremental billed cost
+    };
+    std::vector<Candidate> candidates;
+    // Reuse an existing VM: wait until it frees, extend its billed span.
+    for (std::size_t v = 0; v < fleet.size(); ++v) {
+      const auto& vm = fleet[v];
+      const double t = inst->time(m, vm.type);
+      const SimTime start = std::max(engine.now(), vm.busy_until);
+      const SimTime finish = start + t;
+      const double delta =
+          (billed(finish - vm.up_start) - billed(vm.busy_until - vm.up_start)) *
+          rate(vm.type);
+      candidates.push_back(Candidate{false, v, start, finish, delta});
+    }
+    // Spawn a fresh VM of any type.
+    for (std::size_t j = 0; j < inst->type_count(); ++j) {
+      const double t = inst->time(m, j);
+      const SimTime start = engine.now() + options->vm_boot_time;
+      const SimTime finish = start + t;
+      const double delta =
+          billed(finish - engine.now()) * rate(j);
+      candidates.push_back(Candidate{true, j, start, finish, delta});
+    }
+
+    // Budget guard: a placement is admissible when, after paying its
+    // delta, the remaining budget still covers the cheapest placement of
+    // every module not yet placed (so later modules can always fall back).
+    reserve -= cheapest_cost[m];
+    const auto admissible = [&](const Candidate& c) {
+      return spent + c.delta + reserve <= options->budget + 1e-9;
+    };
+
+    const Candidate* chosen = nullptr;
+    for (const auto& c : candidates) {
+      if (!admissible(c)) continue;
+      if (chosen == nullptr) {
+        chosen = &c;
+        continue;
+      }
+      bool better;
+      if (options->policy == DynamicPolicy::CheapestFirst) {
+        better = c.delta < chosen->delta - 1e-12 ||
+                 (std::abs(c.delta - chosen->delta) <= 1e-12 &&
+                  c.finish < chosen->finish - 1e-12);
+      } else {
+        better = c.finish < chosen->finish - 1e-12 ||
+                 (std::abs(c.finish - chosen->finish) <= 1e-12 &&
+                  c.delta < chosen->delta - 1e-12);
+      }
+      if (better) chosen = &c;
+    }
+    if (chosen == nullptr)
+      throw Infeasible(
+          "dynamic_execute: no placement fits the remaining budget");
+
+    std::size_t fleet_index;
+    if (chosen->spawn) {
+      fleet.push_back(
+          FleetVm{chosen->vm, engine.now(), chosen->finish});
+      fleet_index = fleet.size() - 1;
+      report.vm_types.push_back(chosen->vm);
+      trace.record(engine.now(), TraceKind::VmRequested, fleet_index,
+                   inst->catalog().type(chosen->vm).name);
+    } else {
+      fleet_index = chosen->vm;
+      fleet[fleet_index].busy_until = chosen->finish;
+    }
+    spent += chosen->delta;
+    trace.record(engine.now(), TraceKind::ModuleStart, m, mod.name);
+    report.decisions.push_back(DynamicDecision{
+        m, fleet_index, chosen->spawn, chosen->start, chosen->finish});
+    engine.schedule_at(chosen->finish, [this, m] { complete(m); });
+  }
+
+  void complete(sched::NodeId m) {
+    finished[m] = true;
+    ++finished_count;
+    trace.record(engine.now(), TraceKind::ModuleDone, m,
+                 inst->workflow().module(m).name);
+    report.makespan = std::max(report.makespan, engine.now());
+    const auto& graph = inst->workflow().graph();
+    for (dag::EdgeId e : graph.out_edges(m)) {
+      const sched::NodeId dst = graph.edge(e).dst;
+      engine.schedule_in(inst->edge_time(e), [this, dst] {
+        MEDCC_EXPECTS(pending_inputs[dst] > 0);
+        if (--pending_inputs[dst] == 0) place(dst);
+      });
+    }
+  }
+};
+
+}  // namespace
+
+DynamicReport dynamic_execute(const sched::Instance& inst,
+                              const DynamicOptions& options) {
+  inst.workflow().ensure_valid();
+  if (options.vm_boot_time < 0.0)
+    throw InvalidArgument("dynamic_execute: negative boot time");
+
+  DynState st;
+  st.inst = &inst;
+  st.options = &options;
+  const std::size_t m = inst.module_count();
+  st.pending_inputs.assign(m, 0);
+  st.finished.assign(m, false);
+  st.cheapest_cost.assign(m, 0.0);
+  for (sched::NodeId v = 0; v < m; ++v) {
+    st.pending_inputs[v] = inst.workflow().graph().in_degree(v);
+    if (!inst.workflow().module(v).is_fixed()) {
+      double cheapest = std::numeric_limits<double>::infinity();
+      for (std::size_t j = 0; j < inst.type_count(); ++j) {
+        cheapest = std::min(
+            cheapest, st.billed(options.vm_boot_time + inst.time(v, j)) *
+                          st.rate(j));
+      }
+      st.cheapest_cost[v] = cheapest;
+      st.reserve += cheapest;
+    }
+  }
+  if (st.reserve > options.budget + 1e-9)
+    throw Infeasible(
+        "dynamic_execute: budget below the sum of cheapest placements");
+
+  for (sched::NodeId v = 0; v < m; ++v)
+    if (st.pending_inputs[v] == 0) st.place(v);
+  st.engine.run(10'000'000);
+
+  if (st.finished_count != m)
+    throw Error("dynamic_execute: stalled before completing all modules");
+
+  st.report.billed_cost = 0.0;
+  for (const auto& vm : st.fleet)
+    st.report.billed_cost +=
+        st.billed(vm.busy_until - vm.up_start) * st.rate(vm.type);
+  if (!options.stop_idle_vms) {
+    // Keep-hot accounting: every VM bills until the run ends.
+    st.report.billed_cost = 0.0;
+    for (const auto& vm : st.fleet)
+      st.report.billed_cost +=
+          st.billed(st.report.makespan - vm.up_start) * st.rate(vm.type);
+  }
+  st.report.trace = std::move(st.trace);
+  return st.report;
+}
+
+}  // namespace medcc::sim

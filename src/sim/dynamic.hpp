@@ -1,0 +1,56 @@
+// Online (dynamic) workflow execution: instead of the paper's static
+// schedule computed up front, modules are placed when they become ready --
+// the mode of operation of dynamic schedulers in the related work (e.g.
+// the dynamic critical-path algorithm of Rahman et al.). Each placement
+// decision weighs running on an already-provisioned idle VM against
+// spawning a fresh VM of some type, under a running budget commitment.
+//
+// This gives the simulator a second operating mode and lets the benches
+// quantify what the paper's static, whole-DAG knowledge is worth.
+#pragma once
+
+#include "sched/instance.hpp"
+#include "sim/datacenter.hpp"
+
+namespace medcc::sim {
+
+enum class DynamicPolicy {
+  /// Minimize the module's finish time among affordable placements
+  /// (ties -> cheaper). Falls back to the cheapest placement when nothing
+  /// faster is affordable.
+  MinFinishTime,
+  /// Always take the cheapest placement (greedy frugality).
+  CheapestFirst,
+};
+
+struct DynamicOptions {
+  double budget = std::numeric_limits<double>::infinity();
+  DynamicPolicy policy = DynamicPolicy::MinFinishTime;
+  SimTime vm_boot_time = 0.0;
+  /// Stop idle VMs whose idle time would exceed one billing quantum
+  /// (otherwise they are kept hot until the run ends).
+  bool stop_idle_vms = true;
+};
+
+struct DynamicDecision {
+  sched::NodeId module = 0;
+  std::size_t vm = 0;       ///< index into DynamicReport::vm_types
+  bool spawned = false;     ///< true when a fresh VM was provisioned
+  SimTime start = 0.0;
+  SimTime finish = 0.0;
+};
+
+struct DynamicReport {
+  SimTime makespan = 0.0;
+  double billed_cost = 0.0;
+  std::vector<std::size_t> vm_types;  ///< type of each provisioned VM
+  std::vector<DynamicDecision> decisions;
+  Trace trace;
+};
+
+/// Executes the workflow online. Throws Infeasible when the budget cannot
+/// cover even the per-module cheapest placements.
+[[nodiscard]] DynamicReport dynamic_execute(const sched::Instance& inst,
+                                            const DynamicOptions& options = {});
+
+}  // namespace medcc::sim

@@ -1,0 +1,39 @@
+#include "sim/engine.hpp"
+
+#include <limits>
+#include <utility>
+
+namespace medcc::sim {
+
+void SimEngine::schedule_in(SimTime delay, Handler handler) {
+  if (delay < 0.0) throw InvalidArgument("SimEngine: negative delay");
+  schedule_at(now_ + delay, std::move(handler));
+}
+
+void SimEngine::schedule_at(SimTime at, Handler handler) {
+  MEDCC_EXPECTS(handler != nullptr);
+  if (at < now_ - 1e-12)
+    throw InvalidArgument("SimEngine: event scheduled in the past");
+  queue_.push(Event{at, next_seq_++, std::move(handler)});
+}
+
+SimTime SimEngine::run() {
+  return run(std::numeric_limits<std::size_t>::max());
+}
+
+SimTime SimEngine::run(std::size_t limit) {
+  while (!queue_.empty()) {
+    if (processed_ >= limit)
+      throw Error("SimEngine: event limit exceeded (runaway simulation?)");
+    // priority_queue::top returns const&; move out via const_cast-free copy
+    // of the handler after popping the bookkeeping fields.
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ++processed_;
+    ev.handler();
+  }
+  return now_;
+}
+
+}  // namespace medcc::sim

@@ -1,0 +1,59 @@
+// A minimal discrete-event simulation kernel (the CloudSim substitute's
+// core): a time-ordered event queue with deterministic FIFO ordering for
+// simultaneous events.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace medcc::sim {
+
+using SimTime = double;
+
+/// Event-driven simulation engine. Events are callbacks scheduled at
+/// absolute times; run() drains the queue in (time, insertion order).
+class SimEngine {
+public:
+  using Handler = std::function<void()>;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] std::size_t events_processed() const { return processed_; }
+  [[nodiscard]] bool idle() const { return queue_.empty(); }
+
+  /// Schedules `handler` to fire `delay >= 0` after the current time.
+  void schedule_in(SimTime delay, Handler handler);
+
+  /// Schedules `handler` at absolute time `at >= now()`.
+  void schedule_at(SimTime at, Handler handler);
+
+  /// Processes events until the queue drains. Returns the final time.
+  SimTime run();
+
+  /// Processes events until the queue drains or `limit` events fire;
+  /// throws Error at the limit (runaway guard).
+  SimTime run(std::size_t limit);
+
+private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    Handler handler;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;  // FIFO among simultaneous events
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t processed_ = 0;
+};
+
+}  // namespace medcc::sim

@@ -1,0 +1,258 @@
+#include "sim/executor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+
+#include "sim/bandwidth.hpp"
+#include "util/prng.hpp"
+
+namespace medcc::sim {
+namespace {
+
+constexpr std::size_t kNoVm = static_cast<std::size_t>(-1);
+
+/// Mutable execution state shared by the event handlers.
+struct ExecState {
+  const sched::Instance* inst = nullptr;
+  const sched::Schedule* schedule = nullptr;
+  const ExecutorOptions* options = nullptr;
+  SimEngine engine;
+  Trace trace;
+  std::unique_ptr<Datacenter> datacenter;
+  std::unique_ptr<SharedBandwidth> storage;  ///< set when contention is on
+  util::Prng failure_rng{1};
+
+  // VM plan. A "lane" is one planned VM slot; with failure injection a
+  // lane may consume several datacenter VMs over its lifetime, so every
+  // id is kept for billing.
+  std::vector<std::size_t> vm_type;                  ///< per planned lane
+  std::vector<std::vector<sched::NodeId>> vm_modules;
+  std::vector<std::size_t> vm_of;   ///< per module, kNoVm for fixed
+  std::vector<std::size_t> seq_of;  ///< position within its lane's list
+  std::vector<std::vector<std::size_t>> lane_sim_ids;
+  std::vector<bool> vm_requested;
+  std::vector<bool> vm_ready;
+  std::vector<std::size_t> vm_progress;  ///< completed modules per lane
+
+  // Module state.
+  std::vector<std::size_t> pending_inputs;
+  std::vector<bool> started;
+  std::vector<bool> finished;
+  std::vector<std::size_t> retries;
+  /// Bumped when a module's run is aborted; stale completion/failure
+  /// events compare their stamp against it and fizzle.
+  std::vector<std::uint64_t> run_version;
+  std::vector<ModuleTiming> timing;
+  std::size_t finished_count = 0;
+  std::size_t vm_failures = 0;
+
+  void request_vm(std::size_t lane) {
+    if (vm_requested[lane]) return;
+    vm_requested[lane] = true;
+    lane_sim_ids[lane].push_back(
+        datacenter->request_vm(vm_type[lane], [this, lane] {
+          vm_ready[lane] = true;
+          try_start(vm_modules[lane][vm_progress[lane]]);
+        }));
+  }
+
+  void try_start(sched::NodeId m) {
+    if (started[m] || finished[m] || pending_inputs[m] > 0) return;
+    const auto& mod = inst->workflow().module(m);
+    double duration;
+    if (mod.is_fixed()) {
+      duration = *mod.fixed_time;
+    } else {
+      const std::size_t lane = vm_of[m];
+      if (!vm_ready[lane]) {
+        // Just-in-time provisioning: ask for the VM the first time its
+        // leading module could run (or after a failure).
+        if (seq_of[m] == vm_progress[lane]) request_vm(lane);
+        return;
+      }
+      if (vm_progress[lane] != seq_of[m]) return;  // earlier work pending
+      duration = inst->time(m, schedule->type_of[m]);
+    }
+    started[m] = true;
+    timing[m].start = engine.now();
+    timing[m].vm = vm_of[m];
+    trace.record(engine.now(), TraceKind::ModuleStart, m,
+                 inst->workflow().module(m).name);
+
+    const std::uint64_t stamp = ++run_version[m];
+    // Failure injection: sample the VM's time-to-failure for this run.
+    if (!mod.is_fixed() && options->failures.mtbf > 0.0) {
+      const double u = failure_rng.uniform_real(0.0, 1.0);
+      const double ttf = -options->failures.mtbf * std::log(1.0 - u);
+      if (ttf < duration) {
+        engine.schedule_in(ttf, [this, m, stamp] {
+          if (stamp != run_version[m]) return;
+          on_vm_failure(m);
+        });
+        return;  // the completion event would be stale anyway
+      }
+    }
+    engine.schedule_in(duration, [this, m, stamp] {
+      if (stamp != run_version[m]) return;
+      on_module_done(m);
+    });
+  }
+
+  void on_vm_failure(sched::NodeId m) {
+    const std::size_t lane = vm_of[m];
+    ++vm_failures;
+    if (++retries[m] > options->failures.max_retries_per_module)
+      throw Error("sim::execute: module exceeded the failure retry cap");
+    trace.record(engine.now(), TraceKind::VmFailed, lane_sim_ids[lane].back(),
+                 inst->workflow().module(m).name);
+    ++run_version[m];  // invalidate any in-flight completion
+    started[m] = false;
+    // The crashed VM is gone: stop it (uptime stays billed) and mark the
+    // lane for re-provisioning; completed predecessors' outputs live on
+    // the shared storage, so only this module reruns.
+    datacenter->stop_vm(lane_sim_ids[lane].back());
+    vm_ready[lane] = false;
+    vm_requested[lane] = false;
+    try_start(m);  // triggers the replacement request
+  }
+
+  void on_module_done(sched::NodeId m) {
+    finished[m] = true;
+    ++finished_count;
+    timing[m].finish = engine.now();
+    trace.record(engine.now(), TraceKind::ModuleDone, m,
+                 inst->workflow().module(m).name);
+
+    if (vm_of[m] != kNoVm) {
+      const std::size_t lane = vm_of[m];
+      ++vm_progress[lane];
+      if (vm_progress[lane] == vm_modules[lane].size()) {
+        datacenter->stop_vm(lane_sim_ids[lane].back());
+      } else {
+        // The next module on this lane may already have its inputs.
+        try_start(vm_modules[lane][vm_progress[lane]]);
+      }
+    }
+
+    const auto& graph = inst->workflow().graph();
+    for (dag::EdgeId e : graph.out_edges(m)) {
+      const sched::NodeId dst = graph.edge(e).dst;
+      trace.record(engine.now(), TraceKind::TransferStart, e,
+                   inst->workflow().module(m).name + "->" +
+                       inst->workflow().module(dst).name);
+      auto complete = [this, e, dst] {
+        trace.record(engine.now(), TraceKind::TransferDone, e);
+        MEDCC_EXPECTS(pending_inputs[dst] > 0);
+        --pending_inputs[dst];
+        try_start(dst);
+      };
+      if (storage) {
+        storage->start_transfer(inst->workflow().data_size(e),
+                                std::move(complete));
+      } else {
+        engine.schedule_in(inst->edge_time(e), std::move(complete));
+      }
+    }
+  }
+};
+
+}  // namespace
+
+Report execute(const sched::Instance& inst, const sched::Schedule& schedule,
+               const ExecutorOptions& options) {
+  const auto& wf = inst.workflow();
+  wf.ensure_valid();
+  MEDCC_EXPECTS(schedule.type_of.size() == wf.module_count());
+  if (options.failures.mtbf < 0.0)
+    throw InvalidArgument("sim::execute: negative MTBF");
+
+  const auto analytic = sched::evaluate(inst, schedule);
+
+  ExecState st;
+  st.inst = &inst;
+  st.schedule = &schedule;
+  st.options = &options;
+  st.failure_rng.reseed(options.failures.seed);
+  st.datacenter = std::make_unique<Datacenter>(
+      st.engine, st.trace, options.datacenter, inst.catalog());
+  if (options.shared_storage_bandwidth > 0.0)
+    st.storage = std::make_unique<SharedBandwidth>(
+        st.engine, options.shared_storage_bandwidth);
+
+  // Build the VM plan.
+  st.vm_of.assign(wf.module_count(), kNoVm);
+  st.seq_of.assign(wf.module_count(), 0);
+  if (options.reuse_vms) {
+    const auto plan = sched::plan_vm_reuse(inst, schedule);
+    for (const auto& vm : plan.instances) {
+      st.vm_type.push_back(vm.type);
+      st.vm_modules.push_back(vm.modules);
+    }
+  } else {
+    for (sched::NodeId m : wf.computing_modules()) {
+      st.vm_type.push_back(schedule.type_of[m]);
+      st.vm_modules.push_back({m});
+    }
+  }
+  for (std::size_t vm = 0; vm < st.vm_modules.size(); ++vm) {
+    for (std::size_t k = 0; k < st.vm_modules[vm].size(); ++k) {
+      st.vm_of[st.vm_modules[vm][k]] = vm;
+      st.seq_of[st.vm_modules[vm][k]] = k;
+    }
+  }
+
+  st.pending_inputs.assign(wf.module_count(), 0);
+  for (sched::NodeId m = 0; m < wf.module_count(); ++m)
+    st.pending_inputs[m] = wf.graph().in_degree(m);
+  st.started.assign(wf.module_count(), false);
+  st.finished.assign(wf.module_count(), false);
+  st.retries.assign(wf.module_count(), 0);
+  st.run_version.assign(wf.module_count(), 0);
+  st.timing.assign(wf.module_count(), {});
+  st.vm_ready.assign(st.vm_type.size(), false);
+  st.vm_requested.assign(st.vm_type.size(), false);
+  st.vm_progress.assign(st.vm_type.size(), 0);
+  st.lane_sim_ids.assign(st.vm_type.size(), {});
+
+  if (options.provisioning == Provisioning::UpFront) {
+    for (std::size_t vm = 0; vm < st.vm_type.size(); ++vm) st.request_vm(vm);
+  }
+  // Source modules may start immediately.
+  for (sched::NodeId m = 0; m < wf.module_count(); ++m)
+    if (wf.graph().in_degree(m) == 0) st.try_start(m);
+
+  st.engine.run(10'000'000);
+
+  if (st.finished_count != wf.module_count())
+    throw Error(
+        "sim::execute: simulation stalled before completing all modules "
+        "(insufficient datacenter capacity for the VM plan?)");
+
+  Report report;
+  report.analytic_med = analytic.med;
+  report.analytic_cost = analytic.cost;
+  report.vm_failures = st.vm_failures;
+  report.modules = st.timing;
+  for (const auto& t : st.timing)
+    report.makespan = std::max(report.makespan, t.finish);
+  for (std::size_t lane = 0; lane < st.vm_type.size(); ++lane) {
+    for (std::size_t sim_id : st.lane_sim_ids[lane]) {
+      VmUsage usage;
+      usage.type = st.vm_type[lane];
+      usage.boot_start = st.datacenter->boot_start(sim_id);
+      usage.stopped = st.datacenter->stopped_at(sim_id);
+      usage.modules = st.vm_modules[lane];
+      usage.billed_cost = inst.billing().cost(
+          usage.stopped - usage.boot_start,
+          inst.catalog().type(usage.type).cost_rate);
+      report.billed_cost += usage.billed_cost;
+      report.vms.push_back(std::move(usage));
+    }
+  }
+  report.trace = std::move(st.trace);
+  return report;
+}
+
+}  // namespace medcc::sim

@@ -1,0 +1,65 @@
+#include "sim/gantt.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace medcc::sim {
+
+std::string gantt(const sched::Instance& inst, const Report& report,
+                  const GanttOptions& options) {
+  MEDCC_EXPECTS(options.width >= 10);
+  const auto& wf = inst.workflow();
+  const double horizon = std::max(report.makespan, 1e-12);
+
+  const auto to_col = [&](double t) {
+    auto col = static_cast<std::ptrdiff_t>(
+        t / horizon * static_cast<double>(options.width - 1));
+    return static_cast<std::size_t>(std::clamp<std::ptrdiff_t>(
+        col, 0, static_cast<std::ptrdiff_t>(options.width) - 1));
+  };
+
+  // Lane labels: one per VM, plus a trailing lane for fixed modules.
+  std::vector<std::string> labels;
+  labels.reserve(report.vms.size() + 1);
+  for (std::size_t v = 0; v < report.vms.size(); ++v)
+    labels.push_back("vm" + std::to_string(v) + " (" +
+                     inst.catalog().type(report.vms[v].type).name + ")");
+  labels.push_back("staging");
+  std::size_t label_width = 0;
+  for (const auto& l : labels) label_width = std::max(label_width, l.size());
+
+  std::vector<std::string> lanes(labels.size(),
+                                 std::string(options.width, ' '));
+  for (sched::NodeId m = 0; m < wf.module_count(); ++m) {
+    const auto& timing = report.modules[m];
+    const std::size_t lane = timing.vm == static_cast<std::size_t>(-1)
+                                 ? lanes.size() - 1
+                                 : timing.vm;
+    const std::size_t a = to_col(timing.start);
+    const std::size_t b = std::max(a, to_col(timing.finish));
+    for (std::size_t c = a; c <= b; ++c) lanes[lane][c] = '=';
+    if (options.label_bars) {
+      const auto& name = wf.module(m).name;
+      const std::size_t span = b - a + 1;
+      const std::string text =
+          span >= name.size() + 2 ? name : name.substr(0, 1);
+      const std::size_t at = a + (span - std::min(span, text.size())) / 2;
+      for (std::size_t k = 0; k < text.size() && at + k <= b; ++k)
+        lanes[lane][at + k] = text[k];
+    }
+  }
+
+  std::ostringstream os;
+  for (std::size_t lane = 0; lane < lanes.size(); ++lane) {
+    os << labels[lane]
+       << std::string(label_width - labels[lane].size(), ' ') << " |"
+       << lanes[lane] << "|\n";
+  }
+  os << std::string(label_width + 1, ' ') << '0'
+     << std::string(options.width - 2, ' ') << util::fmt(horizon, 1) << '\n';
+  return os.str();
+}
+
+}  // namespace medcc::sim

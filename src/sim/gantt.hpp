@@ -1,0 +1,24 @@
+// ASCII Gantt rendering of a simulation Report: one lane per VM (plus one
+// for the fixed entry/exit stages), module bars across simulated time --
+// the at-a-glance view of where the makespan goes.
+#pragma once
+
+#include <string>
+
+#include "sim/executor.hpp"
+
+namespace medcc::sim {
+
+struct GanttOptions {
+  std::size_t width = 72;  ///< columns for the time axis
+  /// Label bars with module names when they fit (else first letter).
+  bool label_bars = true;
+};
+
+/// Renders the report's module timings as a Gantt chart. `inst` supplies
+/// names and the VM catalog for lane labels.
+[[nodiscard]] std::string gantt(const sched::Instance& inst,
+                                const Report& report,
+                                const GanttOptions& options = {});
+
+}  // namespace medcc::sim

@@ -1,0 +1,40 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace medcc::sim {
+
+const char* to_string(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::VmRequested: return "VM_REQUESTED";
+    case TraceKind::VmBooted: return "VM_BOOTED";
+    case TraceKind::VmStopped: return "VM_STOPPED";
+    case TraceKind::VmFailed: return "VM_FAILED";
+    case TraceKind::TransferStart: return "TRANSFER_START";
+    case TraceKind::TransferDone: return "TRANSFER_DONE";
+    case TraceKind::ModuleStart: return "MODULE_START";
+    case TraceKind::ModuleDone: return "MODULE_DONE";
+  }
+  return "?";
+}
+
+std::size_t Trace::count(TraceKind kind) const {
+  return static_cast<std::size_t>(
+      std::count_if(records_.begin(), records_.end(),
+                    [&](const TraceRecord& r) { return r.kind == kind; }));
+}
+
+std::string Trace::render() const {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(4);
+  for (const auto& r : records_) {
+    os << '[' << r.time << "] " << to_string(r.kind) << " #" << r.subject;
+    if (!r.detail.empty()) os << " (" << r.detail << ')';
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace medcc::sim

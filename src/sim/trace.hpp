@@ -1,0 +1,53 @@
+// Structured execution traces emitted by the cloud simulator.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace medcc::sim {
+
+enum class TraceKind {
+  VmRequested,
+  VmBooted,
+  VmStopped,
+  VmFailed,
+  TransferStart,
+  TransferDone,
+  ModuleStart,
+  ModuleDone,
+};
+
+[[nodiscard]] const char* to_string(TraceKind kind);
+
+struct TraceRecord {
+  SimTime time = 0.0;
+  TraceKind kind = TraceKind::ModuleStart;
+  /// Module id, VM id, or edge id depending on `kind`.
+  std::size_t subject = 0;
+  std::string detail;
+};
+
+/// Append-only trace; renderable for debugging and assertable in tests.
+class Trace {
+public:
+  void record(SimTime time, TraceKind kind, std::size_t subject,
+              std::string detail = {}) {
+    records_.push_back(TraceRecord{time, kind, subject, std::move(detail)});
+  }
+
+  [[nodiscard]] const std::vector<TraceRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] std::size_t count(TraceKind kind) const;
+
+  /// Human-readable rendering, one record per line.
+  [[nodiscard]] std::string render() const;
+
+private:
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace medcc::sim

@@ -1,0 +1,72 @@
+#include "testbed/nimbus.hpp"
+
+#include <algorithm>
+
+namespace medcc::testbed {
+
+NimbusCloud::NimbusCloud(NimbusConfig config, cloud::VmCatalog catalog)
+    : config_(std::move(config)), catalog_(std::move(catalog)) {
+  if (config_.vmm_capacities.empty())
+    throw InvalidArgument("NimbusCloud: need at least one VMM node");
+  for (double cap : config_.vmm_capacities)
+    if (cap <= 0.0)
+      throw InvalidArgument("NimbusCloud: VMM capacity must be positive");
+  if (config_.image_size_gb < 0.0 || config_.repo_bandwidth_gbps <= 0.0 ||
+      config_.xen_boot_seconds < 0.0)
+    throw InvalidArgument("NimbusCloud: bad image/boot parameters");
+}
+
+std::vector<ProvisionRecord> NimbusCloud::provision_cluster(
+    const std::vector<std::size_t>& types) {
+  // Greedy first-fit placement in request order; per-node serialized image
+  // propagation (the repository streams one image per node link at a time)
+  // followed by the Xen boot.
+  const double propagation =
+      config_.image_size_gb / config_.repo_bandwidth_gbps;
+  std::vector<double> free_capacity = config_.vmm_capacities;
+  std::vector<bool> image_local(free_capacity.size(), false);
+  std::vector<double> node_busy_until(free_capacity.size(), 0.0);
+
+  std::vector<ProvisionRecord> records;
+  records.reserve(types.size());
+  for (std::size_t r = 0; r < types.size(); ++r) {
+    const std::size_t type = types[r];
+    MEDCC_EXPECTS(type < catalog_.size());
+    const double need = catalog_.type(type).processing_power;
+    // First-fit node with spare capacity; the paper's up-front cluster
+    // never releases, so an unplaceable request is an error.
+    std::size_t node = free_capacity.size();
+    for (std::size_t n = 0; n < free_capacity.size(); ++n) {
+      if (free_capacity[n] + 1e-12 >= need) {
+        node = n;
+        break;
+      }
+    }
+    if (node == free_capacity.size())
+      throw Infeasible(
+          "NimbusCloud: virtual cluster exceeds total VMM capacity");
+    free_capacity[node] -= need;
+
+    ProvisionRecord record;
+    record.vm_id = r;
+    record.node = node;
+    record.requested_at = 0.0;
+    double start = node_busy_until[node];
+    double setup = config_.xen_boot_seconds;
+    if (!image_local[node] || !config_.image_cache) setup += propagation;
+    image_local[node] = image_local[node] || config_.image_cache;
+    record.ready_at = start + setup;
+    node_busy_until[node] = record.ready_at;
+    records.push_back(record);
+  }
+  return records;
+}
+
+double NimbusCloud::cluster_ready_time(const std::vector<std::size_t>& types) {
+  const auto records = provision_cluster(types);
+  double ready = 0.0;
+  for (const auto& r : records) ready = std::max(ready, r.ready_at);
+  return ready;
+}
+
+}  // namespace medcc::testbed

@@ -1,0 +1,75 @@
+#include "testbed/programs.hpp"
+
+#include <array>
+#include <atomic>
+#include <cmath>
+#include <mutex>
+#include <thread>
+
+namespace medcc::testbed {
+namespace {
+
+/// One kernel iteration: a small 1-D stencil update, ~32 flops.
+double kernel_block(double seed) {
+  std::array<double, 32> cell{};
+  cell[0] = seed;
+  for (std::size_t i = 1; i < cell.size(); ++i)
+    cell[i] = 0.5 * cell[i - 1] + 0.25;
+  double acc = 0.0;
+  for (std::size_t i = 1; i + 1 < cell.size(); ++i)
+    acc += 0.25 * (cell[i - 1] + 2.0 * cell[i] + cell[i + 1]);
+  return acc;
+}
+
+}  // namespace
+
+double calibrate_kernel() {
+  static std::once_flag flag;
+  static double rate = 0.0;
+  std::call_once(flag, [] {
+    const auto start = std::chrono::steady_clock::now();
+    double sink = 1.0;
+    std::uint64_t iterations = 0;
+    // Run for ~20 ms to estimate throughput.
+    while (std::chrono::steady_clock::now() - start <
+           std::chrono::milliseconds(20)) {
+      for (int k = 0; k < 1000; ++k) sink = kernel_block(sink);
+      iterations += 1000;
+    }
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    rate = static_cast<double>(iterations) / seconds;
+    // Keep the sink observable so the loop is not elided.
+    static std::atomic<double> observable{0.0};
+    observable.store(sink, std::memory_order_relaxed);
+  });
+  return rate;
+}
+
+double run_program(double seconds, ProgramMode mode) {
+  if (seconds <= 0.0) return 0.0;
+  if (mode == ProgramMode::Sleep) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+    return 0.0;
+  }
+  const double rate = calibrate_kernel();
+  const auto iterations = static_cast<std::uint64_t>(seconds * rate);
+  double sink = 1.0;
+  for (std::uint64_t i = 0; i < iterations; ++i) sink = kernel_block(sink);
+  return sink;
+}
+
+const std::array<Program, 5>& wrf_stage_programs() {
+  static const std::array<Program, 5> programs = {{
+      {"ungrib", 10.0},
+      {"metgrid", 8.0},
+      {"real", 35.0},
+      {"wrf", 550.0},
+      {"ARWpost", 120.0},
+  }};
+  return programs;
+}
+
+}  // namespace medcc::testbed

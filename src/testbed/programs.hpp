@@ -1,0 +1,38 @@
+// Synthetic stand-ins for the WRF/WPS binaries (ungrib, metgrid, real,
+// wrf, ARWpost): compute kernels whose wall time is controllable, so the
+// threaded runner exercises a real concurrent execution path without the
+// actual meteorological codes or input data. Two modes:
+//  * sleep  -- precise timed wait (used by tests and the scaled replay);
+//  * compute -- a floating-point stencil loop calibrated to the host, so
+//    the work is real CPU time (used to demo CPU contention effects).
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace medcc::testbed {
+
+enum class ProgramMode { Sleep, Compute };
+
+/// Calibrates the compute kernel: returns iterations per second on this
+/// host (memoized after the first call; thread-safe).
+[[nodiscard]] double calibrate_kernel();
+
+/// Runs the synthetic program for approximately `seconds` wall time in the
+/// given mode. Returns a checksum (compute mode) so the work cannot be
+/// optimized away.
+double run_program(double seconds, ProgramMode mode);
+
+/// A named program of a WRF pipeline stage, for trace readability.
+struct Program {
+  std::string name;
+  double nominal_seconds = 0.0;  ///< duration on the reference VM type
+};
+
+/// The five per-pipeline WRF stages of Fig. 13 with Table VI-scale
+/// nominal durations (seconds on VT1).
+[[nodiscard]] const std::array<Program, 5>& wrf_stage_programs();
+
+}  // namespace medcc::testbed

@@ -1,0 +1,100 @@
+#include "testbed/runner.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sched/vm_reuse.hpp"
+#include "util/prng.hpp"
+
+namespace medcc::testbed {
+
+RunResult run_threaded(const sched::Instance& inst,
+                       const sched::Schedule& schedule,
+                       const RunnerOptions& options) {
+  if (options.time_scale <= 0.0)
+    throw InvalidArgument("run_threaded: time_scale must be positive");
+  const auto& wf = inst.workflow();
+  wf.ensure_valid();
+  MEDCC_EXPECTS(schedule.type_of.size() == wf.module_count());
+
+  const auto analytic = sched::evaluate(inst, schedule);
+
+  // Lane plan: each lane is one worker thread ("VM") with an ordered
+  // module list; fixed modules each get their own lane (they model the
+  // storage-side input/output processes, not VMs).
+  std::vector<std::vector<sched::NodeId>> lanes;
+  if (options.reuse_vms) {
+    const auto plan = sched::plan_vm_reuse(inst, schedule);
+    for (const auto& vm : plan.instances) lanes.push_back(vm.modules);
+  } else {
+    for (sched::NodeId m : wf.computing_modules()) lanes.push_back({m});
+  }
+  std::size_t compute_lanes = lanes.size();
+  for (sched::NodeId m = 0; m < wf.module_count(); ++m)
+    if (wf.module(m).is_fixed()) lanes.push_back({m});
+
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  std::vector<bool> finished(wf.module_count(), false);
+
+  RunResult result;
+  result.analytic_med = analytic.med;
+  result.modules.assign(wf.module_count(), {});
+  result.threads_used = compute_lanes;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  auto elapsed_units = [&] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+               .count() /
+           options.time_scale;
+  };
+
+  auto worker = [&](const std::vector<sched::NodeId>& lane) {
+    for (sched::NodeId m : lane) {
+      // Block until every input of m is available.
+      {
+        std::unique_lock lock(mutex);
+        done_cv.wait(lock, [&] {
+          for (sched::NodeId p : wf.graph().predecessors(m))
+            if (!finished[p]) return false;
+          return true;
+        });
+      }
+      double duration = wf.module(m).is_fixed()
+                            ? *wf.module(m).fixed_time
+                            : inst.time(m, schedule.type_of[m]);
+      if (options.noise > 0.0) {
+        util::Prng stream(options.noise_seed);
+        auto module_stream = stream.fork(m);
+        duration *= std::max(0.0, 1.0 + module_stream.normal(0.0,
+                                                             options.noise));
+      }
+      const double start = elapsed_units();
+      run_program(duration * options.time_scale, options.mode);
+      {
+        std::scoped_lock lock(mutex);
+        result.modules[m].start = start;
+        result.modules[m].finish = elapsed_units();
+        finished[m] = true;
+      }
+      done_cv.notify_all();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(lanes.size());
+  for (const auto& lane : lanes) threads.emplace_back(worker, lane);
+  for (auto& t : threads) t.join();
+
+  result.measured_makespan = 0.0;
+  for (const auto& r : result.modules)
+    result.measured_makespan = std::max(result.measured_makespan, r.finish);
+  return result;
+}
+
+}  // namespace medcc::testbed

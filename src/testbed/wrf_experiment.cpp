@@ -1,0 +1,37 @@
+#include "testbed/wrf_experiment.hpp"
+
+#include "sched/critical_greedy.hpp"
+#include "sched/gain_loss.hpp"
+#include "workflow/wrf.hpp"
+
+namespace medcc::testbed {
+
+sched::Instance wrf_instance() {
+  const auto& te = workflow::wrf_te_matrix();  // [type][module]
+  // Instance::from_matrix wants [module][type].
+  std::vector<std::vector<double>> times(6, std::vector<double>(3));
+  for (std::size_t j = 0; j < 3; ++j)
+    for (std::size_t i = 0; i < 6; ++i) times[i][j] = te[j][i];
+  return sched::Instance::from_matrix(
+      workflow::wrf_experiment_grouped(), cloud::wrf_catalog(), times,
+      cloud::BillingPolicy::per_unit_time());  // unit = 1 second
+}
+
+std::vector<double> wrf_paper_budgets() {
+  return {147.5, 150.0, 155.0, 174.9, 180.1, 186.2};
+}
+
+std::vector<WrfComparisonRow> run_wrf_comparison() {
+  const auto inst = wrf_instance();
+  std::vector<WrfComparisonRow> rows;
+  for (double budget : wrf_paper_budgets()) {
+    WrfComparisonRow row;
+    row.budget = budget;
+    row.cg = sched::critical_greedy(inst, budget);
+    row.gain3 = sched::gain3(inst, budget);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace medcc::testbed

@@ -1,0 +1,31 @@
+// The Section VI-C WRF experiment wiring (Tables V-VII, Fig. 15): the
+// grouped three-pipeline WRF workflow, the measured execution-time matrix
+// of Table VI, per-second billing, and the six budget values the paper
+// evaluates.
+#pragma once
+
+#include <vector>
+
+#include "sched/schedule.hpp"
+
+namespace medcc::testbed {
+
+/// The scheduling instance of the WRF experiment: grouped workflow
+/// (Fig. 14), measured TE matrix (Table VI), Table V catalog, per-second
+/// quantum billing. Cmin = 125.9, Cmax = 243.6 (verified in tests).
+[[nodiscard]] sched::Instance wrf_instance();
+
+/// The six budget values of Table VII.
+[[nodiscard]] std::vector<double> wrf_paper_budgets();
+
+/// One Table VII row: both schedulers at one budget.
+struct WrfComparisonRow {
+  double budget = 0.0;
+  sched::Result cg;
+  sched::Result gain3;
+};
+
+/// Runs Critical-Greedy and GAIN3 at every Table VII budget.
+[[nodiscard]] std::vector<WrfComparisonRow> run_wrf_comparison();
+
+}  // namespace medcc::testbed

@@ -1,0 +1,220 @@
+#include "util/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace medcc::util {
+namespace {
+
+struct Range {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+
+  void cover(double v) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  /// Expands degenerate ranges so that mapping to pixels is well defined.
+  void regularize() {
+    if (lo > hi) {
+      lo = 0.0;
+      hi = 1.0;
+    } else if (lo == hi) {
+      lo -= 0.5;
+      hi += 0.5;
+    }
+  }
+  [[nodiscard]] double span() const { return hi - lo; }
+};
+
+std::size_t to_pixel(double v, const Range& r, std::size_t extent) {
+  const double unit = (v - r.lo) / r.span();
+  auto px = static_cast<std::ptrdiff_t>(
+      std::lround(unit * static_cast<double>(extent - 1)));
+  px = std::clamp<std::ptrdiff_t>(px, 0,
+                                  static_cast<std::ptrdiff_t>(extent) - 1);
+  return static_cast<std::size_t>(px);
+}
+
+}  // namespace
+
+std::string line_plot(std::span<const Series> series,
+                      const PlotOptions& options) {
+  MEDCC_EXPECTS(options.width >= 8 && options.height >= 4);
+  Range xr, yr;
+  for (const auto& s : series) {
+    MEDCC_EXPECTS(s.xs.size() == s.ys.size());
+    for (double x : s.xs) xr.cover(x);
+    for (double y : s.ys) yr.cover(y);
+  }
+  xr.regularize();
+  yr.regularize();
+
+  std::vector<std::string> canvas(options.height,
+                                  std::string(options.width, ' '));
+  for (const auto& s : series) {
+    // Connect consecutive points with linear interpolation so the staircase
+    // of Fig. 6 and the trend lines of Figs. 8-10 read clearly.
+    for (std::size_t i = 0; i + 1 < s.xs.size(); ++i) {
+      const auto steps = static_cast<std::size_t>(options.width);
+      for (std::size_t k = 0; k <= steps; ++k) {
+        const double t = static_cast<double>(k) / static_cast<double>(steps);
+        const double x = s.xs[i] + t * (s.xs[i + 1] - s.xs[i]);
+        const double y = s.ys[i] + t * (s.ys[i + 1] - s.ys[i]);
+        const std::size_t cx = to_pixel(x, xr, options.width);
+        const std::size_t cy = to_pixel(y, yr, options.height);
+        canvas[options.height - 1 - cy][cx] = '.';
+      }
+    }
+    for (std::size_t i = 0; i < s.xs.size(); ++i) {
+      const std::size_t cx = to_pixel(s.xs[i], xr, options.width);
+      const std::size_t cy = to_pixel(s.ys[i], yr, options.height);
+      canvas[options.height - 1 - cy][cx] = s.marker;
+    }
+  }
+
+  std::ostringstream os;
+  if (!options.title.empty()) os << options.title << '\n';
+  for (const auto& s : series)
+    os << "  [" << s.marker << "] " << s.name << '\n';
+  const std::string ylo = fmt(yr.lo, 2), yhi = fmt(yr.hi, 2);
+  const std::size_t lw = std::max(ylo.size(), yhi.size());
+  for (std::size_t r = 0; r < options.height; ++r) {
+    std::string label(lw, ' ');
+    if (r == 0)
+      label = std::string(lw - yhi.size(), ' ') + yhi;
+    else if (r + 1 == options.height)
+      label = std::string(lw - ylo.size(), ' ') + ylo;
+    os << label << " |" << canvas[r] << '\n';
+  }
+  os << std::string(lw + 1, ' ') << '+' << std::string(options.width, '-')
+     << '\n';
+  const std::string xlo = fmt(xr.lo, 2), xhi = fmt(xr.hi, 2);
+  os << std::string(lw + 2, ' ') << xlo
+     << std::string(options.width > xlo.size() + xhi.size()
+                        ? options.width - xlo.size() - xhi.size()
+                        : 1,
+                    ' ')
+     << xhi << '\n';
+  if (!options.x_label.empty())
+    os << std::string(lw + 2, ' ') << "x: " << options.x_label
+       << (options.y_label.empty() ? "" : ", y: " + options.y_label) << '\n';
+  return os.str();
+}
+
+std::string heatmap(const std::vector<std::vector<double>>& cells,
+                    const PlotOptions& options) {
+  MEDCC_EXPECTS(!cells.empty());
+  const std::size_t cols = cells.front().size();
+  MEDCC_EXPECTS(cols > 0);
+  for (const auto& row : cells) MEDCC_EXPECTS(row.size() == cols);
+
+  Range vr;
+  for (const auto& row : cells)
+    for (double v : row) vr.cover(v);
+  vr.regularize();
+
+  static constexpr char kShades[] = " .:-=+*#%@";
+  constexpr std::size_t kLevels = sizeof(kShades) - 2;
+
+  std::ostringstream os;
+  if (!options.title.empty()) os << options.title << '\n';
+  // Print top row (largest row index) first so the y axis increases upward.
+  for (std::size_t r = cells.size(); r-- > 0;) {
+    os.width(4);
+    os << r + 1;
+    os << " |";
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double unit = (cells[r][c] - vr.lo) / vr.span();
+      const auto level = static_cast<std::size_t>(
+          std::lround(unit * static_cast<double>(kLevels)));
+      const char shade = kShades[std::min(level, kLevels)];
+      os << shade << shade;  // double width for a square-ish aspect
+    }
+    os << '\n';
+  }
+  os << "     +" << std::string(cols * 2, '-') << '\n';
+  os << "      1";
+  if (cols > 1) {
+    const std::string last = fmt(cols);
+    os << std::string(cols * 2 > last.size() + 3 ? cols * 2 - last.size() - 1
+                                                 : 1,
+                      ' ')
+       << last;
+  }
+  os << '\n';
+  os << "scale: '" << kShades[0] << "' = " << fmt(vr.lo, 2) << "  ..  '"
+     << kShades[kLevels] << "' = " << fmt(vr.hi, 2) << '\n';
+  if (!options.x_label.empty())
+    os << "x: " << options.x_label << ", y: " << options.y_label << '\n';
+  return os.str();
+}
+
+std::string bar_chart(std::span<const std::string> labels,
+                      std::span<const double> values,
+                      const PlotOptions& options) {
+  MEDCC_EXPECTS(labels.size() == values.size());
+  Range vr;
+  vr.cover(0.0);
+  for (double v : values) vr.cover(v);
+  vr.regularize();
+
+  std::size_t lw = 0;
+  for (const auto& l : labels) lw = std::max(lw, l.size());
+
+  std::ostringstream os;
+  if (!options.title.empty()) os << options.title << '\n';
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const double unit = (values[i] - vr.lo) / vr.span();
+    const auto len = static_cast<std::size_t>(
+        std::lround(unit * static_cast<double>(options.width)));
+    os << labels[i] << std::string(lw - labels[i].size(), ' ') << " |"
+       << std::string(len, '#') << ' ' << fmt(values[i], 2) << '\n';
+  }
+  return os.str();
+}
+
+std::string grouped_bar_chart(std::span<const std::string> group_labels,
+                              std::span<const std::string> series_names,
+                              const std::vector<std::vector<double>>& values,
+                              const PlotOptions& options) {
+  MEDCC_EXPECTS(values.size() == series_names.size());
+  for (const auto& row : values)
+    MEDCC_EXPECTS(row.size() == group_labels.size());
+
+  Range vr;
+  vr.cover(0.0);
+  for (const auto& row : values)
+    for (double v : row) vr.cover(v);
+  vr.regularize();
+
+  static constexpr char kMarks[] = "#=+*%@";
+  std::size_t lw = 0;
+  for (const auto& l : group_labels) lw = std::max(lw, l.size());
+  for (const auto& s : series_names) lw = std::max(lw, s.size() + 4);
+
+  std::ostringstream os;
+  if (!options.title.empty()) os << options.title << '\n';
+  for (std::size_t s = 0; s < series_names.size(); ++s)
+    os << "  [" << kMarks[s % (sizeof(kMarks) - 1)] << "] " << series_names[s]
+       << '\n';
+  for (std::size_t g = 0; g < group_labels.size(); ++g) {
+    for (std::size_t s = 0; s < values.size(); ++s) {
+      const std::string label = (s == 0) ? group_labels[g] : std::string{};
+      const double unit = (values[s][g] - vr.lo) / vr.span();
+      const auto len = static_cast<std::size_t>(
+          std::lround(unit * static_cast<double>(options.width)));
+      os << label << std::string(lw - label.size(), ' ') << " |"
+         << std::string(len, kMarks[s % (sizeof(kMarks) - 1)]) << ' '
+         << fmt(values[s][g], 2) << '\n';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace medcc::util

@@ -1,0 +1,53 @@
+// Terminal plots for regenerating the paper's figures without a GUI:
+// line/staircase charts (Figs. 6, 8-10, 15) and a heatmap (Fig. 11).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace medcc::util {
+
+/// One named series of (x, y) points for a LinePlot.
+struct Series {
+  std::string name;
+  std::vector<double> xs;
+  std::vector<double> ys;
+  char marker = '*';
+};
+
+/// Options controlling plot rendering.
+struct PlotOptions {
+  std::size_t width = 72;   ///< interior columns of the canvas
+  std::size_t height = 20;  ///< interior rows of the canvas
+  std::string x_label;
+  std::string y_label;
+  std::string title;
+};
+
+/// Renders one or more series on a shared axis as ASCII art.
+/// Each series is drawn with its marker; overlapping points show the
+/// marker of the later series.
+[[nodiscard]] std::string line_plot(std::span<const Series> series,
+                                    const PlotOptions& options);
+
+/// Renders a matrix as a shaded heatmap (low " .:-=+*#%@" high), with
+/// row/column indices and a value scale; used for the Fig. 11 surface.
+/// `cells[r][c]` maps row r (bottom-to-top as printed top-down) and col c.
+[[nodiscard]] std::string heatmap(
+    const std::vector<std::vector<double>>& cells, const PlotOptions& options);
+
+/// Renders a horizontal bar chart: one labelled bar per entry.
+[[nodiscard]] std::string bar_chart(std::span<const std::string> labels,
+                                    std::span<const double> values,
+                                    const PlotOptions& options);
+
+/// Renders grouped bars (e.g. CG vs GAIN3 per budget, Fig. 15).
+[[nodiscard]] std::string grouped_bar_chart(
+    std::span<const std::string> group_labels,
+    std::span<const std::string> series_names,
+    const std::vector<std::vector<double>>& values,  // [series][group]
+    const PlotOptions& options);
+
+}  // namespace medcc::util

@@ -1,0 +1,14 @@
+#include "util/error.hpp"
+
+#include <sstream>
+
+namespace medcc::detail {
+
+void contract_failure(const char* kind, const char* expr, const char* file,
+                      int line) {
+  std::ostringstream os;
+  os << kind << " violated: (" << expr << ") at " << file << ':' << line;
+  throw LogicError(os.str());
+}
+
+}  // namespace medcc::detail

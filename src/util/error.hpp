@@ -1,0 +1,59 @@
+// Contract checking and error types shared across the medcc libraries.
+//
+// Follows the C++ Core Guidelines (I.6 / E.x): preconditions are checked with
+// MEDCC_EXPECTS, postconditions with MEDCC_ENSURES, and recoverable errors are
+// reported with exceptions derived from medcc::Error.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace medcc {
+
+/// Base class for all recoverable errors thrown by medcc libraries.
+class Error : public std::runtime_error {
+public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a function argument violates its documented domain.
+class InvalidArgument : public Error {
+public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a problem instance admits no feasible solution
+/// (e.g. budget below the least-cost schedule in MED-CC).
+class Infeasible : public Error {
+public:
+  explicit Infeasible(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when an internal invariant is violated; indicates a bug.
+class LogicError : public std::logic_error {
+public:
+  explicit LogicError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void contract_failure(const char* kind, const char* expr,
+                                   const char* file, int line);
+}  // namespace detail
+
+}  // namespace medcc
+
+/// Precondition check; throws medcc::LogicError on violation.
+#define MEDCC_EXPECTS(expr)                                                  \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::medcc::detail::contract_failure("Precondition", #expr, __FILE__,     \
+                                        __LINE__);                           \
+  } while (false)
+
+/// Postcondition check; throws medcc::LogicError on violation.
+#define MEDCC_ENSURES(expr)                                                  \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::medcc::detail::contract_failure("Postcondition", #expr, __FILE__,    \
+                                        __LINE__);                           \
+  } while (false)

@@ -1,0 +1,37 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace medcc::util {
+namespace {
+
+std::atomic<LogLevel> g_threshold{LogLevel::Warn};
+std::mutex g_emit_mutex;
+
+constexpr const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_threshold() { return g_threshold.load(std::memory_order_relaxed); }
+
+void set_log_threshold(LogLevel level) {
+  g_threshold.store(level, std::memory_order_relaxed);
+}
+
+void log_line(LogLevel level, const std::string& message) {
+  std::scoped_lock lock(g_emit_mutex);
+  std::cerr << "[medcc:" << level_name(level) << "] " << message << '\n';
+}
+
+}  // namespace medcc::util

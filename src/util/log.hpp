@@ -1,0 +1,57 @@
+// Minimal leveled logger for the simulator and bench drivers.
+//
+// Logging is off (Warn) by default so tests and benches stay quiet;
+// the simulator's trace facility (sim/trace.hpp) is the structured way
+// to observe execution, this logger is for diagnostics only.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace medcc::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Returns the process-wide minimum level that is actually emitted.
+[[nodiscard]] LogLevel log_threshold();
+
+/// Sets the process-wide log threshold (not thread-safe; set at startup).
+void set_log_threshold(LogLevel level);
+
+/// Emits one line to stderr if `level` passes the threshold.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << std::forward<Args>(args));
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+  if (log_threshold() <= LogLevel::Debug)
+    log_line(LogLevel::Debug, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_info(Args&&... args) {
+  if (log_threshold() <= LogLevel::Info)
+    log_line(LogLevel::Info, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_warn(Args&&... args) {
+  if (log_threshold() <= LogLevel::Warn)
+    log_line(LogLevel::Warn, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_error(Args&&... args) {
+  if (log_threshold() <= LogLevel::Error)
+    log_line(LogLevel::Error, detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace medcc::util

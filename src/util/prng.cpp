@@ -1,0 +1,33 @@
+#include "util/prng.hpp"
+
+#include <cmath>
+#include <numeric>
+
+namespace medcc::util {
+
+double Prng::normal(double mean, double stddev) {
+  MEDCC_EXPECTS(stddev >= 0.0);
+  // Box-Muller; u in (0,1] to keep the log finite.
+  const double u = 1.0 - uniform_real(0.0, 1.0);
+  const double v = uniform_real(0.0, 1.0);
+  const double z =
+      std::sqrt(-2.0 * std::log(u)) * std::cos(2.0 * 3.14159265358979323846 * v);
+  return mean + stddev * z;
+}
+
+std::vector<std::size_t> Prng::sample_indices(std::size_t n, std::size_t k) {
+  MEDCC_EXPECTS(k <= n);
+  // Partial Fisher-Yates over an index vector: O(n) setup, O(k) swaps.
+  std::vector<std::size_t> pool(n);
+  std::iota(pool.begin(), pool.end(), std::size_t{0});
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto j = static_cast<std::size_t>(
+        uniform_int(static_cast<std::int64_t>(i),
+                    static_cast<std::int64_t>(n) - 1));
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+}  // namespace medcc::util

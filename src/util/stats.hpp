@@ -1,0 +1,58 @@
+// Streaming and batch descriptive statistics used by the experiment harness.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace medcc::util {
+
+/// Numerically stable streaming accumulator (Welford's algorithm).
+class RunningStats {
+public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] bool empty() const { return n_ == 0; }
+  [[nodiscard]] double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double sum() const { return sum_; }
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other);
+
+private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Arithmetic mean of a non-empty span.
+[[nodiscard]] double mean(std::span<const double> xs);
+
+/// Sample standard deviation of a span (0 for fewer than two samples).
+[[nodiscard]] double stddev(std::span<const double> xs);
+
+/// Linear-interpolated percentile, p in [0,100]; span must be non-empty.
+/// Does not require the input to be sorted.
+[[nodiscard]] double percentile(std::span<const double> xs, double p);
+
+/// Median (50th percentile).
+[[nodiscard]] double median(std::span<const double> xs);
+
+/// Fixed-width histogram over [lo, hi] with `bins` buckets.
+/// Values outside the range are clamped into the edge buckets.
+[[nodiscard]] std::vector<std::size_t> histogram(std::span<const double> xs,
+                                                 double lo, double hi,
+                                                 std::size_t bins);
+
+}  // namespace medcc::util

@@ -1,0 +1,82 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace medcc::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  MEDCC_EXPECTS(!headers_.empty());
+  alignment_.assign(headers_.size(), Align::Right);
+  alignment_.front() = Align::Left;
+}
+
+void Table::set_alignment(std::vector<Align> alignment) {
+  MEDCC_EXPECTS(alignment.size() == headers_.size());
+  alignment_ = std::move(alignment);
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  MEDCC_EXPECTS(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto emit_row = [&](std::ostringstream& os,
+                      const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) os << "  ";
+      const auto pad = widths[c] - row[c].size();
+      if (alignment_[c] == Align::Right) os << std::string(pad, ' ');
+      os << row[c];
+      if (alignment_[c] == Align::Left && c + 1 != row.size())
+        os << std::string(pad, ' ');
+    }
+    os << '\n';
+  };
+
+  std::ostringstream os;
+  emit_row(os, headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c)
+    total += widths[c] + (c == 0 ? 0 : 2);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(os, row);
+  return os.str();
+}
+
+std::string Table::render_csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) os << ',';
+      os << row[c];
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string fmt(double value, int digits) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(digits);
+  os << value;
+  return os.str();
+}
+
+std::string fmt(std::size_t value) { return std::to_string(value); }
+std::string fmt(int value) { return std::to_string(value); }
+
+}  // namespace medcc::util

@@ -1,0 +1,53 @@
+// Column-aligned plain-text tables, used by the bench drivers to print the
+// paper's tables in a diff-friendly format.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace medcc::util {
+
+/// How the contents of a column are padded.
+enum class Align { Left, Right };
+
+/// A simple text table: set headers once, append rows, render.
+///
+///   Table t({"size", "CG", "GAIN3", "Imp (%)"});
+///   t.add_row({"(5,6,3)", "8.63", "8.63", "0.00"});
+///   std::cout << t.render();
+class Table {
+public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Sets per-column alignment; by default every column is right-aligned
+  /// except the first (label) column.
+  void set_alignment(std::vector<Align> alignment);
+
+  /// Appends one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const { return headers_.size(); }
+
+  /// Renders the table with a header separator line.
+  [[nodiscard]] std::string render() const;
+
+  /// Renders as comma-separated values (no padding).
+  [[nodiscard]] std::string render_csv() const;
+
+private:
+  std::vector<std::string> headers_;
+  std::vector<Align> alignment_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` places after the decimal point.
+[[nodiscard]] std::string fmt(double value, int digits = 2);
+
+/// Formats an integer count.
+[[nodiscard]] std::string fmt(std::size_t value);
+[[nodiscard]] std::string fmt(int value);
+
+}  // namespace medcc::util

@@ -1,0 +1,67 @@
+// A small fixed-size thread pool with a deterministic parallel_for.
+//
+// The experiment harness evaluates thousands of independent (instance,
+// budget) cells; parallel_for_index distributes them over worker threads
+// while keeping results deterministic: each index writes only to its own
+// output slot and derives randomness from a per-index forked PRNG stream,
+// so the schedule of workers never affects the numbers.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace medcc::util {
+
+/// Fixed-size worker pool executing queued tasks FIFO.
+class ThreadPool {
+public:
+  /// Creates `threads` workers (>=1). Defaults to hardware concurrency.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueues a task for asynchronous execution.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  /// Rethrows the first exception raised by any task, if there was one.
+  void wait_idle();
+
+private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+};
+
+/// Runs body(i) for every i in [0, count) using `pool`, blocking until done.
+/// body must not throw across indices it does not own; exceptions are
+/// captured and rethrown from the calling thread.
+void parallel_for_index(ThreadPool& pool, std::size_t count,
+                        const std::function<void(std::size_t)>& body,
+                        std::size_t grain = 1);
+
+/// Process-wide pool, sized from the MEDCC_THREADS environment variable
+/// when set, else hardware concurrency. Intended for bench/example drivers;
+/// library code takes a ThreadPool& parameter instead.
+[[nodiscard]] ThreadPool& global_pool();
+
+}  // namespace medcc::util

@@ -1,0 +1,184 @@
+#include "workflow/clustering.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <vector>
+
+namespace medcc::workflow {
+namespace {
+
+/// Union-find over module ids.
+class UnionFind {
+public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+private:
+  std::vector<std::size_t> parent_;
+};
+
+/// Builds the aggregate workflow from a group assignment.
+Clustering contract(const Workflow& wf, UnionFind& uf) {
+  const std::size_t n = wf.module_count();
+
+  // Dense group ids in order of first appearance along the original ids,
+  // which is a valid construction order because contraction preserves a
+  // topological numbering of the groups (checked by ensure_valid below).
+  std::vector<NodeId> group_of(n);
+  std::map<std::size_t, NodeId> dense;
+  for (NodeId v = 0; v < n; ++v) {
+    const std::size_t root = uf.find(v);
+    auto [it, inserted] = dense.emplace(root, dense.size());
+    group_of[v] = it->second;
+  }
+  const std::size_t groups = dense.size();
+
+  std::vector<double> workload(groups, 0.0);
+  std::vector<std::optional<double>> fixed(groups);
+  std::vector<std::vector<NodeId>> members(groups);
+  for (NodeId v = 0; v < n; ++v) {
+    const NodeId g = group_of[v];
+    members[g].push_back(v);
+    const auto& mod = wf.module(v);
+    if (mod.is_fixed())
+      fixed[g] = fixed[g].value_or(0.0) + *mod.fixed_time;
+    else
+      workload[g] += mod.workload;
+  }
+
+  // Cross-group data flows; parallel edges between the same group pair are
+  // summed, intra-group edges are internalized.
+  std::map<std::pair<NodeId, NodeId>, double> flows;
+  double internalized = 0.0;
+  for (dag::EdgeId e = 0; e < wf.graph().edge_count(); ++e) {
+    const auto& edge = wf.graph().edge(e);
+    const NodeId gs = group_of[edge.src];
+    const NodeId gd = group_of[edge.dst];
+    if (gs == gd)
+      internalized += wf.data_size(e);
+    else
+      flows[{gs, gd}] += wf.data_size(e);
+  }
+
+  Clustering result;
+  for (std::size_t g = 0; g < groups; ++g) {
+    std::string name = "g" + std::to_string(g);
+    if (members[g].size() == 1) name = wf.module(members[g].front()).name;
+    if (fixed[g].has_value())
+      result.aggregated.add_fixed_module(std::move(name), *fixed[g]);
+    else
+      result.aggregated.add_module(std::move(name), workload[g]);
+  }
+  for (const auto& [pair, data] : flows)
+    result.aggregated.add_dependency(pair.first, pair.second, data);
+  result.aggregated.ensure_valid();
+  result.group_of = std::move(group_of);
+  result.internalized_data = internalized;
+  return result;
+}
+
+}  // namespace
+
+Clustering linear_clustering(const Workflow& wf) {
+  wf.ensure_valid();
+  const auto& g = wf.graph();
+  UnionFind uf(wf.module_count());
+  for (dag::EdgeId e = 0; e < g.edge_count(); ++e) {
+    const auto& edge = g.edge(e);
+    if (wf.module(edge.src).is_fixed() || wf.module(edge.dst).is_fixed())
+      continue;
+    if (g.out_degree(edge.src) == 1 && g.in_degree(edge.dst) == 1)
+      uf.unite(edge.src, edge.dst);
+  }
+  return contract(wf, uf);
+}
+
+Clustering transfer_aware_clustering(const Workflow& wf,
+                                     double max_group_workload) {
+  wf.ensure_valid();
+  MEDCC_EXPECTS(max_group_workload > 0.0);
+  const std::size_t n = wf.module_count();
+  UnionFind uf(n);
+
+  std::vector<double> group_workload(n);
+  std::vector<bool> group_fixed(n);
+  for (NodeId v = 0; v < n; ++v) {
+    group_workload[v] = wf.module(v).is_fixed() ? 0.0 : wf.module(v).workload;
+    group_fixed[v] = wf.module(v).is_fixed();
+  }
+
+  // Candidate edges by descending data size; re-scanned after each merge
+  // because contraction changes both reachability and group workloads.
+  std::vector<dag::EdgeId> order(wf.graph().edge_count());
+  std::iota(order.begin(), order.end(), dag::EdgeId{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](dag::EdgeId a, dag::EdgeId b) {
+                     return wf.data_size(a) > wf.data_size(b);
+                   });
+
+  // Reachability must be evaluated on the *contracted* graph: a group is
+  // traversable between any two of its members (shared VM), which the
+  // original graph does not capture. `group_reaches(a, b, skip_direct)`
+  // BFSes over group-level edges derived on the fly from the original
+  // edge list; when skip_direct is set, direct a->b edges are ignored
+  // (the cycle test asks for an *indirect* connection).
+  const auto group_reaches = [&](std::size_t from, std::size_t to,
+                                 bool skip_direct) {
+    std::vector<bool> seen(n, false);
+    std::vector<std::size_t> frontier{from};
+    seen[from] = true;
+    while (!frontier.empty()) {
+      const std::size_t g = frontier.back();
+      frontier.pop_back();
+      for (dag::EdgeId e = 0; e < wf.graph().edge_count(); ++e) {
+        const auto& edge = wf.graph().edge(e);
+        if (uf.find(edge.src) != g) continue;
+        const std::size_t succ = uf.find(edge.dst);
+        if (succ == g) continue;
+        if (skip_direct && g == from && succ == to) continue;
+        if (succ == to && !(skip_direct && g == from)) return true;
+        if (succ == to) continue;
+        if (!seen[succ]) {
+          seen[succ] = true;
+          frontier.push_back(succ);
+        }
+      }
+    }
+    return false;
+  };
+
+  bool merged = true;
+  while (merged) {
+    merged = false;
+    for (dag::EdgeId e : order) {
+      const auto& edge = wf.graph().edge(e);
+      const std::size_t a = uf.find(edge.src);
+      const std::size_t b = uf.find(edge.dst);
+      if (a == b || group_fixed[a] || group_fixed[b]) continue;
+      if (group_workload[a] + group_workload[b] > max_group_workload)
+        continue;
+      // The contraction of {a,b} creates a cycle iff group a reaches group
+      // b through some other group (the pre-merge contracted graph is
+      // acyclic, so b never reaches a).
+      if (group_reaches(a, b, /*skip_direct=*/true)) continue;
+      const double combined = group_workload[a] + group_workload[b];
+      uf.unite(a, b);
+      const std::size_t root = uf.find(a);
+      group_workload[root] = combined;
+      merged = true;
+    }
+  }
+  return contract(wf, uf);
+}
+
+}  // namespace medcc::workflow

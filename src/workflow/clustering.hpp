@@ -1,0 +1,41 @@
+// Module clustering: the preprocessing step the paper assumes (Section
+// III-B): "scientific workflows that have been preprocessed by an
+// appropriate clustering technique ... such that a group of modules in the
+// original workflow are bundled together as one aggregate module".
+//
+// Two standard techniques are provided:
+//  * linear clustering -- repeatedly merge chains of single-successor /
+//    single-predecessor modules (sequential groups share a VM anyway);
+//  * transfer-aware clustering -- greedily merge the endpoint pair of the
+//    heaviest data edge while the merge keeps the graph acyclic and the
+//    aggregate workload under a cap (minimizes inter-module transfer, the
+//    paper's stated goal).
+#pragma once
+
+#include <vector>
+
+#include "workflow/workflow.hpp"
+
+namespace medcc::workflow {
+
+/// Result of clustering: the aggregate workflow plus the mapping from each
+/// original module to its aggregate module id.
+struct Clustering {
+  Workflow aggregated;
+  std::vector<NodeId> group_of;  ///< original module id -> aggregate id
+  /// Sum of data sizes on edges that became internal to a group.
+  double internalized_data = 0.0;
+};
+
+/// Merges maximal chains (single successor feeding a single predecessor).
+/// Fixed-time modules are never merged.
+[[nodiscard]] Clustering linear_clustering(const Workflow& wf);
+
+/// Greedy transfer-minimizing clustering. Repeatedly merges the endpoints
+/// of the largest-data edge when (a) neither endpoint is fixed, (b) the
+/// merged workload stays <= max_group_workload, and (c) the contraction
+/// keeps the graph acyclic. Stops when no edge qualifies.
+[[nodiscard]] Clustering transfer_aware_clustering(const Workflow& wf,
+                                                   double max_group_workload);
+
+}  // namespace medcc::workflow

@@ -1,0 +1,238 @@
+#include "workflow/dax.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace medcc::workflow {
+namespace {
+
+/// One parsed XML-subset tag.
+struct Tag {
+  std::string name;
+  std::map<std::string, std::string> attributes;
+  bool closing = false;       ///< </name>
+  bool self_closing = false;  ///< <name ... />
+};
+
+/// Pulls the next tag from `xml` starting at `pos`; advances `pos` past
+/// it. Returns false at end of input. Comments and declarations are
+/// skipped. Text between tags is ignored (the DAX subset carries no data
+/// in text nodes).
+bool next_tag(const std::string& xml, std::size_t& pos, Tag& tag) {
+  for (;;) {
+    const auto open = xml.find('<', pos);
+    if (open == std::string::npos) return false;
+    // Comments and processing instructions / declarations.
+    if (xml.compare(open, 4, "<!--") == 0) {
+      const auto end = xml.find("-->", open + 4);
+      if (end == std::string::npos)
+        throw InvalidArgument("dax: unterminated comment");
+      pos = end + 3;
+      continue;
+    }
+    if (open + 1 < xml.size() && (xml[open + 1] == '?' || xml[open + 1] == '!')) {
+      const auto end = xml.find('>', open);
+      if (end == std::string::npos)
+        throw InvalidArgument("dax: unterminated declaration");
+      pos = end + 1;
+      continue;
+    }
+    const auto close = xml.find('>', open);
+    if (close == std::string::npos)
+      throw InvalidArgument("dax: unterminated tag");
+    std::string body = xml.substr(open + 1, close - open - 1);
+    pos = close + 1;
+
+    tag = Tag{};
+    if (!body.empty() && body.front() == '/') {
+      tag.closing = true;
+      body.erase(body.begin());
+    }
+    if (!body.empty() && body.back() == '/') {
+      tag.self_closing = true;
+      body.pop_back();
+    }
+    // Tag name.
+    std::size_t cursor = 0;
+    while (cursor < body.size() &&
+           !std::isspace(static_cast<unsigned char>(body[cursor])))
+      ++cursor;
+    tag.name = body.substr(0, cursor);
+    if (tag.name.empty()) throw InvalidArgument("dax: empty tag name");
+    // Attributes: name="value" or name='value'.
+    while (cursor < body.size()) {
+      while (cursor < body.size() &&
+             std::isspace(static_cast<unsigned char>(body[cursor])))
+        ++cursor;
+      if (cursor >= body.size()) break;
+      const auto eq = body.find('=', cursor);
+      if (eq == std::string::npos)
+        throw InvalidArgument("dax: attribute without value in <" +
+                              tag.name + ">");
+      std::string key = body.substr(cursor, eq - cursor);
+      while (!key.empty() &&
+             std::isspace(static_cast<unsigned char>(key.back())))
+        key.pop_back();
+      std::size_t vstart = eq + 1;
+      while (vstart < body.size() &&
+             std::isspace(static_cast<unsigned char>(body[vstart])))
+        ++vstart;
+      if (vstart >= body.size() ||
+          (body[vstart] != '"' && body[vstart] != '\''))
+        throw InvalidArgument("dax: unquoted attribute value in <" +
+                              tag.name + ">");
+      const char quote = body[vstart];
+      const auto vend = body.find(quote, vstart + 1);
+      if (vend == std::string::npos)
+        throw InvalidArgument("dax: unterminated attribute value in <" +
+                              tag.name + ">");
+      tag.attributes[key] = body.substr(vstart + 1, vend - vstart - 1);
+      cursor = vend + 1;
+    }
+    return true;
+  }
+}
+
+double parse_double(const std::map<std::string, std::string>& attrs,
+                    const std::string& key, double fallback) {
+  const auto it = attrs.find(key);
+  if (it == attrs.end()) return fallback;
+  try {
+    return std::stod(it->second);
+  } catch (const std::exception&) {
+    throw InvalidArgument("dax: bad numeric attribute " + key + "='" +
+                          it->second + "'");
+  }
+}
+
+struct DaxJob {
+  std::string id;
+  std::string name;
+  double runtime = 0.0;
+  std::map<std::string, double> inputs;   ///< file -> bytes
+  std::map<std::string, double> outputs;  ///< file -> bytes
+};
+
+}  // namespace
+
+Workflow workflow_from_dax(const std::string& xml, const DaxOptions& options) {
+  if (options.reference_power <= 0.0 || options.bytes_per_data_unit <= 0.0)
+    throw InvalidArgument("dax: options must be positive");
+
+  std::vector<DaxJob> jobs;
+  std::map<std::string, std::size_t> by_id;
+  std::vector<std::pair<std::size_t, std::size_t>> edges;  // parent, child
+
+  std::size_t pos = 0;
+  Tag tag;
+  DaxJob* current_job = nullptr;
+  std::size_t current_child = static_cast<std::size_t>(-1);
+  std::vector<std::pair<std::size_t, std::size_t>> seen_edges;
+
+  while (next_tag(xml, pos, tag)) {
+    if (tag.name == "job") {
+      if (tag.closing) {
+        current_job = nullptr;
+        continue;
+      }
+      const auto it = tag.attributes.find("id");
+      if (it == tag.attributes.end())
+        throw InvalidArgument("dax: <job> without id");
+      if (by_id.count(it->second))
+        throw InvalidArgument("dax: duplicate job id " + it->second);
+      DaxJob job;
+      job.id = it->second;
+      const auto name_it = tag.attributes.find("name");
+      job.name = name_it == tag.attributes.end() ? job.id
+                                                 : name_it->second + "_" +
+                                                       job.id;
+      job.runtime = parse_double(tag.attributes, "runtime", 0.0);
+      by_id.emplace(job.id, jobs.size());
+      jobs.push_back(std::move(job));
+      current_job = tag.self_closing ? nullptr : &jobs.back();
+    } else if (tag.name == "uses") {
+      if (tag.closing || current_job == nullptr) continue;
+      const auto file_it = tag.attributes.find("file");
+      if (file_it == tag.attributes.end()) continue;  // tolerated
+      const double bytes = parse_double(tag.attributes, "size", 0.0);
+      const auto link_it = tag.attributes.find("link");
+      const std::string link =
+          link_it == tag.attributes.end() ? "input" : link_it->second;
+      if (link == "output")
+        current_job->outputs[file_it->second] = bytes;
+      else
+        current_job->inputs[file_it->second] = bytes;
+    } else if (tag.name == "child") {
+      if (tag.closing) {
+        current_child = static_cast<std::size_t>(-1);
+        continue;
+      }
+      const auto it = tag.attributes.find("ref");
+      if (it == tag.attributes.end())
+        throw InvalidArgument("dax: <child> without ref");
+      const auto job_it = by_id.find(it->second);
+      if (job_it == by_id.end())
+        throw InvalidArgument("dax: <child> references unknown job " +
+                              it->second);
+      current_child = job_it->second;
+    } else if (tag.name == "parent") {
+      if (tag.closing) continue;
+      if (current_child == static_cast<std::size_t>(-1))
+        throw InvalidArgument("dax: <parent> outside <child>");
+      const auto it = tag.attributes.find("ref");
+      if (it == tag.attributes.end())
+        throw InvalidArgument("dax: <parent> without ref");
+      const auto job_it = by_id.find(it->second);
+      if (job_it == by_id.end())
+        throw InvalidArgument("dax: <parent> references unknown job " +
+                              it->second);
+      edges.emplace_back(job_it->second, current_child);
+    }
+    // Everything else (<adag>, <argument>, text) is ignored.
+  }
+  if (jobs.empty()) throw InvalidArgument("dax: no <job> elements found");
+
+  Workflow wf;
+  std::vector<NodeId> node_of(jobs.size());
+  for (std::size_t k = 0; k < jobs.size(); ++k)
+    node_of[k] = wf.add_module(jobs[k].name,
+                               jobs[k].runtime * options.reference_power);
+
+  for (const auto& [parent, child] : edges) {
+    // Edge data: bytes of the parent's output files the child reads.
+    double bytes = 0.0;
+    for (const auto& [file, size] : jobs[parent].outputs) {
+      const auto it = jobs[child].inputs.find(file);
+      if (it != jobs[child].inputs.end())
+        bytes += std::max(size, it->second);
+    }
+    wf.add_dependency(node_of[parent], node_of[child],
+                      bytes / options.bytes_per_data_unit);
+  }
+
+  if (options.add_staging_endpoints) {
+    const auto sources = wf.graph().sources();
+    const auto sinks = wf.graph().sinks();
+    if (sources.size() > 1 || sinks.size() > 1 ||
+        wf.module_count() == 1) {
+      const NodeId entry = wf.add_fixed_module("stage-in", 0.0);
+      const NodeId exit = wf.add_fixed_module("stage-out", 0.0);
+      for (NodeId s : sources) wf.add_dependency(entry, s);
+      for (NodeId s : sinks) wf.add_dependency(s, exit);
+    }
+  }
+  wf.ensure_valid();
+  return wf;
+}
+
+Workflow load_dax(const std::string& path, const DaxOptions& options) {
+  std::ifstream file(path);
+  if (!file) throw Error("dax: cannot open '" + path + "'");
+  std::ostringstream os;
+  os << file.rdbuf();
+  return workflow_from_dax(os.str(), options);
+}
+
+}  // namespace medcc::workflow

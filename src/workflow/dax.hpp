@@ -1,0 +1,43 @@
+// Importer for Pegasus DAX workflow descriptions -- the XML format the
+// scientific-workflow community publishes real traces in (Montage,
+// CyberShake, Epigenomics, ...). Parsing a published DAX yields a Workflow
+// whose module workloads come from the jobs' reference runtimes and whose
+// edge data sizes come from the parent-output/child-input file overlap.
+//
+// The parser accepts the DAX 3.x subset those traces use:
+//   <job id="ID00000" name="mProjectPP" runtime="13.59">
+//     <uses file="region.hdr" link="input" size="304"/>
+//     <uses file="p1.fits"    link="output" size="4222080"/>
+//   </job>
+//   <child ref="ID00002"> <parent ref="ID00000"/> </child>
+// Comments, XML declarations and unknown elements/attributes are ignored.
+#pragma once
+
+#include <string>
+
+#include "workflow/workflow.hpp"
+
+namespace medcc::workflow {
+
+struct DaxOptions {
+  /// The job `runtime` attribute is seconds on the trace's reference
+  /// machine; workload = runtime * reference_power, so that a VM with
+  /// VP == reference_power reproduces the reference runtimes.
+  double reference_power = 1.0;
+  /// File sizes in DAX are bytes; edge data = bytes / bytes_per_data_unit.
+  double bytes_per_data_unit = 1e6;  ///< default: data units are MB
+  /// Bracket multi-source/multi-sink traces with free staging endpoints
+  /// so the result satisfies the paper's single-entry/single-exit model.
+  bool add_staging_endpoints = true;
+};
+
+/// Parses DAX text. Throws InvalidArgument on malformed XML-subset input,
+/// unknown job references, duplicate ids, or invalid structure.
+[[nodiscard]] Workflow workflow_from_dax(const std::string& xml,
+                                         const DaxOptions& options = {});
+
+/// Reads and parses a .dax file. Throws Error on I/O failure.
+[[nodiscard]] Workflow load_dax(const std::string& path,
+                                const DaxOptions& options = {});
+
+}  // namespace medcc::workflow

@@ -1,0 +1,218 @@
+#include "workflow/io.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace medcc::workflow {
+namespace {
+
+[[noreturn]] void parse_error(std::size_t line, const std::string& message) {
+  std::ostringstream os;
+  os << "parse error at line " << line << ": " << message;
+  throw InvalidArgument(os.str());
+}
+
+/// Splits a line into whitespace-separated tokens.
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream is(line);
+  std::string token;
+  while (is >> token) tokens.push_back(token);
+  return tokens;
+}
+
+double parse_number(const std::string& token, std::size_t line) {
+  std::size_t consumed = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(token, &consumed);
+  } catch (const std::exception&) {
+    parse_error(line, "expected a number, got '" + token + "'");
+  }
+  if (consumed != token.size())
+    parse_error(line, "trailing characters in number '" + token + "'");
+  return value;
+}
+
+/// Module/type names with whitespace would break the format; reject them
+/// at serialization time.
+void check_name(const std::string& name) {
+  if (name.empty()) throw InvalidArgument("io: empty name");
+  for (char c : name)
+    if (std::isspace(static_cast<unsigned char>(c)))
+      throw InvalidArgument("io: name '" + name + "' contains whitespace");
+}
+
+}  // namespace
+
+std::string to_text(const Workflow& wf) {
+  std::ostringstream os;
+  os.precision(17);  // round-trip exact doubles
+  os << "workflow v1\n";
+  for (NodeId i = 0; i < wf.module_count(); ++i) {
+    const auto& m = wf.module(i);
+    check_name(m.name);
+    if (m.is_fixed())
+      os << "module " << m.name << " fixed " << *m.fixed_time << '\n';
+    else
+      os << "module " << m.name << " workload " << m.workload << '\n';
+  }
+  for (dag::EdgeId e = 0; e < wf.graph().edge_count(); ++e) {
+    const auto& edge = wf.graph().edge(e);
+    os << "edge " << wf.module(edge.src).name << ' '
+       << wf.module(edge.dst).name;
+    if (wf.data_size(e) != 0.0) os << " data " << wf.data_size(e);
+    os << '\n';
+  }
+  return os.str();
+}
+
+Workflow workflow_from_text(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  std::size_t line_no = 0;
+  bool header_seen = false;
+  Workflow wf;
+  std::map<std::string, NodeId> by_name;
+
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto tokens = tokenize(line);
+    if (tokens.empty() || tokens.front().front() == '#') continue;
+    if (!header_seen) {
+      if (tokens.size() != 2 || tokens[0] != "workflow" || tokens[1] != "v1")
+        parse_error(line_no, "expected header 'workflow v1'");
+      header_seen = true;
+      continue;
+    }
+    if (tokens[0] == "module") {
+      if (tokens.size() != 4)
+        parse_error(line_no, "expected 'module <name> workload|fixed <x>'");
+      const auto& name = tokens[1];
+      if (by_name.count(name))
+        parse_error(line_no, "duplicate module '" + name + "'");
+      const double value = parse_number(tokens[3], line_no);
+      NodeId id;
+      if (tokens[2] == "workload")
+        id = wf.add_module(name, value);
+      else if (tokens[2] == "fixed")
+        id = wf.add_fixed_module(name, value);
+      else
+        parse_error(line_no, "expected 'workload' or 'fixed', got '" +
+                                 tokens[2] + "'");
+      by_name.emplace(name, id);
+    } else if (tokens[0] == "edge") {
+      if (tokens.size() != 3 && tokens.size() != 5)
+        parse_error(line_no, "expected 'edge <src> <dst> [data <d>]'");
+      const auto src = by_name.find(tokens[1]);
+      if (src == by_name.end())
+        parse_error(line_no, "unknown module '" + tokens[1] + "'");
+      const auto dst = by_name.find(tokens[2]);
+      if (dst == by_name.end())
+        parse_error(line_no, "unknown module '" + tokens[2] + "'");
+      double data = 0.0;
+      if (tokens.size() == 5) {
+        if (tokens[3] != "data")
+          parse_error(line_no, "expected 'data', got '" + tokens[3] + "'");
+        data = parse_number(tokens[4], line_no);
+      }
+      try {
+        wf.add_dependency(src->second, dst->second, data);
+      } catch (const Error& e) {
+        parse_error(line_no, e.what());
+      }
+    } else {
+      parse_error(line_no, "unknown directive '" + tokens[0] + "'");
+    }
+  }
+  if (!header_seen) throw InvalidArgument("io: missing 'workflow v1' header");
+  const auto report = wf.validate();
+  if (!report.ok()) {
+    std::ostringstream os;
+    os << "parsed workflow is invalid:";
+    for (const auto& p : report.problems) os << ' ' << p << ';';
+    throw InvalidArgument(os.str());
+  }
+  return wf;
+}
+
+std::string to_text(const cloud::VmCatalog& catalog) {
+  std::ostringstream os;
+  os.precision(17);  // round-trip exact doubles
+  os << "catalog v1\n";
+  for (std::size_t j = 0; j < catalog.size(); ++j) {
+    const auto& t = catalog.type(j);
+    check_name(t.name);
+    os << "type " << t.name << " power " << t.processing_power << " rate "
+       << t.cost_rate << '\n';
+  }
+  return os.str();
+}
+
+cloud::VmCatalog catalog_from_text(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  std::size_t line_no = 0;
+  bool header_seen = false;
+  std::vector<cloud::VmType> types;
+
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto tokens = tokenize(line);
+    if (tokens.empty() || tokens.front().front() == '#') continue;
+    if (!header_seen) {
+      if (tokens.size() != 2 || tokens[0] != "catalog" || tokens[1] != "v1")
+        parse_error(line_no, "expected header 'catalog v1'");
+      header_seen = true;
+      continue;
+    }
+    if (tokens[0] != "type" || tokens.size() != 6 || tokens[2] != "power" ||
+        tokens[4] != "rate")
+      parse_error(line_no, "expected 'type <name> power <VP> rate <CV>'");
+    types.push_back(cloud::VmType{tokens[1],
+                                  parse_number(tokens[3], line_no),
+                                  parse_number(tokens[5], line_no)});
+  }
+  if (!header_seen) throw InvalidArgument("io: missing 'catalog v1' header");
+  return cloud::VmCatalog(std::move(types));
+}
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw Error("io: cannot open '" + path + "' for reading");
+  std::ostringstream os;
+  os << file.rdbuf();
+  return os.str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream file(path);
+  if (!file) throw Error("io: cannot open '" + path + "' for writing");
+  file << content;
+  if (!file) throw Error("io: write to '" + path + "' failed");
+}
+
+}  // namespace
+
+Workflow load_workflow(const std::string& path) {
+  return workflow_from_text(read_file(path));
+}
+
+void save_workflow(const Workflow& wf, const std::string& path) {
+  write_file(path, to_text(wf));
+}
+
+cloud::VmCatalog load_catalog(const std::string& path) {
+  return catalog_from_text(read_file(path));
+}
+
+void save_catalog(const cloud::VmCatalog& catalog, const std::string& path) {
+  write_file(path, to_text(catalog));
+}
+
+}  // namespace medcc::workflow

@@ -1,0 +1,43 @@
+// Plain-text serialization of workflows and VM catalogs, so instances can
+// be authored in files and fed to the CLI (tools/medcc_cli) or exchanged
+// between runs. The format is line-oriented and diff-friendly:
+//
+//   # comments and blank lines are ignored
+//   workflow v1
+//   module <name> workload <x>
+//   module <name> fixed <t>
+//   edge <src-name> <dst-name> [data <d>]
+//
+//   catalog v1
+//   type <name> power <VP> rate <CV>
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "cloud/vm_type.hpp"
+#include "workflow/workflow.hpp"
+
+namespace medcc::workflow {
+
+/// Serializes a workflow in the `workflow v1` format.
+[[nodiscard]] std::string to_text(const Workflow& wf);
+
+/// Parses the `workflow v1` format. Throws InvalidArgument with a
+/// line-numbered message on malformed input (unknown directives, duplicate
+/// or missing module names, bad numbers, structural problems).
+[[nodiscard]] Workflow workflow_from_text(const std::string& text);
+
+/// Serializes a VM catalog in the `catalog v1` format.
+[[nodiscard]] std::string to_text(const cloud::VmCatalog& catalog);
+
+/// Parses the `catalog v1` format (same error conventions).
+[[nodiscard]] cloud::VmCatalog catalog_from_text(const std::string& text);
+
+/// File helpers: read/write whole files; throw Error on I/O failure.
+[[nodiscard]] Workflow load_workflow(const std::string& path);
+void save_workflow(const Workflow& wf, const std::string& path);
+[[nodiscard]] cloud::VmCatalog load_catalog(const std::string& path);
+void save_catalog(const cloud::VmCatalog& catalog, const std::string& path);
+
+}  // namespace medcc::workflow

@@ -1,0 +1,72 @@
+// Structured workflow topologies: the shapes the scientific-workflow
+// literature (Pegasus gallery, CloudSim examples) uses as canonical
+// benchmarks, plus the paper's own 6-module numerical example.
+#pragma once
+
+#include "util/prng.hpp"
+#include "workflow/workflow.hpp"
+
+namespace medcc::workflow {
+
+/// Linear pipeline w0 -> w1 -> ... -> w_{m-1}; the MED-CC-Pipeline special
+/// case used in the NP-completeness reduction (Section IV).
+/// `workloads` supplies WL_i in order; modules >= 1.
+[[nodiscard]] Workflow pipeline(std::span<const double> workloads,
+                                double data_size = 0.0);
+
+/// Pipeline with m modules and random workloads in [wl_min, wl_max].
+[[nodiscard]] Workflow random_pipeline(std::size_t modules, double wl_min,
+                                       double wl_max, util::Prng& rng);
+
+/// Fork-join: entry -> `width` parallel branches of `depth` modules -> exit.
+/// Workloads drawn uniformly from [wl_min, wl_max].
+[[nodiscard]] Workflow fork_join(std::size_t width, std::size_t depth,
+                                 double wl_min, double wl_max,
+                                 util::Prng& rng);
+
+/// Layered DAG: `layers` ranks of `width` modules; each module feeds a
+/// random non-empty subset of the next rank (plus connectivity repairs),
+/// bracketed by zero-cost entry/exit modules.
+[[nodiscard]] Workflow layered(std::size_t layers, std::size_t width,
+                               double wl_min, double wl_max, util::Prng& rng);
+
+/// Montage-like mosaic shape: wide projection rank -> pairwise overlap
+/// rank -> concentrating fit/background ranks -> single assembly tail.
+/// `tiles` >= 2 controls the width.
+[[nodiscard]] Workflow montage_like(std::size_t tiles, util::Prng& rng);
+
+/// Epigenomics-like shape: several independent lanes of a fixed 4-stage
+/// per-chunk pipeline that merge into a short global tail.
+[[nodiscard]] Workflow epigenomics_like(std::size_t lanes,
+                                        std::size_t chunks_per_lane,
+                                        util::Prng& rng);
+
+/// CyberShake-like shape: two generator fan-outs feeding `sites` parallel
+/// pairs that all reduce into two aggregation modules.
+[[nodiscard]] Workflow cybershake_like(std::size_t sites, util::Prng& rng);
+
+/// LIGO-inspiral-like shape: `groups` detector groups, each a fan of
+/// template-bank matched filters reduced by a trigger stage, followed by a
+/// second filtering fan and a final coincidence test.
+[[nodiscard]] Workflow ligo_like(std::size_t groups,
+                                 std::size_t templates_per_group,
+                                 util::Prng& rng);
+
+/// SIPHT-like shape (sRNA identification): many independent pattern/BLAST
+/// searches of uneven size converging into a concatenation and an
+/// annotation tail.
+[[nodiscard]] Workflow sipht_like(std::size_t searches, util::Prng& rng);
+
+/// The paper's 6-module numerical example (Fig. 4, Tables I-II).
+///
+/// The original figure with the exact workloads did not survive in the
+/// available text, so the instance below was *reconstructed* by searching
+/// workloads and topology consistent with every constraint the prose gives
+/// (see tools/reverse_engineer_example.cpp and EXPERIMENTS.md): VM types
+/// {VP,CV} = {3,1},{15,4},{30,8}; least-cost schedule mapping {w1,w2,w5}
+/// to VT2 and {w3,w4,w6} to VT1 at cost 48; fastest schedule cost 64;
+/// 1-hour free entry/exit modules; and the Critical-Greedy upgrade
+/// sequence w4,w3,w6,w2,w5 with the Table II budget bands.
+[[nodiscard]] Workflow example6();
+
+}  // namespace medcc::workflow

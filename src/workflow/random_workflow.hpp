@@ -1,0 +1,52 @@
+// Random workflow-instance generation following Section VI-A of the paper:
+//
+//   "we first lay out m modules sequentially from w0 to w_{m-1} as a
+//    pipeline, each of which is assigned a certain workload randomly
+//    generated within an appropriate range. For each module wi, we randomly
+//    choose a number k within the range [1, m-1-i] and then choose k modules
+//    with their module IDs in the range [i+1, m-1] as its successors.
+//    Finally, we connect all modules without any predecessors to the entry
+//    module w0 such that the total number of links is equal to the given
+//    |Ew|."
+//
+// The generator reproduces that procedure and then repairs the edge count to
+// hit the requested |Ew| exactly (adding missing forward edges / removing
+// surplus edges while preserving single-entry/single-exit connectivity).
+#pragma once
+
+#include "util/prng.hpp"
+#include "workflow/workflow.hpp"
+
+namespace medcc::workflow {
+
+/// Parameters for one random instance. `modules` counts the computing
+/// modules w0..w_{m-1}; w0 doubles as the entry and w_{m-1} as the exit,
+/// matching the paper's problem sizes (m, |Ew|, n).
+struct RandomWorkflowSpec {
+  std::size_t modules = 10;      ///< m, must be >= 2
+  std::size_t edges = 17;        ///< |Ew| target; clamped to feasible range
+  double workload_min = 10.0;    ///< WL_i lower bound
+  double workload_max = 100.0;   ///< WL_i upper bound
+  double data_size_min = 0.0;    ///< DS_ij lower bound
+  double data_size_max = 0.0;    ///< DS_ij upper bound (0 = no transfer)
+  /// Cap on the random successor count k; 0 means the paper's [1, m-1-i].
+  std::size_t max_fanout = 0;
+  /// When true (paper's model for random instances), the entry and exit
+  /// modules are ordinary computing modules with random workloads; when
+  /// false they are zero-duration fixed modules.
+  bool weighted_endpoints = true;
+};
+
+/// Smallest/largest |Ew| a connected single-entry/single-exit DAG on
+/// `modules` nodes can have. Used to clamp RandomWorkflowSpec::edges.
+[[nodiscard]] std::size_t min_feasible_edges(std::size_t modules);
+[[nodiscard]] std::size_t max_feasible_edges(std::size_t modules);
+
+/// Generates one random workflow instance. Deterministic in (spec, rng
+/// state). The result always validates: acyclic, one entry, one exit,
+/// every module on an entry->exit path, and exactly
+/// clamp(spec.edges, min_feasible, max_feasible) dependencies.
+[[nodiscard]] Workflow random_workflow(const RandomWorkflowSpec& spec,
+                                       util::Prng& rng);
+
+}  // namespace medcc::workflow

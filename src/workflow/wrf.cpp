@@ -1,0 +1,95 @@
+#include "workflow/wrf.hpp"
+
+namespace medcc::workflow {
+
+const std::array<std::array<double, 6>, 3>& wrf_te_matrix() {
+  // Table VI, seconds: rows VT1..VT3, columns w1..w6.
+  static const std::array<std::array<double, 6>, 3> te = {{
+      {{43.8, 22.7, 13.8, 47.0, 752.6, 377.8}},
+      {{19.2, 9.6, 7.0, 30.0, 241.6, 123.1}},
+      {{12.0, 10.1, 7.2, 19.4, 143.2, 119.7}},
+  }};
+  return te;
+}
+
+Workflow wrf_pipeline() {
+  // Representative single-domain run; workloads in VT1-seconds scaled to
+  // the Table VI magnitudes (ungrib+metgrid light, wrf dominant).
+  Workflow wf;
+  const NodeId entry = wf.add_fixed_module("input", 0.0);
+  const NodeId geogrid = wf.add_module("geogrid", 12.0);
+  const NodeId ungrib = wf.add_module("ungrib", 10.0);
+  const NodeId metgrid = wf.add_module("metgrid", 8.0);
+  const NodeId real = wf.add_module("real", 35.0);
+  const NodeId wrf = wf.add_module("wrf", 550.0);
+  const NodeId arwpost = wf.add_module("ARWpost", 120.0);
+  const NodeId grads = wf.add_module("GrADS", 25.0);
+  const NodeId exit = wf.add_fixed_module("output", 0.0);
+  wf.add_dependency(entry, geogrid, 2.0);
+  wf.add_dependency(entry, ungrib, 5.0);
+  wf.add_dependency(geogrid, metgrid, 2.0);
+  wf.add_dependency(ungrib, metgrid, 4.0);
+  wf.add_dependency(metgrid, real, 4.0);
+  wf.add_dependency(real, wrf, 6.0);
+  wf.add_dependency(wrf, arwpost, 8.0);
+  wf.add_dependency(arwpost, grads, 2.0);
+  wf.add_dependency(grads, exit, 1.0);
+  wf.ensure_valid();
+  return wf;
+}
+
+Workflow wrf_experiment_ungrouped() {
+  // Fig. 13: three pipelines, each ungrib -> metgrid -> real -> wrf ->
+  // ARWpost, sharing one geogrid (static terrestrial data is domain-wide),
+  // between common start and end modules.
+  Workflow wf;
+  const NodeId start = wf.add_fixed_module("start", 0.0);
+  const NodeId geogrid = wf.add_module("geogrid", 12.0);
+  wf.add_dependency(start, geogrid, 2.0);
+  const NodeId end = wf.add_fixed_module("end", 0.0);
+  for (int p = 0; p < 3; ++p) {
+    const std::string sfx = "_" + std::to_string(p + 1);
+    const NodeId ungrib = wf.add_module("ungrib" + sfx, 10.0);
+    const NodeId metgrid = wf.add_module("metgrid" + sfx, 8.0);
+    const NodeId real = wf.add_module("real" + sfx, 35.0);
+    const NodeId wrf = wf.add_module("wrf" + sfx, 550.0);
+    const NodeId arwpost = wf.add_module("ARWpost" + sfx, 120.0);
+    wf.add_dependency(start, ungrib, 5.0);
+    wf.add_dependency(ungrib, metgrid, 4.0);
+    wf.add_dependency(geogrid, metgrid, 2.0);
+    wf.add_dependency(metgrid, real, 4.0);
+    wf.add_dependency(real, wrf, 6.0);
+    wf.add_dependency(wrf, arwpost, 8.0);
+    wf.add_dependency(arwpost, end, 2.0);
+  }
+  wf.ensure_valid();
+  return wf;
+}
+
+Workflow wrf_experiment_grouped() {
+  // Fig. 14: aggregates w1..w6; precedence reconstructed from Table VII
+  // (see header comment). Workloads are VT1-seconds: WL_i = TE[0][i] * VP_1
+  // with VP_1 = 1 processing unit, so the WL/VP model reproduces the VT1
+  // column of Table VI exactly.
+  const auto& te = wrf_te_matrix();
+  Workflow wf;
+  const NodeId w0 = wf.add_fixed_module("w0", 0.0);
+  std::array<NodeId, 6> w{};
+  for (std::size_t i = 0; i < 6; ++i)
+    w[i] = wf.add_module("w" + std::to_string(i + 1), te[0][i]);
+  const NodeId w7 = wf.add_fixed_module("w7", 0.0);
+  wf.add_dependency(w0, w[0]);
+  wf.add_dependency(w0, w[1]);
+  wf.add_dependency(w0, w[2]);
+  wf.add_dependency(w[0], w[3]);
+  wf.add_dependency(w[1], w[3]);
+  wf.add_dependency(w[2], w[3]);
+  wf.add_dependency(w[3], w[4]);
+  wf.add_dependency(w[3], w[5]);
+  wf.add_dependency(w[4], w7);
+  wf.add_dependency(w[5], w7);
+  wf.ensure_valid();
+  return wf;
+}
+
+}  // namespace medcc::workflow

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "cloud/billing.hpp"
+#include "cloud/cost_model.hpp"
+#include "cloud/vm_type.hpp"
+#include "util/prng.hpp"
+
+namespace {
+
+using medcc::cloud::BillingPolicy;
+using medcc::cloud::VmCatalog;
+using medcc::cloud::VmType;
+
+TEST(VmCatalog, ValidationRejectsBadTypes) {
+  EXPECT_THROW(VmCatalog(std::vector<VmType>{}), medcc::InvalidArgument);
+  EXPECT_THROW(VmCatalog({{"z", 0.0, 1.0}}), medcc::InvalidArgument);
+  EXPECT_THROW(VmCatalog({{"n", 1.0, -1.0}}), medcc::InvalidArgument);
+}
+
+TEST(VmCatalog, FastestAndCheapestIndices) {
+  const VmCatalog cat({{"s", 1.0, 1.0}, {"m", 4.0, 3.0}, {"l", 8.0, 9.0}});
+  EXPECT_EQ(cat.fastest_index(), 2u);
+  EXPECT_EQ(cat.cheapest_rate_index(), 0u);
+}
+
+TEST(VmCatalog, TieBreaks) {
+  // Equal power: fastest prefers the cheaper one; equal rate: cheapest
+  // prefers the more powerful one.
+  const VmCatalog cat({{"a", 8.0, 9.0}, {"b", 8.0, 7.0}, {"c", 2.0, 7.0}});
+  EXPECT_EQ(cat.fastest_index(), 1u);
+  EXPECT_EQ(cat.cheapest_rate_index(), 1u);
+}
+
+TEST(VmCatalog, ExampleCatalogMatchesTableI) {
+  const auto cat = medcc::cloud::example_catalog();
+  ASSERT_EQ(cat.size(), 3u);
+  EXPECT_DOUBLE_EQ(cat.type(0).processing_power, 3.0);
+  EXPECT_DOUBLE_EQ(cat.type(1).processing_power, 15.0);
+  EXPECT_DOUBLE_EQ(cat.type(2).processing_power, 30.0);
+  EXPECT_DOUBLE_EQ(cat.type(0).cost_rate, 1.0);
+  EXPECT_DOUBLE_EQ(cat.type(1).cost_rate, 4.0);
+  EXPECT_DOUBLE_EQ(cat.type(2).cost_rate, 8.0);
+}
+
+TEST(VmCatalog, WrfCatalogMatchesTableV) {
+  const auto cat = medcc::cloud::wrf_catalog();
+  ASSERT_EQ(cat.size(), 3u);
+  EXPECT_DOUBLE_EQ(cat.type(0).cost_rate, 0.1);
+  EXPECT_DOUBLE_EQ(cat.type(2).cost_rate, 0.8);
+  EXPECT_DOUBLE_EQ(cat.type(2).processing_power, 5.86);
+}
+
+TEST(VmCatalog, LinearCatalogPricing) {
+  const auto cat = medcc::cloud::linear_catalog({1.0, 2.0, 8.0}, 3.0, 0.5);
+  EXPECT_DOUBLE_EQ(cat.type(1).processing_power, 6.0);
+  EXPECT_DOUBLE_EQ(cat.type(1).cost_rate, 1.0);
+  EXPECT_DOUBLE_EQ(cat.type(2).processing_power, 24.0);
+  EXPECT_DOUBLE_EQ(cat.type(2).cost_rate, 4.0);
+}
+
+TEST(VmCatalog, LinearCatalogRejectsBadInput) {
+  EXPECT_THROW((void)medcc::cloud::linear_catalog({}), medcc::InvalidArgument);
+  EXPECT_THROW((void)medcc::cloud::linear_catalog({0.0}),
+               medcc::InvalidArgument);
+  EXPECT_THROW((void)medcc::cloud::linear_catalog({1.0}, -1.0),
+               medcc::InvalidArgument);
+}
+
+TEST(VmCatalog, RandomLinearCatalogDistinctAscending) {
+  medcc::util::Prng rng(4);
+  const auto cat = medcc::cloud::random_linear_catalog(5, 20, rng);
+  ASSERT_EQ(cat.size(), 5u);
+  EXPECT_DOUBLE_EQ(cat.type(0).processing_power, 1.0);  // baseline included
+  for (std::size_t j = 1; j < cat.size(); ++j) {
+    EXPECT_GT(cat.type(j).processing_power, cat.type(j - 1).processing_power);
+    // Linear pricing: rate proportional to power.
+    EXPECT_NEAR(cat.type(j).cost_rate / cat.type(j).processing_power, 1.0,
+                1e-12);
+  }
+}
+
+TEST(VmCatalog, RandomLinearCatalogRejectsImpossible) {
+  medcc::util::Prng rng(5);
+  EXPECT_THROW((void)medcc::cloud::random_linear_catalog(10, 5, rng),
+               medcc::InvalidArgument);
+  EXPECT_THROW((void)medcc::cloud::random_linear_catalog(0, 5, rng),
+               medcc::InvalidArgument);
+}
+
+TEST(Billing, RoundsUpPartialQuanta) {
+  const BillingPolicy hourly(1.0);
+  EXPECT_DOUBLE_EQ(hourly.billed_time(0.2), 1.0);
+  EXPECT_DOUBLE_EQ(hourly.billed_time(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(hourly.billed_time(1.0001), 2.0);
+  EXPECT_DOUBLE_EQ(hourly.billed_time(6.6667), 7.0);
+  EXPECT_DOUBLE_EQ(hourly.billed_time(0.0), 0.0);
+}
+
+TEST(Billing, ExactBoundaryDoesNotRoundUp) {
+  // Table VI's 7.0 s module bills 7 s, not 8 s -- fp-noise tolerance.
+  const BillingPolicy per_second(1.0);
+  EXPECT_DOUBLE_EQ(per_second.billed_time(7.0), 7.0);
+  EXPECT_DOUBLE_EQ(per_second.billed_time(7.0 - 1e-12), 7.0);
+  EXPECT_DOUBLE_EQ(per_second.billed_time(43.8), 44.0);
+}
+
+TEST(Billing, CostScalesWithRate) {
+  const BillingPolicy hourly(1.0);
+  EXPECT_DOUBLE_EQ(hourly.cost(6.6667, 1.0), 7.0);   // w4 on VT1 (example)
+  EXPECT_DOUBLE_EQ(hourly.cost(1.3333, 4.0), 8.0);   // 2 quanta at rate 4
+}
+
+TEST(Billing, QuantumScaling) {
+  const BillingPolicy minutes(1.0 / 60.0);
+  EXPECT_NEAR(minutes.billed_time(0.5), 0.5, 1e-12);      // 30 min exact
+  EXPECT_NEAR(minutes.billed_time(0.5001), 0.5 + 1.0 / 60.0, 1e-9);
+}
+
+TEST(Billing, RejectsBadArguments) {
+  EXPECT_THROW(BillingPolicy(0.0), medcc::InvalidArgument);
+  EXPECT_THROW(BillingPolicy(-1.0), medcc::InvalidArgument);
+  const BillingPolicy hourly(1.0);
+  EXPECT_THROW((void)hourly.billed_time(-1.0), medcc::InvalidArgument);
+}
+
+TEST(CostModel, ExecutionTimeEq6) {
+  const VmType vm{"t", 15.0, 4.0};
+  EXPECT_DOUBLE_EQ(medcc::cloud::execution_time(40.2, vm), 2.68);
+  EXPECT_THROW((void)medcc::cloud::execution_time(-1.0, vm),
+               medcc::InvalidArgument);
+}
+
+TEST(CostModel, ExecutionCostEq7) {
+  const VmType vm{"t", 15.0, 4.0};
+  const BillingPolicy hourly(1.0);
+  // T = 2.68 -> T' = 3 -> C = 12.
+  EXPECT_DOUBLE_EQ(medcc::cloud::execution_cost(
+                       medcc::cloud::execution_time(40.2, vm), vm, hourly),
+                   12.0);
+}
+
+TEST(CostModel, TransferTimeEq5) {
+  medcc::cloud::NetworkModel net;
+  EXPECT_TRUE(net.instantaneous());
+  EXPECT_DOUBLE_EQ(medcc::cloud::transfer_time(100.0, net), 0.0);
+  net.bandwidth = 10.0;
+  net.link_delay = 0.5;
+  EXPECT_DOUBLE_EQ(medcc::cloud::transfer_time(100.0, net), 10.5);
+  EXPECT_DOUBLE_EQ(medcc::cloud::transfer_time(0.0, net), 0.0);
+  EXPECT_THROW((void)medcc::cloud::transfer_time(-1.0, net),
+               medcc::InvalidArgument);
+}
+
+TEST(CostModel, TransferCostEq4) {
+  medcc::cloud::NetworkModel net;
+  net.transfer_cost_rate = 0.25;
+  EXPECT_DOUBLE_EQ(medcc::cloud::transfer_cost(8.0, net), 2.0);
+  net.transfer_cost_rate = 0.0;  // intra-cloud: CR = 0
+  EXPECT_DOUBLE_EQ(medcc::cloud::transfer_cost(8.0, net), 0.0);
+}
+
+TEST(CostModel, ProgramTimeAndCostEq1And2) {
+  const VmType vm{"t", 10.0, 2.0};
+  medcc::cloud::NetworkModel net;
+  net.bandwidth = 5.0;
+  medcc::cloud::VmLifecycleModel lifecycle;
+  lifecycle.startup_time = 0.5;
+  lifecycle.startup_cost = 1.0;
+  lifecycle.storage_cost = 0.25;
+  const BillingPolicy hourly(1.0);
+  // T = 0.5 + 20/10 + 10/5 = 4.5.
+  EXPECT_DOUBLE_EQ(
+      medcc::cloud::program_time(20.0, 10.0, vm, net, lifecycle), 4.5);
+  // C = 1.0 + 2*ceil(2.0) + 0 + 0.25 = 5.25.
+  EXPECT_DOUBLE_EQ(medcc::cloud::program_cost(20.0, 10.0, vm, net, lifecycle,
+                                              hourly),
+                   5.25);
+}
+
+}  // namespace

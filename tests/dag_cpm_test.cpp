@@ -1,0 +1,184 @@
+#include "dag/critical_path.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+
+#include "util/prng.hpp"
+
+namespace {
+
+using medcc::dag::compute_cpm;
+using medcc::dag::Dag;
+using medcc::dag::NodeId;
+
+TEST(Cpm, SingleNode) {
+  Dag g(1);
+  const auto r = compute_cpm(g, std::vector<double>{3.0});
+  EXPECT_DOUBLE_EQ(r.makespan, 3.0);
+  EXPECT_DOUBLE_EQ(r.est[0], 0.0);
+  EXPECT_DOUBLE_EQ(r.eft[0], 3.0);
+  EXPECT_TRUE(r.critical[0]);
+  EXPECT_EQ(r.critical_path, std::vector<NodeId>{0});
+}
+
+TEST(Cpm, Chain) {
+  Dag g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  const auto r = compute_cpm(g, std::vector<double>{1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(r.makespan, 6.0);
+  EXPECT_DOUBLE_EQ(r.est[2], 3.0);
+  EXPECT_DOUBLE_EQ(r.lft[0], 1.0);
+  for (NodeId v = 0; v < 3; ++v) {
+    EXPECT_TRUE(r.critical[v]);
+    EXPECT_NEAR(r.buffer[v], 0.0, 1e-12);
+  }
+  EXPECT_EQ(r.critical_path, (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(Cpm, DiamondBufferOnShortBranch) {
+  Dag g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  const auto r = compute_cpm(g, std::vector<double>{1.0, 5.0, 2.0, 1.0});
+  EXPECT_DOUBLE_EQ(r.makespan, 7.0);
+  EXPECT_TRUE(r.critical[0]);
+  EXPECT_TRUE(r.critical[1]);
+  EXPECT_FALSE(r.critical[2]);
+  EXPECT_TRUE(r.critical[3]);
+  EXPECT_DOUBLE_EQ(r.buffer[2], 3.0);
+  EXPECT_EQ(r.critical_path, (std::vector<NodeId>{0, 1, 3}));
+}
+
+TEST(Cpm, EdgeWeightsExtendPaths) {
+  Dag g(2);
+  g.add_edge(0, 1);
+  const std::vector<double> nodes = {1.0, 1.0};
+  const std::vector<double> edges = {2.5};
+  const auto r = compute_cpm(g, nodes, edges);
+  EXPECT_DOUBLE_EQ(r.makespan, 4.5);
+  EXPECT_DOUBLE_EQ(r.est[1], 3.5);
+}
+
+TEST(Cpm, ParallelComponentsIndependent) {
+  Dag g(2);  // two isolated nodes
+  const auto r = compute_cpm(g, std::vector<double>{2.0, 5.0});
+  EXPECT_DOUBLE_EQ(r.makespan, 5.0);
+  EXPECT_FALSE(r.critical[0]);  // buffer 3
+  EXPECT_TRUE(r.critical[1]);
+}
+
+TEST(Cpm, ZeroWeightsAllCritical) {
+  Dag g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  const auto r = compute_cpm(g, std::vector<double>{0.0, 0.0, 0.0});
+  EXPECT_DOUBLE_EQ(r.makespan, 0.0);
+  for (NodeId v = 0; v < 3; ++v) EXPECT_TRUE(r.critical[v]);
+}
+
+TEST(Cpm, RejectsBadInputs) {
+  Dag g(2);
+  g.add_edge(0, 1);
+  EXPECT_THROW((void)compute_cpm(g, std::vector<double>{1.0}),
+               medcc::InvalidArgument);  // size mismatch
+  EXPECT_THROW((void)compute_cpm(g, std::vector<double>{1.0, -1.0}),
+               medcc::InvalidArgument);  // negative
+  EXPECT_THROW((void)compute_cpm(g, std::vector<double>{1.0, 1.0},
+                                 std::vector<double>{1.0, 2.0}),
+               medcc::InvalidArgument);  // edge size mismatch
+}
+
+TEST(Cpm, RejectsCycle) {
+  Dag g(2);
+  g.add_edge(0, 1);
+  // Build a cyclic graph directly.
+  Dag cyc(2);
+  cyc.add_edge(0, 1);
+  cyc.add_edge(1, 0);
+  EXPECT_THROW((void)compute_cpm(cyc, std::vector<double>{1.0, 1.0}),
+               medcc::InvalidArgument);
+}
+
+TEST(Cpm, MakespanHelperMatches) {
+  Dag g(2);
+  g.add_edge(0, 1);
+  const std::vector<double> w = {2.0, 3.0};
+  EXPECT_DOUBLE_EQ(medcc::dag::makespan(g, w),
+                   compute_cpm(g, w).makespan);
+}
+
+/// Brute-force longest path for cross-checking (small graphs only).
+double brute_force_longest(const Dag& g, const std::vector<double>& w,
+                           const std::vector<double>& ew) {
+  double best = 0.0;
+  // DFS from every node.
+  std::function<void(NodeId, double)> dfs = [&](NodeId v, double len) {
+    len += w[v];
+    best = std::max(best, len);
+    for (auto e : g.out_edges(v))
+      dfs(g.edge(e).dst, len + (ew.empty() ? 0.0 : ew[e]));
+  };
+  for (NodeId v = 0; v < g.node_count(); ++v)
+    if (g.in_degree(v) == 0) dfs(v, 0.0);
+  return best;
+}
+
+class CpmPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CpmPropertyTest, RandomDagInvariants) {
+  medcc::util::Prng rng(GetParam());
+  const auto n = static_cast<std::size_t>(rng.uniform_int(2, 14));
+  Dag g(n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j)
+      if (rng.bernoulli(0.35)) g.add_edge(i, j);
+  std::vector<double> w(n), ew(g.edge_count());
+  for (auto& x : w) x = rng.uniform_real(0.0, 10.0);
+  const bool with_edges = rng.bernoulli(0.5);
+  for (auto& x : ew) x = with_edges ? rng.uniform_real(0.0, 3.0) : 0.0;
+
+  const auto r = compute_cpm(g, w, ew);
+
+  // 1. Makespan equals the brute-force longest path.
+  EXPECT_NEAR(r.makespan, brute_force_longest(g, w, ew), 1e-9);
+
+  // 2. Buffers are non-negative; critical nodes have zero buffer.
+  for (NodeId v = 0; v < n; ++v) {
+    EXPECT_GE(r.buffer[v], -1e-9);
+    EXPECT_NEAR(r.buffer[v], r.lft[v] - r.eft[v], 1e-9);
+    if (r.critical[v]) EXPECT_LE(r.buffer[v], 1e-6 * std::max(1.0, r.makespan));
+  }
+
+  // 3. est/eft consistency along every edge.
+  for (std::size_t e = 0; e < g.edge_count(); ++e) {
+    const auto& edge = g.edge(e);
+    EXPECT_GE(r.est[edge.dst] + 1e-9, r.eft[edge.src] + ew[e]);
+  }
+
+  // 4. The extracted critical path is a real path whose length equals the
+  //    makespan.
+  ASSERT_FALSE(r.critical_path.empty());
+  double len = 0.0;
+  for (std::size_t k = 0; k < r.critical_path.size(); ++k) {
+    len += w[r.critical_path[k]];
+    if (k + 1 < r.critical_path.size()) {
+      const NodeId a = r.critical_path[k], b = r.critical_path[k + 1];
+      ASSERT_TRUE(g.has_edge(a, b));
+      if (!ew.empty()) {
+        for (auto e : g.out_edges(a))
+          if (g.edge(e).dst == b) len += ew[e];
+      }
+    }
+  }
+  EXPECT_NEAR(len, r.makespan, 1e-6 * std::max(1.0, r.makespan));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CpmPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace

@@ -1,0 +1,75 @@
+#include "dag/dot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dag/critical_path.hpp"
+#include "sched/bounds.hpp"
+#include "workflow/patterns.hpp"
+
+namespace {
+
+using medcc::dag::Dag;
+using medcc::dag::DotOptions;
+using medcc::dag::to_dot;
+
+Dag chain3() {
+  Dag g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  return g;
+}
+
+TEST(Dot, DefaultLabelsAndEdges) {
+  const auto out = to_dot(chain3());
+  EXPECT_NE(out.find("digraph workflow"), std::string::npos);
+  EXPECT_NE(out.find("n0 [label=\"w0\"]"), std::string::npos);
+  EXPECT_NE(out.find("n0 -> n1;"), std::string::npos);
+  EXPECT_NE(out.find("n1 -> n2;"), std::string::npos);
+}
+
+TEST(Dot, CustomLabelsAndHighlight) {
+  DotOptions opts;
+  opts.graph_name = "g";
+  opts.node_labels = {"alpha", "beta", "gamma"};
+  opts.edge_labels = {"5", "7"};
+  opts.highlight = {true, false, true};
+  const auto out = to_dot(chain3(), opts);
+  EXPECT_NE(out.find("digraph g"), std::string::npos);
+  EXPECT_NE(out.find("label=\"alpha\", style=filled"), std::string::npos);
+  EXPECT_NE(out.find("label=\"beta\"];"), std::string::npos);
+  EXPECT_NE(out.find("[label=\"5\"]"), std::string::npos);
+}
+
+TEST(Dot, ArityEnforced) {
+  DotOptions opts;
+  opts.node_labels = {"only-one"};
+  EXPECT_THROW((void)to_dot(chain3(), opts), medcc::LogicError);
+  DotOptions opts2;
+  opts2.edge_labels = {"1", "2", "3"};
+  EXPECT_THROW((void)to_dot(chain3(), opts2), medcc::LogicError);
+}
+
+TEST(Dot, WorkflowWithCriticalPathHighlight) {
+  // End-to-end: export the example workflow with the least-cost critical
+  // path highlighted -- the visual debugging flow a user would run.
+  const auto inst = medcc::sched::Instance::from_model(
+      medcc::workflow::example6(), medcc::cloud::example_catalog());
+  const auto least = medcc::sched::least_cost_schedule(inst);
+  const auto eval = medcc::sched::evaluate(inst, least);
+  DotOptions opts;
+  opts.node_labels = inst.workflow().module_names();
+  opts.highlight = eval.cpm.critical;
+  const auto out = to_dot(inst.workflow().graph(), opts);
+  // The least-cost CP is w0-w2-w4-w6-w7; w2 must be highlighted.
+  EXPECT_NE(out.find("label=\"w2\", style=filled"), std::string::npos);
+  // w3 has slack; it must not be filled.
+  EXPECT_NE(out.find("label=\"w3\"];"), std::string::npos);
+}
+
+TEST(Dot, EmptyGraphStillValidDot) {
+  const auto out = to_dot(Dag{});
+  EXPECT_NE(out.find("digraph"), std::string::npos);
+  EXPECT_NE(out.find('}'), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,119 @@
+#include "expr/robustness.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "expr/instance_gen.hpp"
+#include "sched/bounds.hpp"
+#include "sched/critical_greedy.hpp"
+#include "workflow/patterns.hpp"
+
+namespace {
+
+using medcc::expr::assess_robustness;
+using medcc::expr::RobustnessOptions;
+using medcc::sched::Instance;
+
+Instance example_instance() {
+  return Instance::from_model(medcc::workflow::example6(),
+                              medcc::cloud::example_catalog());
+}
+
+TEST(Robustness, ZeroNoiseIsDeterministicallyNominal) {
+  const auto inst = example_instance();
+  const auto r = medcc::sched::critical_greedy(inst, 57.0);
+  medcc::util::ThreadPool pool(2);
+  RobustnessOptions opts;
+  opts.noise = 0.0;
+  opts.trials = 50;
+  const auto report = assess_robustness(inst, r.schedule, pool, opts);
+  EXPECT_NEAR(report.nominal_med, 6.77, 0.005);
+  for (double med : report.samples)
+    EXPECT_DOUBLE_EQ(med, report.nominal_med);
+  EXPECT_DOUBLE_EQ(report.stddev, 0.0);
+}
+
+TEST(Robustness, DeterministicGivenSeed) {
+  const auto inst = example_instance();
+  const auto least = medcc::sched::least_cost_schedule(inst);
+  medcc::util::ThreadPool pool(4);
+  RobustnessOptions opts;
+  opts.trials = 100;
+  opts.seed = 9;
+  const auto a = assess_robustness(inst, least, pool, opts);
+  const auto b = assess_robustness(inst, least, pool, opts);
+  EXPECT_EQ(a.samples, b.samples);
+}
+
+TEST(Robustness, MeanRealizedMedAtLeastNominal) {
+  // max over paths is convex in the durations, so under zero-mean noise
+  // the expected realized MED is >= the nominal MED (Jensen).
+  medcc::util::Prng rng(4);
+  const auto inst = medcc::expr::make_instance({15, 40, 4}, rng);
+  const auto bounds = medcc::sched::cost_bounds(inst);
+  const auto r = medcc::sched::critical_greedy(
+      inst, 0.5 * (bounds.cmin + bounds.cmax));
+  medcc::util::ThreadPool pool(2);
+  RobustnessOptions opts;
+  opts.trials = 400;
+  opts.noise = 0.15;
+  const auto report = assess_robustness(inst, r.schedule, pool, opts);
+  EXPECT_GE(report.mean, report.nominal_med * 0.995);
+  EXPECT_GE(report.p95, report.p50);
+  EXPECT_GE(report.max, report.p95);
+}
+
+TEST(Robustness, MissRateMonotoneInDeadline) {
+  const auto inst = example_instance();
+  const auto r = medcc::sched::critical_greedy(inst, 57.0);
+  medcc::util::ThreadPool pool(2);
+  RobustnessOptions opts;
+  opts.trials = 200;
+  opts.noise = 0.1;
+  const auto report = assess_robustness(inst, r.schedule, pool, opts);
+  std::vector<double> probes = {report.nominal_med * 0.9,
+                                report.nominal_med, report.p50, report.p95,
+                                report.max + 1.0};
+  std::sort(probes.begin(), probes.end());
+  double previous = 1.0;
+  for (double deadline : probes) {
+    const double rate = report.miss_rate(deadline);
+    EXPECT_LE(rate, previous + 1e-12);
+    previous = rate;
+  }
+  EXPECT_DOUBLE_EQ(report.miss_rate(report.max + 1.0), 0.0);
+  // p95 by construction leaves ~5% of mass above it.
+  EXPECT_NEAR(report.miss_rate(report.p95), 0.05, 0.03);
+}
+
+TEST(Robustness, FixedModulesAreNotPerturbed) {
+  // A workflow of only fixed modules has zero variance at any noise.
+  medcc::workflow::Workflow wf;
+  const auto a = wf.add_fixed_module("a", 1.0);
+  const auto b = wf.add_fixed_module("b", 2.0);
+  wf.add_dependency(a, b);
+  const auto inst =
+      Instance::from_model(wf, medcc::cloud::example_catalog());
+  medcc::sched::Schedule s;
+  s.type_of.assign(2, 0);
+  medcc::util::ThreadPool pool(2);
+  RobustnessOptions opts;
+  opts.noise = 0.5;
+  opts.trials = 20;
+  const auto report = assess_robustness(inst, s, pool, opts);
+  EXPECT_DOUBLE_EQ(report.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(report.mean, 3.0);
+}
+
+TEST(Robustness, OptionValidation) {
+  const auto inst = example_instance();
+  const auto least = medcc::sched::least_cost_schedule(inst);
+  medcc::util::ThreadPool pool(1);
+  RobustnessOptions opts;
+  opts.trials = 0;
+  EXPECT_THROW((void)assess_robustness(inst, least, pool, opts),
+               medcc::LogicError);
+}
+
+}  // namespace

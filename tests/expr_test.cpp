@@ -1,0 +1,132 @@
+#include "expr/compare.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using medcc::expr::improvement_percent;
+
+TEST(Improvement, Formula) {
+  EXPECT_DOUBLE_EQ(improvement_percent(8.0, 10.0), 20.0);
+  EXPECT_DOUBLE_EQ(improvement_percent(10.0, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(improvement_percent(12.0, 10.0), -20.0);
+  EXPECT_DOUBLE_EQ(improvement_percent(1.0, 0.0), 0.0);  // guarded
+}
+
+TEST(Sizes, Table4ListMatchesPaper) {
+  const auto& sizes = medcc::expr::table4_sizes();
+  ASSERT_EQ(sizes.size(), 20u);
+  EXPECT_EQ(sizes.front().modules, 5u);
+  EXPECT_EQ(sizes.front().edges, 6u);
+  EXPECT_EQ(sizes.front().types, 3u);
+  EXPECT_EQ(sizes.back().modules, 100u);
+  EXPECT_EQ(sizes.back().edges, 2344u);
+  EXPECT_EQ(sizes.back().types, 9u);
+  // Monotone in module count.
+  for (std::size_t k = 1; k < sizes.size(); ++k)
+    EXPECT_EQ(sizes[k].modules, sizes[k - 1].modules + 5);
+}
+
+TEST(Sizes, Fig7ListMatchesPaper) {
+  const auto& sizes = medcc::expr::fig7_sizes();
+  ASSERT_EQ(sizes.size(), 4u);
+  EXPECT_EQ(sizes[3].modules, 8u);
+  EXPECT_EQ(sizes[3].edges, 18u);
+}
+
+TEST(MakeInstance, DeterministicPerStream) {
+  medcc::util::Prng a(5), b(5);
+  const auto x = medcc::expr::make_instance({10, 20, 4}, a);
+  const auto y = medcc::expr::make_instance({10, 20, 4}, b);
+  for (std::size_t i = 0; i < x.module_count(); ++i)
+    for (std::size_t j = 0; j < x.type_count(); ++j)
+      EXPECT_DOUBLE_EQ(x.time(i, j), y.time(i, j));
+}
+
+TEST(MakeInstance, ShapeMatchesSize) {
+  medcc::util::Prng rng(6);
+  const auto inst = medcc::expr::make_instance({15, 65, 5}, rng);
+  EXPECT_EQ(inst.module_count(), 15u);
+  EXPECT_EQ(inst.workflow().dependency_count(), 65u);
+  EXPECT_EQ(inst.type_count(), 5u);
+}
+
+TEST(SweepBudgets, CellsAreFeasibleAndOrdered) {
+  medcc::util::Prng rng(7);
+  const auto inst = medcc::expr::make_instance({12, 30, 4}, rng);
+  const auto cells = medcc::expr::sweep_budgets(inst, 10);
+  ASSERT_EQ(cells.size(), 10u);
+  for (std::size_t k = 0; k < cells.size(); ++k) {
+    EXPECT_LE(cells[k].cost_cg, cells[k].budget + 1e-6);
+    EXPECT_LE(cells[k].cost_gain, cells[k].budget + 1e-6);
+    if (k > 0) {
+      EXPECT_GT(cells[k].budget, cells[k - 1].budget);
+      // (No MED monotonicity check: CG is not budget-monotone in general;
+      // see sched_cg_test GreedyCanBeNonMonotoneAcrossBudgets.)
+    }
+  }
+}
+
+TEST(Table4Sweep, ReducedScaleRunsAndIsDeterministic) {
+  medcc::util::ThreadPool pool(2);
+  const auto a = medcc::expr::table4_sweep(pool, 42, /*levels=*/3);
+  const auto b = medcc::expr::table4_sweep(pool, 42, /*levels=*/3);
+  ASSERT_EQ(a.size(), 20u);
+  for (std::size_t s = 0; s < a.size(); ++s) {
+    EXPECT_DOUBLE_EQ(a[s].avg_med_cg, b[s].avg_med_cg);
+    EXPECT_DOUBLE_EQ(a[s].avg_med_gain, b[s].avg_med_gain);
+    EXPECT_GT(a[s].avg_med_cg, 0.0);
+    // CG is a heuristic and can lose individual cells; at this reduced
+    // scale (3 budget levels, 1 instance per size) just bound the damage.
+    // The full-resolution sweep (bench/repro_table4_fig8) shows the
+    // paper's CG-dominant shape.
+    EXPECT_LE(a[s].ratio, 1.25);
+  }
+}
+
+TEST(ImprovementGrid, ShapeAndAggregates) {
+  medcc::util::ThreadPool pool(2);
+  // Tiny grid: 2 instances x 4 levels over the 20 sizes would still be
+  // slow; run with instances=1, levels=2 for shape checks only... the
+  // grid API fixes sizes to the paper's 20, so keep parameters minimal.
+  const auto grid = medcc::expr::improvement_grid(pool, 7, /*instances=*/1,
+                                                  /*levels=*/2);
+  ASSERT_EQ(grid.sizes.size(), 20u);
+  ASSERT_EQ(grid.cell.size(), 20u);
+  ASSERT_EQ(grid.cell.front().size(), 2u);
+  ASSERT_EQ(grid.by_size.size(), 20u);
+  ASSERT_EQ(grid.by_level.size(), 2u);
+  // Aggregates are consistent with the cells.
+  double total = 0.0;
+  for (const auto& row : grid.cell)
+    for (double v : row) total += v;
+  EXPECT_NEAR(grid.overall, total / 40.0, 1e-9);
+}
+
+TEST(OptimalityStudy, SmallScaleCgDominatesGain) {
+  medcc::util::ThreadPool pool(2);
+  const std::vector<medcc::expr::ProblemSize> sizes = {{5, 6, 3}, {6, 11, 3}};
+  const auto studies =
+      medcc::expr::optimality_study(pool, sizes, /*instances=*/8, 11);
+  ASSERT_EQ(studies.size(), 2u);
+  for (const auto& study : studies) {
+    EXPECT_GE(study.cg_percent_optimal, 0.0);
+    EXPECT_LE(study.cg_percent_optimal, 100.0);
+    // CG reaches the optimum at least as often as GAIN3 (Fig. 7's shape).
+    EXPECT_GE(study.cg_percent_optimal, study.gain_percent_optimal);
+    for (const auto& cell : study.cells) {
+      EXPECT_LE(cell.med_optimal, cell.med_cg + 1e-9);
+      EXPECT_LE(cell.med_optimal, cell.med_gain + 1e-9);
+    }
+  }
+}
+
+TEST(OptimalityStudy, RandomBudgetVariantRuns) {
+  medcc::util::ThreadPool pool(2);
+  const std::vector<medcc::expr::ProblemSize> sizes = {{5, 6, 3}};
+  const auto studies = medcc::expr::optimality_study(
+      pool, sizes, /*instances=*/4, 13, /*random_budget=*/true);
+  EXPECT_EQ(studies.front().cells.size(), 4u);
+}
+
+}  // namespace

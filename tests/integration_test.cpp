@@ -1,0 +1,161 @@
+// End-to-end integration tests: full pipelines from workflow generation
+// through scheduling, simulation, reuse planning and the testbed runner.
+#include <gtest/gtest.h>
+
+#include "expr/compare.hpp"
+#include "sched/bounds.hpp"
+#include "sched/critical_greedy.hpp"
+#include "sched/exhaustive.hpp"
+#include "sched/gain_loss.hpp"
+#include "sched/mckp.hpp"
+#include "sched/vm_reuse.hpp"
+#include "sim/executor.hpp"
+#include "testbed/runner.hpp"
+#include "testbed/wrf_experiment.hpp"
+#include "workflow/clustering.hpp"
+#include "workflow/patterns.hpp"
+#include "workflow/wrf.hpp"
+
+namespace {
+
+using medcc::sched::Instance;
+
+TEST(Integration, Example6FullStory) {
+  // The complete numerical-example narrative of Section V-B.
+  const auto inst = Instance::from_model(medcc::workflow::example6(),
+                                         medcc::cloud::example_catalog());
+  const auto bounds = medcc::sched::cost_bounds(inst);
+  EXPECT_DOUBLE_EQ(bounds.cmin, 48.0);
+  EXPECT_DOUBLE_EQ(bounds.cmax, 64.0);
+
+  // CG at B=57, validated by simulation (analytic == simulated).
+  const auto r = medcc::sched::critical_greedy(inst, 57.0);
+  const auto sim = medcc::sim::execute(inst, r.schedule);
+  EXPECT_NEAR(sim.makespan, r.eval.med, 1e-9);
+
+  // The exhaustive optimum at 57 cannot beat CG here (CG is optimal on
+  // this instance at this budget).
+  const auto opt = medcc::sched::exhaustive_optimal(inst, 57.0);
+  EXPECT_NEAR(opt.eval.med, r.eval.med, 1e-9);
+
+  // Fig. 6: the MED staircase is non-increasing over integer budgets.
+  double previous = std::numeric_limits<double>::infinity();
+  for (double budget = 48.0; budget <= 64.0; budget += 1.0) {
+    const auto step = medcc::sched::critical_greedy(inst, budget);
+    EXPECT_LE(step.eval.med, previous + 1e-9);
+    previous = step.eval.med;
+  }
+}
+
+TEST(Integration, WrfFullStory) {
+  // Table VII end-to-end: schedule, simulate, reuse, threaded replay.
+  const auto inst = medcc::testbed::wrf_instance();
+  const auto r = medcc::sched::critical_greedy(inst, 155.0);
+
+  // Simulated execution reproduces the analytic MED.
+  medcc::sim::ExecutorOptions opts;
+  opts.reuse_vms = true;
+  const auto sim = medcc::sim::execute(inst, r.schedule, opts);
+  EXPECT_NEAR(sim.makespan, r.eval.med, 1e-9);
+
+  // VM reuse shrinks the fleet ("w4 and w6 are executed on the same VM").
+  const auto plan = medcc::sched::plan_vm_reuse(inst, r.schedule);
+  EXPECT_LT(plan.instances.size(), 6u);
+
+  // Scaled threaded replay lands near the analytic MED. The tolerance is
+  // generous because wall-clock jitter on a loaded single-core box can
+  // reach tens of milliseconds against a ~90 ms replay.
+  medcc::testbed::RunnerOptions ropts;
+  ropts.time_scale = 2e-4;
+  const auto run = medcc::testbed::run_threaded(inst, r.schedule, ropts);
+  EXPECT_NEAR(run.measured_makespan, run.analytic_med,
+              0.4 * run.analytic_med);
+  EXPECT_GE(run.measured_makespan, 0.9 * run.analytic_med);
+}
+
+TEST(Integration, ClusteredWorkflowSchedulesEndToEnd) {
+  // Cluster an ungrouped WRF-style workflow, then schedule and simulate
+  // the aggregate -- the paper's full preprocessing + scheduling chain.
+  const auto raw = medcc::workflow::wrf_experiment_ungrouped();
+  const auto clustering =
+      medcc::workflow::transfer_aware_clustering(raw, 700.0);
+  EXPECT_LT(clustering.aggregated.module_count(), raw.module_count());
+
+  const auto inst = Instance::from_model(clustering.aggregated,
+                                         medcc::cloud::wrf_catalog());
+  const auto bounds = medcc::sched::cost_bounds(inst);
+  const auto r = medcc::sched::critical_greedy(
+      inst, 0.5 * (bounds.cmin + bounds.cmax));
+  const auto sim = medcc::sim::execute(inst, r.schedule);
+  EXPECT_NEAR(sim.makespan, r.eval.med, 1e-9);
+}
+
+TEST(Integration, PipelineStoryMckpEqualsSearchEqualsSim) {
+  // The Section-IV special case end-to-end.
+  const std::vector<double> wl = {12.0, 47.0, 8.0, 33.0};
+  const auto inst = Instance::from_model(medcc::workflow::pipeline(wl),
+                                         medcc::cloud::example_catalog());
+  const auto bounds = medcc::sched::cost_bounds(inst);
+  const double budget = 0.5 * (bounds.cmin + bounds.cmax);
+  const auto via_mckp = medcc::sched::pipeline_optimal(inst, budget);
+  const auto via_search = medcc::sched::exhaustive_optimal(inst, budget);
+  EXPECT_NEAR(via_mckp.eval.med, via_search.eval.med, 1e-9);
+  const auto sim = medcc::sim::execute(inst, via_mckp.schedule);
+  EXPECT_NEAR(sim.makespan, via_mckp.eval.med, 1e-9);
+}
+
+TEST(Integration, AllSchedulersAgreeOnDegenerateCatalog) {
+  // With a single VM type every scheduler must produce the same schedule.
+  medcc::util::Prng rng(21);
+  const auto inst = medcc::expr::make_instance({10, 20, 1}, rng);
+  const auto bounds = medcc::sched::cost_bounds(inst);
+  EXPECT_DOUBLE_EQ(bounds.cmin, bounds.cmax);
+  const auto cg = medcc::sched::critical_greedy(inst, bounds.cmin);
+  const auto g3 = medcc::sched::gain3(inst, bounds.cmin);
+  const auto ls = medcc::sched::loss(inst, bounds.cmin);
+  const auto opt = medcc::sched::exhaustive_optimal(inst, bounds.cmin);
+  EXPECT_EQ(cg.schedule, g3.schedule);
+  EXPECT_EQ(cg.schedule, ls.schedule);
+  EXPECT_EQ(cg.schedule, opt.schedule);
+}
+
+TEST(Integration, MontageCampaignSmall) {
+  // A non-paper workload (Montage-like) through the whole stack: the
+  // library is not WRF-specific.
+  medcc::util::Prng rng(33);
+  const auto wf = medcc::workflow::montage_like(5, rng);
+  const auto inst =
+      Instance::from_model(wf, medcc::cloud::example_catalog());
+  const auto cells = medcc::expr::sweep_budgets(inst, 6);
+  for (const auto& cell : cells) {
+    EXPECT_LE(cell.cost_cg, cell.budget + 1e-6);
+    EXPECT_GT(cell.med_cg, 0.0);
+  }
+  // CG beats or ties GAIN3 on the median budget.
+  EXPECT_LE(cells[3].med_cg, cells[3].med_gain + 1e-9);
+}
+
+TEST(Integration, BudgetBoundaryBehaviourConsistent) {
+  medcc::util::Prng rng(44);
+  const auto inst = medcc::expr::make_instance({9, 16, 3}, rng);
+  const auto bounds = medcc::sched::cost_bounds(inst);
+  // Below Cmin everything refuses identically.
+  EXPECT_THROW((void)medcc::sched::critical_greedy(inst, bounds.cmin - 1.0),
+               medcc::Infeasible);
+  EXPECT_THROW((void)medcc::sched::gain3(inst, bounds.cmin - 1.0),
+               medcc::Infeasible);
+  EXPECT_THROW((void)medcc::sched::loss(inst, bounds.cmin - 1.0),
+               medcc::Infeasible);
+  EXPECT_THROW(
+      (void)medcc::sched::exhaustive_optimal(inst, bounds.cmin - 1.0),
+      medcc::Infeasible);
+  // At Cmax and beyond, CG and LOSS both reach the fastest MED.
+  const auto fastest = medcc::sched::evaluate(
+      inst, medcc::sched::fastest_schedule(inst));
+  EXPECT_NEAR(medcc::sched::critical_greedy(inst, bounds.cmax).eval.med,
+              fastest.med, 1e-9);
+  EXPECT_NEAR(medcc::sched::loss(inst, bounds.cmax).eval.med, fastest.med,
+              1e-9);
+}
+
+}  // namespace

@@ -1,0 +1,203 @@
+#include "multicloud/multicloud.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sched/bounds.hpp"
+#include "sched/critical_greedy.hpp"
+#include "workflow/patterns.hpp"
+#include "workflow/random_workflow.hpp"
+
+namespace {
+
+using medcc::multicloud::CloudSite;
+using medcc::multicloud::critical_greedy_mc;
+using medcc::multicloud::evaluate;
+using medcc::multicloud::Federation;
+using medcc::multicloud::InterCloudLink;
+using medcc::multicloud::McInstance;
+using medcc::multicloud::McSchedule;
+using medcc::multicloud::Placement;
+
+Federation two_sites(InterCloudLink link) {
+  // Site A: the paper's Table I catalog. Site B: faster but pricier.
+  return Federation(
+      {CloudSite{"A", medcc::cloud::example_catalog()},
+       CloudSite{"B", medcc::cloud::VmCatalog({{"B1", 30.0, 9.0},
+                                               {"B2", 60.0, 20.0}})}},
+      link);
+}
+
+McInstance example_mc(InterCloudLink link = {}) {
+  return McInstance(medcc::workflow::example6(), two_sites(link));
+}
+
+TEST(Federation, Validation) {
+  EXPECT_THROW(Federation({}, {}), medcc::InvalidArgument);
+  InterCloudLink bad;
+  bad.bandwidth = -1.0;
+  EXPECT_THROW(
+      Federation({CloudSite{"A", medcc::cloud::example_catalog()}}, bad),
+      medcc::InvalidArgument);
+}
+
+TEST(Federation, IntraSiteTransfersFree) {
+  InterCloudLink link;
+  link.bandwidth = 1.0;
+  link.cost_per_unit = 2.0;
+  const auto fed = two_sites(link);
+  EXPECT_DOUBLE_EQ(fed.transfer_time(0, 0, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(fed.transfer_cost(1, 1, 100.0), 0.0);
+}
+
+TEST(Federation, InterSiteTransferModel) {
+  InterCloudLink link;
+  link.bandwidth = 10.0;
+  link.delay = 0.5;
+  link.cost_per_unit = 0.25;
+  const auto fed = two_sites(link);
+  EXPECT_DOUBLE_EQ(fed.transfer_time(0, 1, 100.0), 10.5);
+  EXPECT_DOUBLE_EQ(fed.transfer_cost(0, 1, 100.0), 25.0);
+  EXPECT_DOUBLE_EQ(fed.transfer_time(0, 1, 0.0), 0.0);
+}
+
+TEST(Federation, LinkOverridesArePerOrderedPair) {
+  InterCloudLink slow;
+  slow.bandwidth = 1.0;
+  auto fed = two_sites(slow);
+  InterCloudLink fast;
+  fast.bandwidth = 100.0;
+  fed.set_link(0, 1, fast);
+  EXPECT_DOUBLE_EQ(fed.transfer_time(0, 1, 100.0), 1.0);
+  EXPECT_DOUBLE_EQ(fed.transfer_time(1, 0, 100.0), 100.0);  // unchanged
+  EXPECT_THROW(fed.set_link(0, 0, fast), medcc::InvalidArgument);
+}
+
+TEST(McInstance, TimesAndCostsPerSite) {
+  const auto inst = example_mc();
+  // w5 (WL 40.2) on site A VT2: 2.68 h, $12; on site B B2 (VP 60): 0.67 h.
+  EXPECT_NEAR(inst.time(5, Placement{0, 1}), 2.68, 1e-12);
+  EXPECT_DOUBLE_EQ(inst.cost(5, Placement{0, 1}), 12.0);
+  EXPECT_NEAR(inst.time(5, Placement{1, 1}), 0.67, 1e-12);
+  EXPECT_DOUBLE_EQ(inst.cost(5, Placement{1, 1}), 20.0);
+  // Fixed modules are free everywhere.
+  EXPECT_DOUBLE_EQ(inst.cost(0, Placement{1, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(inst.time(0, Placement{1, 0}), 1.0);
+}
+
+TEST(McEvaluation, SingleSiteMatchesSingleCloudModel) {
+  // With every module on site A, the multi-cloud evaluation must equal
+  // the single-cloud MED-CC evaluation of the same type assignment.
+  const auto inst = example_mc();
+  const auto sc_inst = medcc::sched::Instance::from_model(
+      medcc::workflow::example6(), medcc::cloud::example_catalog());
+  const auto least = medcc::sched::least_cost_schedule(sc_inst);
+  McSchedule mc;
+  mc.of.resize(least.type_of.size());
+  for (std::size_t i = 0; i < least.type_of.size(); ++i)
+    mc.of[i] = Placement{0, least.type_of[i]};
+  const auto mc_eval = evaluate(inst, mc);
+  const auto sc_eval = medcc::sched::evaluate(sc_inst, least);
+  EXPECT_NEAR(mc_eval.med, sc_eval.med, 1e-12);
+  EXPECT_NEAR(mc_eval.cost, sc_eval.cost, 1e-12);
+  EXPECT_DOUBLE_EQ(mc_eval.transfer_cost, 0.0);
+}
+
+TEST(McEvaluation, CrossSiteEdgesAddTimeAndMoney) {
+  InterCloudLink link;
+  link.bandwidth = 0.5;  // 1.0-unit edges take 2 h
+  link.cost_per_unit = 3.0;
+  const auto inst = example_mc(link);
+  McSchedule mc;
+  mc.of.assign(8, Placement{0, 2});
+  const auto same = evaluate(inst, mc);
+  mc.of[5] = Placement{1, 0};  // w5 moves to site B
+  const auto split = evaluate(inst, mc);
+  // w5 has 3 incident edges (w3->w5, w4->w5, w5->w7): 3 data units cross.
+  EXPECT_DOUBLE_EQ(split.transfer_cost, 9.0);
+  EXPECT_GT(split.med, same.med);  // 2 h per crossing edge on the path
+}
+
+TEST(McLeastCost, PicksTheCheaperSite) {
+  const auto inst = example_mc();
+  const auto seed = medcc::multicloud::single_site_least_cost(inst);
+  // Site A's least cost is 48; site B's cheapest is B1 with rate 9 --
+  // far more expensive. All modules must sit on site A.
+  for (const auto& p : seed.of) EXPECT_EQ(p.site, 0u);
+  EXPECT_DOUBLE_EQ(evaluate(inst, seed).cost, 48.0);
+}
+
+TEST(McCriticalGreedy, InfeasibleThrows) {
+  const auto inst = example_mc();
+  EXPECT_THROW((void)critical_greedy_mc(inst, 47.0), medcc::Infeasible);
+}
+
+TEST(McCriticalGreedy, DegeneratesToSingleCloudWhenLinksAreTerrible) {
+  // With prohibitive inter-cloud costs, the multi-cloud CG must never
+  // leave site A and must match the single-cloud CG MED at each budget.
+  InterCloudLink hostile;
+  hostile.bandwidth = 1e-6;
+  hostile.cost_per_unit = 1e6;
+  const auto inst = example_mc(hostile);
+  const auto sc_inst = medcc::sched::Instance::from_model(
+      medcc::workflow::example6(), medcc::cloud::example_catalog());
+  for (double budget : {48.0, 52.0, 57.0, 64.0}) {
+    const auto mc = critical_greedy_mc(inst, budget);
+    for (const auto& p : mc.schedule.of) EXPECT_EQ(p.site, 0u);
+    const auto sc = medcc::sched::critical_greedy(sc_inst, budget);
+    EXPECT_NEAR(mc.eval.med, sc.eval.med, 1e-9) << "budget " << budget;
+  }
+}
+
+TEST(McCriticalGreedy, UsesTheFastCloudWhenLinksAreFree) {
+  // Free, instant links: the faster site-B types become pure upgrades.
+  const auto inst = example_mc(InterCloudLink{});
+  const auto r = critical_greedy_mc(inst, 130.0);
+  bool used_b = false;
+  for (const auto& p : r.schedule.of) used_b = used_b || p.site == 1;
+  EXPECT_TRUE(used_b);
+  // And the result beats the best single-cloud CG at the same budget.
+  const auto sc_inst = medcc::sched::Instance::from_model(
+      medcc::workflow::example6(), medcc::cloud::example_catalog());
+  const auto sc = medcc::sched::critical_greedy(sc_inst, 130.0);
+  EXPECT_LT(r.eval.med, sc.eval.med);
+}
+
+TEST(McCriticalGreedy, TransferCostsChargeTheBudget) {
+  InterCloudLink pricey;
+  pricey.cost_per_unit = 5.0;  // every crossing edge costs 5
+  const auto inst = example_mc(pricey);
+  for (double budget : {60.0, 90.0, 120.0}) {
+    const auto r = critical_greedy_mc(inst, budget);
+    EXPECT_LE(r.eval.cost, budget + 1e-6);
+    // Evaluation decomposes: cost includes the transfer share.
+    EXPECT_GE(r.eval.cost, r.eval.transfer_cost);
+  }
+}
+
+class McPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(McPropertyTest, FeasibilityAndSeedDominanceOnRandomWorkflows) {
+  medcc::util::Prng rng(GetParam());
+  medcc::workflow::RandomWorkflowSpec spec;
+  spec.modules = 10;
+  spec.edges = 20;
+  spec.data_size_min = 0.5;
+  spec.data_size_max = 5.0;
+  auto wf = medcc::workflow::random_workflow(spec, rng);
+  InterCloudLink link;
+  link.bandwidth = rng.uniform_real(0.5, 5.0);
+  link.cost_per_unit = rng.uniform_real(0.0, 2.0);
+  const McInstance inst(std::move(wf), two_sites(link));
+  const auto seed = medcc::multicloud::single_site_least_cost(inst);
+  const auto seed_eval = evaluate(inst, seed);
+  for (double factor : {1.0, 1.2, 1.6, 2.5}) {
+    const auto r = critical_greedy_mc(inst, seed_eval.cost * factor);
+    EXPECT_LE(r.eval.cost, seed_eval.cost * factor + 1e-6);
+    EXPECT_LE(r.eval.med, seed_eval.med + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, McPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace

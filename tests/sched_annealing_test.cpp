@@ -1,0 +1,79 @@
+#include "sched/annealing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "expr/instance_gen.hpp"
+#include "sched/bounds.hpp"
+#include "sched/critical_greedy.hpp"
+#include "sched/exhaustive.hpp"
+#include "workflow/patterns.hpp"
+
+namespace {
+
+using medcc::sched::annealing;
+using medcc::sched::AnnealingOptions;
+using medcc::sched::Instance;
+
+Instance example_instance() {
+  return Instance::from_model(medcc::workflow::example6(),
+                              medcc::cloud::example_catalog());
+}
+
+TEST(Annealing, InfeasibleBudgetThrows) {
+  EXPECT_THROW((void)annealing(example_instance(), 40.0), medcc::Infeasible);
+}
+
+TEST(Annealing, DeterministicGivenSeed) {
+  const auto inst = example_instance();
+  AnnealingOptions opts;
+  opts.seed = 5;
+  opts.iterations = 500;
+  const auto a = annealing(inst, 57.0, opts);
+  const auto b = annealing(inst, 57.0, opts);
+  EXPECT_EQ(a.schedule, b.schedule);
+}
+
+TEST(Annealing, RespectsBudget) {
+  const auto inst = example_instance();
+  for (double budget : {48.0, 52.0, 57.0, 64.0}) {
+    AnnealingOptions opts;
+    opts.iterations = 300;
+    EXPECT_LE(annealing(inst, budget, opts).eval.cost, budget + 1e-6);
+  }
+}
+
+TEST(Annealing, NeverWorseThanItsCgSeed) {
+  medcc::util::Prng root(8);
+  for (int k = 0; k < 5; ++k) {
+    auto rng = root.fork(static_cast<std::uint64_t>(k));
+    const auto inst = medcc::expr::make_instance({10, 20, 4}, rng);
+    const auto bounds = medcc::sched::cost_bounds(inst);
+    const double budget = 0.5 * (bounds.cmin + bounds.cmax);
+    AnnealingOptions opts;
+    opts.iterations = 800;
+    opts.seed = static_cast<std::uint64_t>(k) + 1;
+    const auto sa = annealing(inst, budget, opts);
+    const auto cg = medcc::sched::critical_greedy(inst, budget);
+    EXPECT_LE(sa.eval.med, cg.eval.med + 1e-9) << "instance " << k;
+  }
+}
+
+TEST(Annealing, MatchesOptimumOnTheExampleAtB57) {
+  const auto inst = example_instance();
+  const auto sa = annealing(inst, 57.0);
+  const auto opt = medcc::sched::exhaustive_optimal(inst, 57.0);
+  EXPECT_NEAR(sa.eval.med, opt.eval.med, 1e-9);
+}
+
+TEST(Annealing, UnseededStartsFromLeastCostAndImproves) {
+  const auto inst = example_instance();
+  AnnealingOptions opts;
+  opts.seed_with_cg = false;
+  opts.iterations = 2000;
+  const auto sa = annealing(inst, 60.0, opts);
+  const auto least = medcc::sched::evaluate(
+      inst, medcc::sched::least_cost_schedule(inst));
+  EXPECT_LT(sa.eval.med, least.med);
+}
+
+}  // namespace

@@ -1,0 +1,108 @@
+#include "sched/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include "expr/instance_gen.hpp"
+#include "testbed/wrf_experiment.hpp"
+#include "workflow/patterns.hpp"
+
+namespace {
+
+using medcc::sched::budget_levels;
+using medcc::sched::cost_bounds;
+using medcc::sched::fastest_schedule;
+using medcc::sched::Instance;
+using medcc::sched::least_cost_schedule;
+
+Instance example_instance() {
+  return Instance::from_model(medcc::workflow::example6(),
+                              medcc::cloud::example_catalog());
+}
+
+TEST(Bounds, Example6LeastCostMatchesPaper) {
+  const auto inst = example_instance();
+  const auto s = least_cost_schedule(inst);
+  // {w1,w2,w5} -> VT2 (index 1), {w3,w4,w6} -> VT1 (index 0).
+  EXPECT_EQ(s.type_of[1], 1u);
+  EXPECT_EQ(s.type_of[2], 1u);
+  EXPECT_EQ(s.type_of[3], 0u);
+  EXPECT_EQ(s.type_of[4], 0u);
+  EXPECT_EQ(s.type_of[5], 1u);
+  EXPECT_EQ(s.type_of[6], 0u);
+  EXPECT_DOUBLE_EQ(medcc::sched::total_cost(inst, s), 48.0);
+  const auto eval = medcc::sched::evaluate(inst, s);
+  EXPECT_NEAR(eval.med, 16.77, 0.005);  // "total delay of 16.77 hours"
+}
+
+TEST(Bounds, Example6FastestMatchesPaper) {
+  const auto inst = example_instance();
+  const auto s = fastest_schedule(inst);
+  for (std::size_t i = 1; i <= 6; ++i) EXPECT_EQ(s.type_of[i], 2u);
+  EXPECT_DOUBLE_EQ(medcc::sched::total_cost(inst, s), 64.0);
+  const auto eval = medcc::sched::evaluate(inst, s);
+  EXPECT_NEAR(eval.med, 5.43, 0.005);
+}
+
+TEST(Bounds, Example6CostBounds) {
+  const auto bounds = cost_bounds(example_instance());
+  EXPECT_DOUBLE_EQ(bounds.cmin, 48.0);
+  EXPECT_DOUBLE_EQ(bounds.cmax, 64.0);
+}
+
+TEST(Bounds, WrfCostBoundsMatchPaper) {
+  const auto inst = medcc::testbed::wrf_instance();
+  const auto bounds = cost_bounds(inst);
+  EXPECT_NEAR(bounds.cmin, 125.9, 1e-9);
+  EXPECT_NEAR(bounds.cmax, 243.6, 1e-9);
+}
+
+TEST(Bounds, LeastCostTieBreaksTowardsFaster) {
+  // Equal billed cost (0.5*2 = 1 vs 1*1 = 1), different speed: Alg. 1
+  // line 2 picks the faster type.
+  medcc::workflow::Workflow wf;
+  (void)wf.add_module("m", 10.0);
+  const medcc::cloud::VmCatalog forced(
+      {{"slow", 5.0, 0.5}, {"fast", 10.0, 1.0}});
+  const auto inst = medcc::sched::Instance::from_model(wf, forced);
+  const auto s = least_cost_schedule(inst);
+  EXPECT_EQ(s.type_of[0], 1u);
+}
+
+TEST(Bounds, FastestTieBreaksTowardsCheaper) {
+  medcc::workflow::Workflow wf;
+  (void)wf.add_module("m", 10.0);
+  const medcc::cloud::VmCatalog cat(
+      {{"exp", 10.0, 5.0}, {"cheap", 10.0, 1.0}});
+  const auto inst = medcc::sched::Instance::from_model(wf, cat);
+  const auto s = fastest_schedule(inst);
+  EXPECT_EQ(s.type_of[0], 1u);
+}
+
+TEST(Bounds, BudgetLevelsSpanRange) {
+  const medcc::sched::CostBounds bounds{48.0, 64.0};
+  const auto budgets = budget_levels(bounds, 20);
+  ASSERT_EQ(budgets.size(), 20u);
+  EXPECT_NEAR(budgets.front(), 48.8, 1e-12);
+  EXPECT_NEAR(budgets.back(), 64.0, 1e-12);
+  for (std::size_t k = 1; k < budgets.size(); ++k)
+    EXPECT_GT(budgets[k], budgets[k - 1]);
+}
+
+TEST(Bounds, BudgetLevelsDegenerateRange) {
+  const medcc::sched::CostBounds bounds{10.0, 10.0};
+  const auto budgets = budget_levels(bounds, 5);
+  for (double b : budgets) EXPECT_DOUBLE_EQ(b, 10.0);
+}
+
+TEST(Bounds, CminNeverExceedsCmax) {
+  medcc::util::Prng rng(123);
+  for (int k = 0; k < 20; ++k) {
+    auto sub = rng.fork(static_cast<std::uint64_t>(k));
+    const auto inst =
+        medcc::expr::make_instance({12, 30, 4}, sub);
+    const auto bounds = cost_bounds(inst);
+    EXPECT_LE(bounds.cmin, bounds.cmax + 1e-9);
+  }
+}
+
+}  // namespace

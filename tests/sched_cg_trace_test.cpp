@@ -1,0 +1,83 @@
+// Reproduces the Section V-B prose walkthrough move by move and checks
+// the trace facility's invariants.
+#include <gtest/gtest.h>
+
+#include "expr/instance_gen.hpp"
+#include "sched/bounds.hpp"
+#include "sched/critical_greedy.hpp"
+#include "workflow/patterns.hpp"
+
+namespace {
+
+using medcc::sched::critical_greedy;
+using medcc::sched::critical_greedy_trace;
+using medcc::sched::Instance;
+
+Instance example_instance() {
+  return Instance::from_model(medcc::workflow::example6(),
+                              medcc::cloud::example_catalog());
+}
+
+TEST(CgTrace, ReproducesTheB57Walkthrough) {
+  // "we first reschedule module w4 to a VM of type VT3 ... we recalculate
+  //  a new critical path, and reschedule module w3 to type VT3 ... This
+  //  process ... is repeated for w6 mapped to VT3 and w2 mapped to VT3"
+  const auto trace = critical_greedy_trace(example_instance(), 57.0);
+  ASSERT_EQ(trace.moves.size(), 4u);
+  EXPECT_EQ(trace.moves[0].module, 4u);  // w4
+  EXPECT_EQ(trace.moves[1].module, 3u);  // w3
+  EXPECT_EQ(trace.moves[2].module, 6u);  // w6
+  EXPECT_EQ(trace.moves[3].module, 2u);  // w2
+  for (const auto& move : trace.moves) EXPECT_EQ(move.to_type, 2u);  // VT3
+
+  // "which decreases the execution time of w4 by 6 and decreases the
+  //  current total time TTotal to 12.1"
+  EXPECT_NEAR(trace.moves[0].dt, 6.0, 1e-9);
+  EXPECT_NEAR(trace.moves[0].med_after, 12.10, 0.005);
+  // "resulting in an updated total time TTotal = 10.77"
+  EXPECT_NEAR(trace.moves[1].med_after, 10.77, 0.005);
+  // "the minimal end-to-end delay of 6.77 hours under the budget of 57
+  //  with one unit of budget left unused"
+  EXPECT_NEAR(trace.moves[3].med_after, 6.77, 0.005);
+  EXPECT_DOUBLE_EQ(trace.moves[3].cost_after, 56.0);
+}
+
+TEST(CgTrace, TraceMatchesPlainRun) {
+  const auto inst = example_instance();
+  for (double budget : {48.0, 52.0, 60.0, 64.0}) {
+    const auto plain = critical_greedy(inst, budget);
+    const auto traced = critical_greedy_trace(inst, budget);
+    EXPECT_EQ(traced.result.schedule, plain.schedule);
+    EXPECT_EQ(traced.moves.size(), plain.iterations);
+  }
+}
+
+TEST(CgTrace, MoveInvariants) {
+  medcc::util::Prng rng(12);
+  const auto inst = medcc::expr::make_instance({15, 40, 4}, rng);
+  const auto bounds = medcc::sched::cost_bounds(inst);
+  const double budget = 0.7 * bounds.cmin + 0.3 * bounds.cmax;
+  const auto trace = critical_greedy_trace(inst, budget);
+  double previous_med = medcc::sched::evaluate(
+                            inst, medcc::sched::least_cost_schedule(inst))
+                            .med;
+  double previous_cost = bounds.cmin;
+  for (const auto& move : trace.moves) {
+    EXPECT_GT(move.dt, 0.0);
+    EXPECT_NE(move.from_type, move.to_type);
+    // Each move can only shrink or keep the makespan and grows the cost
+    // by exactly its dc.
+    EXPECT_LE(move.med_after, previous_med + 1e-9);
+    EXPECT_NEAR(move.cost_after, previous_cost + move.dc, 1e-9);
+    EXPECT_LE(move.cost_after, budget + 1e-9);
+    previous_med = move.med_after;
+    previous_cost = move.cost_after;
+  }
+  if (!trace.moves.empty()) {
+    EXPECT_NEAR(trace.moves.back().med_after, trace.result.eval.med, 1e-9);
+    EXPECT_NEAR(trace.moves.back().cost_after, trace.result.eval.cost,
+                1e-9);
+  }
+}
+
+}  // namespace

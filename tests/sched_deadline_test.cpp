@@ -1,0 +1,128 @@
+#include "sched/deadline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "expr/instance_gen.hpp"
+#include "sched/bounds.hpp"
+#include "sched/critical_greedy.hpp"
+#include "workflow/patterns.hpp"
+
+namespace {
+
+using medcc::sched::budget_for_deadline;
+using medcc::sched::deadline_loss;
+using medcc::sched::Instance;
+using medcc::sched::min_cost_under_deadline_exact;
+
+Instance example_instance() {
+  return Instance::from_model(medcc::workflow::example6(),
+                              medcc::cloud::example_catalog());
+}
+
+TEST(DeadlineLoss, ImpossibleDeadlineThrows) {
+  const auto inst = example_instance();
+  // Fastest achievable MED is 5.43.
+  EXPECT_THROW((void)deadline_loss(inst, 5.0), medcc::Infeasible);
+}
+
+TEST(DeadlineLoss, GenerousDeadlineReachesLeastCost) {
+  const auto inst = example_instance();
+  const auto r = deadline_loss(inst, 100.0);
+  // With no binding deadline, everything downgrades to its cheapest type.
+  EXPECT_DOUBLE_EQ(r.eval.cost, 48.0);
+}
+
+TEST(DeadlineLoss, TightDeadlineKeepsFastestSchedule) {
+  const auto inst = example_instance();
+  const auto r = deadline_loss(inst, 5.43 + 1e-6);
+  EXPECT_NEAR(r.eval.med, 5.43, 0.005);
+  // No downgrade is possible without violating: cost stays near Cmax...
+  // (w1 may downgrade freely since it is off the critical path).
+  EXPECT_LE(r.eval.cost, 64.0);
+  EXPECT_GE(r.eval.cost, 60.0);
+}
+
+TEST(DeadlineLoss, MeetsIntermediateDeadlines) {
+  const auto inst = example_instance();
+  for (double deadline : {6.0, 6.77, 8.0, 10.0, 12.5, 16.77}) {
+    const auto r = deadline_loss(inst, deadline);
+    EXPECT_LE(r.eval.med, deadline + 1e-9) << "deadline " << deadline;
+  }
+}
+
+TEST(DeadlineLoss, CostMonotoneInDeadline) {
+  // A looser deadline can never force a more expensive schedule out of
+  // this greedy (it only adds feasible downgrades).
+  const auto inst = example_instance();
+  double previous = std::numeric_limits<double>::infinity();
+  for (double deadline : {5.5, 6.0, 7.0, 9.0, 12.0, 17.0}) {
+    const auto r = deadline_loss(inst, deadline);
+    EXPECT_LE(r.eval.cost, previous + 1e-9);
+    previous = r.eval.cost;
+  }
+}
+
+TEST(DeadlineExact, MatchesBruteForceIntuition) {
+  const auto inst = example_instance();
+  // At deadline 6.77, Table II says cost 56 suffices; the exact optimum
+  // can be no more expensive.
+  const auto r = min_cost_under_deadline_exact(inst, 6.77 + 1e-6);
+  EXPECT_LE(r.eval.cost, 56.0 + 1e-9);
+  EXPECT_LE(r.eval.med, 6.77 + 1e-6);
+}
+
+TEST(DeadlineExact, InfeasibleAndGuards) {
+  const auto inst = example_instance();
+  EXPECT_THROW((void)min_cost_under_deadline_exact(inst, 1.0),
+               medcc::Infeasible);
+  EXPECT_THROW((void)min_cost_under_deadline_exact(inst, 10.0, 3),
+               medcc::Error);
+}
+
+class DeadlinePropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(DeadlinePropertyTest, HeuristicSoundAndNearExactOnSmallInstances) {
+  medcc::util::Prng rng(GetParam());
+  const auto inst = medcc::expr::make_instance({7, 14, 3}, rng);
+  const auto fastest = medcc::sched::evaluate(
+      inst, medcc::sched::fastest_schedule(inst));
+  const auto least = medcc::sched::evaluate(
+      inst, medcc::sched::least_cost_schedule(inst));
+  for (double frac : {0.1, 0.4, 0.8}) {
+    const double deadline =
+        fastest.med + frac * (least.med - fastest.med) + 1e-9;
+    const auto heuristic = deadline_loss(inst, deadline);
+    const auto exact = min_cost_under_deadline_exact(inst, deadline);
+    // Soundness.
+    EXPECT_LE(heuristic.eval.med, deadline + 1e-9);
+    EXPECT_LE(exact.eval.med, deadline + 1e-9);
+    // Exactness relation.
+    EXPECT_LE(exact.eval.cost, heuristic.eval.cost + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeadlinePropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+TEST(BudgetForDeadline, ReturnsAchievingBudget) {
+  const auto inst = example_instance();
+  // Deadline 6.77 requires the band-5 schedule: CG cost 56.
+  const double budget = budget_for_deadline(inst, 6.77 + 1e-6);
+  EXPECT_NEAR(budget, 56.0, 1e-9);
+  // The returned budget indeed achieves the deadline via CG.
+  const auto r = medcc::sched::critical_greedy(inst, budget);
+  EXPECT_LE(r.eval.med, 6.77 + 1e-6);
+}
+
+TEST(BudgetForDeadline, LooseDeadlineCostsCmin) {
+  const auto inst = example_instance();
+  EXPECT_NEAR(budget_for_deadline(inst, 1000.0), 48.0, 1e-9);
+}
+
+TEST(BudgetForDeadline, ImpossibleDeadlineThrows) {
+  const auto inst = example_instance();
+  EXPECT_THROW((void)budget_for_deadline(inst, 5.0), medcc::Infeasible);
+}
+
+}  // namespace

@@ -1,0 +1,124 @@
+#include "sched/exhaustive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "expr/instance_gen.hpp"
+#include "sched/bounds.hpp"
+#include "sched/critical_greedy.hpp"
+#include "workflow/patterns.hpp"
+
+namespace {
+
+using medcc::sched::exhaustive_optimal;
+using medcc::sched::Instance;
+
+/// Plain full enumeration without pruning, for cross-checking.
+double brute_force_med(const Instance& inst, double budget) {
+  const auto modules = inst.workflow().computing_modules();
+  medcc::sched::Schedule s;
+  s.type_of.assign(inst.module_count(), 0);
+  double best = std::numeric_limits<double>::infinity();
+  std::function<void(std::size_t)> rec = [&](std::size_t k) {
+    if (k == modules.size()) {
+      const auto eval = medcc::sched::evaluate(inst, s);
+      if (eval.cost <= budget + 1e-9) best = std::min(best, eval.med);
+      return;
+    }
+    for (std::size_t j = 0; j < inst.type_count(); ++j) {
+      s.type_of[modules[k]] = j;
+      rec(k + 1);
+    }
+  };
+  rec(0);
+  return best;
+}
+
+TEST(Exhaustive, MatchesBruteForceOnExample6) {
+  const auto inst = Instance::from_model(medcc::workflow::example6(),
+                                         medcc::cloud::example_catalog());
+  for (double budget : {48.0, 52.0, 57.0, 64.0}) {
+    const auto r = exhaustive_optimal(inst, budget);
+    EXPECT_NEAR(r.eval.med, brute_force_med(inst, budget), 1e-9)
+        << "budget " << budget;
+    EXPECT_LE(r.eval.cost, budget + 1e-9);
+  }
+}
+
+TEST(Exhaustive, OptimalNeverWorseThanCriticalGreedy) {
+  medcc::util::Prng root(17);
+  for (int k = 0; k < 10; ++k) {
+    auto rng = root.fork(static_cast<std::uint64_t>(k));
+    const auto inst = medcc::expr::make_instance({7, 14, 3}, rng);
+    const auto bounds = medcc::sched::cost_bounds(inst);
+    const double budget = 0.5 * (bounds.cmin + bounds.cmax);
+    const auto opt = exhaustive_optimal(inst, budget);
+    const auto cg = medcc::sched::critical_greedy(inst, budget);
+    EXPECT_LE(opt.eval.med, cg.eval.med + 1e-9);
+  }
+}
+
+TEST(Exhaustive, InfeasibleBudgetThrows) {
+  const auto inst = Instance::from_model(medcc::workflow::example6(),
+                                         medcc::cloud::example_catalog());
+  EXPECT_THROW((void)exhaustive_optimal(inst, 47.0), medcc::Infeasible);
+}
+
+TEST(Exhaustive, NodeBudgetGuardThrows) {
+  medcc::util::Prng rng(3);
+  const auto inst = medcc::expr::make_instance({12, 30, 5}, rng);
+  medcc::sched::ExhaustiveOptions opts;
+  opts.max_nodes = 10;
+  EXPECT_THROW(
+      (void)exhaustive_optimal(
+          inst, medcc::sched::cost_bounds(inst).cmax, opts),
+      medcc::Error);
+}
+
+TEST(Exhaustive, PruningVisitsFewerNodesThanFullTree) {
+  medcc::util::Prng rng(5);
+  const auto inst = medcc::expr::make_instance({8, 18, 3}, rng);
+  const auto bounds = medcc::sched::cost_bounds(inst);
+  const auto r =
+      exhaustive_optimal(inst, 0.5 * (bounds.cmin + bounds.cmax));
+  // Full tree has sum_{k<=8} 3^k ~ 9841 nodes; pruning must cut that.
+  EXPECT_LT(r.nodes_visited, 9841u);
+}
+
+TEST(Exhaustive, TieBreaksTowardCheaperSchedule) {
+  // Two types with identical times but different costs: the optimum picks
+  // the cheaper one even though MED ties.
+  medcc::workflow::Workflow wf;
+  (void)wf.add_module("m", 10.0);
+  const medcc::cloud::VmCatalog cat(
+      {{"exp", 10.0, 5.0}, {"cheap", 10.0, 1.0}});
+  const auto inst = Instance::from_model(wf, cat);
+  const auto r = exhaustive_optimal(inst, 100.0);
+  EXPECT_EQ(r.schedule.type_of[0], 1u);
+}
+
+TEST(Exhaustive, BudgetAtCminReturnsLeastCost) {
+  const auto inst = Instance::from_model(medcc::workflow::example6(),
+                                         medcc::cloud::example_catalog());
+  const auto r = exhaustive_optimal(inst, 48.0);
+  EXPECT_NEAR(r.eval.med, 16.77, 0.005);
+}
+
+class ExhaustivePropertyTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExhaustivePropertyTest, MatchesBruteForceOnRandomInstances) {
+  medcc::util::Prng rng(GetParam());
+  const auto inst = medcc::expr::make_instance({6, 10, 3}, rng);
+  const auto bounds = medcc::sched::cost_bounds(inst);
+  for (double budget : medcc::sched::budget_levels(bounds, 4)) {
+    const auto r = exhaustive_optimal(inst, budget);
+    EXPECT_NEAR(r.eval.med, brute_force_med(inst, budget), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExhaustivePropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace

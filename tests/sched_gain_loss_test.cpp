@@ -1,0 +1,150 @@
+#include "sched/gain_loss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "expr/instance_gen.hpp"
+#include "sched/bounds.hpp"
+#include "workflow/patterns.hpp"
+
+namespace {
+
+using medcc::sched::gain;
+using medcc::sched::gain3;
+using medcc::sched::GainLossVariant;
+using medcc::sched::Instance;
+using medcc::sched::loss;
+
+Instance example_instance() {
+  return Instance::from_model(medcc::workflow::example6(),
+                              medcc::cloud::example_catalog());
+}
+
+TEST(Gain, InfeasibleBudgetThrows) {
+  const auto inst = example_instance();
+  EXPECT_THROW((void)gain3(inst, 40.0), medcc::Infeasible);
+}
+
+TEST(Gain, MinimumBudgetIsLeastCost) {
+  const auto inst = example_instance();
+  const auto r = gain3(inst, 48.0);
+  EXPECT_EQ(r.schedule, medcc::sched::least_cost_schedule(inst));
+}
+
+TEST(Gain, UnlimitedBudgetReachesFastestTimes) {
+  const auto inst = example_instance();
+  // With ample budget every task upgrades to its fastest type, so GAIN
+  // matches the fastest schedule's MED.
+  const auto r = gain3(inst, 10'000.0);
+  const auto fastest =
+      medcc::sched::evaluate(inst, medcc::sched::fastest_schedule(inst));
+  EXPECT_NEAR(r.eval.med, fastest.med, 1e-9);
+}
+
+TEST(Gain, GainWeightOrderingOnExample) {
+  // From the least-cost schedule, GainWeights (dT/dC) on example6:
+  //   w4 VT1->VT3: dT=6.0,   dC=1 -> 6.0   (largest)
+  //   w3 VT1->VT3: dT=6.0,   dC=1 -> 6.0   (tie, lower dT? equal)
+  //   w6 VT1->VT3: dT=4.731, dC=2 -> 2.37
+  // GAIN3 must spend its first two upgrades on w3/w4.
+  const auto inst = example_instance();
+  const auto r = gain3(inst, 50.0);
+  EXPECT_EQ(r.schedule.type_of[3], 2u);
+  EXPECT_EQ(r.schedule.type_of[4], 2u);
+  EXPECT_LE(r.eval.cost, 50.0);
+}
+
+TEST(Loss, StartsFastWhenBudgetAmple) {
+  const auto inst = example_instance();
+  const auto r = loss(inst, 64.0);
+  EXPECT_EQ(r.schedule, medcc::sched::fastest_schedule(inst));
+  EXPECT_EQ(r.iterations, 0u);
+}
+
+TEST(Loss, InfeasibleBudgetThrows) {
+  const auto inst = example_instance();
+  EXPECT_THROW((void)loss(inst, 47.0), medcc::Infeasible);
+}
+
+TEST(Loss, TightBudgetDowngradesWithinBudget) {
+  const auto inst = example_instance();
+  for (double budget : {48.0, 52.0, 56.0, 60.0}) {
+    for (auto variant : {GainLossVariant::V1, GainLossVariant::V2,
+                         GainLossVariant::V3}) {
+      const auto r = loss(inst, budget, variant);
+      EXPECT_LE(r.eval.cost, budget + 1e-6)
+          << "budget " << budget << " variant " << static_cast<int>(variant);
+    }
+  }
+}
+
+class GainLossPropertyTest
+    : public ::testing::TestWithParam<
+          std::tuple<GainLossVariant, std::uint64_t>> {};
+
+TEST_P(GainLossPropertyTest, GainInvariants) {
+  const auto [variant, seed] = GetParam();
+  medcc::util::Prng rng(seed);
+  const auto inst = medcc::expr::make_instance({12, 28, 4}, rng);
+  const auto bounds = medcc::sched::cost_bounds(inst);
+  const auto least_eval = medcc::sched::evaluate(
+      inst, medcc::sched::least_cost_schedule(inst));
+  for (double budget : medcc::sched::budget_levels(bounds, 6)) {
+    const auto r = gain(inst, budget, variant);
+    EXPECT_LE(r.eval.cost, budget + 1e-6);
+    // GAIN only ever applies task-time-improving upgrades, so the sum of
+    // task times shrinks; but the *makespan* may not: only V2 (global
+    // criterion) guarantees monotone improvement over the seed.
+    if (variant == GainLossVariant::V2)
+      EXPECT_LE(r.eval.med, least_eval.med + 1e-9);
+  }
+}
+
+TEST_P(GainLossPropertyTest, LossInvariants) {
+  const auto [variant, seed] = GetParam();
+  medcc::util::Prng rng(seed ^ 0xABCDEF);
+  const auto inst = medcc::expr::make_instance({12, 28, 4}, rng);
+  const auto bounds = medcc::sched::cost_bounds(inst);
+  for (double budget : medcc::sched::budget_levels(bounds, 6)) {
+    const auto r = loss(inst, budget, variant);
+    EXPECT_LE(r.eval.cost, budget + 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Variants, GainLossPropertyTest,
+    ::testing::Combine(::testing::Values(GainLossVariant::V1,
+                                         GainLossVariant::V2,
+                                         GainLossVariant::V3),
+                       ::testing::Values<std::uint64_t>(1, 2, 3, 4)));
+
+TEST(GainVsLoss, BothFeasibleAtEveryLevel) {
+  medcc::util::Prng rng(55);
+  const auto inst = medcc::expr::make_instance({18, 60, 5}, rng);
+  const auto bounds = medcc::sched::cost_bounds(inst);
+  for (double budget : medcc::sched::budget_levels(bounds, 10)) {
+    EXPECT_LE(gain3(inst, budget).eval.cost, budget + 1e-6);
+    EXPECT_LE(loss(inst, budget).eval.cost, budget + 1e-6);
+  }
+}
+
+TEST(Gain, NoFreeUpgradesExistFromLeastCost) {
+  // By construction of the least-cost seed (per-module minimal cost, ties
+  // to the faster type), every time-improving move from it strictly costs
+  // money -- so GAIN at budget Cmin can never move.
+  medcc::util::Prng rng(77);
+  const auto inst = medcc::expr::make_instance({10, 20, 5}, rng);
+  const auto least = medcc::sched::least_cost_schedule(inst);
+  for (auto i : inst.workflow().computing_modules()) {
+    for (std::size_t j = 0; j < inst.type_count(); ++j) {
+      const double dt = inst.time(i, least.type_of[i]) - inst.time(i, j);
+      const double dc = inst.cost(i, j) - inst.cost(i, least.type_of[i]);
+      if (dt > 0.0) EXPECT_GT(dc, 0.0);
+    }
+  }
+  const auto r = gain3(inst, medcc::sched::cost_bounds(inst).cmin);
+  EXPECT_EQ(r.iterations, 0u);
+}
+
+}  // namespace

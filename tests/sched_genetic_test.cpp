@@ -1,0 +1,93 @@
+#include "sched/genetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "expr/instance_gen.hpp"
+#include "sched/bounds.hpp"
+#include "sched/critical_greedy.hpp"
+#include "sched/exhaustive.hpp"
+#include "workflow/patterns.hpp"
+
+namespace {
+
+using medcc::sched::genetic;
+using medcc::sched::GeneticOptions;
+using medcc::sched::Instance;
+
+Instance example_instance() {
+  return Instance::from_model(medcc::workflow::example6(),
+                              medcc::cloud::example_catalog());
+}
+
+TEST(Genetic, InfeasibleBudgetThrows) {
+  EXPECT_THROW((void)genetic(example_instance(), 40.0), medcc::Infeasible);
+}
+
+TEST(Genetic, DeterministicGivenSeed) {
+  const auto inst = example_instance();
+  GeneticOptions opts;
+  opts.seed = 7;
+  const auto a = genetic(inst, 57.0, opts);
+  const auto b = genetic(inst, 57.0, opts);
+  EXPECT_EQ(a.schedule, b.schedule);
+  EXPECT_DOUBLE_EQ(a.eval.med, b.eval.med);
+}
+
+TEST(Genetic, RespectsBudgetAcrossLevels) {
+  const auto inst = example_instance();
+  for (double budget : {48.0, 52.0, 57.0, 64.0}) {
+    const auto r = genetic(inst, budget);
+    EXPECT_LE(r.eval.cost, budget + 1e-6) << "budget " << budget;
+  }
+}
+
+TEST(Genetic, NeverWorseThanCriticalGreedyWhenSeeded) {
+  // CG is in the initial population and elitism preserves the best, so
+  // the GA's MED can only match or improve it.
+  medcc::util::Prng root(5);
+  for (int k = 0; k < 6; ++k) {
+    auto rng = root.fork(static_cast<std::uint64_t>(k));
+    const auto inst = medcc::expr::make_instance({10, 20, 4}, rng);
+    const auto bounds = medcc::sched::cost_bounds(inst);
+    const double budget = 0.5 * (bounds.cmin + bounds.cmax);
+    const auto cg = medcc::sched::critical_greedy(inst, budget);
+    GeneticOptions opts;
+    opts.generations = 30;
+    opts.seed = static_cast<std::uint64_t>(k) + 1;
+    const auto ga = genetic(inst, budget, opts);
+    EXPECT_LE(ga.eval.med, cg.eval.med + 1e-9) << "instance " << k;
+  }
+}
+
+TEST(Genetic, FindsOptimumOnTheExample) {
+  // CG is optimal at B=57 on the example; the seeded GA must match it.
+  const auto inst = example_instance();
+  const auto ga = genetic(inst, 57.0);
+  const auto opt = medcc::sched::exhaustive_optimal(inst, 57.0);
+  EXPECT_NEAR(ga.eval.med, opt.eval.med, 1e-9);
+}
+
+TEST(Genetic, UnseededStillFeasibleAndSane) {
+  medcc::util::Prng rng(3);
+  const auto inst = medcc::expr::make_instance({8, 16, 3}, rng);
+  const auto bounds = medcc::sched::cost_bounds(inst);
+  GeneticOptions opts;
+  opts.seed_with_cg = false;
+  opts.generations = 40;
+  const auto r = genetic(inst, bounds.cmax, opts);
+  EXPECT_LE(r.eval.cost, bounds.cmax + 1e-6);
+  // With the full budget, the fastest seed means the GA ends at the
+  // fastest MED.
+  const auto fastest = medcc::sched::evaluate(
+      inst, medcc::sched::fastest_schedule(inst));
+  EXPECT_NEAR(r.eval.med, fastest.med, 1e-9);
+}
+
+TEST(Genetic, OptionValidation) {
+  const auto inst = example_instance();
+  GeneticOptions opts;
+  opts.population = 1;
+  EXPECT_THROW((void)genetic(inst, 57.0, opts), medcc::LogicError);
+}
+
+}  // namespace

@@ -1,0 +1,97 @@
+#include "sched/hbmct.hpp"
+
+#include <gtest/gtest.h>
+
+#include "expr/instance_gen.hpp"
+#include "workflow/patterns.hpp"
+
+namespace {
+
+using medcc::cloud::VmType;
+using medcc::sched::hbmct;
+using medcc::sched::Instance;
+
+Instance pipeline_instance() {
+  const std::vector<double> wl = {10.0, 20.0, 30.0};
+  return Instance::from_model(medcc::workflow::pipeline(wl),
+                              medcc::cloud::example_catalog());
+}
+
+TEST(Hbmct, EmptyPoolRejected) {
+  EXPECT_THROW((void)hbmct(pipeline_instance(), {}), medcc::InvalidArgument);
+}
+
+TEST(Hbmct, PipelineIsSerialAndGroupsArePerModule) {
+  const auto r = hbmct(pipeline_instance(), {VmType{"m", 10.0, 1.0}});
+  EXPECT_DOUBLE_EQ(r.makespan, 6.0);
+  // A chain admits no independent pair: one group per module.
+  EXPECT_EQ(r.groups, 3u);
+}
+
+TEST(Hbmct, IndependentTasksShareAGroupAndSpread) {
+  medcc::util::Prng rng(1);
+  const auto wf = medcc::workflow::fork_join(3, 1, 10.0, 10.0, rng);
+  const auto inst =
+      Instance::from_model(wf, medcc::cloud::example_catalog());
+  const std::vector<VmType> pool = {VmType{"a", 10.0, 1.0},
+                                    VmType{"b", 10.0, 1.0},
+                                    VmType{"c", 10.0, 1.0}};
+  const auto r = hbmct(inst, pool);
+  // entry group + one group with the 3 branches + exit group.
+  EXPECT_EQ(r.groups, 3u);
+  // All three branch tasks run in parallel on distinct machines.
+  const auto branches = inst.workflow().computing_modules();
+  std::set<std::size_t> machines;
+  for (auto b : branches) machines.insert(r.placement[b].machine);
+  EXPECT_EQ(machines.size(), 3u);
+  EXPECT_DOUBLE_EQ(r.makespan, 1.0);
+}
+
+TEST(Hbmct, PrecedenceAndNoOverlap) {
+  medcc::util::Prng rng(2);
+  const auto inst = medcc::expr::make_instance({15, 40, 4}, rng);
+  std::vector<VmType> pool;
+  for (int k = 0; k < 3; ++k)
+    pool.push_back(VmType{"m" + std::to_string(k),
+                          static_cast<double>(3 + 4 * k), 1.0});
+  const auto r = hbmct(inst, pool);
+  const auto& g = inst.workflow().graph();
+  for (std::size_t e = 0; e < g.edge_count(); ++e)
+    EXPECT_GE(r.placement[g.edge(e).dst].start + 1e-9,
+              r.placement[g.edge(e).src].finish);
+  for (std::size_t a = 0; a < r.placement.size(); ++a)
+    for (std::size_t b = a + 1; b < r.placement.size(); ++b) {
+      if (r.placement[a].machine != r.placement[b].machine) continue;
+      const bool disjoint =
+          r.placement[a].finish <= r.placement[b].start + 1e-9 ||
+          r.placement[b].finish <= r.placement[a].start + 1e-9;
+      EXPECT_TRUE(disjoint);
+    }
+}
+
+TEST(Hbmct, ComparableToHeftOnRandomInstances) {
+  // Neither dominates in general, but HBMCT should stay in HEFT's
+  // ballpark (the papers report trade-offs within tens of percent).
+  medcc::util::Prng root(3);
+  for (int k = 0; k < 8; ++k) {
+    auto rng = root.fork(static_cast<std::uint64_t>(k));
+    const auto inst = medcc::expr::make_instance({20, 60, 4}, rng);
+    std::vector<VmType> pool = {VmType{"s", 4.0, 1.0}, VmType{"m", 8.0, 1.0},
+                                VmType{"l", 16.0, 1.0}};
+    const auto a = hbmct(inst, pool);
+    const auto b = medcc::sched::heft(inst, pool);
+    EXPECT_LE(a.makespan, 1.5 * b.makespan) << "instance " << k;
+    EXPECT_LE(b.makespan, 1.5 * a.makespan) << "instance " << k;
+  }
+}
+
+TEST(Hbmct, RebalancingNeverHurts) {
+  // The rebalance phase only accepts strictly improving moves, so the
+  // makespan is no worse than the pure-MCT pass would give. We can't call
+  // the internal MCT directly, but a zero-rebalance run (single machine)
+  // must still be consistent.
+  const auto r = hbmct(pipeline_instance(), {VmType{"only", 5.0, 1.0}});
+  EXPECT_EQ(r.rebalance_moves, 0u);
+}
+
+}  // namespace

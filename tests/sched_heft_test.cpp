@@ -1,0 +1,129 @@
+#include "sched/heft.hpp"
+
+#include <gtest/gtest.h>
+
+#include "expr/instance_gen.hpp"
+#include "workflow/patterns.hpp"
+
+namespace {
+
+using medcc::cloud::VmType;
+using medcc::sched::heft;
+using medcc::sched::Instance;
+
+Instance pipeline_instance() {
+  const std::vector<double> wl = {10.0, 20.0, 30.0};
+  return Instance::from_model(medcc::workflow::pipeline(wl),
+                              medcc::cloud::example_catalog());
+}
+
+TEST(Heft, EmptyPoolRejected) {
+  EXPECT_THROW((void)heft(pipeline_instance(), {}), medcc::InvalidArgument);
+}
+
+TEST(Heft, PipelineOnOneMachineIsSerial) {
+  const auto inst = pipeline_instance();
+  const auto r = heft(inst, {VmType{"m", 10.0, 1.0}});
+  EXPECT_DOUBLE_EQ(r.makespan, 6.0);  // (10+20+30)/10
+  // Placements are back-to-back in topological order.
+  EXPECT_DOUBLE_EQ(r.placement[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(r.placement[1].start, 1.0);
+  EXPECT_DOUBLE_EQ(r.placement[2].start, 3.0);
+}
+
+TEST(Heft, FasterMachinePreferred) {
+  const auto inst = pipeline_instance();
+  const auto r =
+      heft(inst, {VmType{"slow", 1.0, 1.0}, VmType{"fast", 10.0, 1.0}});
+  for (const auto& p : r.placement) EXPECT_EQ(p.machine, 1u);
+}
+
+TEST(Heft, ParallelBranchesSpreadAcrossMachines) {
+  medcc::util::Prng rng(1);
+  const auto wf = medcc::workflow::fork_join(2, 1, 10.0, 10.0, rng);
+  const auto inst =
+      Instance::from_model(wf, medcc::cloud::example_catalog());
+  const auto two = heft(inst, {VmType{"a", 10.0, 1.0}, VmType{"b", 10.0, 1.0}});
+  const auto one = heft(inst, {VmType{"a", 10.0, 1.0}});
+  EXPECT_LT(two.makespan, one.makespan);
+  // The two branch modules land on different machines.
+  const auto branches = inst.workflow().computing_modules();
+  ASSERT_EQ(branches.size(), 2u);
+  EXPECT_NE(two.placement[branches[0]].machine,
+            two.placement[branches[1]].machine);
+}
+
+TEST(Heft, UpwardRanksDecreaseAlongEdges) {
+  medcc::util::Prng rng(2);
+  const auto inst = medcc::expr::make_instance({10, 20, 3}, rng);
+  const std::vector<VmType> pool = {VmType{"a", 5.0, 1.0},
+                                    VmType{"b", 10.0, 2.0}};
+  const auto r = heft(inst, pool);
+  const auto& g = inst.workflow().graph();
+  for (std::size_t e = 0; e < g.edge_count(); ++e)
+    EXPECT_GE(r.upward_rank[g.edge(e).src],
+              r.upward_rank[g.edge(e).dst] - 1e-9);
+}
+
+TEST(Heft, RespectsPrecedenceAndNoMachineOverlap) {
+  medcc::util::Prng rng(3);
+  const auto inst = medcc::expr::make_instance({15, 40, 4}, rng);
+  std::vector<VmType> pool;
+  for (int k = 0; k < 3; ++k)
+    pool.push_back(VmType{"m" + std::to_string(k),
+                          static_cast<double>(2 + 3 * k), 1.0});
+  const auto r = heft(inst, pool);
+  const auto& g = inst.workflow().graph();
+  // Precedence.
+  for (std::size_t e = 0; e < g.edge_count(); ++e)
+    EXPECT_GE(r.placement[g.edge(e).dst].start + 1e-9,
+              r.placement[g.edge(e).src].finish);
+  // No overlap on any machine.
+  for (std::size_t a = 0; a < r.placement.size(); ++a)
+    for (std::size_t b = a + 1; b < r.placement.size(); ++b) {
+      if (r.placement[a].machine != r.placement[b].machine) continue;
+      const bool disjoint =
+          r.placement[a].finish <= r.placement[b].start + 1e-9 ||
+          r.placement[b].finish <= r.placement[a].start + 1e-9;
+      EXPECT_TRUE(disjoint) << "modules " << a << " and " << b << " overlap";
+    }
+  // Makespan is the max finish.
+  double max_finish = 0.0;
+  for (const auto& p : r.placement)
+    max_finish = std::max(max_finish, p.finish);
+  EXPECT_DOUBLE_EQ(r.makespan, max_finish);
+}
+
+TEST(Heft, MorePoolNeverHurtsMuch) {
+  // HEFT is a heuristic, but adding an identical machine to the pool
+  // should never make this fork-join workload slower.
+  medcc::util::Prng rng(4);
+  const auto wf = medcc::workflow::fork_join(4, 2, 5.0, 25.0, rng);
+  const auto inst =
+      Instance::from_model(wf, medcc::cloud::example_catalog());
+  const VmType machine{"m", 10.0, 1.0};
+  const auto small = heft(inst, {machine, machine});
+  const auto large = heft(inst, {machine, machine, machine, machine});
+  EXPECT_LE(large.makespan, small.makespan + 1e-9);
+}
+
+TEST(Heft, InsertionFillsGaps) {
+  // Chain a->b plus independent c: c can slot before b on the same machine
+  // if a gap exists.
+  medcc::workflow::Workflow wf;
+  const auto a = wf.add_module("a", 10.0);
+  const auto b = wf.add_module("b", 10.0);
+  const auto c = wf.add_module("c", 5.0);
+  const auto sink = wf.add_module("sink", 1.0);
+  wf.add_dependency(a, b);
+  wf.add_dependency(b, sink);
+  wf.add_dependency(a, c);
+  wf.add_dependency(c, sink);
+  const auto inst =
+      Instance::from_model(wf, medcc::cloud::example_catalog());
+  const auto r = heft(inst, {VmType{"m", 10.0, 1.0}});
+  // Serial feasibility on one machine.
+  EXPECT_GE(r.makespan, 2.6 - 1e-9);  // (10+10+5+1)/10
+}
+
+}  // namespace

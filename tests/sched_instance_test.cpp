@@ -1,0 +1,110 @@
+#include "sched/instance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workflow/patterns.hpp"
+#include "workflow/wrf.hpp"
+
+namespace {
+
+using medcc::sched::Instance;
+
+Instance example_instance() {
+  return Instance::from_model(medcc::workflow::example6(),
+                              medcc::cloud::example_catalog());
+}
+
+TEST(Instance, Example6TimeMatrix) {
+  const auto inst = example_instance();
+  ASSERT_EQ(inst.type_count(), 3u);
+  // Module ids: 0 entry, 1..6 computing, 7 exit.
+  EXPECT_NEAR(inst.time(1, 0), 11.3 / 3.0, 1e-12);
+  EXPECT_NEAR(inst.time(1, 1), 11.3 / 15.0, 1e-12);
+  EXPECT_NEAR(inst.time(1, 2), 11.3 / 30.0, 1e-12);
+  EXPECT_NEAR(inst.time(4, 0), 20.0 / 3.0, 1e-12);
+  EXPECT_NEAR(inst.time(5, 1), 40.2 / 15.0, 1e-12);
+  // Fixed modules run 1 hour on every type.
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_DOUBLE_EQ(inst.time(0, j), 1.0);
+    EXPECT_DOUBLE_EQ(inst.time(7, j), 1.0);
+  }
+}
+
+TEST(Instance, Example6CostMatrixMatchesFig5) {
+  const auto inst = example_instance();
+  // CE rows for w1..w6 on VT1..VT3 (reconstructed Fig. 5 matrices).
+  const double expected[6][3] = {
+      {4, 4, 8}, {15, 12, 16}, {7, 8, 8},
+      {7, 8, 8}, {14, 12, 16}, {6, 8, 8},
+  };
+  for (std::size_t i = 0; i < 6; ++i)
+    for (std::size_t j = 0; j < 3; ++j)
+      EXPECT_DOUBLE_EQ(inst.cost(i + 1, j), expected[i][j])
+          << "module w" << i + 1 << " type " << j + 1;
+  // Fixed modules are free.
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_DOUBLE_EQ(inst.cost(0, j), 0.0);
+    EXPECT_DOUBLE_EQ(inst.cost(7, j), 0.0);
+  }
+}
+
+TEST(Instance, EdgeTimesZeroUnderInstantNetwork) {
+  const auto inst = example_instance();
+  for (std::size_t e = 0; e < inst.workflow().dependency_count(); ++e)
+    EXPECT_DOUBLE_EQ(inst.edge_time(e), 0.0);
+  EXPECT_DOUBLE_EQ(inst.total_transfer_cost(), 0.0);
+}
+
+TEST(Instance, NetworkModelShapesEdgeTimes) {
+  medcc::cloud::NetworkModel net;
+  net.bandwidth = 2.0;
+  net.link_delay = 0.1;
+  net.transfer_cost_rate = 0.5;
+  const auto inst = Instance::from_model(
+      medcc::workflow::example6(), medcc::cloud::example_catalog(),
+      medcc::cloud::BillingPolicy::per_unit_time(), net);
+  // example6 edges all carry 1.0 data units.
+  for (std::size_t e = 0; e < inst.workflow().dependency_count(); ++e)
+    EXPECT_DOUBLE_EQ(inst.edge_time(e), 0.6);
+  EXPECT_DOUBLE_EQ(inst.total_transfer_cost(),
+                   0.5 * static_cast<double>(
+                             inst.workflow().dependency_count()));
+}
+
+TEST(Instance, FromMatrixUsesMeasuredTimes) {
+  const auto& te = medcc::workflow::wrf_te_matrix();
+  std::vector<std::vector<double>> times(6, std::vector<double>(3));
+  for (std::size_t j = 0; j < 3; ++j)
+    for (std::size_t i = 0; i < 6; ++i) times[i][j] = te[j][i];
+  const auto inst = Instance::from_matrix(
+      medcc::workflow::wrf_experiment_grouped(), medcc::cloud::wrf_catalog(),
+      times);
+  EXPECT_DOUBLE_EQ(inst.time(5, 0), 752.6);  // w5 on VT1
+  EXPECT_DOUBLE_EQ(inst.time(5, 1), 241.6);
+  // Cost = CV * ceil(T): 0.1 * 753 = 75.3.
+  EXPECT_NEAR(inst.cost(5, 0), 75.3, 1e-9);
+  EXPECT_NEAR(inst.cost(5, 2), 0.8 * 144.0, 1e-9);
+}
+
+TEST(Instance, FromMatrixValidatesShape) {
+  const auto wf = medcc::workflow::wrf_experiment_grouped();
+  const auto cat = medcc::cloud::wrf_catalog();
+  std::vector<std::vector<double>> wrong_rows(5, std::vector<double>(3, 1.0));
+  EXPECT_THROW((void)Instance::from_matrix(wf, cat, wrong_rows),
+               medcc::InvalidArgument);
+  std::vector<std::vector<double>> wrong_cols(6, std::vector<double>(2, 1.0));
+  EXPECT_THROW((void)Instance::from_matrix(wf, cat, wrong_cols),
+               medcc::InvalidArgument);
+  std::vector<std::vector<double>> negative(6, std::vector<double>(3, 1.0));
+  negative[2][1] = -5.0;
+  EXPECT_THROW((void)Instance::from_matrix(wf, cat, negative),
+               medcc::InvalidArgument);
+}
+
+TEST(Instance, InvalidWorkflowRejected) {
+  medcc::workflow::Workflow wf;  // empty
+  EXPECT_THROW((void)Instance::from_model(wf, medcc::cloud::example_catalog()),
+               medcc::InvalidArgument);
+}
+
+}  // namespace

@@ -1,0 +1,96 @@
+#include "sched/lower_bound.hpp"
+
+#include <gtest/gtest.h>
+
+#include "expr/instance_gen.hpp"
+#include "sched/bounds.hpp"
+#include "sched/critical_greedy.hpp"
+#include "sched/exhaustive.hpp"
+#include "testbed/wrf_experiment.hpp"
+#include "workflow/patterns.hpp"
+
+namespace {
+
+using medcc::sched::Instance;
+using medcc::sched::med_lower_bound;
+
+Instance example_instance() {
+  return Instance::from_model(medcc::workflow::example6(),
+                              medcc::cloud::example_catalog());
+}
+
+TEST(LowerBound, InfeasibleBelowCmin) {
+  EXPECT_THROW((void)med_lower_bound(example_instance(), 40.0),
+               medcc::Infeasible);
+}
+
+TEST(LowerBound, NeverExceedsTheOptimumOnTheExample) {
+  const auto inst = example_instance();
+  for (double budget : {48.0, 52.0, 57.0, 60.0, 64.0}) {
+    const double lb = med_lower_bound(inst, budget);
+    const double opt =
+        medcc::sched::exhaustive_optimal(inst, budget).eval.med;
+    EXPECT_LE(lb, opt + 1e-9) << "budget " << budget;
+    EXPECT_GT(lb, 0.0);
+  }
+}
+
+TEST(LowerBound, TightAtTheExtremes) {
+  const auto inst = example_instance();
+  const auto bounds = medcc::sched::cost_bounds(inst);
+  // At Cmax the optimum is the fastest MED and the fastest critical path
+  // certifies it exactly.
+  EXPECT_NEAR(med_lower_bound(inst, bounds.cmax), 5.43, 0.005);
+}
+
+TEST(LowerBound, CertifiesCgOptimalityAtB57) {
+  // CG is optimal at B=57 (MED 6.77); the path bound proves at least
+  // part of that gap-freeness without enumerating anything.
+  const auto inst = example_instance();
+  const double lb = med_lower_bound(inst, 57.0);
+  const double cg = medcc::sched::critical_greedy(inst, 57.0).eval.med;
+  EXPECT_LE(lb, cg + 1e-9);
+  EXPECT_GT(lb, 0.5 * cg);  // a non-trivial bound, not zero
+}
+
+TEST(LowerBound, MonotoneNonIncreasingInBudget) {
+  const auto inst = example_instance();
+  double previous = std::numeric_limits<double>::infinity();
+  for (double budget = 48.0; budget <= 64.0; budget += 2.0) {
+    const double lb = med_lower_bound(inst, budget);
+    EXPECT_LE(lb, previous + 1e-9);
+    previous = lb;
+  }
+}
+
+TEST(LowerBound, WrfInstanceWithRateScale) {
+  const auto inst = medcc::testbed::wrf_instance();
+  medcc::sched::LowerBoundOptions opts;
+  opts.weight_scale = 10.0;  // rates {0.1, 0.4, 0.8}
+  const double lb = med_lower_bound(inst, 155.0, opts);
+  const double cg = medcc::sched::critical_greedy(inst, 155.0).eval.med;
+  EXPECT_LE(lb, cg + 1e-9);
+  EXPECT_GT(lb, 100.0);  // the w5/w6 chain keeps the bound meaningful
+}
+
+class LowerBoundPropertyTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LowerBoundPropertyTest, ValidAgainstExhaustiveOnSmallInstances) {
+  medcc::util::Prng rng(GetParam());
+  const auto inst = medcc::expr::make_instance({7, 14, 3}, rng);
+  const auto bounds = medcc::sched::cost_bounds(inst);
+  for (double frac : {0.0, 0.4, 1.0}) {
+    const double budget =
+        bounds.cmin + frac * (bounds.cmax - bounds.cmin);
+    const double lb = med_lower_bound(inst, budget);
+    const double opt =
+        medcc::sched::exhaustive_optimal(inst, budget).eval.med;
+    EXPECT_LE(lb, opt + 1e-9) << "budget " << budget;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LowerBoundPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace

@@ -1,0 +1,197 @@
+#include "sched/mckp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "expr/instance_gen.hpp"
+#include "sched/bounds.hpp"
+#include "sched/exhaustive.hpp"
+#include "workflow/patterns.hpp"
+
+namespace {
+
+using medcc::sched::MckpInstance;
+using medcc::sched::MckpItem;
+using medcc::sched::solve_mckp_bb;
+using medcc::sched::solve_mckp_dp;
+
+MckpInstance small_mckp() {
+  MckpInstance mckp;
+  mckp.classes = {
+      {{10.0, 2.0}, {7.0, 1.0}},           // class 0
+      {{4.0, 3.0}, {9.0, 5.0}, {1.0, 1.0}}, // class 1
+  };
+  mckp.capacity = 6.0;
+  return mckp;
+}
+
+TEST(MckpDp, SolvesSmallInstance) {
+  const auto sol = solve_mckp_dp(small_mckp());
+  ASSERT_TRUE(sol.feasible);
+  // Best: item 0 of class 0 (p10,w2) + item 0 of class 1 (p4,w3) = 14/5;
+  // alternative 7+9 = 16 needs w 1+5 = 6 <= 6 -> 16 is better!
+  EXPECT_DOUBLE_EQ(sol.total_profit, 16.0);
+  EXPECT_EQ(sol.pick[0], 1u);
+  EXPECT_EQ(sol.pick[1], 1u);
+  EXPECT_DOUBLE_EQ(sol.total_weight, 6.0);
+}
+
+TEST(MckpDp, InfeasibleWhenNothingFits) {
+  MckpInstance mckp;
+  mckp.classes = {{{1.0, 10.0}}};
+  mckp.capacity = 5.0;
+  const auto sol = solve_mckp_dp(mckp);
+  EXPECT_FALSE(sol.feasible);
+}
+
+TEST(MckpDp, EmptyInstanceTriviallyFeasible) {
+  MckpInstance mckp;
+  mckp.capacity = 0.0;
+  const auto sol = solve_mckp_dp(mckp);
+  EXPECT_TRUE(sol.feasible);
+  EXPECT_DOUBLE_EQ(sol.total_profit, 0.0);
+}
+
+TEST(MckpDp, EmptyClassRejected) {
+  MckpInstance mckp;
+  mckp.classes = {{}};
+  mckp.capacity = 1.0;
+  EXPECT_THROW((void)solve_mckp_dp(mckp), medcc::InvalidArgument);
+}
+
+TEST(MckpDp, FractionalWeightsNeedScale) {
+  MckpInstance mckp;
+  mckp.classes = {{{1.0, 0.1}}};
+  mckp.capacity = 1.0;
+  EXPECT_THROW((void)solve_mckp_dp(mckp, 1.0), medcc::InvalidArgument);
+  const auto sol = solve_mckp_dp(mckp, 10.0);  // WRF-style rate scale
+  EXPECT_TRUE(sol.feasible);
+}
+
+TEST(MckpDp, NegativeWeightRejected) {
+  MckpInstance mckp;
+  mckp.classes = {{{1.0, -1.0}}};
+  mckp.capacity = 1.0;
+  EXPECT_THROW((void)solve_mckp_dp(mckp), medcc::InvalidArgument);
+}
+
+TEST(MckpBb, MatchesDpOnSmallInstance) {
+  const auto dp = solve_mckp_dp(small_mckp());
+  const auto bb = solve_mckp_bb(small_mckp());
+  ASSERT_TRUE(bb.feasible);
+  EXPECT_DOUBLE_EQ(bb.total_profit, dp.total_profit);
+}
+
+TEST(MckpBb, NodeGuardThrows) {
+  MckpInstance mckp;
+  for (int k = 0; k < 12; ++k)
+    mckp.classes.push_back({{1.0, 1.0}, {2.0, 2.0}, {3.0, 3.0}});
+  mckp.capacity = 24.0;
+  EXPECT_THROW((void)solve_mckp_bb(mckp, 5), medcc::Error);
+}
+
+class MckpPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MckpPropertyTest, BbMatchesDpOnRandomIntegerInstances) {
+  medcc::util::Prng rng(GetParam());
+  MckpInstance mckp;
+  const auto classes = static_cast<std::size_t>(rng.uniform_int(1, 6));
+  for (std::size_t k = 0; k < classes; ++k) {
+    std::vector<MckpItem> cls;
+    const auto items = static_cast<std::size_t>(rng.uniform_int(1, 4));
+    for (std::size_t i = 0; i < items; ++i)
+      cls.push_back(MckpItem{
+          static_cast<double>(rng.uniform_int(0, 20)),
+          static_cast<double>(rng.uniform_int(1, 10))});
+    mckp.classes.push_back(std::move(cls));
+  }
+  mckp.capacity = static_cast<double>(rng.uniform_int(
+      static_cast<std::int64_t>(classes),
+      static_cast<std::int64_t>(classes) * 10));
+  const auto dp = solve_mckp_dp(mckp);
+  const auto bb = solve_mckp_bb(mckp);
+  EXPECT_EQ(dp.feasible, bb.feasible);
+  if (dp.feasible) EXPECT_DOUBLE_EQ(dp.total_profit, bb.total_profit);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MckpPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+// ---------------------------------------------------------------------
+// The Section-IV reduction: MED-CC-Pipeline == MCKP.
+// ---------------------------------------------------------------------
+
+TEST(PipelineReduction, DetectsPipelines) {
+  medcc::util::Prng rng(2);
+  const auto pipe = medcc::sched::Instance::from_model(
+      medcc::workflow::random_pipeline(5, 10.0, 50.0, rng),
+      medcc::cloud::example_catalog());
+  EXPECT_TRUE(medcc::sched::is_pipeline(pipe));
+  const auto dag = medcc::sched::Instance::from_model(
+      medcc::workflow::example6(), medcc::cloud::example_catalog());
+  EXPECT_FALSE(medcc::sched::is_pipeline(dag));
+  EXPECT_THROW((void)medcc::sched::pipeline_to_mckp(dag, 100.0),
+               medcc::InvalidArgument);
+}
+
+TEST(PipelineReduction, FixedEndpointsStillAPipeline) {
+  medcc::workflow::Workflow wf;
+  const auto e = wf.add_fixed_module("entry", 1.0);
+  const auto a = wf.add_module("a", 10.0);
+  const auto b = wf.add_module("b", 20.0);
+  const auto x = wf.add_fixed_module("exit", 1.0);
+  wf.add_dependency(e, a);
+  wf.add_dependency(a, b);
+  wf.add_dependency(b, x);
+  const auto inst = medcc::sched::Instance::from_model(
+      wf, medcc::cloud::example_catalog());
+  EXPECT_TRUE(medcc::sched::is_pipeline(inst));
+}
+
+TEST(PipelineReduction, MckpShapeMatchesTheorem) {
+  medcc::util::Prng rng(3);
+  const auto inst = medcc::sched::Instance::from_model(
+      medcc::workflow::random_pipeline(4, 10.0, 60.0, rng),
+      medcc::cloud::example_catalog());
+  const auto mckp = medcc::sched::pipeline_to_mckp(inst, 40.0);
+  // m classes of n items; capacity = budget; profits K - T >= 0.
+  EXPECT_EQ(mckp.classes.size(), 4u);
+  for (const auto& cls : mckp.classes) {
+    EXPECT_EQ(cls.size(), 3u);
+    for (const auto& item : cls) EXPECT_GE(item.profit, 0.0);
+  }
+  EXPECT_DOUBLE_EQ(mckp.capacity, 40.0);
+}
+
+class PipelineOptimalTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PipelineOptimalTest, MckpDpEqualsExhaustiveOnPipelines) {
+  medcc::util::Prng rng(GetParam());
+  // Integer workloads ensure integer costs under the example catalog.
+  std::vector<double> wl;
+  const auto m = static_cast<std::size_t>(rng.uniform_int(2, 6));
+  for (std::size_t i = 0; i < m; ++i)
+    wl.push_back(static_cast<double>(rng.uniform_int(5, 90)));
+  const auto inst = medcc::sched::Instance::from_model(
+      medcc::workflow::pipeline(wl), medcc::cloud::example_catalog());
+  const auto bounds = medcc::sched::cost_bounds(inst);
+  for (double budget : medcc::sched::budget_levels(bounds, 4)) {
+    const auto via_mckp = medcc::sched::pipeline_optimal(inst, budget);
+    const auto via_search = medcc::sched::exhaustive_optimal(inst, budget);
+    EXPECT_NEAR(via_mckp.eval.med, via_search.eval.med, 1e-9)
+        << "budget " << budget;
+    EXPECT_LE(via_mckp.eval.cost, budget + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineOptimalTest,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+TEST(PipelineOptimal, InfeasibleThrows) {
+  const std::vector<double> wl = {30.0, 30.0};
+  const auto inst = medcc::sched::Instance::from_model(
+      medcc::workflow::pipeline(wl), medcc::cloud::example_catalog());
+  EXPECT_THROW((void)medcc::sched::pipeline_optimal(inst, 1.0),
+               medcc::Infeasible);
+}
+
+}  // namespace

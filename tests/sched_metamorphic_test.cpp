@@ -1,0 +1,178 @@
+// Metamorphic properties of the MED-CC model and schedulers: systematic
+// transformations of an instance with a predictable effect on the result.
+// These catch unit-confusion and tie-breaking bugs that example-based
+// tests miss.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "expr/instance_gen.hpp"
+#include "sched/bounds.hpp"
+#include "sched/critical_greedy.hpp"
+#include "sched/gain_loss.hpp"
+#include "workflow/random_workflow.hpp"
+
+namespace {
+
+using medcc::cloud::VmCatalog;
+using medcc::cloud::VmType;
+using medcc::sched::Instance;
+
+struct Parts {
+  medcc::workflow::Workflow wf;
+  std::vector<VmType> types;
+};
+
+Parts random_parts(std::uint64_t seed) {
+  medcc::util::Prng rng(seed);
+  medcc::workflow::RandomWorkflowSpec spec;
+  spec.modules = 10;
+  spec.edges = 20;
+  auto wf = medcc::workflow::random_workflow(spec, rng);
+  auto catalog = medcc::cloud::random_linear_catalog(4, 16, rng, 1.0, 1.0,
+                                                     0.25);
+  return Parts{std::move(wf), catalog.types()};
+}
+
+class MetamorphicTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MetamorphicTest, JointWorkloadPowerScalingIsInvariant) {
+  // Scaling every workload and every processing power by k leaves all
+  // execution times -- hence TE, CE, bounds and schedules -- unchanged.
+  const auto parts = random_parts(GetParam());
+  const double k = 3.7;
+  medcc::workflow::Workflow scaled_wf;
+  for (std::size_t i = 0; i < parts.wf.module_count(); ++i) {
+    const auto& m = parts.wf.module(i);
+    if (m.is_fixed())
+      scaled_wf.add_fixed_module(m.name, *m.fixed_time);
+    else
+      scaled_wf.add_module(m.name, m.workload * k);
+  }
+  for (std::size_t e = 0; e < parts.wf.dependency_count(); ++e)
+    scaled_wf.add_dependency(parts.wf.graph().edge(e).src,
+                             parts.wf.graph().edge(e).dst,
+                             parts.wf.data_size(e));
+  auto scaled_types = parts.types;
+  for (auto& t : scaled_types) t.processing_power *= k;
+
+  const auto a = Instance::from_model(parts.wf, VmCatalog(parts.types));
+  const auto b = Instance::from_model(scaled_wf, VmCatalog(scaled_types));
+  const auto bounds_a = medcc::sched::cost_bounds(a);
+  const auto bounds_b = medcc::sched::cost_bounds(b);
+  EXPECT_NEAR(bounds_a.cmin, bounds_b.cmin, 1e-9);
+  EXPECT_NEAR(bounds_a.cmax, bounds_b.cmax, 1e-9);
+  const double budget = 0.5 * (bounds_a.cmin + bounds_a.cmax);
+  const auto ra = medcc::sched::critical_greedy(a, budget);
+  const auto rb = medcc::sched::critical_greedy(b, budget);
+  EXPECT_EQ(ra.schedule, rb.schedule);
+  EXPECT_NEAR(ra.eval.med, rb.eval.med, 1e-9);
+}
+
+TEST_P(MetamorphicTest, PriceAndBudgetScalingIsInvariant) {
+  // Scaling every rate AND the budget by k changes costs by k but no
+  // scheduling decision.
+  const auto parts = random_parts(GetParam() ^ 0x5555);
+  const double k = 0.13;
+  auto scaled_types = parts.types;
+  for (auto& t : scaled_types) t.cost_rate *= k;
+
+  const auto a = Instance::from_model(parts.wf, VmCatalog(parts.types));
+  const auto b = Instance::from_model(parts.wf, VmCatalog(scaled_types));
+  const auto bounds_a = medcc::sched::cost_bounds(a);
+  EXPECT_NEAR(medcc::sched::cost_bounds(b).cmin, bounds_a.cmin * k, 1e-9);
+  const double budget = 0.5 * (bounds_a.cmin + bounds_a.cmax);
+  const auto ra = medcc::sched::critical_greedy(a, budget);
+  const auto rb = medcc::sched::critical_greedy(b, budget * k);
+  EXPECT_EQ(ra.schedule, rb.schedule);
+  EXPECT_NEAR(rb.eval.cost, ra.eval.cost * k, 1e-9);
+  EXPECT_NEAR(rb.eval.med, ra.eval.med, 1e-9);
+}
+
+TEST_P(MetamorphicTest, CatalogPermutationIsOutcomeInvariant) {
+  // Reordering the VM types permutes indices but cannot change the MED or
+  // cost any scheduler achieves (tie-breaking aside, the *values* match
+  // for CG because its choices depend only on (time, cost) pairs; we
+  // compare evaluations, not raw indices).
+  const auto parts = random_parts(GetParam() ^ 0xAAAA);
+  auto reversed_types = parts.types;
+  std::reverse(reversed_types.begin(), reversed_types.end());
+
+  const auto a = Instance::from_model(parts.wf, VmCatalog(parts.types));
+  const auto b = Instance::from_model(parts.wf, VmCatalog(reversed_types));
+  const auto bounds_a = medcc::sched::cost_bounds(a);
+  const auto bounds_b = medcc::sched::cost_bounds(b);
+  EXPECT_NEAR(bounds_a.cmin, bounds_b.cmin, 1e-9);
+  EXPECT_NEAR(bounds_a.cmax, bounds_b.cmax, 1e-9);
+  for (double frac : {0.25, 0.75}) {
+    const double budget =
+        bounds_a.cmin + frac * (bounds_a.cmax - bounds_a.cmin);
+    const auto ra = medcc::sched::critical_greedy(a, budget);
+    const auto rb = medcc::sched::critical_greedy(b, budget);
+    EXPECT_NEAR(ra.eval.med, rb.eval.med, 1e-9) << "frac " << frac;
+    EXPECT_NEAR(ra.eval.cost, rb.eval.cost, 1e-9);
+  }
+}
+
+TEST_P(MetamorphicTest, DominatedTypeIsNeverUsed) {
+  // A type slower AND pricier than an existing one can never appear in a
+  // least-cost, fastest, CG or GAIN3 schedule.
+  const auto parts = random_parts(GetParam() ^ 0x1234);
+  auto with_dud = parts.types;
+  // Strictly dominated by the first type.
+  with_dud.push_back(VmType{"dud", parts.types.front().processing_power * 0.5,
+                            parts.types.front().cost_rate * 2.0});
+  const std::size_t dud_index = with_dud.size() - 1;
+  const auto inst = Instance::from_model(parts.wf, VmCatalog(with_dud));
+  const auto bounds = medcc::sched::cost_bounds(inst);
+
+  const auto check = [&](const medcc::sched::Schedule& s) {
+    for (auto i : inst.workflow().computing_modules())
+      EXPECT_NE(s.type_of[i], dud_index);
+  };
+  check(medcc::sched::least_cost_schedule(inst));
+  check(medcc::sched::fastest_schedule(inst));
+  for (double frac : {0.3, 0.9}) {
+    const double budget = bounds.cmin + frac * (bounds.cmax - bounds.cmin);
+    check(medcc::sched::critical_greedy(inst, budget).schedule);
+    check(medcc::sched::gain3(inst, budget).schedule);
+  }
+}
+
+TEST_P(MetamorphicTest, FinerBillingNeverRaisesTheCostFloor) {
+  const auto parts = random_parts(GetParam() ^ 0x9999);
+  const auto coarse = Instance::from_model(
+      parts.wf, VmCatalog(parts.types), medcc::cloud::BillingPolicy(1.0));
+  const auto fine = Instance::from_model(
+      parts.wf, VmCatalog(parts.types), medcc::cloud::BillingPolicy(0.5));
+  EXPECT_LE(medcc::sched::cost_bounds(fine).cmin,
+            medcc::sched::cost_bounds(coarse).cmin + 1e-9);
+  // Module-wise: finer quanta never bill more for the same run.
+  for (auto i : coarse.workflow().computing_modules())
+    for (std::size_t j = 0; j < coarse.type_count(); ++j)
+      EXPECT_LE(fine.cost(i, j), coarse.cost(i, j) + 1e-9);
+}
+
+TEST_P(MetamorphicTest, AddingBudgetNeverHurtsTheEnvelope) {
+  // CG itself is non-monotone, but the best-over-prefix envelope is
+  // monotone by construction -- and the optimal is truly monotone. Check
+  // the envelope the budget_for_deadline helper relies on.
+  const auto parts = random_parts(GetParam() ^ 0x7777);
+  const auto inst = Instance::from_model(parts.wf, VmCatalog(parts.types));
+  const auto bounds = medcc::sched::cost_bounds(inst);
+  double best = std::numeric_limits<double>::infinity();
+  for (double budget : medcc::sched::budget_levels(bounds, 12)) {
+    const double med = medcc::sched::critical_greedy(inst, budget).eval.med;
+    best = std::min(best, med);
+    EXPECT_LE(best, med + 1e-9);
+  }
+  // The envelope ends at the fastest MED.
+  const auto fastest = medcc::sched::evaluate(
+      inst, medcc::sched::fastest_schedule(inst));
+  EXPECT_NEAR(best, fastest.med, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetamorphicTest,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace

@@ -1,0 +1,73 @@
+// Coverage for small schedule helpers and remaining edge paths.
+#include <gtest/gtest.h>
+
+#include "multicloud/multicloud.hpp"
+#include "sched/bounds.hpp"
+#include "sched/schedule.hpp"
+#include "workflow/patterns.hpp"
+
+namespace {
+
+using medcc::sched::Instance;
+
+Instance example_instance() {
+  return Instance::from_model(medcc::workflow::example6(),
+                              medcc::cloud::example_catalog());
+}
+
+TEST(ScheduleToString, ListsComputingModulesOnly) {
+  const auto inst = example_instance();
+  const auto least = medcc::sched::least_cost_schedule(inst);
+  const auto text = medcc::sched::to_string(inst, least);
+  EXPECT_EQ(text,
+            "w1->VT2 w2->VT2 w3->VT1 w4->VT1 w5->VT2 w6->VT1");
+  EXPECT_EQ(text.find("w0"), std::string::npos);
+  EXPECT_EQ(text.find("w7"), std::string::npos);
+}
+
+TEST(ScheduleDurations, MatchTimeMatrix) {
+  const auto inst = example_instance();
+  const auto fastest = medcc::sched::fastest_schedule(inst);
+  const auto d = medcc::sched::durations(inst, fastest);
+  ASSERT_EQ(d.size(), inst.module_count());
+  for (std::size_t i = 0; i < d.size(); ++i)
+    EXPECT_DOUBLE_EQ(d[i], inst.time(i, fastest.type_of[i]));
+}
+
+TEST(ScheduleEquality, DetectsDifferences) {
+  const auto inst = example_instance();
+  auto a = medcc::sched::least_cost_schedule(inst);
+  auto b = a;
+  EXPECT_EQ(a, b);
+  b.type_of[1] = (b.type_of[1] + 1) % inst.type_count();
+  EXPECT_FALSE(a == b);
+}
+
+TEST(MulticloudLink, OverrideUpdateReplacesPreviousOverride) {
+  using namespace medcc::multicloud;
+  Federation fed(
+      {CloudSite{"A", medcc::cloud::example_catalog()},
+       CloudSite{"B", medcc::cloud::example_catalog()}},
+      InterCloudLink{});
+  InterCloudLink first;
+  first.cost_per_unit = 1.0;
+  fed.set_link(0, 1, first);
+  EXPECT_DOUBLE_EQ(fed.transfer_cost(0, 1, 10.0), 10.0);
+  InterCloudLink second;
+  second.cost_per_unit = 2.0;
+  fed.set_link(0, 1, second);  // update, not append
+  EXPECT_DOUBLE_EQ(fed.transfer_cost(0, 1, 10.0), 20.0);
+}
+
+TEST(EvaluateValidation, RejectsWrongArity) {
+  const auto inst = example_instance();
+  medcc::sched::Schedule bad;
+  bad.type_of.assign(3, 0);  // wrong length
+  EXPECT_THROW((void)medcc::sched::evaluate(inst, bad), medcc::LogicError);
+  medcc::sched::Schedule out_of_range;
+  out_of_range.type_of.assign(inst.module_count(), 99);
+  EXPECT_THROW((void)medcc::sched::evaluate(inst, out_of_range),
+               medcc::LogicError);
+}
+
+}  // namespace

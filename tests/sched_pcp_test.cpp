@@ -1,0 +1,82 @@
+#include "sched/pcp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "expr/instance_gen.hpp"
+#include "sched/bounds.hpp"
+#include "sched/deadline.hpp"
+#include "workflow/patterns.hpp"
+
+namespace {
+
+using medcc::sched::Instance;
+using medcc::sched::pcp_deadline;
+
+Instance example_instance() {
+  return Instance::from_model(medcc::workflow::example6(),
+                              medcc::cloud::example_catalog());
+}
+
+TEST(Pcp, ImpossibleDeadlineThrows) {
+  EXPECT_THROW((void)pcp_deadline(example_instance(), 5.0),
+               medcc::Infeasible);
+}
+
+TEST(Pcp, MeetsEveryDeadlineItAccepts) {
+  const auto inst = example_instance();
+  for (double deadline : {5.5, 6.0, 6.77, 8.2, 10.77, 13.0, 16.77, 50.0}) {
+    const auto r = pcp_deadline(inst, deadline);
+    EXPECT_LE(r.eval.med, deadline + 1e-9) << "deadline " << deadline;
+  }
+}
+
+TEST(Pcp, GenerousDeadlineReachesLeastCost) {
+  const auto r = pcp_deadline(example_instance(), 1000.0);
+  EXPECT_DOUBLE_EQ(r.eval.cost, 48.0);
+}
+
+TEST(Pcp, ProcessesMultiplePaths) {
+  // example6 has two parallel chains; the decomposition must produce more
+  // than one partial critical path.
+  const auto r = pcp_deadline(example_instance(), 10.0);
+  EXPECT_GE(r.paths, 2u);
+}
+
+TEST(Pcp, PipelineIsASinglePath) {
+  const std::vector<double> wl = {12.0, 47.0, 8.0, 33.0};
+  const auto inst = Instance::from_model(medcc::workflow::pipeline(wl),
+                                         medcc::cloud::example_catalog());
+  const auto fastest = medcc::sched::evaluate(
+      inst, medcc::sched::fastest_schedule(inst));
+  const auto r = pcp_deadline(inst, fastest.med * 2.0);
+  EXPECT_EQ(r.paths, 1u);
+}
+
+class PcpPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PcpPropertyTest, SoundAndComparableToGlobalLoss) {
+  medcc::util::Prng rng(GetParam());
+  const auto inst = medcc::expr::make_instance({12, 28, 4}, rng);
+  const auto fastest = medcc::sched::evaluate(
+      inst, medcc::sched::fastest_schedule(inst));
+  const auto least = medcc::sched::evaluate(
+      inst, medcc::sched::least_cost_schedule(inst));
+  for (double frac : {0.2, 0.6, 0.95}) {
+    const double deadline =
+        fastest.med + frac * (least.med - fastest.med) + 1e-9;
+    const auto pcp = pcp_deadline(inst, deadline);
+    EXPECT_LE(pcp.eval.med, deadline + 1e-9);
+    // Both heuristics' costs live between the extreme schedules.
+    EXPECT_GE(pcp.eval.cost, least.cost - 1e-9);
+    EXPECT_LE(pcp.eval.cost, fastest.cost + 1e-9);
+    // PCP localizes decisions; it should stay within 2x of the global
+    // LOSS heuristic's cost on these sizes (typically it is close).
+    const auto global = medcc::sched::deadline_loss(inst, deadline);
+    EXPECT_LE(pcp.eval.cost, 2.0 * global.eval.cost + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PcpPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace

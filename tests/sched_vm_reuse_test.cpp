@@ -1,0 +1,112 @@
+#include "sched/vm_reuse.hpp"
+
+#include <gtest/gtest.h>
+
+#include "expr/instance_gen.hpp"
+#include "sched/bounds.hpp"
+#include "sched/critical_greedy.hpp"
+#include "workflow/patterns.hpp"
+
+namespace {
+
+using medcc::sched::Instance;
+using medcc::sched::plan_vm_reuse;
+using medcc::sched::Schedule;
+
+TEST(VmReuse, SequentialSameTypeModulesShareOneVm) {
+  const std::vector<double> wl = {10.0, 20.0, 30.0};
+  const auto inst = Instance::from_model(medcc::workflow::pipeline(wl),
+                                         medcc::cloud::example_catalog());
+  Schedule s;
+  s.type_of.assign(3, 1);  // all on VT2
+  const auto plan = plan_vm_reuse(inst, s);
+  ASSERT_EQ(plan.instances.size(), 1u);
+  EXPECT_EQ(plan.instances[0].modules.size(), 3u);
+  EXPECT_EQ(plan.instances[0].type, 1u);
+}
+
+TEST(VmReuse, DifferentTypesNeverShare) {
+  const std::vector<double> wl = {10.0, 20.0};
+  const auto inst = Instance::from_model(medcc::workflow::pipeline(wl),
+                                         medcc::cloud::example_catalog());
+  Schedule s;
+  s.type_of = {0, 2};
+  const auto plan = plan_vm_reuse(inst, s);
+  EXPECT_EQ(plan.instances.size(), 2u);
+}
+
+TEST(VmReuse, ParallelModulesNeedSeparateVms) {
+  medcc::util::Prng rng(1);
+  const auto wf = medcc::workflow::fork_join(3, 1, 10.0, 10.0, rng);
+  const auto inst =
+      Instance::from_model(wf, medcc::cloud::example_catalog());
+  Schedule s;
+  s.type_of.assign(wf.module_count(), 1);
+  const auto plan = plan_vm_reuse(inst, s);
+  // Three simultaneous branch modules cannot overlap on one VM.
+  EXPECT_EQ(plan.instances.size(), 3u);
+}
+
+TEST(VmReuse, BilledUptimeNeverExceedsPerModuleBilling) {
+  // Sharing partial quanta can only reduce cost relative to rounding each
+  // module separately.
+  medcc::util::Prng root(2);
+  for (int k = 0; k < 12; ++k) {
+    auto rng = root.fork(static_cast<std::uint64_t>(k));
+    const auto inst = medcc::expr::make_instance({12, 25, 4}, rng);
+    const auto bounds = medcc::sched::cost_bounds(inst);
+    const auto r = medcc::sched::critical_greedy(
+        inst, 0.5 * (bounds.cmin + bounds.cmax));
+    const auto plan = plan_vm_reuse(inst, r.schedule);
+    EXPECT_LE(plan.billed_cost_uptime, plan.cost_without_reuse + 1e-6);
+  }
+}
+
+TEST(VmReuse, InstanceCountNeverExceedsModuleCount) {
+  medcc::util::Prng rng(3);
+  const auto inst = medcc::expr::make_instance({20, 60, 4}, rng);
+  const auto least = medcc::sched::least_cost_schedule(inst);
+  const auto plan = plan_vm_reuse(inst, least);
+  EXPECT_LE(plan.instances.size(),
+            inst.workflow().computing_module_count());
+  // Every computing module is assigned to exactly one instance.
+  std::size_t assigned = 0;
+  for (const auto& vm : plan.instances) assigned += vm.modules.size();
+  EXPECT_EQ(assigned, inst.workflow().computing_module_count());
+}
+
+TEST(VmReuse, FixedModulesGetNoVm) {
+  const auto inst = Instance::from_model(medcc::workflow::example6(),
+                                         medcc::cloud::example_catalog());
+  const auto least = medcc::sched::least_cost_schedule(inst);
+  const auto plan = plan_vm_reuse(inst, least);
+  EXPECT_EQ(plan.instance_of[0], static_cast<std::size_t>(-1));
+  EXPECT_EQ(plan.instance_of[7], static_cast<std::size_t>(-1));
+}
+
+TEST(VmReuse, ModulesOnOneVmAreTimeDisjoint) {
+  medcc::util::Prng rng(4);
+  const auto inst = medcc::expr::make_instance({18, 50, 4}, rng);
+  const auto least = medcc::sched::least_cost_schedule(inst);
+  const auto eval = medcc::sched::evaluate(inst, least);
+  const auto plan = plan_vm_reuse(inst, least);
+  for (const auto& vm : plan.instances) {
+    for (std::size_t k = 1; k < vm.modules.size(); ++k) {
+      EXPECT_GE(eval.cpm.est[vm.modules[k]] + 1e-9,
+                eval.cpm.eft[vm.modules[k - 1]]);
+    }
+  }
+}
+
+TEST(VmReuse, Example6Schedule1SuggestsReuse) {
+  // Section V-B: "schedule 1 suggests a potential VM reuse" -- under the
+  // fastest-style schedule several same-type modules are sequential.
+  const auto inst = Instance::from_model(medcc::workflow::example6(),
+                                         medcc::cloud::example_catalog());
+  const auto r = medcc::sched::critical_greedy(inst, 60.0);
+  const auto plan = plan_vm_reuse(inst, r.schedule);
+  EXPECT_LT(plan.instances.size(),
+            inst.workflow().computing_module_count());
+}
+
+}  // namespace

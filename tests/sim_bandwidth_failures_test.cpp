@@ -1,0 +1,210 @@
+// Tests for the shared-bandwidth contention model and VM failure
+// injection -- the simulator features beyond the paper's fixed-time
+// transfer model.
+#include <gtest/gtest.h>
+
+#include "sim/bandwidth.hpp"
+#include "sim/executor.hpp"
+#include "sched/bounds.hpp"
+#include "sched/critical_greedy.hpp"
+#include "workflow/patterns.hpp"
+
+namespace {
+
+using medcc::sched::Instance;
+using medcc::sim::SharedBandwidth;
+using medcc::sim::SimEngine;
+
+// ---------------------------------------------------------------------
+// SharedBandwidth unit behaviour.
+// ---------------------------------------------------------------------
+
+TEST(SharedBandwidth, SingleTransferFullRate) {
+  SimEngine engine;
+  SharedBandwidth bw(engine, 10.0);
+  double done_at = -1.0;
+  bw.start_transfer(50.0, [&] { done_at = engine.now(); });
+  engine.run();
+  EXPECT_DOUBLE_EQ(done_at, 5.0);
+}
+
+TEST(SharedBandwidth, TwoConcurrentTransfersShareEqually) {
+  SimEngine engine;
+  SharedBandwidth bw(engine, 10.0);
+  double a = -1.0, b = -1.0;
+  bw.start_transfer(50.0, [&] { a = engine.now(); });
+  bw.start_transfer(50.0, [&] { b = engine.now(); });
+  engine.run();
+  // Both proceed at 5 units/s: each 50-unit transfer takes 10 s.
+  EXPECT_DOUBLE_EQ(a, 10.0);
+  EXPECT_DOUBLE_EQ(b, 10.0);
+}
+
+TEST(SharedBandwidth, LateArrivalSlowsTheFirst) {
+  SimEngine engine;
+  SharedBandwidth bw(engine, 10.0);
+  double a = -1.0, b = -1.0;
+  bw.start_transfer(50.0, [&] { a = engine.now(); });
+  engine.schedule_at(2.0, [&] {
+    bw.start_transfer(15.0, [&] { b = engine.now(); });
+  });
+  engine.run();
+  // First: 20 units by t=2 at full rate; then both at 5/s. Second needs
+  // 3 s (done t=5); first has 30 left at t=2, 15 by t=5, then full rate:
+  // 1.5 s more -> t=6.5.
+  EXPECT_NEAR(b, 5.0, 1e-9);
+  EXPECT_NEAR(a, 6.5, 1e-9);
+}
+
+TEST(SharedBandwidth, ZeroDataCompletesImmediately) {
+  SimEngine engine;
+  SharedBandwidth bw(engine, 1.0);
+  double done_at = -1.0;
+  bw.start_transfer(0.0, [&] { done_at = engine.now(); });
+  engine.run();
+  EXPECT_DOUBLE_EQ(done_at, 0.0);
+}
+
+TEST(SharedBandwidth, Validation) {
+  SimEngine engine;
+  EXPECT_THROW(SharedBandwidth(engine, 0.0), medcc::InvalidArgument);
+  SharedBandwidth bw(engine, 1.0);
+  EXPECT_THROW(bw.start_transfer(-1.0, [] {}), medcc::InvalidArgument);
+  EXPECT_THROW(bw.start_transfer(1.0, nullptr), medcc::LogicError);
+}
+
+// ---------------------------------------------------------------------
+// Executor integration: contention.
+// ---------------------------------------------------------------------
+
+TEST(ExecutorContention, ParallelTransfersSerializeUnderSharedStorage) {
+  // Fan-out of 3 one-unit edges from the entry: with aggregate bandwidth 1
+  // the three transfers share and all finish at t=3; with the fixed
+  // per-edge model (bandwidth 1 per edge) they finish at t=1.
+  medcc::workflow::Workflow wf;
+  const auto entry = wf.add_fixed_module("entry", 0.0);
+  std::vector<medcc::workflow::NodeId> mids;
+  const auto exit = wf.add_fixed_module("exit", 0.0);
+  for (int k = 0; k < 3; ++k) {
+    const auto mid = wf.add_module("m" + std::to_string(k), 30.0);
+    wf.add_dependency(entry, mid, 1.0);
+    wf.add_dependency(mid, exit, 0.0);
+    mids.push_back(mid);
+  }
+  medcc::cloud::NetworkModel per_edge;
+  per_edge.bandwidth = 1.0;
+  const auto inst = Instance::from_model(
+      wf, medcc::cloud::example_catalog(),
+      medcc::cloud::BillingPolicy::per_unit_time(), per_edge);
+  const auto fastest = medcc::sched::fastest_schedule(inst);
+
+  const auto fixed = medcc::sim::execute(inst, fastest);
+  medcc::sim::ExecutorOptions shared;
+  shared.shared_storage_bandwidth = 1.0;
+  const auto contended = medcc::sim::execute(inst, fastest, shared);
+  // Fixed model: transfers overlap freely -> makespan 1 + 1 = 2.
+  EXPECT_NEAR(fixed.makespan, 2.0, 1e-9);
+  // Shared model: 3 units through a 1-unit pipe -> all inputs at t=3.
+  EXPECT_NEAR(contended.makespan, 4.0, 1e-9);
+}
+
+TEST(ExecutorContention, NoTransfersMeansNoEffect) {
+  const auto inst = Instance::from_model(medcc::workflow::example6(),
+                                         medcc::cloud::example_catalog());
+  const auto r = medcc::sched::critical_greedy(inst, 57.0);
+  medcc::sim::ExecutorOptions shared;
+  shared.shared_storage_bandwidth = 1e-3;  // tiny, but edges carry data...
+  const auto report = medcc::sim::execute(inst, r.schedule, shared);
+  // example6 edges carry 1.0 data units each; the schedule's makespan now
+  // exceeds the analytic zero-transfer MED.
+  EXPECT_GT(report.makespan, report.analytic_med);
+}
+
+// ---------------------------------------------------------------------
+// Executor integration: failure injection.
+// ---------------------------------------------------------------------
+
+TEST(ExecutorFailures, ZeroMtbfDisablesInjection) {
+  const auto inst = Instance::from_model(medcc::workflow::example6(),
+                                         medcc::cloud::example_catalog());
+  const auto r = medcc::sched::critical_greedy(inst, 57.0);
+  const auto report = medcc::sim::execute(inst, r.schedule);
+  EXPECT_EQ(report.vm_failures, 0u);
+  EXPECT_NEAR(report.makespan, report.analytic_med, 1e-9);
+}
+
+TEST(ExecutorFailures, CrashesExtendMakespanAndBillFailedWork) {
+  const auto inst = Instance::from_model(medcc::workflow::example6(),
+                                         medcc::cloud::example_catalog());
+  const auto r = medcc::sched::critical_greedy(inst, 57.0);
+  medcc::sim::ExecutorOptions opts;
+  opts.failures.mtbf = 2.0;  // module times are ~0.7-2.7h: frequent crashes
+  opts.failures.seed = 11;
+  opts.failures.max_retries_per_module = 200;
+  const auto report = medcc::sim::execute(inst, r.schedule, opts);
+  const auto clean = medcc::sim::execute(inst, r.schedule);
+  EXPECT_GT(report.vm_failures, 0u);
+  EXPECT_GT(report.makespan, clean.makespan);
+  EXPECT_GT(report.billed_cost, clean.billed_cost);
+  // Every module still completed exactly once.
+  EXPECT_EQ(report.trace.count(medcc::sim::TraceKind::ModuleDone),
+            inst.module_count());
+  EXPECT_EQ(report.trace.count(medcc::sim::TraceKind::VmFailed),
+            report.vm_failures);
+}
+
+TEST(ExecutorFailures, DeterministicGivenSeed) {
+  const auto inst = Instance::from_model(medcc::workflow::example6(),
+                                         medcc::cloud::example_catalog());
+  const auto r = medcc::sched::critical_greedy(inst, 57.0);
+  medcc::sim::ExecutorOptions opts;
+  opts.failures.mtbf = 3.0;
+  opts.failures.seed = 21;
+  opts.failures.max_retries_per_module = 200;
+  const auto a = medcc::sim::execute(inst, r.schedule, opts);
+  const auto b = medcc::sim::execute(inst, r.schedule, opts);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.vm_failures, b.vm_failures);
+}
+
+TEST(ExecutorFailures, RetryCapThrows) {
+  const auto inst = Instance::from_model(medcc::workflow::example6(),
+                                         medcc::cloud::example_catalog());
+  const auto r = medcc::sched::critical_greedy(inst, 57.0);
+  medcc::sim::ExecutorOptions opts;
+  opts.failures.mtbf = 0.01;  // essentially nothing ever completes
+  opts.failures.max_retries_per_module = 3;
+  EXPECT_THROW((void)medcc::sim::execute(inst, r.schedule, opts),
+               medcc::Error);
+}
+
+TEST(ExecutorFailures, NegativeMtbfRejected) {
+  const auto inst = Instance::from_model(medcc::workflow::example6(),
+                                         medcc::cloud::example_catalog());
+  const auto least = medcc::sched::least_cost_schedule(inst);
+  medcc::sim::ExecutorOptions opts;
+  opts.failures.mtbf = -1.0;
+  EXPECT_THROW((void)medcc::sim::execute(inst, least, opts),
+               medcc::InvalidArgument);
+}
+
+TEST(ExecutorFailures, WorksWithReuseLanes) {
+  const auto inst = Instance::from_model(medcc::workflow::example6(),
+                                         medcc::cloud::example_catalog());
+  const auto r = medcc::sched::critical_greedy(inst, 60.0);
+  medcc::sim::ExecutorOptions opts;
+  opts.reuse_vms = true;
+  opts.failures.mtbf = 2.0;
+  opts.failures.seed = 31;
+  opts.failures.max_retries_per_module = 200;
+  const auto report = medcc::sim::execute(inst, r.schedule, opts);
+  EXPECT_EQ(report.trace.count(medcc::sim::TraceKind::ModuleDone),
+            inst.module_count());
+  // Replacement VMs mean more usage records than lanes when crashes hit.
+  if (report.vm_failures > 0)
+    EXPECT_GT(report.vms.size(),
+              medcc::sched::plan_vm_reuse(inst, r.schedule).instances.size() -
+                  1);
+}
+
+}  // namespace

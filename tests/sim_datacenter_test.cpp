@@ -1,0 +1,122 @@
+#include "sim/datacenter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using medcc::sim::Datacenter;
+using medcc::sim::DatacenterConfig;
+using medcc::sim::SimEngine;
+using medcc::sim::Trace;
+using medcc::sim::TraceKind;
+using medcc::sim::VmState;
+
+TEST(Datacenter, UnlimitedBootsImmediatelyWithLatency) {
+  SimEngine engine;
+  Trace trace;
+  DatacenterConfig config;
+  config.vm_boot_time = 5.0;
+  const auto catalog = medcc::cloud::example_catalog();
+  Datacenter dc(engine, trace, config, catalog);
+  bool ready = false;
+  const auto vm = dc.request_vm(0, [&] { ready = true; });
+  EXPECT_EQ(dc.state(vm), VmState::Booting);
+  engine.run();
+  EXPECT_TRUE(ready);
+  EXPECT_EQ(dc.state(vm), VmState::Ready);
+  EXPECT_DOUBLE_EQ(dc.ready_at(vm), 5.0);
+  EXPECT_FALSE(dc.host_of(vm).has_value());  // unlimited: no host binding
+}
+
+TEST(Datacenter, BoundedPlacementFirstFit) {
+  SimEngine engine;
+  Trace trace;
+  DatacenterConfig config;
+  config.hosts = {{10.0}, {40.0}};
+  const auto catalog = medcc::cloud::example_catalog();  // VP 3/15/30
+  Datacenter dc(engine, trace, config, catalog);
+  const auto small = dc.request_vm(0, [] {});   // VP 3 -> host 0
+  const auto large = dc.request_vm(2, [] {});   // VP 30 -> host 1
+  engine.run();
+  EXPECT_EQ(dc.host_of(small).value(), 0u);
+  EXPECT_EQ(dc.host_of(large).value(), 1u);
+}
+
+TEST(Datacenter, RequestsQueueWhenFull) {
+  SimEngine engine;
+  Trace trace;
+  DatacenterConfig config;
+  config.hosts = {{15.0}};
+  config.vm_boot_time = 1.0;
+  const auto catalog = medcc::cloud::example_catalog();
+  Datacenter dc(engine, trace, config, catalog);
+  bool second_ready = false;
+  const auto first = dc.request_vm(1, [] {});  // VP 15 fills the host
+  const auto second = dc.request_vm(1, [&] { second_ready = true; });
+  engine.run();
+  EXPECT_EQ(dc.state(first), VmState::Ready);
+  EXPECT_EQ(dc.state(second), VmState::Requested);
+  EXPECT_FALSE(second_ready);
+  // Stopping the first frees capacity and boots the second.
+  dc.stop_vm(first);
+  engine.run();
+  EXPECT_TRUE(second_ready);
+  EXPECT_EQ(dc.state(second), VmState::Ready);
+  EXPECT_DOUBLE_EQ(dc.ready_at(second), 2.0);  // stop at 1.0 + boot 1.0
+}
+
+TEST(Datacenter, StopRecordsTimeAndTrace) {
+  SimEngine engine;
+  Trace trace;
+  const auto catalog = medcc::cloud::example_catalog();
+  Datacenter dc(engine, trace, DatacenterConfig{}, catalog);
+  const auto vm = dc.request_vm(0, [] {});
+  engine.run();
+  dc.stop_vm(vm);
+  EXPECT_EQ(dc.state(vm), VmState::Stopped);
+  EXPECT_EQ(trace.count(TraceKind::VmRequested), 1u);
+  EXPECT_EQ(trace.count(TraceKind::VmBooted), 1u);
+  EXPECT_EQ(trace.count(TraceKind::VmStopped), 1u);
+}
+
+TEST(Datacenter, StopRequiresReadyState) {
+  SimEngine engine;
+  Trace trace;
+  const auto catalog = medcc::cloud::example_catalog();
+  Datacenter dc(engine, trace, DatacenterConfig{}, catalog);
+  const auto vm = dc.request_vm(0, [] {});
+  // Still booting.
+  EXPECT_THROW(dc.stop_vm(vm), medcc::LogicError);
+  engine.run();
+  dc.stop_vm(vm);
+  EXPECT_THROW(dc.stop_vm(vm), medcc::LogicError);  // double stop
+}
+
+TEST(Datacenter, BadHostCapacityRejected) {
+  SimEngine engine;
+  Trace trace;
+  DatacenterConfig config;
+  config.hosts = {{0.0}};
+  const auto catalog = medcc::cloud::example_catalog();
+  EXPECT_THROW(Datacenter(engine, trace, config, catalog),
+               medcc::InvalidArgument);
+}
+
+TEST(Datacenter, InvalidTypeRejected) {
+  SimEngine engine;
+  Trace trace;
+  const auto catalog = medcc::cloud::example_catalog();
+  Datacenter dc(engine, trace, DatacenterConfig{}, catalog);
+  EXPECT_THROW((void)dc.request_vm(99, [] {}), medcc::LogicError);
+}
+
+TEST(Trace, RenderIsHumanReadable) {
+  Trace trace;
+  trace.record(1.5, TraceKind::ModuleStart, 3, "w3");
+  const auto out = trace.render();
+  EXPECT_NE(out.find("MODULE_START"), std::string::npos);
+  EXPECT_NE(out.find("#3"), std::string::npos);
+  EXPECT_NE(out.find("w3"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,141 @@
+#include "sim/dynamic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "expr/instance_gen.hpp"
+#include "sched/bounds.hpp"
+#include "sched/critical_greedy.hpp"
+#include "workflow/patterns.hpp"
+
+namespace {
+
+using medcc::sched::Instance;
+using medcc::sim::dynamic_execute;
+using medcc::sim::DynamicOptions;
+using medcc::sim::DynamicPolicy;
+
+Instance example_instance() {
+  return Instance::from_model(medcc::workflow::example6(),
+                              medcc::cloud::example_catalog());
+}
+
+TEST(Dynamic, CompletesAllModules) {
+  const auto report = dynamic_execute(example_instance());
+  EXPECT_EQ(report.trace.count(medcc::sim::TraceKind::ModuleDone), 8u);
+  EXPECT_GT(report.makespan, 0.0);
+}
+
+TEST(Dynamic, UnlimitedBudgetMinFinishMatchesFastestMed) {
+  // With no budget pressure and zero boot time, MinFinishTime spawns the
+  // fastest type for every module as it becomes ready -- the fastest
+  // schedule executed online.
+  const auto inst = example_instance();
+  const auto report = dynamic_execute(inst);
+  const auto fastest = medcc::sched::evaluate(
+      inst, medcc::sched::fastest_schedule(inst));
+  EXPECT_NEAR(report.makespan, fastest.med, 1e-9);
+}
+
+TEST(Dynamic, CheapestFirstUndercutsAnalyticLeastCost) {
+  const auto inst = example_instance();
+  DynamicOptions opts;
+  opts.policy = DynamicPolicy::CheapestFirst;
+  const auto report = dynamic_execute(inst, opts);
+  const auto least = medcc::sched::evaluate(
+      inst, medcc::sched::least_cost_schedule(inst));
+  const auto fastest = medcc::sched::evaluate(
+      inst, medcc::sched::fastest_schedule(inst));
+  // Online cheapest placement may reuse idle VMs (sharing billing
+  // quanta), so the billed cost can undercut the analytic per-module
+  // least-cost total; the makespan cannot beat the all-fastest bound.
+  EXPECT_LE(report.billed_cost, least.cost + 1e-9);
+  EXPECT_GE(report.makespan, fastest.med - 1e-9);
+}
+
+TEST(Dynamic, BudgetIsRespected) {
+  const auto inst = example_instance();
+  const auto bounds = medcc::sched::cost_bounds(inst);
+  for (double budget : {bounds.cmin, 52.0, 57.0, bounds.cmax}) {
+    DynamicOptions opts;
+    opts.budget = budget;
+    const auto report = dynamic_execute(inst, opts);
+    EXPECT_LE(report.billed_cost, budget + 1e-6) << "budget " << budget;
+  }
+}
+
+TEST(Dynamic, InfeasibleBudgetThrows) {
+  DynamicOptions opts;
+  opts.budget = 40.0;  // below Cmin = 48
+  EXPECT_THROW((void)dynamic_execute(example_instance(), opts),
+               medcc::Infeasible);
+}
+
+TEST(Dynamic, MoreBudgetNeverIncreasesMakespanMuch) {
+  // The online greedy is not perfectly monotone either, but across the
+  // example's band edges the trend must be downward overall.
+  const auto inst = example_instance();
+  DynamicOptions tight;
+  tight.budget = 48.0;
+  DynamicOptions rich;
+  rich.budget = 64.0;
+  EXPECT_LE(dynamic_execute(inst, rich).makespan,
+            dynamic_execute(inst, tight).makespan + 1e-9);
+}
+
+TEST(Dynamic, BootTimeDelaysSpawnedWork) {
+  const auto inst = example_instance();
+  DynamicOptions opts;
+  opts.vm_boot_time = 0.5;
+  const auto delayed = dynamic_execute(inst, opts);
+  const auto instant = dynamic_execute(inst);
+  EXPECT_GT(delayed.makespan, instant.makespan);
+}
+
+TEST(Dynamic, KeepHotBillsMore) {
+  const auto inst = example_instance();
+  DynamicOptions hot;
+  hot.stop_idle_vms = false;
+  EXPECT_GE(dynamic_execute(inst, hot).billed_cost,
+            dynamic_execute(inst).billed_cost - 1e-9);
+}
+
+TEST(Dynamic, ReuseHappensUnderBudgetPressure) {
+  // At a modest budget the policy cannot spawn the fastest type for every
+  // module; some decisions must reuse existing VMs.
+  const auto inst = example_instance();
+  DynamicOptions opts;
+  opts.budget = 52.0;
+  const auto report = dynamic_execute(inst, opts);
+  std::size_t reused = 0;
+  for (const auto& d : report.decisions)
+    if (!d.spawned) ++reused;
+  EXPECT_GT(reused, 0u);
+  EXPECT_LT(report.vm_types.size(),
+            inst.workflow().computing_module_count());
+}
+
+class DynamicPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(DynamicPropertyTest, FeasibleAcrossBudgetsOnRandomInstances) {
+  medcc::util::Prng rng(GetParam());
+  const auto inst = medcc::expr::make_instance({12, 25, 4}, rng);
+  const auto bounds = medcc::sched::cost_bounds(inst);
+  for (double budget : medcc::sched::budget_levels(bounds, 5)) {
+    for (auto policy :
+         {DynamicPolicy::MinFinishTime, DynamicPolicy::CheapestFirst}) {
+      DynamicOptions opts;
+      opts.budget = budget;
+      opts.policy = policy;
+      const auto report = dynamic_execute(inst, opts);
+      EXPECT_LE(report.billed_cost, budget + 1e-6);
+      EXPECT_EQ(report.trace.count(medcc::sim::TraceKind::ModuleDone),
+                inst.module_count());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DynamicPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace

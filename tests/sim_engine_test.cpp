@@ -1,0 +1,93 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace {
+
+using medcc::sim::SimEngine;
+
+TEST(SimEngine, StartsAtZeroAndIdle) {
+  SimEngine engine;
+  EXPECT_DOUBLE_EQ(engine.now(), 0.0);
+  EXPECT_TRUE(engine.idle());
+  EXPECT_DOUBLE_EQ(engine.run(), 0.0);
+}
+
+TEST(SimEngine, EventsFireInTimeOrder) {
+  SimEngine engine;
+  std::vector<int> order;
+  engine.schedule_at(3.0, [&] { order.push_back(3); });
+  engine.schedule_at(1.0, [&] { order.push_back(1); });
+  engine.schedule_at(2.0, [&] { order.push_back(2); });
+  EXPECT_DOUBLE_EQ(engine.run(), 3.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimEngine, SimultaneousEventsFifo) {
+  SimEngine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    engine.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimEngine, NestedSchedulingAdvancesClock) {
+  SimEngine engine;
+  std::vector<double> times;
+  engine.schedule_in(1.0, [&] {
+    times.push_back(engine.now());
+    engine.schedule_in(2.0, [&] { times.push_back(engine.now()); });
+  });
+  engine.run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[1], 3.0);
+}
+
+TEST(SimEngine, NegativeDelayRejected) {
+  SimEngine engine;
+  EXPECT_THROW(engine.schedule_in(-1.0, [] {}), medcc::InvalidArgument);
+}
+
+TEST(SimEngine, PastEventRejected) {
+  SimEngine engine;
+  engine.schedule_at(5.0, [&] {
+    EXPECT_THROW(engine.schedule_at(4.0, [] {}), medcc::InvalidArgument);
+  });
+  engine.run();
+}
+
+TEST(SimEngine, NullHandlerRejected) {
+  SimEngine engine;
+  EXPECT_THROW(engine.schedule_at(1.0, nullptr), medcc::LogicError);
+}
+
+TEST(SimEngine, EventLimitGuards) {
+  SimEngine engine;
+  // Self-perpetuating event chain.
+  std::function<void()> loop = [&] { engine.schedule_in(1.0, loop); };
+  engine.schedule_in(0.0, loop);
+  EXPECT_THROW((void)engine.run(100), medcc::Error);
+}
+
+TEST(SimEngine, ProcessedCountTracked) {
+  SimEngine engine;
+  for (int i = 0; i < 7; ++i) engine.schedule_in(1.0, [] {});
+  engine.run();
+  EXPECT_EQ(engine.events_processed(), 7u);
+}
+
+TEST(SimEngine, ZeroDelayEventsRunAtCurrentTime) {
+  SimEngine engine;
+  double seen = -1.0;
+  engine.schedule_at(2.0, [&] {
+    engine.schedule_in(0.0, [&] { seen = engine.now(); });
+  });
+  engine.run();
+  EXPECT_DOUBLE_EQ(seen, 2.0);
+}
+
+}  // namespace

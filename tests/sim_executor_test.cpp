@@ -1,0 +1,170 @@
+#include "sim/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "expr/instance_gen.hpp"
+#include "sched/bounds.hpp"
+#include "sched/critical_greedy.hpp"
+#include "workflow/patterns.hpp"
+
+namespace {
+
+using medcc::sched::Instance;
+using medcc::sim::execute;
+using medcc::sim::ExecutorOptions;
+using medcc::sim::TraceKind;
+
+Instance example_instance(medcc::cloud::NetworkModel net = {}) {
+  return Instance::from_model(medcc::workflow::example6(),
+                              medcc::cloud::example_catalog(),
+                              medcc::cloud::BillingPolicy::per_unit_time(),
+                              net);
+}
+
+TEST(Executor, SimulatedMakespanEqualsAnalyticMed) {
+  const auto inst = example_instance();
+  const auto r = medcc::sched::critical_greedy(inst, 57.0);
+  const auto report = execute(inst, r.schedule);
+  EXPECT_NEAR(report.makespan, report.analytic_med, 1e-9);
+  EXPECT_NEAR(report.makespan, 6.77, 0.005);
+}
+
+TEST(Executor, EveryModuleRunsExactlyOnce) {
+  const auto inst = example_instance();
+  const auto r = medcc::sched::critical_greedy(inst, 52.0);
+  const auto report = execute(inst, r.schedule);
+  EXPECT_EQ(report.trace.count(TraceKind::ModuleStart), 8u);
+  EXPECT_EQ(report.trace.count(TraceKind::ModuleDone), 8u);
+  EXPECT_EQ(report.trace.count(TraceKind::TransferStart),
+            inst.workflow().dependency_count());
+}
+
+TEST(Executor, PrecedenceRespected) {
+  const auto inst = example_instance();
+  const auto least = medcc::sched::least_cost_schedule(inst);
+  const auto report = execute(inst, least);
+  const auto& g = inst.workflow().graph();
+  for (std::size_t e = 0; e < g.edge_count(); ++e)
+    EXPECT_GE(report.modules[g.edge(e).dst].start + 1e-12,
+              report.modules[g.edge(e).src].finish);
+}
+
+TEST(Executor, OneVmPerModuleWithoutReuse) {
+  const auto inst = example_instance();
+  const auto least = medcc::sched::least_cost_schedule(inst);
+  const auto report = execute(inst, least);
+  EXPECT_EQ(report.vms.size(), 6u);
+}
+
+TEST(Executor, ReusePreservesMakespanAndSavesMoney) {
+  const auto inst = example_instance();
+  const auto r = medcc::sched::critical_greedy(inst, 60.0);
+  ExecutorOptions no_reuse;
+  ExecutorOptions reuse;
+  reuse.reuse_vms = true;
+  const auto a = execute(inst, r.schedule, no_reuse);
+  const auto b = execute(inst, r.schedule, reuse);
+  EXPECT_NEAR(a.makespan, b.makespan, 1e-9);
+  EXPECT_LT(b.vms.size(), a.vms.size());
+  EXPECT_LE(b.billed_cost, a.billed_cost + 1e-9);
+}
+
+TEST(Executor, BilledCostMatchesAnalyticWithoutReuse) {
+  // One VM per module, uptime = module duration -> identical rounding.
+  const auto inst = example_instance();
+  const auto r = medcc::sched::critical_greedy(inst, 57.0);
+  const auto report = execute(inst, r.schedule);
+  EXPECT_NEAR(report.billed_cost, report.analytic_cost, 1e-9);
+}
+
+TEST(Executor, UpFrontProvisioningHidesBootUnderEntry) {
+  const auto inst = example_instance();
+  const auto least = medcc::sched::least_cost_schedule(inst);
+  ExecutorOptions opts;
+  opts.provisioning = medcc::sim::Provisioning::UpFront;
+  opts.datacenter.vm_boot_time = 0.5;  // under the 1-hour entry module
+  const auto report = execute(inst, least, opts);
+  EXPECT_NEAR(report.makespan, report.analytic_med, 1e-9);
+  opts.datacenter.vm_boot_time = 2.0;  // boot dominates the entry
+  const auto delayed = execute(inst, least, opts);
+  EXPECT_GT(delayed.makespan, report.makespan);
+}
+
+TEST(Executor, JustInTimeProvisioningPaysBootOnPath) {
+  const auto inst = example_instance();
+  const auto least = medcc::sched::least_cost_schedule(inst);
+  ExecutorOptions opts;
+  opts.datacenter.vm_boot_time = 0.5;
+  const auto report = execute(inst, least, opts);  // JIT default
+  EXPECT_GT(report.makespan, report.analytic_med);
+}
+
+TEST(Executor, TransferTimesExtendMakespan) {
+  medcc::cloud::NetworkModel net;
+  net.bandwidth = 0.5;  // each 1.0-unit edge takes 2h
+  const auto inst = example_instance(net);
+  const auto least = medcc::sched::least_cost_schedule(inst);
+  const auto report = execute(inst, least);
+  // Simulation must still agree with the CPM analytic value, which now
+  // includes edge weights.
+  EXPECT_NEAR(report.makespan, report.analytic_med, 1e-9);
+  const auto no_net = example_instance();
+  const auto fast = execute(no_net, least);
+  EXPECT_GT(report.makespan, fast.makespan);
+}
+
+TEST(Executor, ThrowsWhenVmCanNeverBePlaced) {
+  const auto inst = example_instance();
+  const auto least = medcc::sched::least_cost_schedule(inst);
+  ExecutorOptions opts;
+  // Least-cost uses VT2 (VP 15); a 10-unit host can never hold it.
+  opts.datacenter.hosts = {{10.0}};
+  EXPECT_THROW((void)execute(inst, least, opts), medcc::Error);
+}
+
+TEST(Executor, BoundedButSufficientCapacitySucceeds) {
+  const auto inst = example_instance();
+  const auto least = medcc::sched::least_cost_schedule(inst);
+  ExecutorOptions opts;
+  opts.datacenter.hosts = {{60.0}};  // 3xVT2 (45) + 3xVT1 (9) fits
+  const auto report = execute(inst, least, opts);
+  EXPECT_NEAR(report.makespan, report.analytic_med, 1e-9);
+}
+
+TEST(Executor, CapacityContentionDelaysButCompletes) {
+  // Host fits one VT2 at a time; parallel same-type modules serialize
+  // behind VM churn, so the makespan exceeds the analytic MED.
+  const auto inst = example_instance();
+  const auto least = medcc::sched::least_cost_schedule(inst);
+  ExecutorOptions opts;
+  opts.datacenter.hosts = {{18.0}};  // one VT2 (15) + one VT1 (3)
+  const auto report = execute(inst, least, opts);
+  EXPECT_GT(report.makespan, report.analytic_med);
+}
+
+class ExecutorPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(ExecutorPropertyTest, SimulationValidatesAnalyticModelOnRandomDags) {
+  medcc::util::Prng rng(GetParam());
+  const auto inst = medcc::expr::make_instance({14, 30, 4}, rng);
+  const auto bounds = medcc::sched::cost_bounds(inst);
+  const auto r = medcc::sched::critical_greedy(
+      inst, 0.5 * (bounds.cmin + bounds.cmax));
+  for (bool reuse : {false, true}) {
+    ExecutorOptions opts;
+    opts.reuse_vms = reuse;
+    const auto report = execute(inst, r.schedule, opts);
+    EXPECT_NEAR(report.makespan, report.analytic_med, 1e-9)
+        << "reuse=" << reuse;
+    if (!reuse)
+      EXPECT_NEAR(report.billed_cost, report.analytic_cost, 1e-9);
+    else
+      EXPECT_LE(report.billed_cost, report.analytic_cost + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExecutorPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace

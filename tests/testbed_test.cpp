@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include "sched/bounds.hpp"
+#include "sched/critical_greedy.hpp"
+#include "testbed/nimbus.hpp"
+#include "testbed/programs.hpp"
+#include "testbed/runner.hpp"
+#include "testbed/wrf_experiment.hpp"
+
+namespace {
+
+using medcc::testbed::NimbusCloud;
+using medcc::testbed::NimbusConfig;
+
+TEST(Nimbus, ValidatesConfig) {
+  NimbusConfig config;
+  config.vmm_capacities = {};
+  EXPECT_THROW(NimbusCloud(config, medcc::cloud::wrf_catalog()),
+               medcc::InvalidArgument);
+  config.vmm_capacities = {-1.0};
+  EXPECT_THROW(NimbusCloud(config, medcc::cloud::wrf_catalog()),
+               medcc::InvalidArgument);
+  config.vmm_capacities = {6.0};
+  config.repo_bandwidth_gbps = 0.0;
+  EXPECT_THROW(NimbusCloud(config, medcc::cloud::wrf_catalog()),
+               medcc::InvalidArgument);
+}
+
+TEST(Nimbus, FirstVmPaysImagePropagation) {
+  NimbusConfig config;
+  config.vmm_capacities = {6.0};
+  config.image_size_gb = 6.8;
+  config.repo_bandwidth_gbps = 1.0;
+  config.xen_boot_seconds = 30.0;
+  NimbusCloud cloud(config, medcc::cloud::wrf_catalog());
+  const auto records = cloud.provision_cluster({0});
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_DOUBLE_EQ(records[0].ready_at, 36.8);
+}
+
+TEST(Nimbus, ImageCachedOnSecondVmSameNode) {
+  NimbusConfig config;
+  config.vmm_capacities = {6.0};
+  NimbusCloud cloud(config, medcc::cloud::wrf_catalog());
+  const auto records = cloud.provision_cluster({0, 0});
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[1].node, 0u);
+  // Second VM on the node: no propagation, just boot after the first.
+  EXPECT_DOUBLE_EQ(records[1].ready_at, records[0].ready_at + 30.0);
+}
+
+TEST(Nimbus, NoCacheRepaysPropagation) {
+  NimbusConfig config;
+  config.vmm_capacities = {6.0};
+  config.image_cache = false;
+  NimbusCloud cloud(config, medcc::cloud::wrf_catalog());
+  const auto records = cloud.provision_cluster({0, 0});
+  EXPECT_DOUBLE_EQ(records[1].ready_at, records[0].ready_at + 36.8);
+}
+
+TEST(Nimbus, SpreadsAcrossNodes) {
+  NimbusConfig config;
+  config.vmm_capacities = {3.0, 3.0};
+  NimbusCloud cloud(config, medcc::cloud::wrf_catalog());
+  // Two VT2 (2.93 units) VMs: one per node.
+  const auto records = cloud.provision_cluster({1, 1});
+  EXPECT_NE(records[0].node, records[1].node);
+}
+
+TEST(Nimbus, OverCapacityClusterRejected) {
+  NimbusConfig config;
+  config.vmm_capacities = {3.0};
+  NimbusCloud cloud(config, medcc::cloud::wrf_catalog());
+  EXPECT_THROW((void)cloud.provision_cluster({1, 1}), medcc::Infeasible);
+}
+
+TEST(Nimbus, ClusterReadyTimeIsMaxOverVms) {
+  NimbusConfig config;
+  config.vmm_capacities = {6.0, 6.0};
+  NimbusCloud cloud(config, medcc::cloud::wrf_catalog());
+  const auto records = cloud.provision_cluster({0, 0});
+  double expected = 0.0;
+  for (const auto& r : records) expected = std::max(expected, r.ready_at);
+  EXPECT_DOUBLE_EQ(cloud.cluster_ready_time({0, 0}), expected);
+}
+
+TEST(Programs, CalibrationIsPositiveAndMemoized) {
+  const double a = medcc::testbed::calibrate_kernel();
+  const double b = medcc::testbed::calibrate_kernel();
+  EXPECT_GT(a, 0.0);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(Programs, SleepModeTakesRoughlyRequestedTime) {
+  const auto start = std::chrono::steady_clock::now();
+  (void)medcc::testbed::run_program(0.05, medcc::testbed::ProgramMode::Sleep);
+  const double took =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_GE(took, 0.045);
+  EXPECT_LT(took, 0.6);  // generous: CI machines stall
+}
+
+TEST(Programs, ZeroSecondsReturnsImmediately) {
+  EXPECT_EQ(medcc::testbed::run_program(0.0,
+                                        medcc::testbed::ProgramMode::Compute),
+            0.0);
+}
+
+TEST(Programs, WrfStageTableShape) {
+  const auto& stages = medcc::testbed::wrf_stage_programs();
+  EXPECT_EQ(stages.size(), 5u);
+  EXPECT_EQ(stages[3].name, "wrf");
+  EXPECT_GT(stages[3].nominal_seconds, stages[0].nominal_seconds);
+}
+
+TEST(WrfExperiment, InstanceReproducesPaperBounds) {
+  const auto inst = medcc::testbed::wrf_instance();
+  const auto bounds = medcc::sched::cost_bounds(inst);
+  EXPECT_NEAR(bounds.cmin, 125.9, 1e-9);
+  EXPECT_NEAR(bounds.cmax, 243.6, 1e-9);
+}
+
+TEST(WrfExperiment, CgAtLowestPaperBudgetMatchesTableVII) {
+  // B = 147.5: S_CG = {w1..w4 -> VT1, w5 -> VT2, w6 -> VT1}, MED 468.6.
+  const auto inst = medcc::testbed::wrf_instance();
+  const auto r = medcc::sched::critical_greedy(inst, 147.5);
+  EXPECT_EQ(r.schedule.type_of[1], 0u);
+  EXPECT_EQ(r.schedule.type_of[2], 0u);
+  EXPECT_EQ(r.schedule.type_of[3], 0u);
+  EXPECT_EQ(r.schedule.type_of[4], 0u);
+  EXPECT_EQ(r.schedule.type_of[5], 1u);
+  EXPECT_EQ(r.schedule.type_of[6], 0u);
+  EXPECT_NEAR(r.eval.med, 468.6, 0.05);
+}
+
+TEST(WrfExperiment, ComparisonRowsFeasibleAndCgWins) {
+  const auto rows = medcc::testbed::run_wrf_comparison();
+  ASSERT_EQ(rows.size(), 6u);
+  for (const auto& row : rows) {
+    EXPECT_LE(row.cg.eval.cost, row.budget + 1e-9);
+    EXPECT_LE(row.gain3.eval.cost, row.budget + 1e-9);
+    // "the proposed CG algorithm consistently outperforms GAIN3 in all
+    // the test cases we studied".
+    EXPECT_LE(row.cg.eval.med, row.gain3.eval.med + 1e-9)
+        << "budget " << row.budget;
+  }
+  // MED decreases as budget grows.
+  for (std::size_t k = 1; k < rows.size(); ++k)
+    EXPECT_LE(rows[k].cg.eval.med, rows[k - 1].cg.eval.med + 1e-9);
+}
+
+TEST(Runner, ThreadedReplayMatchesAnalyticMed) {
+  const auto inst = medcc::testbed::wrf_instance();
+  const auto r = medcc::sched::critical_greedy(inst, 174.9);
+  medcc::testbed::RunnerOptions opts;
+  opts.time_scale = 1e-3;  // ~hundreds of ms of wall time
+  const auto run = medcc::testbed::run_threaded(inst, r.schedule, opts);
+  // Scheduling jitter is a few ms of wall time; the box may be 1-core.
+  EXPECT_NEAR(run.measured_makespan, run.analytic_med,
+              0.25 * run.analytic_med);
+  EXPECT_GE(run.measured_makespan, run.analytic_med - 1.0);
+}
+
+TEST(Runner, ModuleOrderRespectsPrecedence) {
+  const auto inst = medcc::testbed::wrf_instance();
+  const auto least = medcc::sched::least_cost_schedule(inst);
+  medcc::testbed::RunnerOptions opts;
+  opts.time_scale = 5e-5;
+  const auto run = medcc::testbed::run_threaded(inst, least, opts);
+  const auto& g = inst.workflow().graph();
+  for (std::size_t e = 0; e < g.edge_count(); ++e)
+    EXPECT_GE(run.modules[g.edge(e).dst].start + 5.0,  // jitter tolerance
+              run.modules[g.edge(e).src].finish - 5.0);
+}
+
+TEST(Runner, ReuseSpawnsFewerThreads) {
+  const auto inst = medcc::testbed::wrf_instance();
+  const auto r = medcc::sched::critical_greedy(inst, 186.2);
+  medcc::testbed::RunnerOptions reuse;
+  reuse.time_scale = 5e-5;
+  medcc::testbed::RunnerOptions no_reuse = reuse;
+  no_reuse.reuse_vms = false;
+  const auto a = medcc::testbed::run_threaded(inst, r.schedule, reuse);
+  const auto b = medcc::testbed::run_threaded(inst, r.schedule, no_reuse);
+  EXPECT_LE(a.threads_used, b.threads_used);
+  EXPECT_EQ(b.threads_used, 6u);
+}
+
+TEST(Runner, RejectsBadScale) {
+  const auto inst = medcc::testbed::wrf_instance();
+  const auto least = medcc::sched::least_cost_schedule(inst);
+  medcc::testbed::RunnerOptions opts;
+  opts.time_scale = 0.0;
+  EXPECT_THROW((void)medcc::testbed::run_threaded(inst, least, opts),
+               medcc::InvalidArgument);
+}
+
+}  // namespace

@@ -1,0 +1,59 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using medcc::util::LogLevel;
+
+// The logger is process-global; each test restores the default threshold.
+struct ThresholdGuard {
+  LogLevel saved = medcc::util::log_threshold();
+  ~ThresholdGuard() { medcc::util::set_log_threshold(saved); }
+};
+
+TEST(Log, DefaultThresholdIsWarn) {
+  EXPECT_EQ(medcc::util::log_threshold(), LogLevel::Warn);
+}
+
+TEST(Log, ThresholdRoundTrips) {
+  ThresholdGuard guard;
+  for (auto level : {LogLevel::Debug, LogLevel::Info, LogLevel::Warn,
+                     LogLevel::Error, LogLevel::Off}) {
+    medcc::util::set_log_threshold(level);
+    EXPECT_EQ(medcc::util::log_threshold(), level);
+  }
+}
+
+TEST(Log, EmissionRespectsThreshold) {
+  ThresholdGuard guard;
+  // Capture stderr around emission.
+  medcc::util::set_log_threshold(LogLevel::Error);
+  testing::internal::CaptureStderr();
+  medcc::util::log_debug("hidden ", 1);
+  medcc::util::log_info("hidden ", 2);
+  medcc::util::log_warn("hidden ", 3);
+  medcc::util::log_error("visible ", 4);
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(err.find("hidden"), std::string::npos);
+  EXPECT_NE(err.find("[medcc:ERROR] visible 4"), std::string::npos);
+}
+
+TEST(Log, OffSilencesEverything) {
+  ThresholdGuard guard;
+  medcc::util::set_log_threshold(LogLevel::Off);
+  testing::internal::CaptureStderr();
+  medcc::util::log_error("nope");
+  EXPECT_TRUE(testing::internal::GetCapturedStderr().empty());
+}
+
+TEST(Log, ConcatenatesHeterogeneousArguments) {
+  ThresholdGuard guard;
+  medcc::util::set_log_threshold(LogLevel::Debug);
+  testing::internal::CaptureStderr();
+  medcc::util::log_debug("x=", 3, " y=", 2.5, " z=", "s");
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("x=3 y=2.5 z=s"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,123 @@
+#include "util/ascii_plot.hpp"
+
+#include "util/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace {
+
+using medcc::util::PlotOptions;
+using medcc::util::Series;
+
+TEST(LinePlot, RendersTitleLegendAndMarkers) {
+  Series s{"MED", {1.0, 2.0, 3.0}, {5.0, 4.0, 3.0}, '*'};
+  PlotOptions opts;
+  opts.title = "Fig 6";
+  opts.x_label = "budget";
+  opts.y_label = "MED";
+  const auto out = medcc::util::line_plot(std::vector<Series>{s}, opts);
+  EXPECT_NE(out.find("Fig 6"), std::string::npos);
+  EXPECT_NE(out.find("[*] MED"), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find("budget"), std::string::npos);
+}
+
+TEST(LinePlot, TwoSeriesBothInLegend) {
+  Series a{"CG", {0.0, 1.0}, {1.0, 2.0}, 'c'};
+  Series b{"GAIN3", {0.0, 1.0}, {2.0, 3.0}, 'g'};
+  const auto out =
+      medcc::util::line_plot(std::vector<Series>{a, b}, PlotOptions{});
+  EXPECT_NE(out.find("[c] CG"), std::string::npos);
+  EXPECT_NE(out.find("[g] GAIN3"), std::string::npos);
+}
+
+TEST(LinePlot, DegenerateSinglePoint) {
+  Series s{"p", {1.0}, {1.0}, '*'};
+  const auto out =
+      medcc::util::line_plot(std::vector<Series>{s}, PlotOptions{});
+  EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+TEST(LinePlot, AxisBoundsPrinted) {
+  Series s{"p", {0.0, 10.0}, {0.0, 100.0}, '*'};
+  const auto out =
+      medcc::util::line_plot(std::vector<Series>{s}, PlotOptions{});
+  EXPECT_NE(out.find("100.00"), std::string::npos);
+  EXPECT_NE(out.find("10.00"), std::string::npos);
+}
+
+TEST(LinePlot, RejectsTinyCanvas) {
+  Series s{"p", {0.0}, {0.0}, '*'};
+  PlotOptions opts;
+  opts.width = 2;
+  EXPECT_THROW((void)medcc::util::line_plot(std::vector<Series>{s}, opts),
+               medcc::LogicError);
+}
+
+TEST(Heatmap, ScaleLineAndShades) {
+  std::vector<std::vector<double>> cells = {{0.0, 1.0}, {2.0, 3.0}};
+  const auto out = medcc::util::heatmap(cells, PlotOptions{});
+  EXPECT_NE(out.find("scale:"), std::string::npos);
+  EXPECT_NE(out.find('@'), std::string::npos);  // max shade present
+}
+
+TEST(Heatmap, UniformMatrixDoesNotCrash) {
+  std::vector<std::vector<double>> cells = {{5.0, 5.0}, {5.0, 5.0}};
+  const auto out = medcc::util::heatmap(cells, PlotOptions{});
+  EXPECT_FALSE(out.empty());
+}
+
+TEST(Heatmap, RejectsRaggedInput) {
+  std::vector<std::vector<double>> cells = {{1.0, 2.0}, {3.0}};
+  EXPECT_THROW((void)medcc::util::heatmap(cells, PlotOptions{}),
+               medcc::LogicError);
+}
+
+TEST(Heatmap, RejectsEmpty) {
+  EXPECT_THROW((void)medcc::util::heatmap({}, PlotOptions{}),
+               medcc::LogicError);
+}
+
+TEST(BarChart, BarsProportionalAndLabeled) {
+  const std::vector<std::string> labels = {"a", "bb"};
+  const std::vector<double> values = {1.0, 2.0};
+  const auto out = medcc::util::bar_chart(labels, values, PlotOptions{});
+  EXPECT_NE(out.find("a "), std::string::npos);
+  EXPECT_NE(out.find("bb"), std::string::npos);
+  EXPECT_NE(out.find("2.00"), std::string::npos);
+  // The larger bar must contain more '#'.
+  const auto first_bar = out.find('#');
+  ASSERT_NE(first_bar, std::string::npos);
+}
+
+TEST(BarChart, ArityEnforced) {
+  const std::vector<std::string> labels = {"a"};
+  const std::vector<double> values = {1.0, 2.0};
+  EXPECT_THROW((void)medcc::util::bar_chart(labels, values, PlotOptions{}),
+               medcc::LogicError);
+}
+
+TEST(GroupedBarChart, SeriesLegendAndValues) {
+  const std::vector<std::string> groups = {"B=10", "B=20"};
+  const std::vector<std::string> names = {"CG", "GAIN3"};
+  const std::vector<std::vector<double>> values = {{3.0, 2.0}, {4.0, 3.0}};
+  const auto out =
+      medcc::util::grouped_bar_chart(groups, names, values, PlotOptions{});
+  EXPECT_NE(out.find("CG"), std::string::npos);
+  EXPECT_NE(out.find("GAIN3"), std::string::npos);
+  EXPECT_NE(out.find("B=10"), std::string::npos);
+  EXPECT_NE(out.find("4.00"), std::string::npos);
+}
+
+TEST(GroupedBarChart, ShapeEnforced) {
+  const std::vector<std::string> groups = {"g"};
+  const std::vector<std::string> names = {"s"};
+  const std::vector<std::vector<double>> bad = {{1.0, 2.0}};
+  EXPECT_THROW(
+      (void)medcc::util::grouped_bar_chart(groups, names, bad, PlotOptions{}),
+      medcc::LogicError);
+}
+
+}  // namespace

@@ -1,0 +1,140 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/prng.hpp"
+
+namespace {
+
+using medcc::util::RunningStats;
+
+TEST(RunningStats, EmptyStateQueries) {
+  RunningStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_THROW((void)s.mean(), medcc::LogicError);
+  EXPECT_THROW((void)s.min(), medcc::LogicError);
+  EXPECT_THROW((void)s.max(), medcc::LogicError);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(4.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownSequence) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  medcc::util::Prng rng(3);
+  RunningStats whole, left, right;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform_real(-10.0, 10.0);
+    whole.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmptySides) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.merge(b);  // empty rhs: no-op
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);  // empty lhs: copies
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(BatchStats, MeanAndStddev) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(medcc::util::mean(xs), 2.5);
+  EXPECT_NEAR(medcc::util::stddev(xs), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(BatchStats, MeanRejectsEmpty) {
+  EXPECT_THROW((void)medcc::util::mean({}), medcc::LogicError);
+}
+
+TEST(BatchStats, StddevShortInputsAreZero) {
+  const std::vector<double> one = {5.0};
+  EXPECT_EQ(medcc::util::stddev(one), 0.0);
+}
+
+TEST(Percentile, EndpointsAndMedian) {
+  const std::vector<double> xs = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(medcc::util::percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(medcc::util::percentile(xs, 100.0), 5.0);
+  EXPECT_DOUBLE_EQ(medcc::util::median(xs), 3.0);
+}
+
+TEST(Percentile, LinearInterpolation) {
+  const std::vector<double> xs = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(medcc::util::percentile(xs, 25.0), 2.5);
+  EXPECT_DOUBLE_EQ(medcc::util::percentile(xs, 75.0), 7.5);
+}
+
+TEST(Percentile, RejectsBadArguments) {
+  const std::vector<double> xs = {1.0};
+  EXPECT_THROW((void)medcc::util::percentile({}, 50.0), medcc::LogicError);
+  EXPECT_THROW((void)medcc::util::percentile(xs, -1.0), medcc::LogicError);
+  EXPECT_THROW((void)medcc::util::percentile(xs, 101.0), medcc::LogicError);
+}
+
+TEST(Histogram, CountsAndClamping) {
+  const std::vector<double> xs = {-1.0, 0.1, 0.9, 1.1, 5.0};
+  const auto h = medcc::util::histogram(xs, 0.0, 1.0, 2);
+  ASSERT_EQ(h.size(), 2u);
+  EXPECT_EQ(h[0], 2u);  // -1.0 clamped in, 0.1
+  EXPECT_EQ(h[1], 3u);  // 0.9, 1.1 and 5.0 clamped in
+}
+
+TEST(Histogram, RejectsBadArguments) {
+  const std::vector<double> xs = {1.0};
+  EXPECT_THROW((void)medcc::util::histogram(xs, 0.0, 1.0, 0),
+               medcc::LogicError);
+  EXPECT_THROW((void)medcc::util::histogram(xs, 1.0, 0.0, 2),
+               medcc::LogicError);
+}
+
+// Property: streaming variance equals two-pass variance across seeds.
+class StatsPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StatsPropertyTest, WelfordMatchesTwoPass) {
+  medcc::util::Prng rng(GetParam());
+  std::vector<double> xs;
+  RunningStats s;
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.uniform_real(-100.0, 100.0);
+    xs.push_back(x);
+    s.add(x);
+  }
+  EXPECT_NEAR(s.mean(), medcc::util::mean(xs), 1e-9);
+  EXPECT_NEAR(s.stddev(), medcc::util::stddev(xs), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StatsPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace

@@ -1,0 +1,88 @@
+#include "util/table.hpp"
+
+#include "util/error.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using medcc::util::Align;
+using medcc::util::Table;
+
+TEST(Table, RendersHeaderSeparatorAndRows) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const auto out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+}
+
+TEST(Table, RightAlignsNumericColumns) {
+  Table t({"k", "v"});
+  t.add_row({"x", "1"});
+  t.add_row({"y", "100"});
+  const auto out = t.render();
+  // "1" must be padded to width 3 (right aligned under "100").
+  EXPECT_NE(out.find("  1\n"), std::string::npos);
+}
+
+TEST(Table, FirstColumnLeftAligned) {
+  Table t({"label", "v"});
+  t.add_row({"a", "1"});
+  const auto out = t.render();
+  EXPECT_NE(out.find("a    "), std::string::npos);
+}
+
+TEST(Table, CustomAlignment) {
+  Table t({"a", "b"});
+  t.set_alignment({Align::Right, Align::Left});
+  t.add_row({"x", "y"});
+  const auto out = t.render();
+  EXPECT_NE(out.find("x  y"), std::string::npos);
+}
+
+TEST(Table, RowArityEnforced) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), medcc::LogicError);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), medcc::LogicError);
+}
+
+TEST(Table, EmptyHeadersRejected) {
+  EXPECT_THROW(Table({}), medcc::LogicError);
+}
+
+TEST(Table, AlignmentArityEnforced) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.set_alignment({Align::Left}), medcc::LogicError);
+}
+
+TEST(Table, CsvRendering) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.render_csv(), "a,b\n1,2\n");
+}
+
+TEST(Table, CountsRowsAndColumns) {
+  Table t({"a", "b", "c"});
+  t.add_row({"1", "2", "3"});
+  t.add_row({"4", "5", "6"});
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.columns(), 3u);
+}
+
+TEST(Fmt, FixedDigits) {
+  EXPECT_EQ(medcc::util::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(medcc::util::fmt(2.0, 1), "2.0");
+  EXPECT_EQ(medcc::util::fmt(std::size_t{42}), "42");
+  EXPECT_EQ(medcc::util::fmt(-7), "-7");
+}
+
+TEST(Fmt, RoundingBehaviour) {
+  EXPECT_EQ(medcc::util::fmt(1.005, 2), "1.00");  // bankers-ish fp reality
+  EXPECT_EQ(medcc::util::fmt(1.006, 2), "1.01");
+}
+
+}  // namespace

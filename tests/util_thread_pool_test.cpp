@@ -1,0 +1,117 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "util/prng.hpp"
+
+namespace {
+
+using medcc::util::parallel_for_index;
+using medcc::util::ThreadPool;
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i)
+    pool.submit([&] { counter.fetch_add(1, std::memory_order_relaxed); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ThreadCountHonored) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.thread_count(), 3u);
+}
+
+TEST(ThreadPool, DefaultsToAtLeastOneThread) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, ExceptionPropagatesToWaiter) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The pool stays usable after an error.
+  std::atomic<int> counter{0};
+  pool.submit([&] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, NullTaskRejected) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.submit(nullptr), medcc::LogicError);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for_index(pool, hits.size(), [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ZeroCountIsNoop) {
+  ThreadPool pool(2);
+  parallel_for_index(pool, 0, [](std::size_t) { FAIL(); });
+  SUCCEED();
+}
+
+TEST(ParallelFor, GrainBatchesStillCoverAll) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(103);  // not divisible by grain
+  parallel_for_index(
+      pool, hits.size(),
+      [&](std::size_t i) { hits[i].fetch_add(1, std::memory_order_relaxed); },
+      /*grain=*/10);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, DeterministicWithForkedStreams) {
+  // The canonical experiment pattern: index-forked PRNG streams make the
+  // result independent of scheduling.
+  auto run = [](std::size_t threads) {
+    ThreadPool pool(threads);
+    medcc::util::Prng root(1234);
+    std::vector<double> out(64);
+    parallel_for_index(pool, out.size(), [&](std::size_t i) {
+      auto rng = root.fork(i);
+      out[i] = rng.uniform_real(0.0, 1.0);
+    });
+    return out;
+  };
+  EXPECT_EQ(run(1), run(8));
+}
+
+TEST(ParallelFor, ExceptionFromBodySurfaces) {
+  ThreadPool pool(2);
+  EXPECT_THROW(parallel_for_index(pool, 10,
+                                  [&](std::size_t i) {
+                                    if (i == 5)
+                                      throw std::runtime_error("bad index");
+                                  }),
+               std::runtime_error);
+}
+
+TEST(GlobalPool, IsSingletonAndUsable) {
+  auto& a = medcc::util::global_pool();
+  auto& b = medcc::util::global_pool();
+  EXPECT_EQ(&a, &b);
+  std::atomic<int> counter{0};
+  parallel_for_index(a, 10, [&](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 10);
+}
+
+}  // namespace

@@ -1,0 +1,151 @@
+#include "workflow/clustering.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workflow/patterns.hpp"
+#include "workflow/random_workflow.hpp"
+
+namespace {
+
+using medcc::workflow::linear_clustering;
+using medcc::workflow::transfer_aware_clustering;
+using medcc::workflow::Workflow;
+
+TEST(LinearClustering, CollapsesAPipeline) {
+  const std::vector<double> wl = {1.0, 2.0, 3.0, 4.0};
+  const auto wf = medcc::workflow::pipeline(wl, 2.0);
+  const auto result = linear_clustering(wf);
+  EXPECT_EQ(result.aggregated.module_count(), 1u);
+  EXPECT_DOUBLE_EQ(result.aggregated.module(0).workload, 10.0);
+  EXPECT_DOUBLE_EQ(result.internalized_data, 6.0);
+  // Every original module maps to the single group.
+  for (auto g : result.group_of) EXPECT_EQ(g, 0u);
+}
+
+TEST(LinearClustering, DiamondKeepsBranches) {
+  Workflow wf;
+  const auto a = wf.add_module("a", 1.0);
+  const auto b = wf.add_module("b", 1.0);
+  const auto c = wf.add_module("c", 1.0);
+  const auto d = wf.add_module("d", 1.0);
+  wf.add_dependency(a, b);
+  wf.add_dependency(a, c);
+  wf.add_dependency(b, d);
+  wf.add_dependency(c, d);
+  const auto result = linear_clustering(wf);
+  // Nothing merges: a has two successors, d two predecessors.
+  EXPECT_EQ(result.aggregated.module_count(), 4u);
+}
+
+TEST(LinearClustering, ChainsWithinLargerGraphMerge) {
+  Workflow wf;
+  const auto a = wf.add_module("a", 1.0);
+  const auto b = wf.add_module("b", 2.0);
+  const auto c = wf.add_module("c", 3.0);
+  const auto d = wf.add_module("d", 4.0);
+  const auto e = wf.add_module("e", 5.0);
+  wf.add_dependency(a, b);
+  wf.add_dependency(b, c);  // a-b-c chain
+  wf.add_dependency(a, d);
+  wf.add_dependency(d, e);
+  wf.add_dependency(c, e);
+  const auto result = linear_clustering(wf);
+  // b-c merge (b out=1 into c in=1); a keeps (out=2); d-e cannot merge
+  // because e has in-degree 2.
+  EXPECT_LT(result.aggregated.module_count(), 5u);
+  EXPECT_TRUE(result.aggregated.validate().ok());
+}
+
+TEST(LinearClustering, FixedModulesNeverMerge) {
+  Workflow wf;
+  const auto entry = wf.add_fixed_module("entry", 1.0);
+  const auto a = wf.add_module("a", 2.0);
+  const auto exit = wf.add_fixed_module("exit", 1.0);
+  wf.add_dependency(entry, a);
+  wf.add_dependency(a, exit);
+  const auto result = linear_clustering(wf);
+  EXPECT_EQ(result.aggregated.module_count(), 3u);
+}
+
+TEST(TransferAware, MergesHeaviestEdgeFirst) {
+  Workflow wf;
+  const auto a = wf.add_module("a", 1.0);
+  const auto b = wf.add_module("b", 1.0);
+  const auto c = wf.add_module("c", 1.0);
+  wf.add_dependency(a, b, 100.0);
+  wf.add_dependency(b, c, 1.0);
+  const auto result = transfer_aware_clustering(wf, 2.5);
+  // Cap 2.5 allows exactly one merge; the 100-unit edge wins.
+  EXPECT_EQ(result.aggregated.module_count(), 2u);
+  EXPECT_DOUBLE_EQ(result.internalized_data, 100.0);
+}
+
+TEST(TransferAware, WorkloadCapRespected) {
+  Workflow wf;
+  const auto a = wf.add_module("a", 10.0);
+  const auto b = wf.add_module("b", 10.0);
+  wf.add_dependency(a, b, 5.0);
+  const auto result = transfer_aware_clustering(wf, 15.0);
+  EXPECT_EQ(result.aggregated.module_count(), 2u);  // 20 > cap
+  const auto merged = transfer_aware_clustering(wf, 20.0);
+  EXPECT_EQ(merged.aggregated.module_count(), 1u);
+}
+
+TEST(TransferAware, NeverCreatesCycles) {
+  // a->b (heavy), a->c->b: merging a,b would create a cycle through c.
+  Workflow wf;
+  const auto a = wf.add_module("a", 1.0);
+  const auto b = wf.add_module("b", 1.0);
+  const auto c = wf.add_module("c", 1.0);
+  wf.add_dependency(a, b, 100.0);
+  wf.add_dependency(a, c, 1.0);
+  wf.add_dependency(c, b, 1.0);
+  const auto result = transfer_aware_clustering(wf, 100.0);
+  EXPECT_TRUE(result.aggregated.validate().ok());
+  // a-b direct merge is illegal; but a-c (or c-b) then the rest may merge:
+  // any outcome must be acyclic, which ensure_valid already asserts.
+}
+
+TEST(TransferAware, CapMustBePositive) {
+  Workflow wf;
+  (void)wf.add_module("a", 1.0);
+  EXPECT_THROW((void)transfer_aware_clustering(wf, 0.0), medcc::LogicError);
+}
+
+class ClusteringPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(ClusteringPropertyTest, InvariantsOnRandomWorkflows) {
+  medcc::util::Prng rng(GetParam());
+  medcc::workflow::RandomWorkflowSpec spec;
+  spec.modules = 20;
+  spec.edges = 40;
+  spec.data_size_min = 1.0;
+  spec.data_size_max = 50.0;
+  const auto wf = medcc::workflow::random_workflow(spec, rng);
+
+  for (const auto& result :
+       {linear_clustering(wf), transfer_aware_clustering(wf, 250.0)}) {
+    // Valid aggregate DAG.
+    EXPECT_TRUE(result.aggregated.validate().ok());
+    // Total workload preserved.
+    EXPECT_NEAR(result.aggregated.total_workload(), wf.total_workload(),
+                1e-9);
+    // Total data preserved: cross-group + internalized.
+    double cross = 0.0;
+    for (std::size_t e = 0; e < result.aggregated.dependency_count(); ++e)
+      cross += result.aggregated.data_size(e);
+    double total = 0.0;
+    for (std::size_t e = 0; e < wf.dependency_count(); ++e)
+      total += wf.data_size(e);
+    EXPECT_NEAR(cross + result.internalized_data, total, 1e-9);
+    // group_of maps into the aggregate id range.
+    for (auto g : result.group_of)
+      EXPECT_LT(g, result.aggregated.module_count());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClusteringPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace

@@ -1,0 +1,137 @@
+#include "workflow/dax.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sched/bounds.hpp"
+#include "sched/critical_greedy.hpp"
+
+namespace {
+
+using medcc::workflow::DaxOptions;
+using medcc::workflow::workflow_from_dax;
+
+// A miniature Montage-flavoured DAX (Pegasus 3.x syntax).
+const char* kSampleDax = R"(<?xml version="1.0" encoding="UTF-8"?>
+<!-- generated for medcc tests -->
+<adag xmlns="http://pegasus.isi.edu/schema/DAX" version="2.1" name="mini">
+  <job id="ID00000" namespace="montage" name="mProjectPP" runtime="13.59">
+    <uses file="region.hdr" link="input" size="304"/>
+    <uses file="p1.fits" link="output" size="4000000"/>
+  </job>
+  <job id="ID00001" name="mProjectPP" runtime="11.20">
+    <uses file="region.hdr" link="input" size="304"/>
+    <uses file="p2.fits" link="output" size="2000000"/>
+  </job>
+  <job id="ID00002" name="mDiffFit" runtime="5.05">
+    <uses file="p1.fits" link="input" size="4000000"/>
+    <uses file="p2.fits" link="input" size="2000000"/>
+    <uses file="d12.fits" link="output" size="1000000"/>
+  </job>
+  <job id="ID00003" name="mConcatFit" runtime="62.00">
+    <uses file="d12.fits" link="input" size="1000000"/>
+  </job>
+  <child ref="ID00002">
+    <parent ref="ID00000"/>
+    <parent ref="ID00001"/>
+  </child>
+  <child ref="ID00003">
+    <parent ref="ID00002"/>
+  </child>
+</adag>
+)";
+
+TEST(Dax, ParsesJobsEdgesAndRuntimes) {
+  const auto wf = workflow_from_dax(kSampleDax);
+  // 4 jobs + staging endpoints (two sources: ID00000, ID00001).
+  EXPECT_EQ(wf.computing_module_count(), 4u);
+  EXPECT_EQ(wf.module_count(), 6u);
+  EXPECT_TRUE(wf.validate().ok());
+  // Workload = runtime * reference_power (default 1).
+  EXPECT_DOUBLE_EQ(wf.module(0).workload, 13.59);
+  EXPECT_DOUBLE_EQ(wf.module(3).workload, 62.00);
+  EXPECT_EQ(wf.module(0).name, "mProjectPP_ID00000");
+}
+
+TEST(Dax, EdgeDataFromFileOverlap) {
+  const auto wf = workflow_from_dax(kSampleDax);
+  // ID00000 -> ID00002 carries p1.fits: 4 MB at the default 1e6 scale.
+  bool found = false;
+  for (std::size_t e = 0; e < wf.dependency_count(); ++e) {
+    const auto& edge = wf.graph().edge(e);
+    if (wf.module(edge.src).name == "mProjectPP_ID00000" &&
+        wf.module(edge.dst).name == "mDiffFit_ID00002") {
+      EXPECT_DOUBLE_EQ(wf.data_size(e), 4.0);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Dax, ReferencePowerScalesWorkloads) {
+  DaxOptions opts;
+  opts.reference_power = 2.93;  // the testbed's VT2 CPU
+  const auto wf = workflow_from_dax(kSampleDax, opts);
+  EXPECT_NEAR(wf.module(0).workload, 13.59 * 2.93, 1e-12);
+}
+
+TEST(Dax, NoStagingWhenAlreadySingleEnded) {
+  const char* chain = R"(<adag>
+    <job id="A" runtime="1"/>
+    <job id="B" runtime="2"/>
+    <child ref="B"><parent ref="A"/></child>
+  </adag>)";
+  const auto wf = workflow_from_dax(chain);
+  EXPECT_EQ(wf.module_count(), 2u);  // no endpoints added
+  EXPECT_EQ(wf.module(0).name, "A");  // name falls back to the id
+}
+
+TEST(Dax, SchedulableEndToEnd) {
+  const auto wf = workflow_from_dax(kSampleDax);
+  const auto inst = medcc::sched::Instance::from_model(
+      wf, medcc::cloud::example_catalog());
+  const auto bounds = medcc::sched::cost_bounds(inst);
+  const auto r = medcc::sched::critical_greedy(
+      inst, 0.5 * (bounds.cmin + bounds.cmax));
+  EXPECT_GT(r.eval.med, 0.0);
+}
+
+TEST(Dax, ParseErrors) {
+  EXPECT_THROW((void)workflow_from_dax("<adag></adag>"),
+               medcc::InvalidArgument);  // no jobs
+  EXPECT_THROW((void)workflow_from_dax("<adag><job runtime='1'/></adag>"),
+               medcc::InvalidArgument);  // job without id
+  EXPECT_THROW((void)workflow_from_dax(
+                   "<adag><job id='A' runtime='1'/>"
+                   "<job id='A' runtime='2'/></adag>"),
+               medcc::InvalidArgument);  // duplicate id
+  EXPECT_THROW((void)workflow_from_dax(
+                   "<adag><job id='A' runtime='1'/>"
+                   "<child ref='Z'><parent ref='A'/></child></adag>"),
+               medcc::InvalidArgument);  // unknown child
+  EXPECT_THROW((void)workflow_from_dax(
+                   "<adag><job id='A' runtime='1'/>"
+                   "<parent ref='A'/></adag>"),
+               medcc::InvalidArgument);  // parent outside child
+  EXPECT_THROW((void)workflow_from_dax("<adag><job id='A' runtime='x'/>"
+                                       "</adag>"),
+               medcc::InvalidArgument);  // bad number
+  EXPECT_THROW((void)workflow_from_dax("<adag><!-- unterminated"),
+               medcc::InvalidArgument);
+  EXPECT_THROW((void)workflow_from_dax("<adag><job id='A' runtime=1/></adag>"),
+               medcc::InvalidArgument);  // unquoted attribute
+}
+
+TEST(Dax, SingleQuotesAndSelfClosingAccepted) {
+  const auto wf = workflow_from_dax(
+      "<adag><job id='solo' runtime='3.5'/></adag>");
+  // Single job: staging endpoints are added (module_count == 1 branch).
+  EXPECT_EQ(wf.computing_module_count(), 1u);
+  EXPECT_DOUBLE_EQ(wf.module(0).workload, 3.5);
+}
+
+TEST(Dax, MissingFileThrows) {
+  EXPECT_THROW((void)medcc::workflow::load_dax("/nonexistent.dax"),
+               medcc::Error);
+}
+
+}  // namespace

@@ -1,0 +1,145 @@
+#include "workflow/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "workflow/patterns.hpp"
+#include "workflow/random_workflow.hpp"
+#include "workflow/wrf.hpp"
+
+namespace {
+
+using medcc::workflow::catalog_from_text;
+using medcc::workflow::to_text;
+using medcc::workflow::Workflow;
+using medcc::workflow::workflow_from_text;
+
+void expect_same_structure(const Workflow& a, const Workflow& b) {
+  ASSERT_EQ(a.module_count(), b.module_count());
+  ASSERT_EQ(a.dependency_count(), b.dependency_count());
+  for (std::size_t i = 0; i < a.module_count(); ++i) {
+    EXPECT_EQ(a.module(i).name, b.module(i).name);
+    EXPECT_EQ(a.module(i).is_fixed(), b.module(i).is_fixed());
+    if (a.module(i).is_fixed())
+      EXPECT_DOUBLE_EQ(*a.module(i).fixed_time, *b.module(i).fixed_time);
+    else
+      EXPECT_DOUBLE_EQ(a.module(i).workload, b.module(i).workload);
+  }
+  for (std::size_t e = 0; e < a.dependency_count(); ++e) {
+    EXPECT_EQ(a.graph().edge(e).src, b.graph().edge(e).src);
+    EXPECT_EQ(a.graph().edge(e).dst, b.graph().edge(e).dst);
+    EXPECT_DOUBLE_EQ(a.data_size(e), b.data_size(e));
+  }
+}
+
+TEST(WorkflowIo, RoundTripExample6) {
+  const auto original = medcc::workflow::example6();
+  const auto reparsed = workflow_from_text(to_text(original));
+  expect_same_structure(original, reparsed);
+}
+
+TEST(WorkflowIo, RoundTripWrf) {
+  const auto original = medcc::workflow::wrf_experiment_grouped();
+  expect_same_structure(original, workflow_from_text(to_text(original)));
+}
+
+TEST(WorkflowIo, RoundTripRandomInstances) {
+  medcc::util::Prng rng(5);
+  for (int k = 0; k < 5; ++k) {
+    medcc::workflow::RandomWorkflowSpec spec;
+    spec.modules = 12;
+    spec.edges = 30;
+    spec.data_size_min = 0.5;
+    spec.data_size_max = 9.5;
+    const auto original = medcc::workflow::random_workflow(spec, rng);
+    expect_same_structure(original, workflow_from_text(to_text(original)));
+  }
+}
+
+TEST(WorkflowIo, CommentsAndBlankLinesIgnored) {
+  const auto wf = workflow_from_text(
+      "# a comment\n\nworkflow v1\n# another\nmodule a workload 5\n"
+      "module b workload 3\n\nedge a b data 2\n");
+  EXPECT_EQ(wf.module_count(), 2u);
+  EXPECT_DOUBLE_EQ(wf.data_size(0), 2.0);
+}
+
+TEST(WorkflowIo, EdgeWithoutDataDefaultsToZero) {
+  const auto wf = workflow_from_text(
+      "workflow v1\nmodule a workload 5\nmodule b workload 3\nedge a b\n");
+  EXPECT_DOUBLE_EQ(wf.data_size(0), 0.0);
+}
+
+TEST(WorkflowIo, ParseErrorsAreLineNumbered) {
+  const auto expect_throw_with = [](const std::string& text,
+                                    const std::string& needle) {
+    try {
+      (void)workflow_from_text(text);
+      FAIL() << "expected a parse error for: " << text;
+    } catch (const medcc::InvalidArgument& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+  };
+  expect_throw_with("bogus v1\n", "workflow v1");
+  expect_throw_with("workflow v1\nmodule a workload x\n", "number");
+  expect_throw_with("workflow v1\nmodule a workload 1\nmodule a workload 2\n",
+                    "duplicate");
+  expect_throw_with("workflow v1\nedge a b\n", "unknown module");
+  expect_throw_with("workflow v1\nfrobnicate\n", "unknown directive");
+  expect_throw_with("workflow v1\nmodule a workload 1 extra\n", "expected");
+  expect_throw_with("", "header");
+}
+
+TEST(WorkflowIo, StructurallyInvalidInputRejected) {
+  // Two isolated modules: two entries, two exits.
+  EXPECT_THROW((void)workflow_from_text(
+                   "workflow v1\nmodule a workload 1\nmodule b workload 1\n"),
+               medcc::InvalidArgument);
+  // Self-loop via duplicate edge.
+  EXPECT_THROW(
+      (void)workflow_from_text("workflow v1\nmodule a workload 1\n"
+                               "module b workload 1\nedge a b\nedge a b\n"),
+      medcc::InvalidArgument);
+}
+
+TEST(CatalogIo, RoundTrip) {
+  const auto original = medcc::cloud::example_catalog();
+  const auto reparsed = catalog_from_text(to_text(original));
+  ASSERT_EQ(reparsed.size(), original.size());
+  for (std::size_t j = 0; j < original.size(); ++j) {
+    EXPECT_EQ(reparsed.type(j).name, original.type(j).name);
+    EXPECT_DOUBLE_EQ(reparsed.type(j).processing_power,
+                     original.type(j).processing_power);
+    EXPECT_DOUBLE_EQ(reparsed.type(j).cost_rate, original.type(j).cost_rate);
+  }
+}
+
+TEST(CatalogIo, ParseErrors) {
+  EXPECT_THROW((void)catalog_from_text("catalog v2\n"),
+               medcc::InvalidArgument);
+  EXPECT_THROW((void)catalog_from_text("catalog v1\ntype a power x rate 1\n"),
+               medcc::InvalidArgument);
+  EXPECT_THROW((void)catalog_from_text("catalog v1\ntype a power 0 rate 1\n"),
+               medcc::InvalidArgument);  // catalog validation kicks in
+}
+
+TEST(FileIo, SaveAndLoad) {
+  const std::string wf_path = "/tmp/medcc_io_test_wf.txt";
+  const std::string cat_path = "/tmp/medcc_io_test_cat.txt";
+  medcc::workflow::save_workflow(medcc::workflow::example6(), wf_path);
+  medcc::workflow::save_catalog(medcc::cloud::example_catalog(), cat_path);
+  expect_same_structure(medcc::workflow::example6(),
+                        medcc::workflow::load_workflow(wf_path));
+  EXPECT_EQ(medcc::workflow::load_catalog(cat_path).size(), 3u);
+  std::remove(wf_path.c_str());
+  std::remove(cat_path.c_str());
+}
+
+TEST(FileIo, MissingFileThrows) {
+  EXPECT_THROW((void)medcc::workflow::load_workflow("/nonexistent/x.txt"),
+               medcc::Error);
+}
+
+}  // namespace

@@ -1,0 +1,169 @@
+#include "workflow/patterns.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dag/critical_path.hpp"
+
+namespace {
+
+using medcc::workflow::Workflow;
+
+TEST(Pipeline, StructureAndWeights) {
+  const std::vector<double> wl = {1.0, 2.0, 3.0};
+  const auto wf = medcc::workflow::pipeline(wl, 0.5);
+  EXPECT_TRUE(wf.validate().ok());
+  EXPECT_EQ(wf.module_count(), 3u);
+  EXPECT_EQ(wf.dependency_count(), 2u);
+  EXPECT_DOUBLE_EQ(wf.data_size(0), 0.5);
+  EXPECT_EQ(wf.entry(), 0u);
+  EXPECT_EQ(wf.exit(), 2u);
+}
+
+TEST(Pipeline, RejectsEmpty) {
+  EXPECT_THROW((void)medcc::workflow::pipeline({}), medcc::InvalidArgument);
+}
+
+TEST(Pipeline, SingleModuleAllowed) {
+  const std::vector<double> wl = {4.0};
+  const auto wf = medcc::workflow::pipeline(wl);
+  EXPECT_TRUE(wf.validate().ok());
+  EXPECT_EQ(wf.module_count(), 1u);
+}
+
+TEST(RandomPipeline, WorkloadsInRange) {
+  medcc::util::Prng rng(1);
+  const auto wf = medcc::workflow::random_pipeline(6, 5.0, 15.0, rng);
+  EXPECT_EQ(wf.module_count(), 6u);
+  for (std::size_t v = 0; v < 6; ++v) {
+    EXPECT_GE(wf.module(v).workload, 5.0);
+    EXPECT_LE(wf.module(v).workload, 15.0);
+  }
+}
+
+TEST(ForkJoin, CountsAndShape) {
+  medcc::util::Prng rng(2);
+  const auto wf = medcc::workflow::fork_join(4, 3, 1.0, 2.0, rng);
+  EXPECT_TRUE(wf.validate().ok());
+  // entry + 4*3 branch modules + exit.
+  EXPECT_EQ(wf.module_count(), 14u);
+  EXPECT_EQ(wf.computing_module_count(), 12u);
+  EXPECT_EQ(wf.graph().out_degree(wf.entry()), 4u);
+  EXPECT_EQ(wf.graph().in_degree(wf.exit()), 4u);
+}
+
+TEST(ForkJoin, SingleBranchIsAPipeline) {
+  medcc::util::Prng rng(3);
+  const auto wf = medcc::workflow::fork_join(1, 5, 1.0, 1.0, rng);
+  EXPECT_TRUE(wf.validate().ok());
+  EXPECT_EQ(wf.module_count(), 7u);
+}
+
+TEST(Layered, EveryRankModuleConnected) {
+  medcc::util::Prng rng(4);
+  const auto wf = medcc::workflow::layered(4, 5, 1.0, 10.0, rng);
+  EXPECT_TRUE(wf.validate().ok());
+  EXPECT_EQ(wf.computing_module_count(), 20u);
+}
+
+TEST(MontageLike, ShapeCounts) {
+  medcc::util::Prng rng(5);
+  const auto wf = medcc::workflow::montage_like(4, rng);
+  EXPECT_TRUE(wf.validate().ok());
+  // 4 project + 3 diff + concat + bgmodel + 4 background + imgtbl + add +
+  // jpeg = 16 computing modules.
+  EXPECT_EQ(wf.computing_module_count(), 16u);
+}
+
+TEST(MontageLike, RejectsTooFewTiles) {
+  medcc::util::Prng rng(6);
+  EXPECT_THROW((void)medcc::workflow::montage_like(1, rng),
+               medcc::LogicError);
+}
+
+TEST(EpigenomicsLike, ShapeCounts) {
+  medcc::util::Prng rng(7);
+  const auto wf = medcc::workflow::epigenomics_like(2, 3, rng);
+  EXPECT_TRUE(wf.validate().ok());
+  // per lane: split + 3 chunks * 4 stages + merge = 14; 2 lanes = 28;
+  // + maqIndex + pileup = 30.
+  EXPECT_EQ(wf.computing_module_count(), 30u);
+}
+
+TEST(CybershakeLike, ShapeCounts) {
+  medcc::util::Prng rng(8);
+  const auto wf = medcc::workflow::cybershake_like(5, rng);
+  EXPECT_TRUE(wf.validate().ok());
+  // preCVM + 2 gen + 5*(synth+peak) + 2 zip = 15.
+  EXPECT_EQ(wf.computing_module_count(), 15u);
+}
+
+TEST(LigoLike, ShapeCounts) {
+  medcc::util::Prng rng(10);
+  const auto wf = medcc::workflow::ligo_like(2, 3, rng);
+  EXPECT_TRUE(wf.validate().ok());
+  // per group: TmpltBank + 3 Inspiral + Thinca + 3 TrigBank + Thinca2 = 9;
+  // 2 groups + Coincidence = 19.
+  EXPECT_EQ(wf.computing_module_count(), 19u);
+}
+
+TEST(SiphtLike, ShapeCountsAndSkew) {
+  medcc::util::Prng rng(11);
+  const auto wf = medcc::workflow::sipht_like(16, rng);
+  EXPECT_TRUE(wf.validate().ok());
+  // 16 searches + concat + SRNA + FFN + annotate = 20.
+  EXPECT_EQ(wf.computing_module_count(), 20u);
+  // The heavy searches dominate the light ones by an order of magnitude.
+  double heaviest = 0.0, lightest = 1e18;
+  for (auto m : wf.computing_modules()) {
+    heaviest = std::max(heaviest, wf.module(m).workload);
+    lightest = std::min(lightest, wf.module(m).workload);
+  }
+  EXPECT_GT(heaviest / lightest, 5.0);
+}
+
+TEST(Example6, MatchesReconstructedInstance) {
+  const auto wf = medcc::workflow::example6();
+  EXPECT_TRUE(wf.validate().ok());
+  EXPECT_EQ(wf.module_count(), 8u);
+  EXPECT_EQ(wf.computing_module_count(), 6u);
+  EXPECT_TRUE(wf.module(0).is_fixed());
+  EXPECT_DOUBLE_EQ(*wf.module(0).fixed_time, 1.0);
+  EXPECT_TRUE(wf.module(7).is_fixed());
+  // Reconstructed workloads.
+  EXPECT_DOUBLE_EQ(wf.module(1).workload, 11.3);
+  EXPECT_DOUBLE_EQ(wf.module(2).workload, 42.7);
+  EXPECT_DOUBLE_EQ(wf.module(3).workload, 20.0);
+  EXPECT_DOUBLE_EQ(wf.module(4).workload, 20.0);
+  EXPECT_DOUBLE_EQ(wf.module(5).workload, 40.2);
+  EXPECT_DOUBLE_EQ(wf.module(6).workload, 15.77);
+  // Topology: w1->w3, w2->w4, w3->w5, w4->w5, w4->w6.
+  EXPECT_TRUE(wf.graph().has_edge(1, 3));
+  EXPECT_TRUE(wf.graph().has_edge(2, 4));
+  EXPECT_TRUE(wf.graph().has_edge(3, 5));
+  EXPECT_TRUE(wf.graph().has_edge(4, 5));
+  EXPECT_TRUE(wf.graph().has_edge(4, 6));
+}
+
+TEST(Patterns, AllShapesAreSchedulableDags) {
+  medcc::util::Prng rng(9);
+  const std::vector<Workflow> shapes = {
+      medcc::workflow::fork_join(3, 2, 1.0, 5.0, rng),
+      medcc::workflow::layered(3, 3, 1.0, 5.0, rng),
+      medcc::workflow::montage_like(3, rng),
+      medcc::workflow::epigenomics_like(2, 2, rng),
+      medcc::workflow::cybershake_like(3, rng),
+      medcc::workflow::ligo_like(2, 2, rng),
+      medcc::workflow::sipht_like(8, rng),
+      medcc::workflow::example6(),
+  };
+  for (const auto& wf : shapes) {
+    ASSERT_TRUE(wf.validate().ok());
+    // CPM over unit weights must run without error.
+    std::vector<double> w(wf.module_count(), 1.0);
+    EXPECT_GT(medcc::dag::makespan(wf.graph(), w), 0.0);
+  }
+}
+
+}  // namespace

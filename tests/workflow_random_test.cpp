@@ -1,0 +1,141 @@
+#include "workflow/random_workflow.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace {
+
+using medcc::workflow::max_feasible_edges;
+using medcc::workflow::min_feasible_edges;
+using medcc::workflow::random_workflow;
+using medcc::workflow::RandomWorkflowSpec;
+
+TEST(RandomWorkflow, FeasibleEdgeBounds) {
+  EXPECT_EQ(min_feasible_edges(2), 1u);
+  EXPECT_EQ(max_feasible_edges(2), 1u);
+  EXPECT_EQ(min_feasible_edges(5), 4u);
+  EXPECT_EQ(max_feasible_edges(5), 10u);
+  EXPECT_EQ(max_feasible_edges(100), 4950u);
+}
+
+TEST(RandomWorkflow, RejectsDegenerateSpecs) {
+  medcc::util::Prng rng(1);
+  RandomWorkflowSpec spec;
+  spec.modules = 1;
+  EXPECT_THROW((void)random_workflow(spec, rng), medcc::InvalidArgument);
+  spec.modules = 5;
+  spec.workload_min = -1.0;
+  EXPECT_THROW((void)random_workflow(spec, rng), medcc::InvalidArgument);
+  spec.workload_min = 10.0;
+  spec.workload_max = 5.0;
+  EXPECT_THROW((void)random_workflow(spec, rng), medcc::InvalidArgument);
+  spec.workload_max = 20.0;
+  spec.data_size_min = 3.0;
+  spec.data_size_max = 1.0;
+  EXPECT_THROW((void)random_workflow(spec, rng), medcc::InvalidArgument);
+}
+
+TEST(RandomWorkflow, EdgeTargetClampedToFeasible) {
+  medcc::util::Prng rng(2);
+  RandomWorkflowSpec spec;
+  spec.modules = 6;
+  spec.edges = 0;  // below minimum -> clamped up to 5 (pipeline)
+  auto wf = random_workflow(spec, rng);
+  EXPECT_EQ(wf.dependency_count(), 5u);
+  spec.edges = 1000;  // above maximum -> clamped down to 15
+  wf = random_workflow(spec, rng);
+  EXPECT_EQ(wf.dependency_count(), 15u);
+}
+
+TEST(RandomWorkflow, MinimumEdgesYieldsPipeline) {
+  medcc::util::Prng rng(3);
+  RandomWorkflowSpec spec;
+  spec.modules = 8;
+  spec.edges = 7;
+  const auto wf = random_workflow(spec, rng);
+  // A connected single-entry/single-exit DAG with m-1 edges is a path.
+  for (medcc::workflow::NodeId v = 0; v < 8; ++v) {
+    EXPECT_LE(wf.graph().out_degree(v), 1u);
+    EXPECT_LE(wf.graph().in_degree(v), 1u);
+  }
+}
+
+TEST(RandomWorkflow, DeterministicGivenSeed) {
+  RandomWorkflowSpec spec;
+  spec.modules = 12;
+  spec.edges = 25;
+  medcc::util::Prng a(77), b(77);
+  const auto wa = random_workflow(spec, a);
+  const auto wb = random_workflow(spec, b);
+  ASSERT_EQ(wa.dependency_count(), wb.dependency_count());
+  for (std::size_t e = 0; e < wa.dependency_count(); ++e) {
+    EXPECT_EQ(wa.graph().edge(e).src, wb.graph().edge(e).src);
+    EXPECT_EQ(wa.graph().edge(e).dst, wb.graph().edge(e).dst);
+  }
+  for (std::size_t m = 0; m < wa.module_count(); ++m)
+    EXPECT_DOUBLE_EQ(wa.module(m).workload, wb.module(m).workload);
+}
+
+TEST(RandomWorkflow, FixedEndpointsWhenRequested) {
+  medcc::util::Prng rng(5);
+  RandomWorkflowSpec spec;
+  spec.modules = 10;
+  spec.edges = 20;
+  spec.weighted_endpoints = false;
+  const auto wf = random_workflow(spec, rng);
+  EXPECT_TRUE(wf.module(0).is_fixed());
+  EXPECT_TRUE(wf.module(9).is_fixed());
+  EXPECT_EQ(wf.computing_module_count(), 8u);
+}
+
+// Property sweep across the paper's problem-size shapes.
+class RandomWorkflowPropertyTest
+    : public ::testing::TestWithParam<
+          std::tuple<std::size_t, std::size_t, std::uint64_t>> {};
+
+TEST_P(RandomWorkflowPropertyTest, StructuralInvariants) {
+  const auto [m, edges, seed] = GetParam();
+  medcc::util::Prng rng(seed);
+  RandomWorkflowSpec spec;
+  spec.modules = m;
+  spec.edges = edges;
+  spec.workload_min = 10.0;
+  spec.workload_max = 100.0;
+  const auto wf = random_workflow(spec, rng);
+
+  // Exact edge count (after clamping).
+  const std::size_t target =
+      std::clamp(edges, min_feasible_edges(m), max_feasible_edges(m));
+  EXPECT_EQ(wf.dependency_count(), target);
+
+  // Valid single-entry/single-exit DAG with w0 / w_{m-1} as endpoints.
+  EXPECT_TRUE(wf.validate().ok());
+  EXPECT_EQ(wf.entry(), 0u);
+  EXPECT_EQ(wf.exit(), m - 1);
+
+  // All edges forward in id order (the paper's successor rule).
+  for (std::size_t e = 0; e < wf.dependency_count(); ++e)
+    EXPECT_LT(wf.graph().edge(e).src, wf.graph().edge(e).dst);
+
+  // Workloads within the spec range.
+  for (std::size_t v = 0; v < m; ++v) {
+    EXPECT_GE(wf.module(v).workload, 10.0);
+    EXPECT_LE(wf.module(v).workload, 100.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperSizes, RandomWorkflowPropertyTest,
+    ::testing::Values(std::make_tuple(5u, 6u, 1u), std::make_tuple(10u, 17u, 2u),
+                      std::make_tuple(15u, 65u, 3u),
+                      std::make_tuple(25u, 201u, 4u),
+                      std::make_tuple(50u, 503u, 5u),
+                      std::make_tuple(100u, 2344u, 6u),
+                      std::make_tuple(7u, 14u, 7u), std::make_tuple(8u, 18u, 8u),
+                      std::make_tuple(40u, 434u, 9u),
+                      std::make_tuple(90u, 1825u, 10u),
+                      std::make_tuple(13u, 12u, 11u),   // sparse
+                      std::make_tuple(13u, 78u, 12u))); // complete
+
+}  // namespace

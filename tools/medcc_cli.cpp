@@ -1,0 +1,222 @@
+// medcc_cli -- schedule workflow files from the command line.
+//
+//   medcc_cli bounds   --workflow wf.txt --catalog cat.txt
+//   medcc_cli schedule --workflow wf.txt --catalog cat.txt --budget 57
+//                      [--algo cg|gain3|loss|optimal] [--simulate]
+//                      [--gantt] [--quantum 1.0]
+//   medcc_cli deadline --workflow wf.txt --catalog cat.txt --deadline 8
+//   medcc_cli example  --out-workflow wf.txt --out-catalog cat.txt
+//
+// Exit code 0 on success, 1 on usage errors, 2 on infeasibility.
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "sched/bounds.hpp"
+#include "sched/critical_greedy.hpp"
+#include "sched/deadline.hpp"
+#include "sched/exhaustive.hpp"
+#include "sched/gain_loss.hpp"
+#include "expr/robustness.hpp"
+#include "sim/dynamic.hpp"
+#include "sim/executor.hpp"
+#include "sim/gantt.hpp"
+#include "util/table.hpp"
+#include "workflow/dax.hpp"
+#include "workflow/io.hpp"
+#include "workflow/patterns.hpp"
+
+namespace {
+
+using medcc::util::fmt;
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+
+  [[nodiscard]] const std::string* find(const std::string& key) const {
+    const auto it = options.find(key);
+    return it == options.end() ? nullptr : &it->second;
+  }
+  [[nodiscard]] std::string require(const std::string& key) const {
+    const auto* value = find(key);
+    if (!value)
+      throw medcc::InvalidArgument("missing required option --" + key);
+    return *value;
+  }
+  [[nodiscard]] double number(const std::string& key) const {
+    return std::stod(require(key));
+  }
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  if (argc < 2) throw medcc::InvalidArgument("missing command");
+  args.command = argv[1];
+  for (int k = 2; k < argc; ++k) {
+    std::string token = argv[k];
+    if (token.rfind("--", 0) != 0)
+      throw medcc::InvalidArgument("expected an option, got '" + token + "'");
+    if (k + 1 >= argc)
+      throw medcc::InvalidArgument("option " + token + " needs a value");
+    args.options[token.substr(2)] = argv[++k];
+  }
+  return args;
+}
+
+medcc::sched::Instance load_instance(const Args& args) {
+  // Workflows come from the native text format or a Pegasus DAX trace.
+  auto wf = args.find("dax")
+                ? medcc::workflow::load_dax(args.require("dax"))
+                : medcc::workflow::load_workflow(args.require("workflow"));
+  auto catalog = medcc::workflow::load_catalog(args.require("catalog"));
+  const double quantum =
+      args.find("quantum") ? args.number("quantum") : 1.0;
+  return medcc::sched::Instance::from_model(
+      std::move(wf), std::move(catalog),
+      medcc::cloud::BillingPolicy(quantum));
+}
+
+void print_schedule(const medcc::sched::Instance& inst,
+                    const medcc::sched::Schedule& schedule,
+                    const medcc::sched::Evaluation& eval) {
+  medcc::util::Table t({"module", "VM type", "time", "cost"});
+  for (auto m : inst.workflow().computing_modules()) {
+    const auto type = schedule.type_of[m];
+    t.add_row({inst.workflow().module(m).name,
+               inst.catalog().type(type).name, fmt(inst.time(m, type), 3),
+               fmt(inst.cost(m, type), 3)});
+  }
+  std::cout << t.render() << "MED = " << fmt(eval.med, 3) << ", cost = "
+            << fmt(eval.cost, 3) << '\n';
+}
+
+int run(const Args& args) {
+  if (args.command == "bounds") {
+    const auto inst = load_instance(args);
+    const auto bounds = medcc::sched::cost_bounds(inst);
+    std::cout << "Cmin = " << fmt(bounds.cmin, 3) << "\nCmax = "
+              << fmt(bounds.cmax, 3) << '\n';
+    return 0;
+  }
+  if (args.command == "schedule") {
+    const auto inst = load_instance(args);
+    const double budget = args.number("budget");
+    const std::string algo =
+        args.find("algo") ? *args.find("algo") : std::string("cg");
+    medcc::sched::Schedule schedule;
+    if (algo == "cg") {
+      schedule = medcc::sched::critical_greedy(inst, budget).schedule;
+    } else if (algo == "gain3") {
+      schedule = medcc::sched::gain3(inst, budget).schedule;
+    } else if (algo == "loss") {
+      schedule = medcc::sched::loss(inst, budget).schedule;
+    } else if (algo == "optimal") {
+      schedule = medcc::sched::exhaustive_optimal(inst, budget).schedule;
+    } else {
+      throw medcc::InvalidArgument("unknown --algo '" + algo + "'");
+    }
+    const auto eval = medcc::sched::evaluate(inst, schedule);
+    print_schedule(inst, schedule, eval);
+    if (args.find("simulate") || args.find("gantt")) {
+      medcc::sim::ExecutorOptions opts;
+      opts.reuse_vms = true;
+      const auto report = medcc::sim::execute(inst, schedule, opts);
+      std::cout << "simulated makespan = " << fmt(report.makespan, 3)
+                << " on " << report.vms.size() << " VMs, billed "
+                << fmt(report.billed_cost, 3) << '\n';
+      if (args.find("gantt"))
+        std::cout << '\n' << medcc::sim::gantt(inst, report);
+    }
+    return 0;
+  }
+  if (args.command == "trace") {
+    const auto inst = load_instance(args);
+    const auto trace =
+        medcc::sched::critical_greedy_trace(inst, args.number("budget"));
+    medcc::util::Table t({"step", "module", "move", "dT", "dC", "MED",
+                          "cost"});
+    for (std::size_t k = 0; k < trace.moves.size(); ++k) {
+      const auto& mv = trace.moves[k];
+      t.add_row({fmt(k + 1), inst.workflow().module(mv.module).name,
+                 inst.catalog().type(mv.from_type).name + "->" +
+                     inst.catalog().type(mv.to_type).name,
+                 fmt(mv.dt, 3), fmt(mv.dc, 3), fmt(mv.med_after, 3),
+                 fmt(mv.cost_after, 3)});
+    }
+    std::cout << t.render() << "final MED = "
+              << fmt(trace.result.eval.med, 3) << ", cost = "
+              << fmt(trace.result.eval.cost, 3) << '\n';
+    return 0;
+  }
+  if (args.command == "dynamic") {
+    const auto inst = load_instance(args);
+    medcc::sim::DynamicOptions opts;
+    if (args.find("budget")) opts.budget = args.number("budget");
+    if (args.find("boot")) opts.vm_boot_time = args.number("boot");
+    if (args.find("frugal")) opts.policy = medcc::sim::DynamicPolicy::CheapestFirst;
+    const auto report = medcc::sim::dynamic_execute(inst, opts);
+    std::cout << "online makespan = " << fmt(report.makespan, 3)
+              << ", billed = " << fmt(report.billed_cost, 3) << " on "
+              << report.vm_types.size() << " VMs ("
+              << report.decisions.size() << " placements)\n";
+    return 0;
+  }
+  if (args.command == "robustness") {
+    const auto inst = load_instance(args);
+    const double budget = args.number("budget");
+    const auto r = medcc::sched::critical_greedy(inst, budget);
+    medcc::expr::RobustnessOptions opts;
+    if (args.find("noise")) opts.noise = args.number("noise");
+    if (args.find("trials"))
+      opts.trials = static_cast<std::size_t>(args.number("trials"));
+    const auto rep = medcc::expr::assess_robustness(
+        inst, r.schedule, medcc::util::global_pool(), opts);
+    std::cout << "nominal MED = " << fmt(rep.nominal_med, 3) << "\nmean = "
+              << fmt(rep.mean, 3) << "\np95 = " << fmt(rep.p95, 3)
+              << "\nmax = " << fmt(rep.max, 3) << '\n';
+    if (args.find("deadline"))
+      std::cout << "miss rate at deadline "
+                << fmt(args.number("deadline"), 3) << " = "
+                << fmt(rep.miss_rate(args.number("deadline")), 4) << '\n';
+    return 0;
+  }
+  if (args.command == "deadline") {
+    const auto inst = load_instance(args);
+    const double deadline = args.number("deadline");
+    const auto r = medcc::sched::deadline_loss(inst, deadline);
+    print_schedule(inst, r.schedule, r.eval);
+    std::cout << "budget to request (CG sweep): "
+              << fmt(medcc::sched::budget_for_deadline(inst, deadline), 3)
+              << '\n';
+    return 0;
+  }
+  if (args.command == "example") {
+    medcc::workflow::save_workflow(medcc::workflow::example6(),
+                                   args.require("out-workflow"));
+    medcc::workflow::save_catalog(medcc::cloud::example_catalog(),
+                                  args.require("out-catalog"));
+    std::cout << "wrote the paper's numerical example\n";
+    return 0;
+  }
+  throw medcc::InvalidArgument("unknown command '" + args.command + "'");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(parse_args(argc, argv));
+  } catch (const medcc::Infeasible& e) {
+    std::cerr << "infeasible: " << e.what() << '\n';
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n'
+              << "usage: medcc_cli bounds|schedule|trace|deadline|dynamic|robustness|example "
+                 "--workflow F|--dax F --catalog F [--budget X] [--deadline X] "
+                 "[--algo cg|gain3|loss|optimal] [--simulate] [--gantt] "
+                 "[--quantum Q] [--out-workflow F] [--out-catalog F]\n";
+    return 1;
+  }
+}
