@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_billing_quantum.dir/ablation_billing_quantum.cpp.o"
+  "CMakeFiles/ablation_billing_quantum.dir/ablation_billing_quantum.cpp.o.d"
+  "ablation_billing_quantum"
+  "ablation_billing_quantum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_billing_quantum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_candidate_set.dir/ablation_candidate_set.cpp.o"
+  "CMakeFiles/ablation_candidate_set.dir/ablation_candidate_set.cpp.o.d"
+  "ablation_candidate_set"
+  "ablation_candidate_set.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_candidate_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_metaheuristic.dir/ablation_metaheuristic.cpp.o"
+  "CMakeFiles/ablation_metaheuristic.dir/ablation_metaheuristic.cpp.o.d"
+  "ablation_metaheuristic"
+  "ablation_metaheuristic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_metaheuristic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

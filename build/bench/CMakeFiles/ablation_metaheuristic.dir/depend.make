@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_metaheuristic.
+# This may be replaced when dependencies are built.

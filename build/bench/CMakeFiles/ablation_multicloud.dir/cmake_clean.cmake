@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_multicloud.dir/ablation_multicloud.cpp.o"
+  "CMakeFiles/ablation_multicloud.dir/ablation_multicloud.cpp.o.d"
+  "ablation_multicloud"
+  "ablation_multicloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multicloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_static_vs_dynamic.dir/ablation_static_vs_dynamic.cpp.o"
+  "CMakeFiles/ablation_static_vs_dynamic.dir/ablation_static_vs_dynamic.cpp.o.d"
+  "ablation_static_vs_dynamic"
+  "ablation_static_vs_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_static_vs_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_static_vs_dynamic.
+# This may be replaced when dependencies are built.

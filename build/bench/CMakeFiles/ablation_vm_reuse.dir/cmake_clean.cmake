@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_vm_reuse.dir/ablation_vm_reuse.cpp.o"
+  "CMakeFiles/ablation_vm_reuse.dir/ablation_vm_reuse.cpp.o.d"
+  "ablation_vm_reuse"
+  "ablation_vm_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_vm_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

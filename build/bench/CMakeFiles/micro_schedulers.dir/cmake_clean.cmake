@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_schedulers.dir/micro_schedulers.cpp.o"
+  "CMakeFiles/micro_schedulers.dir/micro_schedulers.cpp.o.d"
+  "micro_schedulers"
+  "micro_schedulers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_schedulers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_fig7_percent_optimal.dir/repro_fig7_percent_optimal.cpp.o"
+  "CMakeFiles/repro_fig7_percent_optimal.dir/repro_fig7_percent_optimal.cpp.o.d"
+  "repro_fig7_percent_optimal"
+  "repro_fig7_percent_optimal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_fig7_percent_optimal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

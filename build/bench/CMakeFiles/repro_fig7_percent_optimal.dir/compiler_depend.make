@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for repro_fig7_percent_optimal.
+# This may be replaced when dependencies are built.

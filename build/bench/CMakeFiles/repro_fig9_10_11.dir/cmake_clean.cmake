@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_fig9_10_11.dir/repro_fig9_10_11.cpp.o"
+  "CMakeFiles/repro_fig9_10_11.dir/repro_fig9_10_11.cpp.o.d"
+  "repro_fig9_10_11"
+  "repro_fig9_10_11.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_fig9_10_11.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

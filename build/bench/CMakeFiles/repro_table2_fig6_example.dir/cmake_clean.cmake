@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_table2_fig6_example.dir/repro_table2_fig6_example.cpp.o"
+  "CMakeFiles/repro_table2_fig6_example.dir/repro_table2_fig6_example.cpp.o.d"
+  "repro_table2_fig6_example"
+  "repro_table2_fig6_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_table2_fig6_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

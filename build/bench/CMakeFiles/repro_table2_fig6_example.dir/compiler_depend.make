@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for repro_table2_fig6_example.
+# This may be replaced when dependencies are built.

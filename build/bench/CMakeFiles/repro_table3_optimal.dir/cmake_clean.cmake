@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_table3_optimal.dir/repro_table3_optimal.cpp.o"
+  "CMakeFiles/repro_table3_optimal.dir/repro_table3_optimal.cpp.o.d"
+  "repro_table3_optimal"
+  "repro_table3_optimal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_table3_optimal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

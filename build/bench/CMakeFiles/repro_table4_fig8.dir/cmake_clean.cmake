@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_table4_fig8.dir/repro_table4_fig8.cpp.o"
+  "CMakeFiles/repro_table4_fig8.dir/repro_table4_fig8.cpp.o.d"
+  "repro_table4_fig8"
+  "repro_table4_fig8.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_table4_fig8.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

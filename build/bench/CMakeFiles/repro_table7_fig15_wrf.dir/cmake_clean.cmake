@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_table7_fig15_wrf.dir/repro_table7_fig15_wrf.cpp.o"
+  "CMakeFiles/repro_table7_fig15_wrf.dir/repro_table7_fig15_wrf.cpp.o.d"
+  "repro_table7_fig15_wrf"
+  "repro_table7_fig15_wrf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_table7_fig15_wrf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for repro_table7_fig15_wrf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for repro_table7_fig15_wrf.
+# This may be replaced when dependencies are built.

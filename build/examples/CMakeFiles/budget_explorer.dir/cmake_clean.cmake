@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/budget_explorer.dir/budget_explorer.cpp.o"
+  "CMakeFiles/budget_explorer.dir/budget_explorer.cpp.o.d"
+  "budget_explorer"
+  "budget_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/budget_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

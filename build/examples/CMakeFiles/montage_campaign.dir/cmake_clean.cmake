@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/montage_campaign.dir/montage_campaign.cpp.o"
+  "CMakeFiles/montage_campaign.dir/montage_campaign.cpp.o.d"
+  "montage_campaign"
+  "montage_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/montage_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

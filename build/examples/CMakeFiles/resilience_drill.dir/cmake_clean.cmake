@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resilience_drill.dir/resilience_drill.cpp.o"
+  "CMakeFiles/resilience_drill.dir/resilience_drill.cpp.o.d"
+  "resilience_drill"
+  "resilience_drill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resilience_drill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wrf_forecast.dir/wrf_forecast.cpp.o"
+  "CMakeFiles/wrf_forecast.dir/wrf_forecast.cpp.o.d"
+  "wrf_forecast"
+  "wrf_forecast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wrf_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

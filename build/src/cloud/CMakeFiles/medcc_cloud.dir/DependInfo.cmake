@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cloud/billing.cpp" "src/cloud/CMakeFiles/medcc_cloud.dir/billing.cpp.o" "gcc" "src/cloud/CMakeFiles/medcc_cloud.dir/billing.cpp.o.d"
+  "/root/repo/src/cloud/cost_model.cpp" "src/cloud/CMakeFiles/medcc_cloud.dir/cost_model.cpp.o" "gcc" "src/cloud/CMakeFiles/medcc_cloud.dir/cost_model.cpp.o.d"
+  "/root/repo/src/cloud/vm_type.cpp" "src/cloud/CMakeFiles/medcc_cloud.dir/vm_type.cpp.o" "gcc" "src/cloud/CMakeFiles/medcc_cloud.dir/vm_type.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/medcc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

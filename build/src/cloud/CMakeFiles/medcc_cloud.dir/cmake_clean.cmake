@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medcc_cloud.dir/billing.cpp.o"
+  "CMakeFiles/medcc_cloud.dir/billing.cpp.o.d"
+  "CMakeFiles/medcc_cloud.dir/cost_model.cpp.o"
+  "CMakeFiles/medcc_cloud.dir/cost_model.cpp.o.d"
+  "CMakeFiles/medcc_cloud.dir/vm_type.cpp.o"
+  "CMakeFiles/medcc_cloud.dir/vm_type.cpp.o.d"
+  "libmedcc_cloud.a"
+  "libmedcc_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medcc_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

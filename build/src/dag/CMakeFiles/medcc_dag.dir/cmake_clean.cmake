@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medcc_dag.dir/critical_path.cpp.o"
+  "CMakeFiles/medcc_dag.dir/critical_path.cpp.o.d"
+  "CMakeFiles/medcc_dag.dir/dot.cpp.o"
+  "CMakeFiles/medcc_dag.dir/dot.cpp.o.d"
+  "CMakeFiles/medcc_dag.dir/graph.cpp.o"
+  "CMakeFiles/medcc_dag.dir/graph.cpp.o.d"
+  "libmedcc_dag.a"
+  "libmedcc_dag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medcc_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

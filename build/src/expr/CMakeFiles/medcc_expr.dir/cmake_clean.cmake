@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medcc_expr.dir/compare.cpp.o"
+  "CMakeFiles/medcc_expr.dir/compare.cpp.o.d"
+  "CMakeFiles/medcc_expr.dir/instance_gen.cpp.o"
+  "CMakeFiles/medcc_expr.dir/instance_gen.cpp.o.d"
+  "CMakeFiles/medcc_expr.dir/robustness.cpp.o"
+  "CMakeFiles/medcc_expr.dir/robustness.cpp.o.d"
+  "libmedcc_expr.a"
+  "libmedcc_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medcc_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/multicloud/multicloud.cpp" "src/multicloud/CMakeFiles/medcc_multicloud.dir/multicloud.cpp.o" "gcc" "src/multicloud/CMakeFiles/medcc_multicloud.dir/multicloud.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workflow/CMakeFiles/medcc_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/medcc_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/medcc_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/medcc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medcc_multicloud.dir/multicloud.cpp.o"
+  "CMakeFiles/medcc_multicloud.dir/multicloud.cpp.o.d"
+  "libmedcc_multicloud.a"
+  "libmedcc_multicloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medcc_multicloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

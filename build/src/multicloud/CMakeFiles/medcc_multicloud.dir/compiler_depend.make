@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for medcc_multicloud.
+# This may be replaced when dependencies are built.

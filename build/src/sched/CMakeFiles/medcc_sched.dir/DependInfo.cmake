@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/annealing.cpp" "src/sched/CMakeFiles/medcc_sched.dir/annealing.cpp.o" "gcc" "src/sched/CMakeFiles/medcc_sched.dir/annealing.cpp.o.d"
+  "/root/repo/src/sched/bounds.cpp" "src/sched/CMakeFiles/medcc_sched.dir/bounds.cpp.o" "gcc" "src/sched/CMakeFiles/medcc_sched.dir/bounds.cpp.o.d"
+  "/root/repo/src/sched/critical_greedy.cpp" "src/sched/CMakeFiles/medcc_sched.dir/critical_greedy.cpp.o" "gcc" "src/sched/CMakeFiles/medcc_sched.dir/critical_greedy.cpp.o.d"
+  "/root/repo/src/sched/deadline.cpp" "src/sched/CMakeFiles/medcc_sched.dir/deadline.cpp.o" "gcc" "src/sched/CMakeFiles/medcc_sched.dir/deadline.cpp.o.d"
+  "/root/repo/src/sched/exhaustive.cpp" "src/sched/CMakeFiles/medcc_sched.dir/exhaustive.cpp.o" "gcc" "src/sched/CMakeFiles/medcc_sched.dir/exhaustive.cpp.o.d"
+  "/root/repo/src/sched/gain_loss.cpp" "src/sched/CMakeFiles/medcc_sched.dir/gain_loss.cpp.o" "gcc" "src/sched/CMakeFiles/medcc_sched.dir/gain_loss.cpp.o.d"
+  "/root/repo/src/sched/genetic.cpp" "src/sched/CMakeFiles/medcc_sched.dir/genetic.cpp.o" "gcc" "src/sched/CMakeFiles/medcc_sched.dir/genetic.cpp.o.d"
+  "/root/repo/src/sched/hbmct.cpp" "src/sched/CMakeFiles/medcc_sched.dir/hbmct.cpp.o" "gcc" "src/sched/CMakeFiles/medcc_sched.dir/hbmct.cpp.o.d"
+  "/root/repo/src/sched/heft.cpp" "src/sched/CMakeFiles/medcc_sched.dir/heft.cpp.o" "gcc" "src/sched/CMakeFiles/medcc_sched.dir/heft.cpp.o.d"
+  "/root/repo/src/sched/instance.cpp" "src/sched/CMakeFiles/medcc_sched.dir/instance.cpp.o" "gcc" "src/sched/CMakeFiles/medcc_sched.dir/instance.cpp.o.d"
+  "/root/repo/src/sched/lower_bound.cpp" "src/sched/CMakeFiles/medcc_sched.dir/lower_bound.cpp.o" "gcc" "src/sched/CMakeFiles/medcc_sched.dir/lower_bound.cpp.o.d"
+  "/root/repo/src/sched/mckp.cpp" "src/sched/CMakeFiles/medcc_sched.dir/mckp.cpp.o" "gcc" "src/sched/CMakeFiles/medcc_sched.dir/mckp.cpp.o.d"
+  "/root/repo/src/sched/pcp.cpp" "src/sched/CMakeFiles/medcc_sched.dir/pcp.cpp.o" "gcc" "src/sched/CMakeFiles/medcc_sched.dir/pcp.cpp.o.d"
+  "/root/repo/src/sched/reuse_aware.cpp" "src/sched/CMakeFiles/medcc_sched.dir/reuse_aware.cpp.o" "gcc" "src/sched/CMakeFiles/medcc_sched.dir/reuse_aware.cpp.o.d"
+  "/root/repo/src/sched/schedule.cpp" "src/sched/CMakeFiles/medcc_sched.dir/schedule.cpp.o" "gcc" "src/sched/CMakeFiles/medcc_sched.dir/schedule.cpp.o.d"
+  "/root/repo/src/sched/vm_reuse.cpp" "src/sched/CMakeFiles/medcc_sched.dir/vm_reuse.cpp.o" "gcc" "src/sched/CMakeFiles/medcc_sched.dir/vm_reuse.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workflow/CMakeFiles/medcc_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/medcc_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/medcc_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/medcc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

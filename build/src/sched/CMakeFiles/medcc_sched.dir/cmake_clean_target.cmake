@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmedcc_sched.a"
+)

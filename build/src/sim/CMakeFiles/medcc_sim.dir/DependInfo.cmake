@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/bandwidth.cpp" "src/sim/CMakeFiles/medcc_sim.dir/bandwidth.cpp.o" "gcc" "src/sim/CMakeFiles/medcc_sim.dir/bandwidth.cpp.o.d"
+  "/root/repo/src/sim/datacenter.cpp" "src/sim/CMakeFiles/medcc_sim.dir/datacenter.cpp.o" "gcc" "src/sim/CMakeFiles/medcc_sim.dir/datacenter.cpp.o.d"
+  "/root/repo/src/sim/dynamic.cpp" "src/sim/CMakeFiles/medcc_sim.dir/dynamic.cpp.o" "gcc" "src/sim/CMakeFiles/medcc_sim.dir/dynamic.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/sim/CMakeFiles/medcc_sim.dir/engine.cpp.o" "gcc" "src/sim/CMakeFiles/medcc_sim.dir/engine.cpp.o.d"
+  "/root/repo/src/sim/executor.cpp" "src/sim/CMakeFiles/medcc_sim.dir/executor.cpp.o" "gcc" "src/sim/CMakeFiles/medcc_sim.dir/executor.cpp.o.d"
+  "/root/repo/src/sim/gantt.cpp" "src/sim/CMakeFiles/medcc_sim.dir/gantt.cpp.o" "gcc" "src/sim/CMakeFiles/medcc_sim.dir/gantt.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/medcc_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/medcc_sim.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/medcc_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/medcc_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/medcc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/workflow/CMakeFiles/medcc_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/medcc_dag.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medcc_sim.dir/bandwidth.cpp.o"
+  "CMakeFiles/medcc_sim.dir/bandwidth.cpp.o.d"
+  "CMakeFiles/medcc_sim.dir/datacenter.cpp.o"
+  "CMakeFiles/medcc_sim.dir/datacenter.cpp.o.d"
+  "CMakeFiles/medcc_sim.dir/dynamic.cpp.o"
+  "CMakeFiles/medcc_sim.dir/dynamic.cpp.o.d"
+  "CMakeFiles/medcc_sim.dir/engine.cpp.o"
+  "CMakeFiles/medcc_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/medcc_sim.dir/executor.cpp.o"
+  "CMakeFiles/medcc_sim.dir/executor.cpp.o.d"
+  "CMakeFiles/medcc_sim.dir/gantt.cpp.o"
+  "CMakeFiles/medcc_sim.dir/gantt.cpp.o.d"
+  "CMakeFiles/medcc_sim.dir/trace.cpp.o"
+  "CMakeFiles/medcc_sim.dir/trace.cpp.o.d"
+  "libmedcc_sim.a"
+  "libmedcc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medcc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

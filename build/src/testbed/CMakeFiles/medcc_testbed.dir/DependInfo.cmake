@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/testbed/nimbus.cpp" "src/testbed/CMakeFiles/medcc_testbed.dir/nimbus.cpp.o" "gcc" "src/testbed/CMakeFiles/medcc_testbed.dir/nimbus.cpp.o.d"
+  "/root/repo/src/testbed/programs.cpp" "src/testbed/CMakeFiles/medcc_testbed.dir/programs.cpp.o" "gcc" "src/testbed/CMakeFiles/medcc_testbed.dir/programs.cpp.o.d"
+  "/root/repo/src/testbed/runner.cpp" "src/testbed/CMakeFiles/medcc_testbed.dir/runner.cpp.o" "gcc" "src/testbed/CMakeFiles/medcc_testbed.dir/runner.cpp.o.d"
+  "/root/repo/src/testbed/wrf_experiment.cpp" "src/testbed/CMakeFiles/medcc_testbed.dir/wrf_experiment.cpp.o" "gcc" "src/testbed/CMakeFiles/medcc_testbed.dir/wrf_experiment.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/medcc_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/medcc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workflow/CMakeFiles/medcc_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/medcc_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/medcc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/medcc_dag.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

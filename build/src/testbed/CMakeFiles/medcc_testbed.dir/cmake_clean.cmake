@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medcc_testbed.dir/nimbus.cpp.o"
+  "CMakeFiles/medcc_testbed.dir/nimbus.cpp.o.d"
+  "CMakeFiles/medcc_testbed.dir/programs.cpp.o"
+  "CMakeFiles/medcc_testbed.dir/programs.cpp.o.d"
+  "CMakeFiles/medcc_testbed.dir/runner.cpp.o"
+  "CMakeFiles/medcc_testbed.dir/runner.cpp.o.d"
+  "CMakeFiles/medcc_testbed.dir/wrf_experiment.cpp.o"
+  "CMakeFiles/medcc_testbed.dir/wrf_experiment.cpp.o.d"
+  "libmedcc_testbed.a"
+  "libmedcc_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medcc_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

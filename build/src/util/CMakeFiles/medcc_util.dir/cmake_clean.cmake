@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medcc_util.dir/ascii_plot.cpp.o"
+  "CMakeFiles/medcc_util.dir/ascii_plot.cpp.o.d"
+  "CMakeFiles/medcc_util.dir/error.cpp.o"
+  "CMakeFiles/medcc_util.dir/error.cpp.o.d"
+  "CMakeFiles/medcc_util.dir/log.cpp.o"
+  "CMakeFiles/medcc_util.dir/log.cpp.o.d"
+  "CMakeFiles/medcc_util.dir/prng.cpp.o"
+  "CMakeFiles/medcc_util.dir/prng.cpp.o.d"
+  "CMakeFiles/medcc_util.dir/stats.cpp.o"
+  "CMakeFiles/medcc_util.dir/stats.cpp.o.d"
+  "CMakeFiles/medcc_util.dir/table.cpp.o"
+  "CMakeFiles/medcc_util.dir/table.cpp.o.d"
+  "CMakeFiles/medcc_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/medcc_util.dir/thread_pool.cpp.o.d"
+  "libmedcc_util.a"
+  "libmedcc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medcc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workflow/clustering.cpp" "src/workflow/CMakeFiles/medcc_workflow.dir/clustering.cpp.o" "gcc" "src/workflow/CMakeFiles/medcc_workflow.dir/clustering.cpp.o.d"
+  "/root/repo/src/workflow/dax.cpp" "src/workflow/CMakeFiles/medcc_workflow.dir/dax.cpp.o" "gcc" "src/workflow/CMakeFiles/medcc_workflow.dir/dax.cpp.o.d"
+  "/root/repo/src/workflow/io.cpp" "src/workflow/CMakeFiles/medcc_workflow.dir/io.cpp.o" "gcc" "src/workflow/CMakeFiles/medcc_workflow.dir/io.cpp.o.d"
+  "/root/repo/src/workflow/patterns.cpp" "src/workflow/CMakeFiles/medcc_workflow.dir/patterns.cpp.o" "gcc" "src/workflow/CMakeFiles/medcc_workflow.dir/patterns.cpp.o.d"
+  "/root/repo/src/workflow/random_workflow.cpp" "src/workflow/CMakeFiles/medcc_workflow.dir/random_workflow.cpp.o" "gcc" "src/workflow/CMakeFiles/medcc_workflow.dir/random_workflow.cpp.o.d"
+  "/root/repo/src/workflow/workflow.cpp" "src/workflow/CMakeFiles/medcc_workflow.dir/workflow.cpp.o" "gcc" "src/workflow/CMakeFiles/medcc_workflow.dir/workflow.cpp.o.d"
+  "/root/repo/src/workflow/wrf.cpp" "src/workflow/CMakeFiles/medcc_workflow.dir/wrf.cpp.o" "gcc" "src/workflow/CMakeFiles/medcc_workflow.dir/wrf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dag/CMakeFiles/medcc_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/medcc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

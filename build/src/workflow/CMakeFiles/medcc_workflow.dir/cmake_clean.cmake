@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medcc_workflow.dir/clustering.cpp.o"
+  "CMakeFiles/medcc_workflow.dir/clustering.cpp.o.d"
+  "CMakeFiles/medcc_workflow.dir/dax.cpp.o"
+  "CMakeFiles/medcc_workflow.dir/dax.cpp.o.d"
+  "CMakeFiles/medcc_workflow.dir/io.cpp.o"
+  "CMakeFiles/medcc_workflow.dir/io.cpp.o.d"
+  "CMakeFiles/medcc_workflow.dir/patterns.cpp.o"
+  "CMakeFiles/medcc_workflow.dir/patterns.cpp.o.d"
+  "CMakeFiles/medcc_workflow.dir/random_workflow.cpp.o"
+  "CMakeFiles/medcc_workflow.dir/random_workflow.cpp.o.d"
+  "CMakeFiles/medcc_workflow.dir/workflow.cpp.o"
+  "CMakeFiles/medcc_workflow.dir/workflow.cpp.o.d"
+  "CMakeFiles/medcc_workflow.dir/wrf.cpp.o"
+  "CMakeFiles/medcc_workflow.dir/wrf.cpp.o.d"
+  "libmedcc_workflow.a"
+  "libmedcc_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medcc_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_test.dir/cloud_test.cpp.o"
+  "CMakeFiles/cloud_test.dir/cloud_test.cpp.o.d"
+  "cloud_test"
+  "cloud_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dag_cpm_test.dir/dag_cpm_test.cpp.o"
+  "CMakeFiles/dag_cpm_test.dir/dag_cpm_test.cpp.o.d"
+  "dag_cpm_test"
+  "dag_cpm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dag_cpm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dag_dot_test.dir/dag_dot_test.cpp.o"
+  "CMakeFiles/dag_dot_test.dir/dag_dot_test.cpp.o.d"
+  "dag_dot_test"
+  "dag_dot_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dag_dot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

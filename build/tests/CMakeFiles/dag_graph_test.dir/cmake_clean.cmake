@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dag_graph_test.dir/dag_graph_test.cpp.o"
+  "CMakeFiles/dag_graph_test.dir/dag_graph_test.cpp.o.d"
+  "dag_graph_test"
+  "dag_graph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dag_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expr_robustness_test.dir/expr_robustness_test.cpp.o"
+  "CMakeFiles/expr_robustness_test.dir/expr_robustness_test.cpp.o.d"
+  "expr_robustness_test"
+  "expr_robustness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expr_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multicloud_test.dir/multicloud_test.cpp.o"
+  "CMakeFiles/multicloud_test.dir/multicloud_test.cpp.o.d"
+  "multicloud_test"
+  "multicloud_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multicloud_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

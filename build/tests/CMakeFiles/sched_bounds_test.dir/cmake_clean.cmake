@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_bounds_test.dir/sched_bounds_test.cpp.o"
+  "CMakeFiles/sched_bounds_test.dir/sched_bounds_test.cpp.o.d"
+  "sched_bounds_test"
+  "sched_bounds_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_bounds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sched_cg_trace_test.cpp" "tests/CMakeFiles/sched_cg_trace_test.dir/sched_cg_trace_test.cpp.o" "gcc" "tests/CMakeFiles/sched_cg_trace_test.dir/sched_cg_trace_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/expr/CMakeFiles/medcc_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/testbed/CMakeFiles/medcc_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/medcc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/multicloud/CMakeFiles/medcc_multicloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/medcc_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/workflow/CMakeFiles/medcc_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/medcc_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/medcc_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/medcc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

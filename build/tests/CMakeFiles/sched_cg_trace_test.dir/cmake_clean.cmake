@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_cg_trace_test.dir/sched_cg_trace_test.cpp.o"
+  "CMakeFiles/sched_cg_trace_test.dir/sched_cg_trace_test.cpp.o.d"
+  "sched_cg_trace_test"
+  "sched_cg_trace_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_cg_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

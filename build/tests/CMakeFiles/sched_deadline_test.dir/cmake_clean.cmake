@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_deadline_test.dir/sched_deadline_test.cpp.o"
+  "CMakeFiles/sched_deadline_test.dir/sched_deadline_test.cpp.o.d"
+  "sched_deadline_test"
+  "sched_deadline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_deadline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

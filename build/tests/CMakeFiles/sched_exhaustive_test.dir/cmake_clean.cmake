@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_exhaustive_test.dir/sched_exhaustive_test.cpp.o"
+  "CMakeFiles/sched_exhaustive_test.dir/sched_exhaustive_test.cpp.o.d"
+  "sched_exhaustive_test"
+  "sched_exhaustive_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_exhaustive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_gain_loss_test.dir/sched_gain_loss_test.cpp.o"
+  "CMakeFiles/sched_gain_loss_test.dir/sched_gain_loss_test.cpp.o.d"
+  "sched_gain_loss_test"
+  "sched_gain_loss_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_gain_loss_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

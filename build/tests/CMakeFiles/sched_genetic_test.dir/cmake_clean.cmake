@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_genetic_test.dir/sched_genetic_test.cpp.o"
+  "CMakeFiles/sched_genetic_test.dir/sched_genetic_test.cpp.o.d"
+  "sched_genetic_test"
+  "sched_genetic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_genetic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

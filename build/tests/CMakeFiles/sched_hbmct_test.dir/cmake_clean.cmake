@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_hbmct_test.dir/sched_hbmct_test.cpp.o"
+  "CMakeFiles/sched_hbmct_test.dir/sched_hbmct_test.cpp.o.d"
+  "sched_hbmct_test"
+  "sched_hbmct_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_hbmct_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_heft_test.dir/sched_heft_test.cpp.o"
+  "CMakeFiles/sched_heft_test.dir/sched_heft_test.cpp.o.d"
+  "sched_heft_test"
+  "sched_heft_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_heft_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_instance_test.dir/sched_instance_test.cpp.o"
+  "CMakeFiles/sched_instance_test.dir/sched_instance_test.cpp.o.d"
+  "sched_instance_test"
+  "sched_instance_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_instance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_lower_bound_test.dir/sched_lower_bound_test.cpp.o"
+  "CMakeFiles/sched_lower_bound_test.dir/sched_lower_bound_test.cpp.o.d"
+  "sched_lower_bound_test"
+  "sched_lower_bound_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_lower_bound_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_mckp_test.dir/sched_mckp_test.cpp.o"
+  "CMakeFiles/sched_mckp_test.dir/sched_mckp_test.cpp.o.d"
+  "sched_mckp_test"
+  "sched_mckp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_mckp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

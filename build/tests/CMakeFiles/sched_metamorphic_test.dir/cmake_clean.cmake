@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_metamorphic_test.dir/sched_metamorphic_test.cpp.o"
+  "CMakeFiles/sched_metamorphic_test.dir/sched_metamorphic_test.cpp.o.d"
+  "sched_metamorphic_test"
+  "sched_metamorphic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_metamorphic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_misc_test.dir/sched_misc_test.cpp.o"
+  "CMakeFiles/sched_misc_test.dir/sched_misc_test.cpp.o.d"
+  "sched_misc_test"
+  "sched_misc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_misc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

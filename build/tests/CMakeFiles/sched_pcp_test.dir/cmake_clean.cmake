@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_pcp_test.dir/sched_pcp_test.cpp.o"
+  "CMakeFiles/sched_pcp_test.dir/sched_pcp_test.cpp.o.d"
+  "sched_pcp_test"
+  "sched_pcp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_pcp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

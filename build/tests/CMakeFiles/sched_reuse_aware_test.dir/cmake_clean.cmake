@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_reuse_aware_test.dir/sched_reuse_aware_test.cpp.o"
+  "CMakeFiles/sched_reuse_aware_test.dir/sched_reuse_aware_test.cpp.o.d"
+  "sched_reuse_aware_test"
+  "sched_reuse_aware_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_reuse_aware_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

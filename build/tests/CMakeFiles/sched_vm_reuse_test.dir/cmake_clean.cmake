@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_vm_reuse_test.dir/sched_vm_reuse_test.cpp.o"
+  "CMakeFiles/sched_vm_reuse_test.dir/sched_vm_reuse_test.cpp.o.d"
+  "sched_vm_reuse_test"
+  "sched_vm_reuse_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_vm_reuse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

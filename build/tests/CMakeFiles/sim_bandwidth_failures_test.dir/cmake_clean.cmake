@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_bandwidth_failures_test.dir/sim_bandwidth_failures_test.cpp.o"
+  "CMakeFiles/sim_bandwidth_failures_test.dir/sim_bandwidth_failures_test.cpp.o.d"
+  "sim_bandwidth_failures_test"
+  "sim_bandwidth_failures_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_bandwidth_failures_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_datacenter_test.dir/sim_datacenter_test.cpp.o"
+  "CMakeFiles/sim_datacenter_test.dir/sim_datacenter_test.cpp.o.d"
+  "sim_datacenter_test"
+  "sim_datacenter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_datacenter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

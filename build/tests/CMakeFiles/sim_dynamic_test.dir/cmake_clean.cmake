@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_dynamic_test.dir/sim_dynamic_test.cpp.o"
+  "CMakeFiles/sim_dynamic_test.dir/sim_dynamic_test.cpp.o.d"
+  "sim_dynamic_test"
+  "sim_dynamic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_dynamic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_executor_test.dir/sim_executor_test.cpp.o"
+  "CMakeFiles/sim_executor_test.dir/sim_executor_test.cpp.o.d"
+  "sim_executor_test"
+  "sim_executor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_executor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

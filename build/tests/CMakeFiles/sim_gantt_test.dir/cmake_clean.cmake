@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_gantt_test.dir/sim_gantt_test.cpp.o"
+  "CMakeFiles/sim_gantt_test.dir/sim_gantt_test.cpp.o.d"
+  "sim_gantt_test"
+  "sim_gantt_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_gantt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workflow_clustering_test.dir/workflow_clustering_test.cpp.o"
+  "CMakeFiles/workflow_clustering_test.dir/workflow_clustering_test.cpp.o.d"
+  "workflow_clustering_test"
+  "workflow_clustering_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workflow_clustering_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workflow_dax_test.dir/workflow_dax_test.cpp.o"
+  "CMakeFiles/workflow_dax_test.dir/workflow_dax_test.cpp.o.d"
+  "workflow_dax_test"
+  "workflow_dax_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workflow_dax_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workflow_io_test.dir/workflow_io_test.cpp.o"
+  "CMakeFiles/workflow_io_test.dir/workflow_io_test.cpp.o.d"
+  "workflow_io_test"
+  "workflow_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workflow_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workflow_model_test.dir/workflow_model_test.cpp.o"
+  "CMakeFiles/workflow_model_test.dir/workflow_model_test.cpp.o.d"
+  "workflow_model_test"
+  "workflow_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workflow_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

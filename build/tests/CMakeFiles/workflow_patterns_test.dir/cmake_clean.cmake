@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workflow_patterns_test.dir/workflow_patterns_test.cpp.o"
+  "CMakeFiles/workflow_patterns_test.dir/workflow_patterns_test.cpp.o.d"
+  "workflow_patterns_test"
+  "workflow_patterns_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workflow_patterns_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workflow_random_test.dir/workflow_random_test.cpp.o"
+  "CMakeFiles/workflow_random_test.dir/workflow_random_test.cpp.o.d"
+  "workflow_random_test"
+  "workflow_random_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workflow_random_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workflow_wrf_test.dir/workflow_wrf_test.cpp.o"
+  "CMakeFiles/workflow_wrf_test.dir/workflow_wrf_test.cpp.o.d"
+  "workflow_wrf_test"
+  "workflow_wrf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workflow_wrf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medcc_cli.dir/medcc_cli.cpp.o"
+  "CMakeFiles/medcc_cli.dir/medcc_cli.cpp.o.d"
+  "medcc_cli"
+  "medcc_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medcc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

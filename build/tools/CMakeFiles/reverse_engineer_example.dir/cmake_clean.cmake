@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reverse_engineer_example.dir/reverse_engineer_example.cpp.o"
+  "CMakeFiles/reverse_engineer_example.dir/reverse_engineer_example.cpp.o.d"
+  "reverse_engineer_example"
+  "reverse_engineer_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reverse_engineer_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for reverse_engineer_example.
+# This may be replaced when dependencies are built.
