@@ -1,0 +1,43 @@
+# Sanitizer toggles for the whole build.
+#
+#   -DMEDCC_SANITIZE="address;undefined"   ASan + UBSan (the CI pairing)
+#   -DMEDCC_SANITIZE=thread                TSan (for the thread_pool tests)
+#   -DMEDCC_SANITIZE=""                    plain build (default)
+#
+# Flags are applied globally (add_compile_options/add_link_options) so
+# every library, test, bench, and tool in the tree is instrumented
+# consistently; mixing instrumented and uninstrumented TUs produces false
+# negatives.
+set(MEDCC_SANITIZE "" CACHE STRING
+  "Semicolon-separated sanitizer list: address, undefined, leak, thread")
+
+if(MEDCC_SANITIZE)
+  set(_medcc_san_flags "")
+  foreach(_san IN LISTS MEDCC_SANITIZE)
+    string(TOLOWER "${_san}" _san)
+    if(_san STREQUAL "address")
+      list(APPEND _medcc_san_flags -fsanitize=address)
+    elseif(_san STREQUAL "undefined")
+      list(APPEND _medcc_san_flags -fsanitize=undefined
+        -fno-sanitize-recover=undefined)
+    elseif(_san STREQUAL "leak")
+      list(APPEND _medcc_san_flags -fsanitize=leak)
+    elseif(_san STREQUAL "thread")
+      list(APPEND _medcc_san_flags -fsanitize=thread)
+    else()
+      message(FATAL_ERROR "MEDCC_SANITIZE: unknown sanitizer '${_san}'")
+    endif()
+  endforeach()
+
+  if("thread" IN_LIST MEDCC_SANITIZE AND
+     ("address" IN_LIST MEDCC_SANITIZE OR "leak" IN_LIST MEDCC_SANITIZE))
+    message(FATAL_ERROR
+      "MEDCC_SANITIZE: thread cannot be combined with address/leak")
+  endif()
+
+  list(APPEND _medcc_san_flags -fno-omit-frame-pointer -g)
+  message(STATUS "medcc: sanitizers enabled: ${MEDCC_SANITIZE}")
+  add_compile_options(${_medcc_san_flags})
+  add_link_options(${_medcc_san_flags})
+  unset(_medcc_san_flags)
+endif()

@@ -1,0 +1,87 @@
+#include "analysis/diagnostics.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace medcc::analysis {
+
+std::string_view to_string(Severity severity) {
+  switch (severity) {
+    case Severity::Info: return "info";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "unknown";
+}
+
+void Diagnostics::add(Severity severity, std::string rule,
+                      std::string message) {
+  items_.push_back(
+      Diagnostic{severity, std::move(rule), std::move(message)});
+}
+
+void Diagnostics::info(std::string rule, std::string message) {
+  add(Severity::Info, std::move(rule), std::move(message));
+}
+
+void Diagnostics::warning(std::string rule, std::string message) {
+  add(Severity::Warning, std::move(rule), std::move(message));
+}
+
+void Diagnostics::error(std::string rule, std::string message) {
+  add(Severity::Error, std::move(rule), std::move(message));
+}
+
+void Diagnostics::merge(const Diagnostics& other) {
+  items_.insert(items_.end(), other.items_.begin(), other.items_.end());
+}
+
+std::size_t Diagnostics::error_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(items_.begin(), items_.end(), [](const Diagnostic& d) {
+        return d.severity == Severity::Error;
+      }));
+}
+
+std::size_t Diagnostics::warning_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(items_.begin(), items_.end(), [](const Diagnostic& d) {
+        return d.severity == Severity::Warning;
+      }));
+}
+
+bool Diagnostics::has(std::string_view rule) const {
+  return std::any_of(items_.begin(), items_.end(),
+                     [&](const Diagnostic& d) { return d.rule == rule; });
+}
+
+std::vector<Diagnostic> Diagnostics::findings(std::string_view rule) const {
+  std::vector<Diagnostic> out;
+  for (const auto& d : items_)
+    if (d.rule == rule) out.push_back(d);
+  return out;
+}
+
+std::string Diagnostics::to_string() const {
+  if (items_.empty()) return "no findings";
+  std::ostringstream os;
+  for (std::size_t k = 0; k < items_.size(); ++k) {
+    if (k != 0) os << '\n';
+    os << analysis::to_string(items_[k].severity) << " [" << items_[k].rule
+       << "] " << items_[k].message;
+  }
+  return os.str();
+}
+
+void Diagnostics::throw_if_errors(std::string_view context) const {
+  if (ok()) return;
+  std::ostringstream os;
+  os << "invariant violation in " << context << " (" << error_count()
+     << " error(s)):";
+  for (const auto& d : items_)
+    if (d.severity == Severity::Error)
+      os << "\n  [" << d.rule << "] " << d.message;
+  throw InvariantViolation(os.str());
+}
+
+}  // namespace medcc::analysis

@@ -1,0 +1,78 @@
+// Structured diagnostics for the invariant-verification layer.
+//
+// A Diagnostics object is the result of running one or more verifiers
+// (analysis/verify.hpp): a flat list of findings, each tagged with a
+// stable kebab-case rule id and a severity. Error findings mean the
+// checked artifact violates a hard invariant of the paper's model (a
+// schedule over budget, a precedence violation, a cycle); Warning
+// findings are suspicious-but-legal states; Info findings are neutral
+// observations useful in reports.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace medcc::analysis {
+
+enum class Severity { Info, Warning, Error };
+
+[[nodiscard]] std::string_view to_string(Severity severity);
+
+/// One finding of a verifier run.
+struct Diagnostic {
+  Severity severity = Severity::Info;
+  /// Stable kebab-case rule id, e.g. "cycle", "over-budget",
+  /// "precedence-violation". Tests match on this, not on the message.
+  std::string rule;
+  /// Human-readable explanation with the offending values.
+  std::string message;
+};
+
+/// Thrown by Diagnostics::throw_if_errors when a hard invariant fails.
+class InvariantViolation : public Error {
+public:
+  explicit InvariantViolation(const std::string& what) : Error(what) {}
+};
+
+/// An append-only report of verifier findings.
+class Diagnostics {
+public:
+  void add(Severity severity, std::string rule, std::string message);
+  void info(std::string rule, std::string message);
+  void warning(std::string rule, std::string message);
+  void error(std::string rule, std::string message);
+
+  /// Appends every finding of `other`.
+  void merge(const Diagnostics& other);
+
+  [[nodiscard]] const std::vector<Diagnostic>& items() const { return items_; }
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+
+  /// True when no Error-severity finding is present (warnings allowed).
+  [[nodiscard]] bool ok() const { return error_count() == 0; }
+
+  [[nodiscard]] std::size_t error_count() const;
+  [[nodiscard]] std::size_t warning_count() const;
+
+  /// True when at least one finding carries `rule`.
+  [[nodiscard]] bool has(std::string_view rule) const;
+  /// Findings carrying `rule`, in insertion order.
+  [[nodiscard]] std::vector<Diagnostic> findings(std::string_view rule) const;
+
+  /// Multi-line "severity [rule] message" rendering; empty reports render
+  /// as "no findings".
+  [[nodiscard]] std::string to_string() const;
+
+  /// Throws InvariantViolation listing every Error finding; `context`
+  /// names the checked artifact (e.g. the scheduler that produced it).
+  void throw_if_errors(std::string_view context) const;
+
+private:
+  std::vector<Diagnostic> items_;
+};
+
+}  // namespace medcc::analysis

@@ -34,7 +34,9 @@ std::size_t VmCatalog::cheapest_rate_index() const {
   std::size_t best = 0;
   for (std::size_t j = 1; j < types_.size(); ++j) {
     if (types_[j].cost_rate < types_[best].cost_rate ||
-        (types_[j].cost_rate == types_[best].cost_rate &&
+        // Exact tie-break on catalog constants, not on arithmetic
+        // results.  // medcc-lint: allow(float-eq)
+        (types_[j].cost_rate == types_[best].cost_rate &&  // medcc-lint: allow(float-eq)
          types_[j].processing_power > types_[best].processing_power))
       best = j;
   }

@@ -125,7 +125,10 @@ McSchedule single_site_least_cost(const McInstance& inst) {
       for (std::size_t j = 1; j < catalog.size(); ++j) {
         const Placement p{s, j};
         const double cj = inst.cost(i, p), cb = inst.cost(i, pick);
-        if (cj < cb || (cj == cb && inst.time(i, p) < inst.time(i, pick)))
+        // Exact tie-break on CE matrix entries (copied, not accumulated).
+        if (cj < cb ||
+            (cj == cb &&  // medcc-lint: allow(float-eq)
+             inst.time(i, p) < inst.time(i, pick)))
           pick = p;
       }
       candidate.of[i] = pick;

@@ -6,6 +6,7 @@
 
 #include "sched/bounds.hpp"
 #include "sched/critical_greedy.hpp"
+#include "sched/verify_hook.hpp"
 
 namespace medcc::sched {
 namespace {
@@ -93,6 +94,8 @@ Result annealing(const Instance& inst, double budget,
   result.eval = evaluate(inst, result.schedule);
   result.iterations = options.iterations;
   MEDCC_ENSURES(result.eval.cost <= budget + 1e-6 * std::max(1.0, budget));
+  detail::check_schedule_invariants(inst, result.schedule, result.eval, budget,
+                                    detail::kUnconstrained, "annealing");
   return result;
 }
 

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "sched/bounds.hpp"
+#include "sched/verify_hook.hpp"
 
 namespace medcc::sched {
 namespace {
@@ -96,6 +97,8 @@ Result run_critical_greedy(const Instance& inst, double budget,
 
   result.eval = evaluate(inst, result.schedule);
   MEDCC_ENSURES(result.eval.cost <= budget + 1e-6 * std::max(1.0, budget));
+  detail::check_schedule_invariants(inst, result.schedule, result.eval, budget,
+                                    detail::kUnconstrained, "critical_greedy");
   return result;
 }
 

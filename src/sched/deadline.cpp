@@ -7,6 +7,7 @@
 
 #include "sched/bounds.hpp"
 #include "sched/critical_greedy.hpp"
+#include "sched/verify_hook.hpp"
 
 namespace medcc::sched {
 
@@ -49,7 +50,8 @@ DeadlineResult deadline_loss(const Instance& inst, double deadline) {
         weights[i] = saved_weight;
         if (med > deadline + 1e-9) continue;
         if (!found || saving > best_saving ||
-            (saving == best_saving && med < best_med)) {
+            // Exact tie-break on copied cost deltas.
+            (saving == best_saving && med < best_med)) {  // medcc-lint: allow(float-eq)
           found = true;
           best_module = i;
           best_type = j;
@@ -67,6 +69,9 @@ DeadlineResult deadline_loss(const Instance& inst, double deadline) {
 
   result.eval = std::move(eval);
   MEDCC_ENSURES(result.eval.med <= deadline + 1e-9);
+  detail::check_schedule_invariants(inst, result.schedule, result.eval,
+                                    detail::kUnconstrained, deadline,
+                                    "deadline_loss");
   return result;
 }
 
@@ -155,6 +160,9 @@ DeadlineResult min_cost_under_deadline_exact(const Instance& inst,
   DeadlineResult result;
   result.schedule = search.best;
   result.eval = evaluate(inst, result.schedule);
+  detail::check_schedule_invariants(inst, result.schedule, result.eval,
+                                    detail::kUnconstrained, deadline,
+                                    "min_cost_under_deadline_exact");
   return result;
 }
 

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "sched/bounds.hpp"
+#include "sched/verify_hook.hpp"
 
 namespace medcc::sched {
 namespace {
@@ -115,6 +116,9 @@ ExhaustiveResult exhaustive_optimal(const Instance& inst, double budget,
   result.schedule = state.best;
   result.eval = evaluate(inst, result.schedule);
   result.nodes_visited = state.nodes;
+  detail::check_schedule_invariants(inst, result.schedule, result.eval, budget,
+                                    detail::kUnconstrained,
+                                    "exhaustive_optimal");
   return result;
 }
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "sched/bounds.hpp"
+#include "sched/verify_hook.hpp"
 
 namespace medcc::sched {
 namespace {
@@ -64,7 +65,9 @@ Result gain(const Instance& inst, double budget, GainLossVariant variant,
     std::size_t best = cur;
     for (std::size_t j = 0; j < inst.type_count(); ++j) {
       if (inst.time(i, j) < inst.time(i, best) ||
-          (inst.time(i, j) == inst.time(i, best) &&
+          // Exact tie-break on TE matrix entries (copied, not
+          // accumulated).
+          (inst.time(i, j) == inst.time(i, best) &&  // medcc-lint: allow(float-eq)
            inst.cost(i, j) < inst.cost(i, best)))
         best = j;
     }
@@ -100,6 +103,8 @@ Result gain(const Instance& inst, double budget, GainLossVariant variant,
       ++result.iterations;
     }
     result.eval = evaluate(inst, result.schedule);
+    detail::check_schedule_invariants(inst, result.schedule, result.eval,
+                                      budget, detail::kUnconstrained, "gain");
     return result;
   }
 
@@ -142,6 +147,8 @@ Result gain(const Instance& inst, double budget, GainLossVariant variant,
     ++result.iterations;
   }
   result.eval = evaluate(inst, result.schedule);
+  detail::check_schedule_invariants(inst, result.schedule, result.eval, budget,
+                                    detail::kUnconstrained, "gain");
   return result;
 }
 
@@ -232,6 +239,8 @@ Result loss(const Instance& inst, double budget, GainLossVariant variant) {
 
   result.eval = evaluate(inst, result.schedule);
   MEDCC_ENSURES(result.eval.cost <= budget + 1e-6 * std::max(1.0, budget));
+  detail::check_schedule_invariants(inst, result.schedule, result.eval, budget,
+                                    detail::kUnconstrained, "loss");
   return result;
 }
 

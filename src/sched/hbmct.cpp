@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "sched/verify_hook.hpp"
+
 namespace medcc::sched {
 namespace {
 
@@ -197,6 +199,8 @@ HbmctResult hbmct(const Instance& inst,
 
   for (const auto& p : result.placement)
     result.makespan = std::max(result.makespan, p.finish);
+  detail::check_placement_invariants(inst, machines, result.placement,
+                                     result.makespan, "hbmct");
   return result;
 }
 

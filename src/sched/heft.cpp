@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "sched/verify_hook.hpp"
+
 namespace medcc::sched {
 namespace {
 
@@ -111,6 +113,8 @@ HeftResult heft(const Instance& inst,
                 Interval{best_start, best_finish});
     result.makespan = std::max(result.makespan, best_finish);
   }
+  detail::check_placement_invariants(inst, machines, result.placement,
+                                     result.makespan, "heft");
   return result;
 }
 

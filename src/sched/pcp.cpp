@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "sched/bounds.hpp"
+#include "sched/verify_hook.hpp"
 
 namespace medcc::sched {
 namespace {
@@ -124,6 +125,9 @@ PcpResult pcp_deadline(const Instance& inst, double deadline) {
   result.eval = evaluate(inst, result.schedule);
   result.paths = state.paths;
   MEDCC_ENSURES(result.eval.med <= deadline + 1e-9);
+  detail::check_schedule_invariants(inst, result.schedule, result.eval,
+                                    detail::kUnconstrained, deadline,
+                                    "pcp_deadline");
   return result;
 }
 

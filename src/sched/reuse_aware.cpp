@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "sched/bounds.hpp"
+#include "sched/verify_hook.hpp"
 #include "sched/vm_reuse.hpp"
 
 namespace medcc::sched {
@@ -73,6 +74,13 @@ ReuseAwareResult critical_greedy_reuse_aware(const Instance& inst,
   result.eval = evaluate(inst, result.schedule);
   result.billed_cost = billed;
   MEDCC_ENSURES(result.billed_cost <= budget + 1e-6 * std::max(1.0, budget));
+  // The analytic cost may exceed the budget by design (feasibility is with
+  // respect to billed-with-reuse cost), so only structural/timing/cost
+  // invariants are checked here.
+  detail::check_schedule_invariants(inst, result.schedule, result.eval,
+                                    detail::kUnconstrained,
+                                    detail::kUnconstrained,
+                                    "critical_greedy_reuse_aware");
   return result;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "sched/verify_hook.hpp"
+
 namespace medcc::sched {
 
 ReusePlan plan_vm_reuse(const Instance& inst, const Schedule& schedule) {
@@ -68,6 +70,7 @@ ReusePlan plan_vm_reuse(const Instance& inst, const Schedule& schedule) {
         vm.uptime(), inst.catalog().type(vm.type).cost_rate);
   }
   plan.cost_without_reuse = eval.cost - inst.total_transfer_cost();
+  detail::check_reuse_invariants(inst, schedule, plan, "plan_vm_reuse");
   return plan;
 }
 

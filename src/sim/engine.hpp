@@ -45,7 +45,8 @@ private:
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
+      // Exact ordering of event timestamps; ties fall through to seq.
+      if (a.time != b.time) return a.time > b.time;  // medcc-lint: allow(float-eq)
       return a.seq > b.seq;  // FIFO among simultaneous events
     }
   };

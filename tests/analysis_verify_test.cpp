@@ -1,0 +1,240 @@
+// Tests for the invariant-verification layer (src/analysis): a known-good
+// Critical-Greedy schedule passes cleanly, and every violation class --
+// cycle, over-budget, precedence violation, cost mismatch, dangling
+// VM-type index -- is detected with Error severity under its stable rule
+// id.
+#include "analysis/verify.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/diagnostics.hpp"
+#include "cloud/vm_type.hpp"
+#include "sched/critical_greedy.hpp"
+#include "workflow/patterns.hpp"
+
+namespace {
+
+using medcc::analysis::Diagnostics;
+using medcc::analysis::Severity;
+using medcc::analysis::VerifyOptions;
+using medcc::analysis::verify_schedule;
+using medcc::analysis::verify_workflow;
+using medcc::sched::Instance;
+
+Instance example_instance() {
+  return Instance::from_model(medcc::workflow::example6(),
+                              medcc::cloud::example_catalog());
+}
+
+/// The rule must be present with Error severity.
+void expect_error(const Diagnostics& diag, const std::string& rule) {
+  ASSERT_TRUE(diag.has(rule)) << "missing rule " << rule << " in:\n"
+                              << diag.to_string();
+  for (const auto& d : diag.findings(rule))
+    EXPECT_EQ(d.severity, Severity::Error) << diag.to_string();
+  EXPECT_FALSE(diag.ok());
+}
+
+// ---------------------------------------------------------------------
+// Diagnostics container semantics.
+// ---------------------------------------------------------------------
+
+TEST(Diagnostics, SeverityAccounting) {
+  Diagnostics diag;
+  EXPECT_TRUE(diag.ok());
+  EXPECT_EQ(diag.to_string(), "no findings");
+
+  diag.info("budget-slack", "unused budget 3");
+  diag.warning("zero-workload", "module w2");
+  EXPECT_TRUE(diag.ok());
+  EXPECT_EQ(diag.warning_count(), 1u);
+  EXPECT_EQ(diag.error_count(), 0u);
+
+  diag.error("over-budget", "cost 60 exceeds budget 50");
+  EXPECT_FALSE(diag.ok());
+  EXPECT_EQ(diag.error_count(), 1u);
+  EXPECT_TRUE(diag.has("over-budget"));
+  EXPECT_FALSE(diag.has("cycle"));
+  EXPECT_NE(diag.to_string().find("[over-budget]"), std::string::npos);
+}
+
+TEST(Diagnostics, ThrowIfErrorsListsOnlyErrors) {
+  Diagnostics diag;
+  diag.warning("zero-workload", "harmless");
+  EXPECT_NO_THROW(diag.throw_if_errors("test"));
+
+  diag.error("cost-mismatch", "reported 10 != derived 12");
+  try {
+    diag.throw_if_errors("unit-test-scheduler");
+    FAIL() << "expected InvariantViolation";
+  } catch (const medcc::analysis::InvariantViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unit-test-scheduler"), std::string::npos);
+    EXPECT_NE(what.find("cost-mismatch"), std::string::npos);
+    EXPECT_EQ(what.find("zero-workload"), std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------------------
+// verify_workflow violation classes.
+// ---------------------------------------------------------------------
+
+TEST(VerifyWorkflow, AcceptsThePaperExample) {
+  const auto diag = verify_workflow(medcc::workflow::example6());
+  EXPECT_TRUE(diag.ok()) << diag.to_string();
+}
+
+TEST(VerifyWorkflow, DetectsCycle) {
+  medcc::workflow::Workflow wf;
+  const auto a = wf.add_module("a", 1.0);
+  const auto b = wf.add_module("b", 1.0);
+  const auto c = wf.add_module("c", 1.0);
+  wf.add_dependency(a, b);
+  wf.add_dependency(b, c);
+  wf.add_dependency(c, a);  // closes the cycle
+  expect_error(verify_workflow(wf), "cycle");
+}
+
+TEST(VerifyWorkflow, DetectsMultipleSourcesAndSinks) {
+  medcc::workflow::Workflow wf;
+  const auto a = wf.add_module("a", 1.0);
+  const auto b = wf.add_module("b", 1.0);
+  const auto c = wf.add_module("c", 1.0);
+  const auto d = wf.add_module("d", 1.0);
+  wf.add_dependency(a, c);
+  wf.add_dependency(b, d);
+  const auto diag = verify_workflow(wf);
+  expect_error(diag, "multi-source");
+  expect_error(diag, "multi-sink");
+}
+
+TEST(VerifyWorkflow, NegativeQuantitiesRejectedAtConstruction) {
+  // The builder enforces the non-negativity invariant up front, so
+  // verify_workflow's negative-workload / negative-data-size rules are
+  // defense-in-depth: unreachable through the public API.
+  medcc::workflow::Workflow wf;
+  const auto a = wf.add_module("a", 1.0);
+  EXPECT_THROW((void)wf.add_module("b", -2.0), medcc::InvalidArgument);
+  EXPECT_THROW((void)wf.add_fixed_module("c", -1.0),
+               medcc::InvalidArgument);
+  const auto b = wf.add_module("b", 2.0);
+  EXPECT_THROW((void)wf.add_dependency(a, b, -1.0), medcc::InvalidArgument);
+}
+
+TEST(VerifyWorkflow, WarnsOnZeroWorkload) {
+  medcc::workflow::Workflow wf;
+  const auto a = wf.add_module("a", 1.0);
+  const auto b = wf.add_module("b", 0.0);
+  wf.add_dependency(a, b);
+  const auto diag = verify_workflow(wf);
+  EXPECT_TRUE(diag.ok()) << diag.to_string();  // warning, not error
+  ASSERT_TRUE(diag.has("zero-workload"));
+  EXPECT_EQ(diag.findings("zero-workload").front().severity,
+            Severity::Warning);
+}
+
+// ---------------------------------------------------------------------
+// verify_schedule: a known-good CG run passes cleanly.
+// ---------------------------------------------------------------------
+
+TEST(VerifySchedule, AcceptsCriticalGreedyOutput) {
+  const auto inst = example_instance();
+  const double budget = 57.0;  // the Section V-B walkthrough budget
+  const auto r = medcc::sched::critical_greedy(inst, budget);
+  VerifyOptions options;
+  options.budget = budget;
+  const auto diag = verify_schedule(inst, r.schedule, r.eval, options);
+  EXPECT_TRUE(diag.ok()) << diag.to_string();
+  // The walkthrough leaves $1 unused; the slack must be reported.
+  ASSERT_TRUE(diag.has("budget-slack"));
+  EXPECT_EQ(diag.findings("budget-slack").front().severity, Severity::Info);
+}
+
+// ---------------------------------------------------------------------
+// verify_schedule violation classes.
+// ---------------------------------------------------------------------
+
+TEST(VerifySchedule, DetectsOverBudget) {
+  const auto inst = example_instance();
+  const auto r = medcc::sched::critical_greedy(inst, 57.0);
+  VerifyOptions options;
+  options.budget = r.eval.cost - 1.0;  // one dollar short
+  expect_error(verify_schedule(inst, r.schedule, r.eval, options),
+               "over-budget");
+}
+
+TEST(VerifySchedule, DetectsCostMismatch) {
+  const auto inst = example_instance();
+  const auto r = medcc::sched::critical_greedy(inst, 57.0);
+  auto tampered = r.eval;
+  tampered.cost += 2.5;  // scheduler lies about CTotal
+  expect_error(verify_schedule(inst, r.schedule, tampered), "cost-mismatch");
+}
+
+TEST(VerifySchedule, DetectsPrecedenceViolation) {
+  const auto inst = example_instance();
+  const auto r = medcc::sched::critical_greedy(inst, 57.0);
+  auto tampered = r.eval;
+  // Start the exit module before its predecessors deliver.
+  const auto exit_id = inst.workflow().exit();
+  tampered.cpm.est[exit_id] = 0.0;
+  tampered.cpm.eft[exit_id] =
+      *inst.workflow().module(exit_id).fixed_time;
+  expect_error(verify_schedule(inst, r.schedule, tampered),
+               "precedence-violation");
+}
+
+TEST(VerifySchedule, DetectsMakespanMismatch) {
+  const auto inst = example_instance();
+  const auto r = medcc::sched::critical_greedy(inst, 57.0);
+  auto tampered = r.eval;
+  tampered.med *= 0.5;  // report half the true end-to-end delay
+  tampered.cpm.makespan = tampered.med;
+  expect_error(verify_schedule(inst, r.schedule, tampered),
+               "makespan-mismatch");
+}
+
+TEST(VerifySchedule, DetectsDanglingVmTypeIndex) {
+  const auto inst = example_instance();
+  const auto r = medcc::sched::critical_greedy(inst, 57.0);
+  auto tampered = r.schedule;
+  tampered.type_of[1] = inst.type_count() + 7;  // w1 -> nonexistent type
+  expect_error(verify_schedule(inst, tampered, r.eval), "dangling-vm-type");
+}
+
+TEST(VerifySchedule, DetectsMappingSizeMismatch) {
+  const auto inst = example_instance();
+  const auto r = medcc::sched::critical_greedy(inst, 57.0);
+  auto tampered = r.schedule;
+  tampered.type_of.pop_back();
+  expect_error(verify_schedule(inst, tampered, r.eval), "mapping-size");
+}
+
+TEST(VerifySchedule, DetectsMissedDeadline) {
+  const auto inst = example_instance();
+  const auto r = medcc::sched::critical_greedy(inst, 57.0);
+  VerifyOptions options;
+  options.deadline = r.eval.med * 0.5;
+  expect_error(verify_schedule(inst, r.schedule, r.eval, options),
+               "missed-deadline");
+}
+
+TEST(VerifySchedule, FlagsBillingPolicyDisagreement) {
+  // A cost computed under hourly billing cannot pass verification against
+  // an instance billed continuously: the verifier re-derives every module
+  // cost from the *instance's* billing policy, so the reported CTotal no
+  // longer matches.
+  const auto wf = medcc::workflow::example6();
+  const auto catalog = medcc::cloud::example_catalog();
+  const auto inst =
+      Instance::from_model(wf, catalog, medcc::cloud::BillingPolicy(1.0));
+  const auto r = medcc::sched::critical_greedy(inst, 57.0);
+
+  const auto continuous = Instance::from_model(
+      wf, catalog, medcc::cloud::BillingPolicy::continuous());
+  const auto diag = verify_schedule(continuous, r.schedule, r.eval);
+  EXPECT_FALSE(diag.ok());
+  EXPECT_TRUE(diag.has("cost-mismatch")) << diag.to_string();
+}
+
+}  // namespace

@@ -151,7 +151,9 @@ TEST_P(CpmPropertyTest, RandomDagInvariants) {
   for (NodeId v = 0; v < n; ++v) {
     EXPECT_GE(r.buffer[v], -1e-9);
     EXPECT_NEAR(r.buffer[v], r.lft[v] - r.eft[v], 1e-9);
-    if (r.critical[v]) EXPECT_LE(r.buffer[v], 1e-6 * std::max(1.0, r.makespan));
+    if (r.critical[v]) {
+      EXPECT_LE(r.buffer[v], 1e-6 * std::max(1.0, r.makespan));
+    }
   }
 
   // 3. est/eft consistency along every edge.

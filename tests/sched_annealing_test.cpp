@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "analysis/verify.hpp"
 #include "expr/instance_gen.hpp"
 #include "sched/bounds.hpp"
 #include "sched/critical_greedy.hpp"
@@ -38,7 +39,13 @@ TEST(Annealing, RespectsBudget) {
   for (double budget : {48.0, 52.0, 57.0, 64.0}) {
     AnnealingOptions opts;
     opts.iterations = 300;
-    EXPECT_LE(annealing(inst, budget, opts).eval.cost, budget + 1e-6);
+    const auto r = annealing(inst, budget, opts);
+    EXPECT_LE(r.eval.cost, budget + 1e-6);
+    medcc::analysis::VerifyOptions vopts;
+    vopts.budget = budget;
+    const auto diag =
+        medcc::analysis::verify_schedule(inst, r.schedule, r.eval, vopts);
+    EXPECT_TRUE(diag.ok()) << diag.to_string();
   }
 }
 

@@ -4,6 +4,7 @@
 
 #include <tuple>
 
+#include "analysis/verify.hpp"
 #include "expr/instance_gen.hpp"
 #include "sched/bounds.hpp"
 #include "workflow/patterns.hpp"
@@ -42,6 +43,12 @@ TEST_P(Table2Test, CriticalGreedyReproducesRow) {
   EXPECT_NEAR(r.eval.med, row.med, 0.005);
   EXPECT_DOUBLE_EQ(r.eval.cost, row.cost);
   EXPECT_LE(r.eval.cost, row.budget);
+
+  medcc::analysis::VerifyOptions vopts;
+  vopts.budget = row.budget;
+  const auto diag =
+      medcc::analysis::verify_schedule(inst, r.schedule, r.eval, vopts);
+  EXPECT_TRUE(diag.ok()) << diag.to_string();
 }
 
 // The six bands of Table II, probed at both edges of each band. The row

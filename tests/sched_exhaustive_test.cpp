@@ -4,6 +4,7 @@
 
 #include <functional>
 
+#include "analysis/verify.hpp"
 #include "expr/instance_gen.hpp"
 #include "sched/bounds.hpp"
 #include "sched/critical_greedy.hpp"
@@ -43,6 +44,11 @@ TEST(Exhaustive, MatchesBruteForceOnExample6) {
     EXPECT_NEAR(r.eval.med, brute_force_med(inst, budget), 1e-9)
         << "budget " << budget;
     EXPECT_LE(r.eval.cost, budget + 1e-9);
+    medcc::analysis::VerifyOptions vopts;
+    vopts.budget = budget;
+    const auto diag =
+        medcc::analysis::verify_schedule(inst, r.schedule, r.eval, vopts);
+    EXPECT_TRUE(diag.ok()) << diag.to_string();
   }
 }
 

@@ -4,6 +4,7 @@
 
 #include <tuple>
 
+#include "analysis/verify.hpp"
 #include "expr/instance_gen.hpp"
 #include "sched/bounds.hpp"
 #include "workflow/patterns.hpp"
@@ -19,6 +20,16 @@ using medcc::sched::loss;
 Instance example_instance() {
   return Instance::from_model(medcc::workflow::example6(),
                               medcc::cloud::example_catalog());
+}
+
+/// Asserts the result passes the analysis invariants under `budget`.
+void expect_verified(const Instance& inst, const medcc::sched::Result& r,
+                     double budget) {
+  medcc::analysis::VerifyOptions vopts;
+  vopts.budget = budget;
+  const auto diag =
+      medcc::analysis::verify_schedule(inst, r.schedule, r.eval, vopts);
+  EXPECT_TRUE(diag.ok()) << diag.to_string();
 }
 
 TEST(Gain, InfeasibleBudgetThrows) {
@@ -53,6 +64,7 @@ TEST(Gain, GainWeightOrderingOnExample) {
   EXPECT_EQ(r.schedule.type_of[3], 2u);
   EXPECT_EQ(r.schedule.type_of[4], 2u);
   EXPECT_LE(r.eval.cost, 50.0);
+  expect_verified(inst, r, 50.0);
 }
 
 TEST(Loss, StartsFastWhenBudgetAmple) {
@@ -75,6 +87,7 @@ TEST(Loss, TightBudgetDowngradesWithinBudget) {
       const auto r = loss(inst, budget, variant);
       EXPECT_LE(r.eval.cost, budget + 1e-6)
           << "budget " << budget << " variant " << static_cast<int>(variant);
+      expect_verified(inst, r, budget);
     }
   }
 }
@@ -96,8 +109,9 @@ TEST_P(GainLossPropertyTest, GainInvariants) {
     // GAIN only ever applies task-time-improving upgrades, so the sum of
     // task times shrinks; but the *makespan* may not: only V2 (global
     // criterion) guarantees monotone improvement over the seed.
-    if (variant == GainLossVariant::V2)
+    if (variant == GainLossVariant::V2) {
       EXPECT_LE(r.eval.med, least_eval.med + 1e-9);
+    }
   }
 }
 
@@ -140,7 +154,9 @@ TEST(Gain, NoFreeUpgradesExistFromLeastCost) {
     for (std::size_t j = 0; j < inst.type_count(); ++j) {
       const double dt = inst.time(i, least.type_of[i]) - inst.time(i, j);
       const double dc = inst.cost(i, j) - inst.cost(i, least.type_of[i]);
-      if (dt > 0.0) EXPECT_GT(dc, 0.0);
+      if (dt > 0.0) {
+        EXPECT_GT(dc, 0.0);
+      }
     }
   }
   const auto r = gain3(inst, medcc::sched::cost_bounds(inst).cmin);

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "analysis/verify.hpp"
 #include "expr/instance_gen.hpp"
 #include "workflow/patterns.hpp"
 
@@ -73,6 +74,11 @@ TEST(Heft, RespectsPrecedenceAndNoMachineOverlap) {
     pool.push_back(VmType{"m" + std::to_string(k),
                           static_cast<double>(2 + 3 * k), 1.0});
   const auto r = heft(inst, pool);
+  // The analysis verifier independently checks precedence, machine
+  // exclusivity, durations and the reported makespan.
+  const auto diag =
+      medcc::analysis::verify_placement(inst, pool, r.placement, r.makespan);
+  EXPECT_TRUE(diag.ok()) << diag.to_string();
   const auto& g = inst.workflow().graph();
   // Precedence.
   for (std::size_t e = 0; e < g.edge_count(); ++e)

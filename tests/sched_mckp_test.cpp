@@ -110,7 +110,9 @@ TEST_P(MckpPropertyTest, BbMatchesDpOnRandomIntegerInstances) {
   const auto dp = solve_mckp_dp(mckp);
   const auto bb = solve_mckp_bb(mckp);
   EXPECT_EQ(dp.feasible, bb.feasible);
-  if (dp.feasible) EXPECT_DOUBLE_EQ(dp.total_profit, bb.total_profit);
+  if (dp.feasible) {
+    EXPECT_DOUBLE_EQ(dp.total_profit, bb.total_profit);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MckpPropertyTest,

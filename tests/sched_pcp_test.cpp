@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "analysis/verify.hpp"
 #include "expr/instance_gen.hpp"
 #include "sched/bounds.hpp"
 #include "sched/deadline.hpp"
@@ -27,6 +28,11 @@ TEST(Pcp, MeetsEveryDeadlineItAccepts) {
   for (double deadline : {5.5, 6.0, 6.77, 8.2, 10.77, 13.0, 16.77, 50.0}) {
     const auto r = pcp_deadline(inst, deadline);
     EXPECT_LE(r.eval.med, deadline + 1e-9) << "deadline " << deadline;
+    medcc::analysis::VerifyOptions vopts;
+    vopts.deadline = deadline;
+    const auto diag =
+        medcc::analysis::verify_schedule(inst, r.schedule, r.eval, vopts);
+    EXPECT_TRUE(diag.ok()) << diag.to_string();
   }
 }
 

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "analysis/verify.hpp"
 #include "expr/instance_gen.hpp"
 #include "sched/bounds.hpp"
 #include "sched/critical_greedy.hpp"
@@ -59,6 +60,9 @@ TEST(VmReuse, BilledUptimeNeverExceedsPerModuleBilling) {
         inst, 0.5 * (bounds.cmin + bounds.cmax));
     const auto plan = plan_vm_reuse(inst, r.schedule);
     EXPECT_LE(plan.billed_cost_uptime, plan.cost_without_reuse + 1e-6);
+    const auto diag =
+        medcc::analysis::verify_reuse_plan(inst, r.schedule, plan);
+    EXPECT_TRUE(diag.ok()) << diag.to_string();
   }
 }
 

@@ -201,10 +201,11 @@ TEST(ExecutorFailures, WorksWithReuseLanes) {
   EXPECT_EQ(report.trace.count(medcc::sim::TraceKind::ModuleDone),
             inst.module_count());
   // Replacement VMs mean more usage records than lanes when crashes hit.
-  if (report.vm_failures > 0)
+  if (report.vm_failures > 0) {
     EXPECT_GT(report.vms.size(),
               medcc::sched::plan_vm_reuse(inst, r.schedule).instances.size() -
                   1);
+  }
 }
 
 }  // namespace

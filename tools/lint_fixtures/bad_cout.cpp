@@ -1,0 +1,11 @@
+// Self-test fixture: raw console output in library code.
+// medcc-lint-expect: cout-in-library
+#include <iostream>
+
+namespace medcc::fixture {
+
+void report_progress(int done, int total) {
+  std::cout << "progress " << done << "/" << total << "\n";
+}
+
+}  // namespace medcc::fixture

@@ -1,0 +1,14 @@
+// Self-test fixture: exact equality on accumulated time/cost doubles.
+// medcc-lint-expect: float-eq
+
+namespace medcc::fixture {
+
+bool schedules_tie(double total_cost_a, double total_cost_b) {
+  return total_cost_a == total_cost_b;
+}
+
+bool hits_deadline(double makespan, double deadline) {
+  return makespan != deadline;
+}
+
+}  // namespace medcc::fixture

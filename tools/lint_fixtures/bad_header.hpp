@@ -1,0 +1,7 @@
+// Self-test fixture: public header without include guard or namespace.
+// medcc-lint-expect: pragma-once
+// medcc-lint-expect: namespace-medcc
+
+struct OrphanConfig {
+  int retries = 3;
+};

@@ -1,0 +1,12 @@
+// Self-test fixture: entropy-seeded RNG makes experiments irreproducible.
+// medcc-lint-expect: raw-rand
+#include <random>
+
+namespace medcc::fixture {
+
+std::mt19937 make_engine() {
+  std::random_device entropy;
+  return std::mt19937(entropy());
+}
+
+}  // namespace medcc::fixture

@@ -1,0 +1,12 @@
+// Self-test fixture: unseeded C RNG in library code.
+// medcc-lint-expect: raw-rand
+#include <cstdlib>
+
+namespace medcc::fixture {
+
+int roll_dice() {
+  srand(42);                       // seeded, but still the global C stream
+  return rand() % 6 + 1;           // non-reproducible across platforms
+}
+
+}  // namespace medcc::fixture

@@ -1,0 +1,19 @@
+// Self-test fixture: idiomatic library code that must produce no
+// findings -- exercises the allow() suppression and the literal-zero
+// exemption of float-eq.
+// medcc-lint-expect: clean
+
+namespace medcc::fixture {
+
+inline bool same_rate_bucket(double cost_rate_a, double cost_rate_b) {
+  // Exact tie-break on copied catalog values, never on arithmetic results.
+  return cost_rate_a == cost_rate_b;  // medcc-lint: allow(float-eq)
+}
+
+inline bool zero_guard(double duration) {
+  return duration == 0.0;  // literal-zero comparisons are always allowed
+}
+
+// A commented-out std::cout << "debug" must not trip cout-in-library.
+
+}  // namespace medcc::fixture
