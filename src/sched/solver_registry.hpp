@@ -1,0 +1,51 @@
+// Named dispatch over the budget-constrained MED-CC schedulers.
+//
+// Every solver that maps (Instance, budget) -> Result is reachable behind
+// one string id, so callers that receive the solver choice as data -- the
+// scheduling service, the CLI, config files -- need no compile-time
+// knowledge of the individual algorithm headers. The built-in table covers
+// Critical-Greedy and its ablation variants, the GAIN/LOSS families, and
+// the two metaheuristics; all entries are deterministic (the GA and the
+// annealer run with their default fixed seeds).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sched/schedule.hpp"
+
+namespace medcc::sched {
+
+/// A budget-constrained solver: throws Infeasible when budget < Cmin.
+using SolverFn = std::function<Result(const Instance&, double budget)>;
+
+/// A string-keyed table of budget-constrained solvers.
+class SolverRegistry {
+public:
+  /// The immutable process-wide registry of built-in solvers:
+  ///   cg, cg-all-modules, cg-ratio, gain1, gain2, gain3, gain-all,
+  ///   loss1, loss2, loss3, genetic, annealing.
+  [[nodiscard]] static const SolverRegistry& built_in();
+
+  /// The solver registered under `name`, or nullptr.
+  [[nodiscard]] const SolverFn* find(std::string_view name) const;
+  [[nodiscard]] bool contains(std::string_view name) const {
+    return find(name) != nullptr;
+  }
+
+  /// Registered ids, ascending.
+  [[nodiscard]] std::vector<std::string> names() const;
+  [[nodiscard]] std::size_t size() const { return solvers_.size(); }
+
+  /// Registers (or replaces) `name`. Callers composing a custom registry
+  /// typically copy built_in() first and add entries on top.
+  void register_solver(std::string name, SolverFn fn);
+
+private:
+  std::map<std::string, SolverFn, std::less<>> solvers_;
+};
+
+}  // namespace medcc::sched

@@ -1,0 +1,119 @@
+#include "service/cache.hpp"
+
+#include <algorithm>
+
+namespace medcc::service {
+
+ResultCache::ResultCache(const Config& config) {
+  MEDCC_EXPECTS(config.capacity > 0);
+  MEDCC_EXPECTS(config.shards > 0);
+  const std::size_t shards = std::min(config.shards, config.capacity);
+  shard_capacity_ = (config.capacity + shards - 1) / shards;
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i)
+    shards_.push_back(std::make_unique<Shard>());
+}
+
+std::optional<CacheHit> ResultCache::find(const FingerprintDetail& fp) {
+  Shard& shard = shard_for(fp.canonical);
+  std::scoped_lock lock(shard.mutex);
+  const auto it = shard.index.find(fp.canonical);
+  if (it == shard.index.end()) return std::nullopt;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  const Entry& entry = *it->second;
+  CacheHit hit;
+  hit.exact = entry.exact == fp.exact;
+  hit.result = entry.result;
+  hit.assignment = entry.assignment;
+  hit.remappable = entry.remappable;
+  return hit;
+}
+
+void ResultCache::insert(const FingerprintDetail& fp,
+                         const sched::Result& result) {
+  Entry entry;
+  entry.key = fp.canonical;
+  entry.exact = fp.exact;
+  entry.result = result;
+  entry.remappable = fp.modules_distinct && fp.types_distinct;
+  if (entry.remappable) {
+    entry.assignment.reserve(fp.module_hash.size());
+    for (std::size_t i = 0; i < fp.module_hash.size(); ++i) {
+      MEDCC_EXPECTS(i < result.schedule.type_of.size());
+      const std::size_t type = result.schedule.type_of[i];
+      MEDCC_EXPECTS(type < fp.type_hash.size());
+      entry.assignment.emplace_back(fp.module_hash[i], fp.type_hash[type]);
+    }
+    std::sort(entry.assignment.begin(), entry.assignment.end());
+  }
+
+  Shard& shard = shard_for(fp.canonical);
+  std::scoped_lock lock(shard.mutex);
+  const auto it = shard.index.find(fp.canonical);
+  if (it != shard.index.end()) {
+    *it->second = std::move(entry);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.push_front(std::move(entry));
+  shard.index[fp.canonical] = shard.lru.begin();
+  ++shard.insertions;
+  while (shard.lru.size() > shard_capacity_) {
+    shard.index.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  Stats total;
+  for (const auto& shard : shards_) {
+    std::scoped_lock lock(shard->mutex);
+    total.insertions += shard->insertions;
+    total.evictions += shard->evictions;
+    total.size += shard->lru.size();
+  }
+  return total;
+}
+
+void ResultCache::clear() {
+  for (auto& shard : shards_) {
+    std::scoped_lock lock(shard->mutex);
+    shard->lru.clear();
+    shard->index.clear();
+  }
+}
+
+std::optional<sched::Schedule> remap_schedule(const CacheHit& hit,
+                                              const FingerprintDetail& fp) {
+  if (!hit.remappable || !fp.modules_distinct || !fp.types_distinct)
+    return std::nullopt;
+  if (hit.assignment.size() != fp.module_hash.size()) return std::nullopt;
+
+  // type hash -> requesting catalog index
+  std::vector<std::pair<std::uint64_t, std::size_t>> types;
+  types.reserve(fp.type_hash.size());
+  for (std::size_t j = 0; j < fp.type_hash.size(); ++j)
+    types.emplace_back(fp.type_hash[j], j);
+  std::sort(types.begin(), types.end());
+
+  sched::Schedule schedule;
+  schedule.type_of.resize(fp.module_hash.size(), 0);
+  for (std::size_t i = 0; i < fp.module_hash.size(); ++i) {
+    const auto label = fp.module_hash[i];
+    const auto it = std::lower_bound(
+        hit.assignment.begin(), hit.assignment.end(), label,
+        [](const auto& pair, std::uint64_t l) { return pair.first < l; });
+    if (it == hit.assignment.end() || it->first != label)
+      return std::nullopt;
+    const auto type_it = std::lower_bound(
+        types.begin(), types.end(), it->second,
+        [](const auto& pair, std::uint64_t t) { return pair.first < t; });
+    if (type_it == types.end() || type_it->first != it->second)
+      return std::nullopt;
+    schedule.type_of[i] = type_it->second;
+  }
+  return schedule;
+}
+
+}  // namespace medcc::service

@@ -1,0 +1,117 @@
+// Sharded LRU result cache keyed by canonical instance fingerprints.
+//
+// Entries are stored under the 128-bit order-independent key, so both
+// verbatim duplicates and permuted duplicates of an earlier request hit.
+// The two kinds are served differently:
+//
+//  * exact hit (the stored order-dependent hash also matches): the stored
+//    Result is returned verbatim -- byte-identical to the fresh solve
+//    that produced it.
+//  * isomorphic hit (canonical key matches, layout differs): the stored
+//    assignment is carried across as {module label -> assigned type hash}
+//    pairs and re-indexed through the requesting instance's own labels.
+//    This is only attempted when every module label and every type hash
+//    is pairwise distinct on BOTH sides: distinct stabilized
+//    Weisfeiler-Lehman labels force a unique label-matching bijection
+//    that preserves the neighbourhood structure the labels encode, so
+//    the re-mapped schedule assigns each module the same type as in the
+//    solved twin. The service additionally re-evaluates the re-mapped
+//    schedule against the requesting instance and falls back to a fresh
+//    solve if it does not fit the budget, so a label collision can cost
+//    performance but never correctness.
+//
+// Sharding: entries are distributed over `shards` independently locked
+// LRU lists by fingerprint, so concurrent workers rarely contend.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "sched/schedule.hpp"
+#include "service/fingerprint.hpp"
+
+namespace medcc::service {
+
+/// A successful cache lookup.
+struct CacheHit {
+  /// The stored solver result (in the *cached* instance's index space;
+  /// only returned verbatim when `exact`).
+  sched::Result result;
+  /// The stored layout matches the request index-for-index.
+  bool exact = false;
+  /// {module label, assigned type hash} sorted by label, for re-mapping.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> assignment;
+  /// The cached side had pairwise-distinct module and type hashes.
+  bool remappable = false;
+};
+
+class ResultCache {
+public:
+  struct Config {
+    /// Total entries across all shards (>= 1 effective per shard).
+    std::size_t capacity = 4096;
+    std::size_t shards = 8;
+  };
+
+  struct Stats {
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+    std::size_t size = 0;
+  };
+
+  explicit ResultCache(const Config& config);
+
+  /// Looks `fp` up and refreshes its LRU position.
+  [[nodiscard]] std::optional<CacheHit> find(const FingerprintDetail& fp);
+
+  /// Stores (or refreshes) the result solved for `fp`, evicting the
+  /// least-recently-used entry of the shard when it is full.
+  void insert(const FingerprintDetail& fp, const sched::Result& result);
+
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] std::size_t capacity() const {
+    return shard_capacity_ * shards_.size();
+  }
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  void clear();
+
+private:
+  struct Entry {
+    Fingerprint key;
+    std::uint64_t exact = 0;
+    sched::Result result;
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> assignment;
+    bool remappable = false;
+  };
+
+  struct Shard {
+    std::mutex mutex;
+    std::list<Entry> lru;  // front == most recent
+    std::unordered_map<Fingerprint, std::list<Entry>::iterator,
+                       FingerprintHash>
+        index;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  [[nodiscard]] Shard& shard_for(const Fingerprint& fp) {
+    return *shards_[fp.hi % shards_.size()];
+  }
+
+  std::size_t shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/// Re-indexes a cached twin's schedule into the requesting instance's
+/// module/type numbering, or nullopt when either side still has symmetric
+/// (equal-label) modules or types, or a label fails to match.
+[[nodiscard]] std::optional<sched::Schedule> remap_schedule(
+    const CacheHit& hit, const FingerprintDetail& fp);
+
+}  // namespace medcc::service

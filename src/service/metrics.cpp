@@ -1,0 +1,224 @@
+#include "service/metrics.hpp"
+
+#include <mutex>
+#include <sstream>
+
+namespace medcc::service {
+
+namespace {
+
+constexpr double kFirstBucket = 1e-6;  // 1 microsecond
+constexpr double kGrowth = 2.0;
+constexpr std::size_t kBuckets = 40;   // up to ~1.1e6 seconds
+
+/// Raises a relaxed atomic maximum.
+void raise_peak(std::atomic<std::int64_t>& peak, std::int64_t value) {
+  std::int64_t seen = peak.load(std::memory_order_relaxed);
+  while (seen < value &&
+         !peak.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+LatencyRecorder::LatencyRecorder()
+    : edges_(util::Histogram::exponential(kFirstBucket, kGrowth, kBuckets)
+                 .edges()),
+      buckets_(kBuckets) {}
+
+void LatencyRecorder::record(double seconds) {
+  std::size_t b = 0;
+  while (b + 1 < buckets_.size() && seconds >= edges_[b + 1]) ++b;
+  buckets_[b].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+util::Histogram LatencyRecorder::snapshot() const {
+  util::Histogram hist(edges_);
+  for (std::size_t b = 0; b < buckets_.size(); ++b)
+    hist.add_bucket(b, buckets_[b].load(std::memory_order_relaxed));
+  return hist;
+}
+
+double MetricsRegistry::Snapshot::cache_hit_rate() const {
+  const std::uint64_t hits = cache_hits_exact + cache_hits_isomorphic;
+  const std::uint64_t seen = hits + cache_misses;
+  if (seen == 0) return 0.0;
+  return static_cast<double>(hits) / static_cast<double>(seen);
+}
+
+void MetricsRegistry::count_request(std::string_view solver) {
+  requests_total_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::shared_lock lock(per_solver_mutex_);
+    const auto it = per_solver_.find(solver);
+    if (it != per_solver_.end()) {
+      it->second->fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+  std::unique_lock lock(per_solver_mutex_);
+  auto& slot = per_solver_[std::string(solver)];
+  if (slot == nullptr)
+    slot = std::make_unique<std::atomic<std::uint64_t>>(0);
+  slot->fetch_add(1, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::count_response(const SchedulingResponse& response) {
+  switch (response.status) {
+    case ResponseStatus::ok:
+      responses_ok_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case ResponseStatus::failed:
+      responses_failed_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case ResponseStatus::rejected:
+      switch (response.reject_reason) {
+        case RejectReason::queue_full:
+          rejected_queue_full_.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case RejectReason::shutting_down:
+          rejected_shutting_down_.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case RejectReason::deadline_expired:
+          rejected_deadline_.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case RejectReason::unknown_solver:
+          rejected_unknown_solver_.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case RejectReason::invalid_request:
+        case RejectReason::none:
+          rejected_invalid_.fetch_add(1, std::memory_order_relaxed);
+          break;
+      }
+      break;
+  }
+  if (response.status == ResponseStatus::ok ||
+      response.status == ResponseStatus::failed) {
+    switch (response.cache) {
+      case CacheOutcome::hit_exact:
+        cache_hits_exact_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case CacheOutcome::hit_isomorphic:
+        cache_hits_isomorphic_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case CacheOutcome::miss:
+        cache_misses_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case CacheOutcome::bypass:
+        cache_bypass_.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
+  }
+}
+
+void MetricsRegistry::queue_entered() {
+  const std::int64_t depth =
+      queue_depth_.fetch_add(1, std::memory_order_relaxed) + 1;
+  raise_peak(queue_depth_peak_, depth);
+}
+
+void MetricsRegistry::queue_left() {
+  queue_depth_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  Snapshot s(queue_delay_.snapshot(), solve_.snapshot(), total_.snapshot());
+  s.requests_total = requests_total_.load(std::memory_order_relaxed);
+  s.responses_ok = responses_ok_.load(std::memory_order_relaxed);
+  s.responses_failed = responses_failed_.load(std::memory_order_relaxed);
+  s.cache_hits_exact = cache_hits_exact_.load(std::memory_order_relaxed);
+  s.cache_hits_isomorphic =
+      cache_hits_isomorphic_.load(std::memory_order_relaxed);
+  s.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  s.cache_bypass = cache_bypass_.load(std::memory_order_relaxed);
+  s.rejected_queue_full = rejected_queue_full_.load(std::memory_order_relaxed);
+  s.rejected_shutting_down =
+      rejected_shutting_down_.load(std::memory_order_relaxed);
+  s.rejected_deadline = rejected_deadline_.load(std::memory_order_relaxed);
+  s.rejected_unknown_solver =
+      rejected_unknown_solver_.load(std::memory_order_relaxed);
+  s.rejected_invalid = rejected_invalid_.load(std::memory_order_relaxed);
+  s.queue_depth = queue_depth_.load(std::memory_order_relaxed);
+  s.queue_depth_peak = queue_depth_peak_.load(std::memory_order_relaxed);
+  {
+    std::shared_lock lock(per_solver_mutex_);
+    for (const auto& [name, counter] : per_solver_)
+      s.per_solver[name] = counter->load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+namespace {
+
+void emit(std::ostringstream& out, bool csv, std::string_view name,
+          double value) {
+  if (csv) {
+    out << name << ',' << value << '\n';
+  } else {
+    out << name << ' ' << value << '\n';
+  }
+}
+
+void emit(std::ostringstream& out, bool csv, std::string_view name,
+          std::uint64_t value) {
+  if (csv) {
+    out << name << ',' << value << '\n';
+  } else {
+    out << name << ' ' << value << '\n';
+  }
+}
+
+void emit_histogram(std::ostringstream& out, bool csv, std::string_view name,
+                    const util::Histogram& hist) {
+  std::ostringstream prefix;
+  prefix << name;
+  const std::string base = prefix.str();
+  emit(out, csv, base + "_count", hist.count());
+  for (const double p : {50.0, 95.0, 99.0}) {
+    std::ostringstream key;
+    key << base << "_p" << static_cast<int>(p);
+    emit(out, csv, key.str(), hist.empty() ? 0.0 : hist.quantile(p));
+  }
+}
+
+std::string render(const MetricsRegistry::Snapshot& s, bool csv) {
+  std::ostringstream out;
+  if (csv) out << "metric,value\n";
+  emit(out, csv, "requests_total", s.requests_total);
+  emit(out, csv, "responses_ok", s.responses_ok);
+  emit(out, csv, "responses_failed", s.responses_failed);
+  emit(out, csv, "cache_hits_exact", s.cache_hits_exact);
+  emit(out, csv, "cache_hits_isomorphic", s.cache_hits_isomorphic);
+  emit(out, csv, "cache_misses", s.cache_misses);
+  emit(out, csv, "cache_bypass", s.cache_bypass);
+  emit(out, csv, "cache_hit_rate", s.cache_hit_rate());
+  emit(out, csv, "rejected_queue_full", s.rejected_queue_full);
+  emit(out, csv, "rejected_shutting_down", s.rejected_shutting_down);
+  emit(out, csv, "rejected_deadline", s.rejected_deadline);
+  emit(out, csv, "rejected_unknown_solver", s.rejected_unknown_solver);
+  emit(out, csv, "rejected_invalid", s.rejected_invalid);
+  emit(out, csv, "queue_depth",
+       static_cast<std::uint64_t>(std::max<std::int64_t>(0, s.queue_depth)));
+  emit(out, csv, "queue_depth_peak",
+       static_cast<std::uint64_t>(
+           std::max<std::int64_t>(0, s.queue_depth_peak)));
+  for (const auto& [name, count] : s.per_solver)
+    emit(out, csv, "requests_solver_" + name, count);
+  emit_histogram(out, csv, "latency_queue_seconds", s.queue_delay);
+  emit_histogram(out, csv, "latency_solve_seconds", s.solve);
+  emit_histogram(out, csv, "latency_total_seconds", s.total);
+  return out.str();
+}
+
+}  // namespace
+
+std::string MetricsRegistry::dump_text() const {
+  return render(snapshot(), /*csv=*/false);
+}
+
+std::string MetricsRegistry::dump_csv() const {
+  return render(snapshot(), /*csv=*/true);
+}
+
+}  // namespace medcc::service

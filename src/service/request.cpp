@@ -1,0 +1,36 @@
+#include "service/request.hpp"
+
+namespace medcc::service {
+
+const char* to_string(ResponseStatus status) {
+  switch (status) {
+    case ResponseStatus::ok: return "ok";
+    case ResponseStatus::rejected: return "rejected";
+    case ResponseStatus::failed: return "failed";
+  }
+  return "unknown";
+}
+
+const char* to_string(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::none: return "none";
+    case RejectReason::queue_full: return "queue_full";
+    case RejectReason::shutting_down: return "shutting_down";
+    case RejectReason::deadline_expired: return "deadline_expired";
+    case RejectReason::unknown_solver: return "unknown_solver";
+    case RejectReason::invalid_request: return "invalid_request";
+  }
+  return "unknown";
+}
+
+const char* to_string(CacheOutcome outcome) {
+  switch (outcome) {
+    case CacheOutcome::bypass: return "bypass";
+    case CacheOutcome::miss: return "miss";
+    case CacheOutcome::hit_exact: return "hit_exact";
+    case CacheOutcome::hit_isomorphic: return "hit_isomorphic";
+  }
+  return "unknown";
+}
+
+}  // namespace medcc::service

@@ -1,0 +1,84 @@
+// The request/response API of the MED-CC scheduling service.
+//
+// One SchedulingRequest names an instance, a budget, and a registered
+// solver; the service answers with a SchedulingResponse that either
+// carries the solver's Result (possibly served from the fingerprint
+// cache) or states precisely why no schedule was produced -- admission
+// rejection, queue-deadline expiry, or a solver error such as an
+// infeasible budget.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "sched/instance.hpp"
+#include "sched/schedule.hpp"
+
+namespace medcc::service {
+
+/// One scheduling call: solve `instance` under `budget` with the solver
+/// registered as `solver`.
+struct SchedulingRequest {
+  /// Shared so duplicate-heavy request streams never copy the instance;
+  /// the service only reads it. Must be non-null.
+  std::shared_ptr<const sched::Instance> instance;
+  double budget = 0.0;
+  /// Id in the service's SolverRegistry ("cg", "gain3", ...).
+  std::string solver = "cg";
+  /// Opaque solver-configuration tag. The service does not interpret it,
+  /// but it participates in the instance fingerprint, so requests that
+  /// expect differently-configured solvers never share cache entries.
+  std::string config;
+  /// Maximum time (milliseconds) the request may wait in the submission
+  /// queue before solving starts; expired requests are answered with
+  /// RejectReason::deadline_expired instead of being solved.
+  /// 0 uses the service default.
+  double deadline_ms = 0.0;
+};
+
+enum class ResponseStatus {
+  ok,        ///< result holds a verified schedule
+  rejected,  ///< admission control or deadline refused the request
+  failed,    ///< the solver threw (e.g. Infeasible); see error
+};
+
+enum class RejectReason {
+  none,
+  queue_full,        ///< bounded submission queue at capacity
+  shutting_down,     ///< service drain/shutdown already started
+  deadline_expired,  ///< spent longer than deadline_ms in the queue
+  unknown_solver,    ///< no such id in the solver registry
+  invalid_request,   ///< null instance or non-finite/negative budget
+};
+
+/// How the response was produced (mirrored into the metrics registry).
+enum class CacheOutcome {
+  bypass,           ///< cache disabled
+  miss,             ///< solved fresh (and inserted)
+  hit_exact,        ///< identical request: stored Result returned verbatim
+  hit_isomorphic,   ///< permuted duplicate: stored schedule remapped
+};
+
+struct SchedulingResponse {
+  ResponseStatus status = ResponseStatus::rejected;
+  RejectReason reject_reason = RejectReason::none;
+  /// Exception text when status == failed.
+  std::string error;
+  /// The schedule and its evaluation; meaningful when status == ok.
+  sched::Result result;
+  CacheOutcome cache = CacheOutcome::bypass;
+  /// Solver id that produced (or would have produced) the result.
+  std::string solver;
+  /// Time spent queued before the worker picked the request up.
+  double queue_delay_ms = 0.0;
+  /// Time spent solving (or fingerprinting + serving the cache hit).
+  double solve_ms = 0.0;
+
+  [[nodiscard]] bool ok() const { return status == ResponseStatus::ok; }
+};
+
+[[nodiscard]] const char* to_string(ResponseStatus status);
+[[nodiscard]] const char* to_string(RejectReason reason);
+[[nodiscard]] const char* to_string(CacheOutcome outcome);
+
+}  // namespace medcc::service

@@ -1,0 +1,207 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "sched/verify_hook.hpp"
+
+namespace medcc::service {
+
+namespace {
+
+double to_ms(std::chrono::steady_clock::duration d) {
+  return std::chrono::duration<double, std::milli>(d).count();
+}
+
+double to_seconds(std::chrono::steady_clock::duration d) {
+  return std::chrono::duration<double>(d).count();
+}
+
+}  // namespace
+
+struct SchedulingService::Ticket {
+  SchedulingRequest request;
+  std::promise<SchedulingResponse> promise;
+  std::chrono::steady_clock::time_point admitted;
+};
+
+SchedulingService::SchedulingService(ServiceConfig config)
+    : config_(std::move(config)),
+      registry_(config_.registry != nullptr ? *config_.registry
+                                            : sched::SolverRegistry::built_in()),
+      clock_(config_.clock != nullptr
+                 ? config_.clock
+                 : [] { return std::chrono::steady_clock::now(); }),
+      pool_(config_.threads) {
+  MEDCC_EXPECTS(config_.queue_capacity > 0);
+  if (config_.cache_capacity > 0) {
+    ResultCache::Config cache_config;
+    cache_config.capacity = config_.cache_capacity;
+    cache_config.shards = std::max<std::size_t>(1, config_.cache_shards);
+    cache_ = std::make_unique<ResultCache>(cache_config);
+  }
+}
+
+SchedulingService::~SchedulingService() { shutdown(); }
+
+std::future<SchedulingResponse> SchedulingService::submit(
+    SchedulingRequest request) {
+  auto ticket = std::make_shared<Ticket>();
+  ticket->request = std::move(request);
+  auto future = ticket->promise.get_future();
+  metrics_.count_request(ticket->request.solver);
+
+  const auto reject = [&](RejectReason reason) {
+    SchedulingResponse response;
+    response.status = ResponseStatus::rejected;
+    response.reject_reason = reason;
+    response.solver = ticket->request.solver;
+    metrics_.count_response(response);
+    ticket->promise.set_value(std::move(response));
+  };
+
+  if (!accepting_.load(std::memory_order_relaxed)) {
+    reject(RejectReason::shutting_down);
+    return future;
+  }
+  if (ticket->request.instance == nullptr ||
+      !std::isfinite(ticket->request.budget) ||
+      ticket->request.budget < 0.0 || ticket->request.deadline_ms < 0.0) {
+    reject(RejectReason::invalid_request);
+    return future;
+  }
+  if (!registry_.contains(ticket->request.solver)) {
+    reject(RejectReason::unknown_solver);
+    return future;
+  }
+
+  // Admission: reserve a queue slot atomically, give it back on overflow.
+  if (pending_.fetch_add(1, std::memory_order_relaxed) >=
+      config_.queue_capacity) {
+    pending_.fetch_sub(1, std::memory_order_relaxed);
+    reject(RejectReason::queue_full);
+    return future;
+  }
+  metrics_.queue_entered();
+  ticket->admitted = clock_();
+
+  const bool submitted = pool_.try_submit([this, ticket] { run(*ticket); });
+  if (!submitted) {
+    pending_.fetch_sub(1, std::memory_order_relaxed);
+    metrics_.queue_left();
+    reject(RejectReason::shutting_down);
+  }
+  return future;
+}
+
+void SchedulingService::run(Ticket& ticket) {
+  const auto started = clock_();
+  pending_.fetch_sub(1, std::memory_order_relaxed);
+  metrics_.queue_left();
+
+  const double queue_delay_ms = to_ms(started - ticket.admitted);
+  SchedulingResponse response;
+  response.solver = ticket.request.solver;
+  response.queue_delay_ms = queue_delay_ms;
+
+  const double deadline_ms = ticket.request.deadline_ms > 0.0
+                                 ? ticket.request.deadline_ms
+                                 : config_.default_deadline_ms;
+  if (deadline_ms > 0.0 && queue_delay_ms > deadline_ms) {
+    response.status = ResponseStatus::rejected;
+    response.reject_reason = RejectReason::deadline_expired;
+  } else {
+    try {
+      SchedulingResponse solved = solve(ticket.request);
+      solved.solver = std::move(response.solver);
+      solved.queue_delay_ms = response.queue_delay_ms;
+      response = std::move(solved);
+    } catch (const std::exception& e) {
+      response.status = ResponseStatus::failed;
+      response.error = e.what();
+    } catch (...) {
+      response.status = ResponseStatus::failed;
+      response.error = "unknown error";
+    }
+  }
+
+  const auto finished = clock_();
+  response.solve_ms = to_ms(finished - started);
+  metrics_.record_queue_delay(to_seconds(started - ticket.admitted));
+  metrics_.record_solve(to_seconds(finished - started));
+  metrics_.record_total(to_seconds(finished - ticket.admitted));
+  metrics_.count_response(response);
+  ticket.promise.set_value(std::move(response));
+}
+
+SchedulingResponse SchedulingService::solve(const SchedulingRequest& request) {
+  const sched::Instance& instance = *request.instance;
+  const sched::SolverFn* solver = registry_.find(request.solver);
+  MEDCC_EXPECTS(solver != nullptr);  // admission already checked
+
+  SchedulingResponse response;
+  response.status = ResponseStatus::ok;
+
+  if (cache_ == nullptr) {
+    response.cache = CacheOutcome::bypass;
+    response.result = (*solver)(instance, request.budget);
+    sched::detail::check_schedule_invariants(
+        instance, response.result.schedule, response.result.eval,
+        request.budget, sched::detail::kUnconstrained, "service");
+    return response;
+  }
+
+  const FingerprintDetail fp = fingerprint(request);
+  if (auto hit = cache_->find(fp)) {
+    if (hit->exact) {
+      response.cache = CacheOutcome::hit_exact;
+      response.result = std::move(hit->result);
+      sched::detail::check_schedule_invariants(
+          instance, response.result.schedule, response.result.eval,
+          request.budget, sched::detail::kUnconstrained, "service-cache");
+      return response;
+    }
+    if (auto remapped = remap_schedule(*hit, fp)) {
+      sched::Result result;
+      result.schedule = std::move(*remapped);
+      result.eval = sched::evaluate(instance, result.schedule);
+      result.iterations = hit->result.iterations;
+      // A stale or colliding entry can only surface as an over-budget
+      // re-mapped schedule; fall through to a fresh solve in that case.
+      const double slack =
+          1e-9 * std::max(1.0, std::abs(request.budget));
+      if (result.eval.cost <= request.budget + slack) {
+        response.cache = CacheOutcome::hit_isomorphic;
+        response.result = std::move(result);
+        sched::detail::check_schedule_invariants(
+            instance, response.result.schedule, response.result.eval,
+            request.budget, sched::detail::kUnconstrained, "service-cache");
+        return response;
+      }
+    }
+  }
+
+  response.cache = CacheOutcome::miss;
+  response.result = (*solver)(instance, request.budget);
+  sched::detail::check_schedule_invariants(
+      instance, response.result.schedule, response.result.eval,
+      request.budget, sched::detail::kUnconstrained, "service");
+  cache_->insert(fp, response.result);
+  return response;
+}
+
+void SchedulingService::drain() { pool_.wait_idle(); }
+
+void SchedulingService::shutdown() {
+  accepting_.store(false, std::memory_order_relaxed);
+  pool_.request_stop();
+  pool_.wait_idle();
+}
+
+ResultCache::Stats SchedulingService::cache_stats() const {
+  if (cache_ == nullptr) return {};
+  return cache_->stats();
+}
+
+}  // namespace medcc::service

@@ -1,0 +1,95 @@
+// The concurrent MED-CC scheduling service: one entry point that turns
+// the library's one-shot solvers into an overload-safe, observable,
+// memoized request path.
+//
+// Request lifecycle:
+//   submit() -> admission control (bounded queue; reject queue_full /
+//   shutting_down / unknown_solver / invalid_request with an immediately
+//   resolved future) -> worker picks the request up (queue-deadline
+//   check) -> fingerprint -> result cache (exact or isomorphic hit) or
+//   registry solve -> invariant verification (MEDCC_CHECK_INVARIANTS
+//   builds) -> response + metrics.
+//
+// Responses are futures so callers overlap requests freely; rejected
+// requests resolve without touching a worker. drain() waits for every
+// admitted request; shutdown() additionally stops admission, and the
+// destructor performs it implicitly. All entry points are thread-safe.
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <future>
+#include <memory>
+
+#include "sched/solver_registry.hpp"
+#include "service/cache.hpp"
+#include "service/metrics.hpp"
+#include "service/request.hpp"
+#include "util/thread_pool.hpp"
+
+namespace medcc::service {
+
+struct ServiceConfig {
+  /// Worker threads; 0 = hardware concurrency.
+  std::size_t threads = 0;
+  /// Maximum admitted-but-not-yet-solving requests; submissions beyond
+  /// it are rejected with RejectReason::queue_full.
+  std::size_t queue_capacity = 256;
+  /// Result-cache entries across all shards; 0 disables memoization.
+  std::size_t cache_capacity = 4096;
+  std::size_t cache_shards = 8;
+  /// Queue deadline applied when a request does not set its own;
+  /// 0 = requests wait indefinitely.
+  double default_deadline_ms = 0.0;
+  /// Injectable time source (tests freeze it); default steady_clock.
+  std::function<std::chrono::steady_clock::time_point()> clock{};
+  /// Solver table; nullptr = sched::SolverRegistry::built_in().
+  const sched::SolverRegistry* registry = nullptr;
+};
+
+class SchedulingService {
+public:
+  explicit SchedulingService(ServiceConfig config = {});
+  ~SchedulingService();
+
+  SchedulingService(const SchedulingService&) = delete;
+  SchedulingService& operator=(const SchedulingService&) = delete;
+
+  /// Submits one request. Always returns a valid future: admission
+  /// rejections resolve it immediately with status == rejected.
+  [[nodiscard]] std::future<SchedulingResponse> submit(
+      SchedulingRequest request);
+
+  /// Blocks until every admitted request has been answered.
+  void drain();
+
+  /// Stops admission (new submits resolve shutting_down), drains the
+  /// queue, and parks the workers. Idempotent.
+  void shutdown();
+
+  [[nodiscard]] const MetricsRegistry& metrics() const { return metrics_; }
+  [[nodiscard]] bool cache_enabled() const { return cache_ != nullptr; }
+  /// Cache occupancy counters; zeros when the cache is disabled.
+  [[nodiscard]] ResultCache::Stats cache_stats() const;
+  [[nodiscard]] std::size_t thread_count() const {
+    return pool_.thread_count();
+  }
+
+private:
+  struct Ticket;  // one admitted request's state
+
+  void run(Ticket& ticket);
+  [[nodiscard]] SchedulingResponse solve(const SchedulingRequest& request);
+
+  ServiceConfig config_;
+  const sched::SolverRegistry& registry_;
+  std::function<std::chrono::steady_clock::time_point()> clock_;
+  MetricsRegistry metrics_;
+  std::unique_ptr<ResultCache> cache_;
+  std::atomic<bool> accepting_{true};
+  /// Admitted-but-not-yet-running requests (the bounded queue).
+  std::atomic<std::size_t> pending_{0};
+  util::ThreadPool pool_;  // last member: destroyed (joined) first
+};
+
+}  // namespace medcc::service

@@ -103,4 +103,105 @@ std::vector<std::size_t> histogram(std::span<const double> xs, double lo,
   return counts;
 }
 
+Histogram::Histogram(std::vector<double> edges) : edges_(std::move(edges)) {
+  MEDCC_EXPECTS(edges_.size() >= 2);
+  for (std::size_t i = 1; i < edges_.size(); ++i)
+    MEDCC_EXPECTS(edges_[i - 1] < edges_[i]);
+  counts_.assign(edges_.size() - 1, 0);
+}
+
+Histogram Histogram::uniform(double lo, double hi, std::size_t bins) {
+  MEDCC_EXPECTS(bins > 0);
+  MEDCC_EXPECTS(lo < hi);
+  std::vector<double> edges(bins + 1);
+  const double width = (hi - lo) / static_cast<double>(bins);
+  for (std::size_t i = 0; i <= bins; ++i)
+    edges[i] = lo + width * static_cast<double>(i);
+  edges.back() = hi;  // exact upper edge despite fp accumulation
+  return Histogram(std::move(edges));
+}
+
+Histogram Histogram::exponential(double lo, double growth, std::size_t bins) {
+  MEDCC_EXPECTS(bins > 0);
+  MEDCC_EXPECTS(lo > 0.0);
+  MEDCC_EXPECTS(growth > 1.0);
+  std::vector<double> edges(bins + 1);
+  double edge = lo;
+  for (std::size_t i = 0; i <= bins; ++i, edge *= growth) edges[i] = edge;
+  return Histogram(std::move(edges));
+}
+
+void Histogram::add(double x) {
+  std::size_t b = 0;
+  while (b + 1 < counts_.size() && x >= edges_[b + 1]) ++b;
+  ++counts_[b];
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+}
+
+void Histogram::add_bucket(std::size_t b, std::uint64_t n) {
+  MEDCC_EXPECTS(b < counts_.size());
+  if (n == 0) return;
+  counts_[b] += n;
+  if (count_ == 0) {
+    min_ = edges_[b];
+    max_ = edges_[b + 1];
+  } else {
+    min_ = std::min(min_, edges_[b]);
+    max_ = std::max(max_, edges_[b + 1]);
+  }
+  count_ += n;
+}
+
+double Histogram::min() const {
+  MEDCC_EXPECTS(count_ > 0);
+  return min_;
+}
+
+double Histogram::max() const {
+  MEDCC_EXPECTS(count_ > 0);
+  return max_;
+}
+
+double Histogram::quantile(double p) const {
+  MEDCC_EXPECTS(count_ > 0);
+  MEDCC_EXPECTS(p >= 0.0 && p <= 100.0);
+  const double rank = p / 100.0 * static_cast<double>(count_ - 1);
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const std::uint64_t n = counts_[b];
+    if (n == 0) continue;
+    if (rank <= static_cast<double>(cum + n - 1)) {
+      const double lo = edges_[b];
+      const double hi = edges_[b + 1];
+      const double within = rank - static_cast<double>(cum) + 0.5;
+      const double estimate =
+          lo + (hi - lo) * within / static_cast<double>(n);
+      return std::clamp(estimate, min_, max_);
+    }
+    cum += n;
+  }
+  return max_;  // rank == count-1 in the last non-empty bucket
+}
+
+void Histogram::merge(const Histogram& other) {
+  MEDCC_EXPECTS(edges_ == other.edges_);
+  if (other.count_ == 0) return;
+  for (std::size_t b = 0; b < counts_.size(); ++b)
+    counts_[b] += other.counts_[b];
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+}
+
 }  // namespace medcc::util

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -54,5 +55,61 @@ private:
 [[nodiscard]] std::vector<std::size_t> histogram(std::span<const double> xs,
                                                  double lo, double hi,
                                                  std::size_t bins);
+
+/// Fixed-bucket histogram with quantile estimation, the accumulator
+/// behind the service metrics registry's latency percentiles.
+///
+/// `edges` (strictly increasing, >= 2 entries) define bucket b as
+/// [edges[b], edges[b+1]); samples outside [edges.front(), edges.back()]
+/// are clamped into the edge buckets, matching the free histogram()
+/// above. quantile() uses the mid-point-rank estimator: with rank
+/// r = p/100 * (count-1) falling into bucket b after `cum` earlier
+/// samples, the estimate is
+///   edges[b] + (edges[b+1]-edges[b]) * (r - cum + 0.5) / n_b,
+/// clamped into the observed [min, max] so a single-sample histogram
+/// returns that sample exactly for every p.
+class Histogram {
+public:
+  explicit Histogram(std::vector<double> edges);
+
+  /// `bins` equal-width buckets spanning [lo, hi].
+  [[nodiscard]] static Histogram uniform(double lo, double hi,
+                                         std::size_t bins);
+  /// `bins` buckets with exponentially growing edges lo * growth^i
+  /// (growth > 1) -- the natural shape for latency distributions.
+  [[nodiscard]] static Histogram exponential(double lo, double growth,
+                                             std::size_t bins);
+
+  void add(double x);
+  /// Adds `n` samples attributed to bucket `b` (bulk fill when
+  /// snapshotting external atomic counters); the observed range is
+  /// widened to the bucket's edges.
+  void add_bucket(std::size_t b, std::uint64_t n);
+
+  [[nodiscard]] std::size_t bucket_count() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bucket(std::size_t b) const {
+    MEDCC_EXPECTS(b < counts_.size());
+    return counts_[b];
+  }
+  [[nodiscard]] const std::vector<double>& edges() const { return edges_; }
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+  /// Estimated p-th percentile, p in [0,100]; throws on an empty
+  /// histogram (see the class comment for the estimator).
+  [[nodiscard]] double quantile(double p) const;
+
+  /// Merges another histogram with identical edges (parallel reduction).
+  void merge(const Histogram& other);
+
+private:
+  std::vector<double> edges_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
 
 }  // namespace medcc::util

@@ -16,11 +16,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 }
 
 ThreadPool::~ThreadPool() {
-  {
-    std::scoped_lock lock(mutex_);
-    stopping_ = true;
-  }
-  wake_.notify_all();
+  request_stop();
   for (auto& worker : workers_) worker.join();
 }
 
@@ -28,10 +24,33 @@ void ThreadPool::submit(std::function<void()> task) {
   MEDCC_EXPECTS(task != nullptr);
   {
     std::scoped_lock lock(mutex_);
-    MEDCC_EXPECTS(!stopping_);
+    MEDCC_EXPECTS(!stopping_.load(std::memory_order_relaxed));
     queue_.push_back(std::move(task));
   }
   wake_.notify_one();
+}
+
+bool ThreadPool::try_submit(std::function<void()> task) {
+  MEDCC_EXPECTS(task != nullptr);
+  {
+    std::scoped_lock lock(mutex_);
+    if (stopping_.load(std::memory_order_relaxed)) return false;
+    queue_.push_back(std::move(task));
+  }
+  wake_.notify_one();
+  return true;
+}
+
+void ThreadPool::request_stop() {
+  {
+    std::scoped_lock lock(mutex_);
+    stopping_.store(true, std::memory_order_relaxed);
+  }
+  wake_.notify_all();
+}
+
+bool ThreadPool::stop_requested() const {
+  return stopping_.load(std::memory_order_relaxed);
 }
 
 void ThreadPool::wait_idle() {

@@ -7,6 +7,7 @@
 // so the schedule of workers never affects the numbers.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -33,7 +34,24 @@ public:
   [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
 
   /// Enqueues a task for asynchronous execution.
+  /// Precondition: request_stop() has not been called (throws LogicError
+  /// otherwise); use try_submit when submission races with shutdown.
   void submit(std::function<void()> task);
+
+  /// Non-blocking submission path for admission control: enqueues `task`
+  /// and returns true, or returns false -- without blocking, throwing, or
+  /// enqueuing -- once request_stop() has been called. Services draining
+  /// during shutdown therefore never deadlock on a rejected submit.
+  [[nodiscard]] bool try_submit(std::function<void()> task);
+
+  /// Initiates shutdown: submit() starts throwing and try_submit()
+  /// returning false. Tasks already queued still run to completion
+  /// (drain with wait_idle(); the destructor joins the workers).
+  /// Idempotent and safe to call from any thread, including a worker.
+  void request_stop();
+
+  /// True once request_stop() (or destruction) has begun.
+  [[nodiscard]] bool stop_requested() const;
 
   /// Blocks until every submitted task has finished.
   /// Rethrows the first exception raised by any task, if there was one.
@@ -48,7 +66,9 @@ private:
   std::deque<std::function<void()>> queue_;
   std::vector<std::thread> workers_;
   std::size_t in_flight_ = 0;
-  bool stopping_ = false;
+  /// Written under mutex_ (so the condition variables stay race-free) but
+  /// atomic so stop_requested() can poll without taking the lock.
+  std::atomic<bool> stopping_{false};
   std::exception_ptr first_error_;
 };
 

@@ -1,0 +1,422 @@
+// End-to-end behaviour of the SchedulingService: solving through the
+// registry, cache hit/miss accounting, byte-identical cached responses,
+// bounded-queue rejection, deadline expiry under a frozen clock,
+// rejection taxonomy, and metrics dumps.
+#include "service/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <latch>
+#include <limits>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/verify.hpp"
+#include "cloud/vm_type.hpp"
+#include "sched/critical_greedy.hpp"
+#include "sched/instance.hpp"
+#include "sched/solver_registry.hpp"
+#include "workflow/patterns.hpp"
+#include "workflow/workflow.hpp"
+
+namespace {
+
+using medcc::cloud::VmCatalog;
+using medcc::cloud::VmType;
+using medcc::sched::Instance;
+using medcc::service::CacheOutcome;
+using medcc::service::RejectReason;
+using medcc::service::ResponseStatus;
+using medcc::service::SchedulingRequest;
+using medcc::service::SchedulingResponse;
+using medcc::service::SchedulingService;
+using medcc::service::ServiceConfig;
+using medcc::workflow::Workflow;
+
+VmCatalog catalog() {
+  return VmCatalog({VmType{"small", 3.0, 1.0}, VmType{"medium", 15.0, 4.0},
+                    VmType{"large", 30.0, 8.0}});
+}
+
+// The paper's Fig. 2 example (entry, w1..w6, exit).
+std::shared_ptr<const Instance> example_instance() {
+  return std::make_shared<const Instance>(
+      Instance::from_model(medcc::workflow::example6(), catalog()));
+}
+
+// An asymmetric diamond and its module/catalog-permuted twin.
+std::shared_ptr<const Instance> diamond(bool permuted) {
+  Workflow wf;
+  if (permuted) {
+    const auto c = wf.add_module("c", 75.0);
+    const auto exit = wf.add_fixed_module("exit", 1.0);
+    const auto a = wf.add_module("a", 30.0);
+    const auto entry = wf.add_fixed_module("entry", 1.0);
+    const auto b = wf.add_module("b", 45.0);
+    wf.add_dependency(c, exit, 6.0);
+    wf.add_dependency(b, exit, 5.0);
+    wf.add_dependency(entry, a, 2.0);
+    wf.add_dependency(a, c, 4.0);
+    wf.add_dependency(a, b, 3.0);
+    return std::make_shared<const Instance>(Instance::from_model(
+        std::move(wf), VmCatalog({VmType{"large", 30.0, 8.0},
+                                  VmType{"small", 3.0, 1.0},
+                                  VmType{"medium", 15.0, 4.0}})));
+  }
+  const auto entry = wf.add_fixed_module("entry", 1.0);
+  const auto a = wf.add_module("a", 30.0);
+  const auto b = wf.add_module("b", 45.0);
+  const auto c = wf.add_module("c", 75.0);
+  const auto exit = wf.add_fixed_module("exit", 1.0);
+  wf.add_dependency(entry, a, 2.0);
+  wf.add_dependency(a, b, 3.0);
+  wf.add_dependency(a, c, 4.0);
+  wf.add_dependency(b, exit, 5.0);
+  wf.add_dependency(c, exit, 6.0);
+  return std::make_shared<const Instance>(
+      Instance::from_model(std::move(wf), catalog()));
+}
+
+SchedulingRequest request_for(std::shared_ptr<const Instance> inst,
+                              double budget, std::string solver = "cg") {
+  SchedulingRequest req;
+  req.instance = std::move(inst);
+  req.budget = budget;
+  req.solver = std::move(solver);
+  return req;
+}
+
+// Bit-level equality for doubles without a floating-point comparison.
+void expect_bits_equal(double a, double b) {
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a), std::bit_cast<std::uint64_t>(b));
+}
+
+void expect_identical(const medcc::sched::Result& a,
+                      const medcc::sched::Result& b) {
+  EXPECT_EQ(a.schedule, b.schedule);
+  EXPECT_EQ(a.iterations, b.iterations);
+  expect_bits_equal(a.eval.med, b.eval.med);
+  expect_bits_equal(a.eval.cost, b.eval.cost);
+}
+
+TEST(Service, SolvesMatchingDirectSolverCall) {
+  const auto inst = example_instance();
+  SchedulingService service({.threads = 2});
+  auto response = service.submit(request_for(inst, 57.0)).get();
+  ASSERT_TRUE(response.ok()) << response.error;
+  EXPECT_EQ(response.cache, CacheOutcome::miss);
+  EXPECT_EQ(response.solver, "cg");
+
+  const auto direct = medcc::sched::critical_greedy(*inst, 57.0);
+  expect_identical(response.result, direct);
+
+  medcc::analysis::VerifyOptions vopts;
+  vopts.budget = 57.0;
+  EXPECT_TRUE(medcc::analysis::verify_schedule(*inst, response.result.schedule,
+                                               response.result.eval, vopts)
+                  .ok());
+}
+
+TEST(Service, ExactDuplicateIsByteIdenticalCacheHit) {
+  const auto inst = example_instance();
+  SchedulingService service({.threads = 2});
+  const auto first = service.submit(request_for(inst, 57.0)).get();
+  ASSERT_TRUE(first.ok());
+  ASSERT_EQ(first.cache, CacheOutcome::miss);
+
+  const auto second = service.submit(request_for(inst, 57.0)).get();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.cache, CacheOutcome::hit_exact);
+  expect_identical(second.result, first.result);
+
+  const auto snap = service.metrics().snapshot();
+  EXPECT_EQ(snap.cache_misses, 1u);
+  EXPECT_EQ(snap.cache_hits_exact, 1u);
+  EXPECT_DOUBLE_EQ(snap.cache_hit_rate(), 0.5);
+}
+
+TEST(Service, PermutedDuplicateServedIsomorphically) {
+  SchedulingService service({.threads = 1});
+  const auto solved = service.submit(request_for(diamond(false), 50.0)).get();
+  ASSERT_TRUE(solved.ok());
+  ASSERT_EQ(solved.cache, CacheOutcome::miss);
+
+  const auto twin_inst = diamond(true);
+  const auto twin = service.submit(request_for(twin_inst, 50.0)).get();
+  ASSERT_TRUE(twin.ok());
+  EXPECT_EQ(twin.cache, CacheOutcome::hit_isomorphic);
+  // Same problem, so the re-mapped schedule must reproduce the same
+  // delay and cost, and be feasible against the twin instance.
+  EXPECT_DOUBLE_EQ(twin.result.eval.med, solved.result.eval.med);
+  EXPECT_DOUBLE_EQ(twin.result.eval.cost, solved.result.eval.cost);
+  EXPECT_EQ(twin.result.iterations, solved.result.iterations);
+
+  medcc::analysis::VerifyOptions vopts;
+  vopts.budget = 50.0;
+  EXPECT_TRUE(medcc::analysis::verify_schedule(*twin_inst,
+                                               twin.result.schedule,
+                                               twin.result.eval, vopts)
+                  .ok());
+  EXPECT_EQ(service.metrics().snapshot().cache_hits_isomorphic, 1u);
+}
+
+TEST(Service, CacheDisabledBypasses) {
+  SchedulingService service({.threads = 1, .cache_capacity = 0});
+  EXPECT_FALSE(service.cache_enabled());
+  const auto inst = example_instance();
+  for (int i = 0; i < 2; ++i) {
+    const auto response = service.submit(request_for(inst, 57.0)).get();
+    ASSERT_TRUE(response.ok());
+    EXPECT_EQ(response.cache, CacheOutcome::bypass);
+  }
+  const auto snap = service.metrics().snapshot();
+  EXPECT_EQ(snap.cache_bypass, 2u);
+  EXPECT_DOUBLE_EQ(snap.cache_hit_rate(), 0.0);
+}
+
+TEST(Service, DistinctBudgetsDoNotShareEntries) {
+  SchedulingService service({.threads = 1});
+  const auto inst = example_instance();
+  // The tightest feasible budget: every computing module on the
+  // cheapest-rate type.
+  medcc::sched::Schedule cheapest;
+  cheapest.type_of.assign(inst->module_count(),
+                          inst->catalog().cheapest_rate_index());
+  const double cmin = medcc::sched::total_cost(*inst, cheapest);
+  const auto cheap = service.submit(request_for(inst, cmin)).get();
+  const auto rich = service.submit(request_for(inst, 4.0 * cmin)).get();
+  ASSERT_TRUE(cheap.ok()) << cheap.error;
+  ASSERT_TRUE(rich.ok()) << rich.error;
+  EXPECT_EQ(cheap.cache, CacheOutcome::miss);
+  EXPECT_EQ(rich.cache, CacheOutcome::miss);
+  EXPECT_LE(cheap.result.eval.cost, cmin + 1e-9);
+  EXPECT_GE(rich.result.eval.med + 1e-9, 0.0);
+  EXPECT_LE(rich.result.eval.med, cheap.result.eval.med + 1e-9);
+}
+
+TEST(Service, UnknownSolverRejectedImmediately) {
+  SchedulingService service({.threads = 1});
+  const auto response =
+      service.submit(request_for(example_instance(), 57.0, "no-such-solver"))
+          .get();
+  EXPECT_EQ(response.status, ResponseStatus::rejected);
+  EXPECT_EQ(response.reject_reason, RejectReason::unknown_solver);
+  EXPECT_EQ(service.metrics().snapshot().rejected_unknown_solver, 1u);
+}
+
+TEST(Service, InvalidRequestsRejected) {
+  SchedulingService service({.threads = 1});
+  SchedulingRequest null_instance;
+  null_instance.budget = 57.0;
+  EXPECT_EQ(service.submit(std::move(null_instance)).get().reject_reason,
+            RejectReason::invalid_request);
+
+  auto negative_budget = request_for(example_instance(), -1.0);
+  EXPECT_EQ(service.submit(std::move(negative_budget)).get().reject_reason,
+            RejectReason::invalid_request);
+
+  auto nan_budget = request_for(example_instance(),
+                                std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(service.submit(std::move(nan_budget)).get().reject_reason,
+            RejectReason::invalid_request);
+
+  auto negative_deadline = request_for(example_instance(), 57.0);
+  negative_deadline.deadline_ms = -5.0;
+  EXPECT_EQ(service.submit(std::move(negative_deadline)).get().reject_reason,
+            RejectReason::invalid_request);
+  EXPECT_EQ(service.metrics().snapshot().rejected_invalid, 4u);
+}
+
+TEST(Service, InfeasibleBudgetFailsWithSolverError) {
+  SchedulingService service({.threads = 1});
+  const auto response =
+      service.submit(request_for(example_instance(), 1.0)).get();
+  EXPECT_EQ(response.status, ResponseStatus::failed);
+  EXPECT_FALSE(response.error.empty());
+  EXPECT_EQ(service.metrics().snapshot().responses_failed, 1u);
+}
+
+TEST(Service, ShutdownRejectsNewSubmissions) {
+  SchedulingService service({.threads = 1});
+  service.shutdown();
+  const auto response =
+      service.submit(request_for(example_instance(), 57.0)).get();
+  EXPECT_EQ(response.status, ResponseStatus::rejected);
+  EXPECT_EQ(response.reject_reason, RejectReason::shutting_down);
+  service.shutdown();  // idempotent
+}
+
+// A registry whose "block" solver parks on a latch, for queue tests.
+class BlockingRegistryFixture {
+public:
+  BlockingRegistryFixture() {
+    registry_.register_solver(
+        "block", [this](const Instance& inst, double budget) {
+          started_.count_down();
+          release_future_.wait();
+          return medcc::sched::critical_greedy(inst, budget);
+        });
+    for (const auto& name : medcc::sched::SolverRegistry::built_in().names())
+      registry_.register_solver(
+          std::string(name),
+          *medcc::sched::SolverRegistry::built_in().find(name));
+  }
+
+  void wait_until_blocked() { started_.wait(); }
+  void release() { release_.set_value(); }
+  [[nodiscard]] const medcc::sched::SolverRegistry& registry() const {
+    return registry_;
+  }
+
+private:
+  std::latch started_{1};
+  std::promise<void> release_;
+  std::shared_future<void> release_future_{release_.get_future().share()};
+  medcc::sched::SolverRegistry registry_;
+};
+
+TEST(Service, BoundedQueueRejectsWhenFull) {
+  BlockingRegistryFixture fixture;
+  ServiceConfig config;
+  config.threads = 1;
+  config.queue_capacity = 2;
+  config.registry = &fixture.registry();
+  SchedulingService service(std::move(config));
+
+  // Occupy the single worker, then fill the two queue slots.
+  auto blocked =
+      service.submit(request_for(example_instance(), 57.0, "block"));
+  fixture.wait_until_blocked();
+  std::vector<std::future<SchedulingResponse>> queued;
+  queued.push_back(service.submit(request_for(example_instance(), 57.0)));
+  queued.push_back(service.submit(request_for(example_instance(), 57.0)));
+
+  // The queue is full now: further submissions bounce without blocking.
+  const auto bounced =
+      service.submit(request_for(example_instance(), 57.0)).get();
+  EXPECT_EQ(bounced.status, ResponseStatus::rejected);
+  EXPECT_EQ(bounced.reject_reason, RejectReason::queue_full);
+
+  fixture.release();
+  EXPECT_TRUE(blocked.get().ok());
+  for (auto& f : queued) EXPECT_TRUE(f.get().ok());
+  const auto snap = service.metrics().snapshot();
+  EXPECT_EQ(snap.rejected_queue_full, 1u);
+  EXPECT_EQ(snap.queue_depth, 0);
+  EXPECT_GE(snap.queue_depth_peak, 2);
+}
+
+TEST(Service, DeadlineExpiryUnderFrozenClock) {
+  BlockingRegistryFixture fixture;
+  std::atomic<std::int64_t> now_ns{0};
+  ServiceConfig config;
+  config.threads = 1;
+  config.registry = &fixture.registry();
+  config.clock = [&now_ns] {
+    return std::chrono::steady_clock::time_point(
+        std::chrono::nanoseconds(now_ns.load()));
+  };
+  SchedulingService service(std::move(config));
+
+  auto blocked =
+      service.submit(request_for(example_instance(), 57.0, "block"));
+  fixture.wait_until_blocked();
+
+  auto tight = request_for(example_instance(), 57.0);
+  tight.deadline_ms = 5.0;
+  auto tight_future = service.submit(std::move(tight));
+
+  auto loose = request_for(example_instance(), 57.0);
+  loose.deadline_ms = 50.0;
+  auto loose_future = service.submit(std::move(loose));
+
+  // 10 ms pass while both requests sit behind the blocked worker.
+  now_ns.store(10'000'000);
+  fixture.release();
+  EXPECT_TRUE(blocked.get().ok());
+
+  const auto expired = tight_future.get();
+  EXPECT_EQ(expired.status, ResponseStatus::rejected);
+  EXPECT_EQ(expired.reject_reason, RejectReason::deadline_expired);
+  EXPECT_GE(expired.queue_delay_ms, 10.0);
+
+  const auto served = loose_future.get();
+  EXPECT_TRUE(served.ok());
+  EXPECT_EQ(service.metrics().snapshot().rejected_deadline, 1u);
+}
+
+TEST(Service, DefaultDeadlineAppliesWhenRequestHasNone) {
+  BlockingRegistryFixture fixture;
+  std::atomic<std::int64_t> now_ns{0};
+  ServiceConfig config;
+  config.threads = 1;
+  config.default_deadline_ms = 5.0;
+  config.registry = &fixture.registry();
+  config.clock = [&now_ns] {
+    return std::chrono::steady_clock::time_point(
+        std::chrono::nanoseconds(now_ns.load()));
+  };
+  SchedulingService service(std::move(config));
+
+  auto blocked =
+      service.submit(request_for(example_instance(), 57.0, "block"));
+  fixture.wait_until_blocked();
+  auto queued = service.submit(request_for(example_instance(), 57.0));
+  now_ns.store(10'000'000);
+  fixture.release();
+  EXPECT_TRUE(blocked.get().ok());
+  EXPECT_EQ(queued.get().reject_reason, RejectReason::deadline_expired);
+}
+
+TEST(Service, MetricsDumpContainsKeyLines) {
+  SchedulingService service({.threads = 1});
+  (void)service.submit(request_for(example_instance(), 57.0)).get();
+  (void)service.submit(request_for(example_instance(), 57.0)).get();
+
+  const auto text = service.metrics().dump_text();
+  EXPECT_NE(text.find("requests_total 2"), std::string::npos);
+  EXPECT_NE(text.find("cache_hit_rate"), std::string::npos);
+  EXPECT_NE(text.find("requests_solver_cg 2"), std::string::npos);
+  EXPECT_NE(text.find("latency_total_seconds_p95"), std::string::npos);
+
+  const auto csv = service.metrics().dump_csv();
+  EXPECT_EQ(csv.rfind("metric,value\n", 0), 0u);
+  EXPECT_NE(csv.find("responses_ok,2"), std::string::npos);
+}
+
+TEST(Service, PerSolverCountsTracked) {
+  SchedulingService service({.threads = 1});
+  (void)service.submit(request_for(example_instance(), 57.0, "cg")).get();
+  (void)service.submit(request_for(example_instance(), 57.0, "gain3")).get();
+  (void)service.submit(request_for(example_instance(), 57.0, "gain3")).get();
+  const auto snap = service.metrics().snapshot();
+  ASSERT_TRUE(snap.per_solver.contains("cg"));
+  ASSERT_TRUE(snap.per_solver.contains("gain3"));
+  EXPECT_EQ(snap.per_solver.at("cg"), 1u);
+  EXPECT_EQ(snap.per_solver.at("gain3"), 2u);
+}
+
+TEST(Service, EverySolverInRegistryServes) {
+  SchedulingService service({.threads = 2});
+  const auto inst = example_instance();
+  std::vector<std::future<SchedulingResponse>> futures;
+  const auto names = medcc::sched::SolverRegistry::built_in().names();
+  futures.reserve(names.size());
+  for (const auto& name : names)
+    futures.push_back(service.submit(request_for(inst, 57.0, name)));
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const auto response = futures[i].get();
+    EXPECT_TRUE(response.ok())
+        << names[i] << ": " << response.error;
+    EXPECT_LE(response.result.eval.cost, 57.0 + 1e-9) << names[i];
+  }
+}
+
+}  // namespace

@@ -118,6 +118,114 @@ TEST(Histogram, RejectsBadArguments) {
                medcc::LogicError);
 }
 
+using medcc::util::Histogram;
+
+TEST(HistogramClass, RejectsBadEdges) {
+  EXPECT_THROW(Histogram({1.0}), medcc::LogicError);           // < 2 edges
+  EXPECT_THROW(Histogram({1.0, 1.0}), medcc::LogicError);      // not increasing
+  EXPECT_THROW(Histogram({1.0, 2.0, 1.5}), medcc::LogicError);
+  EXPECT_THROW(Histogram::uniform(1.0, 0.0, 4), medcc::LogicError);
+  EXPECT_THROW(Histogram::uniform(0.0, 1.0, 0), medcc::LogicError);
+  EXPECT_THROW(Histogram::exponential(0.0, 2.0, 4), medcc::LogicError);
+  EXPECT_THROW(Histogram::exponential(1.0, 1.0, 4), medcc::LogicError);
+}
+
+TEST(HistogramClass, EmptyQuantileThrows) {
+  Histogram h({0.0, 1.0});
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_THROW((void)h.quantile(50.0), medcc::LogicError);
+  EXPECT_THROW((void)h.min(), medcc::LogicError);
+  EXPECT_THROW((void)h.max(), medcc::LogicError);
+}
+
+TEST(HistogramClass, SingleSampleIsExactForEveryPercentile) {
+  Histogram h = Histogram::uniform(0.0, 100.0, 10);
+  h.add(37.5);
+  for (const double p : {0.0, 25.0, 50.0, 99.0, 100.0})
+    EXPECT_DOUBLE_EQ(h.quantile(p), 37.5);
+  EXPECT_DOUBLE_EQ(h.min(), 37.5);
+  EXPECT_DOUBLE_EQ(h.max(), 37.5);
+}
+
+TEST(HistogramClass, MidpointRankInterpolation) {
+  // Two samples in one [0,10) bucket: rank(p=25) = 0.25, estimate
+  // 0 + 10*(0.25+0.5)/2 = 3.75 (documented mid-point-rank formula).
+  Histogram h({0.0, 10.0});
+  h.add(0.0);
+  h.add(10.0);  // clamped into the single bucket
+  EXPECT_DOUBLE_EQ(h.quantile(25.0), 3.75);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 2.5);    // (0+0.5)/2 * 10
+  EXPECT_DOUBLE_EQ(h.quantile(100.0), 7.5);  // (1+0.5)/2 * 10
+}
+
+TEST(HistogramClass, QuantileTracksTruePercentileWithinBucketWidth) {
+  Histogram h = Histogram::uniform(0.0, 1.0, 100);
+  medcc::util::Prng rng(11);
+  std::vector<double> xs;
+  for (int i = 0; i < 2000; ++i) {
+    const double x = rng.uniform_real(0.0, 1.0);
+    xs.push_back(x);
+    h.add(x);
+  }
+  for (const double p : {10.0, 50.0, 90.0, 99.0}) {
+    EXPECT_NEAR(h.quantile(p), medcc::util::percentile(xs, p), 0.02)
+        << "p=" << p;
+  }
+  // Monotone in p.
+  EXPECT_LE(h.quantile(50.0), h.quantile(95.0));
+  EXPECT_LE(h.quantile(95.0), h.quantile(99.0));
+}
+
+TEST(HistogramClass, ClampsOutOfRangeSamplesIntoEdgeBuckets) {
+  Histogram h = Histogram::uniform(0.0, 1.0, 2);
+  h.add(-5.0);
+  h.add(5.0);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  // min/max still reflect the raw samples, so quantiles clamp to them.
+  EXPECT_DOUBLE_EQ(h.min(), -5.0);
+  EXPECT_DOUBLE_EQ(h.max(), 5.0);
+}
+
+TEST(HistogramClass, ExponentialEdges) {
+  const Histogram h = Histogram::exponential(1e-6, 2.0, 4);
+  ASSERT_EQ(h.bucket_count(), 4u);
+  EXPECT_DOUBLE_EQ(h.edges().front(), 1e-6);
+  EXPECT_DOUBLE_EQ(h.edges().back(), 16e-6);
+}
+
+TEST(HistogramClass, AddBucketWidensRangeToBucketEdges) {
+  Histogram h = Histogram::uniform(0.0, 10.0, 10);
+  h.add_bucket(3, 4);  // four samples somewhere in [3,4)
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.min(), 3.0);
+  EXPECT_DOUBLE_EQ(h.max(), 4.0);
+  const double q = h.quantile(50.0);
+  EXPECT_GE(q, 3.0);
+  EXPECT_LE(q, 4.0);
+}
+
+TEST(HistogramClass, MergeMatchesSequentialFill) {
+  Histogram a = Histogram::uniform(0.0, 1.0, 8);
+  Histogram b = Histogram::uniform(0.0, 1.0, 8);
+  Histogram whole = Histogram::uniform(0.0, 1.0, 8);
+  medcc::util::Prng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.uniform_real(0.0, 1.0);
+    whole.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  for (std::size_t bkt = 0; bkt < whole.bucket_count(); ++bkt)
+    EXPECT_EQ(a.bucket(bkt), whole.bucket(bkt));
+  EXPECT_DOUBLE_EQ(a.quantile(95.0), whole.quantile(95.0));
+  // Merging mismatched edges is rejected.
+  Histogram other = Histogram::uniform(0.0, 2.0, 8);
+  EXPECT_THROW(a.merge(other), medcc::LogicError);
+}
+
 // Property: streaming variance equals two-pass variance across seeds.
 class StatsPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
 

@@ -122,6 +122,42 @@ TEST(ThreadPoolStress, ParallelForExceptionPropagates) {
       medcc::Error);
 }
 
+TEST(ThreadPoolStress, TrySubmitRacingRequestStop) {
+  // The admission-control scenario: several producers try_submit while a
+  // stopper thread initiates shutdown mid-stream. Every accepted task must
+  // run, every refused submission must return false without blocking, and
+  // under -DMEDCC_SANITIZE=thread the interleavings must be race-free.
+  for (std::size_t round = 0; round < 20; ++round) {
+    ThreadPool pool(3);
+    std::atomic<std::size_t> accepted{0};
+    std::atomic<std::size_t> executed{0};
+    std::atomic<std::size_t> refused{0};
+    constexpr std::size_t kProducers = 4;
+    constexpr std::size_t kPerProducer = 200;
+    std::vector<std::thread> producers;
+    producers.reserve(kProducers);
+    for (std::size_t p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&] {
+        for (std::size_t i = 0; i < kPerProducer; ++i) {
+          if (pool.try_submit([&executed] {
+                executed.fetch_add(1, std::memory_order_relaxed);
+              })) {
+            accepted.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            refused.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    std::thread stopper([&pool] { pool.request_stop(); });
+    for (auto& t : producers) t.join();
+    stopper.join();
+    pool.wait_idle();
+    EXPECT_EQ(executed.load(), accepted.load());
+    EXPECT_EQ(accepted.load() + refused.load(), kProducers * kPerProducer);
+  }
+}
+
 TEST(ThreadPoolStress, SingleThreadPoolStillParallelSafe) {
   ThreadPool pool(1);
   std::atomic<std::size_t> done{0};

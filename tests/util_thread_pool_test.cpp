@@ -52,6 +52,42 @@ TEST(ThreadPool, ExceptionPropagatesToWaiter) {
 TEST(ThreadPool, NullTaskRejected) {
   ThreadPool pool(1);
   EXPECT_THROW(pool.submit(nullptr), medcc::LogicError);
+  EXPECT_THROW((void)pool.try_submit(nullptr), medcc::LogicError);
+}
+
+TEST(ThreadPool, TrySubmitRunsTasksBeforeStop) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  EXPECT_FALSE(pool.stop_requested());
+  for (int i = 0; i < 50; ++i)
+    EXPECT_TRUE(pool.try_submit(
+        [&] { counter.fetch_add(1, std::memory_order_relaxed); }));
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, TrySubmitRefusesAfterRequestStop) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 10; ++i)
+    pool.submit([&] { counter.fetch_add(1, std::memory_order_relaxed); });
+  pool.request_stop();
+  EXPECT_TRUE(pool.stop_requested());
+  // Non-blocking refusal; nothing enqueued, no throw, no deadlock.
+  EXPECT_FALSE(pool.try_submit([&] { counter.fetch_add(100); }));
+  // submit() keeps its documented throwing contract.
+  EXPECT_THROW(pool.submit([] {}), medcc::LogicError);
+  // Tasks queued before the stop still drain.
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPool, RequestStopIsIdempotent) {
+  ThreadPool pool(1);
+  pool.request_stop();
+  pool.request_stop();
+  pool.wait_idle();
+  SUCCEED();
 }
 
 TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
