@@ -6,27 +6,38 @@
 namespace medcc::dag {
 namespace {
 
-double edge_weight(std::span<const double> edge_weights, EdgeId id) {
-  return edge_weights.empty() ? 0.0 : edge_weights[id];
+/// Shared validation for compute_cpm / makespan. Returns the (memoized)
+/// topological order.
+std::vector<NodeId> validate_and_order(const Dag& graph,
+                                       std::span<const double> node_weights,
+                                       std::span<const double> edge_weights,
+                                       const char* caller) {
+  if (node_weights.size() != graph.node_count())
+    throw InvalidArgument(std::string(caller) + ": node_weights size mismatch");
+  if (!edge_weights.empty() && edge_weights.size() != graph.edge_count())
+    throw InvalidArgument(std::string(caller) + ": edge_weights size mismatch");
+  for (double w : node_weights)
+    if (w < 0.0)
+      throw InvalidArgument(std::string(caller) + ": negative node weight");
+  for (double w : edge_weights)
+    if (w < 0.0)
+      throw InvalidArgument(std::string(caller) + ": negative edge weight");
+
+  auto order = graph.topological_order();
+  if (!order)
+    throw InvalidArgument(std::string(caller) + ": graph contains a cycle");
+  return std::move(*order);
 }
 
-}  // namespace
-
-CpmResult compute_cpm(const Dag& graph, std::span<const double> node_weights,
-                      std::span<const double> edge_weights) {
+/// CPM passes templated on the edge-weight accessor so the
+/// "edge_weights.empty()" branch is decided once per call, outside every
+/// inner loop, instead of once per edge.
+template <typename EdgeWeightFn>
+CpmResult compute_cpm_impl(const Dag& graph,
+                           std::span<const double> node_weights,
+                           const std::vector<NodeId>& order,
+                           EdgeWeightFn edge_weight) {
   const std::size_t n = graph.node_count();
-  if (node_weights.size() != n)
-    throw InvalidArgument("compute_cpm: node_weights size mismatch");
-  if (!edge_weights.empty() && edge_weights.size() != graph.edge_count())
-    throw InvalidArgument("compute_cpm: edge_weights size mismatch");
-  for (double w : node_weights)
-    if (w < 0.0) throw InvalidArgument("compute_cpm: negative node weight");
-  for (double w : edge_weights)
-    if (w < 0.0) throw InvalidArgument("compute_cpm: negative edge weight");
-
-  const auto order = graph.topological_order();
-  if (!order) throw InvalidArgument("compute_cpm: graph contains a cycle");
-
   CpmResult r;
   r.est.assign(n, 0.0);
   r.eft.assign(n, 0.0);
@@ -37,11 +48,11 @@ CpmResult compute_cpm(const Dag& graph, std::span<const double> node_weights,
   if (n == 0) return r;
 
   // Forward pass: est(v) = max over preds u of eft(u) + w(u->v).
-  for (NodeId v : *order) {
+  for (NodeId v : order) {
     double start = 0.0;
     for (EdgeId e : graph.in_edges(v)) {
       const NodeId u = graph.edge(e).src;
-      start = std::max(start, r.eft[u] + edge_weight(edge_weights, e));
+      start = std::max(start, r.eft[u] + edge_weight(e));
     }
     r.est[v] = start;
     r.eft[v] = start + node_weights[v];
@@ -50,12 +61,12 @@ CpmResult compute_cpm(const Dag& graph, std::span<const double> node_weights,
 
   // Backward pass: lft(v) = min over succs s of lst(s) - w(v->s);
   // sinks finish no later than the makespan.
-  for (auto it = order->rbegin(); it != order->rend(); ++it) {
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
     const NodeId v = *it;
     double finish = r.makespan;
     for (EdgeId e : graph.out_edges(v)) {
       const NodeId s = graph.edge(e).dst;
-      finish = std::min(finish, r.lst[s] - edge_weight(edge_weights, e));
+      finish = std::min(finish, r.lst[s] - edge_weight(e));
     }
     r.lft[v] = finish;
     r.lst[v] = finish - node_weights[v];
@@ -87,8 +98,7 @@ CpmResult compute_cpm(const Dag& graph, std::span<const double> node_weights,
     for (EdgeId e : graph.out_edges(cursor)) {
       const NodeId s = graph.edge(e).dst;
       const bool tight_edge =
-          std::abs(r.est[s] - (r.eft[cursor] + edge_weight(edge_weights, e))) <=
-          tol;
+          std::abs(r.est[s] - (r.eft[cursor] + edge_weight(e))) <= tol;
       if (r.critical[s] && tight_edge) {
         next = s;
         break;
@@ -99,9 +109,52 @@ CpmResult compute_cpm(const Dag& graph, std::span<const double> node_weights,
   return r;
 }
 
+/// Forward pass only -- everything dag::makespan needs.
+template <typename EdgeWeightFn>
+double makespan_impl(const Dag& graph, std::span<const double> node_weights,
+                     const std::vector<NodeId>& order,
+                     EdgeWeightFn edge_weight, std::vector<double>& eft) {
+  eft.assign(graph.node_count(), 0.0);
+  double makespan = 0.0;
+  for (NodeId v : order) {
+    double start = 0.0;
+    for (EdgeId e : graph.in_edges(v)) {
+      const NodeId u = graph.edge(e).src;
+      start = std::max(start, eft[u] + edge_weight(e));
+    }
+    eft[v] = start + node_weights[v];
+    makespan = std::max(makespan, eft[v]);
+  }
+  return makespan;
+}
+
+}  // namespace
+
+CpmResult compute_cpm(const Dag& graph, std::span<const double> node_weights,
+                      std::span<const double> edge_weights) {
+  const auto order =
+      validate_and_order(graph, node_weights, edge_weights, "compute_cpm");
+  if (edge_weights.empty()) {
+    return compute_cpm_impl(graph, node_weights, order,
+                            [](EdgeId) { return 0.0; });
+  }
+  return compute_cpm_impl(graph, node_weights, order,
+                          [&](EdgeId e) { return edge_weights[e]; });
+}
+
 double makespan(const Dag& graph, std::span<const double> node_weights,
                 std::span<const double> edge_weights) {
-  return compute_cpm(graph, node_weights, edge_weights).makespan;
+  // Forward pass only: callers consuming just the scalar no longer pay for
+  // the backward pass, slack vectors, or critical-path extraction.
+  const auto order =
+      validate_and_order(graph, node_weights, edge_weights, "makespan");
+  std::vector<double> eft;
+  if (edge_weights.empty()) {
+    return makespan_impl(graph, node_weights, order, [](EdgeId) { return 0.0; },
+                         eft);
+  }
+  return makespan_impl(graph, node_weights, order,
+                       [&](EdgeId e) { return edge_weights[e]; }, eft);
 }
 
 }  // namespace medcc::dag

@@ -2,12 +2,58 @@
 
 #include <algorithm>
 #include <queue>
+#include <utility>
 
 namespace medcc::dag {
+
+Dag::Dag(const Dag& other)
+    : edges_(other.edges_),
+      out_(other.out_),
+      in_(other.in_),
+      topo_cache_(other.topo_cache_snapshot()) {}
+
+Dag& Dag::operator=(const Dag& other) {
+  if (this == &other) return *this;
+  auto cache = other.topo_cache_snapshot();
+  edges_ = other.edges_;
+  out_ = other.out_;
+  in_ = other.in_;
+  std::scoped_lock lock(topo_mutex_);
+  topo_cache_ = std::move(cache);
+  return *this;
+}
+
+Dag::Dag(Dag&& other) noexcept
+    : edges_(std::move(other.edges_)),
+      out_(std::move(other.out_)),
+      in_(std::move(other.in_)),
+      topo_cache_(other.topo_cache_snapshot()) {}
+
+Dag& Dag::operator=(Dag&& other) noexcept {
+  if (this == &other) return *this;
+  auto cache = other.topo_cache_snapshot();
+  edges_ = std::move(other.edges_);
+  out_ = std::move(other.out_);
+  in_ = std::move(other.in_);
+  std::scoped_lock lock(topo_mutex_);
+  topo_cache_ = std::move(cache);
+  return *this;
+}
+
+Dag::TopoCache Dag::topo_cache_snapshot() const {
+  std::scoped_lock lock(topo_mutex_);
+  return topo_cache_;
+}
+
+void Dag::invalidate_topo_cache() {
+  std::scoped_lock lock(topo_mutex_);
+  topo_cache_.reset();
+}
 
 NodeId Dag::add_node() {
   out_.emplace_back();
   in_.emplace_back();
+  invalidate_topo_cache();
   return out_.size() - 1;
 }
 
@@ -20,6 +66,7 @@ EdgeId Dag::add_edge(NodeId src, NodeId dst) {
   const EdgeId id = edges_.size() - 1;
   out_[src].push_back(id);
   in_[dst].push_back(id);
+  invalidate_topo_cache();
   return id;
 }
 
@@ -64,6 +111,15 @@ std::vector<NodeId> Dag::sinks() const {
 }
 
 std::optional<std::vector<NodeId>> Dag::topological_order() const {
+  std::scoped_lock lock(topo_mutex_);
+  if (!topo_cache_) {
+    topo_cache_ = std::make_shared<const std::optional<std::vector<NodeId>>>(
+        compute_topological_order());
+  }
+  return *topo_cache_;
+}
+
+std::optional<std::vector<NodeId>> Dag::compute_topological_order() const {
   std::vector<std::size_t> pending(node_count());
   std::queue<NodeId> ready;
   for (NodeId v = 0; v < node_count(); ++v) {

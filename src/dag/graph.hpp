@@ -7,6 +7,8 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <vector>
@@ -29,6 +31,14 @@ public:
   Dag() = default;
   /// Creates a graph with `nodes` isolated nodes.
   explicit Dag(std::size_t nodes) : out_(nodes), in_(nodes) {}
+
+  // The memoized topological order rides along on copy/move (it stays
+  // valid for an identical edge set); the cache mutex itself does not.
+  Dag(const Dag& other);
+  Dag& operator=(const Dag& other);
+  Dag(Dag&& other) noexcept;
+  Dag& operator=(Dag&& other) noexcept;
+  ~Dag() = default;
 
   [[nodiscard]] std::size_t node_count() const { return out_.size(); }
   [[nodiscard]] std::size_t edge_count() const { return edges_.size(); }
@@ -74,6 +84,9 @@ public:
   [[nodiscard]] std::vector<NodeId> sinks() const;
 
   /// Kahn topological order, or nullopt if the graph contains a cycle.
+  /// Memoized: the first call computes and caches the order (thread-safe;
+  /// concurrent readers share the cached copy), mutation via add_node /
+  /// add_edge invalidates it.
   [[nodiscard]] std::optional<std::vector<NodeId>> topological_order() const;
 
   [[nodiscard]] bool is_acyclic() const {
@@ -91,9 +104,20 @@ public:
   [[nodiscard]] std::vector<EdgeId> redundant_edges() const;
 
 private:
+  using TopoCache = std::shared_ptr<const std::optional<std::vector<NodeId>>>;
+
+  [[nodiscard]] std::optional<std::vector<NodeId>>
+  compute_topological_order() const;
+  [[nodiscard]] TopoCache topo_cache_snapshot() const;
+  void invalidate_topo_cache();
+
   std::vector<Edge> edges_;
   std::vector<std::vector<EdgeId>> out_;
   std::vector<std::vector<EdgeId>> in_;
+  /// Lazily computed topological order (or cached "has a cycle" verdict).
+  /// Guarded by topo_mutex_; the pointee is immutable once published.
+  mutable TopoCache topo_cache_;
+  mutable std::mutex topo_mutex_;
 };
 
 }  // namespace medcc::dag

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "dag/cpm_kernel.hpp"
 #include "sched/bounds.hpp"
 #include "sched/critical_greedy.hpp"
 #include "sched/verify_hook.hpp"
@@ -56,35 +57,47 @@ Result annealing(const Instance& inst, double budget,
 
   util::Prng rng(options.seed);
   const auto computing = inst.workflow().computing_modules();
-  const auto med_of = [&](const Schedule& s) {
-    return dag::makespan(inst.workflow().graph(), durations(inst, s),
-                         inst.edge_times());
-  };
+  const dag::FlatDag& flat = inst.flat_dag();
 
   Schedule current =
       options.seed_with_cg ? critical_greedy(inst, budget).schedule : least;
-  double current_med = med_of(current);
+
+  // The workspace tracks the forward CPM state of `current`. Each
+  // neighbour is delta-evaluated: only the genes the mutation + repair
+  // actually changed are pushed through the incremental kernel, which
+  // journals the prior values. Accepting a move commits in O(1);
+  // rejecting rolls the journal back, restoring the state bit-for-bit.
+  dag::CpmWorkspace ws;
+  double current_med = dag::makespan_into(flat, durations(inst, current), ws);
   Schedule best = current;
   double best_med = current_med;
+  Schedule neighbour = current;  // persistent buffer: no per-iteration alloc
 
   double temperature =
       std::max(1e-9, options.initial_temperature_fraction * current_med);
   for (std::size_t iter = 0; iter < options.iterations; ++iter) {
-    Schedule neighbour = current;
+    neighbour = current;
     const NodeId i = rng.choice(computing);
     neighbour.type_of[i] = static_cast<std::size_t>(rng.uniform_int(
         0, static_cast<std::int64_t>(inst.type_count()) - 1));
     repair(inst, budget, neighbour);
-    const double med = med_of(neighbour);
+    for (NodeId m : computing) {
+      if (neighbour.type_of[m] != current.type_of[m])
+        dag::update_weight(flat, ws, m, inst.time(m, neighbour.type_of[m]));
+    }
+    const double med = ws.makespan;
     const double delta = med - current_med;
     if (delta <= 0.0 ||
         rng.bernoulli(std::exp(-delta / temperature))) {
-      current = std::move(neighbour);
+      dag::commit(ws);
+      std::swap(current.type_of, neighbour.type_of);
       current_med = med;
       if (current_med < best_med) {
         best = current;
         best_med = current_med;
       }
+    } else {
+      dag::rollback(ws);
     }
     temperature *= options.cooling;
   }

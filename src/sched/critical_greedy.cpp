@@ -3,6 +3,7 @@
 #include <limits>
 #include <sstream>
 
+#include "dag/cpm_kernel.hpp"
 #include "sched/bounds.hpp"
 #include "sched/verify_hook.hpp"
 
@@ -25,8 +26,14 @@ Result run_critical_greedy(const Instance& inst, double budget,
   }
 
   auto weights = durations(inst, result.schedule);
-  const auto& graph = inst.workflow().graph();
+  const dag::FlatDag& flat = inst.flat_dag();
   const auto computing = inst.workflow().computing_modules();
+
+  // Per-round CPM runs through the reusable kernel: one full cpm_into to
+  // seed the workspace, then incremental recomputes after each applied
+  // upgrade (only the dirty downstream/upstream frontier is touched).
+  dag::CpmWorkspace ws;
+  bool cpm_ready = false;
 
   // Small epsilon so fp noise in accumulated dC never rejects a reschedule
   // the exact arithmetic would allow.
@@ -36,7 +43,10 @@ Result run_critical_greedy(const Instance& inst, double budget,
     const double cost_left = budget - current_cost;
     if (cost_left <= kCostEps) break;
 
-    const auto cpm = dag::compute_cpm(graph, weights, inst.edge_times());
+    if (!cpm_ready) {
+      dag::cpm_into(flat, weights, ws);
+      cpm_ready = true;
+    }
 
     // Candidate scan (Alg. 1, lines 11-13).
     bool found = false;
@@ -45,7 +55,7 @@ Result run_critical_greedy(const Instance& inst, double budget,
     double best_dt = 0.0;
     double best_dc = 0.0;
     for (NodeId i : computing) {
-      if (!options.all_modules && !cpm.critical[i]) continue;
+      if (!options.all_modules && !ws.critical[i]) continue;
       const std::size_t cur = result.schedule.type_of[i];
       const double t_old = inst.time(i, cur);
       const double c_old = inst.cost(i, cur);
@@ -88,10 +98,10 @@ Result run_critical_greedy(const Instance& inst, double budget,
     weights[best_module] = inst.time(best_module, best_type);
     current_cost += best_dc;
     ++result.iterations;
+    dag::update_weight_full(flat, ws, best_module, weights[best_module]);
     if (moves != nullptr) {
-      moves->push_back(CgMove{
-          best_module, from, best_type, best_dt, best_dc,
-          dag::makespan(graph, weights, inst.edge_times()), current_cost});
+      moves->push_back(CgMove{best_module, from, best_type, best_dt, best_dc,
+                              ws.makespan, current_cost});
     }
   }
 

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <limits>
 
+#include "dag/cpm_kernel.hpp"
 #include "sched/bounds.hpp"
 #include "sched/critical_greedy.hpp"
 #include "sched/verify_hook.hpp"
+#include "util/thread_pool.hpp"
 
 namespace medcc::sched {
 namespace {
@@ -45,6 +47,48 @@ void repair(const Instance& inst, double budget, Schedule& schedule) {
   }
 }
 
+struct Individual {
+  Schedule schedule;
+  double med = 0.0;
+};
+
+/// Fitness of one chromosome: greedy repair to feasibility, then the CPM
+/// forward pass through the reusable per-thread workspace. No rng, no
+/// shared mutable state -- safe to fan out over a pool.
+Individual fitness_of(const Instance& inst, double budget, Schedule schedule) {
+  repair(inst, budget, schedule);
+  static thread_local dag::CpmWorkspace ws;
+  const dag::FlatDag& flat = inst.flat_dag();
+  ws.prepare(flat.node_count());
+  const std::size_t m = inst.module_count();
+  for (NodeId i = 0; i < m; ++i)
+    ws.weights[i] = inst.time(i, schedule.type_of[i]);
+  Individual ind;
+  ind.med = dag::makespan_into(flat, ws);
+  ind.schedule = std::move(schedule);
+  return ind;
+}
+
+/// Evaluates `pending` (consuming it) and appends the individuals to
+/// `out`, preserving order. With a pool, individuals are scored
+/// concurrently, one CPM workspace per worker thread; each index writes
+/// only its own slot, so results match the sequential path exactly.
+void evaluate_batch(const Instance& inst, double budget,
+                    std::vector<Schedule>&& pending,
+                    std::vector<Individual>& out, util::ThreadPool* pool) {
+  const std::size_t base = out.size();
+  out.resize(base + pending.size());
+  const auto eval_one = [&](std::size_t k) {
+    out[base + k] = fitness_of(inst, budget, std::move(pending[k]));
+  };
+  if (pool != nullptr && pending.size() > 1) {
+    util::parallel_for_index(*pool, pending.size(), eval_one);
+  } else {
+    for (std::size_t k = 0; k < pending.size(); ++k) eval_one(k);
+  }
+  pending.clear();
+}
+
 }  // namespace
 
 Result genetic(const Instance& inst, double budget,
@@ -59,32 +103,27 @@ Result genetic(const Instance& inst, double budget,
   util::Prng rng(options.seed);
   const auto computing = inst.workflow().computing_modules();
 
-  struct Individual {
-    Schedule schedule;
-    double med = 0.0;
-  };
-  const auto fitness = [&](Schedule schedule) {
-    repair(inst, budget, schedule);
-    Individual ind;
-    ind.med = dag::makespan(inst.workflow().graph(),
-                            durations(inst, schedule), inst.edge_times());
-    ind.schedule = std::move(schedule);
-    return ind;
-  };
-
-  // Seed population.
+  // Seed population. Chromosome construction draws from the rng
+  // sequentially; scoring happens afterwards in one (optionally parallel)
+  // rng-free batch, so the stream of draws -- and therefore the whole
+  // search trajectory -- is identical to evaluating inline.
   std::vector<Individual> population;
   population.reserve(options.population);
-  population.push_back(fitness(least));
-  population.push_back(fitness(fastest_schedule(inst)));
-  if (options.seed_with_cg)
-    population.push_back(fitness(critical_greedy(inst, budget).schedule));
-  while (population.size() < options.population) {
-    Schedule random = least;
-    for (NodeId i : computing)
-      random.type_of[i] = static_cast<std::size_t>(rng.uniform_int(
-          0, static_cast<std::int64_t>(inst.type_count()) - 1));
-    population.push_back(fitness(std::move(random)));
+  {
+    std::vector<Schedule> seeds;
+    seeds.reserve(options.population);
+    seeds.push_back(least);
+    seeds.push_back(fastest_schedule(inst));
+    if (options.seed_with_cg)
+      seeds.push_back(critical_greedy(inst, budget).schedule);
+    while (seeds.size() < options.population) {
+      Schedule random = least;
+      for (NodeId i : computing)
+        random.type_of[i] = static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(inst.type_count()) - 1));
+      seeds.push_back(std::move(random));
+    }
+    evaluate_batch(inst, budget, std::move(seeds), population, options.pool);
   }
 
   const auto tournament_pick = [&]() -> const Individual& {
@@ -99,14 +138,18 @@ Result genetic(const Instance& inst, double budget,
   };
 
   for (std::size_t gen = 0; gen < options.generations; ++gen) {
-    std::vector<Individual> next;
-    next.reserve(options.population);
     // Elitism: carry the best individual forward untouched.
     const auto best_it = std::min_element(
         population.begin(), population.end(),
         [](const Individual& a, const Individual& b) { return a.med < b.med; });
+    std::vector<Individual> next;
+    next.reserve(options.population);
     next.push_back(*best_it);
-    while (next.size() < options.population) {
+    // Breed the offspring first (sequential rng over the previous
+    // generation only), then score the whole brood as one batch.
+    std::vector<Schedule> children;
+    children.reserve(options.population - 1);
+    while (next.size() + children.size() < options.population) {
       Schedule child = tournament_pick().schedule;
       if (rng.bernoulli(options.crossover_rate)) {
         const auto& other = tournament_pick().schedule;
@@ -119,8 +162,9 @@ Result genetic(const Instance& inst, double budget,
               0, static_cast<std::int64_t>(inst.type_count()) - 1));
         }
       }
-      next.push_back(fitness(std::move(child)));
+      children.push_back(std::move(child));
     }
+    evaluate_batch(inst, budget, std::move(children), next, options.pool);
     population = std::move(next);
   }
 

@@ -15,6 +15,10 @@
 #include "sched/schedule.hpp"
 #include "util/prng.hpp"
 
+namespace medcc::util {
+class ThreadPool;
+}  // namespace medcc::util
+
 namespace medcc::sched {
 
 struct GeneticOptions {
@@ -27,6 +31,12 @@ struct GeneticOptions {
   /// Seed the population with Critical-Greedy's schedule (recommended);
   /// disable to measure the GA's unaided quality.
   bool seed_with_cg = true;
+  /// Optional worker pool for batch fitness evaluation (repair + CPM
+  /// makespan). Evaluation is rng-free, each individual writes only its
+  /// own slot, and every worker uses its own CPM workspace, so the result
+  /// is identical to the sequential run regardless of thread count.
+  /// nullptr (the default) evaluates sequentially.
+  util::ThreadPool* pool = nullptr;
 };
 
 /// Runs the GA under budget B. Throws Infeasible when B < Cmin.

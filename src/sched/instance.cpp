@@ -11,6 +11,7 @@ Instance::Instance(Workflow wf, cloud::VmCatalog catalog,
   workflow_.ensure_valid();
   if (catalog_.empty())
     throw InvalidArgument("Instance: empty VM catalog");
+  type_stride_ = catalog_.size();
 }
 
 void Instance::finalize_edges() {
@@ -22,6 +23,7 @@ void Instance::finalize_edges() {
     total_transfer_cost_ +=
         cloud::transfer_cost(workflow_.data_size(e), network_);
   }
+  flat_dag_ = dag::FlatDag(g, edge_time_);
 }
 
 Instance Instance::from_model(Workflow wf, cloud::VmCatalog catalog,
@@ -29,21 +31,22 @@ Instance Instance::from_model(Workflow wf, cloud::VmCatalog catalog,
                               cloud::NetworkModel network) {
   Instance inst(std::move(wf), std::move(catalog), billing, network);
   const std::size_t m = inst.workflow_.module_count();
-  const std::size_t n = inst.catalog_.size();
-  inst.te_.assign(m, std::vector<double>(n, 0.0));
-  inst.ce_.assign(m, std::vector<double>(n, 0.0));
+  const std::size_t n = inst.type_stride_;
+  inst.te_.assign(m * n, 0.0);
+  inst.ce_.assign(m * n, 0.0);
   for (NodeId i = 0; i < m; ++i) {
     const auto& mod = inst.workflow_.module(i);
+    double* te_row = inst.te_.data() + i * n;
+    double* ce_row = inst.ce_.data() + i * n;
     for (std::size_t j = 0; j < n; ++j) {
       if (mod.is_fixed()) {
-        inst.te_[i][j] = *mod.fixed_time;
-        inst.ce_[i][j] = 0.0;
+        te_row[j] = *mod.fixed_time;
+        ce_row[j] = 0.0;
       } else {
         const double t =
             cloud::execution_time(mod.workload, inst.catalog_.type(j));
-        inst.te_[i][j] = t;
-        inst.ce_[i][j] =
-            cloud::execution_cost(t, inst.catalog_.type(j), billing);
+        te_row[j] = t;
+        ce_row[j] = cloud::execution_cost(t, inst.catalog_.type(j), billing);
       }
     }
   }
@@ -57,7 +60,7 @@ Instance Instance::from_matrix(Workflow wf, cloud::VmCatalog catalog,
                                cloud::NetworkModel network) {
   Instance inst(std::move(wf), std::move(catalog), billing, network);
   const std::size_t m = inst.workflow_.module_count();
-  const std::size_t n = inst.catalog_.size();
+  const std::size_t n = inst.type_stride_;
   const auto computing = inst.workflow_.computing_modules();
   if (times.size() != computing.size())
     throw InvalidArgument("Instance::from_matrix: row count != computing "
@@ -70,19 +73,21 @@ Instance Instance::from_matrix(Workflow wf, cloud::VmCatalog catalog,
         throw InvalidArgument("Instance::from_matrix: negative time");
   }
 
-  inst.te_.assign(m, std::vector<double>(n, 0.0));
-  inst.ce_.assign(m, std::vector<double>(n, 0.0));
+  inst.te_.assign(m * n, 0.0);
+  inst.ce_.assign(m * n, 0.0);
   std::size_t row = 0;
   for (NodeId i = 0; i < m; ++i) {
     const auto& mod = inst.workflow_.module(i);
+    double* te_row = inst.te_.data() + i * n;
+    double* ce_row = inst.ce_.data() + i * n;
     if (mod.is_fixed()) {
-      for (std::size_t j = 0; j < n; ++j) inst.te_[i][j] = *mod.fixed_time;
+      for (std::size_t j = 0; j < n; ++j) te_row[j] = *mod.fixed_time;
       continue;
     }
     for (std::size_t j = 0; j < n; ++j) {
-      inst.te_[i][j] = times[row][j];
-      inst.ce_[i][j] = cloud::execution_cost(times[row][j],
-                                             inst.catalog_.type(j), billing);
+      te_row[j] = times[row][j];
+      ce_row[j] = cloud::execution_cost(times[row][j],
+                                        inst.catalog_.type(j), billing);
     }
     ++row;
   }

@@ -11,6 +11,7 @@
 #include "cloud/billing.hpp"
 #include "cloud/cost_model.hpp"
 #include "cloud/vm_type.hpp"
+#include "dag/flat_dag.hpp"
 #include "workflow/workflow.hpp"
 
 namespace medcc::sched {
@@ -50,13 +51,13 @@ public:
   /// T(E_ij): execution time of module i on VM type j. Fixed modules
   /// return their fixed duration for every j.
   [[nodiscard]] double time(NodeId i, std::size_t j) const {
-    MEDCC_EXPECTS(i < te_.size() && j < catalog_.size());
-    return te_[i][j];
+    MEDCC_EXPECTS(i < module_count() && j < type_stride_);
+    return te_[i * type_stride_ + j];
   }
   /// C(E_ij): billed execution cost of module i on type j (0 for fixed).
   [[nodiscard]] double cost(NodeId i, std::size_t j) const {
-    MEDCC_EXPECTS(i < ce_.size() && j < catalog_.size());
-    return ce_[i][j];
+    MEDCC_EXPECTS(i < module_count() && j < type_stride_);
+    return ce_[i * type_stride_ + j];
   }
 
   /// Transfer time over dependency edge e under the network model.
@@ -73,6 +74,10 @@ public:
     return total_transfer_cost_;
   }
 
+  /// CSR snapshot of the workflow graph with edge transfer times inlined,
+  /// built once at construction for the CPM kernels (dag/cpm_kernel.hpp).
+  [[nodiscard]] const dag::FlatDag& flat_dag() const { return flat_dag_; }
+
 private:
   Instance(Workflow wf, cloud::VmCatalog catalog, cloud::BillingPolicy billing,
            cloud::NetworkModel network);
@@ -82,10 +87,15 @@ private:
   cloud::VmCatalog catalog_;
   cloud::BillingPolicy billing_;
   cloud::NetworkModel network_;
-  std::vector<std::vector<double>> te_;  ///< [module][type]
-  std::vector<std::vector<double>> ce_;  ///< [module][type]
+  /// TE and CE, row-major [module][type] with stride type_stride_: one
+  /// contiguous block each, so the schedulers' candidate scans stream
+  /// through memory instead of chasing per-module allocations.
+  std::vector<double> te_;
+  std::vector<double> ce_;
+  std::size_t type_stride_ = 0;
   std::vector<double> edge_time_;
   double total_transfer_cost_ = 0.0;
+  dag::FlatDag flat_dag_;
 };
 
 }  // namespace medcc::sched

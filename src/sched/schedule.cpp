@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "dag/cpm_kernel.hpp"
+
 namespace medcc::sched {
 
 std::vector<double> durations(const Instance& inst, const Schedule& schedule) {
@@ -16,10 +18,22 @@ std::vector<double> durations(const Instance& inst, const Schedule& schedule) {
 }
 
 Evaluation evaluate(const Instance& inst, const Schedule& schedule) {
+  const std::size_t m = inst.module_count();
+  MEDCC_EXPECTS(schedule.type_of.size() == m);
+  // Kernel path: the instance's frozen FlatDag (validated topo order, edge
+  // times inlined) plus a per-thread workspace make repeated evaluations
+  // cheap; export_result materialises a CpmResult bit-identical to the
+  // legacy dag::compute_cpm (differentially tested).
+  static thread_local dag::CpmWorkspace ws;
+  const dag::FlatDag& flat = inst.flat_dag();
+  ws.prepare(flat.node_count());
+  for (NodeId i = 0; i < m; ++i) {
+    MEDCC_EXPECTS(schedule.type_of[i] < inst.type_count());
+    ws.weights[i] = inst.time(i, schedule.type_of[i]);
+  }
   Evaluation eval;
-  const auto weights = durations(inst, schedule);
-  eval.cpm =
-      dag::compute_cpm(inst.workflow().graph(), weights, inst.edge_times());
+  dag::cpm_into(flat, ws);
+  eval.cpm = dag::export_result(flat, ws);
   eval.med = eval.cpm.makespan;
   eval.cost = total_cost(inst, schedule);
   return eval;

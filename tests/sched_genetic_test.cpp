@@ -7,6 +7,7 @@
 #include "sched/bounds.hpp"
 #include "sched/critical_greedy.hpp"
 #include "sched/exhaustive.hpp"
+#include "util/thread_pool.hpp"
 #include "workflow/patterns.hpp"
 
 namespace {
@@ -87,6 +88,27 @@ TEST(Genetic, UnseededStillFeasibleAndSane) {
   const auto fastest = medcc::sched::evaluate(
       inst, medcc::sched::fastest_schedule(inst));
   EXPECT_NEAR(r.eval.med, fastest.med, 1e-9);
+}
+
+TEST(Genetic, PooledEvaluationMatchesSequential) {
+  // Batch fitness evaluation is rng-free and each index writes only its
+  // own slot, so a pooled run must reproduce the sequential trajectory
+  // exactly. Sized to give TSan real concurrency over the per-worker CPM
+  // workspaces.
+  medcc::util::ThreadPool pool(8);
+  medcc::util::Prng rng(17);
+  const auto inst = medcc::expr::make_instance({12, 24, 4}, rng);
+  const auto bounds = medcc::sched::cost_bounds(inst);
+  const double budget = 0.5 * (bounds.cmin + bounds.cmax);
+  GeneticOptions opts;
+  opts.population = 32;
+  opts.generations = 6;
+  opts.seed = 9;
+  const auto sequential = genetic(inst, budget, opts);
+  opts.pool = &pool;
+  const auto pooled = genetic(inst, budget, opts);
+  EXPECT_EQ(pooled.schedule, sequential.schedule);
+  EXPECT_DOUBLE_EQ(pooled.eval.med, sequential.eval.med);
 }
 
 TEST(Genetic, OptionValidation) {

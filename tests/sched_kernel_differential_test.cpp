@@ -1,0 +1,232 @@
+// Differential tests pinning the kernel-backed schedulers to the legacy
+// dag::compute_cpm reference: evaluate()'s CpmResult must be bit-identical
+// to a direct compute_cpm call, Critical-Greedy's incrementally maintained
+// per-move makespans must replay exactly, the pooled genetic evaluation
+// must match the sequential run gene for gene, and the delta-evaluated
+// annealer must walk the same accept/reject trajectory as a from-scratch
+// reference implementation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "dag/critical_path.hpp"
+#include "expr/instance_gen.hpp"
+#include "sched/annealing.hpp"
+#include "sched/bounds.hpp"
+#include "sched/critical_greedy.hpp"
+#include "sched/genetic.hpp"
+#include "sched/schedule.hpp"
+#include "util/prng.hpp"
+#include "util/thread_pool.hpp"
+#include "workflow/patterns.hpp"
+
+namespace {
+
+using medcc::dag::NodeId;
+using medcc::sched::durations;
+using medcc::sched::Instance;
+using medcc::sched::Schedule;
+using medcc::sched::total_cost;
+
+Instance example_instance() {
+  return Instance::from_model(medcc::workflow::example6(),
+                              medcc::cloud::example_catalog());
+}
+
+Instance random_instance(std::uint64_t seed) {
+  medcc::util::Prng rng(seed);
+  return medcc::expr::make_instance({10, 20, 4}, rng);
+}
+
+double mid_budget(const Instance& inst) {
+  const auto bounds = medcc::sched::cost_bounds(inst);
+  return 0.5 * (bounds.cmin + bounds.cmax);
+}
+
+/// The legacy evaluation path: full compute_cpm on the mapped workflow.
+medcc::dag::CpmResult legacy_cpm(const Instance& inst,
+                                 const Schedule& schedule) {
+  return medcc::dag::compute_cpm(inst.workflow().graph(),
+                                 durations(inst, schedule),
+                                 inst.edge_times());
+}
+
+class EvaluateDifferentialTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EvaluateDifferentialTest, EvaluateMatchesLegacyComputeCpmBitwise) {
+  const auto inst = random_instance(GetParam());
+  medcc::util::Prng rng(GetParam() * 31 + 7);
+
+  auto schedule = medcc::sched::least_cost_schedule(inst);
+  for (int round = 0; round < 8; ++round) {
+    for (NodeId i : inst.workflow().computing_modules())
+      schedule.type_of[i] = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(inst.type_count()) - 1));
+
+    const auto eval = medcc::sched::evaluate(inst, schedule);
+    const auto ref = legacy_cpm(inst, schedule);
+    EXPECT_EQ(eval.cpm.est, ref.est);
+    EXPECT_EQ(eval.cpm.eft, ref.eft);
+    EXPECT_EQ(eval.cpm.lst, ref.lst);
+    EXPECT_EQ(eval.cpm.lft, ref.lft);
+    EXPECT_EQ(eval.cpm.buffer, ref.buffer);
+    EXPECT_EQ(eval.cpm.critical, ref.critical);
+    EXPECT_EQ(eval.cpm.critical_path, ref.critical_path);
+    EXPECT_EQ(eval.cpm.makespan, ref.makespan);
+    EXPECT_EQ(eval.med, ref.makespan);
+  }
+}
+
+TEST_P(EvaluateDifferentialTest, CgTraceReplaysAgainstLegacyCpm) {
+  const auto inst = random_instance(GetParam());
+  const double budget = mid_budget(inst);
+  const auto trace = medcc::sched::critical_greedy_trace(inst, budget);
+
+  // Replay the move list from the least-cost start. After each applied
+  // move, the trace's med_after (read straight off the incremental
+  // workspace) must equal a full legacy recompute bit for bit, and the
+  // chosen module must have been critical at selection time.
+  auto schedule = medcc::sched::least_cost_schedule(inst);
+  for (std::size_t k = 0; k < trace.moves.size(); ++k) {
+    const auto& move = trace.moves[k];
+    const auto before = legacy_cpm(inst, schedule);
+    EXPECT_TRUE(before.critical[move.module]) << "move " << k;
+    EXPECT_EQ(schedule.type_of[move.module], move.from_type) << "move " << k;
+    schedule.type_of[move.module] = move.to_type;
+    EXPECT_EQ(legacy_cpm(inst, schedule).makespan, move.med_after)
+        << "move " << k;
+    EXPECT_NEAR(total_cost(inst, schedule), move.cost_after,
+                1e-9 * std::max(1.0, budget))
+        << "move " << k;
+  }
+  EXPECT_EQ(schedule, trace.result.schedule);
+}
+
+TEST_P(EvaluateDifferentialTest, AnnealingMatchesFullRecomputeReference) {
+  const auto inst = random_instance(GetParam());
+  const double budget = mid_budget(inst);
+  medcc::sched::AnnealingOptions opts;
+  opts.iterations = 400;
+  opts.seed = GetParam() + 11;
+
+  // Reference annealer: the same search loop, every neighbour scored by a
+  // full legacy dag::makespan. The production annealer delta-evaluates
+  // through the incremental kernel; since that is bitwise-exact, both must
+  // draw the same rng stream and end on the same schedule.
+  const auto computing = inst.workflow().computing_modules();
+  const auto repair = [&](Schedule& schedule) {
+    double cost = total_cost(inst, schedule);
+    while (cost > budget + 1e-9) {
+      NodeId best_module = 0;
+      std::size_t best_type = 0;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      bool found = false;
+      for (NodeId i : computing) {
+        const std::size_t cur = schedule.type_of[i];
+        for (std::size_t j = 0; j < inst.type_count(); ++j) {
+          if (j == cur) continue;
+          const double saving = inst.cost(i, cur) - inst.cost(i, j);
+          if (saving <= 0.0) continue;
+          const double loss = inst.time(i, j) - inst.time(i, cur);
+          const double ratio =
+              loss <= 0.0 ? -std::numeric_limits<double>::infinity()
+                          : loss / saving;
+          if (!found || ratio < best_ratio) {
+            found = true;
+            best_ratio = ratio;
+            best_module = i;
+            best_type = j;
+          }
+        }
+      }
+      ASSERT_TRUE(found);
+      cost += inst.cost(best_module, best_type) -
+              inst.cost(best_module, schedule.type_of[best_module]);
+      schedule.type_of[best_module] = best_type;
+    }
+  };
+  const auto med_of = [&](const Schedule& s) {
+    return medcc::dag::makespan(inst.workflow().graph(), durations(inst, s),
+                                inst.edge_times());
+  };
+
+  medcc::util::Prng rng(opts.seed);
+  Schedule current = medcc::sched::critical_greedy(inst, budget).schedule;
+  double current_med = med_of(current);
+  Schedule best = current;
+  double best_med = current_med;
+  double temperature =
+      std::max(1e-9, opts.initial_temperature_fraction * current_med);
+  for (std::size_t iter = 0; iter < opts.iterations; ++iter) {
+    Schedule neighbour = current;
+    const NodeId i = rng.choice(computing);
+    neighbour.type_of[i] = static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(inst.type_count()) - 1));
+    repair(neighbour);
+    const double med = med_of(neighbour);
+    const double delta = med - current_med;
+    if (delta <= 0.0 || rng.bernoulli(std::exp(-delta / temperature))) {
+      current = std::move(neighbour);
+      current_med = med;
+      if (current_med < best_med) {
+        best = current;
+        best_med = current_med;
+      }
+    }
+    temperature *= opts.cooling;
+  }
+
+  const auto got = medcc::sched::annealing(inst, budget, opts);
+  EXPECT_EQ(got.schedule, best);
+  EXPECT_EQ(got.eval.med, medcc::sched::evaluate(inst, best).med);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EvaluateDifferentialTest,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(KernelDifferential, CgOptionVariantsStayOnLegacyPath) {
+  // The ablation variants exercise the same incremental workspace with a
+  // different candidate scan; their traces must replay identically too.
+  const auto inst = example_instance();
+  for (const bool all_modules : {false, true}) {
+    for (const bool ratio : {false, true}) {
+      medcc::sched::CriticalGreedyOptions options;
+      options.all_modules = all_modules;
+      options.ratio_criterion = ratio;
+      const auto trace =
+          medcc::sched::critical_greedy_trace(inst, 57.0, options);
+      auto schedule = medcc::sched::least_cost_schedule(inst);
+      for (const auto& move : trace.moves) {
+        schedule.type_of[move.module] = move.to_type;
+        EXPECT_EQ(legacy_cpm(inst, schedule).makespan, move.med_after);
+      }
+      EXPECT_EQ(schedule, trace.result.schedule);
+    }
+  }
+}
+
+TEST(KernelDifferential, GeneticPoolMatchesSequentialExactly) {
+  // Chromosomes are bred sequentially and scored in an rng-free batch, so
+  // the pooled run must reproduce the sequential trajectory gene for gene.
+  medcc::util::ThreadPool pool(4);
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const auto inst = random_instance(seed * 13);
+    const double budget = mid_budget(inst);
+    medcc::sched::GeneticOptions opts;
+    opts.population = 12;
+    opts.generations = 8;
+    opts.seed = seed;
+
+    const auto sequential = medcc::sched::genetic(inst, budget, opts);
+    opts.pool = &pool;
+    const auto pooled = medcc::sched::genetic(inst, budget, opts);
+    EXPECT_EQ(pooled.schedule, sequential.schedule) << "seed " << seed;
+    EXPECT_EQ(pooled.eval.med, sequential.eval.med) << "seed " << seed;
+    EXPECT_EQ(pooled.eval.cost, sequential.eval.cost) << "seed " << seed;
+  }
+}
+
+}  // namespace
