@@ -1,0 +1,264 @@
+#include "net/client.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "util/backoff.hpp"
+
+namespace medcc::net {
+
+/// Absolute steady-clock deadline; unbounded when the config timeout is 0.
+struct Client::Deadline {
+  std::chrono::steady_clock::time_point at;
+  bool bounded = false;
+
+  static Deadline from_timeout(double timeout_ms) {
+    Deadline d;
+    if (timeout_ms > 0.0) {
+      d.bounded = true;
+      d.at = std::chrono::steady_clock::now() +
+             std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                 std::chrono::duration<double, std::milli>(timeout_ms));
+    }
+    return d;
+  }
+
+  /// Milliseconds left (clamped at 0), or -1 when unbounded.
+  [[nodiscard]] double remaining_ms() const {
+    if (!bounded) return -1.0;
+    const double left = std::chrono::duration<double, std::milli>(
+                            at - std::chrono::steady_clock::now())
+                            .count();
+    return left > 0.0 ? left : 0.0;
+  }
+
+  [[nodiscard]] bool expired() const {
+    return bounded && std::chrono::steady_clock::now() >= at;
+  }
+};
+
+Client::Client(ClientConfig config) : config_(std::move(config)) {}
+
+Client::~Client() { close(); }
+
+void Client::close() {
+  fd_.close();
+  inbuf_.clear();
+}
+
+void Client::connect() {
+  if (connected()) return;
+
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_NUMERICSERV;
+  const std::string port = std::to_string(config_.port);
+  addrinfo* found = nullptr;
+  const int rc = ::getaddrinfo(config_.host.c_str(), port.c_str(), &hints,
+                               &found);
+  if (rc != 0 || found == nullptr)
+    throw NetError("client: cannot resolve " + config_.host + ": " +
+                   ::gai_strerror(rc));
+
+  util::Backoff backoff(config_.backoff_initial_ms, config_.backoff_cap_ms);
+  std::string last_error = "no attempts made";
+  const std::size_t attempts = std::max<std::size_t>(1, config_.connect_attempts);
+  for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0)
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          backoff.next_ms()));
+    for (const addrinfo* ai = found; ai != nullptr; ai = ai->ai_next) {
+      util::FdHandle fd(::socket(ai->ai_family,
+                                 ai->ai_socktype | SOCK_CLOEXEC,
+                                 ai->ai_protocol));
+      if (!fd) {
+        last_error = std::strerror(errno);
+        continue;
+      }
+      if (::connect(fd.get(), ai->ai_addr, ai->ai_addrlen) != 0) {
+        last_error = std::strerror(errno);
+        continue;
+      }
+      if (!util::set_nonblocking(fd.get(), true)) {
+        last_error = "cannot set O_NONBLOCK";
+        continue;
+      }
+      util::set_tcp_nodelay(fd.get());
+      fd_ = std::move(fd);
+      ::freeaddrinfo(found);
+      return;
+    }
+  }
+  ::freeaddrinfo(found);
+  throw NetError("client: connect to " + config_.host + ":" + port +
+                 " failed after " + std::to_string(attempts) +
+                 " attempts: " + last_error);
+}
+
+void Client::send_bytes(std::string_view bytes, const Deadline& deadline) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_.get(), bytes.data() + sent,
+                             bytes.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (deadline.expired()) throw NetError("client: send timed out");
+      const auto wait =
+          util::wait_writable(fd_.get(), deadline.remaining_ms());
+      if (wait == util::WaitResult::timeout)
+        throw NetError("client: send timed out");
+      if (wait == util::WaitResult::error)
+        throw NetError("client: connection failed while sending");
+      continue;
+    }
+    throw NetError(std::string("client: send failed: ") +
+                   std::strerror(errno));
+  }
+}
+
+std::string Client::read_frame(FrameHeader& header, const Deadline& deadline) {
+  for (;;) {
+    const auto parsed = parse_frame_header(inbuf_, config_.max_frame_body);
+    if (parsed &&
+        inbuf_.size() >= kHeaderSize + parsed->body_size) {
+      header = *parsed;
+      std::string body = inbuf_.substr(kHeaderSize, parsed->body_size);
+      inbuf_.erase(0, kHeaderSize + parsed->body_size);
+      return body;
+    }
+
+    if (deadline.expired()) throw NetError("client: response timed out");
+    const auto wait = util::wait_readable(fd_.get(), deadline.remaining_ms());
+    if (wait == util::WaitResult::timeout)
+      throw NetError("client: response timed out");
+    if (wait == util::WaitResult::error)
+      throw NetError("client: connection failed while waiting");
+
+    char chunk[16 * 1024];
+    const long n = util::recv_some(fd_.get(), chunk, sizeof(chunk));
+    if (n > 0) {
+      inbuf_.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) continue;
+    if (n == 0) throw NetError("client: connection closed by server");
+    throw NetError(std::string("client: recv failed: ") +
+                   std::strerror(errno));
+  }
+}
+
+service::SchedulingResponse Client::response_from_frame(
+    const FrameHeader& header, std::string_view body,
+    std::uint64_t expected_min_id, std::uint64_t expected_max_id) {
+  if (header.request_id < expected_min_id ||
+      header.request_id > expected_max_id)
+    throw NetError("client: response for unknown request id " +
+                   std::to_string(header.request_id));
+  switch (header.type) {
+    case FrameType::solve_response:
+      return decode_solve_response(body);
+    case FrameType::error: {
+      // The server scoped this fault to our request (echoed id): surface
+      // it as a failed response rather than poisoning the connection.
+      const WireFault fault = decode_error(body);
+      service::SchedulingResponse response;
+      response.status = service::ResponseStatus::failed;
+      response.error = std::string("wire ") + to_string(fault.code) + ": " +
+                       fault.message;
+      return response;
+    }
+    default:
+      throw NetError("client: unexpected frame type in response");
+  }
+}
+
+service::SchedulingResponse Client::solve(
+    const service::SchedulingRequest& request) {
+  connect();
+  const auto deadline = Deadline::from_timeout(config_.request_timeout_ms);
+  const std::uint64_t id = next_id_++;
+  try {
+    send_bytes(encode_solve_request(request, id), deadline);
+    FrameHeader header;
+    const std::string body = read_frame(header, deadline);
+    return response_from_frame(header, body, id, id);
+  } catch (...) {
+    // Timeouts and stream faults leave the framing position unknown.
+    close();
+    throw;
+  }
+}
+
+std::vector<service::SchedulingResponse> Client::solve_batch(
+    const std::vector<service::SchedulingRequest>& requests) {
+  if (requests.empty()) return {};
+  connect();
+  // One deadline bounds the whole pipelined burst.
+  const auto deadline = Deadline::from_timeout(config_.request_timeout_ms);
+  const std::uint64_t base = next_id_;
+  next_id_ += requests.size();
+  try {
+    std::string burst;
+    for (std::size_t i = 0; i < requests.size(); ++i)
+      burst += encode_solve_request(requests[i], base + i);
+    send_bytes(burst, deadline);
+
+    std::vector<service::SchedulingResponse> responses(requests.size());
+    std::vector<bool> seen(requests.size(), false);
+    for (std::size_t done = 0; done < requests.size(); ++done) {
+      FrameHeader header;
+      const std::string body = read_frame(header, deadline);
+      auto response = response_from_frame(header, body, base,
+                                          base + requests.size() - 1);
+      const std::size_t slot =
+          static_cast<std::size_t>(header.request_id - base);
+      if (seen[slot])
+        throw NetError("client: duplicate response for request id " +
+                       std::to_string(header.request_id));
+      seen[slot] = true;
+      responses[slot] = std::move(response);
+    }
+    return responses;
+  } catch (...) {
+    close();
+    throw;
+  }
+}
+
+std::string Client::stats(StatsFormat format) {
+  connect();
+  const auto deadline = Deadline::from_timeout(config_.request_timeout_ms);
+  const std::uint64_t id = next_id_++;
+  try {
+    send_bytes(encode_stats_request(format, id), deadline);
+    FrameHeader header;
+    const std::string body = read_frame(header, deadline);
+    if (header.type != FrameType::stats_response || header.request_id != id) {
+      if (header.type == FrameType::error) {
+        const WireFault fault = decode_error(body);
+        throw NetError(std::string("client: stats failed: wire ") +
+                       to_string(fault.code) + ": " + fault.message);
+      }
+      throw NetError("client: unexpected frame answering stats request");
+    }
+    return decode_stats_response(body);
+  } catch (...) {
+    close();
+    throw;
+  }
+}
+
+}  // namespace medcc::net

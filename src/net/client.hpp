@@ -1,0 +1,90 @@
+// Blocking client for the MED-CC wire protocol.
+//
+// One Client owns one TCP connection. connect() retries with
+// exponential backoff (util::Backoff); solve() performs one
+// request/response exchange; solve_batch() pipelines N requests on the
+// connection in one burst and gathers the responses by request id, so
+// a slow solve never blocks the ones behind it server-side; stats()
+// fetches the service's metrics dump over the wire.
+//
+// Deadlines: every exchange is bounded by ClientConfig::request_timeout_ms
+// (0 = wait forever). A timeout -- like any transport or framing error --
+// leaves the stream position unknown, so the client closes the
+// connection and throws NetError; the next call reconnects. Per-request
+// *queue* deadlines (SchedulingRequest::deadline_ms) are enforced
+// server-side and come back as ordinary rejected responses.
+//
+// The client is not thread-safe: callers wanting concurrency open one
+// Client per thread (the server multiplexes them all on one epoll loop).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/codec.hpp"
+#include "service/request.hpp"
+#include "util/socket.hpp"
+
+namespace medcc::net {
+
+struct ClientConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// connect() attempts before giving up.
+  std::size_t connect_attempts = 5;
+  /// Exponential backoff between connect attempts.
+  double backoff_initial_ms = 10.0;
+  double backoff_cap_ms = 1000.0;
+  /// Wall-clock bound on one request/response exchange; 0 = no bound.
+  double request_timeout_ms = 0.0;
+  std::size_t max_frame_body = kDefaultMaxBody;
+};
+
+class Client {
+public:
+  explicit Client(ClientConfig config);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Establishes the connection, retrying with backoff. No-op when
+  /// already connected. Throws NetError after the final failed attempt.
+  void connect();
+  [[nodiscard]] bool connected() const { return fd_.valid(); }
+  void close();
+
+  /// One round trip. Protocol-level faults that the server scopes to
+  /// this request (an error frame echoing our id) come back as a
+  /// `failed` response carrying the fault text; stream-level faults
+  /// close the connection and throw NetError.
+  [[nodiscard]] service::SchedulingResponse solve(
+      const service::SchedulingRequest& request);
+
+  /// Pipelines all requests on this connection, then collects the
+  /// responses (which the server may produce in any order) back into
+  /// request order.
+  [[nodiscard]] std::vector<service::SchedulingResponse> solve_batch(
+      const std::vector<service::SchedulingRequest>& requests);
+
+  /// The server's metrics dump (docs/service.md) over the wire.
+  [[nodiscard]] std::string stats(StatsFormat format = StatsFormat::text);
+
+private:
+  struct Deadline;  // steady-clock deadline helper (see client.cpp)
+
+  void send_bytes(std::string_view bytes, const Deadline& deadline);
+  /// Reads exactly one frame (header + body); returns the body bytes.
+  std::string read_frame(FrameHeader& header, const Deadline& deadline);
+  [[nodiscard]] service::SchedulingResponse response_from_frame(
+      const FrameHeader& header, std::string_view body,
+      std::uint64_t expected_min_id, std::uint64_t expected_max_id);
+
+  ClientConfig config_;
+  util::FdHandle fd_;
+  std::string inbuf_;  ///< bytes received beyond the last consumed frame
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace medcc::net

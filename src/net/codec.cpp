@@ -1,0 +1,432 @@
+#include "net/codec.hpp"
+
+#include <bit>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sched/instance.hpp"
+#include "workflow/workflow.hpp"
+
+namespace medcc::net {
+
+namespace {
+
+// Structural ceilings, far above every workload in the repo but small
+// enough that a hostile count can never drive a pathological allocation
+// (expect_fits additionally ties counts to the bytes actually present).
+constexpr std::size_t kMaxString = 1u << 20;
+constexpr std::uint64_t kMaxModules = 1u << 20;
+constexpr std::uint64_t kMaxTypes = 1u << 12;
+constexpr std::uint64_t kMaxEdges = 1u << 22;
+
+[[noreturn]] void fail(WireError code, const std::string& what) {
+  throw CodecError(code, what);
+}
+
+}  // namespace
+
+const char* to_string(WireError code) {
+  switch (code) {
+    case WireError::truncated: return "truncated";
+    case WireError::bad_magic: return "bad_magic";
+    case WireError::bad_version: return "bad_version";
+    case WireError::bad_frame_type: return "bad_frame_type";
+    case WireError::oversized_frame: return "oversized_frame";
+    case WireError::bad_body: return "bad_body";
+    case WireError::trailing_bytes: return "trailing_bytes";
+    case WireError::limit_exceeded: return "limit_exceeded";
+    case WireError::unexpected_frame: return "unexpected_frame";
+    case WireError::shutting_down: return "shutting_down";
+  }
+  return "unknown";
+}
+
+// -- primitives -----------------------------------------------------------
+
+void WireWriter::u8(std::uint8_t v) {
+  out_.push_back(static_cast<char>(v));
+}
+
+void WireWriter::u16(std::uint16_t v) {
+  u8(static_cast<std::uint8_t>(v));
+  u8(static_cast<std::uint8_t>(v >> 8));
+}
+
+void WireWriter::u32(std::uint32_t v) {
+  u16(static_cast<std::uint16_t>(v));
+  u16(static_cast<std::uint16_t>(v >> 16));
+}
+
+void WireWriter::u64(std::uint64_t v) {
+  u32(static_cast<std::uint32_t>(v));
+  u32(static_cast<std::uint32_t>(v >> 32));
+}
+
+void WireWriter::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+void WireWriter::str(std::string_view s) {
+  MEDCC_EXPECTS(s.size() <= kMaxString);
+  u32(static_cast<std::uint32_t>(s.size()));
+  out_.append(s.data(), s.size());
+}
+
+std::uint8_t WireReader::u8() {
+  if (remaining() < 1) fail(WireError::truncated, "wire: truncated u8");
+  return static_cast<std::uint8_t>(data_[pos_++]);
+}
+
+std::uint16_t WireReader::u16() {
+  const std::uint16_t lo = u8();
+  const std::uint16_t hi = u8();
+  return static_cast<std::uint16_t>(lo | (hi << 8));
+}
+
+std::uint32_t WireReader::u32() {
+  const std::uint32_t lo = u16();
+  const std::uint32_t hi = u16();
+  return lo | (hi << 16);
+}
+
+std::uint64_t WireReader::u64() {
+  const std::uint64_t lo = u32();
+  const std::uint64_t hi = u32();
+  return lo | (hi << 32);
+}
+
+double WireReader::f64() { return std::bit_cast<double>(u64()); }
+
+std::string WireReader::str(std::size_t max_len) {
+  const std::uint32_t len = u32();
+  if (len > max_len)
+    fail(WireError::limit_exceeded, "wire: string exceeds limit");
+  if (len > remaining()) fail(WireError::truncated, "wire: truncated string");
+  std::string out(data_.substr(pos_, len));
+  pos_ += len;
+  return out;
+}
+
+void WireReader::expect_done() const {
+  if (!done())
+    fail(WireError::trailing_bytes, "wire: trailing bytes after message");
+}
+
+void WireReader::expect_fits(std::uint64_t count,
+                             std::size_t min_bytes_each) const {
+  if (count > remaining() / min_bytes_each)
+    fail(WireError::limit_exceeded,
+         "wire: element count exceeds the bytes present");
+}
+
+// -- framing --------------------------------------------------------------
+
+std::optional<FrameHeader> parse_frame_header(std::string_view buffer,
+                                              std::size_t max_body) {
+  if (buffer.size() < kHeaderSize) return std::nullopt;
+  WireReader reader(buffer.substr(0, kHeaderSize));
+  const std::uint32_t magic = reader.u32();
+  if (magic != kMagic) fail(WireError::bad_magic, "wire: bad frame magic");
+  const std::uint16_t version = reader.u16();
+  if (version != kVersion)
+    fail(WireError::bad_version,
+         "wire: unsupported protocol version " + std::to_string(version));
+  const std::uint16_t raw_type = reader.u16();
+  if (raw_type < static_cast<std::uint16_t>(FrameType::solve_request) ||
+      raw_type > static_cast<std::uint16_t>(FrameType::error))
+    fail(WireError::bad_frame_type,
+         "wire: unknown frame type " + std::to_string(raw_type));
+  FrameHeader header;
+  header.type = static_cast<FrameType>(raw_type);
+  header.request_id = reader.u64();
+  header.body_size = reader.u32();
+  if (header.body_size > max_body)
+    fail(WireError::oversized_frame,
+         "wire: body length " + std::to_string(header.body_size) +
+             " exceeds the frame limit");
+  return header;
+}
+
+std::string encode_frame(FrameType type, std::uint64_t request_id,
+                         std::string_view body) {
+  MEDCC_EXPECTS(body.size() <= kDefaultMaxBody);
+  WireWriter writer;
+  writer.u32(kMagic);
+  writer.u16(kVersion);
+  writer.u16(static_cast<std::uint16_t>(type));
+  writer.u64(request_id);
+  writer.u32(static_cast<std::uint32_t>(body.size()));
+  std::string out = writer.take();
+  out.append(body.data(), body.size());
+  return out;
+}
+
+// -- solve request --------------------------------------------------------
+
+namespace {
+
+void encode_instance(WireWriter& writer, const sched::Instance& instance) {
+  const auto& wf = instance.workflow();
+  const auto& graph = wf.graph();
+  const auto& catalog = instance.catalog();
+
+  writer.f64(instance.billing().quantum());
+  writer.f64(instance.network().bandwidth);
+  writer.f64(instance.network().link_delay);
+  writer.f64(instance.network().transfer_cost_rate);
+
+  writer.u32(static_cast<std::uint32_t>(catalog.size()));
+  for (const auto& type : catalog.types()) {
+    writer.str(type.name);
+    writer.f64(type.processing_power);
+    writer.f64(type.cost_rate);
+  }
+
+  writer.u32(static_cast<std::uint32_t>(wf.module_count()));
+  for (workflow::NodeId i = 0; i < wf.module_count(); ++i) {
+    const auto& mod = wf.module(i);
+    writer.str(mod.name);
+    writer.u8(mod.is_fixed() ? 1 : 0);
+    writer.f64(mod.is_fixed() ? *mod.fixed_time : mod.workload);
+  }
+
+  writer.u32(static_cast<std::uint32_t>(graph.edge_count()));
+  for (dag::EdgeId e = 0; e < graph.edge_count(); ++e) {
+    const auto& edge = graph.edge(e);
+    writer.u32(static_cast<std::uint32_t>(edge.src));
+    writer.u32(static_cast<std::uint32_t>(edge.dst));
+    writer.f64(wf.data_size(e));
+  }
+
+  // The exact TE rows of the computing modules (ascending module id):
+  // decoding rebuilds through Instance::from_matrix, so measured-matrix
+  // and analytic-model instances round-trip identically.
+  const auto computing = wf.computing_modules();
+  writer.u32(static_cast<std::uint32_t>(computing.size()));
+  writer.u32(static_cast<std::uint32_t>(catalog.size()));
+  for (const workflow::NodeId i : computing)
+    for (std::size_t j = 0; j < catalog.size(); ++j)
+      writer.f64(instance.time(i, j));
+}
+
+std::shared_ptr<const sched::Instance> decode_instance(WireReader& reader) {
+  const double quantum = reader.f64();
+  cloud::NetworkModel network;
+  network.bandwidth = reader.f64();
+  network.link_delay = reader.f64();
+  network.transfer_cost_rate = reader.f64();
+
+  const std::uint32_t type_count = reader.u32();
+  if (type_count > kMaxTypes)
+    fail(WireError::limit_exceeded, "wire: too many VM types");
+  reader.expect_fits(type_count, /*name len*/ 4 + 2 * 8);
+  std::vector<cloud::VmType> types;
+  types.reserve(type_count);
+  for (std::uint32_t j = 0; j < type_count; ++j) {
+    cloud::VmType type;
+    type.name = reader.str(kMaxString);
+    type.processing_power = reader.f64();
+    type.cost_rate = reader.f64();
+    types.push_back(std::move(type));
+  }
+
+  const std::uint32_t module_count = reader.u32();
+  if (module_count > kMaxModules)
+    fail(WireError::limit_exceeded, "wire: too many modules");
+  reader.expect_fits(module_count, 4 + 1 + 8);
+
+  // Workflow/billing validation failures (cycles, negative workloads,
+  // duplicate edges, bad quantum, ...) are recoverable medcc::Errors
+  // raised by the model classes themselves; surface every one of them as
+  // the protocol's structured bad_body fault. CodecErrors (which also
+  // derive from Error) keep their own taxonomy.
+  try {
+    workflow::Workflow wf;
+    std::size_t computing_count = 0;
+    for (std::uint32_t i = 0; i < module_count; ++i) {
+      std::string name = reader.str(kMaxString);
+      const std::uint8_t kind = reader.u8();
+      const double value = reader.f64();
+      if (kind > 1) fail(WireError::bad_body, "wire: unknown module kind");
+      if (kind == 1) {
+        (void)wf.add_fixed_module(std::move(name), value);
+      } else {
+        (void)wf.add_module(std::move(name), value);
+        ++computing_count;
+      }
+    }
+
+    const std::uint32_t edge_count = reader.u32();
+    if (edge_count > kMaxEdges)
+      fail(WireError::limit_exceeded, "wire: too many edges");
+    reader.expect_fits(edge_count, 4 + 4 + 8);
+    for (std::uint32_t e = 0; e < edge_count; ++e) {
+      const std::uint32_t src = reader.u32();
+      const std::uint32_t dst = reader.u32();
+      const double data_size = reader.f64();
+      if (src >= module_count || dst >= module_count || src == dst)
+        fail(WireError::bad_body, "wire: edge endpoint out of range");
+      (void)wf.add_dependency(src, dst, data_size);
+    }
+
+    const std::uint32_t rows = reader.u32();
+    const std::uint32_t cols = reader.u32();
+    if (rows != computing_count || cols != type_count)
+      fail(WireError::bad_body, "wire: time-matrix shape mismatch");
+    reader.expect_fits(static_cast<std::uint64_t>(rows) * cols, 8);
+    std::vector<std::vector<double>> times(rows, std::vector<double>(cols));
+    for (auto& row : times)
+      for (double& cell : row) cell = reader.f64();
+
+    return std::make_shared<const sched::Instance>(sched::Instance::from_matrix(
+        std::move(wf), cloud::VmCatalog(std::move(types)), times,
+        cloud::BillingPolicy(quantum), network));
+  } catch (const CodecError&) {
+    throw;
+  } catch (const Error& e) {
+    fail(WireError::bad_body, std::string("wire: invalid instance: ") +
+                                  e.what());
+  }
+}
+
+}  // namespace
+
+std::string encode_solve_request(const service::SchedulingRequest& request,
+                                 std::uint64_t request_id) {
+  MEDCC_EXPECTS(request.instance != nullptr);
+  WireWriter writer;
+  writer.f64(request.budget);
+  writer.f64(request.deadline_ms);
+  writer.str(request.solver);
+  writer.str(request.config);
+  writer.str(request.tenant);
+  encode_instance(writer, *request.instance);
+  return encode_frame(FrameType::solve_request, request_id, writer.bytes());
+}
+
+service::SchedulingRequest decode_solve_request(std::string_view body) {
+  WireReader reader(body);
+  service::SchedulingRequest request;
+  request.budget = reader.f64();
+  request.deadline_ms = reader.f64();
+  request.solver = reader.str(kMaxString);
+  request.config = reader.str(kMaxString);
+  request.tenant = reader.str(kMaxString);
+  request.instance = decode_instance(reader);
+  reader.expect_done();
+  return request;
+}
+
+// -- solve response -------------------------------------------------------
+
+std::string encode_solve_response(const service::SchedulingResponse& response,
+                                  std::uint64_t request_id) {
+  WireWriter writer;
+  writer.u8(static_cast<std::uint8_t>(response.status));
+  writer.u8(static_cast<std::uint8_t>(response.reject_reason));
+  writer.u8(static_cast<std::uint8_t>(response.cache));
+  writer.u8(0);  // reserved
+  writer.str(response.solver);
+  writer.str(response.error);
+  writer.u64(response.result.iterations);
+  writer.f64(response.result.eval.med);
+  writer.f64(response.result.eval.cost);
+  writer.f64(response.queue_delay_ms);
+  writer.f64(response.solve_ms);
+  const auto& schedule = response.result.schedule.type_of;
+  writer.u32(static_cast<std::uint32_t>(schedule.size()));
+  for (const std::size_t type : schedule)
+    writer.u32(static_cast<std::uint32_t>(type));
+  return encode_frame(FrameType::solve_response, request_id, writer.bytes());
+}
+
+service::SchedulingResponse decode_solve_response(std::string_view body) {
+  WireReader reader(body);
+  service::SchedulingResponse response;
+  const std::uint8_t status = reader.u8();
+  const std::uint8_t reason = reader.u8();
+  const std::uint8_t cache = reader.u8();
+  (void)reader.u8();  // reserved
+  if (status > static_cast<std::uint8_t>(service::ResponseStatus::failed))
+    fail(WireError::bad_body, "wire: unknown response status");
+  if (reason > static_cast<std::uint8_t>(service::RejectReason::tenant_quota))
+    fail(WireError::bad_body, "wire: unknown reject reason");
+  if (cache >
+      static_cast<std::uint8_t>(service::CacheOutcome::hit_isomorphic))
+    fail(WireError::bad_body, "wire: unknown cache outcome");
+  response.status = static_cast<service::ResponseStatus>(status);
+  response.reject_reason = static_cast<service::RejectReason>(reason);
+  response.cache = static_cast<service::CacheOutcome>(cache);
+  response.solver = reader.str(kMaxString);
+  response.error = reader.str(kMaxString);
+  response.result.iterations = reader.u64();
+  response.result.eval.med = reader.f64();
+  response.result.eval.cost = reader.f64();
+  response.queue_delay_ms = reader.f64();
+  response.solve_ms = reader.f64();
+  const std::uint32_t schedule_len = reader.u32();
+  if (schedule_len > kMaxModules)
+    fail(WireError::limit_exceeded, "wire: schedule too long");
+  reader.expect_fits(schedule_len, 4);
+  response.result.schedule.type_of.resize(schedule_len);
+  for (std::size_t& type : response.result.schedule.type_of)
+    type = reader.u32();
+  reader.expect_done();
+  return response;
+}
+
+// -- stats ----------------------------------------------------------------
+
+std::string encode_stats_request(StatsFormat format,
+                                 std::uint64_t request_id) {
+  WireWriter writer;
+  writer.u8(static_cast<std::uint8_t>(format));
+  return encode_frame(FrameType::stats_request, request_id, writer.bytes());
+}
+
+StatsFormat decode_stats_request(std::string_view body) {
+  WireReader reader(body);
+  const std::uint8_t format = reader.u8();
+  if (format > static_cast<std::uint8_t>(StatsFormat::csv))
+    fail(WireError::bad_body, "wire: unknown stats format");
+  reader.expect_done();
+  return static_cast<StatsFormat>(format);
+}
+
+std::string encode_stats_response(std::string_view dump,
+                                  std::uint64_t request_id) {
+  WireWriter writer;
+  writer.str(dump);
+  return encode_frame(FrameType::stats_response, request_id, writer.bytes());
+}
+
+std::string decode_stats_response(std::string_view body) {
+  WireReader reader(body);
+  std::string dump = reader.str(kMaxString);
+  reader.expect_done();
+  return dump;
+}
+
+// -- error ----------------------------------------------------------------
+
+std::string encode_error(WireError code, std::string_view message,
+                         std::uint64_t request_id) {
+  WireWriter writer;
+  writer.u16(static_cast<std::uint16_t>(code));
+  writer.str(message);
+  return encode_frame(FrameType::error, request_id, writer.bytes());
+}
+
+WireFault decode_error(std::string_view body) {
+  WireReader reader(body);
+  WireFault fault;
+  const std::uint16_t code = reader.u16();
+  if (code < static_cast<std::uint16_t>(WireError::truncated) ||
+      code > static_cast<std::uint16_t>(WireError::shutting_down))
+    fail(WireError::bad_body, "wire: unknown error code");
+  fault.code = static_cast<WireError>(code);
+  fault.message = reader.str(kMaxString);
+  reader.expect_done();
+  return fault;
+}
+
+}  // namespace medcc::net

@@ -1,0 +1,205 @@
+// The MED-CC binary wire protocol (version 1): a versioned,
+// length-prefixed framing plus the message bodies that carry
+// SchedulingRequest / SchedulingResponse, a metrics (stats) exchange,
+// and a structured error frame.
+//
+// Every frame starts with a fixed 20-byte header, all integers
+// little-endian regardless of host byte order:
+//
+//   offset  size  field
+//   0       4     magic 0x4343444D ("MDCC" as bytes 4D 44 43 43)
+//   4       2     protocol version (currently 1)
+//   6       2     frame type (FrameType)
+//   8       8     request id (client-chosen; echoed on the response)
+//   16      4     body length in bytes (bounded by max_body)
+//   20      n     body
+//
+// Responses correlate to requests purely by request id, so a server may
+// answer out of order and a client may pipeline many requests on one
+// connection (Client::solve_batch does exactly that).
+//
+// Decoding is fuzz-resistant by construction: every read goes through a
+// bounds-checked WireReader, element counts are validated against the
+// bytes actually present before any allocation, and all failures --
+// truncation, bad magic/version, oversized prefixes, malformed bodies,
+// trailing garbage -- surface as a structured CodecError, never as UB.
+// The full byte-layout tables live in docs/net.md.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "service/request.hpp"
+#include "util/error.hpp"
+
+namespace medcc::net {
+
+/// Transport-level failure (connect, send, recv, orderly close).
+class NetError : public Error {
+public:
+  explicit NetError(const std::string& what) : Error(what) {}
+};
+
+inline constexpr std::uint32_t kMagic = 0x4343444Du;  // "MDCC"
+inline constexpr std::uint16_t kVersion = 1;
+inline constexpr std::size_t kHeaderSize = 20;
+/// Default ceiling on one frame body; oversized length prefixes are
+/// rejected before any buffering happens.
+inline constexpr std::size_t kDefaultMaxBody = 64u << 20;
+
+enum class FrameType : std::uint16_t {
+  solve_request = 1,
+  solve_response = 2,
+  stats_request = 3,
+  stats_response = 4,
+  error = 5,
+};
+
+/// Wire error codes carried by FrameType::error (and by CodecError).
+enum class WireError : std::uint16_t {
+  truncated = 1,        ///< body/frame shorter than its own length fields
+  bad_magic = 2,        ///< first four bytes are not "MDCC"
+  bad_version = 3,      ///< protocol version this peer does not speak
+  bad_frame_type = 4,   ///< frame type outside the known range
+  oversized_frame = 5,  ///< length prefix exceeds the configured max body
+  bad_body = 6,         ///< body decoded to an invalid message/instance
+  trailing_bytes = 7,   ///< body longer than its message
+  limit_exceeded = 8,   ///< an element count exceeds a protocol limit
+  unexpected_frame = 9, ///< valid frame in the wrong direction/state
+  shutting_down = 10,   ///< server is draining; retry elsewhere/later
+};
+
+[[nodiscard]] const char* to_string(WireError code);
+
+/// Malformed-bytes failure; carries the WireError taxonomy so servers
+/// can answer with a matching error frame.
+class CodecError : public Error {
+public:
+  CodecError(WireError code, const std::string& what)
+      : Error(what), code_(code) {}
+  [[nodiscard]] WireError code() const { return code_; }
+
+private:
+  WireError code_;
+};
+
+struct FrameHeader {
+  FrameType type = FrameType::error;
+  std::uint64_t request_id = 0;
+  std::uint32_t body_size = 0;
+};
+
+/// Parses the fixed header at the start of `buffer`. Returns nullopt
+/// when fewer than kHeaderSize bytes are available (read more);
+/// throws CodecError on bad magic/version/type or an oversized prefix.
+[[nodiscard]] std::optional<FrameHeader> parse_frame_header(
+    std::string_view buffer, std::size_t max_body = kDefaultMaxBody);
+
+/// Wraps `body` in a version-1 frame.
+[[nodiscard]] std::string encode_frame(FrameType type,
+                                       std::uint64_t request_id,
+                                       std::string_view body);
+
+// -- solve ----------------------------------------------------------------
+
+/// Full frame for one SchedulingRequest (instance, budget, solver,
+/// config, tenant, deadline). The instance travels as its workflow
+/// structure, VM catalog, billing/network scalars, and the exact
+/// execution-time matrix of the computing modules, so the decoded
+/// instance reproduces TE/CE bit-for-bit whether the original came from
+/// Instance::from_model or Instance::from_matrix.
+[[nodiscard]] std::string encode_solve_request(
+    const service::SchedulingRequest& request, std::uint64_t request_id);
+
+/// Decodes a solve_request body (bytes after the header). Throws
+/// CodecError (WireError::bad_body and friends) on malformed input,
+/// including instances that fail workflow validation.
+[[nodiscard]] service::SchedulingRequest decode_solve_request(
+    std::string_view body);
+
+/// Full frame for one SchedulingResponse. The schedule, MED, cost and
+/// iteration count travel bit-exactly; the CpmResult timing detail is
+/// deliberately not shipped (clients re-derive it with sched::evaluate
+/// when they need it).
+[[nodiscard]] std::string encode_solve_response(
+    const service::SchedulingResponse& response, std::uint64_t request_id);
+
+[[nodiscard]] service::SchedulingResponse decode_solve_response(
+    std::string_view body);
+
+// -- stats ----------------------------------------------------------------
+
+enum class StatsFormat : std::uint8_t { text = 0, csv = 1 };
+
+[[nodiscard]] std::string encode_stats_request(StatsFormat format,
+                                               std::uint64_t request_id);
+[[nodiscard]] StatsFormat decode_stats_request(std::string_view body);
+
+[[nodiscard]] std::string encode_stats_response(std::string_view dump,
+                                                std::uint64_t request_id);
+[[nodiscard]] std::string decode_stats_response(std::string_view body);
+
+// -- error ----------------------------------------------------------------
+
+struct WireFault {
+  WireError code = WireError::bad_body;
+  std::string message;
+};
+
+[[nodiscard]] std::string encode_error(WireError code,
+                                       std::string_view message,
+                                       std::uint64_t request_id);
+[[nodiscard]] WireFault decode_error(std::string_view body);
+
+// -- primitives (exposed for tests) ---------------------------------------
+
+/// Append-only little-endian encoder.
+class WireWriter {
+public:
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  /// IEEE-754 bits via the u64 path: round-trips every double bit-exactly.
+  void f64(double v);
+  /// u32 length prefix + raw bytes.
+  void str(std::string_view s);
+
+  [[nodiscard]] const std::string& bytes() const { return out_; }
+  [[nodiscard]] std::string take() { return std::move(out_); }
+
+private:
+  std::string out_;
+};
+
+/// Bounds-checked little-endian decoder over a borrowed buffer; every
+/// underflow throws CodecError(WireError::truncated).
+class WireReader {
+public:
+  explicit WireReader(std::string_view data) : data_(data) {}
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint16_t u16();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] double f64();
+  /// Reads a length-prefixed string of at most `max_len` bytes.
+  [[nodiscard]] std::string str(std::size_t max_len);
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool done() const { return pos_ == data_.size(); }
+  /// Throws CodecError(trailing_bytes) unless the buffer is exhausted.
+  void expect_done() const;
+  /// Throws CodecError(limit_exceeded) when `count` elements of at least
+  /// `min_bytes_each` cannot possibly fit in the remaining bytes -- the
+  /// guard that keeps hostile counts from driving huge allocations.
+  void expect_fits(std::uint64_t count, std::size_t min_bytes_each) const;
+
+private:
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace medcc::net

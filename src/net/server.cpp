@@ -1,0 +1,419 @@
+#include "net/server.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <string_view>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "util/log.hpp"
+
+namespace medcc::net {
+
+namespace {
+
+// epoll user-data tags; connection serials start above the reserved ones.
+constexpr std::uint64_t kWakeTag = 0;
+constexpr std::uint64_t kListenTag = 1;
+constexpr std::uint64_t kFirstSerial = 2;
+
+constexpr std::size_t kRecvChunk = 64 * 1024;
+
+double ms_since(std::chrono::steady_clock::time_point then,
+                std::chrono::steady_clock::time_point now) {
+  return std::chrono::duration<double, std::milli>(now - then).count();
+}
+
+}  // namespace
+
+Server::Server(service::SchedulingService& service, ServerConfig config)
+    : service_(service), config_(std::move(config)) {
+  listen_fd_.reset(::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                            0));
+  if (!listen_fd_) throw NetError("server: socket() failed");
+  int one = 1;
+  (void)::setsockopt(listen_fd_.get(), SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) != 1)
+    throw NetError("server: invalid bind address " + config_.bind_address);
+  if (::bind(listen_fd_.get(), reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0)
+    throw NetError("server: bind to " + config_.bind_address + ":" +
+                   std::to_string(config_.port) + " failed: " +
+                   std::strerror(errno));
+  if (::listen(listen_fd_.get(), config_.backlog) != 0)
+    throw NetError("server: listen failed");
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_.get(), reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) != 0)
+    throw NetError("server: getsockname failed");
+  port_ = ntohs(bound.sin_port);
+
+  epoll_fd_.reset(::epoll_create1(EPOLL_CLOEXEC));
+  if (!epoll_fd_) throw NetError("server: epoll_create1 failed");
+  wake_fd_.reset(::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC));
+  if (!wake_fd_) throw NetError("server: eventfd failed");
+
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kWakeTag;
+  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, wake_fd_.get(), &ev) != 0)
+    throw NetError("server: epoll_ctl(wake) failed");
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenTag;
+  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, listen_fd_.get(), &ev) != 0)
+    throw NetError("server: epoll_ctl(listen) failed");
+
+  next_serial_ = kFirstSerial;
+  io_ = std::thread([this] { io_loop(); });
+}
+
+Server::~Server() { stop(); }
+
+void Server::stop() {
+  if (stopped_.exchange(true)) return;
+  stopping_.store(true, std::memory_order_release);
+  wake();
+  if (io_.joinable()) io_.join();
+}
+
+void Server::wake() {
+  const std::uint64_t one = 1;
+  // A full eventfd counter still wakes the loop; ignore short writes.
+  (void)!::write(wake_fd_.get(), &one, sizeof(one));
+}
+
+Server::Counters Server::counters() const {
+  Counters c;
+  c.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  c.connections_active = connections_active_.load(std::memory_order_relaxed);
+  c.frames_in = frames_in_.load(std::memory_order_relaxed);
+  c.frames_out = frames_out_.load(std::memory_order_relaxed);
+  c.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  c.idle_closed = idle_closed_.load(std::memory_order_relaxed);
+  c.dropped_responses = dropped_responses_.load(std::memory_order_relaxed);
+  return c;
+}
+
+void Server::io_loop() {
+  bool listener_open = true;
+  auto grace_deadline = std::chrono::steady_clock::time_point::max();
+  std::array<epoll_event, 64> events{};
+
+  for (;;) {
+    const bool stopping = stopping_.load(std::memory_order_acquire);
+
+    int timeout_ms = -1;
+    if (stopping) {
+      timeout_ms = 10;
+    } else if (config_.idle_timeout_ms > 0.0) {
+      timeout_ms = static_cast<int>(
+          std::clamp(config_.idle_timeout_ms / 2.0, 5.0, 250.0));
+    }
+
+    const int n = ::epoll_wait(epoll_fd_.get(), events.data(),
+                               static_cast<int>(events.size()), timeout_ms);
+    if (n < 0 && errno != EINTR) {
+      util::log_error("net server: epoll_wait failed: ", std::strerror(errno));
+      break;
+    }
+
+    for (int i = 0; i < std::max(n, 0); ++i) {
+      const std::uint64_t tag = events[static_cast<std::size_t>(i)].data.u64;
+      const std::uint32_t mask = events[static_cast<std::size_t>(i)].events;
+      if (tag == kWakeTag) {
+        std::uint64_t counter = 0;
+        (void)!::read(wake_fd_.get(), &counter, sizeof(counter));
+        continue;
+      }
+      if (tag == kListenTag) {
+        if (!stopping) accept_ready();
+        continue;
+      }
+      const auto it = connections_.find(tag);
+      if (it == connections_.end()) continue;  // closed earlier this batch
+      Connection& conn = it->second;
+      if ((mask & (EPOLLHUP | EPOLLERR)) != 0) {
+        close_connection(tag);
+        continue;
+      }
+      if ((mask & EPOLLIN) != 0) conn_readable(conn);
+      // conn_readable may have closed the connection; re-find before write.
+      const auto again = connections_.find(tag);
+      if (again != connections_.end() && (mask & EPOLLOUT) != 0)
+        conn_writable(again->second);
+    }
+
+    drain_outbox();
+
+    if (config_.idle_timeout_ms > 0.0 && !connections_.empty()) {
+      const auto now = std::chrono::steady_clock::now();
+      std::vector<std::uint64_t> idle;
+      for (const auto& [serial, conn] : connections_)
+        if (conn.pending == 0 && conn.outbuf.empty() &&
+            ms_since(conn.last_activity, now) > config_.idle_timeout_ms)
+          idle.push_back(serial);
+      for (const std::uint64_t serial : idle) {
+        idle_closed_.fetch_add(1, std::memory_order_relaxed);
+        close_connection(serial);
+      }
+    }
+
+    if (stopping) {
+      if (listener_open) {
+        (void)::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, listen_fd_.get(),
+                          nullptr);
+        listen_fd_.close();
+        listener_open = false;
+        grace_deadline = std::chrono::steady_clock::now() +
+                         std::chrono::milliseconds(static_cast<long>(
+                             std::max(0.0, config_.drain_grace_ms)));
+      }
+      bool in_flight;
+      {
+        const std::lock_guard<std::mutex> lock(outbox_mutex_);
+        in_flight = outstanding_ > 0 || !outbox_.empty();
+      }
+      const bool flushed = std::all_of(
+          connections_.begin(), connections_.end(),
+          [](const auto& entry) { return entry.second.outbuf.empty(); });
+      if ((!in_flight && flushed) ||
+          std::chrono::steady_clock::now() >= grace_deadline)
+        break;
+    }
+  }
+
+  connections_.clear();
+  connections_active_.store(0, std::memory_order_relaxed);
+}
+
+void Server::accept_ready() {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_.get(), nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      return;  // transient accept failure; the listener stays armed
+    }
+    if (connections_.size() >= config_.max_connections) {
+      ::close(fd);
+      continue;
+    }
+    util::set_tcp_nodelay(fd);
+    const std::uint64_t serial = next_serial_++;
+    Connection conn;
+    conn.fd.reset(fd);
+    conn.serial = serial;
+    conn.last_activity = std::chrono::steady_clock::now();
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = serial;
+    if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, fd, &ev) != 0) continue;
+    connections_.emplace(serial, std::move(conn));
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    connections_active_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Server::conn_readable(Connection& conn) {
+  char chunk[kRecvChunk];
+  for (;;) {
+    const long n = util::recv_some(conn.fd.get(), chunk, sizeof(chunk));
+    if (n > 0) {
+      conn.inbuf.append(chunk, static_cast<std::size_t>(n));
+      conn.last_activity = std::chrono::steady_clock::now();
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    // Orderly shutdown or hard error: the peer is gone, so responses
+    // still in flight have nowhere to go; drop the connection now.
+    close_connection(conn.serial);
+    return;
+  }
+
+  while (conn.reading) {
+    FrameHeader header;
+    try {
+      const auto parsed =
+          parse_frame_header(conn.inbuf, config_.max_frame_body);
+      if (!parsed) break;  // need more bytes
+      header = *parsed;
+    } catch (const CodecError& e) {
+      // Header-level corruption desynchronizes the stream: answer once,
+      // stop reading, close after the error frame is flushed.
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      conn.reading = false;
+      conn.close_after_flush = true;
+      queue_output(conn, encode_error(e.code(), e.what(), 0));
+      return;
+    }
+    if (conn.inbuf.size() < kHeaderSize + header.body_size) break;
+    const std::string_view body =
+        std::string_view(conn.inbuf).substr(kHeaderSize, header.body_size);
+    handle_frame(conn, header, body);
+    conn.inbuf.erase(0, kHeaderSize + header.body_size);
+  }
+}
+
+void Server::handle_frame(Connection& conn, const FrameHeader& header,
+                          std::string_view body) {
+  frames_in_.fetch_add(1, std::memory_order_relaxed);
+  switch (header.type) {
+    case FrameType::solve_request: {
+      if (stopping_.load(std::memory_order_acquire)) {
+        service::SchedulingResponse response;
+        response.status = service::ResponseStatus::rejected;
+        response.reject_reason = service::RejectReason::shutting_down;
+        queue_output(conn, encode_solve_response(response, header.request_id));
+        return;
+      }
+      service::SchedulingRequest request;
+      try {
+        request = decode_solve_request(body);
+      } catch (const CodecError& e) {
+        // Bad body, sound framing: report and keep the stream alive.
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        queue_output(conn,
+                     encode_error(e.code(), e.what(), header.request_id));
+        return;
+      }
+      const std::uint64_t serial = conn.serial;
+      const std::uint64_t id = header.request_id;
+      {
+        const std::lock_guard<std::mutex> lock(outbox_mutex_);
+        ++outstanding_;
+      }
+      ++conn.pending;
+      service_.submit_async(
+          std::move(request),
+          [this, serial, id](service::SchedulingResponse response) {
+            std::string bytes;
+            try {
+              bytes = encode_solve_response(response, id);
+            } catch (...) {
+              // Encoding cannot fail short of OOM; drop rather than die.
+            }
+            {
+              const std::lock_guard<std::mutex> lock(outbox_mutex_);
+              if (!bytes.empty())
+                outbox_.emplace_back(serial, std::move(bytes));
+              --outstanding_;
+            }
+            wake();
+          });
+      return;
+    }
+    case FrameType::stats_request: {
+      try {
+        const StatsFormat format = decode_stats_request(body);
+        const std::string dump = format == StatsFormat::csv
+                                     ? service_.metrics().dump_csv()
+                                     : service_.metrics().dump_text();
+        queue_output(conn, encode_stats_response(dump, header.request_id));
+      } catch (const CodecError& e) {
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        queue_output(conn,
+                     encode_error(e.code(), e.what(), header.request_id));
+      }
+      return;
+    }
+    case FrameType::solve_response:
+    case FrameType::stats_response:
+    case FrameType::error: {
+      // Server-to-client frames arriving at the server: protocol abuse.
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      conn.reading = false;
+      conn.close_after_flush = true;
+      queue_output(conn,
+                   encode_error(WireError::unexpected_frame,
+                                "client sent a server-side frame type",
+                                header.request_id));
+      return;
+    }
+  }
+}
+
+void Server::queue_output(Connection& conn, std::string bytes) {
+  conn.outbuf += bytes;
+  frames_out_.fetch_add(1, std::memory_order_relaxed);
+  if (!conn.want_write) {
+    conn.want_write = true;
+    update_epoll(conn);
+  }
+}
+
+void Server::update_epoll(Connection& conn) {
+  epoll_event ev{};
+  ev.events = (conn.reading ? EPOLLIN : 0u) |
+              (conn.want_write ? EPOLLOUT : 0u);
+  ev.data.u64 = conn.serial;
+  (void)::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_MOD, conn.fd.get(), &ev);
+}
+
+void Server::conn_writable(Connection& conn) {
+  while (conn.out_offset < conn.outbuf.size()) {
+    const ssize_t n =
+        ::send(conn.fd.get(), conn.outbuf.data() + conn.out_offset,
+               conn.outbuf.size() - conn.out_offset, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.out_offset += static_cast<std::size_t>(n);
+      conn.last_activity = std::chrono::steady_clock::now();
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    close_connection(conn.serial);
+    return;
+  }
+  conn.outbuf.clear();
+  conn.out_offset = 0;
+  conn.want_write = false;
+  if (conn.close_after_flush) {
+    close_connection(conn.serial);
+    return;
+  }
+  update_epoll(conn);
+}
+
+void Server::close_connection(std::uint64_t serial) {
+  const auto it = connections_.find(serial);
+  if (it == connections_.end()) return;
+  (void)::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, it->second.fd.get(),
+                    nullptr);
+  connections_.erase(it);
+  connections_active_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void Server::drain_outbox() {
+  std::vector<std::pair<std::uint64_t, std::string>> ready;
+  {
+    const std::lock_guard<std::mutex> lock(outbox_mutex_);
+    ready.swap(outbox_);
+  }
+  for (auto& [serial, bytes] : ready) {
+    const auto it = connections_.find(serial);
+    if (it == connections_.end()) {
+      dropped_responses_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (it->second.pending > 0) --it->second.pending;
+    queue_output(it->second, std::move(bytes));
+  }
+}
+
+}  // namespace medcc::net

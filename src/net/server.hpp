@@ -1,0 +1,146 @@
+// The epoll-based TCP front end of the SchedulingService.
+//
+// One IO thread multiplexes the listening socket, an eventfd wake-up,
+// and every client connection (all non-blocking, level-triggered
+// epoll). Incoming bytes accumulate per connection until a full frame
+// is present; solve requests are decoded and handed to
+// SchedulingService::submit_async, so admission control, tenant
+// quotas, queue deadlines, memoization and metrics all apply unchanged
+// to network traffic. Completions are posted -- from whichever worker
+// thread finished the solve -- into an outbox drained by the IO thread
+// through the eventfd, so responses go out as they complete, in any
+// order; clients correlate them by request id.
+//
+// Error handling follows the frame/stream split: a malformed *body*
+// (frame boundaries still sound) answers with an error frame and keeps
+// the connection; a malformed *header* (magic/version/type/length)
+// desynchronizes the byte stream, so the server sends one error frame
+// and closes after flushing. Idle connections are closed after
+// ServerConfig::idle_timeout_ms without traffic.
+//
+// stop() is graceful: the listener closes immediately, queued frames
+// already dispatched keep their worker slots, the loop waits for every
+// in-flight solve and flushes every outbuf (bounded by
+// drain_grace_ms), and only then do the sockets close. The destructor
+// calls stop().
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "net/codec.hpp"
+#include "service/service.hpp"
+#include "util/socket.hpp"
+
+namespace medcc::net {
+
+struct ServerConfig {
+  /// Dotted-quad IPv4 address to bind; loopback by default.
+  std::string bind_address = "127.0.0.1";
+  /// 0 picks an ephemeral port; Server::port() reports the choice.
+  std::uint16_t port = 0;
+  int backlog = 64;
+  std::size_t max_connections = 1024;
+  std::size_t max_frame_body = kDefaultMaxBody;
+  /// Close connections with no traffic for this long; 0 = never.
+  double idle_timeout_ms = 0.0;
+  /// stop(): how long to keep flushing responses after the last
+  /// in-flight solve completes before closing connections hard.
+  double drain_grace_ms = 5000.0;
+};
+
+class Server {
+public:
+  /// Binds, listens, and starts the IO thread. Throws NetError when the
+  /// socket cannot be set up. `service` must outlive the server.
+  Server(service::SchedulingService& service, ServerConfig config = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The locally bound TCP port (resolves port = 0 requests).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Graceful shutdown: stop accepting, drain in-flight solves, flush
+  /// outgoing frames, close. Idempotent; safe from any non-IO thread.
+  void stop();
+
+  /// Transport counters (monotonic except connections_active).
+  struct Counters {
+    std::uint64_t connections_accepted = 0;
+    std::uint64_t connections_active = 0;
+    std::uint64_t frames_in = 0;
+    std::uint64_t frames_out = 0;
+    std::uint64_t protocol_errors = 0;
+    std::uint64_t idle_closed = 0;
+    std::uint64_t dropped_responses = 0;  ///< finished after peer left
+  };
+  [[nodiscard]] Counters counters() const;
+
+private:
+  struct Connection {
+    util::FdHandle fd;
+    std::uint64_t serial = 0;
+    std::string inbuf;
+    std::string outbuf;
+    std::size_t out_offset = 0;  ///< bytes of outbuf already sent
+    std::chrono::steady_clock::time_point last_activity;
+    std::size_t pending = 0;  ///< solves dispatched, response not yet queued
+    bool close_after_flush = false;
+    bool want_write = false;
+    bool reading = true;  ///< false once the stream is poisoned
+  };
+
+  void io_loop();
+  void accept_ready();
+  void conn_readable(Connection& conn);
+  void conn_writable(Connection& conn);
+  /// Handles one complete frame; may queue output or dispatch a solve.
+  void handle_frame(Connection& conn, const FrameHeader& header,
+                    std::string_view body);
+  void queue_output(Connection& conn, std::string bytes);
+  void update_epoll(Connection& conn);
+  void close_connection(std::uint64_t serial);
+  /// Moves completed responses from the cross-thread outbox onto the
+  /// owning connections' write buffers (IO thread only).
+  void drain_outbox();
+  void wake();
+
+  service::SchedulingService& service_;
+  ServerConfig config_;
+  util::FdHandle listen_fd_;
+  util::FdHandle epoll_fd_;
+  util::FdHandle wake_fd_;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> stopped_{false};
+
+  /// Completions posted by service workers, drained by the IO thread.
+  std::mutex outbox_mutex_;
+  std::vector<std::pair<std::uint64_t, std::string>> outbox_;
+  std::size_t outstanding_ = 0;  ///< solves dispatched, callback not yet run
+
+  std::unordered_map<std::uint64_t, Connection> connections_;
+  std::uint64_t next_serial_ = 1;
+
+  std::atomic<std::uint64_t> connections_accepted_{0};
+  std::atomic<std::uint64_t> connections_active_{0};
+  std::atomic<std::uint64_t> frames_in_{0};
+  std::atomic<std::uint64_t> frames_out_{0};
+  std::atomic<std::uint64_t> protocol_errors_{0};
+  std::atomic<std::uint64_t> idle_closed_{0};
+  std::atomic<std::uint64_t> dropped_responses_{0};
+
+  std::thread io_;  // last member: joined by stop() before teardown
+};
+
+}  // namespace medcc::net

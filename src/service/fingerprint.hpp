@@ -59,7 +59,8 @@ struct FingerprintDetail {
 };
 
 /// Fingerprints (instance, budget, solver, config). `request.deadline_ms`
-/// is a quality-of-service knob, not part of the problem, and is excluded.
+/// and `request.tenant` are quality-of-service knobs, not part of the
+/// problem, and are excluded -- tenants share cached results.
 [[nodiscard]] FingerprintDetail fingerprint(const SchedulingRequest& request);
 
 [[nodiscard]] FingerprintDetail fingerprint_instance(

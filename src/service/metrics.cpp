@@ -86,6 +86,9 @@ void MetricsRegistry::count_response(const SchedulingResponse& response) {
         case RejectReason::unknown_solver:
           rejected_unknown_solver_.fetch_add(1, std::memory_order_relaxed);
           break;
+        case RejectReason::tenant_quota:
+          tenant_quota_rejections_.fetch_add(1, std::memory_order_relaxed);
+          break;
         case RejectReason::invalid_request:
         case RejectReason::none:
           rejected_invalid_.fetch_add(1, std::memory_order_relaxed);
@@ -139,6 +142,8 @@ MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
   s.rejected_unknown_solver =
       rejected_unknown_solver_.load(std::memory_order_relaxed);
   s.rejected_invalid = rejected_invalid_.load(std::memory_order_relaxed);
+  s.tenant_quota_rejections =
+      tenant_quota_rejections_.load(std::memory_order_relaxed);
   s.queue_depth = queue_depth_.load(std::memory_order_relaxed);
   s.queue_depth_peak = queue_depth_peak_.load(std::memory_order_relaxed);
   {
@@ -198,6 +203,7 @@ std::string render(const MetricsRegistry::Snapshot& s, bool csv) {
   emit(out, csv, "rejected_deadline", s.rejected_deadline);
   emit(out, csv, "rejected_unknown_solver", s.rejected_unknown_solver);
   emit(out, csv, "rejected_invalid", s.rejected_invalid);
+  emit(out, csv, "tenant_quota_rejections", s.tenant_quota_rejections);
   emit(out, csv, "queue_depth",
        static_cast<std::uint64_t>(std::max<std::int64_t>(0, s.queue_depth)));
   emit(out, csv, "queue_depth_peak",

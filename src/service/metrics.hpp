@@ -64,6 +64,7 @@ public:
     std::uint64_t rejected_deadline = 0;
     std::uint64_t rejected_unknown_solver = 0;
     std::uint64_t rejected_invalid = 0;
+    std::uint64_t tenant_quota_rejections = 0;
     std::int64_t queue_depth = 0;
     std::int64_t queue_depth_peak = 0;
     std::map<std::string, std::uint64_t> per_solver;
@@ -114,6 +115,7 @@ private:
   std::atomic<std::uint64_t> rejected_deadline_{0};
   std::atomic<std::uint64_t> rejected_unknown_solver_{0};
   std::atomic<std::uint64_t> rejected_invalid_{0};
+  std::atomic<std::uint64_t> tenant_quota_rejections_{0};
   std::atomic<std::int64_t> queue_depth_{0};
   std::atomic<std::int64_t> queue_depth_peak_{0};
 

@@ -19,6 +19,7 @@ const char* to_string(RejectReason reason) {
     case RejectReason::deadline_expired: return "deadline_expired";
     case RejectReason::unknown_solver: return "unknown_solver";
     case RejectReason::invalid_request: return "invalid_request";
+    case RejectReason::tenant_quota: return "tenant_quota";
   }
   return "unknown";
 }

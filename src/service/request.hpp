@@ -34,6 +34,12 @@ struct SchedulingRequest {
   /// RejectReason::deadline_expired instead of being solved.
   /// 0 uses the service default.
   double deadline_ms = 0.0;
+  /// Caller identity for per-tenant admission quotas
+  /// (ServiceConfig::max_inflight_per_tenant). Like deadline_ms it is a
+  /// quality-of-service knob, not part of the problem: it does not enter
+  /// the cache fingerprint, so tenants share cached results. Empty names
+  /// the anonymous tenant, which is quota-limited like any other.
+  std::string tenant;
 };
 
 enum class ResponseStatus {
@@ -49,6 +55,7 @@ enum class RejectReason {
   deadline_expired,  ///< spent longer than deadline_ms in the queue
   unknown_solver,    ///< no such id in the solver registry
   invalid_request,   ///< null instance or non-finite/negative budget
+  tenant_quota,      ///< tenant already at max_inflight_per_tenant
 };
 
 /// How the response was produced (mirrored into the metrics registry).

@@ -22,7 +22,7 @@ double to_seconds(std::chrono::steady_clock::duration d) {
 
 struct SchedulingService::Ticket {
   SchedulingRequest request;
-  std::promise<SchedulingResponse> promise;
+  std::function<void(SchedulingResponse)> done;
   std::chrono::steady_clock::time_point admitted;
 };
 
@@ -47,9 +47,29 @@ SchedulingService::~SchedulingService() { shutdown(); }
 
 std::future<SchedulingResponse> SchedulingService::submit(
     SchedulingRequest request) {
+  auto promise = std::make_shared<std::promise<SchedulingResponse>>();
+  auto future = promise->get_future();
+  submit_async(std::move(request),
+               [promise = std::move(promise)](SchedulingResponse response) {
+                 promise->set_value(std::move(response));
+               });
+  return future;
+}
+
+std::vector<std::future<SchedulingResponse>> SchedulingService::submit_batch(
+    std::vector<SchedulingRequest> requests) {
+  std::vector<std::future<SchedulingResponse>> futures;
+  futures.reserve(requests.size());
+  for (auto& request : requests) futures.push_back(submit(std::move(request)));
+  return futures;
+}
+
+void SchedulingService::submit_async(
+    SchedulingRequest request, std::function<void(SchedulingResponse)> done) {
+  MEDCC_EXPECTS(done != nullptr);
   auto ticket = std::make_shared<Ticket>();
   ticket->request = std::move(request);
-  auto future = ticket->promise.get_future();
+  ticket->done = std::move(done);
   metrics_.count_request(ticket->request.solver);
 
   const auto reject = [&](RejectReason reason) {
@@ -58,30 +78,35 @@ std::future<SchedulingResponse> SchedulingService::submit(
     response.reject_reason = reason;
     response.solver = ticket->request.solver;
     metrics_.count_response(response);
-    ticket->promise.set_value(std::move(response));
+    ticket->done(std::move(response));
   };
 
   if (!accepting_.load(std::memory_order_relaxed)) {
     reject(RejectReason::shutting_down);
-    return future;
+    return;
   }
   if (ticket->request.instance == nullptr ||
       !std::isfinite(ticket->request.budget) ||
       ticket->request.budget < 0.0 || ticket->request.deadline_ms < 0.0) {
     reject(RejectReason::invalid_request);
-    return future;
+    return;
   }
   if (!registry_.contains(ticket->request.solver)) {
     reject(RejectReason::unknown_solver);
-    return future;
+    return;
+  }
+  if (!acquire_tenant_slot(ticket->request.tenant)) {
+    reject(RejectReason::tenant_quota);
+    return;
   }
 
   // Admission: reserve a queue slot atomically, give it back on overflow.
   if (pending_.fetch_add(1, std::memory_order_relaxed) >=
       config_.queue_capacity) {
     pending_.fetch_sub(1, std::memory_order_relaxed);
+    release_tenant_slot(ticket->request.tenant);
     reject(RejectReason::queue_full);
-    return future;
+    return;
   }
   metrics_.queue_entered();
   ticket->admitted = clock_();
@@ -90,9 +115,26 @@ std::future<SchedulingResponse> SchedulingService::submit(
   if (!submitted) {
     pending_.fetch_sub(1, std::memory_order_relaxed);
     metrics_.queue_left();
+    release_tenant_slot(ticket->request.tenant);
     reject(RejectReason::shutting_down);
   }
-  return future;
+}
+
+bool SchedulingService::acquire_tenant_slot(const std::string& tenant) {
+  if (config_.max_inflight_per_tenant == 0) return true;
+  const std::lock_guard<std::mutex> lock(tenant_mutex_);
+  std::size_t& inflight = tenant_inflight_[tenant];
+  if (inflight >= config_.max_inflight_per_tenant) return false;
+  ++inflight;
+  return true;
+}
+
+void SchedulingService::release_tenant_slot(const std::string& tenant) {
+  if (config_.max_inflight_per_tenant == 0) return;
+  const std::lock_guard<std::mutex> lock(tenant_mutex_);
+  const auto it = tenant_inflight_.find(tenant);
+  MEDCC_EXPECTS(it != tenant_inflight_.end() && it->second > 0);
+  if (--it->second == 0) tenant_inflight_.erase(it);
 }
 
 void SchedulingService::run(Ticket& ticket) {
@@ -132,7 +174,10 @@ void SchedulingService::run(Ticket& ticket) {
   metrics_.record_solve(to_seconds(finished - started));
   metrics_.record_total(to_seconds(finished - ticket.admitted));
   metrics_.count_response(response);
-  ticket.promise.set_value(std::move(response));
+  // Free the quota slot before completing, so a caller reacting to its
+  // own response can immediately resubmit without bouncing off its quota.
+  release_tenant_slot(ticket.request.tenant);
+  ticket.done(std::move(response));
 }
 
 SchedulingResponse SchedulingService::solve(const SchedulingRequest& request) {

@@ -20,6 +20,9 @@
 #include <functional>
 #include <future>
 #include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
 
 #include "sched/solver_registry.hpp"
 #include "service/cache.hpp"
@@ -41,6 +44,10 @@ struct ServiceConfig {
   /// Queue deadline applied when a request does not set its own;
   /// 0 = requests wait indefinitely.
   double default_deadline_ms = 0.0;
+  /// Maximum admitted-or-solving requests per tenant id; the excess is
+  /// rejected with RejectReason::tenant_quota. 0 = unlimited. The empty
+  /// tenant ("") counts as one tenant like any other.
+  std::size_t max_inflight_per_tenant = 0;
   /// Injectable time source (tests freeze it); default steady_clock.
   std::function<std::chrono::steady_clock::time_point()> clock{};
   /// Solver table; nullptr = sched::SolverRegistry::built_in().
@@ -59,6 +66,20 @@ public:
   /// rejections resolve it immediately with status == rejected.
   [[nodiscard]] std::future<SchedulingResponse> submit(
       SchedulingRequest request);
+
+  /// Callback flavour of submit() for callers that multiplex completions
+  /// themselves (the net/ server correlates responses by request id).
+  /// `done` is invoked exactly once -- synchronously, on the submitting
+  /// thread, for admission rejections, otherwise on a worker thread --
+  /// and must not throw.
+  void submit_async(SchedulingRequest request,
+                    std::function<void(SchedulingResponse)> done);
+
+  /// Submits every request in order (the batch API the network layer
+  /// pipelines over one connection). Each element is admitted
+  /// independently: a rejection of one does not affect the others.
+  [[nodiscard]] std::vector<std::future<SchedulingResponse>> submit_batch(
+      std::vector<SchedulingRequest> requests);
 
   /// Blocks until every admitted request has been answered.
   void drain();
@@ -80,6 +101,8 @@ private:
 
   void run(Ticket& ticket);
   [[nodiscard]] SchedulingResponse solve(const SchedulingRequest& request);
+  [[nodiscard]] bool acquire_tenant_slot(const std::string& tenant);
+  void release_tenant_slot(const std::string& tenant);
 
   ServiceConfig config_;
   const sched::SolverRegistry& registry_;
@@ -89,6 +112,9 @@ private:
   std::atomic<bool> accepting_{true};
   /// Admitted-but-not-yet-running requests (the bounded queue).
   std::atomic<std::size_t> pending_{0};
+  /// Admitted-or-solving requests per tenant (quota accounting).
+  std::mutex tenant_mutex_;
+  std::unordered_map<std::string, std::size_t> tenant_inflight_;
   util::ThreadPool pool_;  // last member: destroyed (joined) first
 };
 

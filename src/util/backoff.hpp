@@ -1,0 +1,46 @@
+// Deterministic exponential backoff for retry loops (client reconnects,
+// transient-failure polling).
+//
+// No jitter is built in: repo-wide reproducibility rules route all
+// randomness through util::Prng, so callers that want decorrelated
+// retries add their own jitter from a seeded stream. The sequence is
+// initial, initial*factor, ... capped at `cap`.
+#pragma once
+
+#include "util/error.hpp"
+
+namespace medcc::util {
+
+class Backoff {
+public:
+  Backoff(double initial_ms, double cap_ms, double factor = 2.0)
+      : initial_ms_(initial_ms),
+        cap_ms_(cap_ms),
+        factor_(factor),
+        next_ms_(initial_ms) {
+    MEDCC_EXPECTS(initial_ms > 0.0);
+    MEDCC_EXPECTS(cap_ms >= initial_ms);
+    MEDCC_EXPECTS(factor >= 1.0);
+  }
+
+  /// The delay to apply before the *next* attempt, advancing the state.
+  [[nodiscard]] double next_ms() {
+    const double delay = next_ms_;
+    next_ms_ = delay * factor_ >= cap_ms_ ? cap_ms_ : delay * factor_;
+    return delay;
+  }
+
+  /// The delay next_ms() would return, without advancing.
+  [[nodiscard]] double peek_ms() const { return next_ms_; }
+
+  /// Restarts the sequence from the initial delay (call after success).
+  void reset() { next_ms_ = initial_ms_; }
+
+private:
+  double initial_ms_;
+  double cap_ms_;
+  double factor_;
+  double next_ms_;
+};
+
+}  // namespace medcc::util

@@ -1,0 +1,90 @@
+#include "util/socket.hpp"
+
+#include <cerrno>
+#include <cmath>
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace medcc::util {
+
+void FdHandle::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool set_nonblocking(int fd, bool on) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  const int next = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  return ::fcntl(fd, F_SETFL, next) == 0;
+}
+
+void set_tcp_nodelay(int fd) {
+  int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+namespace {
+
+WaitResult wait_for(int fd, short events, double timeout_ms) {
+  struct pollfd pfd;
+  pfd.fd = fd;
+  pfd.events = events;
+  pfd.revents = 0;
+  // poll takes whole milliseconds; round sub-millisecond waits up so a
+  // positive timeout never degenerates into a busy spin.
+  int ms = -1;
+  if (timeout_ms >= 0.0)
+    ms = static_cast<int>(std::ceil(std::min(timeout_ms, 2.0e9)));
+  for (;;) {
+    const int rc = ::poll(&pfd, 1, ms);
+    if (rc > 0) {
+      if ((pfd.revents & (POLLERR | POLLNVAL)) != 0) return WaitResult::error;
+      return WaitResult::ready;
+    }
+    if (rc == 0) return WaitResult::timeout;
+    if (errno == EINTR) continue;
+    return WaitResult::error;
+  }
+}
+
+}  // namespace
+
+WaitResult wait_readable(int fd, double timeout_ms) {
+  return wait_for(fd, POLLIN, timeout_ms);
+}
+
+WaitResult wait_writable(int fd, double timeout_ms) {
+  return wait_for(fd, POLLOUT, timeout_ms);
+}
+
+bool send_all(int fd, const char* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+long recv_some(int fd, char* out, std::size_t capacity) {
+  for (;;) {
+    const ssize_t n = ::recv(fd, out, capacity, 0);
+    if (n < 0 && errno == EINTR) continue;
+    return static_cast<long>(n);
+  }
+}
+
+}  // namespace medcc::util

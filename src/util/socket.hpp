@@ -1,0 +1,84 @@
+// POSIX file-descriptor RAII and the small set of socket helpers the
+// net/ layer builds on: EINTR-safe send/recv wrappers and poll-based
+// readiness waits with millisecond deadlines.
+//
+// This layer is deliberately exception-free: every helper reports
+// failure through its return value (with errno left intact), so the
+// transport code above it decides what is fatal. Only FdHandle touches
+// ownership.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+
+namespace medcc::util {
+
+/// Move-only owner of a POSIX file descriptor; closes on destruction.
+class FdHandle {
+public:
+  FdHandle() = default;
+  explicit FdHandle(int fd) : fd_(fd) {}
+  ~FdHandle() { close(); }
+
+  FdHandle(const FdHandle&) = delete;
+  FdHandle& operator=(const FdHandle&) = delete;
+
+  FdHandle(FdHandle&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  FdHandle& operator=(FdHandle&& other) noexcept {
+    if (this != &other) {
+      close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  [[nodiscard]] int get() const { return fd_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  explicit operator bool() const { return valid(); }
+
+  /// Releases ownership without closing; returns the descriptor.
+  [[nodiscard]] int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+  /// Closes now (idempotent); EINTR on close is ignored per POSIX advice.
+  void close();
+
+  /// Takes ownership of `fd`, closing any previously held descriptor.
+  void reset(int fd = -1) {
+    close();
+    fd_ = fd;
+  }
+
+private:
+  int fd_ = -1;
+};
+
+/// Sets or clears O_NONBLOCK. Returns false (errno set) on failure.
+[[nodiscard]] bool set_nonblocking(int fd, bool on);
+
+/// Disables Nagle's algorithm (TCP_NODELAY); best-effort.
+void set_tcp_nodelay(int fd);
+
+/// Outcome of a poll-based readiness wait.
+enum class WaitResult { ready, timeout, error };
+
+/// Waits until `fd` is readable, for up to `timeout_ms` (< 0 = forever).
+[[nodiscard]] WaitResult wait_readable(int fd, double timeout_ms);
+
+/// Waits until `fd` is writable, for up to `timeout_ms` (< 0 = forever).
+[[nodiscard]] WaitResult wait_writable(int fd, double timeout_ms);
+
+/// EINTR-retrying send of the full buffer on a *blocking* descriptor.
+/// Returns false (errno set) on any terminal error.
+[[nodiscard]] bool send_all(int fd, const char* data, std::size_t size);
+
+/// One EINTR-retrying recv. Returns bytes read, 0 on orderly shutdown,
+/// -1 on error (errno set; EAGAIN/EWOULDBLOCK mean "no data yet" on
+/// non-blocking descriptors).
+[[nodiscard]] long recv_some(int fd, char* out, std::size_t capacity);
+
+}  // namespace medcc::util

@@ -375,6 +375,96 @@ TEST(Service, DefaultDeadlineAppliesWhenRequestHasNone) {
   EXPECT_EQ(queued.get().reject_reason, RejectReason::deadline_expired);
 }
 
+TEST(Service, TenantQuotaBoundsInflightPerTenant) {
+  BlockingRegistryFixture fixture;
+  ServiceConfig config;
+  config.threads = 1;
+  config.queue_capacity = 16;
+  config.max_inflight_per_tenant = 2;
+  config.registry = &fixture.registry();
+  SchedulingService service(std::move(config));
+
+  const auto tenant_request = [](std::string tenant, std::string solver) {
+    auto req = request_for(example_instance(), 57.0, std::move(solver));
+    req.tenant = std::move(tenant);
+    return req;
+  };
+
+  // Tenant "a" fills its quota: one solving, one queued.
+  auto blocked = service.submit(tenant_request("a", "block"));
+  fixture.wait_until_blocked();
+  auto queued = service.submit(tenant_request("a", "cg"));
+
+  // The third "a" request bounces; tenant "b" is unaffected.
+  const auto bounced = service.submit(tenant_request("a", "cg")).get();
+  EXPECT_EQ(bounced.status, ResponseStatus::rejected);
+  EXPECT_EQ(bounced.reject_reason, RejectReason::tenant_quota);
+  auto other = service.submit(tenant_request("b", "cg"));
+
+  fixture.release();
+  EXPECT_TRUE(blocked.get().ok());
+  EXPECT_TRUE(queued.get().ok());
+  EXPECT_TRUE(other.get().ok());
+
+  // Completions released the slots: "a" may submit again.
+  EXPECT_TRUE(service.submit(tenant_request("a", "cg")).get().ok());
+
+  const auto snap = service.metrics().snapshot();
+  EXPECT_EQ(snap.tenant_quota_rejections, 1u);
+  EXPECT_NE(service.metrics().dump_text().find("tenant_quota_rejections 1"),
+            std::string::npos);
+}
+
+TEST(Service, TenantQuotaDisabledByDefault) {
+  SchedulingService service({.threads = 1});
+  const auto inst = example_instance();
+  std::vector<std::future<SchedulingResponse>> futures;
+  for (int i = 0; i < 8; ++i) {
+    auto req = request_for(inst, 57.0);
+    req.tenant = "same-tenant";
+    futures.push_back(service.submit(std::move(req)));
+  }
+  for (auto& f : futures) EXPECT_TRUE(f.get().ok());
+  EXPECT_EQ(service.metrics().snapshot().tenant_quota_rejections, 0u);
+}
+
+TEST(Service, SubmitBatchAdmitsEachRequestIndependently) {
+  SchedulingService service({.threads = 2});
+  const auto inst = example_instance();
+  std::vector<SchedulingRequest> batch;
+  batch.push_back(request_for(inst, 57.0, "cg"));
+  batch.push_back(request_for(inst, 57.0, "no-such-solver"));
+  batch.push_back(request_for(inst, 57.0, "gain3"));
+
+  auto futures = service.submit_batch(std::move(batch));
+  ASSERT_EQ(futures.size(), 3u);
+  EXPECT_TRUE(futures[0].get().ok());
+  const auto rejected = futures[1].get();
+  EXPECT_EQ(rejected.status, ResponseStatus::rejected);
+  EXPECT_EQ(rejected.reject_reason, RejectReason::unknown_solver);
+  EXPECT_TRUE(futures[2].get().ok());
+}
+
+TEST(Service, SubmitAsyncDeliversCallbackExactlyOnce) {
+  SchedulingService service({.threads = 1});
+  std::promise<SchedulingResponse> delivered;
+  service.submit_async(request_for(example_instance(), 57.0),
+                       [&delivered](SchedulingResponse response) {
+                         delivered.set_value(std::move(response));
+                       });
+  const auto response = delivered.get_future().get();
+  EXPECT_TRUE(response.ok()) << response.error;
+
+  // Admission rejections invoke the callback synchronously.
+  bool called = false;
+  SchedulingRequest invalid;
+  service.submit_async(std::move(invalid), [&called](SchedulingResponse r) {
+    called = true;
+    EXPECT_EQ(r.reject_reason, RejectReason::invalid_request);
+  });
+  EXPECT_TRUE(called);
+}
+
 TEST(Service, MetricsDumpContainsKeyLines) {
   SchedulingService service({.threads = 1});
   (void)service.submit(request_for(example_instance(), 57.0)).get();

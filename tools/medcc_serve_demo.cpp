@@ -1,19 +1,25 @@
-// Interactive demonstration of the MED-CC scheduling service: stands a
-// service up, replays a small mixed workload against it -- the paper's
-// Fig. 2 example under several solvers, verbatim duplicates, a
-// module/catalog-permuted twin, and a deliberately broken request --
-// then prints every response and the full metrics dump.
+// Interactive demonstration of the MED-CC scheduling stack over the
+// wire: stands up a SchedulingService behind the epoll TCP server on
+// loopback (or connects to a remote medcc_server), then replays a small
+// mixed workload through the blocking client -- the paper's Fig. 2
+// example under several solvers pipelined as one batch, verbatim
+// duplicates, a module/catalog-permuted twin, and deliberately broken
+// requests -- prints every response, and fetches the service metrics
+// through the StatsRequest frame.
 //
 // Usage: medcc_serve_demo [--threads N] [--budget B]
-#include <future>
+//                         [--connect HOST:PORT] [--stats]
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
 #include "cloud/vm_type.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
 #include "sched/instance.hpp"
 #include "service/service.hpp"
 #include "util/table.hpp"
@@ -54,82 +60,137 @@ std::shared_ptr<const Instance> permuted_example() {
       Instance::from_model(std::move(out), VmCatalog(std::move(types))));
 }
 
-struct Shot {
-  std::string label;
-  std::future<SchedulingResponse> future;
-};
+SchedulingRequest make_request(std::shared_ptr<const Instance> inst, double b,
+                               std::string solver, std::string tenant = "") {
+  SchedulingRequest req;
+  req.instance = std::move(inst);
+  req.budget = b;
+  req.solver = std::move(solver);
+  req.tenant = std::move(tenant);
+  return req;
+}
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::size_t threads = 2;
   double budget = 57.0;  // the paper's numerical example
+  bool stats_only = false;
+  std::optional<std::pair<std::string, std::uint16_t>> remote;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--threads" && i + 1 < argc) {
       threads = std::stoul(argv[++i]);
     } else if (arg == "--budget" && i + 1 < argc) {
       budget = std::stod(argv[++i]);
+    } else if (arg == "--stats") {
+      stats_only = true;
+    } else if (arg == "--connect" && i + 1 < argc) {
+      const std::string endpoint = argv[++i];
+      const auto colon = endpoint.rfind(':');
+      if (colon == std::string::npos || colon + 1 >= endpoint.size()) {
+        std::cerr << "medcc_serve_demo: --connect expects HOST:PORT\n";
+        return 2;
+      }
+      remote = {endpoint.substr(0, colon),
+                static_cast<std::uint16_t>(
+                    std::stoul(endpoint.substr(colon + 1)))};
     } else {
-      std::cerr << "usage: medcc_serve_demo [--threads N] [--budget B]\n";
+      std::cerr << "usage: medcc_serve_demo [--threads N] [--budget B] "
+                   "[--connect HOST:PORT] [--stats]\n";
       return 2;
     }
   }
 
-  const auto example = std::make_shared<const Instance>(Instance::from_model(
-      medcc::workflow::example6(), medcc::cloud::example_catalog()));
-  const auto twin = permuted_example();
+  try {
+    // Without --connect, stand the whole stack up in-process and talk to
+    // it over loopback TCP anyway: the demo exercises the same wire path
+    // a remote client would.
+    std::unique_ptr<SchedulingService> local_service;
+    std::unique_ptr<medcc::net::Server> local_server;
+    medcc::net::ClientConfig client_config;
+    if (remote) {
+      client_config.host = remote->first;
+      client_config.port = remote->second;
+    } else {
+      local_service = std::make_unique<SchedulingService>(
+          ServiceConfig{.threads = threads});
+      local_server = std::make_unique<medcc::net::Server>(*local_service);
+      client_config.port = local_server->port();
+    }
+    medcc::net::Client client(client_config);
+    client.connect();
+    std::cout << "connected to " << client_config.host << ":"
+              << client_config.port
+              << (remote ? " (remote server)" : " (in-process loopback)")
+              << "\n\n";
 
-  SchedulingService service(ServiceConfig{.threads = threads});
-  std::cout << "service up: " << service.thread_count() << " workers, cache "
-            << (service.cache_enabled() ? "on" : "off") << "\n\n";
+    if (stats_only) {
+      std::cout << client.stats();
+      return 0;
+    }
 
-  const auto submit = [&service](std::string label,
-                                 std::shared_ptr<const Instance> inst,
-                                 double b, std::string solver) {
-    SchedulingRequest req;
-    req.instance = std::move(inst);
-    req.budget = b;
-    req.solver = std::move(solver);
-    return Shot{std::move(label), service.submit(std::move(req))};
-  };
+    const auto example = std::make_shared<const Instance>(Instance::from_model(
+        medcc::workflow::example6(), medcc::cloud::example_catalog()));
+    const auto twin = permuted_example();
 
-  std::vector<Shot> shots;
-  shots.push_back(submit("fig2 / cg", example, budget, "cg"));
-  shots.push_back(submit("fig2 / gain3", example, budget, "gain3"));
-  shots.push_back(submit("fig2 / loss2", example, budget, "loss2"));
-  shots.push_back(submit("fig2 / cg repeat", example, budget, "cg"));
-  shots.push_back(submit("fig2 permuted twin / cg", twin, budget, "cg"));
-  shots.push_back(submit("unknown solver", example, budget, "frobnicate"));
-  shots.push_back(submit("infeasible budget / cg", example, 1.0, "cg"));
+    const std::vector<std::string> labels = {
+        "fig2 / cg",         "fig2 / gain3",
+        "fig2 / loss2",      "fig2 / cg repeat",
+        "fig2 twin / cg",    "unknown solver",
+        "infeasible budget",
+    };
+    std::vector<SchedulingRequest> requests;
+    requests.push_back(make_request(example, budget, "cg", "demo"));
+    requests.push_back(make_request(example, budget, "gain3", "demo"));
+    requests.push_back(make_request(example, budget, "loss2", "demo"));
+    requests.push_back(make_request(example, budget, "cg", "demo"));
+    requests.push_back(make_request(twin, budget, "cg", "demo"));
+    requests.push_back(make_request(example, budget, "frobnicate", "demo"));
+    requests.push_back(make_request(example, 1.0, "cg", "demo"));
 
-  medcc::util::Table table(
-      {"request", "status", "cache", "MED", "cost", "schedule"});
-  for (auto& shot : shots) {
-    const SchedulingResponse response = shot.future.get();
-    std::string status = to_string(response.status);
-    if (!response.ok() && !response.error.empty())
-      status += " (" + response.error + ")";
-    else if (response.status == medcc::service::ResponseStatus::rejected)
-      status += std::string(" (") + to_string(response.reject_reason) + ")";
-    table.add_row(
-        {shot.label, status, to_string(response.cache),
-         response.ok() ? medcc::util::fmt(response.result.eval.med) : "-",
-         response.ok() ? medcc::util::fmt(response.result.eval.cost) : "-",
-         response.ok() ? medcc::sched::to_string(
-                             shot.label.find("twin") != std::string::npos
+    // One pipelined burst: all seven frames go out before the first
+    // response is read; the server answers them as solves complete.
+    const std::vector<SchedulingResponse> responses =
+        client.solve_batch(requests);
+
+    medcc::util::Table table(
+        {"request", "status", "cache", "MED", "cost", "schedule"});
+    for (std::size_t i = 0; i < responses.size(); ++i) {
+      const SchedulingResponse& response = responses[i];
+      std::string status = to_string(response.status);
+      if (!response.ok() && !response.error.empty())
+        status += " (" + response.error + ")";
+      else if (response.status == medcc::service::ResponseStatus::rejected)
+        status += std::string(" (") + to_string(response.reject_reason) + ")";
+      const Instance& inst = labels[i].find("twin") != std::string::npos
                                  ? *twin
-                                 : *example,
-                             response.result.schedule)
-                       : "-"});
-  }
-  std::cout << table.render() << "\n";
+                                 : *example;
+      table.add_row(
+          {labels[i], status, to_string(response.cache),
+           response.ok() ? medcc::util::fmt(response.result.eval.med) : "-",
+           response.ok() ? medcc::util::fmt(response.result.eval.cost) : "-",
+           response.ok()
+               ? medcc::sched::to_string(inst, response.result.schedule)
+               : "-"});
+    }
+    std::cout << table.render() << "\n";
 
-  service.drain();
-  std::cout << "--- metrics ---\n" << service.metrics().dump_text();
-  const auto cache = service.cache_stats();
-  std::cout << "cache: size=" << cache.size
-            << " insertions=" << cache.insertions
-            << " evictions=" << cache.evictions << "\n";
+    std::cout << "--- metrics (fetched over the wire) ---\n"
+              << client.stats();
+    if (local_server) {
+      client.close();
+      local_server->stop();
+      const auto wire = local_server->counters();
+      std::cout << "--- transport ---\n"
+                << "connections_accepted " << wire.connections_accepted
+                << " frames_in " << wire.frames_in << " frames_out "
+                << wire.frames_out << " protocol_errors "
+                << wire.protocol_errors << "\n";
+    }
+  } catch (const std::exception& ex) {
+    std::cerr << "medcc_serve_demo: " << ex.what() << "\n";
+    return 1;
+  }
   return 0;
 }
