@@ -77,20 +77,45 @@ void Client::connect() {
       std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
           backoff.next_ms()));
     for (const addrinfo* ai = found; ai != nullptr; ai = ai->ai_next) {
-      util::FdHandle fd(::socket(ai->ai_family,
-                                 ai->ai_socktype | SOCK_CLOEXEC,
-                                 ai->ai_protocol));
+      // Non-blocking from the start so connect_timeout_ms bounds
+      // establishment too, mirroring the send/recv deadline handling.
+      util::FdHandle fd(::socket(
+          ai->ai_family, ai->ai_socktype | SOCK_CLOEXEC | SOCK_NONBLOCK,
+          ai->ai_protocol));
       if (!fd) {
         last_error = std::strerror(errno);
         continue;
       }
       if (::connect(fd.get(), ai->ai_addr, ai->ai_addrlen) != 0) {
-        last_error = std::strerror(errno);
-        continue;
-      }
-      if (!util::set_nonblocking(fd.get(), true)) {
-        last_error = "cannot set O_NONBLOCK";
-        continue;
+        // EINTR also means the handshake continues asynchronously.
+        if (errno != EINPROGRESS && errno != EINTR) {
+          last_error = std::strerror(errno);
+          continue;
+        }
+        const double wait_ms =
+            config_.connect_timeout_ms > 0.0 ? config_.connect_timeout_ms
+                                             : -1.0;
+        const auto wait = util::wait_writable(fd.get(), wait_ms);
+        if (wait == util::WaitResult::timeout) {
+          last_error = "connect timed out";
+          continue;
+        }
+        // A refused/unreachable connect surfaces as POLLERR (WaitResult::
+        // error); SO_ERROR carries the real cause either way.
+        int soerr = 0;
+        socklen_t len = sizeof(soerr);
+        if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &soerr, &len) != 0) {
+          last_error = std::strerror(errno);
+          continue;
+        }
+        if (soerr != 0) {
+          last_error = std::strerror(soerr);
+          continue;
+        }
+        if (wait == util::WaitResult::error) {
+          last_error = "poll failed while connecting";
+          continue;
+        }
       }
       util::set_tcp_nodelay(fd.get());
       fd_ = std::move(fd);

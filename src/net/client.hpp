@@ -33,6 +33,10 @@ struct ClientConfig {
   std::uint16_t port = 0;
   /// connect() attempts before giving up.
   std::size_t connect_attempts = 5;
+  /// Bound on each TCP connection-establishment attempt, so a
+  /// black-holed host cannot hang the caller for the kernel default
+  /// (minutes); 0 = no bound.
+  double connect_timeout_ms = 10000.0;
   /// Exponential backoff between connect attempts.
   double backoff_initial_ms = 10.0;
   double backoff_cap_ms = 1000.0;

@@ -33,6 +33,18 @@ double ms_since(std::chrono::steady_clock::time_point then,
 
 }  // namespace
 
+void Server::CompletionQueue::post(std::uint64_t serial, std::string bytes) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex);
+    if (!bytes.empty()) items.emplace_back(serial, std::move(bytes));
+    --outstanding;
+  }
+  // The eventfd lives as long as this queue, so this write is safe even
+  // after the Server (and its epoll) are gone; it is then simply unread.
+  const std::uint64_t one = 1;
+  (void)!::write(wake_fd.get(), &one, sizeof(one));
+}
+
 Server::Server(service::SchedulingService& service, ServerConfig config)
     : service_(service), config_(std::move(config)) {
   listen_fd_.reset(::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
@@ -64,13 +76,15 @@ Server::Server(service::SchedulingService& service, ServerConfig config)
 
   epoll_fd_.reset(::epoll_create1(EPOLL_CLOEXEC));
   if (!epoll_fd_) throw NetError("server: epoll_create1 failed");
-  wake_fd_.reset(::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC));
-  if (!wake_fd_) throw NetError("server: eventfd failed");
+  completions_ = std::make_shared<CompletionQueue>();
+  completions_->wake_fd.reset(::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC));
+  if (!completions_->wake_fd) throw NetError("server: eventfd failed");
 
   epoll_event ev{};
   ev.events = EPOLLIN;
   ev.data.u64 = kWakeTag;
-  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, wake_fd_.get(), &ev) != 0)
+  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD,
+                  completions_->wake_fd.get(), &ev) != 0)
     throw NetError("server: epoll_ctl(wake) failed");
   ev.events = EPOLLIN;
   ev.data.u64 = kListenTag;
@@ -93,7 +107,7 @@ void Server::stop() {
 void Server::wake() {
   const std::uint64_t one = 1;
   // A full eventfd counter still wakes the loop; ignore short writes.
-  (void)!::write(wake_fd_.get(), &one, sizeof(one));
+  (void)!::write(completions_->wake_fd.get(), &one, sizeof(one));
 }
 
 Server::Counters Server::counters() const {
@@ -106,6 +120,8 @@ Server::Counters Server::counters() const {
   c.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
   c.idle_closed = idle_closed_.load(std::memory_order_relaxed);
   c.dropped_responses = dropped_responses_.load(std::memory_order_relaxed);
+  c.backpressure_paused =
+      backpressure_paused_.load(std::memory_order_relaxed);
   return c;
 }
 
@@ -137,7 +153,7 @@ void Server::io_loop() {
       const std::uint32_t mask = events[static_cast<std::size_t>(i)].events;
       if (tag == kWakeTag) {
         std::uint64_t counter = 0;
-        (void)!::read(wake_fd_.get(), &counter, sizeof(counter));
+        (void)!::read(completions_->wake_fd.get(), &counter, sizeof(counter));
         continue;
       }
       if (tag == kListenTag) {
@@ -163,8 +179,11 @@ void Server::io_loop() {
     if (config_.idle_timeout_ms > 0.0 && !connections_.empty()) {
       const auto now = std::chrono::steady_clock::now();
       std::vector<std::uint64_t> idle;
+      // last_activity advances on every recv and every send that makes
+      // progress, so this reaps both silent connections and peers that
+      // stopped reading while we still hold unflushed output for them.
       for (const auto& [serial, conn] : connections_)
-        if (conn.pending == 0 && conn.outbuf.empty() &&
+        if (conn.pending == 0 &&
             ms_since(conn.last_activity, now) > config_.idle_timeout_ms)
           idle.push_back(serial);
       for (const std::uint64_t serial : idle) {
@@ -185,8 +204,9 @@ void Server::io_loop() {
       }
       bool in_flight;
       {
-        const std::lock_guard<std::mutex> lock(outbox_mutex_);
-        in_flight = outstanding_ > 0 || !outbox_.empty();
+        const std::lock_guard<std::mutex> lock(completions_->mutex);
+        in_flight =
+            completions_->outstanding > 0 || !completions_->items.empty();
       }
       const bool flushed = std::all_of(
           connections_.begin(), connections_.end(),
@@ -246,7 +266,13 @@ void Server::conn_readable(Connection& conn) {
     return;
   }
 
-  while (conn.reading) {
+  process_inbuf(conn);
+}
+
+void Server::process_inbuf(Connection& conn) {
+  // read_paused stops frame handling too: frames already buffered wait
+  // until the outbuf flushes, at which point conn_writable resumes us.
+  while (conn.reading && !conn.read_paused) {
     FrameHeader header;
     try {
       const auto parsed =
@@ -295,26 +321,24 @@ void Server::handle_frame(Connection& conn, const FrameHeader& header,
       const std::uint64_t serial = conn.serial;
       const std::uint64_t id = header.request_id;
       {
-        const std::lock_guard<std::mutex> lock(outbox_mutex_);
-        ++outstanding_;
+        const std::lock_guard<std::mutex> lock(completions_->mutex);
+        ++completions_->outstanding;
       }
       ++conn.pending;
+      // The callback captures the shared CompletionQueue, never `this`:
+      // a solve that outlives stop()'s grace period (and possibly the
+      // Server) still posts into live memory and is merely dropped.
       service_.submit_async(
           std::move(request),
-          [this, serial, id](service::SchedulingResponse response) {
+          [queue = completions_, serial,
+           id](service::SchedulingResponse response) {
             std::string bytes;
             try {
               bytes = encode_solve_response(response, id);
             } catch (...) {
               // Encoding cannot fail short of OOM; drop rather than die.
             }
-            {
-              const std::lock_guard<std::mutex> lock(outbox_mutex_);
-              if (!bytes.empty())
-                outbox_.emplace_back(serial, std::move(bytes));
-              --outstanding_;
-            }
-            wake();
+            queue->post(serial, std::move(bytes));
           });
       return;
     }
@@ -351,15 +375,23 @@ void Server::handle_frame(Connection& conn, const FrameHeader& header,
 void Server::queue_output(Connection& conn, std::string bytes) {
   conn.outbuf += bytes;
   frames_out_.fetch_add(1, std::memory_order_relaxed);
+  bool rearm = false;
   if (!conn.want_write) {
     conn.want_write = true;
-    update_epoll(conn);
+    rearm = true;
   }
+  if (config_.max_conn_outbuf > 0 && !conn.read_paused &&
+      conn.outbuf.size() - conn.out_offset > config_.max_conn_outbuf) {
+    conn.read_paused = true;
+    backpressure_paused_.fetch_add(1, std::memory_order_relaxed);
+    rearm = true;
+  }
+  if (rearm) update_epoll(conn);
 }
 
 void Server::update_epoll(Connection& conn) {
   epoll_event ev{};
-  ev.events = (conn.reading ? EPOLLIN : 0u) |
+  ev.events = ((conn.reading && !conn.read_paused) ? EPOLLIN : 0u) |
               (conn.want_write ? EPOLLOUT : 0u);
   ev.data.u64 = conn.serial;
   (void)::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_MOD, conn.fd.get(), &ev);
@@ -387,7 +419,12 @@ void Server::conn_writable(Connection& conn) {
     close_connection(conn.serial);
     return;
   }
+  const bool resume = conn.read_paused;
+  conn.read_paused = false;
   update_epoll(conn);
+  // Level-triggered EPOLLIN will not re-fire for bytes we already hold,
+  // so frames buffered while paused are handled here.
+  if (resume) process_inbuf(conn);
 }
 
 void Server::close_connection(std::uint64_t serial) {
@@ -402,8 +439,8 @@ void Server::close_connection(std::uint64_t serial) {
 void Server::drain_outbox() {
   std::vector<std::pair<std::uint64_t, std::string>> ready;
   {
-    const std::lock_guard<std::mutex> lock(outbox_mutex_);
-    ready.swap(outbox_);
+    const std::lock_guard<std::mutex> lock(completions_->mutex);
+    ready.swap(completions_->items);
   }
   for (auto& [serial, bytes] : ready) {
     const auto it = connections_.find(serial);

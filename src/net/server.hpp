@@ -22,13 +22,17 @@
 // already dispatched keep their worker slots, the loop waits for every
 // in-flight solve and flushes every outbuf (bounded by
 // drain_grace_ms), and only then do the sockets close. The destructor
-// calls stop().
+// calls stop(). Completion callbacks capture only the shared_ptr-owned
+// CompletionQueue, never the Server itself, so a solve that outlives
+// the grace period posts into state that outlives the Server and is
+// simply dropped.
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -50,7 +54,14 @@ struct ServerConfig {
   int backlog = 64;
   std::size_t max_connections = 1024;
   std::size_t max_frame_body = kDefaultMaxBody;
-  /// Close connections with no traffic for this long; 0 = never.
+  /// High-water mark on a connection's unflushed output. Past it the
+  /// server stops reading from that connection until the buffer flushes,
+  /// so a client that pipelines requests but never reads cannot grow
+  /// server memory without bound. 0 = unlimited.
+  std::size_t max_conn_outbuf = 4 * 1024 * 1024;
+  /// Close connections with no traffic for this long; 0 = never. Also
+  /// reaps connections whose unflushed output has made no progress for
+  /// this long (a peer that stopped reading).
   double idle_timeout_ms = 0.0;
   /// stop(): how long to keep flushing responses after the last
   /// in-flight solve completes before closing connections hard.
@@ -82,7 +93,8 @@ public:
     std::uint64_t frames_out = 0;
     std::uint64_t protocol_errors = 0;
     std::uint64_t idle_closed = 0;
-    std::uint64_t dropped_responses = 0;  ///< finished after peer left
+    std::uint64_t dropped_responses = 0;    ///< finished after peer left
+    std::uint64_t backpressure_paused = 0;  ///< reads paused at high water
   };
   [[nodiscard]] Counters counters() const;
 
@@ -97,12 +109,31 @@ private:
     std::size_t pending = 0;  ///< solves dispatched, response not yet queued
     bool close_after_flush = false;
     bool want_write = false;
-    bool reading = true;  ///< false once the stream is poisoned
+    bool reading = true;      ///< false once the stream is poisoned
+    bool read_paused = false;  ///< outbuf over the high-water mark
+  };
+
+  /// Cross-thread completion state shared with the submit_async
+  /// callbacks. Owned via shared_ptr so a callback firing after the
+  /// Server is destroyed (a solve outliving drain_grace_ms) still posts
+  /// into live memory; the response is then dropped with the queue.
+  struct CompletionQueue {
+    std::mutex mutex;
+    std::vector<std::pair<std::uint64_t, std::string>> items;
+    std::size_t outstanding = 0;  ///< dispatched, callback not yet run
+    util::FdHandle wake_fd;       ///< eventfd the IO thread sleeps on
+
+    /// Worker-side: enqueue the encoded response (empty = drop),
+    /// decrement outstanding, and wake the IO thread.
+    void post(std::uint64_t serial, std::string bytes);
   };
 
   void io_loop();
   void accept_ready();
   void conn_readable(Connection& conn);
+  /// Parses and handles every complete frame buffered in conn.inbuf;
+  /// stops early when the stream is poisoned or reading is paused.
+  void process_inbuf(Connection& conn);
   void conn_writable(Connection& conn);
   /// Handles one complete frame; may queue output or dispatch a solve.
   void handle_frame(Connection& conn, const FrameHeader& header,
@@ -119,15 +150,12 @@ private:
   ServerConfig config_;
   util::FdHandle listen_fd_;
   util::FdHandle epoll_fd_;
-  util::FdHandle wake_fd_;
   std::uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};
   std::atomic<bool> stopped_{false};
 
   /// Completions posted by service workers, drained by the IO thread.
-  std::mutex outbox_mutex_;
-  std::vector<std::pair<std::uint64_t, std::string>> outbox_;
-  std::size_t outstanding_ = 0;  ///< solves dispatched, callback not yet run
+  std::shared_ptr<CompletionQueue> completions_;
 
   std::unordered_map<std::uint64_t, Connection> connections_;
   std::uint64_t next_serial_ = 1;
@@ -139,6 +167,7 @@ private:
   std::atomic<std::uint64_t> protocol_errors_{0};
   std::atomic<std::uint64_t> idle_closed_{0};
   std::atomic<std::uint64_t> dropped_responses_{0};
+  std::atomic<std::uint64_t> backpressure_paused_{0};
 
   std::thread io_;  // last member: joined by stop() before teardown
 };

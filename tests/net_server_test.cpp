@@ -317,6 +317,37 @@ TEST(NetServer, GracefulShutdownDrainsInFlightSolve) {
   EXPECT_THROW(late.connect(), NetError);
 }
 
+TEST(NetServer, LateCompletionAfterServerDestructionIsSafe) {
+  BlockingRegistryFixture fixture;
+  ServiceConfig config;
+  config.threads = 1;
+  config.registry = &fixture.registry();
+  SchedulingService service(std::move(config));
+  ServerConfig server_config;
+  server_config.drain_grace_ms = 10.0;  // expire long before the solve ends
+  auto server = std::make_unique<Server>(service, server_config);
+
+  Client client(client_for(*server));
+  std::thread solver([&client] {
+    try {
+      (void)client.solve(request_for(example_instance(), 57.0, "block"));
+    } catch (const NetError&) {
+      // Expected: the grace period lapses with the solve still parked,
+      // so the server closes the connection under us.
+    }
+  });
+  fixture.wait_until_blocked();
+
+  // Destroy the Server while its completion callback has yet to run.
+  // The callback must post into the shared completion queue, not the
+  // dead Server -- ASan catches the use-after-free this regresses.
+  server->stop();
+  server.reset();
+  fixture.release();
+  service.drain();
+  solver.join();
+}
+
 // -- raw-socket malformed-byte handling -----------------------------------
 
 /// A bare blocking TCP connection for speaking deliberately broken
@@ -412,6 +443,38 @@ TEST(NetServer, MalformedHeaderClosesConnectionAfterErrorFrame) {
   const auto fault = medcc::net::decode_error(body);
   EXPECT_EQ(fault.code, WireError::bad_magic);
   EXPECT_TRUE(conn.server_closed());
+}
+
+TEST(NetServer, WriteBackpressurePausesReadingAndRecovers) {
+  SchedulingService service({.threads = 1});
+  ServerConfig config;
+  config.max_conn_outbuf = 128;  // force the high-water mark immediately
+  Server server(service, config);
+  RawConn conn(server.port());
+
+  // Pipeline a burst of stats requests without reading anything back:
+  // the response bytes pile up server-side, reading must pause at the
+  // high-water mark, then resume as we drain -- and every buffered
+  // request must still be answered exactly once.
+  constexpr std::uint64_t kBurst = 50;
+  std::string burst;
+  for (std::uint64_t id = 1; id <= kBurst; ++id)
+    burst +=
+        medcc::net::encode_stats_request(medcc::net::StatsFormat::text, id);
+  conn.send(burst);
+
+  std::vector<bool> seen(kBurst + 1, false);
+  for (std::uint64_t i = 0; i < kBurst; ++i) {
+    FrameHeader header;
+    std::string body;
+    ASSERT_TRUE(conn.read_frame(header, body));
+    ASSERT_EQ(header.type, FrameType::stats_response);
+    ASSERT_GE(header.request_id, 1u);
+    ASSERT_LE(header.request_id, kBurst);
+    EXPECT_FALSE(seen[header.request_id]);
+    seen[header.request_id] = true;
+  }
+  EXPECT_GE(server.counters().backpressure_paused, 1u);
 }
 
 TEST(NetServer, IdleConnectionsAreReaped) {

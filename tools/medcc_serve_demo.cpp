@@ -12,6 +12,7 @@
 #include <iostream>
 #include <memory>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -77,29 +78,39 @@ int main(int argc, char** argv) {
   double budget = 57.0;  // the paper's numerical example
   bool stats_only = false;
   std::optional<std::pair<std::string, std::uint16_t>> remote;
-  for (int i = 1; i < argc; ++i) {
-    const std::string_view arg = argv[i];
-    if (arg == "--threads" && i + 1 < argc) {
-      threads = std::stoul(argv[++i]);
-    } else if (arg == "--budget" && i + 1 < argc) {
-      budget = std::stod(argv[++i]);
-    } else if (arg == "--stats") {
-      stats_only = true;
-    } else if (arg == "--connect" && i + 1 < argc) {
-      const std::string endpoint = argv[++i];
-      const auto colon = endpoint.rfind(':');
-      if (colon == std::string::npos || colon + 1 >= endpoint.size()) {
-        std::cerr << "medcc_serve_demo: --connect expects HOST:PORT\n";
+  constexpr const char* usage =
+      "usage: medcc_serve_demo [--threads N] [--budget B] "
+      "[--connect HOST:PORT] [--stats]\n";
+  // Numeric parsing throws on junk or out-of-range values; answer with
+  // the usage string instead of an uncaught-exception abort.
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string_view arg = argv[i];
+      if (arg == "--threads" && i + 1 < argc) {
+        threads = std::stoul(argv[++i]);
+      } else if (arg == "--budget" && i + 1 < argc) {
+        budget = std::stod(argv[++i]);
+      } else if (arg == "--stats") {
+        stats_only = true;
+      } else if (arg == "--connect" && i + 1 < argc) {
+        const std::string endpoint = argv[++i];
+        const auto colon = endpoint.rfind(':');
+        if (colon == std::string::npos || colon + 1 >= endpoint.size()) {
+          std::cerr << "medcc_serve_demo: --connect expects HOST:PORT\n";
+          return 2;
+        }
+        const unsigned long port = std::stoul(endpoint.substr(colon + 1));
+        if (port > 65535) throw std::out_of_range("port out of range");
+        remote = {endpoint.substr(0, colon),
+                  static_cast<std::uint16_t>(port)};
+      } else {
+        std::cerr << usage;
         return 2;
       }
-      remote = {endpoint.substr(0, colon),
-                static_cast<std::uint16_t>(
-                    std::stoul(endpoint.substr(colon + 1)))};
-    } else {
-      std::cerr << "usage: medcc_serve_demo [--threads N] [--budget B] "
-                   "[--connect HOST:PORT] [--stats]\n";
-      return 2;
     }
+  } catch (const std::exception&) {
+    std::cerr << "medcc_serve_demo: invalid argument value\n" << usage;
+    return 2;
   }
 
   try {

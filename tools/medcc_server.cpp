@@ -8,35 +8,70 @@
 //                     [--queue N] [--tenant-quota N] [--idle-timeout MS]
 #include <csignal>
 #include <iostream>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 
 #include "net/server.hpp"
 #include "service/service.hpp"
 
+namespace {
+
+constexpr const char* kUsage =
+    "usage: medcc_server [--bind ADDR] [--port P] [--threads N] "
+    "[--queue N] [--tenant-quota N] [--idle-timeout MS]\n";
+
+/// Whole-string unsigned parse; std::stoul alone accepts trailing junk.
+std::size_t parse_size(const std::string& text) {
+  std::size_t pos = 0;
+  const unsigned long value = std::stoul(text, &pos);
+  if (pos != text.size()) throw std::invalid_argument("trailing characters");
+  return value;
+}
+
+std::uint16_t parse_port(const std::string& text) {
+  const std::size_t value = parse_size(text);
+  if (value > 65535) throw std::out_of_range("port out of range");
+  return static_cast<std::uint16_t>(value);
+}
+
+double parse_ms(const std::string& text) {
+  std::size_t pos = 0;
+  const double value = std::stod(text, &pos);
+  if (pos != text.size()) throw std::invalid_argument("trailing characters");
+  return value;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   medcc::service::ServiceConfig service_config;
   medcc::net::ServerConfig server_config;
-  for (int i = 1; i < argc; ++i) {
-    const std::string_view arg = argv[i];
-    if (arg == "--bind" && i + 1 < argc) {
-      server_config.bind_address = argv[++i];
-    } else if (arg == "--port" && i + 1 < argc) {
-      server_config.port = static_cast<std::uint16_t>(std::stoul(argv[++i]));
-    } else if (arg == "--threads" && i + 1 < argc) {
-      service_config.threads = std::stoul(argv[++i]);
-    } else if (arg == "--queue" && i + 1 < argc) {
-      service_config.queue_capacity = std::stoul(argv[++i]);
-    } else if (arg == "--tenant-quota" && i + 1 < argc) {
-      service_config.max_inflight_per_tenant = std::stoul(argv[++i]);
-    } else if (arg == "--idle-timeout" && i + 1 < argc) {
-      server_config.idle_timeout_ms = std::stod(argv[++i]);
-    } else {
-      std::cerr << "usage: medcc_server [--bind ADDR] [--port P] "
-                   "[--threads N] [--queue N] [--tenant-quota N] "
-                   "[--idle-timeout MS]\n";
-      return 2;
+  // Numeric parsing throws on junk or out-of-range values; answer with
+  // the usage string instead of an uncaught-exception abort.
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string_view arg = argv[i];
+      if (arg == "--bind" && i + 1 < argc) {
+        server_config.bind_address = argv[++i];
+      } else if (arg == "--port" && i + 1 < argc) {
+        server_config.port = parse_port(argv[++i]);
+      } else if (arg == "--threads" && i + 1 < argc) {
+        service_config.threads = parse_size(argv[++i]);
+      } else if (arg == "--queue" && i + 1 < argc) {
+        service_config.queue_capacity = parse_size(argv[++i]);
+      } else if (arg == "--tenant-quota" && i + 1 < argc) {
+        service_config.max_inflight_per_tenant = parse_size(argv[++i]);
+      } else if (arg == "--idle-timeout" && i + 1 < argc) {
+        server_config.idle_timeout_ms = parse_ms(argv[++i]);
+      } else {
+        std::cerr << kUsage;
+        return 2;
+      }
     }
+  } catch (const std::exception&) {
+    std::cerr << "medcc_server: invalid argument value\n" << kUsage;
+    return 2;
   }
 
   // Block the shutdown signals before any thread is spawned so the
@@ -77,6 +112,7 @@ int main(int argc, char** argv) {
               << "protocol_errors " << wire.protocol_errors << "\n"
               << "idle_closed " << wire.idle_closed << "\n"
               << "dropped_responses " << wire.dropped_responses << "\n"
+              << "backpressure_paused " << wire.backpressure_paused << "\n"
               << "--- metrics ---\n"
               << service.metrics().dump_text();
   } catch (const std::exception& ex) {
