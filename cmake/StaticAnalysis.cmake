@@ -1,0 +1,22 @@
+# Compile-time static analysis toggles.
+#
+# Thread-safety analysis (Clang only): the annotations in
+# src/util/thread_annotations.hpp let Clang prove, per translation unit,
+# that every MEDCC_GUARDED_BY field is only touched with its mutex held
+# and that MEDCC_ACQUIRE/RELEASE functions balance. The analysis is a
+# warning pass, so CI runs the Clang leg with -DMEDCC_WERROR=ON to make
+# violations hard errors. GCC accepts the annotations as no-ops (see the
+# header); this module simply skips the flag there.
+option(MEDCC_THREAD_SAFETY
+  "Enable Clang -Wthread-safety analysis (no-op on other compilers)" ON)
+
+if(MEDCC_THREAD_SAFETY)
+  if(CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+    target_compile_options(medcc_warnings INTERFACE -Wthread-safety)
+    message(STATUS "medcc: Clang thread-safety analysis enabled")
+  else()
+    message(STATUS
+      "medcc: thread-safety analysis skipped (requires Clang, have "
+      "${CMAKE_CXX_COMPILER_ID})")
+  endif()
+endif()

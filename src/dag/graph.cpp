@@ -18,7 +18,7 @@ Dag& Dag::operator=(const Dag& other) {
   edges_ = other.edges_;
   out_ = other.out_;
   in_ = other.in_;
-  std::scoped_lock lock(topo_mutex_);
+  const util::MutexLock lock(topo_mutex_);
   topo_cache_ = std::move(cache);
   return *this;
 }
@@ -35,18 +35,18 @@ Dag& Dag::operator=(Dag&& other) noexcept {
   edges_ = std::move(other.edges_);
   out_ = std::move(other.out_);
   in_ = std::move(other.in_);
-  std::scoped_lock lock(topo_mutex_);
+  const util::MutexLock lock(topo_mutex_);
   topo_cache_ = std::move(cache);
   return *this;
 }
 
 Dag::TopoCache Dag::topo_cache_snapshot() const {
-  std::scoped_lock lock(topo_mutex_);
+  const util::MutexLock lock(topo_mutex_);
   return topo_cache_;
 }
 
 void Dag::invalidate_topo_cache() {
-  std::scoped_lock lock(topo_mutex_);
+  const util::MutexLock lock(topo_mutex_);
   topo_cache_.reset();
 }
 
@@ -111,7 +111,7 @@ std::vector<NodeId> Dag::sinks() const {
 }
 
 std::optional<std::vector<NodeId>> Dag::topological_order() const {
-  std::scoped_lock lock(topo_mutex_);
+  const util::MutexLock lock(topo_mutex_);
   if (!topo_cache_) {
     topo_cache_ = std::make_shared<const std::optional<std::vector<NodeId>>>(
         compute_topological_order());

@@ -8,12 +8,12 @@
 
 #include <cstddef>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <vector>
 
 #include "util/error.hpp"
+#include "util/mutex.hpp"
 
 namespace medcc::dag {
 
@@ -111,13 +111,19 @@ private:
   [[nodiscard]] TopoCache topo_cache_snapshot() const;
   void invalidate_topo_cache();
 
-  std::vector<Edge> edges_;
-  std::vector<std::vector<EdgeId>> out_;
-  std::vector<std::vector<EdgeId>> in_;
+  /// The graph structure itself is NOT internally synchronized:
+  /// concurrent reads are safe, but add_node / add_edge require external
+  /// synchronization like any other container. Only the topo-order cache
+  /// below is protected, so concurrent *readers* may race on its first
+  /// computation and share the published snapshot safely.
+  MEDCC_NOT_GUARDED std::vector<Edge> edges_;
+  MEDCC_NOT_GUARDED std::vector<std::vector<EdgeId>> out_;
+  MEDCC_NOT_GUARDED std::vector<std::vector<EdgeId>> in_;
   /// Lazily computed topological order (or cached "has a cycle" verdict).
-  /// Guarded by topo_mutex_; the pointee is immutable once published.
-  mutable TopoCache topo_cache_;
-  mutable std::mutex topo_mutex_;
+  /// The pointee is const: immutable once published, so readers can keep
+  /// using a snapshot after invalidation swaps the pointer out.
+  mutable TopoCache topo_cache_ MEDCC_GUARDED_BY(topo_mutex_);
+  mutable util::Mutex topo_mutex_;
 };
 
 }  // namespace medcc::dag

@@ -33,9 +33,14 @@ double ms_since(std::chrono::steady_clock::time_point then,
 
 }  // namespace
 
+Server::CompletionQueue::CompletionQueue()
+    : wake_fd(::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC)) {
+  if (!wake_fd) throw NetError("server: eventfd failed");
+}
+
 void Server::CompletionQueue::post(std::uint64_t serial, std::string bytes) {
   {
-    const std::lock_guard<std::mutex> lock(mutex);
+    const util::MutexLock lock(mutex);
     if (!bytes.empty()) items.emplace_back(serial, std::move(bytes));
     --outstanding;
   }
@@ -77,8 +82,6 @@ Server::Server(service::SchedulingService& service, ServerConfig config)
   epoll_fd_.reset(::epoll_create1(EPOLL_CLOEXEC));
   if (!epoll_fd_) throw NetError("server: epoll_create1 failed");
   completions_ = std::make_shared<CompletionQueue>();
-  completions_->wake_fd.reset(::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC));
-  if (!completions_->wake_fd) throw NetError("server: eventfd failed");
 
   epoll_event ev{};
   ev.events = EPOLLIN;
@@ -204,7 +207,7 @@ void Server::io_loop() {
       }
       bool in_flight;
       {
-        const std::lock_guard<std::mutex> lock(completions_->mutex);
+        const util::MutexLock lock(completions_->mutex);
         in_flight =
             completions_->outstanding > 0 || !completions_->items.empty();
       }
@@ -321,7 +324,7 @@ void Server::handle_frame(Connection& conn, const FrameHeader& header,
       const std::uint64_t serial = conn.serial;
       const std::uint64_t id = header.request_id;
       {
-        const std::lock_guard<std::mutex> lock(completions_->mutex);
+        const util::MutexLock lock(completions_->mutex);
         ++completions_->outstanding;
       }
       ++conn.pending;
@@ -439,7 +442,7 @@ void Server::close_connection(std::uint64_t serial) {
 void Server::drain_outbox() {
   std::vector<std::pair<std::uint64_t, std::string>> ready;
   {
-    const std::lock_guard<std::mutex> lock(completions_->mutex);
+    const util::MutexLock lock(completions_->mutex);
     ready.swap(completions_->items);
   }
   for (auto& [serial, bytes] : ready) {

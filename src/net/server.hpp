@@ -30,10 +30,8 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -42,6 +40,7 @@
 
 #include "net/codec.hpp"
 #include "service/service.hpp"
+#include "util/mutex.hpp"
 #include "util/socket.hpp"
 
 namespace medcc::net {
@@ -118,14 +117,24 @@ private:
   /// Server is destroyed (a solve outliving drain_grace_ms) still posts
   /// into live memory; the response is then dropped with the queue.
   struct CompletionQueue {
-    std::mutex mutex;
-    std::vector<std::pair<std::uint64_t, std::string>> items;
-    std::size_t outstanding = 0;  ///< dispatched, callback not yet run
-    util::FdHandle wake_fd;       ///< eventfd the IO thread sleeps on
+    /// Creates the wake eventfd; throws NetError when that fails.
+    CompletionQueue();
+
+    util::Mutex mutex;
+    std::vector<std::pair<std::uint64_t, std::string>> items
+        MEDCC_GUARDED_BY(mutex);
+    /// Dispatched solves whose callback has not yet run.
+    std::size_t outstanding MEDCC_GUARDED_BY(mutex) = 0;
+    /// The eventfd the IO thread sleeps on. Const after construction:
+    /// workers write it and the IO thread reads it without the mutex,
+    /// which is safe because the descriptor value never changes and
+    /// eventfd operations are kernel-synchronized.
+    const util::FdHandle wake_fd;
 
     /// Worker-side: enqueue the encoded response (empty = drop),
     /// decrement outstanding, and wake the IO thread.
-    void post(std::uint64_t serial, std::string bytes);
+    void post(std::uint64_t serial, std::string bytes)
+        MEDCC_EXCLUDES(mutex);
   };
 
   void io_loop();
@@ -155,8 +164,14 @@ private:
   std::atomic<bool> stopped_{false};
 
   /// Completions posted by service workers, drained by the IO thread.
+  /// The pointer is set once in the constructor; the pointee carries its
+  /// own mutex (annotated above).
   std::shared_ptr<CompletionQueue> completions_;
 
+  /// IO-thread confined: the connection table and serial counter are
+  /// touched only from io_loop() and the constructor (which runs before
+  /// the IO thread starts); no lock is needed and none must be added
+  /// without moving these behind one.
   std::unordered_map<std::uint64_t, Connection> connections_;
   std::uint64_t next_serial_ = 1;
 

@@ -16,7 +16,7 @@ ResultCache::ResultCache(const Config& config) {
 
 std::optional<CacheHit> ResultCache::find(const FingerprintDetail& fp) {
   Shard& shard = shard_for(fp.canonical);
-  std::scoped_lock lock(shard.mutex);
+  const util::MutexLock lock(shard.mutex);
   const auto it = shard.index.find(fp.canonical);
   if (it == shard.index.end()) return std::nullopt;
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
@@ -48,7 +48,7 @@ void ResultCache::insert(const FingerprintDetail& fp,
   }
 
   Shard& shard = shard_for(fp.canonical);
-  std::scoped_lock lock(shard.mutex);
+  const util::MutexLock lock(shard.mutex);
   const auto it = shard.index.find(fp.canonical);
   if (it != shard.index.end()) {
     *it->second = std::move(entry);
@@ -68,7 +68,7 @@ void ResultCache::insert(const FingerprintDetail& fp,
 ResultCache::Stats ResultCache::stats() const {
   Stats total;
   for (const auto& shard : shards_) {
-    std::scoped_lock lock(shard->mutex);
+    const util::MutexLock lock(shard->mutex);
     total.insertions += shard->insertions;
     total.evictions += shard->evictions;
     total.size += shard->lru.size();
@@ -78,7 +78,7 @@ ResultCache::Stats ResultCache::stats() const {
 
 void ResultCache::clear() {
   for (auto& shard : shards_) {
-    std::scoped_lock lock(shard->mutex);
+    const util::MutexLock lock(shard->mutex);
     shard->lru.clear();
     shard->index.clear();
   }

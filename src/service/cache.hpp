@@ -27,7 +27,6 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <utility>
@@ -35,6 +34,7 @@
 
 #include "sched/schedule.hpp"
 #include "service/fingerprint.hpp"
+#include "util/mutex.hpp"
 
 namespace medcc::service {
 
@@ -91,13 +91,13 @@ private:
   };
 
   struct Shard {
-    std::mutex mutex;
-    std::list<Entry> lru;  // front == most recent
+    util::Mutex mutex;
+    std::list<Entry> lru MEDCC_GUARDED_BY(mutex);  // front == most recent
     std::unordered_map<Fingerprint, std::list<Entry>::iterator,
                        FingerprintHash>
-        index;
-    std::uint64_t insertions = 0;
-    std::uint64_t evictions = 0;
+        index MEDCC_GUARDED_BY(mutex);
+    std::uint64_t insertions MEDCC_GUARDED_BY(mutex) = 0;
+    std::uint64_t evictions MEDCC_GUARDED_BY(mutex) = 0;
   };
 
   [[nodiscard]] Shard& shard_for(const Fingerprint& fp) {

@@ -1,6 +1,5 @@
 #include "service/metrics.hpp"
 
-#include <mutex>
 #include <sstream>
 
 namespace medcc::service {
@@ -50,14 +49,14 @@ double MetricsRegistry::Snapshot::cache_hit_rate() const {
 void MetricsRegistry::count_request(std::string_view solver) {
   requests_total_.fetch_add(1, std::memory_order_relaxed);
   {
-    std::shared_lock lock(per_solver_mutex_);
+    const util::ReaderMutexLock lock(per_solver_mutex_);
     const auto it = per_solver_.find(solver);
     if (it != per_solver_.end()) {
       it->second->fetch_add(1, std::memory_order_relaxed);
       return;
     }
   }
-  std::unique_lock lock(per_solver_mutex_);
+  const util::WriterMutexLock lock(per_solver_mutex_);
   auto& slot = per_solver_[std::string(solver)];
   if (slot == nullptr)
     slot = std::make_unique<std::atomic<std::uint64_t>>(0);
@@ -147,7 +146,7 @@ MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
   s.queue_depth = queue_depth_.load(std::memory_order_relaxed);
   s.queue_depth_peak = queue_depth_peak_.load(std::memory_order_relaxed);
   {
-    std::shared_lock lock(per_solver_mutex_);
+    const util::ReaderMutexLock lock(per_solver_mutex_);
     for (const auto& [name, counter] : per_solver_)
       s.per_solver[name] = counter->load(std::memory_order_relaxed);
   }

@@ -14,13 +14,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
 #include "service/request.hpp"
+#include "util/mutex.hpp"
 #include "util/stats.hpp"
 
 namespace medcc::service {
@@ -41,7 +41,7 @@ public:
   }
 
 private:
-  std::vector<double> edges_;
+  const std::vector<double> edges_;  // immutable after construction
   std::vector<std::atomic<std::uint64_t>> buckets_;
   std::atomic<std::uint64_t> count_{0};
 };
@@ -119,14 +119,17 @@ private:
   std::atomic<std::int64_t> queue_depth_{0};
   std::atomic<std::int64_t> queue_depth_peak_{0};
 
-  mutable std::shared_mutex per_solver_mutex_;
+  mutable util::SharedMutex per_solver_mutex_;
+  /// The map structure is guarded; the pointed-to counters are atomics,
+  /// bumped under a shared lock.
   std::map<std::string, std::unique_ptr<std::atomic<std::uint64_t>>,
            std::less<>>
-      per_solver_;
+      per_solver_ MEDCC_GUARDED_BY(per_solver_mutex_);
 
-  LatencyRecorder queue_delay_;
-  LatencyRecorder solve_;
-  LatencyRecorder total_;
+  /// Internally synchronized (atomic buckets).
+  MEDCC_NOT_GUARDED LatencyRecorder queue_delay_;
+  MEDCC_NOT_GUARDED LatencyRecorder solve_;
+  MEDCC_NOT_GUARDED LatencyRecorder total_;
 };
 
 }  // namespace medcc::service

@@ -122,7 +122,7 @@ void SchedulingService::submit_async(
 
 bool SchedulingService::acquire_tenant_slot(const std::string& tenant) {
   if (config_.max_inflight_per_tenant == 0) return true;
-  const std::lock_guard<std::mutex> lock(tenant_mutex_);
+  const util::MutexLock lock(tenant_mutex_);
   std::size_t& inflight = tenant_inflight_[tenant];
   if (inflight >= config_.max_inflight_per_tenant) return false;
   ++inflight;
@@ -131,7 +131,7 @@ bool SchedulingService::acquire_tenant_slot(const std::string& tenant) {
 
 void SchedulingService::release_tenant_slot(const std::string& tenant) {
   if (config_.max_inflight_per_tenant == 0) return;
-  const std::lock_guard<std::mutex> lock(tenant_mutex_);
+  const util::MutexLock lock(tenant_mutex_);
   const auto it = tenant_inflight_.find(tenant);
   MEDCC_EXPECTS(it != tenant_inflight_.end() && it->second > 0);
   if (--it->second == 0) tenant_inflight_.erase(it);

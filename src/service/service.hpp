@@ -20,7 +20,6 @@
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -28,6 +27,7 @@
 #include "service/cache.hpp"
 #include "service/metrics.hpp"
 #include "service/request.hpp"
+#include "util/mutex.hpp"
 #include "util/thread_pool.hpp"
 
 namespace medcc::service {
@@ -104,18 +104,26 @@ private:
   [[nodiscard]] bool acquire_tenant_slot(const std::string& tenant);
   void release_tenant_slot(const std::string& tenant);
 
-  ServiceConfig config_;
+  const ServiceConfig config_;  // immutable after construction
   const sched::SolverRegistry& registry_;
-  std::function<std::chrono::steady_clock::time_point()> clock_;
-  MetricsRegistry metrics_;
-  std::unique_ptr<ResultCache> cache_;
+  /// Set once in the constructor, then only called (std::function call
+  /// through a const path is safe for concurrent use).
+  MEDCC_NOT_GUARDED std::function<std::chrono::steady_clock::time_point()>
+      clock_;
+  /// Internally synchronized (atomic counters + SharedMutex).
+  MEDCC_NOT_GUARDED MetricsRegistry metrics_;
+  /// Pointer set once in the constructor; the cache itself is sharded
+  /// and internally locked.
+  MEDCC_NOT_GUARDED std::unique_ptr<ResultCache> cache_;
   std::atomic<bool> accepting_{true};
   /// Admitted-but-not-yet-running requests (the bounded queue).
   std::atomic<std::size_t> pending_{0};
   /// Admitted-or-solving requests per tenant (quota accounting).
-  std::mutex tenant_mutex_;
-  std::unordered_map<std::string, std::size_t> tenant_inflight_;
-  util::ThreadPool pool_;  // last member: destroyed (joined) first
+  util::Mutex tenant_mutex_;
+  std::unordered_map<std::string, std::size_t> tenant_inflight_
+      MEDCC_GUARDED_BY(tenant_mutex_);
+  /// Internally synchronized worker pool.
+  MEDCC_NOT_GUARDED util::ThreadPool pool_;  // last member: joined first
 };
 
 }  // namespace medcc::service

@@ -1,0 +1,46 @@
+#include "util/flags.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <system_error>
+
+namespace medcc::util {
+
+namespace {
+
+[[noreturn]] void bad_flag(const std::string& text, const char* why) {
+  throw InvalidArgument("flag value '" + text + "': " + why);
+}
+
+}  // namespace
+
+std::size_t parse_flag_size(const std::string& text) {
+  if (text.empty()) bad_flag(text, "empty");
+  std::size_t value = 0;
+  const char* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), end, value);
+  if (ec == std::errc::result_out_of_range) bad_flag(text, "out of range");
+  if (ec != std::errc{}) bad_flag(text, "not a non-negative integer");
+  if (ptr != end) bad_flag(text, "trailing characters");
+  return value;
+}
+
+std::uint16_t parse_flag_port(const std::string& text) {
+  const std::size_t value = parse_flag_size(text);
+  if (value > 65535) bad_flag(text, "port out of range");
+  return static_cast<std::uint16_t>(value);
+}
+
+double parse_flag_double(const std::string& text) {
+  if (text.empty()) bad_flag(text, "empty");
+  double value = 0.0;
+  const char* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), end, value);
+  if (ec == std::errc::result_out_of_range) bad_flag(text, "out of range");
+  if (ec != std::errc{}) bad_flag(text, "not a number");
+  if (ptr != end) bad_flag(text, "trailing characters");
+  if (!std::isfinite(value)) bad_flag(text, "not finite");
+  return value;
+}
+
+}  // namespace medcc::util

@@ -1,0 +1,33 @@
+// Strict whole-string numeric flag parsing for the tool drivers.
+//
+// std::stoul / std::stod quietly accept trailing junk ("12x"), leading
+// whitespace, and -- for the unsigned forms -- negative values that wrap
+// around. Every tool that parses a --threads/--port/--timeout flag needs
+// the same strict behaviour, so it lives here once: the whole string
+// must be the number, overflow is an error, and failures throw
+// medcc::InvalidArgument with the offending text in the message (the
+// tools catch it and answer with their usage string).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace medcc::util {
+
+/// Parses a non-negative decimal integer ("0", "42"). Rejects empty
+/// strings, signs, whitespace, trailing characters, and values that do
+/// not fit std::size_t. Throws medcc::InvalidArgument.
+[[nodiscard]] std::size_t parse_flag_size(const std::string& text);
+
+/// parse_flag_size restricted to the TCP port range [0, 65535].
+[[nodiscard]] std::uint16_t parse_flag_port(const std::string& text);
+
+/// Parses a finite decimal floating-point value ("2.5", "1e3", "-1").
+/// Rejects empty strings, whitespace, trailing characters, and
+/// non-finite results ("inf", "nan"). Throws medcc::InvalidArgument.
+[[nodiscard]] double parse_flag_double(const std::string& text);
+
+}  // namespace medcc::util

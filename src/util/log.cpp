@@ -2,13 +2,18 @@
 
 #include <atomic>
 #include <iostream>
-#include <mutex>
+
+#include "util/mutex.hpp"
 
 namespace medcc::util {
 namespace {
 
 std::atomic<LogLevel> g_threshold{LogLevel::Warn};
-std::mutex g_emit_mutex;
+/// Serializes writes to std::cerr so concurrent log lines never
+/// interleave mid-line. The stream itself is the guarded resource; the
+/// capability cannot name it, so the discipline is: all emission goes
+/// through log_line(), which takes this lock.
+Mutex g_emit_mutex;
 
 constexpr const char* level_name(LogLevel level) {
   switch (level) {
@@ -30,7 +35,7 @@ void set_log_threshold(LogLevel level) {
 }
 
 void log_line(LogLevel level, const std::string& message) {
-  std::scoped_lock lock(g_emit_mutex);
+  const MutexLock lock(g_emit_mutex);
   std::cerr << "[medcc:" << level_name(level) << "] " << message << '\n';
 }
 

@@ -1,0 +1,115 @@
+// Annotated mutex wrappers for the Clang thread-safety analysis.
+//
+// std::mutex cannot carry capability annotations, so the concurrent
+// subsystems lock through these thin wrappers instead: util::Mutex and
+// util::SharedMutex are the capabilities, util::MutexLock /
+// util::ReaderMutexLock / util::WriterMutexLock the scoped acquirers.
+// Under Clang -Wthread-safety the compiler then proves every access to
+// a MEDCC_GUARDED_BY field happens with the right lock held; under
+// other compilers everything inlines down to the std primitives.
+//
+// Condition variables: MutexLock exposes the underlying
+// std::unique_lock through native() so std::condition_variable can
+// wait on it. Write waits as explicit `while (!pred) cv.wait(...)`
+// loops in the locked scope -- the analysis then sees the predicate
+// reads under the capability (a wait() predicate lambda would be
+// analyzed as an unannotated function and rejected).
+#pragma once
+
+#include <mutex>
+#include <shared_mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace medcc::util {
+
+/// Annotated exclusive mutex (wraps std::mutex).
+class MEDCC_CAPABILITY("mutex") Mutex {
+public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() MEDCC_ACQUIRE() { m_.lock(); }
+  void unlock() MEDCC_RELEASE() { m_.unlock(); }
+  [[nodiscard]] bool try_lock() MEDCC_TRY_ACQUIRE(true) {
+    return m_.try_lock();
+  }
+
+  /// The wrapped std::mutex, for condition-variable plumbing only.
+  [[nodiscard]] std::mutex& native() { return m_; }
+
+private:
+  std::mutex m_;
+};
+
+/// Annotated reader/writer mutex (wraps std::shared_mutex).
+class MEDCC_CAPABILITY("shared_mutex") SharedMutex {
+public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() MEDCC_ACQUIRE() { m_.lock(); }
+  void unlock() MEDCC_RELEASE() { m_.unlock(); }
+  void lock_shared() MEDCC_ACQUIRE_SHARED() { m_.lock_shared(); }
+  void unlock_shared() MEDCC_RELEASE_SHARED() { m_.unlock_shared(); }
+
+private:
+  std::shared_mutex m_;
+};
+
+/// Scoped exclusive lock on a util::Mutex (std::scoped_lock analogue).
+class MEDCC_SCOPED_CAPABILITY MutexLock {
+public:
+  explicit MutexLock(Mutex& mutex) MEDCC_ACQUIRE(mutex)
+      : lock_(mutex.native()) {}
+  ~MutexLock() MEDCC_RELEASE() {}  // lock_'s destructor releases
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Releases early (the destructor then has nothing to do).
+  void unlock() MEDCC_RELEASE() { lock_.unlock(); }
+
+  /// The underlying std::unique_lock, for std::condition_variable::wait
+  /// only; the capability is modelled as held across the wait.
+  [[nodiscard]] std::unique_lock<std::mutex>& native() { return lock_; }
+
+private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Scoped shared (reader) lock on a util::SharedMutex.
+class MEDCC_SCOPED_CAPABILITY ReaderMutexLock {
+public:
+  explicit ReaderMutexLock(SharedMutex& mutex) MEDCC_ACQUIRE_SHARED(mutex)
+      : mutex_(mutex) {
+    mutex_.lock_shared();
+  }
+  ~ReaderMutexLock() MEDCC_RELEASE_GENERIC() { mutex_.unlock_shared(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+private:
+  SharedMutex& mutex_;
+};
+
+/// Scoped exclusive (writer) lock on a util::SharedMutex.
+class MEDCC_SCOPED_CAPABILITY WriterMutexLock {
+public:
+  explicit WriterMutexLock(SharedMutex& mutex) MEDCC_ACQUIRE(mutex)
+      : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~WriterMutexLock() MEDCC_RELEASE() { mutex_.unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+private:
+  SharedMutex& mutex_;
+};
+
+}  // namespace medcc::util

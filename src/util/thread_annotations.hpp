@@ -1,0 +1,111 @@
+// Clang thread-safety (capability) analysis annotations.
+//
+// These macros attach compile-time lock-discipline contracts to mutexes,
+// the data they guard, and the functions that acquire them. Under Clang
+// with -Wthread-safety (wired up by cmake/StaticAnalysis.cmake and the
+// clang CI leg, where it is combined with -Werror) the compiler rejects
+// code that touches a MEDCC_GUARDED_BY field without holding its mutex,
+// that double-acquires, or that leaks a capability. Under every other
+// compiler the macros expand to nothing, so the annotated code costs
+// nothing and builds everywhere.
+//
+// The annotated lock types these macros are designed for live in
+// util/mutex.hpp (util::Mutex, util::SharedMutex and their scoped
+// lockers); annotate-by-example recipes are in docs/analysis.md.
+#pragma once
+
+#if defined(__clang__) && !defined(SWIG)
+#define MEDCC_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define MEDCC_THREAD_ANNOTATION__(x)  // no-op outside Clang
+#endif
+
+/// Marks a type as a capability (a lock). `x` names the capability kind
+/// in diagnostics, e.g. MEDCC_CAPABILITY("mutex").
+#define MEDCC_CAPABILITY(x) MEDCC_THREAD_ANNOTATION__(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases
+/// a capability (std::scoped_lock-style).
+#define MEDCC_SCOPED_CAPABILITY MEDCC_THREAD_ANNOTATION__(scoped_lockable)
+
+/// Field annotation: reading or writing the field requires holding `x`.
+#define MEDCC_GUARDED_BY(x) MEDCC_THREAD_ANNOTATION__(guarded_by(x))
+
+/// Pointer-field annotation: the *pointee* is protected by `x` (the
+/// pointer itself may be read freely).
+#define MEDCC_PT_GUARDED_BY(x) MEDCC_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// Function annotation: the caller must already hold the capability.
+#define MEDCC_REQUIRES(...) \
+  MEDCC_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+
+/// Function annotation: the caller must hold `x` at least shared.
+#define MEDCC_REQUIRES_SHARED(...) \
+  MEDCC_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+/// Function annotation: the function acquires the capability exclusively
+/// and does not release it before returning.
+#define MEDCC_ACQUIRE(...) \
+  MEDCC_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+
+/// Shared-acquisition counterpart of MEDCC_ACQUIRE.
+#define MEDCC_ACQUIRE_SHARED(...) \
+  MEDCC_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+
+/// Function annotation: the function releases a held capability.
+#define MEDCC_RELEASE(...) \
+  MEDCC_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+
+/// Shared-release counterpart of MEDCC_RELEASE.
+#define MEDCC_RELEASE_SHARED(...) \
+  MEDCC_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+
+/// Releases a capability whether it is held shared or exclusively; the
+/// right release form for a scoped locker that supports both modes.
+#define MEDCC_RELEASE_GENERIC(...) \
+  MEDCC_THREAD_ANNOTATION__(release_generic_capability(__VA_ARGS__))
+
+/// Function annotation: tries to acquire; the first argument is the
+/// return value that means success, e.g. MEDCC_TRY_ACQUIRE(true, mu).
+#define MEDCC_TRY_ACQUIRE(...) \
+  MEDCC_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+
+/// Function annotation: the caller must NOT hold the capability
+/// (deadlock prevention for functions that acquire it themselves).
+#define MEDCC_EXCLUDES(...) \
+  MEDCC_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (for code reachable
+/// only with the lock taken where the analysis cannot see the acquire).
+#define MEDCC_ASSERT_CAPABILITY(x) \
+  MEDCC_THREAD_ANNOTATION__(assert_capability(x))
+
+/// Function annotation: returns a reference to the named capability.
+#define MEDCC_RETURN_CAPABILITY(x) MEDCC_THREAD_ANNOTATION__(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use must
+/// carry a comment explaining why the discipline cannot be expressed;
+/// the tree under src/ is required to have none (docs/analysis.md).
+#define MEDCC_NO_THREAD_SAFETY_ANALYSIS \
+  MEDCC_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+/// Lint-only marker (expands to nothing everywhere): declares that a
+/// field of a mutex-bearing class is *intentionally* not guarded --
+/// because it is confined to one thread, written only during
+/// construction, or internally synchronized -- and must carry a comment
+/// saying which. medcc_lint's mutable-field-near-mutex-without-guarded-by
+/// rule accepts it as an explicit opt-out.
+#define MEDCC_NOT_GUARDED
+
+namespace medcc::util {
+
+/// True when this translation unit was compiled with the capability
+/// analysis attributes enabled (Clang); lets tests and diagnostics
+/// report whether the discipline was actually checked.
+#if defined(__clang__) && !defined(SWIG)
+inline constexpr bool kThreadSafetyAnalysisEnabled = true;
+#else
+inline constexpr bool kThreadSafetyAnalysisEnabled = false;
+#endif
+
+}  // namespace medcc::util

@@ -23,7 +23,7 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::submit(std::function<void()> task) {
   MEDCC_EXPECTS(task != nullptr);
   {
-    std::scoped_lock lock(mutex_);
+    const MutexLock lock(mutex_);
     MEDCC_EXPECTS(!stopping_.load(std::memory_order_relaxed));
     queue_.push_back(std::move(task));
   }
@@ -33,7 +33,7 @@ void ThreadPool::submit(std::function<void()> task) {
 bool ThreadPool::try_submit(std::function<void()> task) {
   MEDCC_EXPECTS(task != nullptr);
   {
-    std::scoped_lock lock(mutex_);
+    const MutexLock lock(mutex_);
     if (stopping_.load(std::memory_order_relaxed)) return false;
     queue_.push_back(std::move(task));
   }
@@ -43,7 +43,7 @@ bool ThreadPool::try_submit(std::function<void()> task) {
 
 void ThreadPool::request_stop() {
   {
-    std::scoped_lock lock(mutex_);
+    const MutexLock lock(mutex_);
     stopping_.store(true, std::memory_order_relaxed);
   }
   wake_.notify_all();
@@ -54,8 +54,10 @@ bool ThreadPool::stop_requested() const {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock lock(mutex_);
-  idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  MutexLock lock(mutex_);
+  // Explicit wait loop (not the predicate overload): the analysis then
+  // sees the guarded reads happen inside the locked scope.
+  while (!(queue_.empty() && in_flight_ == 0)) idle_.wait(lock.native());
   if (first_error_) {
     auto error = first_error_;
     first_error_ = nullptr;
@@ -68,8 +70,9 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stopping_.load(std::memory_order_relaxed) && queue_.empty())
+        wake_.wait(lock.native());
       if (queue_.empty()) return;  // stopping_ with a drained queue
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -78,11 +81,11 @@ void ThreadPool::worker_loop() {
     try {
       task();
     } catch (...) {
-      std::scoped_lock lock(mutex_);
+      const MutexLock lock(mutex_);
       if (!first_error_) first_error_ = std::current_exception();
     }
     {
-      std::scoped_lock lock(mutex_);
+      const MutexLock lock(mutex_);
       --in_flight_;
       if (queue_.empty() && in_flight_ == 0) idle_.notify_all();
     }

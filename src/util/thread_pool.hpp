@@ -13,11 +13,11 @@
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "util/error.hpp"
+#include "util/mutex.hpp"
 
 namespace medcc::util {
 
@@ -60,16 +60,18 @@ public:
 private:
   void worker_loop();
 
-  std::mutex mutex_;
+  Mutex mutex_;
   std::condition_variable wake_;
   std::condition_variable idle_;
-  std::deque<std::function<void()>> queue_;
-  std::vector<std::thread> workers_;
-  std::size_t in_flight_ = 0;
+  std::deque<std::function<void()>> queue_ MEDCC_GUARDED_BY(mutex_);
+  /// Populated by the constructor, joined by the destructor; never
+  /// touched while the pool is running.
+  MEDCC_NOT_GUARDED std::vector<std::thread> workers_;
+  std::size_t in_flight_ MEDCC_GUARDED_BY(mutex_) = 0;
   /// Written under mutex_ (so the condition variables stay race-free) but
   /// atomic so stop_requested() can poll without taking the lock.
   std::atomic<bool> stopping_{false};
-  std::exception_ptr first_error_;
+  std::exception_ptr first_error_ MEDCC_GUARDED_BY(mutex_);
 };
 
 /// Runs body(i) for every i in [0, count) using `pool`, blocking until done.

@@ -4,6 +4,8 @@
 
 #include <algorithm>
 #include <set>
+#include <thread>
+#include <vector>
 
 #include "util/prng.hpp"
 
@@ -168,5 +170,48 @@ TEST_P(DagPropertyTest, RandomForwardDagInvariants) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DagPropertyTest,
                          ::testing::Range<std::uint64_t>(1, 13));
+
+// Regression for the topo-order memo under TSan: many readers hitting the
+// first (cache-filling) call at once, with single-threaded add_edge
+// invalidation between rounds -- the documented usage contract. Each
+// reader validates its snapshot in full, so a torn or stale cache shows
+// up as an ordering violation even without TSan.
+TEST(Dag, TopologicalOrderConcurrentFirstCallAndInvalidation) {
+  constexpr std::size_t kNodes = 64;
+  constexpr int kThreads = 4;
+  constexpr int kCallsPerThread = 25;
+
+  Dag g(kNodes);
+  for (NodeId v = 0; v + 1 < kNodes; ++v) g.add_edge(v, v + 1);
+
+  medcc::util::Prng rng(2013);
+  for (int round = 0; round < 4; ++round) {
+    std::vector<std::thread> readers;
+    readers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      readers.emplace_back([&g] {
+        for (int call = 0; call < kCallsPerThread; ++call) {
+          const auto order = g.topological_order();
+          ASSERT_TRUE(order.has_value());
+          ASSERT_EQ(order->size(), g.node_count());
+          std::vector<std::size_t> pos(g.node_count());
+          for (std::size_t i = 0; i < order->size(); ++i)
+            pos[(*order)[i]] = i;
+          for (std::size_t e = 0; e < g.edge_count(); ++e)
+            ASSERT_LT(pos[g.edge(e).src], pos[g.edge(e).dst]);
+        }
+      });
+    }
+    for (auto& reader : readers) reader.join();
+
+    // Mutate between rounds (readers joined: external synchronization as
+    // documented on Dag). The next round's first reader repopulates the
+    // invalidated memo concurrently with its peers.
+    const NodeId fresh = g.add_node();
+    const auto src = static_cast<NodeId>(
+        rng.uniform_int(0, static_cast<int>(g.node_count()) - 2));
+    g.add_edge(src, fresh);  // an edge into a fresh sink is never parallel
+  }
+}
 
 }  // namespace

@@ -1,0 +1,90 @@
+#include "util/flags.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace {
+
+using medcc::InvalidArgument;
+using medcc::util::parse_flag_double;
+using medcc::util::parse_flag_port;
+using medcc::util::parse_flag_size;
+
+TEST(ParseFlagSize, AcceptsPlainDecimals) {
+  EXPECT_EQ(parse_flag_size("0"), 0u);
+  EXPECT_EQ(parse_flag_size("42"), 42u);
+  EXPECT_EQ(parse_flag_size("007"), 7u);
+  EXPECT_EQ(parse_flag_size(
+                std::to_string(std::numeric_limits<std::size_t>::max())),
+            std::numeric_limits<std::size_t>::max());
+}
+
+TEST(ParseFlagSize, RejectsEmpty) {
+  EXPECT_THROW((void)parse_flag_size(""), InvalidArgument);
+}
+
+TEST(ParseFlagSize, RejectsTrailingJunk) {
+  // std::stoul would silently accept all of these.
+  EXPECT_THROW((void)parse_flag_size("12x"), InvalidArgument);
+  EXPECT_THROW((void)parse_flag_size("12 "), InvalidArgument);
+  EXPECT_THROW((void)parse_flag_size("1.5"), InvalidArgument);
+}
+
+TEST(ParseFlagSize, RejectsSignsAndWhitespace) {
+  EXPECT_THROW((void)parse_flag_size("+5"), InvalidArgument);
+  EXPECT_THROW((void)parse_flag_size("-1"), InvalidArgument);
+  EXPECT_THROW((void)parse_flag_size(" 12"), InvalidArgument);
+}
+
+TEST(ParseFlagSize, RejectsOverflow) {
+  // 2^64 * 10: too big for any std::size_t, and stoul-style wraparound
+  // must not slip through.
+  EXPECT_THROW((void)parse_flag_size("184467440737095516160"), InvalidArgument);
+}
+
+TEST(ParseFlagPort, AcceptsPortRange) {
+  EXPECT_EQ(parse_flag_port("0"), std::uint16_t{0});
+  EXPECT_EQ(parse_flag_port("8080"), std::uint16_t{8080});
+  EXPECT_EQ(parse_flag_port("65535"), std::uint16_t{65535});
+}
+
+TEST(ParseFlagPort, RejectsOutOfRange) {
+  EXPECT_THROW((void)parse_flag_port("65536"), InvalidArgument);
+  EXPECT_THROW((void)parse_flag_port("999999"), InvalidArgument);
+}
+
+TEST(ParseFlagDouble, AcceptsDecimalsAndExponents) {
+  EXPECT_DOUBLE_EQ(parse_flag_double("2.5"), 2.5);
+  EXPECT_DOUBLE_EQ(parse_flag_double("-1"), -1.0);
+  EXPECT_DOUBLE_EQ(parse_flag_double("1e3"), 1000.0);
+  EXPECT_DOUBLE_EQ(parse_flag_double("0"), 0.0);
+}
+
+TEST(ParseFlagDouble, RejectsEmptyAndJunk) {
+  EXPECT_THROW((void)parse_flag_double(""), InvalidArgument);
+  EXPECT_THROW((void)parse_flag_double("12.5ms"), InvalidArgument);
+  EXPECT_THROW((void)parse_flag_double(" 1.0"), InvalidArgument);
+  EXPECT_THROW((void)parse_flag_double("budget"), InvalidArgument);
+}
+
+TEST(ParseFlagDouble, RejectsNonFinite) {
+  EXPECT_THROW((void)parse_flag_double("inf"), InvalidArgument);
+  EXPECT_THROW((void)parse_flag_double("nan"), InvalidArgument);
+  EXPECT_THROW((void)parse_flag_double("1e400"), InvalidArgument);
+}
+
+TEST(ParseFlagDouble, MessageNamesTheOffendingText) {
+  try {
+    (void)parse_flag_double("12.5ms");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("12.5ms"), std::string::npos);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,191 @@
+#include "lint/engine.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <set>
+
+namespace fs = std::filesystem;
+
+namespace medcc_lint {
+
+namespace {
+
+/// JSON string escaping for paths and messages.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xf];
+          out += hex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_json(const std::string& path, const std::vector<Finding>& findings) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cout << "medcc_lint: cannot write JSON report to " << path << "\n";
+    return;
+  }
+  out << "{\n  \"findings\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out << (i == 0 ? "\n" : ",\n");
+    out << "    {\"file\": \"" << json_escape(f.file) << "\", "
+        << "\"line\": " << f.line << ", "
+        << "\"rule\": \"" << json_escape(f.rule) << "\", "
+        << "\"message\": \"" << json_escape(f.message) << "\"";
+    if (!f.suggestion.empty())
+      out << ", \"suggestion\": \"" << json_escape(f.suggestion) << "\"";
+    out << "}";
+  }
+  out << (findings.empty() ? "]" : "\n  ]") << ",\n  \"count\": "
+      << findings.size() << "\n}\n";
+}
+
+}  // namespace
+
+std::vector<fs::path> collect_sources(const std::vector<std::string>& roots) {
+  std::vector<fs::path> files;
+  for (const auto& root : roots) {
+    const fs::path p(root);
+    if (fs::is_regular_file(p)) {
+      files.push_back(p);
+      continue;
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(p)) {
+      if (!entry.is_regular_file()) continue;
+      const auto ext = entry.path().extension();
+      if (ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h")
+        files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::vector<Finding> lint_file(const fs::path& path) {
+  std::vector<Finding> findings;
+  const SourceFile file = load_source(path);
+  if (file.open_failed) {
+    findings.push_back(
+        Finding{path.string(), 0, "io", "cannot open file", ""});
+    return findings;
+  }
+  static const auto rules = make_all_rules();
+  std::vector<Finding> raw;
+  for (const auto& rule : rules) rule->check(file, raw);
+  for (auto& f : raw)
+    if (!file.suppressed(f.line, f.rule)) findings.push_back(std::move(f));
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return a.line != b.line ? a.line < b.line : a.rule < b.rule;
+            });
+  return findings;
+}
+
+int run_lint(const std::vector<std::string>& roots,
+             const std::string& json_path) {
+  std::vector<Finding> findings;
+  for (const auto& file : collect_sources(roots)) {
+    auto file_findings = lint_file(file);
+    findings.insert(findings.end(),
+                    std::make_move_iterator(file_findings.begin()),
+                    std::make_move_iterator(file_findings.end()));
+  }
+  for (const auto& f : findings) {
+    std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
+              << f.message << "\n";
+    if (!f.suggestion.empty())
+      std::cout << "    suggestion: " << f.suggestion << "\n";
+  }
+  if (!json_path.empty()) write_json(json_path, findings);
+  if (findings.empty()) {
+    std::cout << "medcc_lint: clean\n";
+    return 0;
+  }
+  std::cout << "medcc_lint: " << findings.size() << " finding(s)\n";
+  return 1;
+}
+
+int run_self_test(const std::vector<std::string>& roots) {
+  int failures = 0;
+  std::size_t fixtures = 0;
+  for (const auto& path : collect_sources(roots)) {
+    ++fixtures;
+    const SourceFile file = load_source(path);
+    if (file.open_failed) {
+      std::cout << path.string() << ": cannot open fixture\n";
+      ++failures;
+      continue;
+    }
+    const std::set<std::string> expected = file.expectations();
+    if (expected.empty()) {
+      std::cout << path.string() << ": fixture declares no expectations\n";
+      ++failures;
+      continue;
+    }
+    const auto findings = lint_file(path);
+    std::set<std::string> found;
+    for (const auto& f : findings) found.insert(f.rule);
+    if (expected.count("clean") != 0) {
+      // The fixture must produce no findings at all (suppressions and
+      // exemptions must hold).
+      for (const auto& f : findings) {
+        std::cout << path.string() << ": expected clean, got [" << f.rule
+                  << "] at line " << f.line << "\n";
+        ++failures;
+      }
+      continue;
+    }
+    // Exact match both ways: an unexpected rule firing on a fixture is a
+    // false positive and fails just like a missing expectation.
+    for (const auto& rule : expected) {
+      if (found.count(rule) == 0) {
+        std::cout << path.string() << ": expected rule '" << rule
+                  << "' did not fire\n";
+        ++failures;
+      }
+    }
+    for (const auto& rule : found) {
+      if (expected.count(rule) == 0) {
+        std::cout << path.string() << ": unexpected rule '" << rule
+                  << "' fired\n";
+        ++failures;
+      }
+    }
+  }
+  if (fixtures == 0) {
+    std::cout << "self-test: no fixtures found\n";
+    return 1;
+  }
+  if (failures == 0) {
+    std::cout << "medcc_lint self-test: " << fixtures
+              << " fixture(s), all expectations matched exactly\n";
+    return 0;
+  }
+  std::cout << "medcc_lint self-test: " << failures << " failure(s)\n";
+  return 1;
+}
+
+void print_rules() {
+  for (const auto& rule : make_all_rules())
+    std::cout << rule->id() << "\n    " << rule->rationale() << "\n";
+}
+
+}  // namespace medcc_lint

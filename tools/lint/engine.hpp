@@ -1,0 +1,40 @@
+// Driver for the medcc_lint rule engine: source collection, rule
+// dispatch, suppression filtering, human and JSON output, and the
+// fixture self-test.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "lint/rule.hpp"
+
+namespace medcc_lint {
+
+/// All .cpp/.hpp/.cc/.h files under the given roots (files are taken
+/// as-is), sorted for deterministic output.
+[[nodiscard]] std::vector<std::filesystem::path> collect_sources(
+    const std::vector<std::string>& roots);
+
+/// Runs every registered rule over one file and filters findings
+/// through the same-line `medcc-lint: allow(<rule>)` suppressions.
+/// Unreadable files yield a single `io` finding.
+[[nodiscard]] std::vector<Finding> lint_file(
+    const std::filesystem::path& path);
+
+/// Lints all sources under `roots`; prints human-readable findings and,
+/// when `json_path` is non-empty, writes the machine-readable report
+/// there. Returns 0 when clean, 1 on findings.
+int run_lint(const std::vector<std::string>& roots,
+             const std::string& json_path);
+
+/// Fixture self-test: every fixture states the rules it must trigger
+/// with `medcc-lint-expect: <rule>` lines (or `clean`), and the set of
+/// rules that fire must match the expectations exactly -- missing AND
+/// unexpected rules both fail. Returns 0 on success.
+int run_self_test(const std::vector<std::string>& roots);
+
+/// Prints the rule catalog (id + rationale) to stdout.
+void print_rules();
+
+}  // namespace medcc_lint

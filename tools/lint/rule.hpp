@@ -1,0 +1,46 @@
+// Rule interface for the medcc_lint engine. Each rule owns a stable
+// kebab-case id (the suppression key), a one-line rationale (shown in
+// --list-rules and docs), and a check pass over one pre-processed
+// SourceFile. Rules emit raw findings; the engine applies the
+// same-line `medcc-lint: allow(<rule>)` suppressions.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lint/source.hpp"
+
+namespace medcc_lint {
+
+struct Finding {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+  std::string suggestion;  // optional fix-style hint, may be empty
+};
+
+class Rule {
+ public:
+  Rule() = default;
+  Rule(const Rule&) = delete;
+  Rule& operator=(const Rule&) = delete;
+  virtual ~Rule() = default;
+
+  /// Stable kebab-case identifier, used in suppressions and output.
+  [[nodiscard]] virtual std::string id() const = 0;
+
+  /// One-line justification for the rule's existence.
+  [[nodiscard]] virtual std::string rationale() const = 0;
+
+  /// Scans `file` and appends findings (unfiltered; the engine applies
+  /// suppressions).
+  virtual void check(const SourceFile& file,
+                     std::vector<Finding>& out) const = 0;
+};
+
+/// The full registered rule set, in stable output order.
+[[nodiscard]] std::vector<std::unique_ptr<Rule>> make_all_rules();
+
+}  // namespace medcc_lint

@@ -1,0 +1,134 @@
+#include "lint/source.hpp"
+
+#include <cctype>
+#include <fstream>
+
+namespace medcc_lint {
+
+std::string strip_comments_and_strings(const std::string& line,
+                                       bool& in_block) {
+  std::string out;
+  out.reserve(line.size());
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    if (in_block) {
+      if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+        in_block = false;
+        ++i;
+      }
+      continue;
+    }
+    if (line[i] == '/' && i + 1 < line.size()) {
+      if (line[i + 1] == '/') break;
+      if (line[i + 1] == '*') {
+        in_block = true;
+        ++i;
+        continue;
+      }
+    }
+    if (line[i] == '"' || line[i] == '\'') {
+      const char quote = line[i];
+      out.push_back(quote);
+      ++i;
+      while (i < line.size() && line[i] != quote) {
+        if (line[i] == '\\') ++i;
+        ++i;
+      }
+      out.push_back(quote);
+      continue;
+    }
+    out.push_back(line[i]);
+  }
+  return out;
+}
+
+namespace {
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Tokenizes one stripped line. Literals were already reduced to their
+/// delimiters by strip_comments_and_strings, so a quote char here is an
+/// entire (emptied) literal.
+void tokenize_line(const std::string& code, std::size_t line,
+                   std::vector<Token>& tokens) {
+  for (std::size_t i = 0; i < code.size();) {
+    const char c = code[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (ident_char(c)) {
+      std::size_t end = i;
+      while (end < code.size() && ident_char(code[end])) ++end;
+      const bool number = std::isdigit(static_cast<unsigned char>(c)) != 0;
+      tokens.push_back(Token{number ? TokenKind::Number : TokenKind::Identifier,
+                             code.substr(i, end - i), line});
+      i = end;
+      continue;
+    }
+    if (c == '"') {
+      tokens.push_back(Token{TokenKind::String, "\"\"", line});
+      i += (i + 1 < code.size() && code[i + 1] == '"') ? 2 : 1;
+      continue;
+    }
+    if (c == '\'') {
+      tokens.push_back(Token{TokenKind::CharLiteral, "''", line});
+      i += (i + 1 < code.size() && code[i + 1] == '\'') ? 2 : 1;
+      continue;
+    }
+    tokens.push_back(Token{TokenKind::Punct, std::string(1, c), line});
+    ++i;
+  }
+}
+
+}  // namespace
+
+bool SourceFile::suppressed(std::size_t line, const std::string& rule) const {
+  if (line == 0 || line > raw_lines.size()) return false;
+  const std::string& raw = raw_lines[line - 1];
+  const auto pos = raw.find("medcc-lint: allow(");
+  if (pos == std::string::npos) return false;
+  const auto list_begin = pos + std::string("medcc-lint: allow(").size();
+  const auto list_end = raw.find(')', list_begin);
+  if (list_end == std::string::npos) return false;
+  return raw.substr(list_begin, list_end - list_begin).find(rule) !=
+         std::string::npos;
+}
+
+std::set<std::string> SourceFile::expectations() const {
+  std::set<std::string> expected;
+  for (const std::string& raw : raw_lines) {
+    const auto pos = raw.find("medcc-lint-expect:");
+    if (pos == std::string::npos) continue;
+    std::string rule = raw.substr(pos + std::string("medcc-lint-expect:").size());
+    rule.erase(0, rule.find_first_not_of(" \t"));
+    const auto last = rule.find_last_not_of(" \t\r");
+    rule.erase(last == std::string::npos ? 0 : last + 1);
+    if (!rule.empty()) expected.insert(rule);
+  }
+  return expected;
+}
+
+SourceFile load_source(const std::filesystem::path& path) {
+  SourceFile file;
+  file.path = path;
+  file.is_header =
+      path.extension() == ".hpp" || path.extension() == ".h";
+  std::ifstream in(path);
+  if (!in) {
+    file.open_failed = true;
+    return file;
+  }
+  std::string raw;
+  bool in_block = false;
+  while (std::getline(in, raw)) {
+    file.raw_lines.push_back(raw);
+    file.stripped_lines.push_back(strip_comments_and_strings(raw, in_block));
+    tokenize_line(file.stripped_lines.back(), file.raw_lines.size(),
+                  file.tokens);
+  }
+  return file;
+}
+
+}  // namespace medcc_lint

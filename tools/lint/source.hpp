@@ -1,0 +1,58 @@
+// Source model for the medcc_lint rule engine: one file loaded once,
+// pre-processed into the three views rules consume.
+//
+//  * raw lines        -- for suppression (`medcc-lint: allow(rule)`) and
+//                        self-test expectation (`medcc-lint-expect:`)
+//                        comments, which live in comments by design;
+//  * stripped lines   -- comments and string/char literal contents
+//                        removed, for the line-oriented pattern rules;
+//  * tokens           -- a flat identifier/number/literal/punctuation
+//                        stream with line numbers, for the structural
+//                        rules (declaration shapes, catch clauses,
+//                        class-member layout).
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace medcc_lint {
+
+enum class TokenKind { Identifier, Number, String, CharLiteral, Punct };
+
+struct Token {
+  TokenKind kind = TokenKind::Punct;
+  std::string text;      // punctuation is always a single character
+  std::size_t line = 0;  // 1-based
+};
+
+struct SourceFile {
+  std::filesystem::path path;
+  bool is_header = false;
+  bool open_failed = false;
+  std::vector<std::string> raw_lines;
+  std::vector<std::string> stripped_lines;  // same indexing as raw_lines
+  std::vector<Token> tokens;
+
+  /// True when raw line `line` (1-based) carries a
+  /// `medcc-lint: allow(<rule>)` suppression naming `rule`.
+  [[nodiscard]] bool suppressed(std::size_t line,
+                                const std::string& rule) const;
+
+  /// The `medcc-lint-expect:` rule names declared by this file
+  /// (self-test fixtures only).
+  [[nodiscard]] std::set<std::string> expectations() const;
+};
+
+/// Loads and pre-processes one file; open_failed is set on IO errors.
+[[nodiscard]] SourceFile load_source(const std::filesystem::path& path);
+
+/// Strips // and /* */ comments and string/char literal contents from
+/// one line; `in_block` carries /* */ state across lines. Exposed for
+/// the tokenizer and tests.
+[[nodiscard]] std::string strip_comments_and_strings(const std::string& line,
+                                                     bool& in_block);
+
+}  // namespace medcc_lint

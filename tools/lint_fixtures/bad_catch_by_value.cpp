@@ -1,0 +1,16 @@
+// Self-test fixture: exception caught by value -- slices derived types
+// and copies on every throw.
+// medcc-lint-expect: catch-by-value
+#include <stdexcept>
+
+namespace medcc::fixture {
+
+int parse_or_zero(int (*parse)()) {
+  try {
+    return parse();
+  } catch (std::runtime_error err) {
+    return 0;
+  }
+}
+
+}  // namespace medcc::fixture

@@ -1,0 +1,12 @@
+// Self-test fixture: fire-and-forget thread with no join.
+// medcc-lint-expect: detached-thread
+#include <thread>
+
+namespace medcc::fixture {
+
+void flush_async(void (*flush)()) {
+  std::thread worker(flush);
+  worker.detach();  // outlives every object the closure touches
+}
+
+}  // namespace medcc::fixture

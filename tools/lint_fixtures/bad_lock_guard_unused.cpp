@@ -1,0 +1,16 @@
+// Self-test fixture: lock temporaries that unlock at the semicolon,
+// leaving the rest of the scope unprotected.
+// medcc-lint-expect: lock-guard-unused
+#include <mutex>
+
+namespace medcc::fixture {
+
+int g_counter = 0;
+
+void bump(std::mutex& door) {
+  std::scoped_lock(door);  // declares a variable named `door`, locks nothing
+  std::lock_guard<std::mutex>{door};  // temporary, unlocked before ++
+  ++g_counter;
+}
+
+}  // namespace medcc::fixture

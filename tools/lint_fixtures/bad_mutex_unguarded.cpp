@@ -1,0 +1,19 @@
+// Self-test fixture: a class holding a mutex with fields that say
+// nothing about how they are synchronized.
+// medcc-lint-expect: mutable-field-near-mutex-without-guarded-by
+#include <deque>
+#include <mutex>
+
+namespace medcc::fixture {
+
+class WorkQueue {
+ public:
+  void push(int task);
+
+ private:
+  std::mutex mutex_;
+  std::deque<int> pending_;   // which lock protects this?
+  double last_drain_seconds_; // and this?
+};
+
+}  // namespace medcc::fixture

@@ -1,0 +1,17 @@
+// Self-test fixture: exceptions caught by const reference or ellipsis.
+// medcc-lint-expect: clean
+#include <stdexcept>
+
+namespace medcc::fixture {
+
+int parse_or_zero(int (*parse)()) {
+  try {
+    return parse();
+  } catch (const std::runtime_error& err) {
+    return 0;
+  } catch (...) {
+    return -1;
+  }
+}
+
+}  // namespace medcc::fixture

@@ -1,0 +1,23 @@
+// Self-test fixture: float time/cost comparisons done right -- tolerance
+// for arithmetic results, exact forms only where exactness is defined.
+// medcc-lint-expect: clean
+#include <cmath>
+#include <vector>
+
+namespace medcc::fixture {
+
+inline constexpr double kTolerance = 1e-9;
+
+bool same_cost(double cost_a, double cost_b) {
+  return std::abs(cost_a - cost_b) <= kTolerance;
+}
+
+bool empty_schedule(const std::vector<double>& task_times) {
+  return task_times.size() == 0;  // container-size chains are integral
+}
+
+bool unset_budget(double budget) {
+  return budget == 0.0;  // literal zero: assigned, never accumulated
+}
+
+}  // namespace medcc::fixture

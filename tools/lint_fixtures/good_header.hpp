@@ -1,0 +1,12 @@
+// Self-test fixture: a well-formed public header -- include guard and
+// medcc namespace both present.
+// medcc-lint-expect: clean
+#pragma once
+
+namespace medcc::fixture {
+
+struct RetryPolicy {
+  int retries = 3;
+};
+
+}  // namespace medcc::fixture

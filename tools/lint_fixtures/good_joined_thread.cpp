@@ -1,0 +1,12 @@
+// Self-test fixture: owned thread joined before its resources die.
+// medcc-lint-expect: clean
+#include <thread>
+
+namespace medcc::fixture {
+
+void flush_sync(void (*flush)()) {
+  std::thread worker(flush);
+  worker.join();
+}
+
+}  // namespace medcc::fixture

@@ -1,0 +1,19 @@
+// Self-test fixture: named guards live to the end of the scope.
+// medcc-lint-expect: clean
+#include <mutex>
+
+namespace medcc::fixture {
+
+int g_counter = 0;
+
+void bump(std::mutex& door) {
+  const std::scoped_lock lock(door);
+  ++g_counter;
+}
+
+int read(std::mutex& door) {
+  std::unique_lock<std::mutex> lock{door};
+  return g_counter;
+}
+
+}  // namespace medcc::fixture

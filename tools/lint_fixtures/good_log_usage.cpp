@@ -1,0 +1,16 @@
+// Self-test fixture: output through the leveled logger and through a
+// caller-supplied stream -- the two allowed sinks in library code.
+// medcc-lint-expect: clean
+#include <ostream>
+
+#include "util/log.hpp"
+
+namespace medcc::fixture {
+
+void report_progress(std::ostream& out, int done, int total) {
+  out << "progress " << done << "/" << total << "\n";
+}
+
+void report_done() { MEDCC_LOG_INFO("fixture done"); }
+
+}  // namespace medcc::fixture

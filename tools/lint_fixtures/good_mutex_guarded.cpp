@@ -1,0 +1,25 @@
+// Self-test fixture: every field in a mutex-holding class states its
+// synchronization -- guarded, intentionally unguarded, or a primitive
+// that synchronizes itself.
+// medcc-lint-expect: clean
+#include <atomic>
+#include <deque>
+#include <mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace medcc::fixture {
+
+class WorkQueue {
+ public:
+  void push(int task);
+
+ private:
+  std::mutex mutex_;
+  std::deque<int> pending_ MEDCC_GUARDED_BY(mutex_);
+  std::atomic<bool> stopping_{false};
+  // Written once by the constructor, read-only afterwards.
+  MEDCC_NOT_GUARDED std::size_t capacity_;
+};
+
+}  // namespace medcc::fixture

@@ -1,0 +1,13 @@
+// Self-test fixture: randomness drawn from the seeded Prng streams, and
+// identifiers merely containing "rand" must not trip raw-rand.
+// medcc-lint-expect: clean
+
+#include "util/prng.hpp"
+
+namespace medcc::fixture {
+
+double next_rand(util::Prng& prng) { return prng.uniform(); }
+
+int grand_total_rand(int grand_total) { return grand_total + 1; }
+
+}  // namespace medcc::fixture

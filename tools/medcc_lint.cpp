@@ -1,430 +1,59 @@
 // medcc_lint -- repo-specific static checks the compiler cannot enforce.
 //
-// Rules (stable ids, suppress with a same-line `medcc-lint: allow(<rule>)`
-// comment):
-//   raw-rand        rand()/srand()/std::random_device outside src/util/prng:
-//                   all randomness must flow through the seeded, forkable
-//                   util::Prng streams or experiments stop being
-//                   reproducible.
-//   cout-in-library std::cout/std::cerr/printf in library code under src/
-//                   (the leveled logger util/log.hpp is the only allowed
-//                   sink; util/log.cpp itself is exempt).
-//   float-eq        ==/!= on double-typed time/cost quantities (tokens
-//                   like time, cost, med, makespan, budget, rate, est,
-//                   eft, ...). Comparing against the literal 0.0 is
-//                   allowed: exact zero is well-defined for values that
-//                   are assigned, never accumulated.
-//   pragma-once     every .hpp under src/ must contain #pragma once.
-//   namespace-medcc every .hpp under src/ must declare namespace medcc.
+// The rule engine lives in tools/lint/ (tokenizer, Rule interface,
+// suppression handling, JSON output); this is the command-line driver.
+// Rule ids are stable and suppressible with a same-line
+// `medcc-lint: allow(<rule>)` comment; run with --list-rules for the
+// catalog, and see docs/analysis.md for the rationale behind each rule.
 //
 // Usage:
-//   medcc_lint <dir-or-file>...          lint; exit 1 on any finding
-//   medcc_lint --self-test <fixture-dir> every fixture file must trigger
-//                                        exactly the rules named by its
-//                                        `medcc-lint-expect: <rule>` lines
+//   medcc_lint <dir-or-file>...            lint; exit 1 on any finding
+//   medcc_lint --json FILE <path>...       also write a JSON report
+//   medcc_lint --self-test <fixture>...    every fixture file must trigger
+//                                          exactly the rules named by its
+//                                          `medcc-lint-expect: <rule>` lines
+//   medcc_lint --list-rules                print the rule catalog
 //
-// Registered in ctest as `lint_tree` and `lint_self_test`.
-#include <algorithm>
-#include <cctype>
-#include <filesystem>
-#include <fstream>
+// Registered in ctest as `lint_selftest` (src/ must be clean),
+// `lint_fixtures` (aggregate), and one `lint_fixture_*` test per file.
 #include <iostream>
-#include <set>
 #include <string>
 #include <vector>
 
-namespace fs = std::filesystem;
-
-namespace {
-
-struct Finding {
-  std::string file;
-  std::size_t line = 0;
-  std::string rule;
-  std::string message;
-};
-
-/// Identifier tokens whose comparison with ==/!= indicates a float
-/// time/cost comparison.
-const std::set<std::string>& float_tokens() {
-  static const std::set<std::string> tokens = {
-      "time",  "times",   "cost",     "costs", "med",      "makespan",
-      "budget", "deadline", "billed", "rate",  "rates",    "est",
-      "eft",   "lst",     "lft",      "slack", "uptime",   "duration",
-      "durations"};
-  return tokens;
-}
-
-std::string lowercase(std::string s) {
-  std::transform(s.begin(), s.end(), s.begin(),
-                 [](unsigned char c) { return std::tolower(c); });
-  return s;
-}
-
-/// True when `line` carries a `medcc-lint: allow(rule)` suppression.
-bool suppressed(const std::string& line, const std::string& rule) {
-  const auto pos = line.find("medcc-lint: allow(");
-  if (pos == std::string::npos) return false;
-  const auto list_begin = pos + std::string("medcc-lint: allow(").size();
-  const auto list_end = line.find(')', list_begin);
-  if (list_end == std::string::npos) return false;
-  const std::string list = line.substr(list_begin, list_end - list_begin);
-  return list.find(rule) != std::string::npos;
-}
-
-/// Strips // and /* */ comments and the contents of string/char literals
-/// from one line. `in_block` carries /* */ state across lines.
-std::string strip_comments_and_strings(const std::string& line,
-                                       bool& in_block) {
-  std::string out;
-  out.reserve(line.size());
-  for (std::size_t i = 0; i < line.size(); ++i) {
-    if (in_block) {
-      if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
-        in_block = false;
-        ++i;
-      }
-      continue;
-    }
-    if (line[i] == '/' && i + 1 < line.size()) {
-      if (line[i + 1] == '/') break;
-      if (line[i + 1] == '*') {
-        in_block = true;
-        ++i;
-        continue;
-      }
-    }
-    if (line[i] == '"' || line[i] == '\'') {
-      const char quote = line[i];
-      out.push_back(quote);
-      ++i;
-      while (i < line.size() && line[i] != quote) {
-        if (line[i] == '\\') ++i;
-        ++i;
-      }
-      out.push_back(quote);
-      continue;
-    }
-    out.push_back(line[i]);
-  }
-  return out;
-}
-
-/// Splits `code` into lowercase identifier tokens.
-std::vector<std::string> identifier_tokens(const std::string& code) {
-  std::vector<std::string> tokens;
-  std::string cur;
-  for (char c : code) {
-    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
-      cur.push_back(c);
-    } else if (!cur.empty()) {
-      tokens.push_back(lowercase(cur));
-      cur.clear();
-    }
-  }
-  if (!cur.empty()) tokens.push_back(lowercase(cur));
-  // snake_case identifiers also contribute their parts: cost_rate -> cost,
-  // rate.
-  std::vector<std::string> expanded = tokens;
-  for (const auto& t : tokens) {
-    std::string part;
-    for (char c : t) {
-      if (c == '_') {
-        if (!part.empty()) expanded.push_back(part);
-        part.clear();
-      } else {
-        part.push_back(c);
-      }
-    }
-    if (!part.empty()) expanded.push_back(part);
-  }
-  return expanded;
-}
-
-/// True when the character can start/continue an operator glyph that makes
-/// a '=' at the next position something other than equality.
-bool is_compound_op_prefix(char c) {
-  return c == '=' || c == '!' || c == '<' || c == '>' || c == '+' ||
-         c == '-' || c == '*' || c == '/' || c == '&' || c == '|' ||
-         c == '^' || c == '%';
-}
-
-/// Removes the comparison forms that never carry float semantics --
-/// container-size chains, literal-zero comparisons, operator declarations
-/// -- so both the comparison detection and the keyword-token scan run on
-/// the same reduced text.
-std::string reduce_for_float_eq(std::string code) {
-  for (const char* decl : {"operator==", "operator!="}) {
-    for (auto pos = code.find(decl); pos != std::string::npos;
-         pos = code.find(decl))
-      code.erase(pos, std::string(decl).size());
-  }
-  // Integral container-size chains never carry float semantics; strip the
-  // whole postfix expression so its tokens do not match the keyword set.
-  for (const char* call : {".size()", ".empty()", ".count("}) {
-    for (auto pos = code.find(call); pos != std::string::npos;
-         pos = code.find(call)) {
-      std::size_t begin = pos;
-      while (begin > 0) {
-        const char c = code[begin - 1];
-        if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
-            c == '.' || c == ':' || c == '>' || c == '-' || c == ']' ||
-            c == '[' || c == ')' || c == '(') {
-          --begin;
-        } else {
-          break;
-        }
-      }
-      code.erase(begin, pos - begin + std::string(call).size());
-    }
-  }
-  // Drop literal-zero comparisons ("x == 0.0", "n != 0"): exact zero is
-  // well-defined for values that are assigned, never accumulated.
-  for (const char* zero : {"== 0.0", "!= 0.0", "==0.0", "!=0.0"}) {
-    for (auto pos = code.find(zero); pos != std::string::npos;
-         pos = code.find(zero))
-      code.erase(pos, std::string(zero).size());
-  }
-  for (const char* zero : {"== 0", "!= 0", "==0", "!=0"}) {
-    for (auto pos = code.find(zero); pos != std::string::npos;
-         pos = code.find(zero, pos + 1)) {
-      const std::size_t after = pos + std::string(zero).size();
-      if (after < code.size() &&
-          (std::isdigit(static_cast<unsigned char>(code[after])) ||
-           code[after] == '.' || code[after] == 'x'))
-        continue;  // 0.5, 0x..: a real literal, keep the comparison
-      code.erase(pos, std::string(zero).size());
-      pos = 0;
-    }
-  }
-  return code;
-}
-
-/// True when the (already reduced) code still contains a ==/!= comparison
-/// whose right operand is not a qualified constant (Enum::Value,
-/// limits<double>::infinity).
-bool has_float_comparison(const std::string& code) {
-  for (std::size_t i = 0; i + 1 < code.size(); ++i) {
-    if (code[i + 1] != '=') continue;
-    const bool is_eq =
-        code[i] == '=' && (i == 0 || !is_compound_op_prefix(code[i - 1]));
-    const bool is_ne = code[i] == '!';
-    if (!is_eq && !is_ne) continue;
-    // A qualified right operand (Enum::Value, Foo::kConst) is an integral
-    // or symbolic constant, not a float quantity.
-    std::size_t j = i + 2;
-    while (j < code.size() && code[j] == ' ') ++j;
-    std::size_t end = j;
-    while (end < code.size() &&
-           (std::isalnum(static_cast<unsigned char>(code[end])) ||
-            code[end] == '_' || code[end] == ':'))
-      ++end;
-    if (code.substr(j, end - j).find("::") != std::string::npos) continue;
-    return true;
-  }
-  return false;
-}
-
-bool path_contains(const fs::path& path, const std::string& needle) {
-  return path.generic_string().find(needle) != std::string::npos;
-}
-
-void lint_file(const fs::path& path, bool header_rules,
-               std::vector<Finding>& findings) {
-  std::ifstream in(path);
-  if (!in) {
-    findings.push_back(Finding{path.string(), 0, "io", "cannot open file"});
-    return;
-  }
-
-  const bool is_prng = path_contains(path, "util/prng");
-  const bool is_logger_sink = path_contains(path, "util/log.cpp");
-
-  bool saw_pragma_once = false;
-  bool saw_namespace = false;
-  bool in_block_comment = false;
-  std::string raw;
-  std::size_t lineno = 0;
-  while (std::getline(in, raw)) {
-    ++lineno;
-    if (raw.find("#pragma once") != std::string::npos) saw_pragma_once = true;
-    if (raw.find("namespace medcc") != std::string::npos) saw_namespace = true;
-
-    const std::string code = strip_comments_and_strings(raw, in_block_comment);
-    auto report = [&](const char* rule, std::string message) {
-      if (!suppressed(raw, rule))
-        findings.push_back(
-            Finding{path.string(), lineno, rule, std::move(message)});
-    };
-
-    if (!is_prng) {
-      for (const char* call : {"rand(", "srand(", "random_device"}) {
-        const auto pos = code.find(call);
-        // Reject bare rand(, not strtol/grand/prng.rand wrappers: the
-        // character before must not be an identifier character.
-        if (pos != std::string::npos &&
-            (pos == 0 ||
-             (!std::isalnum(static_cast<unsigned char>(code[pos - 1])) &&
-              code[pos - 1] != '_'))) {
-          report("raw-rand",
-                 std::string("'") + call +
-                     "' outside src/util/prng; use util::Prng streams");
-        }
-      }
-    }
-
-    if (!is_logger_sink) {
-      for (const char* sink : {"std::cout", "std::cerr", "printf("}) {
-        const auto pos = code.find(sink);
-        if (pos != std::string::npos &&
-            (pos == 0 ||
-             (!std::isalnum(static_cast<unsigned char>(code[pos - 1])) &&
-              code[pos - 1] != '_' && code[pos - 1] != ':'))) {
-          report("cout-in-library",
-                 std::string("'") + sink +
-                     "' in library code; use util/log.hpp loggers");
-        }
-      }
-    }
-
-    const std::string reduced = reduce_for_float_eq(code);
-    if (has_float_comparison(reduced)) {
-      const auto tokens = identifier_tokens(reduced);
-      for (const auto& t : tokens) {
-        if (float_tokens().count(t) != 0) {
-          report("float-eq",
-                 "==/!= on a double time/cost quantity ('" + t +
-                     "'); compare with a tolerance or annotate the exact "
-                     "tie-break with medcc-lint: allow(float-eq)");
-          break;
-        }
-      }
-    }
-  }
-
-  if (header_rules) {
-    if (!saw_pragma_once)
-      findings.push_back(Finding{path.string(), 1, "pragma-once",
-                                 "public header lacks #pragma once"});
-    if (!saw_namespace)
-      findings.push_back(Finding{path.string(), 1, "namespace-medcc",
-                                 "public header declares no namespace medcc"});
-  }
-}
-
-std::vector<fs::path> collect_sources(const std::vector<std::string>& roots) {
-  std::vector<fs::path> files;
-  for (const auto& root : roots) {
-    const fs::path p(root);
-    if (fs::is_regular_file(p)) {
-      files.push_back(p);
-      continue;
-    }
-    for (const auto& entry : fs::recursive_directory_iterator(p)) {
-      if (!entry.is_regular_file()) continue;
-      const auto ext = entry.path().extension();
-      if (ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h")
-        files.push_back(entry.path());
-    }
-  }
-  std::sort(files.begin(), files.end());
-  return files;
-}
-
-int run_lint(const std::vector<std::string>& roots) {
-  std::vector<Finding> findings;
-  for (const auto& file : collect_sources(roots))
-    lint_file(file, file.extension() == ".hpp", findings);
-  for (const auto& f : findings)
-    std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
-              << f.message << "\n";
-  if (findings.empty()) {
-    std::cout << "medcc_lint: clean\n";
-    return 0;
-  }
-  std::cout << "medcc_lint: " << findings.size() << " finding(s)\n";
-  return 1;
-}
-
-/// Fixture files state the rules they must trigger with
-/// `medcc-lint-expect: <rule>` lines; the self-test fails when any
-/// expectation goes unmatched or a fixture declares none.
-int run_self_test(const std::string& fixture_dir) {
-  int failures = 0;
-  std::size_t fixtures = 0;
-  for (const auto& file : collect_sources({fixture_dir})) {
-    ++fixtures;
-    std::set<std::string> expected;
-    {
-      std::ifstream in(file);
-      std::string line;
-      while (std::getline(in, line)) {
-        const auto pos = line.find("medcc-lint-expect:");
-        if (pos == std::string::npos) continue;
-        std::string rule =
-            line.substr(pos + std::string("medcc-lint-expect:").size());
-        rule.erase(0, rule.find_first_not_of(" \t"));
-        rule.erase(rule.find_last_not_of(" \t\r") + 1);
-        expected.insert(rule);
-      }
-    }
-    if (expected.empty()) {
-      std::cout << file.string() << ": fixture declares no expectations\n";
-      ++failures;
-      continue;
-    }
-    std::vector<Finding> findings;
-    lint_file(file, file.extension() == ".hpp", findings);
-    std::set<std::string> found;
-    for (const auto& f : findings) found.insert(f.rule);
-    for (const auto& rule : expected) {
-      if (rule == "clean") {
-        // The fixture must produce no findings at all (suppressions and
-        // literal-zero exemptions must hold).
-        for (const auto& f : findings) {
-          std::cout << file.string() << ": expected clean, got [" << f.rule
-                    << "] at line " << f.line << "\n";
-          ++failures;
-        }
-        continue;
-      }
-      if (found.count(rule) == 0) {
-        std::cout << file.string() << ": expected rule '" << rule
-                  << "' did not fire\n";
-        ++failures;
-      }
-    }
-  }
-  if (fixtures == 0) {
-    std::cout << "self-test: no fixtures found in " << fixture_dir << "\n";
-    return 1;
-  }
-  if (failures == 0) {
-    std::cout << "medcc_lint self-test: " << fixtures
-              << " fixture(s), all expectations fired\n";
-    return 0;
-  }
-  std::cout << "medcc_lint self-test: " << failures << " failure(s)\n";
-  return 1;
-}
-
-}  // namespace
+#include "lint/engine.hpp"
 
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
-  if (args.empty()) {
-    std::cout << "usage: medcc_lint [--self-test] <path>...\n";
+  bool self_test = false;
+  std::string json_path;
+  std::vector<std::string> roots;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--self-test") {
+      self_test = true;
+    } else if (args[i] == "--list-rules") {
+      medcc_lint::print_rules();
+      return 0;
+    } else if (args[i] == "--json") {
+      if (i + 1 >= args.size()) {
+        std::cout << "medcc_lint: --json requires a file argument\n";
+        return 2;
+      }
+      json_path = args[++i];
+    } else if (!args[i].empty() && args[i][0] == '-') {
+      std::cout << "medcc_lint: unknown option '" << args[i] << "'\n";
+      return 2;
+    } else {
+      roots.push_back(args[i]);
+    }
+  }
+  if (roots.empty()) {
+    std::cout << "usage: medcc_lint [--self-test] [--json FILE] "
+                 "[--list-rules] <path>...\n";
     return 2;
   }
   try {
-    if (args.front() == "--self-test") {
-      if (args.size() != 2) {
-        std::cout << "usage: medcc_lint --self-test <fixture-dir>\n";
-        return 2;
-      }
-      return run_self_test(args[1]);
-    }
-    return run_lint(args);
+    if (self_test) return medcc_lint::run_self_test(roots);
+    return medcc_lint::run_lint(roots, json_path);
   } catch (const std::exception& e) {
     std::cout << "medcc_lint: " << e.what() << "\n";
     return 2;

@@ -12,7 +12,6 @@
 #include <iostream>
 #include <memory>
 #include <optional>
-#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -23,6 +22,7 @@
 #include "net/server.hpp"
 #include "sched/instance.hpp"
 #include "service/service.hpp"
+#include "util/flags.hpp"
 #include "util/table.hpp"
 #include "workflow/patterns.hpp"
 #include "workflow/workflow.hpp"
@@ -87,9 +87,9 @@ int main(int argc, char** argv) {
     for (int i = 1; i < argc; ++i) {
       const std::string_view arg = argv[i];
       if (arg == "--threads" && i + 1 < argc) {
-        threads = std::stoul(argv[++i]);
+        threads = medcc::util::parse_flag_size(argv[++i]);
       } else if (arg == "--budget" && i + 1 < argc) {
-        budget = std::stod(argv[++i]);
+        budget = medcc::util::parse_flag_double(argv[++i]);
       } else if (arg == "--stats") {
         stats_only = true;
       } else if (arg == "--connect" && i + 1 < argc) {
@@ -99,10 +99,8 @@ int main(int argc, char** argv) {
           std::cerr << "medcc_serve_demo: --connect expects HOST:PORT\n";
           return 2;
         }
-        const unsigned long port = std::stoul(endpoint.substr(colon + 1));
-        if (port > 65535) throw std::out_of_range("port out of range");
         remote = {endpoint.substr(0, colon),
-                  static_cast<std::uint16_t>(port)};
+                  medcc::util::parse_flag_port(endpoint.substr(colon + 1))};
       } else {
         std::cerr << usage;
         return 2;

@@ -8,39 +8,18 @@
 //                     [--queue N] [--tenant-quota N] [--idle-timeout MS]
 #include <csignal>
 #include <iostream>
-#include <stdexcept>
 #include <string>
 #include <string_view>
 
 #include "net/server.hpp"
 #include "service/service.hpp"
+#include "util/flags.hpp"
 
 namespace {
 
 constexpr const char* kUsage =
     "usage: medcc_server [--bind ADDR] [--port P] [--threads N] "
     "[--queue N] [--tenant-quota N] [--idle-timeout MS]\n";
-
-/// Whole-string unsigned parse; std::stoul alone accepts trailing junk.
-std::size_t parse_size(const std::string& text) {
-  std::size_t pos = 0;
-  const unsigned long value = std::stoul(text, &pos);
-  if (pos != text.size()) throw std::invalid_argument("trailing characters");
-  return value;
-}
-
-std::uint16_t parse_port(const std::string& text) {
-  const std::size_t value = parse_size(text);
-  if (value > 65535) throw std::out_of_range("port out of range");
-  return static_cast<std::uint16_t>(value);
-}
-
-double parse_ms(const std::string& text) {
-  std::size_t pos = 0;
-  const double value = std::stod(text, &pos);
-  if (pos != text.size()) throw std::invalid_argument("trailing characters");
-  return value;
-}
 
 }  // namespace
 
@@ -55,15 +34,17 @@ int main(int argc, char** argv) {
       if (arg == "--bind" && i + 1 < argc) {
         server_config.bind_address = argv[++i];
       } else if (arg == "--port" && i + 1 < argc) {
-        server_config.port = parse_port(argv[++i]);
+        server_config.port = medcc::util::parse_flag_port(argv[++i]);
       } else if (arg == "--threads" && i + 1 < argc) {
-        service_config.threads = parse_size(argv[++i]);
+        service_config.threads = medcc::util::parse_flag_size(argv[++i]);
       } else if (arg == "--queue" && i + 1 < argc) {
-        service_config.queue_capacity = parse_size(argv[++i]);
+        service_config.queue_capacity = medcc::util::parse_flag_size(argv[++i]);
       } else if (arg == "--tenant-quota" && i + 1 < argc) {
-        service_config.max_inflight_per_tenant = parse_size(argv[++i]);
+        service_config.max_inflight_per_tenant =
+            medcc::util::parse_flag_size(argv[++i]);
       } else if (arg == "--idle-timeout" && i + 1 < argc) {
-        server_config.idle_timeout_ms = parse_ms(argv[++i]);
+        server_config.idle_timeout_ms =
+            medcc::util::parse_flag_double(argv[++i]);
       } else {
         std::cerr << kUsage;
         return 2;
