@@ -12,8 +12,17 @@
 //
 // Usage: service_throughput [--requests N] [--distinct K] [--threads T]
 //                           [--solver NAME] [--seed S] [--smoke]
+//                           [--warm-start --cache-dir DIR]
 // --smoke shrinks the stream so the binary doubles as a ctest smoke
 // check; it exits non-zero if the two runs disagree on any response.
+//
+// --warm-start exercises durable persistence instead of the in-memory
+// comparison: a seeding run fills DIR (snapshot + journal), then the
+// same stream is replayed against a freshly constructed service that
+// warm-starts from DIR (asserting zero cache misses and responses
+// byte-identical to the seeding run) and against one restarted without
+// any prior state. The warm restart must finish the stream at least 5x
+// faster than the cold one -- the payoff persistence exists for.
 #include <chrono>
 #include <cstddef>
 #include <future>
@@ -26,7 +35,9 @@
 
 #include "cloud/vm_type.hpp"
 #include "sched/instance.hpp"
+#include "service/persistence.hpp"
 #include "service/service.hpp"
+#include "util/flags.hpp"
 #include "util/prng.hpp"
 #include "util/table.hpp"
 #include "workflow/patterns.hpp"
@@ -59,43 +70,74 @@ struct Options {
   std::string solver = "genetic";
   std::uint64_t seed = 20130801;  // ICPP'13
   bool smoke = false;
+  bool warm_start = false;
+  std::string cache_dir;
 };
 
 Options parse(int argc, char** argv) {
   Options opt;
-  for (int i = 1; i < argc; ++i) {
-    const std::string_view arg = argv[i];
-    const auto next = [&]() -> std::string {
-      if (i + 1 >= argc) {
-        std::cerr << "missing value after " << arg << "\n";
+  // Strict whole-string numeric parsing (util::flags): "12x" or "-1" is
+  // an immediate usage error, never a silently truncated value.
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string_view arg = argv[i];
+      const auto next = [&]() -> std::string {
+        if (i + 1 >= argc) {
+          std::cerr << "missing value after " << arg << "\n";
+          std::exit(2);
+        }
+        return argv[++i];
+      };
+      if (arg == "--requests") {
+        opt.requests = medcc::util::parse_flag_size(next());
+      } else if (arg == "--distinct") {
+        opt.distinct = medcc::util::parse_flag_size(next());
+      } else if (arg == "--threads") {
+        opt.threads = medcc::util::parse_flag_size(next());
+      } else if (arg == "--tiles") {
+        opt.tiles = medcc::util::parse_flag_size(next());
+      } else if (arg == "--solver") {
+        opt.solver = next();
+      } else if (arg == "--seed") {
+        opt.seed = medcc::util::parse_flag_size(next());
+      } else if (arg == "--smoke") {
+        opt.smoke = true;
+      } else if (arg == "--warm-start") {
+        opt.warm_start = true;
+      } else if (arg == "--cache-dir") {
+        opt.cache_dir = next();
+      } else {
+        std::cerr << "unknown argument: " << arg << "\n";
         std::exit(2);
       }
-      return argv[++i];
-    };
-    if (arg == "--requests") {
-      opt.requests = std::stoul(next());
-    } else if (arg == "--distinct") {
-      opt.distinct = std::stoul(next());
-    } else if (arg == "--threads") {
-      opt.threads = std::stoul(next());
-    } else if (arg == "--tiles") {
-      opt.tiles = std::stoul(next());
-    } else if (arg == "--solver") {
-      opt.solver = next();
-    } else if (arg == "--seed") {
-      opt.seed = std::stoull(next());
-    } else if (arg == "--smoke") {
-      opt.smoke = true;
-    } else {
-      std::cerr << "unknown argument: " << arg << "\n";
-      std::exit(2);
     }
+  } catch (const std::exception& ex) {
+    std::cerr << "invalid argument value: " << ex.what() << "\n";
+    std::exit(2);
   }
   if (opt.smoke) {
     opt.requests = 96;
     opt.distinct = 4;
     opt.threads = 2;
     opt.tiles = 3;
+  }
+  if (opt.warm_start) {
+    if (opt.cache_dir.empty()) {
+      std::cerr << "--warm-start requires --cache-dir\n";
+      std::exit(2);
+    }
+    if (opt.smoke) {
+      // Fewer requests over more, wider workflows: the stream stays
+      // fast while the solver work the warm restart avoids is large
+      // enough that its advantage is unambiguous.
+      opt.requests = 32;
+      opt.distinct = 8;
+      opt.tiles = 8;
+    }
+    // One worker makes insertion order (and therefore the persisted
+    // entries and every replayed response) deterministic, which the
+    // byte-identity assertion depends on.
+    opt.threads = 1;
   }
   if (opt.distinct == 0 || opt.requests == 0) {
     std::cerr << "--requests and --distinct must be positive\n";
@@ -184,19 +226,46 @@ struct RunReport {
   std::uint64_t misses = 0;
 };
 
+/// Per-run knobs beyond the shared Options.
+struct StreamConfig {
+  bool cache_on = true;
+  /// Non-empty enables durable persistence rooted here.
+  std::string cache_dir;
+  /// Include service construction (and so the warm-start load) in the
+  /// measured wall time -- the restart modes compare whole restarts.
+  bool measure_construction = false;
+  /// When set, receives one serialized result per request, in stream
+  /// order, for byte-identity comparison across restarts.
+  std::vector<std::string>* captured = nullptr;
+};
+
+/// Serializes a response's result (schedule, evaluation incl. the CPM
+/// detail, iteration count) so two responses compare byte-for-byte.
+std::string result_bytes(const SchedulingResponse& response) {
+  if (!response.ok()) return {};
+  medcc::service::CacheEntry entry;
+  entry.result = response.result;
+  return medcc::service::encode_cache_record(entry);
+}
+
 RunReport run_stream(const Options& opt, const std::vector<Problem>& problems,
-                     bool cache_on) {
+                     const StreamConfig& stream) {
   ServiceConfig config;
   config.threads = opt.threads;
   config.queue_capacity = opt.requests + 1;  // open loop: admit everything
-  config.cache_capacity = cache_on ? 4096 : 0;
+  config.cache_capacity = stream.cache_on ? 4096 : 0;
+  config.cache_dir = stream.cache_dir;
+
+  const auto construction_started = std::chrono::steady_clock::now();
   SchedulingService service(std::move(config));
 
   // The stream revisits a small problem set at random: duplicate-heavy.
   Prng stream_rng(opt.seed ^ 0x5DEECE66DULL);
   std::vector<std::future<SchedulingResponse>> futures;
   futures.reserve(opt.requests);
-  const auto started = std::chrono::steady_clock::now();
+  const auto started = stream.measure_construction
+                           ? construction_started
+                           : std::chrono::steady_clock::now();
   for (std::size_t i = 0; i < opt.requests; ++i) {
     const auto& problem = stream_rng.choice(problems);
     SchedulingRequest req;
@@ -212,6 +281,8 @@ RunReport run_stream(const Options& opt, const std::vector<Problem>& problems,
       ++report.ok;
     else
       ++report.failed;
+    if (stream.captured != nullptr)
+      stream.captured->push_back(result_bytes(response));
   }
   const auto finished = std::chrono::steady_clock::now();
   service.drain();
@@ -237,9 +308,94 @@ RunReport run_stream(const Options& opt, const std::vector<Problem>& problems,
 
 }  // namespace
 
+/// --warm-start: seed a persistence directory, then compare a restart
+/// that warm-starts from it against a restart with no prior state.
+int run_warm_start(const Options& opt, const std::vector<Problem>& problems) {
+  std::cout << "=== service_throughput: warm-start restart comparison ===\n"
+            << "requests=" << opt.requests << " distinct=" << opt.distinct
+            << " (x2 permuted twins) tiles=" << opt.tiles
+            << " solver=" << opt.solver << " seed=" << opt.seed
+            << " cache-dir=" << opt.cache_dir << "\n\n";
+
+  // Seeding run: fills the directory; its responses are the reference
+  // the warm restart must reproduce byte-for-byte. Unmeasured.
+  std::vector<std::string> seeded_results;
+  StreamConfig seeding;
+  seeding.cache_dir = opt.cache_dir;
+  seeding.captured = &seeded_results;
+  const RunReport seeded = run_stream(opt, problems, seeding);
+  if (seeded.ok + seeded.failed != opt.requests || seeded.failed != 0) {
+    std::cerr << "FAIL: seeding run failed (ok=" << seeded.ok
+              << " failed=" << seeded.failed << ")\n";
+    return 1;
+  }
+
+  // Warm restart: a fresh service loads the snapshot + journal and must
+  // answer the whole stream from the cache.
+  std::vector<std::string> warm_results;
+  StreamConfig warm_config;
+  warm_config.cache_dir = opt.cache_dir;
+  warm_config.measure_construction = true;
+  warm_config.captured = &warm_results;
+  const RunReport warm = run_stream(opt, problems, warm_config);
+
+  // Cold restart: same stream, no prior state (cache on but empty).
+  StreamConfig cold_config;
+  cold_config.measure_construction = true;
+  const RunReport cold = run_stream(opt, problems, cold_config);
+
+  medcc::util::Table table({"restart", "wall (s)", "req/s", "p50 (ms)",
+                            "p95 (ms)", "hit rate", "misses"});
+  table.add_row({"cold (no dir)", medcc::util::fmt(cold.wall_seconds),
+                 medcc::util::fmt(cold.throughput),
+                 medcc::util::fmt(cold.p50_ms), medcc::util::fmt(cold.p95_ms),
+                 medcc::util::fmt(cold.hit_rate),
+                 std::to_string(cold.misses)});
+  table.add_row({"warm (cache-dir)", medcc::util::fmt(warm.wall_seconds),
+                 medcc::util::fmt(warm.throughput),
+                 medcc::util::fmt(warm.p50_ms), medcc::util::fmt(warm.p95_ms),
+                 medcc::util::fmt(warm.hit_rate),
+                 std::to_string(warm.misses)});
+  std::cout << table.render() << "\n";
+
+  const double speedup = cold.wall_seconds > 0.0 && warm.wall_seconds > 0.0
+                             ? cold.wall_seconds / warm.wall_seconds
+                             : 0.0;
+  std::cout << "speedup (warm restart vs cold restart): "
+            << medcc::util::fmt(speedup) << "x\n";
+
+  if (warm.ok != seeded.ok || warm.failed != seeded.failed) {
+    std::cerr << "FAIL: warm restart changed response outcomes\n";
+    return 1;
+  }
+  if (warm.misses != 0) {
+    std::cerr << "FAIL: warm restart missed the cache " << warm.misses
+              << " time(s); expected every request warmed\n";
+    return 1;
+  }
+  if (warm_results != seeded_results) {
+    std::size_t divergent = 0;
+    for (std::size_t i = 0; i < warm_results.size(); ++i)
+      if (warm_results[i] != seeded_results[i]) ++divergent;
+    std::cerr << "FAIL: " << divergent
+              << " warmed response(s) not byte-identical to the seeding "
+                 "run\n";
+    return 1;
+  }
+  if (speedup < 5.0) {
+    std::cerr << "FAIL: warm-restart speedup " << speedup
+              << "x below the 5x target\n";
+    return 1;
+  }
+  std::cout << "warm-start OK (responses byte-identical, zero misses)\n";
+  return 0;
+}
+
 int main(int argc, char** argv) {
   const Options opt = parse(argc, argv);
   const auto problems = build_problems(opt);
+
+  if (opt.warm_start) return run_warm_start(opt, problems);
 
   std::cout << "=== service_throughput: duplicate-heavy stream ===\n"
             << "requests=" << opt.requests << " distinct=" << opt.distinct
@@ -247,8 +403,10 @@ int main(int argc, char** argv) {
             << " threads=" << opt.threads << " solver=" << opt.solver
             << " seed=" << opt.seed << "\n\n";
 
-  const RunReport cold = run_stream(opt, problems, /*cache_on=*/false);
-  const RunReport warm = run_stream(opt, problems, /*cache_on=*/true);
+  StreamConfig cache_off;
+  cache_off.cache_on = false;
+  const RunReport cold = run_stream(opt, problems, cache_off);
+  const RunReport warm = run_stream(opt, problems, StreamConfig{});
 
   medcc::util::Table table({"run", "wall (s)", "req/s", "p50 (ms)",
                             "p95 (ms)", "p99 (ms)", "hit rate"});

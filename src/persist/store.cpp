@@ -1,0 +1,217 @@
+#include "persist/store.hpp"
+
+#include <chrono>
+#include <system_error>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace medcc::persist {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double to_seconds(Clock::duration d) {
+  return std::chrono::duration<double>(d).count();
+}
+
+}  // namespace
+
+DurableStore::DurableStore(StoreConfig config, SnapshotSource source)
+    : config_(std::move(config)), source_(std::move(source)) {
+  MEDCC_EXPECTS(source_ != nullptr);
+  MEDCC_EXPECTS(!config_.dir.empty());
+}
+
+DurableStore::~DurableStore() { stop(); }
+
+LoadResult DurableStore::load() {
+  const util::MutexLock lock(mutex_);
+  MEDCC_EXPECTS(!loaded_);
+  std::error_code ec;
+  std::filesystem::create_directories(config_.dir, ec);
+  if (ec)
+    throw PersistError("persist: cannot create directory '" +
+                       config_.dir.string() + "': " + ec.message());
+
+  const ReadResult snapshot =
+      read_record_file(snapshot_path(), kSnapshotMagic, config_.max_record_bytes);
+  const ReadResult journal =
+      read_record_file(journal_path(), kJournalMagic, config_.max_record_bytes);
+
+  LoadResult result;
+  result.snapshot_records = snapshot.payloads.size();
+  result.journal_records = journal.payloads.size();
+  result.truncations = (snapshot.truncated ? 1u : 0u) +
+                       (journal.truncated ? 1u : 0u);
+  result.payloads = snapshot.payloads;
+  result.payloads.insert(result.payloads.end(), journal.payloads.begin(),
+                         journal.payloads.end());
+
+  try {
+    if (!journal.exists || journal.valid_bytes < kFileHeaderSize) {
+      // Missing, empty, or torn before the header: start a fresh journal.
+      reset_journal_locked();
+    } else {
+      journal_ = util::File::append(journal_path());
+      if (journal.truncated) {
+        // Cut the torn tail off so new appends land behind intact
+        // records instead of hiding behind a bad CRC forever.
+        journal_.truncate(journal.valid_bytes);
+        journal_.sync();
+      }
+      journal_bytes_ = journal.valid_bytes;
+    }
+  } catch (const IoError& e) {
+    throw PersistError(std::string("persist: ") + e.what());
+  }
+
+  // Anything recovered from the journal (or dropped from a torn tail)
+  // deserves folding into a fresh snapshot at the next flush.
+  dirty_ = !snapshot.exists || result.journal_records > 0 ||
+           result.truncations > 0;
+  loaded_ = true;
+  return result;
+}
+
+void DurableStore::append(std::string_view payload) {
+  bool request_flush = false;
+  {
+    const util::MutexLock lock(mutex_);
+    MEDCC_EXPECTS(loaded_);
+    const std::string framed = frame_record(payload);
+    try {
+      journal_.write_all(framed);
+      if (config_.fsync_appends) journal_.sync();
+    } catch (const IoError&) {
+      // Journaling degrades; the in-memory table stays authoritative.
+      append_errors_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    journal_bytes_ += framed.size();
+    dirty_ = true;
+    appends_.fetch_add(1, std::memory_order_relaxed);
+    if (config_.journal_rotate_bytes > 0 &&
+        journal_bytes_ >= config_.journal_rotate_bytes && !flush_requested_) {
+      flush_requested_ = true;
+      request_flush = true;
+    }
+  }
+  if (request_flush) wake_.notify_all();
+}
+
+void DurableStore::flush() {
+  const util::MutexLock lock(mutex_);
+  MEDCC_EXPECTS(loaded_);
+  flush_locked();
+}
+
+void DurableStore::flush_if_dirty() {
+  const util::MutexLock lock(mutex_);
+  MEDCC_EXPECTS(loaded_);
+  if (!dirty_) return;
+  try {
+    flush_locked();
+  } catch (const PersistError&) {
+    // Already counted by flush_locked's error path below; shutdown must
+    // not throw.
+  }
+}
+
+void DurableStore::flush_locked() {
+  const auto started = Clock::now();
+  try {
+    // The source runs under the store lock: an insertion is either
+    // visible to this snapshot (its table update happened before) or
+    // its append is still waiting on the lock and lands in the fresh
+    // journal after rotation. Nothing falls in between.
+    const std::vector<std::string> payloads = source_();
+    write_record_file(snapshot_path(), kSnapshotMagic, payloads);
+    reset_journal_locked();
+    snapshot_records_ = payloads.size();
+  } catch (...) {
+    flush_errors_.fetch_add(1, std::memory_order_relaxed);
+    throw;
+  }
+  dirty_ = false;
+  flush_requested_ = false;
+  flushes_.fetch_add(1, std::memory_order_relaxed);
+  last_flush_seconds_ = to_seconds(Clock::now() - started);
+  if (config_.on_flush != nullptr) config_.on_flush(last_flush_seconds_);
+}
+
+void DurableStore::reset_journal_locked() {
+  journal_.close();
+  try {
+    journal_ = util::File::create(journal_path());
+    journal_.write_all(encode_file_header(kJournalMagic));
+    journal_.sync();
+  } catch (const IoError& e) {
+    throw PersistError(std::string("persist: ") + e.what());
+  }
+  journal_bytes_ = kFileHeaderSize;
+}
+
+void DurableStore::start() {
+  {
+    const util::MutexLock lock(mutex_);
+    MEDCC_EXPECTS(loaded_);
+    stop_ = false;
+  }
+  MEDCC_EXPECTS(!flusher_.joinable());
+  flusher_ = std::thread([this] { flusher_main(); });
+}
+
+void DurableStore::stop() {
+  {
+    const util::MutexLock lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  if (flusher_.joinable()) flusher_.join();
+}
+
+void DurableStore::flusher_main() {
+  util::MutexLock lock(mutex_);
+  const bool timed = config_.snapshot_interval_s > 0.0;
+  const auto interval = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(
+          timed ? config_.snapshot_interval_s : 1.0));
+  auto deadline = Clock::now() + interval;
+  while (!stop_) {
+    const auto now = Clock::now();
+    const bool interval_due = timed && now >= deadline;
+    if (flush_requested_ || (interval_due && dirty_)) {
+      try {
+        flush_locked();
+      } catch (const PersistError&) {
+        // Counted; retry at the next trigger.
+        flush_requested_ = false;
+      }
+    }
+    if (interval_due) deadline = now + interval;
+    // Explicit wait (not the predicate overload) so the thread-safety
+    // analysis sees the guarded reads under the capability.
+    if (timed) {
+      wake_.wait_until(lock.native(), deadline);
+    } else {
+      wake_.wait(lock.native());
+    }
+  }
+}
+
+DurableStore::Stats DurableStore::stats() const {
+  Stats stats;
+  stats.appends = appends_.load(std::memory_order_relaxed);
+  stats.append_errors = append_errors_.load(std::memory_order_relaxed);
+  stats.flushes = flushes_.load(std::memory_order_relaxed);
+  stats.flush_errors = flush_errors_.load(std::memory_order_relaxed);
+  const util::MutexLock lock(mutex_);
+  stats.snapshot_records = snapshot_records_;
+  stats.journal_bytes = journal_bytes_;
+  stats.last_flush_seconds = last_flush_seconds_;
+  return stats;
+}
+
+}  // namespace medcc::persist

@@ -1,0 +1,95 @@
+#include "persist/wire.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace medcc::persist {
+
+namespace {
+
+template <typename T>
+void put_le(std::string& out, T v) {
+  for (std::size_t i = 0; i < sizeof(T); ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+}
+
+}  // namespace
+
+void Writer::u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+void Writer::u16(std::uint16_t v) { put_le(out_, v); }
+void Writer::u32(std::uint32_t v) { put_le(out_, v); }
+void Writer::u64(std::uint64_t v) { put_le(out_, v); }
+void Writer::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+void Writer::str(std::string_view s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  out_.append(s);
+}
+
+const char* Reader::take(std::size_t n) {
+  if (remaining() < n)
+    throw PersistError("persist: record truncated (need " +
+                       std::to_string(n) + " bytes, have " +
+                       std::to_string(remaining()) + ")");
+  const char* p = data_.data() + pos_;
+  pos_ += n;
+  return p;
+}
+
+std::uint8_t Reader::u8() {
+  return static_cast<std::uint8_t>(*take(1));
+}
+
+std::uint16_t Reader::u16() {
+  const char* p = take(2);
+  std::uint16_t v = 0;
+  for (std::size_t i = 0; i < 2; ++i)
+    v = static_cast<std::uint16_t>(
+        v | static_cast<std::uint16_t>(static_cast<unsigned char>(p[i]))
+                << (8 * i));
+  return v;
+}
+
+std::uint32_t Reader::u32() {
+  const char* p = take(4);
+  std::uint32_t v = 0;
+  for (std::size_t i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(p[i]))
+         << (8 * i);
+  return v;
+}
+
+std::uint64_t Reader::u64() {
+  const char* p = take(8);
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i]))
+         << (8 * i);
+  return v;
+}
+
+double Reader::f64() { return std::bit_cast<double>(u64()); }
+
+std::string Reader::str(std::size_t max_len) {
+  const std::uint32_t len = u32();
+  if (len > max_len)
+    throw PersistError("persist: string length " + std::to_string(len) +
+                       " exceeds limit " + std::to_string(max_len));
+  const char* p = take(len);
+  return std::string(p, len);
+}
+
+void Reader::expect_done() const {
+  if (!done())
+    throw PersistError("persist: " + std::to_string(remaining()) +
+                       " trailing bytes after record payload");
+}
+
+void Reader::expect_fits(std::uint64_t count, std::size_t min_bytes_each) const {
+  if (count > remaining() / (min_bytes_each == 0 ? 1 : min_bytes_each))
+    throw PersistError("persist: element count " + std::to_string(count) +
+                       " cannot fit in " + std::to_string(remaining()) +
+                       " remaining bytes");
+}
+
+}  // namespace medcc::persist

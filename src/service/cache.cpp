@@ -20,7 +20,8 @@ std::optional<CacheHit> ResultCache::find(const FingerprintDetail& fp) {
   const auto it = shard.index.find(fp.canonical);
   if (it == shard.index.end()) return std::nullopt;
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-  const Entry& entry = *it->second;
+  CacheEntry& entry = *it->second;
+  ++entry.hits;
   CacheHit hit;
   hit.exact = entry.exact == fp.exact;
   hit.result = entry.result;
@@ -29,11 +30,12 @@ std::optional<CacheHit> ResultCache::find(const FingerprintDetail& fp) {
   return hit;
 }
 
-void ResultCache::insert(const FingerprintDetail& fp,
-                         const sched::Result& result) {
-  Entry entry;
+CacheEntry ResultCache::make_entry(const FingerprintDetail& fp,
+                                   const sched::Result& result) {
+  CacheEntry entry;
   entry.key = fp.canonical;
   entry.exact = fp.exact;
+  entry.solver = fp.solver;
   entry.result = result;
   entry.remappable = fp.modules_distinct && fp.types_distinct;
   if (entry.remappable) {
@@ -46,23 +48,51 @@ void ResultCache::insert(const FingerprintDetail& fp,
     }
     std::sort(entry.assignment.begin(), entry.assignment.end());
   }
+  return entry;
+}
 
-  Shard& shard = shard_for(fp.canonical);
+void ResultCache::insert(const FingerprintDetail& fp,
+                         const sched::Result& result) {
+  upsert(make_entry(fp, result), /*count_insertion=*/true);
+}
+
+void ResultCache::insert(CacheEntry entry) {
+  upsert(std::move(entry), /*count_insertion=*/true);
+}
+
+void ResultCache::restore(CacheEntry entry) {
+  upsert(std::move(entry), /*count_insertion=*/false);
+}
+
+void ResultCache::upsert(CacheEntry entry, bool count_insertion) {
+  Shard& shard = shard_for(entry.key);
   const util::MutexLock lock(shard.mutex);
-  const auto it = shard.index.find(fp.canonical);
+  const auto it = shard.index.find(entry.key);
   if (it != shard.index.end()) {
     *it->second = std::move(entry);
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return;
   }
+  const Fingerprint key = entry.key;
   shard.lru.push_front(std::move(entry));
-  shard.index[fp.canonical] = shard.lru.begin();
-  ++shard.insertions;
+  shard.index[key] = shard.lru.begin();
+  if (count_insertion) ++shard.insertions;
   while (shard.lru.size() > shard_capacity_) {
     shard.index.erase(shard.lru.back().key);
     shard.lru.pop_back();
     ++shard.evictions;
   }
+}
+
+std::vector<CacheEntry> ResultCache::export_entries() const {
+  std::vector<CacheEntry> entries;
+  for (const auto& shard : shards_) {
+    const util::MutexLock lock(shard->mutex);
+    // Oldest first, so replaying in order reproduces the LRU order.
+    for (auto it = shard->lru.rbegin(); it != shard->lru.rend(); ++it)
+      entries.push_back(*it);
+  }
+  return entries;
 }
 
 ResultCache::Stats ResultCache::stats() const {

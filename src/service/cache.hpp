@@ -51,6 +51,25 @@ struct CacheHit {
   bool remappable = false;
 };
 
+/// One cache entry in exportable form: everything the persistence layer
+/// snapshots/journals and everything restore() needs to rebuild the
+/// entry so that warmed hits are byte-identical to live ones.
+struct CacheEntry {
+  Fingerprint key;
+  /// Order-dependent layout hash; equality with a request's exact hash
+  /// makes the hit verbatim.
+  std::uint64_t exact = 0;
+  /// Solver id that produced the result (metadata for inspection tools;
+  /// the canonical key already encodes it).
+  std::string solver;
+  sched::Result result;
+  /// {module label, assigned type hash} sorted by label.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> assignment;
+  bool remappable = false;
+  /// Times this entry answered a lookup (hit metadata; persisted).
+  std::uint64_t hits = 0;
+};
+
 class ResultCache {
 public:
   struct Config {
@@ -70,9 +89,26 @@ public:
   /// Looks `fp` up and refreshes its LRU position.
   [[nodiscard]] std::optional<CacheHit> find(const FingerprintDetail& fp);
 
+  /// Builds the entry insert() would store for (`fp`, `result`) --
+  /// exposed so the service can journal exactly what it caches.
+  [[nodiscard]] static CacheEntry make_entry(const FingerprintDetail& fp,
+                                             const sched::Result& result);
+
   /// Stores (or refreshes) the result solved for `fp`, evicting the
   /// least-recently-used entry of the shard when it is full.
   void insert(const FingerprintDetail& fp, const sched::Result& result);
+  /// insert() for a pre-built entry (counts as an insertion).
+  void insert(CacheEntry entry);
+
+  /// Re-inserts a persisted entry during warm start: upserts like
+  /// insert() but does not count towards Stats::insertions (restores
+  /// are reported separately by the persist_* metrics).
+  void restore(CacheEntry entry);
+
+  /// Copies every entry out, least-recently-used first, so re-applying
+  /// them in order (snapshot load, compaction) reproduces the LRU
+  /// order. Order across shards is interleaved and insignificant.
+  [[nodiscard]] std::vector<CacheEntry> export_entries() const;
 
   [[nodiscard]] Stats stats() const;
   [[nodiscard]] std::size_t capacity() const {
@@ -82,23 +118,17 @@ public:
   void clear();
 
 private:
-  struct Entry {
-    Fingerprint key;
-    std::uint64_t exact = 0;
-    sched::Result result;
-    std::vector<std::pair<std::uint64_t, std::uint64_t>> assignment;
-    bool remappable = false;
-  };
-
   struct Shard {
     util::Mutex mutex;
-    std::list<Entry> lru MEDCC_GUARDED_BY(mutex);  // front == most recent
-    std::unordered_map<Fingerprint, std::list<Entry>::iterator,
+    std::list<CacheEntry> lru MEDCC_GUARDED_BY(mutex);  // front == most recent
+    std::unordered_map<Fingerprint, std::list<CacheEntry>::iterator,
                        FingerprintHash>
         index MEDCC_GUARDED_BY(mutex);
     std::uint64_t insertions MEDCC_GUARDED_BY(mutex) = 0;
     std::uint64_t evictions MEDCC_GUARDED_BY(mutex) = 0;
   };
+
+  void upsert(CacheEntry entry, bool count_insertion);
 
   [[nodiscard]] Shard& shard_for(const Fingerprint& fp) {
     return *shards_[fp.hi % shards_.size()];

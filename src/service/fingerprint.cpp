@@ -190,6 +190,7 @@ FingerprintDetail fingerprint_instance(const sched::Instance& instance,
   detail.modules_distinct = all_distinct(detail.module_hash);
   detail.types_distinct = all_distinct(detail.type_hash);
   detail.exact = exact_hash(instance, budget, solver, config);
+  detail.solver = std::string(solver);
   return detail;
 }
 

@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -56,6 +57,9 @@ struct FingerprintDetail {
   bool modules_distinct = false;
   /// All type hashes pairwise distinct.
   bool types_distinct = false;
+  /// Solver id the request named (metadata carried into cache entries
+  /// for inspection tools; the canonical key already hashes it).
+  std::string solver;
 };
 
 /// Fingerprints (instance, budget, solver, config). `request.deadline_ms`

@@ -125,7 +125,8 @@ void MetricsRegistry::queue_left() {
 }
 
 MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
-  Snapshot s(queue_delay_.snapshot(), solve_.snapshot(), total_.snapshot());
+  Snapshot s(queue_delay_.snapshot(), solve_.snapshot(), total_.snapshot(),
+             persist_load_.snapshot(), persist_flush_.snapshot());
   s.requests_total = requests_total_.load(std::memory_order_relaxed);
   s.responses_ok = responses_ok_.load(std::memory_order_relaxed);
   s.responses_failed = responses_failed_.load(std::memory_order_relaxed);
@@ -145,6 +146,14 @@ MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
       tenant_quota_rejections_.load(std::memory_order_relaxed);
   s.queue_depth = queue_depth_.load(std::memory_order_relaxed);
   s.queue_depth_peak = queue_depth_peak_.load(std::memory_order_relaxed);
+  s.persist_loaded_entries =
+      persist_loaded_entries_.load(std::memory_order_relaxed);
+  s.persist_load_errors = persist_load_errors_.load(std::memory_order_relaxed);
+  s.persist_journal_appends =
+      persist_journal_appends_.load(std::memory_order_relaxed);
+  s.persist_replay_truncations =
+      persist_replay_truncations_.load(std::memory_order_relaxed);
+  s.persist_flushes = persist_flushes_.load(std::memory_order_relaxed);
   {
     const util::ReaderMutexLock lock(per_solver_mutex_);
     for (const auto& [name, counter] : per_solver_)
@@ -208,11 +217,18 @@ std::string render(const MetricsRegistry::Snapshot& s, bool csv) {
   emit(out, csv, "queue_depth_peak",
        static_cast<std::uint64_t>(
            std::max<std::int64_t>(0, s.queue_depth_peak)));
+  emit(out, csv, "persist_loaded_entries", s.persist_loaded_entries);
+  emit(out, csv, "persist_load_errors", s.persist_load_errors);
+  emit(out, csv, "persist_journal_appends", s.persist_journal_appends);
+  emit(out, csv, "persist_replay_truncations", s.persist_replay_truncations);
+  emit(out, csv, "persist_flushes", s.persist_flushes);
   for (const auto& [name, count] : s.per_solver)
     emit(out, csv, "requests_solver_" + name, count);
   emit_histogram(out, csv, "latency_queue_seconds", s.queue_delay);
   emit_histogram(out, csv, "latency_solve_seconds", s.solve);
   emit_histogram(out, csv, "latency_total_seconds", s.total);
+  emit_histogram(out, csv, "persist_load_seconds", s.persist_load);
+  emit_histogram(out, csv, "persist_flush_seconds", s.persist_flush);
   return out.str();
 }
 

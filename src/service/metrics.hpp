@@ -67,16 +67,26 @@ public:
     std::uint64_t tenant_quota_rejections = 0;
     std::int64_t queue_depth = 0;
     std::int64_t queue_depth_peak = 0;
+    std::uint64_t persist_loaded_entries = 0;
+    std::uint64_t persist_load_errors = 0;
+    std::uint64_t persist_journal_appends = 0;
+    std::uint64_t persist_replay_truncations = 0;
+    std::uint64_t persist_flushes = 0;
     std::map<std::string, std::uint64_t> per_solver;
-    util::Histogram queue_delay;  ///< seconds spent queued
-    util::Histogram solve;        ///< seconds in the solver / cache path
-    util::Histogram total;        ///< admission-to-response seconds
+    util::Histogram queue_delay;   ///< seconds spent queued
+    util::Histogram solve;         ///< seconds in the solver / cache path
+    util::Histogram total;         ///< admission-to-response seconds
+    util::Histogram persist_load;  ///< warm-start load seconds
+    util::Histogram persist_flush; ///< snapshot flush seconds
 
     Snapshot(util::Histogram queue_delay_hist, util::Histogram solve_hist,
-             util::Histogram total_hist)
+             util::Histogram total_hist, util::Histogram persist_load_hist,
+             util::Histogram persist_flush_hist)
         : queue_delay(std::move(queue_delay_hist)),
           solve(std::move(solve_hist)),
-          total(std::move(total_hist)) {}
+          total(std::move(total_hist)),
+          persist_load(std::move(persist_load_hist)),
+          persist_flush(std::move(persist_flush_hist)) {}
 
     /// hits / (hits + misses); 0 when the cache saw no traffic.
     [[nodiscard]] double cache_hit_rate() const;
@@ -87,6 +97,26 @@ public:
   void record_queue_delay(double seconds) { queue_delay_.record(seconds); }
   void record_solve(double seconds) { solve_.record(seconds); }
   void record_total(double seconds) { total_.record(seconds); }
+
+  /// Persistence counters, driven by the service's warm-start path and
+  /// the durable store's flush callback.
+  void add_persist_loaded(std::uint64_t n) {
+    persist_loaded_entries_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void persist_load_error() {
+    persist_load_errors_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void persist_append() {
+    persist_journal_appends_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void add_persist_truncations(std::uint64_t n) {
+    persist_replay_truncations_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void persist_flush(double seconds) {
+    persist_flushes_.fetch_add(1, std::memory_order_relaxed);
+    persist_flush_.record(seconds);
+  }
+  void record_persist_load(double seconds) { persist_load_.record(seconds); }
 
   /// Queue-depth gauge, driven by the service's admission/dispatch path.
   void queue_entered();
@@ -118,6 +148,11 @@ private:
   std::atomic<std::uint64_t> tenant_quota_rejections_{0};
   std::atomic<std::int64_t> queue_depth_{0};
   std::atomic<std::int64_t> queue_depth_peak_{0};
+  std::atomic<std::uint64_t> persist_loaded_entries_{0};
+  std::atomic<std::uint64_t> persist_load_errors_{0};
+  std::atomic<std::uint64_t> persist_journal_appends_{0};
+  std::atomic<std::uint64_t> persist_replay_truncations_{0};
+  std::atomic<std::uint64_t> persist_flushes_{0};
 
   mutable util::SharedMutex per_solver_mutex_;
   /// The map structure is guarded; the pointed-to counters are atomics,
@@ -130,6 +165,8 @@ private:
   MEDCC_NOT_GUARDED LatencyRecorder queue_delay_;
   MEDCC_NOT_GUARDED LatencyRecorder solve_;
   MEDCC_NOT_GUARDED LatencyRecorder total_;
+  MEDCC_NOT_GUARDED LatencyRecorder persist_load_;
+  MEDCC_NOT_GUARDED LatencyRecorder persist_flush_;
 };
 
 }  // namespace medcc::service

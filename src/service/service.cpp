@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "sched/verify_hook.hpp"
+#include "service/persistence.hpp"
 
 namespace medcc::service {
 
@@ -40,6 +41,46 @@ SchedulingService::SchedulingService(ServiceConfig config)
     cache_config.capacity = config_.cache_capacity;
     cache_config.shards = std::max<std::size_t>(1, config_.cache_shards);
     cache_ = std::make_unique<ResultCache>(cache_config);
+  }
+  if (!config_.cache_dir.empty()) {
+    MEDCC_EXPECTS(cache_ != nullptr);  // persistence requires the cache
+    persist::StoreConfig store_config;
+    store_config.dir = config_.cache_dir;
+    store_config.snapshot_interval_s = config_.snapshot_interval_s;
+    store_config.journal_rotate_bytes = config_.journal_rotate_bytes;
+    store_config.fsync_appends = config_.persist_fsync;
+    store_config.on_flush = [this](double seconds) {
+      metrics_.persist_flush(seconds);
+    };
+    // Runs under the store lock: any concurrent insertion either made it
+    // into this export (its cache update happened before) or its append
+    // is still waiting on that lock and lands in the rotated journal.
+    store_ = std::make_unique<persist::DurableStore>(
+        std::move(store_config), [this] {
+          std::vector<std::string> payloads;
+          for (const CacheEntry& entry : cache_->export_entries())
+            payloads.push_back(encode_cache_record(entry));
+          return payloads;
+        });
+
+    const auto load_started = clock_();
+    const persist::LoadResult loaded = store_->load();
+    std::uint64_t restored = 0;
+    for (const std::string& payload : loaded.payloads) {
+      try {
+        cache_->restore(decode_cache_record(payload));
+        ++restored;
+      } catch (const persist::PersistError&) {
+        // A record framed correctly (CRC passed) but undecodable --
+        // foreign version or a writer bug. Skip it; warm start degrades
+        // to a partial cache instead of failing.
+        metrics_.persist_load_error();
+      }
+    }
+    metrics_.add_persist_loaded(restored);
+    metrics_.add_persist_truncations(loaded.truncations);
+    metrics_.record_persist_load(to_seconds(clock_() - load_started));
+    store_->start();
   }
 }
 
@@ -232,7 +273,18 @@ SchedulingResponse SchedulingService::solve(const SchedulingRequest& request) {
   sched::detail::check_schedule_invariants(
       instance, response.result.schedule, response.result.eval,
       request.budget, sched::detail::kUnconstrained, "service");
-  cache_->insert(fp, response.result);
+  if (store_ == nullptr) {
+    cache_->insert(fp, response.result);
+  } else {
+    // Insert BEFORE journaling: paired with the store's locked snapshot
+    // source, this guarantees the entry is either in the next snapshot
+    // or in the journal that survives it -- never dropped.
+    CacheEntry entry = ResultCache::make_entry(fp, response.result);
+    const std::string payload = encode_cache_record(entry);
+    cache_->insert(std::move(entry));
+    store_->append(payload);
+    metrics_.persist_append();
+  }
   return response;
 }
 
@@ -242,11 +294,27 @@ void SchedulingService::shutdown() {
   accepting_.store(false, std::memory_order_relaxed);
   pool_.request_stop();
   pool_.wait_idle();
+  if (store_ != nullptr) {
+    // Workers are parked: fold the journal into a final snapshot so the
+    // next boot loads one file, then stop the flusher.
+    store_->flush_if_dirty();
+    store_->stop();
+  }
 }
 
 ResultCache::Stats SchedulingService::cache_stats() const {
   if (cache_ == nullptr) return {};
   return cache_->stats();
+}
+
+persist::DurableStore::Stats SchedulingService::persist_stats() const {
+  if (store_ == nullptr) return {};
+  return store_->stats();
+}
+
+void SchedulingService::flush_persistence() {
+  MEDCC_EXPECTS(store_ != nullptr);
+  store_->flush();
 }
 
 }  // namespace medcc::service

@@ -23,6 +23,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "persist/store.hpp"
 #include "sched/solver_registry.hpp"
 #include "service/cache.hpp"
 #include "service/metrics.hpp"
@@ -48,6 +49,19 @@ struct ServiceConfig {
   /// rejected with RejectReason::tenant_quota. 0 = unlimited. The empty
   /// tenant ("") counts as one tenant like any other.
   std::size_t max_inflight_per_tenant = 0;
+  /// Directory for durable cache persistence (snapshot + journal, see
+  /// src/persist). Empty disables persistence; requires the cache to be
+  /// enabled. On construction the service warm-starts from whatever the
+  /// directory holds, tolerating torn tails from a previous crash.
+  std::string cache_dir{};
+  /// Seconds between background snapshots when there is anything new;
+  /// <= 0 leaves only size-triggered and shutdown flushes.
+  double snapshot_interval_s = 30.0;
+  /// Journal size triggering an immediate snapshot + rotation.
+  std::size_t journal_rotate_bytes = 4u << 20;
+  /// fsync the journal on every insertion (crash-safe; turn off for
+  /// throughput at the cost of losing the tail on power failure).
+  bool persist_fsync = true;
   /// Injectable time source (tests freeze it); default steady_clock.
   std::function<std::chrono::steady_clock::time_point()> clock{};
   /// Solver table; nullptr = sched::SolverRegistry::built_in().
@@ -90,8 +104,14 @@ public:
 
   [[nodiscard]] const MetricsRegistry& metrics() const { return metrics_; }
   [[nodiscard]] bool cache_enabled() const { return cache_ != nullptr; }
+  [[nodiscard]] bool persistence_enabled() const { return store_ != nullptr; }
   /// Cache occupancy counters; zeros when the cache is disabled.
   [[nodiscard]] ResultCache::Stats cache_stats() const;
+  /// Durable-store counters; zeros when persistence is disabled.
+  [[nodiscard]] persist::DurableStore::Stats persist_stats() const;
+  /// Forces a snapshot + journal rotation now (persistence must be
+  /// enabled). Throws persist::PersistError on IO failure.
+  void flush_persistence();
   [[nodiscard]] std::size_t thread_count() const {
     return pool_.thread_count();
   }
@@ -115,6 +135,9 @@ private:
   /// Pointer set once in the constructor; the cache itself is sharded
   /// and internally locked.
   MEDCC_NOT_GUARDED std::unique_ptr<ResultCache> cache_;
+  /// Durable snapshot + journal behind the cache; internally locked.
+  /// Declared before pool_ so workers finish before it is destroyed.
+  MEDCC_NOT_GUARDED std::unique_ptr<persist::DurableStore> store_;
   std::atomic<bool> accepting_{true};
   /// Admitted-but-not-yet-running requests (the bounded queue).
   std::atomic<std::size_t> pending_{0};

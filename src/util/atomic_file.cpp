@@ -1,0 +1,157 @@
+#include "util/atomic_file.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace medcc::util {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& op,
+                       const std::filesystem::path& path) {
+  throw IoError(op + " '" + path.string() + "': " + std::strerror(errno));
+}
+
+int open_retry(const char* path, int flags, mode_t mode) {
+  int fd = -1;
+  do {
+    fd = ::open(path, flags, mode);  // NOLINT(cppcoreguidelines-pro-type-vararg)
+  } while (fd < 0 && errno == EINTR);
+  return fd;
+}
+
+}  // namespace
+
+File::~File() { close(); }
+
+File::File(File&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), path_(std::move(other.path_)) {}
+
+File& File::operator=(File&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    path_ = std::move(other.path_);
+  }
+  return *this;
+}
+
+File File::create(const std::filesystem::path& path) {
+  const int fd =
+      open_retry(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) fail("create", path);
+  return File(fd, path);
+}
+
+File File::append(const std::filesystem::path& path) {
+  const int fd =
+      open_retry(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (fd < 0) fail("open for append", path);
+  return File(fd, path);
+}
+
+File File::open_read(const std::filesystem::path& path) {
+  const int fd = open_retry(path.c_str(), O_RDONLY | O_CLOEXEC, 0);
+  if (fd < 0) fail("open", path);
+  return File(fd, path);
+}
+
+void File::write_all(std::string_view bytes) {
+  MEDCC_EXPECTS(is_open());
+  const char* data = bytes.data();
+  std::size_t left = bytes.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd_, data, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("write", path_);
+    }
+    data += n;
+    left -= static_cast<std::size_t>(n);
+  }
+}
+
+void File::sync() {
+  MEDCC_EXPECTS(is_open());
+  if (::fsync(fd_) != 0) fail("fsync", path_);
+}
+
+void File::truncate(std::uint64_t size) {
+  MEDCC_EXPECTS(is_open());
+  if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) fail("truncate", path_);
+}
+
+std::uint64_t File::size() const {
+  MEDCC_EXPECTS(is_open());
+  struct stat st{};
+  if (::fstat(fd_, &st) != 0) fail("stat", path_);
+  return static_cast<std::uint64_t>(st.st_size);
+}
+
+std::string File::read_all() const {
+  MEDCC_EXPECTS(is_open());
+  std::string out;
+  out.reserve(size());
+  char buffer[1 << 16];
+  if (::lseek(fd_, 0, SEEK_SET) < 0) fail("seek", path_);
+  for (;;) {
+    const ssize_t n = ::read(fd_, buffer, sizeof buffer);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("read", path_);
+    }
+    if (n == 0) break;
+    out.append(buffer, static_cast<std::size_t>(n));
+  }
+  return out;
+}
+
+void File::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);  // double-close is worse than a lost late error
+    fd_ = -1;
+  }
+}
+
+bool file_exists(const std::filesystem::path& path) {
+  std::error_code ec;
+  return std::filesystem::is_regular_file(path, ec);
+}
+
+std::string read_file(const std::filesystem::path& path) {
+  return File::open_read(path).read_all();
+}
+
+void atomic_write_file(const std::filesystem::path& path,
+                       std::string_view bytes) {
+  std::filesystem::path tmp = path;
+  tmp += ".tmp";
+  {
+    File file = File::create(tmp);
+    file.write_all(bytes);
+    file.sync();
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int saved = errno;
+    ::unlink(tmp.c_str());
+    errno = saved;
+    fail("rename", path);
+  }
+  // fsync the directory so the rename itself survives a power cut.
+  const std::filesystem::path dir =
+      path.has_parent_path() ? path.parent_path() : ".";
+  const int dir_fd = open_retry(dir.c_str(), O_RDONLY | O_DIRECTORY, 0);
+  if (dir_fd < 0) fail("open directory", dir);
+  const int rc = ::fsync(dir_fd);
+  ::close(dir_fd);
+  if (rc != 0) fail("fsync directory", dir);
+}
+
+}  // namespace medcc::util

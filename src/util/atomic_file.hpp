@@ -1,0 +1,81 @@
+// RAII file handles and the temp-file + fsync + rename atomic-write
+// helper shared by everything that persists state to disk.
+//
+// util::File wraps a POSIX file descriptor (library code never touches
+// raw fopen/FILE* -- the raw-fopen lint rule enforces this): it closes
+// on destruction, reports every failure as medcc::IoError with errno
+// text, and exposes exactly the operations durable storage needs --
+// append, fsync, truncate, whole-file reads.
+//
+// atomic_write_file() is the crash-safe publication primitive: the new
+// contents are written to `<path>.tmp` in the same directory, fsynced,
+// renamed over `path`, and the directory entry is fsynced too. A reader
+// therefore observes either the old file or the complete new one, never
+// a torn mixture; a crash mid-write leaves at worst a stale `.tmp` that
+// the next write overwrites. Callers are expected to be single-writer
+// per path (the persistence subsystem serializes writers with a mutex).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <string_view>
+
+namespace medcc::util {
+
+/// Move-only RAII POSIX file descriptor.
+class File {
+public:
+  File() = default;
+  ~File();
+
+  File(File&& other) noexcept;
+  File& operator=(File&& other) noexcept;
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+
+  /// Creates (or truncates) `path` for writing. Throws medcc::IoError.
+  [[nodiscard]] static File create(const std::filesystem::path& path);
+  /// Opens (creating if absent) `path` for appending.
+  [[nodiscard]] static File append(const std::filesystem::path& path);
+  /// Opens `path` read-only.
+  [[nodiscard]] static File open_read(const std::filesystem::path& path);
+
+  [[nodiscard]] bool is_open() const { return fd_ >= 0; }
+
+  /// Writes all of `bytes` (retrying short writes). Throws IoError.
+  void write_all(std::string_view bytes);
+  /// Flushes file contents and metadata to stable storage (fsync).
+  void sync();
+  /// Truncates (or extends with zeros) to `size` bytes.
+  void truncate(std::uint64_t size);
+  /// Current size in bytes (fstat).
+  [[nodiscard]] std::uint64_t size() const;
+  /// Reads the whole file from offset 0 (open_read handles only).
+  [[nodiscard]] std::string read_all() const;
+
+  /// Closes early; the destructor then has nothing to do. Idempotent.
+  void close();
+
+private:
+  explicit File(int fd, std::filesystem::path path)
+      : fd_(fd), path_(std::move(path)) {}
+
+  int fd_ = -1;
+  std::filesystem::path path_;  // for error messages only
+};
+
+/// True when `path` exists as a regular file.
+[[nodiscard]] bool file_exists(const std::filesystem::path& path);
+
+/// Reads a whole file into a string. Throws medcc::IoError (including
+/// when the file does not exist).
+[[nodiscard]] std::string read_file(const std::filesystem::path& path);
+
+/// Atomically replaces `path` with `bytes`: write `<path>.tmp`, fsync,
+/// rename, fsync the parent directory. Throws medcc::IoError; on
+/// failure the target is untouched (a stale `.tmp` may remain).
+void atomic_write_file(const std::filesystem::path& path,
+                       std::string_view bytes);
+
+}  // namespace medcc::util

@@ -1,0 +1,33 @@
+#include "util/crc32.hpp"
+
+#include <array>
+
+namespace medcc::util {
+
+namespace {
+
+constexpr std::uint32_t kPolynomial = 0xEDB88320u;
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit)
+      crc = (crc >> 1) ^ ((crc & 1u) != 0 ? kPolynomial : 0u);
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view bytes, std::uint32_t seed) {
+  std::uint32_t crc = ~seed;
+  for (const char c : bytes)
+    crc = (crc >> 8) ^ kTable[(crc ^ static_cast<unsigned char>(c)) & 0xFFu];
+  return ~crc;
+}
+
+}  // namespace medcc::util

@@ -1,0 +1,18 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over byte
+// buffers: the checksum that frames every record of the persistence
+// subsystem (src/persist). Incremental use is supported by threading the
+// previous return value back in as `seed`, so a record can be checksummed
+// in pieces without concatenating buffers.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace medcc::util {
+
+/// CRC-32 of `bytes`, continuing from `seed` (0 starts a fresh sum).
+/// crc32(a + b) == crc32(b, crc32(a)).
+[[nodiscard]] std::uint32_t crc32(std::string_view bytes,
+                                  std::uint32_t seed = 0);
+
+}  // namespace medcc::util

@@ -29,6 +29,13 @@ public:
   explicit Infeasible(const std::string& what) : Error(what) {}
 };
 
+/// Thrown when an operating-system file or socket operation fails;
+/// carries the errno text of the failing call.
+class IoError : public Error {
+public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
 /// Thrown when an internal invariant is violated; indicates a bug.
 class LogicError : public std::logic_error {
 public:

@@ -1,0 +1,133 @@
+// util::File and util::atomic_write_file: RAII handles, whole-file
+// round trips, and the temp + fsync + rename publication contract.
+#include "util/atomic_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace medcc::util {
+namespace {
+
+namespace fs = std::filesystem;
+
+class AtomicFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("medcc_atomic_file_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+};
+
+TEST_F(AtomicFileTest, CreateWriteReadRoundTrip) {
+  const fs::path path = dir_ / "data.bin";
+  {
+    File f = File::create(path);
+    ASSERT_TRUE(f.is_open());
+    f.write_all("hello ");
+    f.write_all(std::string("\0world", 6));  // embedded NUL survives
+    f.sync();
+  }  // destructor closes
+  EXPECT_TRUE(file_exists(path));
+  EXPECT_EQ(read_file(path), std::string("hello \0world", 12));
+}
+
+TEST_F(AtomicFileTest, AppendExtendsExisting) {
+  const fs::path path = dir_ / "log.bin";
+  {
+    File f = File::create(path);
+    f.write_all("abc");
+  }
+  {
+    File f = File::append(path);
+    f.write_all("def");
+    EXPECT_EQ(f.size(), 6u);
+  }
+  EXPECT_EQ(read_file(path), "abcdef");
+}
+
+TEST_F(AtomicFileTest, AppendCreatesWhenMissing) {
+  const fs::path path = dir_ / "fresh.bin";
+  {
+    File f = File::append(path);
+    f.write_all("x");
+  }
+  EXPECT_EQ(read_file(path), "x");
+}
+
+TEST_F(AtomicFileTest, TruncateCutsTail) {
+  const fs::path path = dir_ / "cut.bin";
+  File f = File::append(path);
+  f.write_all("0123456789");
+  f.truncate(4);
+  EXPECT_EQ(f.size(), 4u);
+  f.write_all("XY");  // appends behind the cut
+  f.close();
+  EXPECT_EQ(read_file(path), "0123XY");
+}
+
+TEST_F(AtomicFileTest, OpenReadReadAll) {
+  const fs::path path = dir_ / "r.bin";
+  { File::create(path).write_all("payload"); }
+  const File f = File::open_read(path);
+  EXPECT_EQ(f.read_all(), "payload");
+}
+
+TEST_F(AtomicFileTest, MoveTransfersOwnership) {
+  const fs::path path = dir_ / "mv.bin";
+  File a = File::create(path);
+  a.write_all("1");
+  File b = std::move(a);
+  EXPECT_FALSE(a.is_open());  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(b.is_open());
+  b.write_all("2");
+  b.close();
+  EXPECT_EQ(read_file(path), "12");
+}
+
+TEST_F(AtomicFileTest, ErrorsThrowIoError) {
+  EXPECT_THROW((void)File::open_read(dir_ / "absent"), IoError);
+  EXPECT_THROW((void)read_file(dir_ / "absent"), IoError);
+  EXPECT_THROW((void)File::create(dir_ / "no_such_subdir" / "f"), IoError);
+  EXPECT_FALSE(file_exists(dir_ / "absent"));
+}
+
+TEST_F(AtomicFileTest, AtomicWriteCreatesAndReplaces) {
+  const fs::path path = dir_ / "state.bin";
+  atomic_write_file(path, "v1");
+  EXPECT_EQ(read_file(path), "v1");
+  atomic_write_file(path, "version-two");
+  EXPECT_EQ(read_file(path), "version-two");
+  // No temp residue after a successful publication.
+  EXPECT_FALSE(file_exists(dir_ / "state.bin.tmp"));
+}
+
+TEST_F(AtomicFileTest, AtomicWriteSurvivesStaleTmp) {
+  const fs::path path = dir_ / "state.bin";
+  // A crash between write and rename leaves a stale .tmp; the next
+  // publication must overwrite it and still land atomically.
+  { File::create(dir_ / "state.bin.tmp").write_all("torn garbage"); }
+  atomic_write_file(path, "good");
+  EXPECT_EQ(read_file(path), "good");
+}
+
+TEST_F(AtomicFileTest, AtomicWriteFailureLeavesTargetUntouched) {
+  const fs::path path = dir_ / "missing_dir" / "state.bin";
+  EXPECT_THROW(atomic_write_file(path, "x"), IoError);
+  EXPECT_FALSE(file_exists(path));
+}
+
+}  // namespace
+}  // namespace medcc::util

@@ -5,7 +5,7 @@
 // namespace-medcc.
 //
 // Token-stream rules (new): mutable-field-near-mutex-without-guarded-by,
-// detached-thread, lock-guard-unused, catch-by-value.
+// detached-thread, lock-guard-unused, raw-fopen, catch-by-value.
 #include <algorithm>
 #include <cctype>
 #include <set>
@@ -622,6 +622,52 @@ class LockGuardUnusedRule final : public Rule {
 };
 
 // ---------------------------------------------------------------------------
+// raw-fopen
+
+/// stdio entry points that hand out an unmanaged FILE* handle.
+const std::set<std::string>& stdio_open_tokens() {
+  static const std::set<std::string> calls = {"fopen", "freopen", "fdopen",
+                                              "tmpfile"};
+  return calls;
+}
+
+class RawFopenRule final : public Rule {
+ public:
+  [[nodiscard]] std::string id() const override { return "raw-fopen"; }
+
+  [[nodiscard]] std::string rationale() const override {
+    return "buffered FILE* handles leak on exceptions and hide write "
+           "ordering from the crash-safety discipline; file IO goes "
+           "through the RAII util::File / util::atomic_write_file layer";
+  }
+
+  void check(const SourceFile& file, std::vector<Finding>& out) const override {
+    // The RAII layer itself is the one sanctioned home of low-level IO.
+    if (path_contains(file.path, "util/atomic_file")) return;
+    const std::vector<Token>& toks = file.tokens;
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (toks[i].kind != TokenKind::Identifier) continue;
+      if (stdio_open_tokens().count(toks[i].text) != 0 &&
+          is_punct(toks[i + 1], '(')) {
+        out.push_back(Finding{
+            file.path.string(), toks[i].line, id(),
+            "'" + toks[i].text +
+                "' hands out an unmanaged FILE* that leaks on exceptions "
+                "and buffers writes behind fsync's back",
+            "use util::File (RAII fd, explicit sync) or "
+            "util::atomic_write_file for whole-file replacement"});
+      } else if (toks[i].text == "FILE" && is_punct(toks[i + 1], '*')) {
+        out.push_back(Finding{
+            file.path.string(), toks[i].line, id(),
+            "raw FILE* handle; ownership and flush timing are invisible "
+            "to the crash-safety machinery",
+            "hold a util::File member instead of a FILE*"});
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
 // catch-by-value
 
 class CatchByValueRule final : public Rule {
@@ -671,6 +717,7 @@ std::vector<std::unique_ptr<Rule>> make_all_rules() {
   rules.push_back(std::make_unique<MutexGuardedByRule>());
   rules.push_back(std::make_unique<DetachedThreadRule>());
   rules.push_back(std::make_unique<LockGuardUnusedRule>());
+  rules.push_back(std::make_unique<RawFopenRule>());
   rules.push_back(std::make_unique<CatchByValueRule>());
   return rules;
 }

@@ -1,0 +1,16 @@
+// Self-test fixture: unmanaged stdio handles in library code.
+// medcc-lint-expect: raw-fopen
+#include <cstdio>
+
+namespace medcc::fixture {
+
+double read_first_value(const char* path) {
+  FILE* handle = fopen(path, "r");   // leaks if the read below throws
+  if (handle == nullptr) return 0.0;
+  double value = 0.0;
+  if (std::fscanf(handle, "%lf", &value) != 1) value = 0.0;
+  std::fclose(handle);
+  return value;
+}
+
+}  // namespace medcc::fixture

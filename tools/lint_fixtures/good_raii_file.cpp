@@ -1,0 +1,24 @@
+// Self-test fixture: file IO through the RAII layer, plus identifiers
+// merely containing "fopen"/"FILE" must not trip raw-fopen.
+// medcc-lint-expect: clean
+
+#include <string>
+
+#include "util/atomic_file.hpp"
+
+namespace medcc::fixture {
+
+void save_report(const std::string& path, const std::string& body) {
+  util::atomic_write_file(path, body);  // temp + fsync + rename
+}
+
+std::string load_report(const std::string& path) {
+  return util::read_file(path);
+}
+
+// Lookalike identifiers: distinct tokens, not stdio calls.
+int my_fopen_count(int profile_count) { return profile_count; }
+
+constexpr int kFileLimit = 16;  // "FILE" prefix inside a longer token
+
+}  // namespace medcc::fixture

@@ -6,6 +6,12 @@
 //
 // Usage: medcc_server [--bind ADDR] [--port P] [--threads N]
 //                     [--queue N] [--tenant-quota N] [--idle-timeout MS]
+//                     [--cache-dir DIR] [--snapshot-interval S]
+//
+// With --cache-dir the result cache is durable: the service warm-starts
+// from DIR's snapshot + journal (crash-tolerant; torn tails are cut)
+// and persists every fresh solve, so a restarted server answers repeat
+// requests from the cache instead of re-solving.
 #include <csignal>
 #include <iostream>
 #include <string>
@@ -19,7 +25,8 @@ namespace {
 
 constexpr const char* kUsage =
     "usage: medcc_server [--bind ADDR] [--port P] [--threads N] "
-    "[--queue N] [--tenant-quota N] [--idle-timeout MS]\n";
+    "[--queue N] [--tenant-quota N] [--idle-timeout MS] "
+    "[--cache-dir DIR] [--snapshot-interval S]\n";
 
 }  // namespace
 
@@ -44,6 +51,11 @@ int main(int argc, char** argv) {
             medcc::util::parse_flag_size(argv[++i]);
       } else if (arg == "--idle-timeout" && i + 1 < argc) {
         server_config.idle_timeout_ms =
+            medcc::util::parse_flag_double(argv[++i]);
+      } else if (arg == "--cache-dir" && i + 1 < argc) {
+        service_config.cache_dir = argv[++i];
+      } else if (arg == "--snapshot-interval" && i + 1 < argc) {
+        service_config.snapshot_interval_s =
             medcc::util::parse_flag_double(argv[++i]);
       } else {
         std::cerr << kUsage;
@@ -73,7 +85,9 @@ int main(int argc, char** argv) {
     std::cout << "medcc_server listening on " << server_config.bind_address
               << ":" << server.port() << " (" << service.thread_count()
               << " workers, cache " << (service.cache_enabled() ? "on" : "off")
-              << ")" << std::endl;
+              << ", persist "
+              << (service.persistence_enabled() ? "on" : "off") << ")"
+              << std::endl;
 
     int signal = 0;
     if (sigwait(&mask, &signal) != 0) {
