@@ -1,0 +1,370 @@
+// Serving-path load generator: measures the network front end
+// end-to-end (TCP loopback, pipelined MultiClient traffic) along the
+// two axes this layer optimizes.
+//
+//  1. Hit path: the same duplicate stream against a server with the
+//     wire cache (zero-copy encoded-frame fast path) on vs off. With
+//     it off every request still hits the *result* cache but pays
+//     request decode, a queue hop to a worker, fingerprinting and
+//     response re-encode; with it on a verbatim duplicate is answered
+//     by splicing memoized bytes into the outbuf. The smoke asserts
+//     >= 3x fewer ns per request.
+//
+//  2. Reactor scaling: the same fast-path-heavy blast from several
+//     client threads against --io-threads 1 vs 4. With the per-request
+//     CPU cost collapsed by the fast path the server is IO-bound, so
+//     aggregate throughput should scale with reactors; the smoke
+//     asserts >= 2x on hosts with >= 4 cores (skipped below that --
+//     there is nothing to scale onto).
+//
+// Usage: net_throughput [--requests N] [--threads T] [--connections C]
+//                       [--window W] [--tiles K] [--seed S]
+//                       [--smoke] [--json PATH]
+// --json writes the numbers under schema "medcc-bench-serving/v1"
+// (documented in docs/perf.md); CI uploads it as the tracked baseline.
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "cloud/vm_type.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "sched/instance.hpp"
+#include "service/service.hpp"
+#include "util/flags.hpp"
+#include "util/prng.hpp"
+#include "util/table.hpp"
+#include "workflow/patterns.hpp"
+#include "workflow/workflow.hpp"
+
+namespace {
+
+using medcc::net::LoadStats;
+using medcc::net::MultiClient;
+using medcc::net::MultiClientConfig;
+using medcc::sched::Instance;
+using medcc::service::SchedulingRequest;
+
+struct Options {
+  std::size_t requests = 4000;  ///< per measured run, across all threads
+  std::size_t threads = 4;      ///< client threads (reactor-scaling runs)
+  std::size_t connections = 4;  ///< connections per client thread
+  std::size_t window = 32;      ///< pipelined requests per connection
+  std::size_t tiles = 6;
+  std::uint64_t seed = 20130801;  // ICPP'13
+  bool smoke = false;
+  std::string json_path;
+};
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string_view arg = argv[i];
+      const auto next = [&]() -> std::string {
+        if (i + 1 >= argc) {
+          std::cerr << "missing value after " << arg << "\n";
+          std::exit(2);
+        }
+        return argv[++i];
+      };
+      if (arg == "--requests") {
+        opt.requests = medcc::util::parse_flag_size(next());
+      } else if (arg == "--threads") {
+        opt.threads = medcc::util::parse_flag_size(next());
+      } else if (arg == "--connections") {
+        opt.connections = medcc::util::parse_flag_size(next());
+      } else if (arg == "--window") {
+        opt.window = medcc::util::parse_flag_size(next());
+      } else if (arg == "--tiles") {
+        opt.tiles = medcc::util::parse_flag_size(next());
+      } else if (arg == "--seed") {
+        opt.seed = medcc::util::parse_flag_size(next());
+      } else if (arg == "--smoke") {
+        opt.smoke = true;
+      } else if (arg == "--json") {
+        opt.json_path = next();
+      } else {
+        std::cerr << "unknown argument: " << arg << "\n";
+        std::exit(2);
+      }
+    }
+  } catch (const std::exception& ex) {
+    std::cerr << "invalid argument value: " << ex.what() << "\n";
+    std::exit(2);
+  }
+  if (opt.smoke) {
+    opt.requests = 600;
+    opt.threads = 2;
+    opt.connections = 2;
+    opt.window = 16;
+    opt.tiles = 4;
+  }
+  if (opt.requests == 0 || opt.threads == 0) {
+    std::cerr << "--requests and --threads must be positive\n";
+    std::exit(2);
+  }
+  return opt;
+}
+
+/// One request everybody resubmits verbatim (the wire cache keys on the
+/// exact body bytes, so one shared request makes every post-prime send
+/// an exact hit).
+SchedulingRequest build_request(const Options& opt) {
+  medcc::util::Prng rng(opt.seed);
+  auto wf = medcc::workflow::montage_like(opt.tiles, rng);
+  auto instance = std::make_shared<const Instance>(
+      Instance::from_model(std::move(wf), medcc::cloud::example_catalog()));
+  medcc::sched::Schedule cheapest;
+  cheapest.type_of.assign(instance->module_count(),
+                          instance->catalog().cheapest_rate_index());
+  const double cmin = medcc::sched::total_cost(*instance, cheapest);
+  SchedulingRequest request;
+  request.instance = std::move(instance);
+  request.budget = cmin * 1.35 + 1.0;
+  // Critical-Greedy keeps the single priming solve (the only solver
+  // call in the whole bench) cheap.
+  request.solver = "cg";
+  return request;
+}
+
+struct BlastReport {
+  std::size_t io_threads = 0;
+  std::size_t client_threads = 0;
+  std::uint64_t requests = 0;
+  double wall_seconds = 0.0;
+  double throughput_rps = 0.0;
+  double ns_per_request = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  std::uint64_t fastpath_hits = 0;
+};
+
+/// Starts a fresh service + server, primes the caches with one request,
+/// then blasts `opt.requests` verbatim duplicates from `client_threads`
+/// MultiClients and reports aggregate client-side numbers.
+BlastReport blast(const Options& opt, const SchedulingRequest& request,
+                  std::size_t io_threads, bool wire_cache_on,
+                  std::size_t client_threads) {
+  medcc::service::ServiceConfig service_config;
+  service_config.threads = 2;
+  service_config.queue_capacity = opt.requests + 16;
+  service_config.cache_capacity = 4096;
+  service_config.wire_cache_capacity = wire_cache_on ? 1024 : 0;
+  medcc::service::SchedulingService service(std::move(service_config));
+
+  medcc::net::ServerConfig server_config;
+  server_config.io_threads = io_threads;
+  medcc::net::Server server(service, server_config);
+
+  MultiClientConfig client_config;
+  client_config.port = server.port();
+  client_config.connections = opt.connections;
+  client_config.window = opt.window;
+
+  // Prime: the first occurrence pays the solver; afterwards the result
+  // cache (and, when enabled, the wire cache) hold the answer, so the
+  // measured stream exercises only the duplicate-serving path.
+  {
+    MultiClient primer(client_config);
+    const LoadStats primed = primer.run(request, 1);
+    if (primed.ok != 1) {
+      std::cerr << "FAIL: priming request failed\n";
+      std::exit(1);
+    }
+  }
+
+  const std::size_t per_thread = opt.requests / client_threads;
+  const std::size_t remainder = opt.requests % client_threads;
+  std::vector<LoadStats> results(client_threads);
+  std::vector<std::thread> threads;
+  threads.reserve(client_threads);
+  const auto started = std::chrono::steady_clock::now();
+  for (std::size_t t = 0; t < client_threads; ++t) {
+    const std::size_t quota = per_thread + (t < remainder ? 1 : 0);
+    threads.emplace_back([&, t, quota] {
+      MultiClient client(client_config);
+      results[t] = client.run(request, quota);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+          .count();
+
+  BlastReport report;
+  report.io_threads = server.reactor_count();
+  report.client_threads = client_threads;
+  report.wall_seconds = wall;
+  std::vector<double> latencies;
+  latencies.reserve(opt.requests);
+  for (const LoadStats& r : results) {
+    report.requests += r.ok;
+    if (r.failed != 0) {
+      std::cerr << "FAIL: " << r.failed << " request(s) failed\n";
+      std::exit(1);
+    }
+    latencies.insert(latencies.end(), r.latency_seconds.begin(),
+                     r.latency_seconds.end());
+  }
+  if (report.requests != opt.requests) {
+    std::cerr << "FAIL: expected " << opt.requests << " responses, got "
+              << report.requests << "\n";
+    std::exit(1);
+  }
+  if (wall > 0.0) {
+    report.throughput_rps = static_cast<double>(report.requests) / wall;
+    report.ns_per_request =
+        wall * 1e9 / static_cast<double>(report.requests);
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const auto at = [&](double percent) {
+    if (latencies.empty()) return 0.0;
+    const auto rank = static_cast<std::size_t>(
+        percent / 100.0 * static_cast<double>(latencies.size() - 1) + 0.5);
+    return latencies[std::min(rank, latencies.size() - 1)] * 1e3;
+  };
+  report.p50_ms = at(50.0);
+  report.p95_ms = at(95.0);
+  report.p99_ms = at(99.0);
+  report.fastpath_hits = server.counters().fastpath_hits;
+
+  server.stop();
+  service.shutdown();
+  return report;
+}
+
+void write_json(const std::string& path, const Options& opt,
+                const BlastReport& wire_on, const BlastReport& wire_off,
+                const std::vector<BlastReport>& reactors) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "FAIL: cannot write " << path << "\n";
+    std::exit(1);
+  }
+  out << "{\n"
+      << "  \"schema\": \"medcc-bench-serving/v1\",\n"
+      << "  \"bench\": \"net_throughput\",\n"
+      << "  \"mode\": \"" << (opt.smoke ? "smoke" : "full") << "\",\n"
+      << "  \"host_cores\": " << std::thread::hardware_concurrency() << ",\n"
+      << "  \"requests\": " << opt.requests << ",\n"
+      << "  \"hit_path\": {\n"
+      << "    \"fastpath_ns_op\": " << wire_on.ns_per_request << ",\n"
+      << "    \"encode_ns_op\": " << wire_off.ns_per_request << ",\n"
+      << "    \"speedup\": "
+      << (wire_on.ns_per_request > 0.0
+              ? wire_off.ns_per_request / wire_on.ns_per_request
+              : 0.0)
+      << "\n"
+      << "  },\n"
+      << "  \"reactors\": [\n";
+  for (std::size_t i = 0; i < reactors.size(); ++i) {
+    const BlastReport& r = reactors[i];
+    out << "    {\"io_threads\": " << r.io_threads
+        << ", \"client_threads\": " << r.client_threads
+        << ", \"throughput_rps\": " << r.throughput_rps
+        << ", \"p50_ms\": " << r.p50_ms << ", \"p95_ms\": " << r.p95_ms
+        << ", \"p99_ms\": " << r.p99_ms << "}"
+        << (i + 1 < reactors.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse(argc, argv);
+  const SchedulingRequest request = build_request(opt);
+  const unsigned cores = std::thread::hardware_concurrency();
+
+  std::cout << "=== net_throughput: serving-path benchmark ===\n"
+            << "requests=" << opt.requests << " threads=" << opt.threads
+            << " connections=" << opt.connections << " window=" << opt.window
+            << " tiles=" << opt.tiles << " host_cores=" << cores << "\n\n";
+
+  // -- hit path: wire cache on vs off, one reactor, one client thread --
+  const BlastReport wire_on = blast(opt, request, 1, true, 1);
+  const BlastReport wire_off = blast(opt, request, 1, false, 1);
+  if (wire_on.fastpath_hits < opt.requests) {
+    std::cerr << "FAIL: expected every measured request on the fast path, "
+              << "got " << wire_on.fastpath_hits << " of " << opt.requests
+              << "\n";
+    return 1;
+  }
+  if (wire_off.fastpath_hits != 0) {
+    std::cerr << "FAIL: fast-path hits with the wire cache disabled\n";
+    return 1;
+  }
+
+  medcc::util::Table hit_table({"exact-hit serving", "ns/req", "req/s",
+                                "p50 (ms)", "p99 (ms)"});
+  hit_table.add_row({"re-encode (wire cache off)",
+                     medcc::util::fmt(wire_off.ns_per_request),
+                     medcc::util::fmt(wire_off.throughput_rps),
+                     medcc::util::fmt(wire_off.p50_ms),
+                     medcc::util::fmt(wire_off.p99_ms)});
+  hit_table.add_row({"fast path (wire cache on)",
+                     medcc::util::fmt(wire_on.ns_per_request),
+                     medcc::util::fmt(wire_on.throughput_rps),
+                     medcc::util::fmt(wire_on.p50_ms),
+                     medcc::util::fmt(wire_on.p99_ms)});
+  std::cout << hit_table.render() << "\n";
+
+  const double hit_speedup =
+      wire_on.ns_per_request > 0.0
+          ? wire_off.ns_per_request / wire_on.ns_per_request
+          : 0.0;
+  std::cout << "hit-path speedup (fast path vs re-encode): "
+            << medcc::util::fmt(hit_speedup) << "x\n\n";
+
+  // -- reactor scaling: 1 vs 4 io threads, fast-path-heavy traffic --
+  std::vector<BlastReport> reactors;
+  reactors.push_back(blast(opt, request, 1, true, opt.threads));
+  reactors.push_back(blast(opt, request, 4, true, opt.threads));
+
+  medcc::util::Table scale_table({"reactors", "req/s", "p50 (ms)",
+                                  "p95 (ms)", "p99 (ms)"});
+  for (const BlastReport& r : reactors)
+    scale_table.add_row({std::to_string(r.io_threads),
+                         medcc::util::fmt(r.throughput_rps),
+                         medcc::util::fmt(r.p50_ms),
+                         medcc::util::fmt(r.p95_ms),
+                         medcc::util::fmt(r.p99_ms)});
+  std::cout << scale_table.render() << "\n";
+
+  const double scale_speedup =
+      reactors[0].throughput_rps > 0.0
+          ? reactors[1].throughput_rps / reactors[0].throughput_rps
+          : 0.0;
+  std::cout << "reactor speedup (4 vs 1 io threads): "
+            << medcc::util::fmt(scale_speedup) << "x\n";
+
+  if (!opt.json_path.empty())
+    write_json(opt.json_path, opt, wire_on, wire_off, reactors);
+
+  if (hit_speedup < 3.0) {
+    std::cerr << "FAIL: hit-path speedup " << hit_speedup
+              << "x below the 3x target\n";
+    return 1;
+  }
+  if (cores >= 4) {
+    if (scale_speedup < 2.0) {
+      std::cerr << "FAIL: reactor speedup " << scale_speedup
+                << "x below the 2x target on a " << cores << "-core host\n";
+      return 1;
+    }
+  } else {
+    std::cout << "reactor-speedup assertion skipped: host has " << cores
+              << " core(s), needs >= 4 for multi-reactor scaling\n";
+  }
+  std::cout << (opt.smoke ? "smoke OK\n" : "OK\n");
+  return 0;
+}

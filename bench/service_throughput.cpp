@@ -12,9 +12,11 @@
 //
 // Usage: service_throughput [--requests N] [--distinct K] [--threads T]
 //                           [--solver NAME] [--seed S] [--smoke]
-//                           [--warm-start --cache-dir DIR]
+//                           [--json PATH] [--warm-start --cache-dir DIR]
 // --smoke shrinks the stream so the binary doubles as a ctest smoke
 // check; it exits non-zero if the two runs disagree on any response.
+// --json writes both runs under schema "medcc-bench-serving/v1"
+// (documented in docs/perf.md) for the CI-tracked baseline.
 //
 // --warm-start exercises durable persistence instead of the in-memory
 // comparison: a seeding run fills DIR (snapshot + journal), then the
@@ -25,6 +27,7 @@
 // faster than the cold one -- the payoff persistence exists for.
 #include <chrono>
 #include <cstddef>
+#include <fstream>
 #include <future>
 #include <iostream>
 #include <memory>
@@ -72,6 +75,7 @@ struct Options {
   bool smoke = false;
   bool warm_start = false;
   std::string cache_dir;
+  std::string json_path;
 };
 
 Options parse(int argc, char** argv) {
@@ -106,6 +110,8 @@ Options parse(int argc, char** argv) {
         opt.warm_start = true;
       } else if (arg == "--cache-dir") {
         opt.cache_dir = next();
+      } else if (arg == "--json") {
+        opt.json_path = next();
       } else {
         std::cerr << "unknown argument: " << arg << "\n";
         std::exit(2);
@@ -306,6 +312,35 @@ RunReport run_stream(const Options& opt, const std::vector<Problem>& problems,
   return report;
 }
 
+/// JSON baseline (shared schema with bench/net_throughput; docs/perf.md
+/// documents the fields).
+void write_json(const std::string& path, const Options& opt,
+                const RunReport& cold, const RunReport& warm) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "FAIL: cannot write " << path << "\n";
+    std::exit(1);
+  }
+  const auto run_json = [&](const char* name, const RunReport& r,
+                            bool last) {
+    out << "    {\"run\": \"" << name << "\", \"wall_seconds\": "
+        << r.wall_seconds << ", \"throughput_rps\": " << r.throughput
+        << ", \"p50_ms\": " << r.p50_ms << ", \"p95_ms\": " << r.p95_ms
+        << ", \"p99_ms\": " << r.p99_ms << ", \"hit_rate\": " << r.hit_rate
+        << "}" << (last ? "" : ",") << "\n";
+  };
+  out << "{\n"
+      << "  \"schema\": \"medcc-bench-serving/v1\",\n"
+      << "  \"bench\": \"service_throughput\",\n"
+      << "  \"mode\": \"" << (opt.smoke ? "smoke" : "full") << "\",\n"
+      << "  \"requests\": " << opt.requests << ",\n"
+      << "  \"solver\": \"" << opt.solver << "\",\n"
+      << "  \"runs\": [\n";
+  run_json("cache_off", cold, false);
+  run_json("cache_on", warm, true);
+  out << "  ]\n}\n";
+}
+
 }  // namespace
 
 /// --warm-start: seed a persistence directory, then compare a restart
@@ -420,6 +455,8 @@ int main(int argc, char** argv) {
                  medcc::util::fmt(warm.p99_ms),
                  medcc::util::fmt(warm.hit_rate)});
   std::cout << table.render() << "\n";
+
+  if (!opt.json_path.empty()) write_json(opt.json_path, opt, cold, warm);
 
   const double speedup = cold.wall_seconds > 0.0 && warm.wall_seconds > 0.0
                              ? cold.wall_seconds / warm.wall_seconds

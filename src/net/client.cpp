@@ -1,13 +1,17 @@
 #include "net/client.hpp"
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
 #include <thread>
+#include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include <netdb.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -261,6 +265,223 @@ std::vector<service::SchedulingResponse> Client::solve_batch(
     close();
     throw;
   }
+}
+
+// -- MultiClient -----------------------------------------------------------
+
+double LoadStats::throughput_rps() const {
+  if (wall_seconds <= 0.0) return 0.0;
+  return static_cast<double>(ok + failed) / wall_seconds;
+}
+
+double LoadStats::latency_quantile(double percent) const {
+  if (latency_seconds.empty()) return 0.0;
+  std::vector<double> sorted = latency_seconds;
+  std::sort(sorted.begin(), sorted.end());
+  const double clamped = std::min(std::max(percent, 0.0), 100.0);
+  const auto rank = static_cast<std::size_t>(
+      clamped / 100.0 * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+/// One connection's pipeline: bytes waiting to go out, bytes received
+/// beyond the last consumed frame, and the send timestamp of every
+/// in-flight request id (ids are globally unique, so responses -- which
+/// come back on the connection that sent them -- always resolve here).
+struct MultiClient::Conn {
+  util::FdHandle fd;
+  std::string outbuf;
+  std::size_t out_off = 0;
+  std::string inbuf;
+  std::unordered_map<std::uint64_t, std::chrono::steady_clock::time_point>
+      in_flight;
+};
+
+namespace {
+
+/// One blocking-with-timeout TCP connect (the load generator does not
+/// retry: a bench against a dead server should fail fast).
+util::FdHandle multi_connect(const std::string& host, std::uint16_t port,
+                             double timeout_ms) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_NUMERICSERV;
+  const std::string service = std::to_string(port);
+  addrinfo* found = nullptr;
+  const int rc = ::getaddrinfo(host.c_str(), service.c_str(), &hints, &found);
+  if (rc != 0 || found == nullptr)
+    throw NetError("multi-client: cannot resolve " + host + ": " +
+                   ::gai_strerror(rc));
+  std::string last_error = "no usable address";
+  for (const addrinfo* ai = found; ai != nullptr; ai = ai->ai_next) {
+    util::FdHandle fd(::socket(
+        ai->ai_family, ai->ai_socktype | SOCK_CLOEXEC | SOCK_NONBLOCK,
+        ai->ai_protocol));
+    if (!fd) {
+      last_error = std::strerror(errno);
+      continue;
+    }
+    if (::connect(fd.get(), ai->ai_addr, ai->ai_addrlen) != 0) {
+      if (errno != EINPROGRESS && errno != EINTR) {
+        last_error = std::strerror(errno);
+        continue;
+      }
+      const auto wait = util::wait_writable(
+          fd.get(), timeout_ms > 0.0 ? timeout_ms : -1.0);
+      if (wait == util::WaitResult::timeout) {
+        last_error = "connect timed out";
+        continue;
+      }
+      int soerr = 0;
+      socklen_t len = sizeof(soerr);
+      if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &soerr, &len) != 0 ||
+          soerr != 0) {
+        last_error = std::strerror(soerr != 0 ? soerr : errno);
+        continue;
+      }
+    }
+    util::set_tcp_nodelay(fd.get());
+    ::freeaddrinfo(found);
+    return fd;
+  }
+  ::freeaddrinfo(found);
+  throw NetError("multi-client: connect to " + host + ":" + service +
+                 " failed: " + last_error);
+}
+
+/// Patches the little-endian request id at byte 8 of the frame that
+/// starts at `at` in `buffer`.
+void patch_request_id(std::string& buffer, std::size_t at, std::uint64_t id) {
+  for (std::size_t i = 0; i < 8; ++i)
+    buffer[at + 8 + i] = static_cast<char>((id >> (8 * i)) & 0xffu);
+}
+
+}  // namespace
+
+MultiClient::MultiClient() : MultiClient(MultiClientConfig()) {}
+
+MultiClient::MultiClient(MultiClientConfig config)
+    : config_(std::move(config)) {}
+
+LoadStats MultiClient::run(const service::SchedulingRequest& request,
+                           std::size_t total) {
+  LoadStats stats;
+  if (total == 0) return stats;
+
+  const std::string frame = encode_solve_request(request, 0);
+  const std::size_t n_conns =
+      std::min(std::max<std::size_t>(1, config_.connections), total);
+  const std::size_t window = std::max<std::size_t>(1, config_.window);
+
+  std::vector<Conn> conns(n_conns);
+  for (Conn& conn : conns)
+    conn.fd = multi_connect(config_.host, config_.port,
+                            config_.connect_timeout_ms);
+
+  std::uint64_t next_id = 1;
+  std::size_t assigned = 0;
+  std::size_t completed = 0;
+  stats.latency_seconds.reserve(total);
+
+  const auto enqueue = [&](Conn& conn) {
+    while (assigned < total && conn.in_flight.size() < window) {
+      const std::size_t at = conn.outbuf.size();
+      conn.outbuf.append(frame);
+      patch_request_id(conn.outbuf, at, next_id);
+      conn.in_flight.emplace(next_id, std::chrono::steady_clock::now());
+      ++next_id;
+      ++assigned;
+      ++stats.sent;
+    }
+  };
+  for (Conn& conn : conns) enqueue(conn);
+
+  const auto started = std::chrono::steady_clock::now();
+  std::vector<pollfd> fds(n_conns);
+  while (completed < total) {
+    for (std::size_t i = 0; i < n_conns; ++i) {
+      fds[i].fd = conns[i].fd.get();
+      fds[i].events = static_cast<short>(
+          POLLIN |
+          (conns[i].out_off < conns[i].outbuf.size() ? POLLOUT : 0));
+      fds[i].revents = 0;
+    }
+    const int n = ::poll(fds.data(), fds.size(), -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw NetError(std::string("multi-client: poll failed: ") +
+                     std::strerror(errno));
+    }
+    for (std::size_t i = 0; i < n_conns; ++i) {
+      Conn& conn = conns[i];
+      if ((fds[i].revents & (POLLERR | POLLHUP)) != 0 &&
+          (fds[i].revents & POLLIN) == 0)
+        throw NetError("multi-client: connection failed under load");
+      if ((fds[i].revents & POLLOUT) != 0) {
+        while (conn.out_off < conn.outbuf.size()) {
+          const ssize_t sent =
+              ::send(conn.fd.get(), conn.outbuf.data() + conn.out_off,
+                     conn.outbuf.size() - conn.out_off, MSG_NOSIGNAL);
+          if (sent > 0) {
+            conn.out_off += static_cast<std::size_t>(sent);
+            continue;
+          }
+          if (sent < 0 && errno == EINTR) continue;
+          if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+          throw NetError(std::string("multi-client: send failed: ") +
+                         std::strerror(errno));
+        }
+        if (conn.out_off == conn.outbuf.size()) {
+          conn.outbuf.clear();
+          conn.out_off = 0;
+        }
+      }
+      if ((fds[i].revents & POLLIN) == 0) continue;
+      char chunk[64 * 1024];
+      for (;;) {
+        const long got = util::recv_some(conn.fd.get(), chunk, sizeof(chunk));
+        if (got > 0) {
+          conn.inbuf.append(chunk, static_cast<std::size_t>(got));
+          continue;
+        }
+        if (got < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+        if (got == 0)
+          throw NetError("multi-client: connection closed by server");
+        throw NetError(std::string("multi-client: recv failed: ") +
+                       std::strerror(errno));
+      }
+      // Consume every complete frame; bodies are not decoded -- the
+      // generator measures transport throughput, so classification by
+      // frame type is enough (content checks live in the tests).
+      for (;;) {
+        const auto header =
+            parse_frame_header(conn.inbuf, config_.max_frame_body);
+        if (!header || conn.inbuf.size() < kHeaderSize + header->body_size)
+          break;
+        const auto it = conn.in_flight.find(header->request_id);
+        if (it == conn.in_flight.end())
+          throw NetError("multi-client: response for unknown request id " +
+                         std::to_string(header->request_id));
+        stats.latency_seconds.push_back(
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          it->second)
+                .count());
+        conn.in_flight.erase(it);
+        if (header->type == FrameType::solve_response)
+          ++stats.ok;
+        else
+          ++stats.failed;
+        ++completed;
+        conn.inbuf.erase(0, kHeaderSize + header->body_size);
+      }
+      enqueue(conn);
+    }
+  }
+  stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+          .count();
+  return stats;
 }
 
 std::string Client::stats(StatsFormat format) {

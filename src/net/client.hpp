@@ -16,6 +16,12 @@
 //
 // The client is not thread-safe: callers wanting concurrency open one
 // Client per thread (the server multiplexes them all on one epoll loop).
+//
+// MultiClient is the load-generation counterpart: one thread driving
+// many connections with a bounded pipeline window each, sending
+// verbatim copies of a single pre-encoded request (only the header id
+// differs per send). bench/net_throughput uses it to saturate the
+// multi-reactor server and its wire-cache fast path.
 #pragma once
 
 #include <cstdint>
@@ -89,6 +95,57 @@ private:
   util::FdHandle fd_;
   std::string inbuf_;  ///< bytes received beyond the last consumed frame
   std::uint64_t next_id_ = 1;
+};
+
+// -- load generation -------------------------------------------------------
+
+struct MultiClientConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// Connections driven concurrently by the one calling thread.
+  std::size_t connections = 4;
+  /// In-flight (pipelined) requests per connection.
+  std::size_t window = 16;
+  /// Bound on each TCP connection establishment; 0 = no bound.
+  double connect_timeout_ms = 10000.0;
+  std::size_t max_frame_body = kDefaultMaxBody;
+};
+
+/// Aggregate outcome of one MultiClient::run.
+struct LoadStats {
+  std::uint64_t sent = 0;
+  std::uint64_t ok = 0;      ///< solve_response frames received
+  std::uint64_t failed = 0;  ///< error frames received
+  double wall_seconds = 0.0;
+  /// Enqueue-to-response latency of every completed request, in
+  /// arrival order (unsorted).
+  std::vector<double> latency_seconds;
+
+  [[nodiscard]] double throughput_rps() const;
+  /// Latency quantile, `percent` in [0, 100]; 0 when no samples.
+  [[nodiscard]] double latency_quantile(double percent) const;
+};
+
+/// Single-threaded pipelined load generator over several connections.
+/// Not thread-safe; benchmarks run one MultiClient per thread.
+class MultiClient {
+public:
+  MultiClient();
+  explicit MultiClient(MultiClientConfig config);
+
+  /// Encodes `request` once and sends `total` verbatim copies -- the
+  /// request id in the frame header is patched per send, so every body
+  /// is byte-identical, which is exactly what the server's wire-cache
+  /// fast path keys on. Keeps up to `window` requests in flight per
+  /// connection; returns once every response has arrived. Throws
+  /// NetError on connect or stream failure.
+  [[nodiscard]] LoadStats run(const service::SchedulingRequest& request,
+                              std::size_t total);
+
+private:
+  struct Conn;  // per-connection pipeline state (see client.cpp)
+
+  MultiClientConfig config_;
 };
 
 }  // namespace medcc::net

@@ -25,6 +25,8 @@ constexpr std::uint64_t kListenTag = 1;
 constexpr std::uint64_t kFirstSerial = 2;
 
 constexpr std::size_t kRecvChunk = 64 * 1024;
+/// Chunks gathered into one sendmsg; outq rarely holds more.
+constexpr std::size_t kMaxWriteIov = 16;
 
 double ms_since(std::chrono::steady_clock::time_point then,
                 std::chrono::steady_clock::time_point now) {
@@ -36,6 +38,14 @@ double ms_since(std::chrono::steady_clock::time_point then,
 Server::CompletionQueue::CompletionQueue()
     : wake_fd(::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC)) {
   if (!wake_fd) throw NetError("server: eventfd failed");
+}
+
+Server::CompletionQueue::~CompletionQueue() {
+  const util::MutexLock lock(mutex);
+  for (const auto& [serial, fd] : handoffs) {
+    (void)serial;
+    ::close(fd);
+  }
 }
 
 void Server::CompletionQueue::post(std::uint64_t serial, std::string bytes) {
@@ -50,8 +60,19 @@ void Server::CompletionQueue::post(std::uint64_t serial, std::string bytes) {
   (void)!::write(wake_fd.get(), &one, sizeof(one));
 }
 
+void Server::CompletionQueue::hand_off(std::uint64_t serial, int fd) {
+  {
+    const util::MutexLock lock(mutex);
+    handoffs.emplace_back(serial, fd);
+  }
+  const std::uint64_t one = 1;
+  (void)!::write(wake_fd.get(), &one, sizeof(one));
+}
+
 Server::Server(service::SchedulingService& service, ServerConfig config)
-    : service_(service), config_(std::move(config)) {
+    : service_(service),
+      config_(std::move(config)),
+      wire_cache_(service.wire_cache()) {
   listen_fd_.reset(::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
                             0));
   if (!listen_fd_) throw NetError("server: socket() failed");
@@ -79,23 +100,46 @@ Server::Server(service::SchedulingService& service, ServerConfig config)
     throw NetError("server: getsockname failed");
   port_ = ntohs(bound.sin_port);
 
-  epoll_fd_.reset(::epoll_create1(EPOLL_CLOEXEC));
-  if (!epoll_fd_) throw NetError("server: epoll_create1 failed");
-  completions_ = std::make_shared<CompletionQueue>();
+  const std::size_t io_threads =
+      config_.io_threads != 0
+          ? config_.io_threads
+          : std::max<std::size_t>(1, std::thread::hardware_concurrency());
 
-  epoll_event ev{};
-  ev.events = EPOLLIN;
-  ev.data.u64 = kWakeTag;
-  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD,
-                  completions_->wake_fd.get(), &ev) != 0)
-    throw NetError("server: epoll_ctl(wake) failed");
-  ev.events = EPOLLIN;
-  ev.data.u64 = kListenTag;
-  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, listen_fd_.get(), &ev) != 0)
-    throw NetError("server: epoll_ctl(listen) failed");
+  // Build every reactor (epoll + eventfd + pool) before starting any
+  // thread, so a mid-construction throw only has FdHandles to unwind.
+  reactors_.reserve(io_threads);
+  for (std::size_t i = 0; i < io_threads; ++i) {
+    auto reactor = std::make_unique<Reactor>();
+    reactor->index = i;
+    reactor->epoll_fd.reset(::epoll_create1(EPOLL_CLOEXEC));
+    if (!reactor->epoll_fd) throw NetError("server: epoll_create1 failed");
+    reactor->completions = std::make_shared<CompletionQueue>();
 
-  next_serial_ = kFirstSerial;
-  io_ = std::thread([this] { io_loop(); });
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = kWakeTag;
+    if (::epoll_ctl(reactor->epoll_fd.get(), EPOLL_CTL_ADD,
+                    reactor->completions->wake_fd.get(), &ev) != 0)
+      throw NetError("server: epoll_ctl(wake) failed");
+    if (i == 0) {
+      ev.events = EPOLLIN;
+      ev.data.u64 = kListenTag;
+      if (::epoll_ctl(reactor->epoll_fd.get(), EPOLL_CTL_ADD,
+                      listen_fd_.get(), &ev) != 0)
+        throw NetError("server: epoll_ctl(listen) failed");
+    }
+    reactors_.push_back(std::move(reactor));
+  }
+
+  next_serial_.store(kFirstSerial, std::memory_order_relaxed);
+  try {
+    for (auto& reactor : reactors_)
+      reactor->thread =
+          std::thread([this, raw = reactor.get()] { io_loop(*raw); });
+  } catch (...) {
+    stop();  // joins whatever did start
+    throw;
+  }
 }
 
 Server::~Server() { stop(); }
@@ -103,33 +147,47 @@ Server::~Server() { stop(); }
 void Server::stop() {
   if (stopped_.exchange(true)) return;
   stopping_.store(true, std::memory_order_release);
-  wake();
-  if (io_.joinable()) io_.join();
+  for (auto& reactor : reactors_) wake(*reactor);
+  for (auto& reactor : reactors_)
+    if (reactor->thread.joinable()) reactor->thread.join();
+  // All reactor threads are gone; close handed-off sockets that no
+  // reactor adopted before exiting (accept raced the shutdown).
+  for (auto& reactor : reactors_) {
+    std::vector<std::pair<std::uint64_t, int>> orphans;
+    {
+      const util::MutexLock lock(reactor->completions->mutex);
+      orphans.swap(reactor->completions->handoffs);
+    }
+    for (const auto& [serial, fd] : orphans) {
+      (void)serial;
+      ::close(fd);
+      connections_active_.sub();
+    }
+  }
 }
 
-void Server::wake() {
+void Server::wake(Reactor& r) {
   const std::uint64_t one = 1;
   // A full eventfd counter still wakes the loop; ignore short writes.
-  (void)!::write(completions_->wake_fd.get(), &one, sizeof(one));
+  (void)!::write(r.completions->wake_fd.get(), &one, sizeof(one));
 }
 
 Server::Counters Server::counters() const {
   Counters c;
-  c.connections_accepted =
-      connections_accepted_.load(std::memory_order_relaxed);
-  c.connections_active = connections_active_.load(std::memory_order_relaxed);
-  c.frames_in = frames_in_.load(std::memory_order_relaxed);
-  c.frames_out = frames_out_.load(std::memory_order_relaxed);
-  c.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
-  c.idle_closed = idle_closed_.load(std::memory_order_relaxed);
-  c.dropped_responses = dropped_responses_.load(std::memory_order_relaxed);
-  c.backpressure_paused =
-      backpressure_paused_.load(std::memory_order_relaxed);
+  c.connections_accepted = connections_accepted_.load();
+  c.connections_active = connections_active_.load();
+  c.frames_in = frames_in_.load();
+  c.frames_out = frames_out_.load();
+  c.protocol_errors = protocol_errors_.load();
+  c.idle_closed = idle_closed_.load();
+  c.dropped_responses = dropped_responses_.load();
+  c.backpressure_paused = backpressure_paused_.load();
+  c.fastpath_hits = fastpath_hits_.load();
   return c;
 }
 
-void Server::io_loop() {
-  bool listener_open = true;
+void Server::io_loop(Reactor& r) {
+  bool listener_open = (r.index == 0);
   auto grace_deadline = std::chrono::steady_clock::time_point::max();
   std::array<epoll_event, 64> events{};
 
@@ -144,7 +202,7 @@ void Server::io_loop() {
           std::clamp(config_.idle_timeout_ms / 2.0, 5.0, 250.0));
     }
 
-    const int n = ::epoll_wait(epoll_fd_.get(), events.data(),
+    const int n = ::epoll_wait(r.epoll_fd.get(), events.data(),
                                static_cast<int>(events.size()), timeout_ms);
     if (n < 0 && errno != EINTR) {
       util::log_error("net server: epoll_wait failed: ", std::strerror(errno));
@@ -156,75 +214,81 @@ void Server::io_loop() {
       const std::uint32_t mask = events[static_cast<std::size_t>(i)].events;
       if (tag == kWakeTag) {
         std::uint64_t counter = 0;
-        (void)!::read(completions_->wake_fd.get(), &counter, sizeof(counter));
+        (void)!::read(r.completions->wake_fd.get(), &counter,
+                      sizeof(counter));
         continue;
       }
       if (tag == kListenTag) {
-        if (!stopping) accept_ready();
+        if (!stopping) accept_ready(r);
         continue;
       }
-      const auto it = connections_.find(tag);
-      if (it == connections_.end()) continue;  // closed earlier this batch
+      const auto it = r.connections.find(tag);
+      if (it == r.connections.end()) continue;  // closed earlier this batch
       Connection& conn = it->second;
       if ((mask & (EPOLLHUP | EPOLLERR)) != 0) {
-        close_connection(tag);
+        close_connection(r, tag);
         continue;
       }
-      if ((mask & EPOLLIN) != 0) conn_readable(conn);
+      if ((mask & EPOLLIN) != 0) conn_readable(r, conn);
       // conn_readable may have closed the connection; re-find before write.
-      const auto again = connections_.find(tag);
-      if (again != connections_.end() && (mask & EPOLLOUT) != 0)
-        conn_writable(again->second);
+      const auto again = r.connections.find(tag);
+      if (again != r.connections.end() && (mask & EPOLLOUT) != 0)
+        conn_writable(r, again->second);
     }
 
-    drain_outbox();
+    drain_outbox(r);
 
-    if (config_.idle_timeout_ms > 0.0 && !connections_.empty()) {
+    if (config_.idle_timeout_ms > 0.0 && !r.connections.empty()) {
       const auto now = std::chrono::steady_clock::now();
       std::vector<std::uint64_t> idle;
       // last_activity advances on every recv and every send that makes
       // progress, so this reaps both silent connections and peers that
       // stopped reading while we still hold unflushed output for them.
-      for (const auto& [serial, conn] : connections_)
+      for (const auto& [serial, conn] : r.connections)
         if (conn.pending == 0 &&
             ms_since(conn.last_activity, now) > config_.idle_timeout_ms)
           idle.push_back(serial);
       for (const std::uint64_t serial : idle) {
-        idle_closed_.fetch_add(1, std::memory_order_relaxed);
-        close_connection(serial);
+        idle_closed_.add();
+        close_connection(r, serial);
       }
     }
 
     if (stopping) {
       if (listener_open) {
-        (void)::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, listen_fd_.get(),
+        (void)::epoll_ctl(r.epoll_fd.get(), EPOLL_CTL_DEL, listen_fd_.get(),
                           nullptr);
         listen_fd_.close();
         listener_open = false;
+      }
+      if (grace_deadline == std::chrono::steady_clock::time_point::max())
         grace_deadline = std::chrono::steady_clock::now() +
                          std::chrono::milliseconds(static_cast<long>(
                              std::max(0.0, config_.drain_grace_ms)));
-      }
+      // Each reactor drains independently: its own dispatched solves,
+      // its own outbufs. No cross-reactor barrier is needed because a
+      // connection's whole life is confined to one reactor.
       bool in_flight;
       {
-        const util::MutexLock lock(completions_->mutex);
-        in_flight =
-            completions_->outstanding > 0 || !completions_->items.empty();
+        const util::MutexLock lock(r.completions->mutex);
+        in_flight = r.completions->outstanding > 0 ||
+                    !r.completions->items.empty() ||
+                    !r.completions->handoffs.empty();
       }
       const bool flushed = std::all_of(
-          connections_.begin(), connections_.end(),
-          [](const auto& entry) { return entry.second.outbuf.empty(); });
+          r.connections.begin(), r.connections.end(),
+          [](const auto& entry) { return entry.second.out_bytes == 0; });
       if ((!in_flight && flushed) ||
           std::chrono::steady_clock::now() >= grace_deadline)
         break;
     }
   }
 
-  connections_.clear();
-  connections_active_.store(0, std::memory_order_relaxed);
+  connections_active_.sub(r.connections.size());
+  r.connections.clear();
 }
 
-void Server::accept_ready() {
+void Server::accept_ready(Reactor& r) {
   for (;;) {
     const int fd = ::accept4(listen_fd_.get(), nullptr, nullptr,
                              SOCK_NONBLOCK | SOCK_CLOEXEC);
@@ -233,27 +297,45 @@ void Server::accept_ready() {
       if (errno == EINTR) continue;
       return;  // transient accept failure; the listener stays armed
     }
-    if (connections_.size() >= config_.max_connections) {
+    if (connections_active_.load() >= config_.max_connections) {
       ::close(fd);
       continue;
     }
     util::set_tcp_nodelay(fd);
-    const std::uint64_t serial = next_serial_++;
-    Connection conn;
-    conn.fd.reset(fd);
-    conn.serial = serial;
-    conn.last_activity = std::chrono::steady_clock::now();
-    epoll_event ev{};
-    ev.events = EPOLLIN;
-    ev.data.u64 = serial;
-    if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, fd, &ev) != 0) continue;
-    connections_.emplace(serial, std::move(conn));
-    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
-    connections_active_.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t serial = next_serial_.fetch_add(1);
+    connections_accepted_.add();
+    connections_active_.add();
+    const std::size_t target =
+        reactors_.size() == 1
+            ? 0
+            : round_robin_.fetch_add(1, std::memory_order_relaxed) %
+                  reactors_.size();
+    if (target == r.index) {
+      adopt_connection(r, serial, fd);
+    } else {
+      // Ownership of fd passes to the target reactor's queue; the
+      // eventfd write makes it adopt (or, at shutdown, stop() reaps).
+      reactors_[target]->completions->hand_off(serial, fd);
+    }
   }
 }
 
-void Server::conn_readable(Connection& conn) {
+void Server::adopt_connection(Reactor& r, std::uint64_t serial, int fd) {
+  Connection conn;
+  conn.fd.reset(fd);
+  conn.serial = serial;
+  conn.last_activity = std::chrono::steady_clock::now();
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = serial;
+  if (::epoll_ctl(r.epoll_fd.get(), EPOLL_CTL_ADD, fd, &ev) != 0) {
+    connections_active_.sub();  // conn.fd closes the socket on return
+    return;
+  }
+  r.connections.emplace(serial, std::move(conn));
+}
+
+void Server::conn_readable(Reactor& r, Connection& conn) {
   char chunk[kRecvChunk];
   for (;;) {
     const long n = util::recv_some(conn.fd.get(), chunk, sizeof(chunk));
@@ -265,14 +347,14 @@ void Server::conn_readable(Connection& conn) {
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
     // Orderly shutdown or hard error: the peer is gone, so responses
     // still in flight have nowhere to go; drop the connection now.
-    close_connection(conn.serial);
+    close_connection(r, conn.serial);
     return;
   }
 
-  process_inbuf(conn);
+  process_inbuf(r, conn);
 }
 
-void Server::process_inbuf(Connection& conn) {
+void Server::process_inbuf(Reactor& r, Connection& conn) {
   // read_paused stops frame handling too: frames already buffered wait
   // until the outbuf flushes, at which point conn_writable resumes us.
   while (conn.reading && !conn.read_paused) {
@@ -285,61 +367,92 @@ void Server::process_inbuf(Connection& conn) {
     } catch (const CodecError& e) {
       // Header-level corruption desynchronizes the stream: answer once,
       // stop reading, close after the error frame is flushed.
-      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      protocol_errors_.add();
       conn.reading = false;
       conn.close_after_flush = true;
-      queue_output(conn, encode_error(e.code(), e.what(), 0));
+      queue_output(r, conn, encode_error(e.code(), e.what(), 0));
       return;
     }
     if (conn.inbuf.size() < kHeaderSize + header.body_size) break;
     const std::string_view body =
         std::string_view(conn.inbuf).substr(kHeaderSize, header.body_size);
-    handle_frame(conn, header, body);
+    handle_frame(r, conn, header, body);
     conn.inbuf.erase(0, kHeaderSize + header.body_size);
   }
 }
 
-void Server::handle_frame(Connection& conn, const FrameHeader& header,
-                          std::string_view body) {
-  frames_in_.fetch_add(1, std::memory_order_relaxed);
+void Server::handle_frame(Reactor& r, Connection& conn,
+                          const FrameHeader& header, std::string_view body) {
+  frames_in_.add();
   switch (header.type) {
     case FrameType::solve_request: {
       if (stopping_.load(std::memory_order_acquire)) {
         service::SchedulingResponse response;
         response.status = service::ResponseStatus::rejected;
         response.reject_reason = service::RejectReason::shutting_down;
-        queue_output(conn, encode_solve_response(response, header.request_id));
+        queue_output(r, conn,
+                     encode_solve_response(response, header.request_id));
         return;
+      }
+      if (wire_cache_ != nullptr) {
+        // Zero-copy exact-hit fast path: a verbatim duplicate of a
+        // previously answered request is served from the memoized
+        // frame without decoding the body or touching the service.
+        if (const auto frame = wire_cache_->find(body)) {
+          fastpath_hits_.add();
+          service_.metrics().note_wire_fastpath(true);
+          queue_cached_frame(r, conn, *frame, header.request_id);
+          return;
+        }
+        service_.metrics().note_wire_fastpath(false);
       }
       service::SchedulingRequest request;
       try {
         request = decode_solve_request(body);
       } catch (const CodecError& e) {
         // Bad body, sound framing: report and keep the stream alive.
-        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
-        queue_output(conn,
+        protocol_errors_.add();
+        queue_output(r, conn,
                      encode_error(e.code(), e.what(), header.request_id));
         return;
       }
       const std::uint64_t serial = conn.serial;
       const std::uint64_t id = header.request_id;
       {
-        const util::MutexLock lock(completions_->mutex);
-        ++completions_->outstanding;
+        const util::MutexLock lock(r.completions->mutex);
+        ++r.completions->outstanding;
       }
       ++conn.pending;
       // The callback captures the shared CompletionQueue, never `this`:
       // a solve that outlives stop()'s grace period (and possibly the
-      // Server) still posts into live memory and is merely dropped.
+      // Server) still posts into live memory and is merely dropped. The
+      // WireCache is service-owned, so `wire` outlives the callback too.
       service_.submit_async(
           std::move(request),
-          [queue = completions_, serial,
-           id](service::SchedulingResponse response) {
+          [queue = r.completions, wire = wire_cache_, serial, id,
+           key = wire_cache_ != nullptr ? std::string(body) : std::string()](
+              service::SchedulingResponse response) {
             std::string bytes;
             try {
               bytes = encode_solve_response(response, id);
             } catch (...) {
               // Encoding cannot fail short of OOM; drop rather than die.
+            }
+            if (wire != nullptr && response.ok()) {
+              // Memoize the hit-count-independent template: id 0,
+              // timings zeroed, outcome pinned to hit_exact -- every
+              // other field is a deterministic function of the request
+              // bytes, so the entry never needs invalidation. Inserted
+              // before post() so a client that saw this response can
+              // rely on its verbatim duplicate hitting the fast path.
+              response.queue_delay_ms = 0.0;
+              response.solve_ms = 0.0;
+              response.cache = service::CacheOutcome::hit_exact;
+              try {
+                wire->insert(key, encode_solve_response(response, 0));
+              } catch (...) {
+                // Memoization is an optimization; never fail the reply.
+              }
             }
             queue->post(serial, std::move(bytes));
           });
@@ -351,10 +464,10 @@ void Server::handle_frame(Connection& conn, const FrameHeader& header,
         const std::string dump = format == StatsFormat::csv
                                      ? service_.metrics().dump_csv()
                                      : service_.metrics().dump_text();
-        queue_output(conn, encode_stats_response(dump, header.request_id));
+        queue_output(r, conn, encode_stats_response(dump, header.request_id));
       } catch (const CodecError& e) {
-        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
-        queue_output(conn,
+        protocol_errors_.add();
+        queue_output(r, conn,
                      encode_error(e.code(), e.what(), header.request_id));
       }
       return;
@@ -363,10 +476,10 @@ void Server::handle_frame(Connection& conn, const FrameHeader& header,
     case FrameType::stats_response:
     case FrameType::error: {
       // Server-to-client frames arriving at the server: protocol abuse.
-      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      protocol_errors_.add();
       conn.reading = false;
       conn.close_after_flush = true;
-      queue_output(conn,
+      queue_output(r, conn,
                    encode_error(WireError::unexpected_frame,
                                 "client sent a server-side frame type",
                                 header.request_id));
@@ -375,84 +488,156 @@ void Server::handle_frame(Connection& conn, const FrameHeader& header,
   }
 }
 
-void Server::queue_output(Connection& conn, std::string bytes) {
-  conn.outbuf += bytes;
-  frames_out_.fetch_add(1, std::memory_order_relaxed);
+std::string& Server::output_chunk(Reactor& r, Connection& conn,
+                                  std::size_t need) {
+  if (!conn.outq.empty()) {
+    std::string& tail = conn.outq.back();
+    if (tail.capacity() - tail.size() >= need) return tail;
+  }
+  conn.outq.push_back(r.pool.acquire());
+  std::string& fresh = conn.outq.back();
+  if (fresh.capacity() < need) fresh.reserve(need);
+  return fresh;
+}
+
+void Server::queue_output(Reactor& r, Connection& conn, std::string bytes) {
+  frames_out_.add();
+  conn.out_bytes += bytes.size();
+  if (bytes.size() >= r.pool.buffer_capacity()) {
+    // An oversized frame becomes its own chunk: moving the string in is
+    // cheaper than copying it into several pooled chunks.
+    conn.outq.push_back(std::move(bytes));
+  } else {
+    output_chunk(r, conn, bytes.size()).append(bytes);
+  }
+  after_output(r, conn);
+}
+
+void Server::queue_cached_frame(Reactor& r, Connection& conn,
+                                const std::string& frame, std::uint64_t id) {
+  frames_out_.add();
+  // The frame lands contiguously in one chunk so the request id (a
+  // little-endian u64 at byte 8 of the header) can be patched in place.
+  std::string& chunk = output_chunk(r, conn, frame.size());
+  const std::size_t at = chunk.size();
+  chunk.append(frame);
+  for (std::size_t i = 0; i < 8; ++i)
+    chunk[at + 8 + i] = static_cast<char>((id >> (8 * i)) & 0xffu);
+  conn.out_bytes += frame.size();
+  after_output(r, conn);
+}
+
+void Server::after_output(Reactor& r, Connection& conn) {
   bool rearm = false;
   if (!conn.want_write) {
     conn.want_write = true;
     rearm = true;
   }
   if (config_.max_conn_outbuf > 0 && !conn.read_paused &&
-      conn.outbuf.size() - conn.out_offset > config_.max_conn_outbuf) {
+      conn.out_bytes > config_.max_conn_outbuf) {
     conn.read_paused = true;
-    backpressure_paused_.fetch_add(1, std::memory_order_relaxed);
+    backpressure_paused_.add();
     rearm = true;
   }
-  if (rearm) update_epoll(conn);
+  if (rearm) update_epoll(r, conn);
 }
 
-void Server::update_epoll(Connection& conn) {
+void Server::update_epoll(Reactor& r, Connection& conn) {
   epoll_event ev{};
   ev.events = ((conn.reading && !conn.read_paused) ? EPOLLIN : 0u) |
               (conn.want_write ? EPOLLOUT : 0u);
   ev.data.u64 = conn.serial;
-  (void)::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_MOD, conn.fd.get(), &ev);
+  (void)::epoll_ctl(r.epoll_fd.get(), EPOLL_CTL_MOD, conn.fd.get(), &ev);
 }
 
-void Server::conn_writable(Connection& conn) {
-  while (conn.out_offset < conn.outbuf.size()) {
-    const ssize_t n =
-        ::send(conn.fd.get(), conn.outbuf.data() + conn.out_offset,
-               conn.outbuf.size() - conn.out_offset, MSG_NOSIGNAL);
+void Server::advance_outq(Reactor& r, Connection& conn, std::size_t sent) {
+  conn.out_bytes -= sent;
+  while (sent > 0) {
+    std::string& front = conn.outq.front();
+    const std::size_t avail = front.size() - conn.out_head;
+    if (sent < avail) {
+      conn.out_head += sent;
+      return;
+    }
+    sent -= avail;
+    r.pool.release(std::move(front));
+    conn.outq.pop_front();
+    conn.out_head = 0;
+  }
+}
+
+void Server::conn_writable(Reactor& r, Connection& conn) {
+  while (conn.out_bytes > 0) {
+    // Gather the unflushed chunks into one vectored send.
+    std::array<iovec, kMaxWriteIov> iov{};
+    std::size_t n_iov = 0;
+    std::size_t head = conn.out_head;
+    for (std::string& chunk : conn.outq) {
+      if (n_iov == iov.size()) break;
+      if (chunk.size() > head) {
+        iov[n_iov].iov_base = chunk.data() + head;
+        iov[n_iov].iov_len = chunk.size() - head;
+        ++n_iov;
+      }
+      head = 0;
+    }
+    msghdr msg{};
+    msg.msg_iov = iov.data();
+    msg.msg_iovlen = n_iov;
+    const ssize_t n = ::sendmsg(conn.fd.get(), &msg, MSG_NOSIGNAL);
     if (n > 0) {
-      conn.out_offset += static_cast<std::size_t>(n);
+      advance_outq(r, conn, static_cast<std::size_t>(n));
       conn.last_activity = std::chrono::steady_clock::now();
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
-    close_connection(conn.serial);
+    close_connection(r, conn.serial);
     return;
   }
-  conn.outbuf.clear();
-  conn.out_offset = 0;
   conn.want_write = false;
   if (conn.close_after_flush) {
-    close_connection(conn.serial);
+    close_connection(r, conn.serial);
     return;
   }
   const bool resume = conn.read_paused;
   conn.read_paused = false;
-  update_epoll(conn);
+  update_epoll(r, conn);
   // Level-triggered EPOLLIN will not re-fire for bytes we already hold,
   // so frames buffered while paused are handled here.
-  if (resume) process_inbuf(conn);
+  if (resume) process_inbuf(r, conn);
 }
 
-void Server::close_connection(std::uint64_t serial) {
-  const auto it = connections_.find(serial);
-  if (it == connections_.end()) return;
-  (void)::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, it->second.fd.get(),
+void Server::close_connection(Reactor& r, std::uint64_t serial) {
+  const auto it = r.connections.find(serial);
+  if (it == r.connections.end()) return;
+  (void)::epoll_ctl(r.epoll_fd.get(), EPOLL_CTL_DEL, it->second.fd.get(),
                     nullptr);
-  connections_.erase(it);
-  connections_active_.fetch_sub(1, std::memory_order_relaxed);
+  for (std::string& chunk : it->second.outq) r.pool.release(std::move(chunk));
+  r.connections.erase(it);
+  connections_active_.sub();
 }
 
-void Server::drain_outbox() {
+void Server::drain_outbox(Reactor& r) {
   std::vector<std::pair<std::uint64_t, std::string>> ready;
+  std::vector<std::pair<std::uint64_t, int>> adopted;
   {
-    const util::MutexLock lock(completions_->mutex);
-    ready.swap(completions_->items);
+    const util::MutexLock lock(r.completions->mutex);
+    ready.swap(r.completions->items);
+    adopted.swap(r.completions->handoffs);
   }
+  // Adopt handed-off sockets first: a response can only be for a
+  // connection this reactor already owns, but ordering it this way
+  // keeps the invariant obvious.
+  for (const auto& [serial, fd] : adopted) adopt_connection(r, serial, fd);
   for (auto& [serial, bytes] : ready) {
-    const auto it = connections_.find(serial);
-    if (it == connections_.end()) {
-      dropped_responses_.fetch_add(1, std::memory_order_relaxed);
+    const auto it = r.connections.find(serial);
+    if (it == r.connections.end()) {
+      dropped_responses_.add();
       continue;
     }
     if (it->second.pending > 0) --it->second.pending;
-    queue_output(it->second, std::move(bytes));
+    queue_output(r, it->second, std::move(bytes));
   }
 }
 

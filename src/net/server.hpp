@@ -1,15 +1,41 @@
 // The epoll-based TCP front end of the SchedulingService.
 //
-// One IO thread multiplexes the listening socket, an eventfd wake-up,
-// and every client connection (all non-blocking, level-triggered
-// epoll). Incoming bytes accumulate per connection until a full frame
-// is present; solve requests are decoded and handed to
+// Multi-reactor design: ServerConfig::io_threads event-loop threads
+// each own a private epoll instance, a wake eventfd, a buffer pool and
+// a connection table. Reactor 0 additionally owns the listening
+// socket; accepted connections are sharded round-robin across
+// reactors (a cross-thread handoff posts the fd into the target
+// reactor's completion queue and rings its eventfd). After the
+// handoff a connection is confined to one reactor thread for life, so
+// per-connection state needs no locking -- exactly the single-reactor
+// discipline, replicated N times.
+//
+// Incoming bytes accumulate per connection until a full frame is
+// present; solve requests are decoded and handed to
 // SchedulingService::submit_async, so admission control, tenant
 // quotas, queue deadlines, memoization and metrics all apply unchanged
 // to network traffic. Completions are posted -- from whichever worker
-// thread finished the solve -- into an outbox drained by the IO thread
-// through the eventfd, so responses go out as they complete, in any
-// order; clients correlate them by request id.
+// thread finished the solve -- into the owning reactor's outbox,
+// drained through its eventfd, so responses go out as they complete,
+// in any order; clients correlate them by request id.
+//
+// Zero-copy exact-hit fast path: when the service exposes a WireCache
+// (ServiceConfig::wire_cache_capacity), the raw body bytes of every
+// solve_request are first looked up in it. On a hit the memoized,
+// fully encoded response frame is copied straight into the
+// connection's pooled output chunk and the request id is patched in
+// place -- no decode, no queue hop, no re-encode, no per-frame
+// allocation. Misses take the normal path, and the completion
+// callback memoizes the encoded template for the next verbatim
+// duplicate. Fast-path responses carry queue_delay_ms = solve_ms = 0
+// and CacheOutcome::hit_exact, and are counted in
+// Counters::fastpath_hits plus the service's wire_fastpath metrics
+// (they never enter admission control -- by design: the whole point
+// is to spend nothing on them).
+//
+// Output is chunked: each connection's outbuf is a deque of pooled
+// buffers flushed with one gathered sendmsg (writev-style iovec) per
+// syscall, and drained chunks return to the reactor's pool.
 //
 // Error handling follows the frame/stream split: a malformed *body*
 // (frame boundaries still sound) answers with an error frame and keeps
@@ -19,18 +45,19 @@
 // ServerConfig::idle_timeout_ms without traffic.
 //
 // stop() is graceful: the listener closes immediately, queued frames
-// already dispatched keep their worker slots, the loop waits for every
-// in-flight solve and flushes every outbuf (bounded by
-// drain_grace_ms), and only then do the sockets close. The destructor
-// calls stop(). Completion callbacks capture only the shared_ptr-owned
-// CompletionQueue, never the Server itself, so a solve that outlives
-// the grace period posts into state that outlives the Server and is
-// simply dropped.
+// already dispatched keep their worker slots, every reactor
+// independently waits for its in-flight solves and flushes its
+// outbufs (each bounded by drain_grace_ms), and only then do the
+// sockets close. The destructor calls stop(). Completion callbacks
+// capture only the shared_ptr-owned CompletionQueue, never the Server
+// itself, so a solve that outlives the grace period posts into state
+// that outlives the Server and is simply dropped.
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <string>
 #include <thread>
@@ -40,7 +67,10 @@
 
 #include "net/codec.hpp"
 #include "service/service.hpp"
+#include "service/wire_cache.hpp"
+#include "util/buffer_pool.hpp"
 #include "util/mutex.hpp"
+#include "util/padded.hpp"
 #include "util/socket.hpp"
 
 namespace medcc::net {
@@ -51,6 +81,9 @@ struct ServerConfig {
   /// 0 picks an ephemeral port; Server::port() reports the choice.
   std::uint16_t port = 0;
   int backlog = 64;
+  /// Reactor (event-loop) threads; 0 = hardware concurrency. Each
+  /// accepted connection is pinned to one reactor round-robin.
+  std::size_t io_threads = 1;
   std::size_t max_connections = 1024;
   std::size_t max_frame_body = kDefaultMaxBody;
   /// High-water mark on a connection's unflushed output. Past it the
@@ -62,15 +95,16 @@ struct ServerConfig {
   /// reaps connections whose unflushed output has made no progress for
   /// this long (a peer that stopped reading).
   double idle_timeout_ms = 0.0;
-  /// stop(): how long to keep flushing responses after the last
-  /// in-flight solve completes before closing connections hard.
+  /// stop(): how long each reactor keeps flushing responses after the
+  /// last in-flight solve completes before closing connections hard.
   double drain_grace_ms = 5000.0;
 };
 
 class Server {
 public:
-  /// Binds, listens, and starts the IO thread. Throws NetError when the
-  /// socket cannot be set up. `service` must outlive the server.
+  /// Binds, listens, and starts the reactor threads. Throws NetError
+  /// when the socket cannot be set up. `service` must outlive the
+  /// server.
   Server(service::SchedulingService& service, ServerConfig config = {});
   ~Server();
 
@@ -80,11 +114,15 @@ public:
   /// The locally bound TCP port (resolves port = 0 requests).
   [[nodiscard]] std::uint16_t port() const { return port_; }
 
+  /// The number of reactor threads actually running.
+  [[nodiscard]] std::size_t reactor_count() const { return reactors_.size(); }
+
   /// Graceful shutdown: stop accepting, drain in-flight solves, flush
   /// outgoing frames, close. Idempotent; safe from any non-IO thread.
   void stop();
 
-  /// Transport counters (monotonic except connections_active).
+  /// Transport counters (monotonic except connections_active),
+  /// aggregated across reactors.
   struct Counters {
     std::uint64_t connections_accepted = 0;
     std::uint64_t connections_active = 0;
@@ -94,6 +132,7 @@ public:
     std::uint64_t idle_closed = 0;
     std::uint64_t dropped_responses = 0;    ///< finished after peer left
     std::uint64_t backpressure_paused = 0;  ///< reads paused at high water
+    std::uint64_t fastpath_hits = 0;  ///< responses served from WireCache
   };
   [[nodiscard]] Counters counters() const;
 
@@ -102,8 +141,10 @@ private:
     util::FdHandle fd;
     std::uint64_t serial = 0;
     std::string inbuf;
-    std::string outbuf;
-    std::size_t out_offset = 0;  ///< bytes of outbuf already sent
+    /// Unflushed output: pooled chunks, front partially sent.
+    std::deque<std::string> outq;
+    std::size_t out_head = 0;   ///< bytes of outq.front() already sent
+    std::size_t out_bytes = 0;  ///< total unsent bytes across outq
     std::chrono::steady_clock::time_point last_activity;
     std::size_t pending = 0;  ///< solves dispatched, response not yet queued
     bool close_after_flush = false;
@@ -112,79 +153,116 @@ private:
     bool read_paused = false;  ///< outbuf over the high-water mark
   };
 
-  /// Cross-thread completion state shared with the submit_async
-  /// callbacks. Owned via shared_ptr so a callback firing after the
-  /// Server is destroyed (a solve outliving drain_grace_ms) still posts
-  /// into live memory; the response is then dropped with the queue.
+  /// Cross-thread state of one reactor, shared with the submit_async
+  /// callbacks (and, for handoffs, with reactor 0's accept path).
+  /// Owned via shared_ptr so a callback firing after the Server is
+  /// destroyed (a solve outliving drain_grace_ms) still posts into
+  /// live memory; the response is then dropped with the queue.
   struct CompletionQueue {
     /// Creates the wake eventfd; throws NetError when that fails.
     CompletionQueue();
+    /// Closes any handed-off sockets no reactor ever adopted.
+    ~CompletionQueue();
 
     util::Mutex mutex;
     std::vector<std::pair<std::uint64_t, std::string>> items
         MEDCC_GUARDED_BY(mutex);
+    /// Accepted connections (serial, fd) awaiting adoption by the
+    /// owning reactor thread.
+    std::vector<std::pair<std::uint64_t, int>> handoffs
+        MEDCC_GUARDED_BY(mutex);
     /// Dispatched solves whose callback has not yet run.
     std::size_t outstanding MEDCC_GUARDED_BY(mutex) = 0;
-    /// The eventfd the IO thread sleeps on. Const after construction:
-    /// workers write it and the IO thread reads it without the mutex,
+    /// The eventfd the reactor sleeps on. Const after construction:
+    /// workers write it and the reactor reads it without the mutex,
     /// which is safe because the descriptor value never changes and
     /// eventfd operations are kernel-synchronized.
     const util::FdHandle wake_fd;
 
     /// Worker-side: enqueue the encoded response (empty = drop),
-    /// decrement outstanding, and wake the IO thread.
+    /// decrement outstanding, and wake the reactor.
     void post(std::uint64_t serial, std::string bytes)
         MEDCC_EXCLUDES(mutex);
+    /// Acceptor-side: pass ownership of an accepted socket to this
+    /// reactor and wake it.
+    void hand_off(std::uint64_t serial, int fd) MEDCC_EXCLUDES(mutex);
   };
 
-  void io_loop();
-  void accept_ready();
-  void conn_readable(Connection& conn);
+  /// One event-loop thread's world. Everything except `completions` is
+  /// confined to that thread once it starts (the constructor sets the
+  /// structures up before any thread runs).
+  struct Reactor {
+    std::size_t index = 0;
+    util::FdHandle epoll_fd;
+    std::shared_ptr<CompletionQueue> completions;
+    util::BufferPool pool;  // internally locked; used by this thread only
+    std::unordered_map<std::uint64_t, Connection> connections;
+    std::thread thread;  // started last in the constructor
+  };
+
+  void io_loop(Reactor& r);
+  void accept_ready(Reactor& r);  // runs on reactor 0 only
+  /// Registers a just-accepted (or handed-off) socket with `r`.
+  void adopt_connection(Reactor& r, std::uint64_t serial, int fd);
+  void conn_readable(Reactor& r, Connection& conn);
   /// Parses and handles every complete frame buffered in conn.inbuf;
   /// stops early when the stream is poisoned or reading is paused.
-  void process_inbuf(Connection& conn);
-  void conn_writable(Connection& conn);
+  void process_inbuf(Reactor& r, Connection& conn);
+  void conn_writable(Reactor& r, Connection& conn);
   /// Handles one complete frame; may queue output or dispatch a solve.
-  void handle_frame(Connection& conn, const FrameHeader& header,
+  void handle_frame(Reactor& r, Connection& conn, const FrameHeader& header,
                     std::string_view body);
-  void queue_output(Connection& conn, std::string bytes);
-  void update_epoll(Connection& conn);
-  void close_connection(std::uint64_t serial);
-  /// Moves completed responses from the cross-thread outbox onto the
-  /// owning connections' write buffers (IO thread only).
-  void drain_outbox();
-  void wake();
+  void queue_output(Reactor& r, Connection& conn, std::string bytes);
+  /// Fast path: copies a memoized response frame into the tail pooled
+  /// chunk and patches the request id in place.
+  void queue_cached_frame(Reactor& r, Connection& conn,
+                          const std::string& frame, std::uint64_t id);
+  /// Returns the tail output chunk with at least `need` spare bytes,
+  /// acquiring a pooled chunk when the current tail is full.
+  [[nodiscard]] std::string& output_chunk(Reactor& r, Connection& conn,
+                                          std::size_t need);
+  /// Common tail of the queue_* methods: arm EPOLLOUT and apply the
+  /// outbuf high-water mark.
+  void after_output(Reactor& r, Connection& conn);
+  /// Retires `sent` flushed bytes, releasing drained chunks to the pool.
+  void advance_outq(Reactor& r, Connection& conn, std::size_t sent);
+  void update_epoll(Reactor& r, Connection& conn);
+  void close_connection(Reactor& r, std::uint64_t serial);
+  /// Moves completed responses and handed-off sockets from the
+  /// cross-thread queue onto this reactor's state (reactor thread only).
+  void drain_outbox(Reactor& r);
+  void wake(Reactor& r);
 
   service::SchedulingService& service_;
   ServerConfig config_;
+  /// Borrowed from the service (which outlives the server); nullptr
+  /// when the fast path is disabled.
+  service::WireCache* wire_cache_ = nullptr;
   util::FdHandle listen_fd_;
-  util::FdHandle epoll_fd_;
   std::uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};
   std::atomic<bool> stopped_{false};
 
-  /// Completions posted by service workers, drained by the IO thread.
-  /// The pointer is set once in the constructor; the pointee carries its
-  /// own mutex (annotated above).
-  std::shared_ptr<CompletionQueue> completions_;
+  /// Serial source shared by all reactors (reactor 0 assigns serials
+  /// at accept; they tag epoll events and correlate completions).
+  std::atomic<std::uint64_t> next_serial_{0};
+  /// Round-robin cursor for sharding accepted connections.
+  std::atomic<std::size_t> round_robin_{0};
 
-  /// IO-thread confined: the connection table and serial counter are
-  /// touched only from io_loop() and the constructor (which runs before
-  /// the IO thread starts); no lock is needed and none must be added
-  /// without moving these behind one.
-  std::unordered_map<std::uint64_t, Connection> connections_;
-  std::uint64_t next_serial_ = 1;
+  util::PaddedAtomic<std::uint64_t> connections_accepted_;
+  util::PaddedAtomic<std::uint64_t> connections_active_;
+  util::PaddedAtomic<std::uint64_t> frames_in_;
+  util::PaddedAtomic<std::uint64_t> frames_out_;
+  util::PaddedAtomic<std::uint64_t> protocol_errors_;
+  util::PaddedAtomic<std::uint64_t> idle_closed_;
+  util::PaddedAtomic<std::uint64_t> dropped_responses_;
+  util::PaddedAtomic<std::uint64_t> backpressure_paused_;
+  util::PaddedAtomic<std::uint64_t> fastpath_hits_;
 
-  std::atomic<std::uint64_t> connections_accepted_{0};
-  std::atomic<std::uint64_t> connections_active_{0};
-  std::atomic<std::uint64_t> frames_in_{0};
-  std::atomic<std::uint64_t> frames_out_{0};
-  std::atomic<std::uint64_t> protocol_errors_{0};
-  std::atomic<std::uint64_t> idle_closed_{0};
-  std::atomic<std::uint64_t> dropped_responses_{0};
-  std::atomic<std::uint64_t> backpressure_paused_{0};
-
-  std::thread io_;  // last member: joined by stop() before teardown
+  /// Sized in the constructor before any thread starts, structurally
+  /// immutable afterwards. Last member: stop() joins the reactor
+  /// threads before anything above is torn down.
+  std::vector<std::unique_ptr<Reactor>> reactors_;
 };
 
 }  // namespace medcc::net

@@ -1,6 +1,8 @@
 #include "service/metrics.hpp"
 
+#include <functional>
 #include <sstream>
+#include <thread>
 
 namespace medcc::service {
 
@@ -9,13 +11,23 @@ namespace {
 constexpr double kFirstBucket = 1e-6;  // 1 microsecond
 constexpr double kGrowth = 2.0;
 constexpr std::size_t kBuckets = 40;   // up to ~1.1e6 seconds
+/// Latency shards per recorder. Shard choice is a thread-id hash, so
+/// this bounds -- not eliminates -- collisions; 8 shards keep two busy
+/// threads apart with high probability without inflating the fold cost.
+constexpr std::size_t kLatencyShards = 8;
 
 /// Raises a relaxed atomic maximum.
-void raise_peak(std::atomic<std::int64_t>& peak, std::int64_t value) {
-  std::int64_t seen = peak.load(std::memory_order_relaxed);
-  while (seen < value &&
-         !peak.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+void raise_peak(util::PaddedAtomic<std::int64_t>& peak, std::int64_t value) {
+  std::int64_t seen = peak.load();
+  while (seen < value && !peak.compare_exchange_weak(seen, value)) {
   }
+}
+
+/// Stable per-thread shard seed, hashed once per thread.
+std::size_t thread_shard_seed() {
+  thread_local const std::size_t seed =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return seed;
 }
 
 }  // namespace
@@ -23,20 +35,35 @@ void raise_peak(std::atomic<std::int64_t>& peak, std::int64_t value) {
 LatencyRecorder::LatencyRecorder()
     : edges_(util::Histogram::exponential(kFirstBucket, kGrowth, kBuckets)
                  .edges()),
-      buckets_(kBuckets) {}
+      shards_(kLatencyShards) {
+  for (Shard& shard : shards_)
+    shard.buckets = std::vector<std::atomic<std::uint64_t>>(kBuckets);
+}
 
 void LatencyRecorder::record(double seconds) {
+  Shard& shard = shards_[thread_shard_seed() % shards_.size()];
   std::size_t b = 0;
-  while (b + 1 < buckets_.size() && seconds >= edges_[b + 1]) ++b;
-  buckets_[b].fetch_add(1, std::memory_order_relaxed);
-  count_.fetch_add(1, std::memory_order_relaxed);
+  while (b + 1 < shard.buckets.size() && seconds >= edges_[b + 1]) ++b;
+  shard.buckets[b].fetch_add(1, std::memory_order_relaxed);
+  shard.count.fetch_add(1, std::memory_order_relaxed);
 }
 
 util::Histogram LatencyRecorder::snapshot() const {
   util::Histogram hist(edges_);
-  for (std::size_t b = 0; b < buckets_.size(); ++b)
-    hist.add_bucket(b, buckets_[b].load(std::memory_order_relaxed));
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    std::uint64_t n = 0;
+    for (const Shard& shard : shards_)
+      n += shard.buckets[b].load(std::memory_order_relaxed);
+    hist.add_bucket(b, n);
+  }
   return hist;
+}
+
+std::uint64_t LatencyRecorder::count() const {
+  std::uint64_t n = 0;
+  for (const Shard& shard : shards_)
+    n += shard.count.load(std::memory_order_relaxed);
+  return n;
 }
 
 double MetricsRegistry::Snapshot::cache_hit_rate() const {
@@ -47,7 +74,7 @@ double MetricsRegistry::Snapshot::cache_hit_rate() const {
 }
 
 void MetricsRegistry::count_request(std::string_view solver) {
-  requests_total_.fetch_add(1, std::memory_order_relaxed);
+  requests_total_.add();
   {
     const util::ReaderMutexLock lock(per_solver_mutex_);
     const auto it = per_solver_.find(solver);
@@ -66,31 +93,31 @@ void MetricsRegistry::count_request(std::string_view solver) {
 void MetricsRegistry::count_response(const SchedulingResponse& response) {
   switch (response.status) {
     case ResponseStatus::ok:
-      responses_ok_.fetch_add(1, std::memory_order_relaxed);
+      responses_ok_.add();
       break;
     case ResponseStatus::failed:
-      responses_failed_.fetch_add(1, std::memory_order_relaxed);
+      responses_failed_.add();
       break;
     case ResponseStatus::rejected:
       switch (response.reject_reason) {
         case RejectReason::queue_full:
-          rejected_queue_full_.fetch_add(1, std::memory_order_relaxed);
+          rejected_queue_full_.add();
           break;
         case RejectReason::shutting_down:
-          rejected_shutting_down_.fetch_add(1, std::memory_order_relaxed);
+          rejected_shutting_down_.add();
           break;
         case RejectReason::deadline_expired:
-          rejected_deadline_.fetch_add(1, std::memory_order_relaxed);
+          rejected_deadline_.add();
           break;
         case RejectReason::unknown_solver:
-          rejected_unknown_solver_.fetch_add(1, std::memory_order_relaxed);
+          rejected_unknown_solver_.add();
           break;
         case RejectReason::tenant_quota:
-          tenant_quota_rejections_.fetch_add(1, std::memory_order_relaxed);
+          tenant_quota_rejections_.add();
           break;
         case RejectReason::invalid_request:
         case RejectReason::none:
-          rejected_invalid_.fetch_add(1, std::memory_order_relaxed);
+          rejected_invalid_.add();
           break;
       }
       break;
@@ -99,61 +126,53 @@ void MetricsRegistry::count_response(const SchedulingResponse& response) {
       response.status == ResponseStatus::failed) {
     switch (response.cache) {
       case CacheOutcome::hit_exact:
-        cache_hits_exact_.fetch_add(1, std::memory_order_relaxed);
+        cache_hits_exact_.add();
         break;
       case CacheOutcome::hit_isomorphic:
-        cache_hits_isomorphic_.fetch_add(1, std::memory_order_relaxed);
+        cache_hits_isomorphic_.add();
         break;
       case CacheOutcome::miss:
-        cache_misses_.fetch_add(1, std::memory_order_relaxed);
+        cache_misses_.add();
         break;
       case CacheOutcome::bypass:
-        cache_bypass_.fetch_add(1, std::memory_order_relaxed);
+        cache_bypass_.add();
         break;
     }
   }
 }
 
 void MetricsRegistry::queue_entered() {
-  const std::int64_t depth =
-      queue_depth_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const std::int64_t depth = queue_depth_.fetch_add(1) + 1;
   raise_peak(queue_depth_peak_, depth);
 }
 
-void MetricsRegistry::queue_left() {
-  queue_depth_.fetch_sub(1, std::memory_order_relaxed);
-}
+void MetricsRegistry::queue_left() { queue_depth_.sub(); }
 
 MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
   Snapshot s(queue_delay_.snapshot(), solve_.snapshot(), total_.snapshot(),
              persist_load_.snapshot(), persist_flush_.snapshot());
-  s.requests_total = requests_total_.load(std::memory_order_relaxed);
-  s.responses_ok = responses_ok_.load(std::memory_order_relaxed);
-  s.responses_failed = responses_failed_.load(std::memory_order_relaxed);
-  s.cache_hits_exact = cache_hits_exact_.load(std::memory_order_relaxed);
-  s.cache_hits_isomorphic =
-      cache_hits_isomorphic_.load(std::memory_order_relaxed);
-  s.cache_misses = cache_misses_.load(std::memory_order_relaxed);
-  s.cache_bypass = cache_bypass_.load(std::memory_order_relaxed);
-  s.rejected_queue_full = rejected_queue_full_.load(std::memory_order_relaxed);
-  s.rejected_shutting_down =
-      rejected_shutting_down_.load(std::memory_order_relaxed);
-  s.rejected_deadline = rejected_deadline_.load(std::memory_order_relaxed);
-  s.rejected_unknown_solver =
-      rejected_unknown_solver_.load(std::memory_order_relaxed);
-  s.rejected_invalid = rejected_invalid_.load(std::memory_order_relaxed);
-  s.tenant_quota_rejections =
-      tenant_quota_rejections_.load(std::memory_order_relaxed);
-  s.queue_depth = queue_depth_.load(std::memory_order_relaxed);
-  s.queue_depth_peak = queue_depth_peak_.load(std::memory_order_relaxed);
-  s.persist_loaded_entries =
-      persist_loaded_entries_.load(std::memory_order_relaxed);
-  s.persist_load_errors = persist_load_errors_.load(std::memory_order_relaxed);
-  s.persist_journal_appends =
-      persist_journal_appends_.load(std::memory_order_relaxed);
-  s.persist_replay_truncations =
-      persist_replay_truncations_.load(std::memory_order_relaxed);
-  s.persist_flushes = persist_flushes_.load(std::memory_order_relaxed);
+  s.requests_total = requests_total_.load();
+  s.responses_ok = responses_ok_.load();
+  s.responses_failed = responses_failed_.load();
+  s.cache_hits_exact = cache_hits_exact_.load();
+  s.cache_hits_isomorphic = cache_hits_isomorphic_.load();
+  s.cache_misses = cache_misses_.load();
+  s.cache_bypass = cache_bypass_.load();
+  s.wire_fastpath_hits = wire_fastpath_hits_.load();
+  s.wire_fastpath_misses = wire_fastpath_misses_.load();
+  s.rejected_queue_full = rejected_queue_full_.load();
+  s.rejected_shutting_down = rejected_shutting_down_.load();
+  s.rejected_deadline = rejected_deadline_.load();
+  s.rejected_unknown_solver = rejected_unknown_solver_.load();
+  s.rejected_invalid = rejected_invalid_.load();
+  s.tenant_quota_rejections = tenant_quota_rejections_.load();
+  s.queue_depth = queue_depth_.load();
+  s.queue_depth_peak = queue_depth_peak_.load();
+  s.persist_loaded_entries = persist_loaded_entries_.load();
+  s.persist_load_errors = persist_load_errors_.load();
+  s.persist_journal_appends = persist_journal_appends_.load();
+  s.persist_replay_truncations = persist_replay_truncations_.load();
+  s.persist_flushes = persist_flushes_.load();
   {
     const util::ReaderMutexLock lock(per_solver_mutex_);
     for (const auto& [name, counter] : per_solver_)
@@ -188,11 +207,12 @@ void emit_histogram(std::ostringstream& out, bool csv, std::string_view name,
   prefix << name;
   const std::string base = prefix.str();
   emit(out, csv, base + "_count", hist.count());
-  for (const double p : {50.0, 95.0, 99.0}) {
-    std::ostringstream key;
-    key << base << "_p" << static_cast<int>(p);
-    emit(out, csv, key.str(), hist.empty() ? 0.0 : hist.quantile(p));
-  }
+  // Suffix spelled explicitly: "p999" means the 99.9th percentile and
+  // must not collapse to "p99" through an integer cast of 99.9.
+  const std::pair<const char*, double> quantiles[] = {
+      {"_p50", 50.0}, {"_p95", 95.0}, {"_p99", 99.0}, {"_p999", 99.9}};
+  for (const auto& [suffix, p] : quantiles)
+    emit(out, csv, base + suffix, hist.empty() ? 0.0 : hist.quantile(p));
 }
 
 std::string render(const MetricsRegistry::Snapshot& s, bool csv) {
@@ -206,6 +226,8 @@ std::string render(const MetricsRegistry::Snapshot& s, bool csv) {
   emit(out, csv, "cache_misses", s.cache_misses);
   emit(out, csv, "cache_bypass", s.cache_bypass);
   emit(out, csv, "cache_hit_rate", s.cache_hit_rate());
+  emit(out, csv, "wire_fastpath_hits", s.wire_fastpath_hits);
+  emit(out, csv, "wire_fastpath_misses", s.wire_fastpath_misses);
   emit(out, csv, "rejected_queue_full", s.rejected_queue_full);
   emit(out, csv, "rejected_shutting_down", s.rejected_shutting_down);
   emit(out, csv, "rejected_deadline", s.rejected_deadline);

@@ -3,10 +3,14 @@
 // dump for tables and a CSV dump for downstream plotting.
 //
 // Counters are monotonically increasing totals; queue depth is a gauge
-// maintained by the service. Latency histograms use 40 exponential
-// buckets from 1 microsecond up (factor 2), recorded in seconds; p50/p95/
-// p99 are estimated from bucket counts with util::Histogram's mid-point
-// rank interpolation, so a percentile is accurate to within one bucket
+// maintained by the service. Every counter bumped on the request path
+// is a util::PaddedAtomic -- a relaxed atomic alone on its cache line
+// -- so concurrent requests on different cores never false-share a
+// line. Latency histograms use 40 exponential buckets from 1
+// microsecond up (factor 2), recorded in seconds into per-thread
+// shards that are folded only at snapshot time; p50/p95/p99/p999 are
+// estimated from bucket counts with util::Histogram's mid-point rank
+// interpolation, so a percentile is accurate to within one bucket
 // width (~2x at the recorded magnitude).
 #pragma once
 
@@ -21,29 +25,36 @@
 
 #include "service/request.hpp"
 #include "util/mutex.hpp"
+#include "util/padded.hpp"
 #include "util/stats.hpp"
 
 namespace medcc::service {
 
-/// Thread-safe fixed-bucket latency accumulator (seconds).
+/// Thread-safe fixed-bucket latency accumulator (seconds). Writers are
+/// sharded by thread so concurrent record() calls from different
+/// threads usually touch distinct cache lines; snapshot() folds the
+/// shards into one histogram.
 class LatencyRecorder {
 public:
   LatencyRecorder();
 
   void record(double seconds);
 
-  /// Copies the atomic bucket counts into an immutable util::Histogram
+  /// Folds the per-thread shards into an immutable util::Histogram
   /// (empty histogram when nothing was recorded yet).
   [[nodiscard]] util::Histogram snapshot() const;
 
-  [[nodiscard]] std::uint64_t count() const {
-    return count_.load(std::memory_order_relaxed);
-  }
+  [[nodiscard]] std::uint64_t count() const;
 
 private:
+  struct alignas(util::kCacheLineSize) Shard {
+    std::vector<std::atomic<std::uint64_t>> buckets;
+    std::atomic<std::uint64_t> count{0};
+  };
+
   const std::vector<double> edges_;  // immutable after construction
-  std::vector<std::atomic<std::uint64_t>> buckets_;
-  std::atomic<std::uint64_t> count_{0};
+  /// Sized once in the constructor; only the atomics mutate after.
+  std::vector<Shard> shards_;
 };
 
 class MetricsRegistry {
@@ -59,6 +70,8 @@ public:
     std::uint64_t cache_hits_isomorphic = 0;
     std::uint64_t cache_misses = 0;
     std::uint64_t cache_bypass = 0;
+    std::uint64_t wire_fastpath_hits = 0;
+    std::uint64_t wire_fastpath_misses = 0;
     std::uint64_t rejected_queue_full = 0;
     std::uint64_t rejected_shutting_down = 0;
     std::uint64_t rejected_deadline = 0;
@@ -98,22 +111,27 @@ public:
   void record_solve(double seconds) { solve_.record(seconds); }
   void record_total(double seconds) { total_.record(seconds); }
 
+  /// Encoded-frame fast-path outcome, driven by the network server's
+  /// WireCache lookups (such requests never reach the solver path, so
+  /// they are visible only through these two counters).
+  void note_wire_fastpath(bool hit) {
+    if (hit) {
+      wire_fastpath_hits_.add();
+    } else {
+      wire_fastpath_misses_.add();
+    }
+  }
+
   /// Persistence counters, driven by the service's warm-start path and
   /// the durable store's flush callback.
-  void add_persist_loaded(std::uint64_t n) {
-    persist_loaded_entries_.fetch_add(n, std::memory_order_relaxed);
-  }
-  void persist_load_error() {
-    persist_load_errors_.fetch_add(1, std::memory_order_relaxed);
-  }
-  void persist_append() {
-    persist_journal_appends_.fetch_add(1, std::memory_order_relaxed);
-  }
+  void add_persist_loaded(std::uint64_t n) { persist_loaded_entries_.add(n); }
+  void persist_load_error() { persist_load_errors_.add(); }
+  void persist_append() { persist_journal_appends_.add(); }
   void add_persist_truncations(std::uint64_t n) {
-    persist_replay_truncations_.fetch_add(n, std::memory_order_relaxed);
+    persist_replay_truncations_.add(n);
   }
   void persist_flush(double seconds) {
-    persist_flushes_.fetch_add(1, std::memory_order_relaxed);
+    persist_flushes_.add();
     persist_flush_.record(seconds);
   }
   void record_persist_load(double seconds) { persist_load_.record(seconds); }
@@ -122,37 +140,40 @@ public:
   void queue_entered();
   void queue_left();
   [[nodiscard]] std::int64_t queue_depth() const {
-    return queue_depth_.load(std::memory_order_relaxed);
+    return queue_depth_.load();
   }
 
   [[nodiscard]] Snapshot snapshot() const;
 
-  /// "name value" lines plus p50/p95/p99 summaries, for logs and tables.
+  /// "name value" lines plus p50/p95/p99/p999 summaries, for logs and
+  /// tables.
   [[nodiscard]] std::string dump_text() const;
   /// "metric,value" lines with a header, for CSV consumers.
   [[nodiscard]] std::string dump_csv() const;
 
 private:
-  std::atomic<std::uint64_t> requests_total_{0};
-  std::atomic<std::uint64_t> responses_ok_{0};
-  std::atomic<std::uint64_t> responses_failed_{0};
-  std::atomic<std::uint64_t> cache_hits_exact_{0};
-  std::atomic<std::uint64_t> cache_hits_isomorphic_{0};
-  std::atomic<std::uint64_t> cache_misses_{0};
-  std::atomic<std::uint64_t> cache_bypass_{0};
-  std::atomic<std::uint64_t> rejected_queue_full_{0};
-  std::atomic<std::uint64_t> rejected_shutting_down_{0};
-  std::atomic<std::uint64_t> rejected_deadline_{0};
-  std::atomic<std::uint64_t> rejected_unknown_solver_{0};
-  std::atomic<std::uint64_t> rejected_invalid_{0};
-  std::atomic<std::uint64_t> tenant_quota_rejections_{0};
-  std::atomic<std::int64_t> queue_depth_{0};
-  std::atomic<std::int64_t> queue_depth_peak_{0};
-  std::atomic<std::uint64_t> persist_loaded_entries_{0};
-  std::atomic<std::uint64_t> persist_load_errors_{0};
-  std::atomic<std::uint64_t> persist_journal_appends_{0};
-  std::atomic<std::uint64_t> persist_replay_truncations_{0};
-  std::atomic<std::uint64_t> persist_flushes_{0};
+  util::PaddedAtomic<std::uint64_t> requests_total_;
+  util::PaddedAtomic<std::uint64_t> responses_ok_;
+  util::PaddedAtomic<std::uint64_t> responses_failed_;
+  util::PaddedAtomic<std::uint64_t> cache_hits_exact_;
+  util::PaddedAtomic<std::uint64_t> cache_hits_isomorphic_;
+  util::PaddedAtomic<std::uint64_t> cache_misses_;
+  util::PaddedAtomic<std::uint64_t> cache_bypass_;
+  util::PaddedAtomic<std::uint64_t> wire_fastpath_hits_;
+  util::PaddedAtomic<std::uint64_t> wire_fastpath_misses_;
+  util::PaddedAtomic<std::uint64_t> rejected_queue_full_;
+  util::PaddedAtomic<std::uint64_t> rejected_shutting_down_;
+  util::PaddedAtomic<std::uint64_t> rejected_deadline_;
+  util::PaddedAtomic<std::uint64_t> rejected_unknown_solver_;
+  util::PaddedAtomic<std::uint64_t> rejected_invalid_;
+  util::PaddedAtomic<std::uint64_t> tenant_quota_rejections_;
+  util::PaddedAtomic<std::int64_t> queue_depth_;
+  util::PaddedAtomic<std::int64_t> queue_depth_peak_;
+  util::PaddedAtomic<std::uint64_t> persist_loaded_entries_;
+  util::PaddedAtomic<std::uint64_t> persist_load_errors_;
+  util::PaddedAtomic<std::uint64_t> persist_journal_appends_;
+  util::PaddedAtomic<std::uint64_t> persist_replay_truncations_;
+  util::PaddedAtomic<std::uint64_t> persist_flushes_;
 
   mutable util::SharedMutex per_solver_mutex_;
   /// The map structure is guarded; the pointed-to counters are atomics,

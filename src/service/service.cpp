@@ -41,6 +41,12 @@ SchedulingService::SchedulingService(ServiceConfig config)
     cache_config.capacity = config_.cache_capacity;
     cache_config.shards = std::max<std::size_t>(1, config_.cache_shards);
     cache_ = std::make_unique<ResultCache>(cache_config);
+    if (config_.wire_cache_capacity > 0) {
+      WireCache::Config wire_config;
+      wire_config.capacity = config_.wire_cache_capacity;
+      wire_config.shards = std::max<std::size_t>(1, config_.cache_shards);
+      wire_cache_ = std::make_unique<WireCache>(wire_config);
+    }
   }
   if (!config_.cache_dir.empty()) {
     MEDCC_EXPECTS(cache_ != nullptr);  // persistence requires the cache

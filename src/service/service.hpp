@@ -28,6 +28,7 @@
 #include "service/cache.hpp"
 #include "service/metrics.hpp"
 #include "service/request.hpp"
+#include "service/wire_cache.hpp"
 #include "util/mutex.hpp"
 #include "util/thread_pool.hpp"
 
@@ -42,6 +43,11 @@ struct ServiceConfig {
   /// Result-cache entries across all shards; 0 disables memoization.
   std::size_t cache_capacity = 4096;
   std::size_t cache_shards = 8;
+  /// Encoded-frame memo entries for the network fast path (see
+  /// service/wire_cache.hpp). Active only when the result cache is
+  /// enabled -- the wire cache is a byte-level extension of it; 0
+  /// disables the fast path.
+  std::size_t wire_cache_capacity = 1024;
   /// Queue deadline applied when a request does not set its own;
   /// 0 = requests wait indefinitely.
   double default_deadline_ms = 0.0;
@@ -103,7 +109,15 @@ public:
   void shutdown();
 
   [[nodiscard]] const MetricsRegistry& metrics() const { return metrics_; }
+  /// Mutable registry access for front ends that record service-level
+  /// outcomes the service itself cannot see (the network server's
+  /// encoded-frame fast path answers without entering submit()).
+  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
   [[nodiscard]] bool cache_enabled() const { return cache_ != nullptr; }
+  /// Encoded-frame memo for the network fast path; nullptr when
+  /// disabled. The cache outlives any server using it: it is owned by
+  /// the service, which by contract outlives its front ends.
+  [[nodiscard]] WireCache* wire_cache() { return wire_cache_.get(); }
   [[nodiscard]] bool persistence_enabled() const { return store_ != nullptr; }
   /// Cache occupancy counters; zeros when the cache is disabled.
   [[nodiscard]] ResultCache::Stats cache_stats() const;
@@ -135,6 +149,8 @@ private:
   /// Pointer set once in the constructor; the cache itself is sharded
   /// and internally locked.
   MEDCC_NOT_GUARDED std::unique_ptr<ResultCache> cache_;
+  /// Encoded-frame memo, same ownership discipline as cache_.
+  MEDCC_NOT_GUARDED std::unique_ptr<WireCache> wire_cache_;
   /// Durable snapshot + journal behind the cache; internally locked.
   /// Declared before pool_ so workers finish before it is destroyed.
   MEDCC_NOT_GUARDED std::unique_ptr<persist::DurableStore> store_;

@@ -1,0 +1,81 @@
+#include "service/wire_cache.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+
+namespace medcc::service {
+
+WireCache::WireCache() : WireCache(Config()) {}
+
+WireCache::WireCache(Config config) {
+  capacity_ = std::max<std::size_t>(1, config.capacity);
+  const std::size_t shard_count =
+      std::max<std::size_t>(1, std::min(config.shards, capacity_));
+  per_shard_capacity_ = (capacity_ + shard_count - 1) / shard_count;
+  shards_.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i)
+    shards_.push_back(std::make_unique<Shard>());
+}
+
+WireCache::Shard& WireCache::shard_for(std::string_view key) {
+  return *shards_[std::hash<std::string_view>{}(key) % shards_.size()];
+}
+
+std::shared_ptr<const std::string> WireCache::find(
+    std::string_view request_body) {
+  Shard& shard = shard_for(request_body);
+  const util::MutexLock lock(shard.mutex);
+  const auto it = shard.index.find(request_body);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return nullptr;
+  }
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->frame;
+}
+
+void WireCache::insert(std::string_view request_body, std::string frame) {
+  auto shared = std::make_shared<const std::string>(std::move(frame));
+  Shard& shard = shard_for(request_body);
+  const util::MutexLock lock(shard.mutex);
+  const auto it = shard.index.find(request_body);
+  if (it != shard.index.end()) {
+    it->second->frame = std::move(shared);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.push_front(Entry{std::string(request_body), std::move(shared)});
+  shard.index.emplace(std::string_view(shard.lru.front().key),
+                      shard.lru.begin());
+  ++shard.insertions;
+  if (shard.lru.size() > per_shard_capacity_) {
+    shard.index.erase(std::string_view(shard.lru.back().key));
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+WireCache::Stats WireCache::stats() const {
+  Stats total;
+  for (const auto& shard : shards_) {
+    const util::MutexLock lock(shard->mutex);
+    total.hits += shard->hits;
+    total.misses += shard->misses;
+    total.insertions += shard->insertions;
+    total.evictions += shard->evictions;
+    total.size += shard->lru.size();
+  }
+  return total;
+}
+
+void WireCache::clear() {
+  for (const auto& shard : shards_) {
+    const util::MutexLock lock(shard->mutex);
+    shard->index.clear();
+    shard->lru.clear();
+  }
+}
+
+}  // namespace medcc::service

@@ -1,0 +1,100 @@
+// Encoded-frame memo for the network fast path.
+//
+// The result cache (service/cache.hpp) memoizes *results*; every exact
+// hit still pays request decode, a queue hop, fingerprinting, and
+// response re-encode before bytes reach the wire. The WireCache
+// memoizes one level lower: it maps the exact bytes of a solve_request
+// frame body to the fully encoded solve_response frame, so a verbatim
+// duplicate request can be answered by copying cached bytes straight
+// into a connection outbuf and patching the request id in the frame
+// header -- no decode, no solver, no re-encode.
+//
+// Entries store a *template* frame: request id 0 and the per-request
+// timing fields (queue_delay_ms, solve_ms) zeroed, with the cache
+// outcome pinned to hit_exact. Everything else in a response is a pure
+// function of the request bytes (solvers are deterministic), so no
+// invalidation is needed: the memoized fields are exactly the
+// hit-count-independent ones. The frame is held behind a
+// shared_ptr<const std::string> so find() hands bytes out without
+// copying under the shard lock.
+//
+// Keys are opaque bytes -- the cache never parses them -- which keeps
+// this layer free of any codec dependency. Sharded and internally
+// locked like ResultCache; safe from any thread.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/mutex.hpp"
+
+namespace medcc::service {
+
+class WireCache {
+ public:
+  struct Config {
+    /// Entries across all shards; per-shard LRU eviction.
+    std::size_t capacity = 1024;
+    std::size_t shards = 8;
+  };
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+    std::size_t size = 0;
+  };
+
+  WireCache();
+  explicit WireCache(Config config);
+
+  /// Looks up the encoded template frame for the exact request-body
+  /// bytes. Refreshes LRU order on hit; nullptr on miss. Equality is
+  /// on the full byte string, so hash collisions cannot alias.
+  [[nodiscard]] std::shared_ptr<const std::string> find(
+      std::string_view request_body);
+
+  /// Memoizes `frame` (an encoded template response, request id 0)
+  /// under the request-body bytes, replacing any previous entry and
+  /// evicting the shard's LRU tail when full.
+  void insert(std::string_view request_body, std::string frame);
+
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  void clear();
+
+ private:
+  struct Entry {
+    std::string key;  // exact request-body bytes
+    std::shared_ptr<const std::string> frame;
+  };
+  /// LRU list front = most recent; index views point into Entry::key,
+  /// which is stable because list nodes never move.
+  struct Shard {
+    mutable util::Mutex mutex;
+    std::list<Entry> lru MEDCC_GUARDED_BY(mutex);
+    std::unordered_map<std::string_view, std::list<Entry>::iterator> index
+        MEDCC_GUARDED_BY(mutex);
+    std::uint64_t hits MEDCC_GUARDED_BY(mutex) = 0;
+    std::uint64_t misses MEDCC_GUARDED_BY(mutex) = 0;
+    std::uint64_t insertions MEDCC_GUARDED_BY(mutex) = 0;
+    std::uint64_t evictions MEDCC_GUARDED_BY(mutex) = 0;
+  };
+
+  [[nodiscard]] Shard& shard_for(std::string_view key);
+
+  std::size_t capacity_ = 0;
+  std::size_t per_shard_capacity_ = 0;
+  /// Sized in the constructor, then structurally immutable (each shard
+  /// locks itself).
+  MEDCC_NOT_GUARDED std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace medcc::service

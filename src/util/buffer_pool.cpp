@@ -1,0 +1,45 @@
+#include "util/buffer_pool.hpp"
+
+#include <utility>
+
+namespace medcc::util {
+
+BufferPool::BufferPool() : BufferPool(Config()) {}
+
+BufferPool::BufferPool(Config config) : config_(config) {}
+
+std::string BufferPool::acquire() {
+  {
+    const util::MutexLock lock(mutex_);
+    ++acquired_;
+    if (!free_.empty()) {
+      ++reused_;
+      std::string buffer = std::move(free_.back());
+      free_.pop_back();
+      return buffer;
+    }
+  }
+  std::string buffer;
+  buffer.reserve(config_.buffer_capacity);
+  return buffer;
+}
+
+void BufferPool::release(std::string buffer) {
+  buffer.clear();
+  const util::MutexLock lock(mutex_);
+  ++released_;
+  if (free_.size() >= config_.max_pooled ||
+      buffer.capacity() < config_.buffer_capacity ||
+      buffer.capacity() > 2 * config_.buffer_capacity) {
+    ++discarded_;
+    return;  // freed on scope exit
+  }
+  free_.push_back(std::move(buffer));
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  const util::MutexLock lock(mutex_);
+  return Stats{acquired_, reused_, released_, discarded_, free_.size()};
+}
+
+}  // namespace medcc::util

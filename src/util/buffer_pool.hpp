@@ -1,0 +1,66 @@
+// A bounded free list of reusable byte buffers.
+//
+// The network layer assembles every response into chunked connection
+// outbufs; without pooling each flush cycle frees its chunks and the
+// next burst reallocates them. BufferPool recycles the backing
+// std::string allocations: acquire() hands out an empty string whose
+// capacity is already reserved, release() clears and parks it (up to
+// max_pooled; the excess is simply freed). Internally locked --
+// acquire/release are safe from any thread, though the intended use is
+// one pool per reactor so the mutex is effectively uncontended.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/mutex.hpp"
+
+namespace medcc::util {
+
+class BufferPool {
+ public:
+  struct Config {
+    /// Capacity reserved in every pooled buffer.
+    std::size_t buffer_capacity = 64 * 1024;
+    /// Free-list bound; released buffers beyond it are freed.
+    std::size_t max_pooled = 64;
+  };
+
+  struct Stats {
+    std::uint64_t acquired = 0;   ///< total acquire() calls
+    std::uint64_t reused = 0;     ///< acquires served from the free list
+    std::uint64_t released = 0;   ///< total release() calls
+    std::uint64_t discarded = 0;  ///< releases dropped (pool full/shrunk)
+    std::size_t pooled = 0;       ///< buffers currently parked
+  };
+
+  BufferPool();
+  explicit BufferPool(Config config);
+
+  /// Returns an empty buffer with at least buffer_capacity reserved.
+  [[nodiscard]] std::string acquire();
+
+  /// Returns a buffer to the pool. Buffers that grew past
+  /// buffer_capacity (a large frame was moved in) and buffers beyond
+  /// max_pooled are freed instead of parked, so the pool's footprint
+  /// stays bounded by max_pooled * buffer_capacity.
+  void release(std::string buffer);
+
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] std::size_t buffer_capacity() const {
+    return config_.buffer_capacity;
+  }
+
+ private:
+  const Config config_;  // immutable after construction
+  mutable util::Mutex mutex_;
+  std::vector<std::string> free_ MEDCC_GUARDED_BY(mutex_);
+  std::uint64_t acquired_ MEDCC_GUARDED_BY(mutex_) = 0;
+  std::uint64_t reused_ MEDCC_GUARDED_BY(mutex_) = 0;
+  std::uint64_t released_ MEDCC_GUARDED_BY(mutex_) = 0;
+  std::uint64_t discarded_ MEDCC_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace medcc::util

@@ -1,0 +1,45 @@
+// Cache-line padded atomics for hot-path statistics.
+//
+// A block of plain std::atomic counters packs ~8 counters per cache
+// line, so every relaxed increment from one thread invalidates the
+// line under seven unrelated counters on every other core (false
+// sharing). PaddedAtomic gives each counter its own line. All accesses
+// are memory_order_relaxed: the counters are monotonic statistics, not
+// synchronization edges -- readers tolerate torn *sets* of counters
+// (a snapshot may see counter A from after an event and counter B from
+// before it), which is the usual contract for metrics.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+namespace medcc::util {
+
+/// Destructive-interference distance. std::hardware_destructive_
+/// interference_size exists but is not implemented by every libstdc++
+/// in the support window; 64 bytes is correct for the x86-64 and most
+/// AArch64 parts this project targets.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+/// A relaxed-order atomic alone on its own cache line. T must be an
+/// integral type.
+template <typename T>
+struct alignas(kCacheLineSize) PaddedAtomic {
+  std::atomic<T> value{T{}};
+
+  void add(T n = T{1}) { value.fetch_add(n, std::memory_order_relaxed); }
+  void sub(T n = T{1}) { value.fetch_sub(n, std::memory_order_relaxed); }
+  [[nodiscard]] T load() const {
+    return value.load(std::memory_order_relaxed);
+  }
+  void store(T v) { value.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] T fetch_add(T n = T{1}) {
+    return value.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool compare_exchange_weak(T& expected, T desired) {
+    return value.compare_exchange_weak(expected, desired,
+                                       std::memory_order_relaxed);
+  }
+};
+
+}  // namespace medcc::util

@@ -1,0 +1,310 @@
+// Concurrency stress for the multi-reactor server, aimed at TSan: many
+// client threads sharded across several reactors, traffic mixing
+// verbatim duplicates (wire-cache fast path), permuted twins
+// (isomorphic result-cache hits) and distinct instances (misses), a
+// mid-flight stop racing live traffic, and byte-identity of responses
+// against a single-threaded in-process reference.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "cloud/vm_type.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "sched/instance.hpp"
+#include "service/service.hpp"
+#include "util/prng.hpp"
+#include "workflow/patterns.hpp"
+#include "workflow/workflow.hpp"
+
+namespace {
+
+using medcc::net::Client;
+using medcc::net::ClientConfig;
+using medcc::net::LoadStats;
+using medcc::net::MultiClient;
+using medcc::net::MultiClientConfig;
+using medcc::net::NetError;
+using medcc::net::Server;
+using medcc::net::ServerConfig;
+using medcc::sched::Instance;
+using medcc::service::SchedulingRequest;
+using medcc::service::SchedulingResponse;
+using medcc::service::SchedulingService;
+using medcc::service::ServiceConfig;
+using medcc::util::Prng;
+using medcc::workflow::Workflow;
+
+/// Rebuilds `wf` with modules and edges inserted in a shuffled order:
+/// the same problem under a different index layout, which the service
+/// answers via an isomorphic cache hit.
+Workflow permute_workflow(const Workflow& wf, Prng& rng) {
+  std::vector<std::size_t> order(wf.module_count());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.shuffle(order);
+  std::vector<std::size_t> new_id(wf.module_count());
+  Workflow out;
+  for (const auto old_id : order) {
+    const auto& mod = wf.module(old_id);
+    new_id[old_id] = mod.is_fixed()
+                         ? out.add_fixed_module(mod.name, *mod.fixed_time)
+                         : out.add_module(mod.name, mod.workload);
+  }
+  std::vector<std::size_t> edges(wf.graph().edge_count());
+  for (std::size_t e = 0; e < edges.size(); ++e) edges[e] = e;
+  rng.shuffle(edges);
+  for (const auto e : edges) {
+    const auto& edge = wf.graph().edge(e);
+    out.add_dependency(new_id[edge.src], new_id[edge.dst], wf.data_size(e));
+  }
+  return out;
+}
+
+struct Problem {
+  std::shared_ptr<const Instance> instance;
+  double budget = 0.0;
+};
+
+Problem problem_from(Workflow wf) {
+  auto instance = std::make_shared<const Instance>(
+      Instance::from_model(std::move(wf), medcc::cloud::example_catalog()));
+  medcc::sched::Schedule cheapest;
+  cheapest.type_of.assign(instance->module_count(),
+                          instance->catalog().cheapest_rate_index());
+  const double budget =
+      medcc::sched::total_cost(*instance, cheapest) * 1.35 + 1.0;
+  return {std::move(instance), budget};
+}
+
+SchedulingRequest request_for(const Problem& problem) {
+  SchedulingRequest request;
+  request.instance = problem.instance;
+  request.budget = problem.budget;
+  request.solver = "cg";
+  return request;
+}
+
+void expect_bits_equal(double a, double b) {
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a), std::bit_cast<std::uint64_t>(b));
+}
+
+TEST(NetMultiReactorStress, DuplicateBlastByteIdenticalToInProcess) {
+  Prng rng(20130801);
+  const Problem alpha = problem_from(medcc::workflow::montage_like(3, rng));
+  const Problem beta = problem_from(medcc::workflow::montage_like(5, rng));
+
+  SchedulingService service({.threads = 2});
+  ServerConfig config;
+  config.io_threads = 3;
+  Server server(service, config);
+
+  // 4 client threads x 2 connections across 3 reactors, each thread
+  // alternating verbatim duplicates of two structurally distinct
+  // problems: concurrent misses on first arrival, then a mix of
+  // result-cache and wire-cache hits from every reactor at once.
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kPerThread = 24;
+  std::vector<std::vector<SchedulingResponse>> alpha_got(kThreads);
+  std::vector<std::vector<SchedulingResponse>> beta_got(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t)
+    threads.emplace_back([&, t] {
+      ClientConfig client_config;
+      client_config.port = server.port();
+      Client client(client_config);
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        const bool pick_alpha = (t + i) % 2 == 0;
+        const SchedulingResponse response =
+            client.solve(request_for(pick_alpha ? alpha : beta));
+        (pick_alpha ? alpha_got : beta_got)[t].push_back(response);
+      }
+    });
+  for (auto& thread : threads) thread.join();
+
+  // Single-threaded in-process references on fresh services.
+  SchedulingService reference({.threads = 1});
+  const SchedulingResponse alpha_ref =
+      reference.submit(request_for(alpha)).get();
+  const SchedulingResponse beta_ref =
+      reference.submit(request_for(beta)).get();
+  ASSERT_TRUE(alpha_ref.ok()) << alpha_ref.error;
+  ASSERT_TRUE(beta_ref.ok()) << beta_ref.error;
+
+  std::size_t checked = 0;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    for (const auto& [got, ref] :
+         {std::make_pair(&alpha_got[t], &alpha_ref),
+          std::make_pair(&beta_got[t], &beta_ref)}) {
+      for (const SchedulingResponse& response : *got) {
+        ASSERT_TRUE(response.ok()) << response.error;
+        EXPECT_EQ(response.result.schedule, ref->result.schedule);
+        EXPECT_EQ(response.result.iterations, ref->result.iterations);
+        expect_bits_equal(response.result.eval.med, ref->result.eval.med);
+        expect_bits_equal(response.result.eval.cost, ref->result.eval.cost);
+        ++checked;
+      }
+    }
+  }
+  EXPECT_EQ(checked, kThreads * kPerThread);
+
+  const auto counters = server.counters();
+  EXPECT_EQ(counters.frames_in, kThreads * kPerThread);
+  EXPECT_EQ(counters.frames_out, kThreads * kPerThread);
+  // First arrivals (and duplicates racing the first solve) miss; under
+  // TSan that window widens, so only require a majority on the fast path.
+  EXPECT_GE(counters.fastpath_hits, kThreads * kPerThread / 2);
+
+  server.stop();
+  EXPECT_EQ(server.counters().connections_active, 0u);
+}
+
+TEST(NetMultiReactorStress, MixedExactPermutedMissTraffic) {
+  Prng rng(424242);
+  const Workflow base_wf = medcc::workflow::montage_like(3, rng);
+  const Problem base = problem_from(base_wf);
+  Prng twin_rng(99);
+  const Problem twin = {
+      problem_from(permute_workflow(base_wf, twin_rng)).instance,
+      base.budget};
+
+  SchedulingService service({.threads = 2});
+  ServerConfig config;
+  config.io_threads = 2;
+  Server server(service, config);
+
+  // Each thread interleaves exact duplicates of the base, its permuted
+  // twin (isomorphic result-cache hits), and a fresh distinct instance
+  // per thread (guaranteed misses), pipelined via solve_batch.
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kRounds = 6;
+  std::atomic<std::uint64_t> answered{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t)
+    threads.emplace_back([&, t] {
+      Prng thread_rng(1000 + t);
+      const Problem own =
+          problem_from(medcc::workflow::cybershake_like(3 + t % 2,
+                                                        thread_rng));
+      ClientConfig client_config;
+      client_config.port = server.port();
+      Client client(client_config);
+      for (std::size_t round = 0; round < kRounds; ++round) {
+        const auto responses = client.solve_batch(
+            {request_for(base), request_for(twin), request_for(own)});
+        for (const SchedulingResponse& response : responses) {
+          ASSERT_TRUE(response.ok()) << response.error;
+          answered.fetch_add(1, std::memory_order_relaxed);
+        }
+        // Budgets hold regardless of which cache path answered.
+        EXPECT_LE(responses[0].result.eval.cost, base.budget + 1e-6);
+        EXPECT_LE(responses[1].result.eval.cost, twin.budget + 1e-6);
+      }
+    });
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(answered.load(), kThreads * kRounds * 3);
+  const auto snap = service.metrics().snapshot();
+  // The permuted twin and the base are isomorphic: between them at
+  // least one isomorphic hit must have happened (whichever was solved
+  // first seeds the other), unless the wire cache absorbed every
+  // repeat -- so assert over the union of hit kinds instead.
+  EXPECT_GT(snap.cache_hits_exact + snap.cache_hits_isomorphic +
+                snap.wire_fastpath_hits,
+            0u);
+  server.stop();
+}
+
+TEST(NetMultiReactorStress, MidFlightStopUnderLoadShutsDownCleanly) {
+  Prng rng(7);
+  const Problem problem = problem_from(medcc::workflow::montage_like(3, rng));
+
+  SchedulingService service({.threads = 2});
+  ServerConfig config;
+  config.io_threads = 3;
+  config.drain_grace_ms = 2000.0;
+  auto server = std::make_unique<Server>(service, config);
+
+  // Clients hammer the fast path from several threads while the main
+  // thread stops the server mid-flight. Every response that arrives
+  // must be valid; after stop() the connection dying is expected.
+  constexpr std::size_t kThreads = 4;
+  std::atomic<bool> keep_going{true};
+  std::atomic<std::uint64_t> completed{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t)
+    threads.emplace_back([&] {
+      ClientConfig client_config;
+      client_config.port = server->port();
+      client_config.connect_attempts = 1;
+      try {
+        Client client(client_config);
+        while (keep_going.load(std::memory_order_relaxed)) {
+          const SchedulingResponse response =
+              client.solve(request_for(problem));
+          // During drain the server answers rejected/shutting_down
+          // rather than ok; both are valid frames.
+          if (response.ok()) completed.fetch_add(1);
+        }
+      } catch (const NetError&) {
+        // Connection torn down by stop(): the expected exit.
+      }
+    });
+
+  // Let traffic build across all reactors, then stop under load.
+  while (completed.load() < 50)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  server->stop();
+  keep_going.store(false, std::memory_order_relaxed);
+  for (auto& thread : threads) thread.join();
+
+  const auto counters = server->counters();
+  EXPECT_EQ(counters.connections_active, 0u);
+  EXPECT_GE(completed.load(), 50u);
+  server.reset();
+
+  // The service survives its front end and still solves.
+  const SchedulingResponse after =
+      service.submit(request_for(problem)).get();
+  EXPECT_TRUE(after.ok()) << after.error;
+}
+
+TEST(NetMultiReactorStress, MultiClientBlastAcrossReactors) {
+  Prng rng(31337);
+  const Problem problem = problem_from(medcc::workflow::montage_like(3, rng));
+
+  SchedulingService service({.threads = 2});
+  ServerConfig config;
+  config.io_threads = 2;
+  Server server(service, config);
+
+  MultiClientConfig client_config;
+  client_config.port = server.port();
+  client_config.connections = 4;  // spans both reactors
+  client_config.window = 8;
+  MultiClient client(client_config);
+  // Prime the wire cache first; otherwise the pipelined burst races
+  // its own first solve and the early duplicates miss.
+  const LoadStats primed = client.run(request_for(problem), 1);
+  ASSERT_EQ(primed.ok, 1u);
+  const LoadStats stats = client.run(request_for(problem), 300);
+
+  EXPECT_EQ(stats.ok, 300u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.latency_seconds.size(), 300u);
+  EXPECT_GT(stats.latency_quantile(50.0), 0.0);
+  EXPECT_GE(server.counters().fastpath_hits, 300u);
+  server.stop();
+}
+
+}  // namespace

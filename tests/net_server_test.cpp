@@ -477,6 +477,114 @@ TEST(NetServer, WriteBackpressurePausesReadingAndRecovers) {
   EXPECT_GE(server.counters().backpressure_paused, 1u);
 }
 
+// -- wire-cache fast path --------------------------------------------------
+
+TEST(NetServer, FastPathServesByteIdenticalMemoizedFrame) {
+  SchedulingService service({.threads = 1});
+  Server server(service);
+  RawConn conn(server.port());
+
+  const auto inst = example_instance();
+  const std::string request_frame =
+      medcc::net::encode_solve_request(request_for(inst, 57.0), 5);
+
+  // First occurrence: full path (decode, solve, encode); memoizes the
+  // template frame on completion.
+  conn.send(request_frame);
+  FrameHeader header;
+  std::string body;
+  ASSERT_TRUE(conn.read_frame(header, body));
+  ASSERT_EQ(header.type, FrameType::solve_response);
+  EXPECT_EQ(header.request_id, 5u);
+  const SchedulingResponse first = medcc::net::decode_solve_response(body);
+  ASSERT_TRUE(first.ok()) << first.error;
+  EXPECT_EQ(first.cache, medcc::service::CacheOutcome::miss);
+  EXPECT_EQ(server.counters().fastpath_hits, 0u);
+
+  // Verbatim duplicate under a different id: must be served from the
+  // wire cache, byte-identical to the memoized template with only the
+  // request id patched.
+  std::string duplicate = request_frame;
+  duplicate[8] = 9;  // little-endian id 9 (upper bytes stay zero)
+  conn.send(duplicate);
+  ASSERT_TRUE(conn.read_frame(header, body));
+  ASSERT_EQ(header.type, FrameType::solve_response);
+  EXPECT_EQ(header.request_id, 9u);
+
+  SchedulingResponse norm = first;
+  norm.queue_delay_ms = 0.0;
+  norm.solve_ms = 0.0;
+  norm.cache = medcc::service::CacheOutcome::hit_exact;
+  // Reassembling the received frame from its parsed parts reproduces
+  // the raw bytes (the header has no other degrees of freedom).
+  EXPECT_EQ(medcc::net::encode_frame(header.type, header.request_id, body),
+            medcc::net::encode_solve_response(norm, 9));
+
+  EXPECT_EQ(server.counters().fastpath_hits, 1u);
+  const auto snap = service.metrics().snapshot();
+  EXPECT_EQ(snap.wire_fastpath_hits, 1u);
+  EXPECT_EQ(snap.wire_fastpath_misses, 1u);  // the priming request
+  // The fast path never entered the service: one request total.
+  EXPECT_EQ(snap.requests_total, 1u);
+}
+
+TEST(NetServer, FastPathAbsentWhenWireCacheDisabled) {
+  ServiceConfig config;
+  config.threads = 1;
+  config.wire_cache_capacity = 0;
+  SchedulingService service(std::move(config));
+  Server server(service);
+  Client client(client_for(server));
+
+  const auto inst = example_instance();
+  const auto first = client.solve(request_for(inst, 57.0));
+  ASSERT_TRUE(first.ok()) << first.error;
+  const auto second = client.solve(request_for(inst, 57.0));
+  ASSERT_TRUE(second.ok()) << second.error;
+  // The result cache still answers, but through the full service path.
+  EXPECT_EQ(second.cache, medcc::service::CacheOutcome::hit_exact);
+  EXPECT_EQ(server.counters().fastpath_hits, 0u);
+  const auto snap = service.metrics().snapshot();
+  EXPECT_EQ(snap.wire_fastpath_hits, 0u);
+  EXPECT_EQ(snap.wire_fastpath_misses, 0u);
+  EXPECT_EQ(snap.requests_total, 2u);
+}
+
+// -- multi-reactor ---------------------------------------------------------
+
+TEST(NetServer, MultiReactorShardsConnectionsAndServesAll) {
+  SchedulingService service({.threads = 2});
+  ServerConfig config;
+  config.io_threads = 3;
+  Server server(service, config);
+  EXPECT_EQ(server.reactor_count(), 3u);
+
+  // More connections than reactors, so every reactor owns at least one
+  // (round-robin sharding); each connection does a solve and a stats
+  // exchange.
+  const auto inst = example_instance();
+  constexpr std::size_t kClients = 6;
+  std::vector<std::unique_ptr<Client>> clients;
+  for (std::size_t i = 0; i < kClients; ++i) {
+    clients.push_back(std::make_unique<Client>(client_for(server)));
+    const auto response = clients[i]->solve(request_for(inst, 57.0));
+    ASSERT_TRUE(response.ok()) << response.error;
+  }
+  for (auto& client : clients)
+    EXPECT_NE(client->stats().find("requests_total"), std::string::npos);
+
+  const auto counters = server.counters();
+  EXPECT_EQ(counters.connections_accepted, kClients);
+  EXPECT_EQ(counters.connections_active, kClients);
+  EXPECT_EQ(counters.frames_in, 2 * kClients);
+  EXPECT_EQ(counters.frames_out, 2 * kClients);
+  // Identical bodies: every solve after the first rides the fast path.
+  EXPECT_EQ(counters.fastpath_hits, kClients - 1);
+
+  server.stop();
+  EXPECT_EQ(server.counters().connections_active, 0u);
+}
+
 TEST(NetServer, IdleConnectionsAreReaped) {
   SchedulingService service({.threads = 1});
   ServerConfig config;

@@ -1,0 +1,95 @@
+// BufferPool: reserved-capacity reuse, the free-list bound, and the
+// discard rules that keep a pool's footprint predictable.
+#include "util/buffer_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using medcc::util::BufferPool;
+
+TEST(BufferPool, AcquireReservesAndReleaseRecycles) {
+  BufferPool::Config config;
+  config.buffer_capacity = 1024;
+  BufferPool pool(config);
+
+  std::string first = pool.acquire();
+  EXPECT_TRUE(first.empty());
+  EXPECT_GE(first.capacity(), 1024u);
+  const auto* data = first.data();
+
+  first.append("payload");
+  pool.release(std::move(first));
+  const auto stats = pool.stats();
+  EXPECT_EQ(stats.released, 1u);
+  EXPECT_EQ(stats.pooled, 1u);
+
+  // The recycled buffer comes back cleared, same backing allocation.
+  std::string second = pool.acquire();
+  EXPECT_TRUE(second.empty());
+  EXPECT_EQ(second.data(), data);
+  EXPECT_EQ(pool.stats().reused, 1u);
+}
+
+TEST(BufferPool, FreeListIsBounded) {
+  BufferPool::Config config;
+  config.buffer_capacity = 64;
+  config.max_pooled = 2;
+  BufferPool pool(config);
+
+  std::vector<std::string> held;
+  for (int i = 0; i < 5; ++i) held.push_back(pool.acquire());
+  for (auto& buffer : held) pool.release(std::move(buffer));
+
+  const auto stats = pool.stats();
+  EXPECT_EQ(stats.released, 5u);
+  EXPECT_EQ(stats.pooled, 2u);
+  EXPECT_EQ(stats.discarded, 3u);
+}
+
+TEST(BufferPool, OversizedAndUndersizedBuffersAreDiscarded) {
+  BufferPool::Config config;
+  config.buffer_capacity = 256;
+  BufferPool pool(config);
+
+  // A buffer that ballooned past 2x the chunk size is freed, not
+  // parked: pooling it would let one huge frame pin memory forever.
+  std::string grown = pool.acquire();
+  grown.assign(10 * 1024, 'x');
+  pool.release(std::move(grown));
+  EXPECT_EQ(pool.stats().pooled, 0u);
+  EXPECT_EQ(pool.stats().discarded, 1u);
+
+  // A foreign small buffer (never acquired here) is also rejected.
+  pool.release(std::string("tiny"));
+  EXPECT_EQ(pool.stats().pooled, 0u);
+  EXPECT_EQ(pool.stats().discarded, 2u);
+}
+
+TEST(BufferPool, ConcurrentAcquireReleaseIsSafe) {
+  BufferPool pool;
+  constexpr int kThreads = 4;
+  constexpr int kIterations = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&pool] {
+      for (int i = 0; i < kIterations; ++i) {
+        std::string buffer = pool.acquire();
+        buffer.append("x");
+        pool.release(std::move(buffer));
+      }
+    });
+  for (auto& thread : threads) thread.join();
+
+  const auto stats = pool.stats();
+  EXPECT_EQ(stats.acquired, static_cast<std::uint64_t>(kThreads) * kIterations);
+  EXPECT_EQ(stats.released, stats.acquired);
+  EXPECT_LE(stats.pooled, 64u);
+}
+
+}  // namespace

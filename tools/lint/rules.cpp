@@ -5,7 +5,8 @@
 // namespace-medcc.
 //
 // Token-stream rules (new): mutable-field-near-mutex-without-guarded-by,
-// detached-thread, lock-guard-unused, raw-fopen, catch-by-value.
+// detached-thread, lock-guard-unused, raw-fopen, catch-by-value,
+// large-value-param.
 #include <algorithm>
 #include <cctype>
 #include <set>
@@ -321,7 +322,7 @@ const std::set<std::string>& sync_type_tokens() {
       "atomic",       "atomic_bool",       "atomic_flag",
       "atomic_int",   "atomic_size_t",     "atomic_uint64_t",
       "condition_variable", "condition_variable_any", "once_flag",
-      "Mutex",        "SharedMutex",       "mutex",
+      "PaddedAtomic", "Mutex",        "SharedMutex",       "mutex",
       "shared_mutex", "timed_mutex",       "recursive_mutex",
       "shared_timed_mutex"};
   return types;
@@ -705,6 +706,82 @@ class CatchByValueRule final : public Rule {
   }
 };
 
+// ---------------------------------------------------------------------------
+// large-value-param
+
+/// Heavyweight domain types -- both hold per-module vectors (and the
+/// Instance additionally the full matrices of execution times) -- that
+/// must never cross a call boundary by value.
+const std::set<std::string>& large_value_types() {
+  static const std::set<std::string> types = {"Result", "Instance"};
+  return types;
+}
+
+class LargeValueParamRule final : public Rule {
+ public:
+  [[nodiscard]] std::string id() const override { return "large-value-param"; }
+
+  [[nodiscard]] std::string rationale() const override {
+    return "sched::Result and sched::Instance carry per-module vectors "
+           "and matrices; a by-value parameter copies the whole problem "
+           "on every call -- take const& (or share the Instance via "
+           "shared_ptr<const Instance>)";
+  }
+
+  void check(const SourceFile& file, std::vector<Finding>& out) const override {
+    const std::vector<Token>& toks = file.tokens;
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+      if (toks[i].kind != TokenKind::Identifier ||
+          large_value_types().count(toks[i].text) == 0)
+        continue;
+      if (!in_parameter_position(toks, i)) continue;
+      // The declarator after the type: `Result r,` / `Result r)` /
+      // `Result r = ...` passes by value. `Result&`, `Result*`,
+      // `Result&&` (sink parameters) and template-argument uses
+      // (`vector<Result>`) never reach the identifier test.
+      const Token& name = toks[i + 1];
+      if (name.kind != TokenKind::Identifier) continue;
+      const Token& after = toks[i + 2];
+      if (!is_punct(after, ',') && !is_punct(after, ')') &&
+          !is_punct(after, '='))
+        continue;
+      out.push_back(Finding{
+          file.path.string(), toks[i].line, id(),
+          "parameter '" + name.text + "' takes " + toks[i].text +
+              " by value; every call copies the per-module vectors",
+          "declare it `const " + toks[i].text + "&` (or move-sink with "
+          "`" + toks[i].text + "&&` when ownership transfers)"});
+    }
+  }
+
+ private:
+  /// True when the type token at `i` sits in a parameter list: walking
+  /// left through namespace qualification (`medcc::sched::`) and an
+  /// optional `const`, the preceding token is `(` or `,`.
+  static bool in_parameter_position(const std::vector<Token>& toks,
+                                    std::size_t i) {
+    while (i > 0) {
+      const Token& prev = toks[i - 1];
+      if (is_punct(prev, ':')) {
+        // Only full `ident::` qualification is transparent; a lone `:`
+        // (label, range-for, ternary) ends the walk.
+        if (i >= 3 && is_punct(toks[i - 2], ':') &&
+            toks[i - 3].kind == TokenKind::Identifier) {
+          i -= 3;
+          continue;
+        }
+        return false;
+      }
+      if (is_ident(prev, "const")) {
+        --i;
+        continue;
+      }
+      return is_punct(prev, '(') || is_punct(prev, ',');
+    }
+    return false;
+  }
+};
+
 }  // namespace
 
 std::vector<std::unique_ptr<Rule>> make_all_rules() {
@@ -719,6 +796,7 @@ std::vector<std::unique_ptr<Rule>> make_all_rules() {
   rules.push_back(std::make_unique<LockGuardUnusedRule>());
   rules.push_back(std::make_unique<RawFopenRule>());
   rules.push_back(std::make_unique<CatchByValueRule>());
+  rules.push_back(std::make_unique<LargeValueParamRule>());
   return rules;
 }
 

@@ -1,0 +1,25 @@
+// Self-test fixture: heavyweight scheduling types passed by value --
+// every call copies the per-module vectors.
+// medcc-lint-expect: large-value-param
+#include <cstddef>
+#include <vector>
+
+namespace medcc::fixture {
+
+struct Result {
+  std::vector<std::size_t> type_of;
+};
+
+struct Instance {
+  std::vector<double> workloads;
+};
+
+double score(Result plan, const Instance& instance);
+
+double rescore(const Instance& instance, medcc::fixture::Result plan) {
+  return score(plan, instance) + static_cast<double>(plan.type_of.size());
+}
+
+void solve_copying(Instance instance, Result* out);
+
+}  // namespace medcc::fixture

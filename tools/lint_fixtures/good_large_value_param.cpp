@@ -1,0 +1,35 @@
+// Self-test fixture: heavyweight scheduling types crossing call
+// boundaries by const reference, pointer, or move sink -- no copies.
+// medcc-lint-expect: clean
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace medcc::fixture {
+
+struct Result {
+  std::vector<std::size_t> type_of;
+};
+
+struct Instance {
+  std::vector<double> workloads;
+};
+
+double score(const Result& plan, const Instance& instance);
+
+// A move sink transfers ownership without a copy.
+Result normalize(Result&& plan) { return std::move(plan); }
+
+void solve_into(const Instance* instance, Result* out);
+
+// Local by-value declarations and template arguments are not
+// parameters; neither is a return type.
+Result make_plan(const Instance& instance) {
+  Result plan;
+  std::vector<Result> candidates;
+  plan.type_of.resize(instance.workloads.size());
+  candidates.push_back(plan);
+  return plan;
+}
+
+}  // namespace medcc::fixture

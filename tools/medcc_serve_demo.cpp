@@ -7,7 +7,7 @@
 // requests -- prints every response, and fetches the service metrics
 // through the StatsRequest frame.
 //
-// Usage: medcc_serve_demo [--threads N] [--budget B]
+// Usage: medcc_serve_demo [--threads N] [--io-threads N] [--budget B]
 //                         [--connect HOST:PORT] [--stats]
 #include <iostream>
 #include <memory>
@@ -75,11 +75,12 @@ SchedulingRequest make_request(std::shared_ptr<const Instance> inst, double b,
 
 int main(int argc, char** argv) {
   std::size_t threads = 2;
+  std::size_t io_threads = 1;  // reactors for the in-process server
   double budget = 57.0;  // the paper's numerical example
   bool stats_only = false;
   std::optional<std::pair<std::string, std::uint16_t>> remote;
   constexpr const char* usage =
-      "usage: medcc_serve_demo [--threads N] [--budget B] "
+      "usage: medcc_serve_demo [--threads N] [--io-threads N] [--budget B] "
       "[--connect HOST:PORT] [--stats]\n";
   // Numeric parsing throws on junk or out-of-range values; answer with
   // the usage string instead of an uncaught-exception abort.
@@ -88,6 +89,8 @@ int main(int argc, char** argv) {
       const std::string_view arg = argv[i];
       if (arg == "--threads" && i + 1 < argc) {
         threads = medcc::util::parse_flag_size(argv[++i]);
+      } else if (arg == "--io-threads" && i + 1 < argc) {
+        io_threads = medcc::util::parse_flag_size(argv[++i]);
       } else if (arg == "--budget" && i + 1 < argc) {
         budget = medcc::util::parse_flag_double(argv[++i]);
       } else if (arg == "--stats") {
@@ -124,7 +127,10 @@ int main(int argc, char** argv) {
     } else {
       local_service = std::make_unique<SchedulingService>(
           ServiceConfig{.threads = threads});
-      local_server = std::make_unique<medcc::net::Server>(*local_service);
+      medcc::net::ServerConfig server_config;
+      server_config.io_threads = io_threads;
+      local_server =
+          std::make_unique<medcc::net::Server>(*local_service, server_config);
       client_config.port = local_server->port();
     }
     medcc::net::Client client(client_config);

@@ -5,8 +5,9 @@
 // and prints the final metrics and transport counters.
 //
 // Usage: medcc_server [--bind ADDR] [--port P] [--threads N]
-//                     [--queue N] [--tenant-quota N] [--idle-timeout MS]
-//                     [--cache-dir DIR] [--snapshot-interval S]
+//                     [--io-threads N] [--queue N] [--tenant-quota N]
+//                     [--idle-timeout MS] [--cache-dir DIR]
+//                     [--snapshot-interval S]
 //
 // With --cache-dir the result cache is durable: the service warm-starts
 // from DIR's snapshot + journal (crash-tolerant; torn tails are cut)
@@ -25,7 +26,7 @@ namespace {
 
 constexpr const char* kUsage =
     "usage: medcc_server [--bind ADDR] [--port P] [--threads N] "
-    "[--queue N] [--tenant-quota N] [--idle-timeout MS] "
+    "[--io-threads N] [--queue N] [--tenant-quota N] [--idle-timeout MS] "
     "[--cache-dir DIR] [--snapshot-interval S]\n";
 
 }  // namespace
@@ -44,6 +45,9 @@ int main(int argc, char** argv) {
         server_config.port = medcc::util::parse_flag_port(argv[++i]);
       } else if (arg == "--threads" && i + 1 < argc) {
         service_config.threads = medcc::util::parse_flag_size(argv[++i]);
+      } else if (arg == "--io-threads" && i + 1 < argc) {
+        // 0 means one reactor per hardware thread.
+        server_config.io_threads = medcc::util::parse_flag_size(argv[++i]);
       } else if (arg == "--queue" && i + 1 < argc) {
         service_config.queue_capacity = medcc::util::parse_flag_size(argv[++i]);
       } else if (arg == "--tenant-quota" && i + 1 < argc) {
@@ -84,7 +88,8 @@ int main(int argc, char** argv) {
     medcc::net::Server server(service, server_config);
     std::cout << "medcc_server listening on " << server_config.bind_address
               << ":" << server.port() << " (" << service.thread_count()
-              << " workers, cache " << (service.cache_enabled() ? "on" : "off")
+              << " workers, " << server.reactor_count() << " reactors, cache "
+              << (service.cache_enabled() ? "on" : "off")
               << ", persist "
               << (service.persistence_enabled() ? "on" : "off") << ")"
               << std::endl;

@@ -26,7 +26,7 @@ trap cleanup EXIT
 # Starts medcc_server on an ephemeral port against the shared cache dir
 # and parses the port out of its "listening on" line into $port.
 start_server() { # $1 = log file
-  "$SERVER" --port 0 --threads 2 --cache-dir "$workdir/cache" \
+  "$SERVER" --port 0 --threads 2 --io-threads 2 --cache-dir "$workdir/cache" \
             --snapshot-interval 300 >"$1" 2>&1 &
   server_pid=$!
   port=""
