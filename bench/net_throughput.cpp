@@ -17,12 +17,20 @@
 //     asserts >= 2x on hosts with >= 4 cores (skipped below that --
 //     there is nothing to scale onto).
 //
+//  3. Cluster serving (--cluster): three in-process replicas wired via
+//     the replication channel, tenant-sharded ClusterClient traffic,
+//     and one replica killed mid-run. Measures steady-state cluster
+//     throughput and the cost of failover; asserts zero failed
+//     requests (the survivors answer every tenant from their
+//     replicated caches) and at least one observed failover.
+//
 // Usage: net_throughput [--requests N] [--threads T] [--connections C]
 //                       [--window W] [--tiles K] [--seed S]
-//                       [--smoke] [--json PATH]
+//                       [--smoke] [--cluster] [--json PATH]
 // --json writes the numbers under schema "medcc-bench-serving/v1"
 // (documented in docs/perf.md); CI uploads it as the tracked baseline.
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <fstream>
@@ -34,7 +42,11 @@
 #include <vector>
 
 #include "cloud/vm_type.hpp"
+#include "cluster/config.hpp"
+#include "cluster/replicator.hpp"
 #include "net/client.hpp"
+#include "net/cluster_client.hpp"
+#include "net/endpoint.hpp"
 #include "net/server.hpp"
 #include "sched/instance.hpp"
 #include "service/service.hpp"
@@ -60,6 +72,7 @@ struct Options {
   std::size_t tiles = 6;
   std::uint64_t seed = 20130801;  // ICPP'13
   bool smoke = false;
+  bool cluster = false;
   std::string json_path;
 };
 
@@ -89,6 +102,8 @@ Options parse(int argc, char** argv) {
         opt.seed = medcc::util::parse_flag_size(next());
       } else if (arg == "--smoke") {
         opt.smoke = true;
+      } else if (arg == "--cluster") {
+        opt.cluster = true;
       } else if (arg == "--json") {
         opt.json_path = next();
       } else {
@@ -278,11 +293,290 @@ void write_json(const std::string& path, const Options& opt,
   out << "  ]\n}\n";
 }
 
+// ---------------------------------------------------------------------
+// --cluster: three in-process replicas, mid-run kill
+// ---------------------------------------------------------------------
+
+/// One replica: its service, its server, and its replication channel to
+/// the other two. The replicator is created after every server has
+/// bound (ports are only known then), so on_cache_insert reads it
+/// through an atomic slot.
+struct ClusterNode {
+  std::shared_ptr<std::atomic<medcc::cluster::Replicator*>> repl_slot;
+  std::unique_ptr<medcc::service::SchedulingService> service;
+  std::unique_ptr<medcc::net::Server> server;
+  std::unique_ptr<medcc::cluster::Replicator> replicator;
+};
+
+struct ClusterReport {
+  std::size_t nodes = 0;
+  std::size_t tenants = 0;
+  std::uint64_t requests = 0;
+  double wall_seconds = 0.0;
+  double throughput_rps = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  std::uint64_t failovers = 0;
+  std::uint64_t transport_errors = 0;
+  std::size_t killed_node = 0;
+};
+
+/// Builds a 3-replica cluster, primes `tenants` tenant caches through
+/// it (each prime replicates to the other two replicas), then blasts
+/// `opt.requests` tenant-sharded duplicates from `opt.threads`
+/// ClusterClients while one replica is hard-stopped at the halfway
+/// mark. Every request must still be answered -- the ring walks to a
+/// survivor whose replicated cache already holds the tenant's entry.
+ClusterReport run_cluster(const Options& opt,
+                          const SchedulingRequest& request) {
+  constexpr std::size_t kNodes = 3;
+  const std::size_t tenants = std::max<std::size_t>(12, opt.threads * 3);
+
+  std::vector<ClusterNode> nodes(kNodes);
+  std::vector<medcc::net::Endpoint> endpoints;
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    ClusterNode& node = nodes[i];
+    node.repl_slot =
+        std::make_shared<std::atomic<medcc::cluster::Replicator*>>(nullptr);
+    medcc::service::ServiceConfig service_config;
+    service_config.threads = 2;
+    service_config.queue_capacity = opt.requests + 16;
+    service_config.cache_capacity = 4096;
+    service_config.on_cache_insert = [slot = node.repl_slot](
+                                         std::string payload) {
+      if (auto* repl = slot->load(std::memory_order_acquire))
+        repl->publish(payload);
+    };
+    node.service = std::make_unique<medcc::service::SchedulingService>(
+        std::move(service_config));
+
+    medcc::net::ServerConfig server_config;
+    server_config.io_threads = 1;
+    server_config.node_id = "bench-node" + std::to_string(i);
+    server_config.repl_apply = [svc = node.service.get()](
+                                   std::string_view payload) {
+      return svc->apply_replicated_record(payload);
+    };
+    node.server = std::make_unique<medcc::net::Server>(*node.service,
+                                                       server_config);
+    endpoints.push_back({"127.0.0.1", node.server->port()});
+  }
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    medcc::cluster::ClusterConfig cluster_config;
+    cluster_config.node_id = "bench-node" + std::to_string(i);
+    for (std::size_t j = 0; j < kNodes; ++j)
+      if (j != i) cluster_config.peers.push_back(endpoints[j]);
+    nodes[i].replicator = std::make_unique<medcc::cluster::Replicator>(
+        std::move(cluster_config));
+    nodes[i].repl_slot->store(nodes[i].replicator.get(),
+                              std::memory_order_release);
+    nodes[i].replicator->start();
+  }
+
+  medcc::net::ClusterClientConfig client_config;
+  client_config.endpoints = endpoints;
+  client_config.down_cooldown_ms = 200.0;  // re-probe the corpse quickly
+
+  // Prime every tenant once (one solve on its primary) and wait for
+  // the records to reach the other replicas: each replicator's queues
+  // drained and every send acked.
+  std::vector<std::string> tenant_ids;
+  tenant_ids.reserve(tenants);
+  {
+    medcc::net::ClusterClient primer(client_config);
+    for (std::size_t t = 0; t < tenants; ++t) {
+      SchedulingRequest primed = request;
+      primed.tenant = "tenant-" + std::to_string(t);
+      tenant_ids.push_back(primed.tenant);
+      const auto response = primer.solve(primed);
+      if (!response.ok()) {
+        std::cerr << "FAIL: priming tenant " << primed.tenant
+                  << " failed: " << response.error << "\n";
+        std::exit(1);
+      }
+    }
+  }
+  for (int spin = 0;; ++spin) {
+    bool settled = true;
+    for (const ClusterNode& node : nodes)
+      for (const auto& peer : node.replicator->status().peers)
+        if (peer.queued != 0 || peer.sent != peer.acked) settled = false;
+    if (settled) break;
+    if (spin > 1000) {
+      std::cerr << "FAIL: replication did not settle after priming\n";
+      std::exit(1);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+  // Measured run in two halves with a deterministic mid-run kill: the
+  // replica that is primary for tenant 0 is hard-stopped between them,
+  // so the second half is guaranteed to route at least that tenant's
+  // requests through the ring walk onto a survivor's replicated cache.
+  const std::size_t killed =
+      medcc::net::ClusterClient(client_config).primary_index(tenant_ids[0]);
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<bool> run_failed{false};
+  std::vector<std::vector<double>> latencies(opt.threads);
+  std::vector<std::uint64_t> failovers(opt.threads, 0);
+  std::vector<std::uint64_t> errors(opt.threads, 0);
+
+  // Every client thread cycles the tenant list (offset by thread id so
+  // primaries interleave). Clients are per-thread and per-half:
+  // ClusterClient is not thread-safe, and a fresh client in the second
+  // half also exercises failover on first contact with the dead node.
+  const auto run_half = [&](std::size_t total) {
+    const std::size_t per_thread = total / opt.threads;
+    const std::size_t remainder = total % opt.threads;
+    std::vector<std::thread> threads;
+    threads.reserve(opt.threads);
+    for (std::size_t t = 0; t < opt.threads; ++t) {
+      const std::size_t quota = per_thread + (t < remainder ? 1 : 0);
+      threads.emplace_back([&, t, quota] {
+        medcc::net::ClusterClient client(client_config);
+        for (std::size_t k = 0; k < quota; ++k) {
+          SchedulingRequest duplicate = request;
+          duplicate.tenant = tenant_ids[(t + k) % tenant_ids.size()];
+          const auto sent = std::chrono::steady_clock::now();
+          try {
+            const auto response = client.solve(duplicate);
+            if (!response.ok()) {
+              std::cerr << "FAIL: cluster solve rejected: " << response.error
+                        << "\n";
+              run_failed.store(true, std::memory_order_relaxed);
+              return;
+            }
+          } catch (const std::exception& ex) {
+            std::cerr << "FAIL: cluster solve failed: " << ex.what() << "\n";
+            run_failed.store(true, std::memory_order_relaxed);
+            return;
+          }
+          latencies[t].push_back(std::chrono::duration<double>(
+                                     std::chrono::steady_clock::now() - sent)
+                                     .count());
+          completed.fetch_add(1, std::memory_order_relaxed);
+        }
+        for (const auto& stat : client.stats()) {
+          failovers[t] += stat.failovers;
+          errors[t] += stat.errors;
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+  };
+
+  const auto started = std::chrono::steady_clock::now();
+  run_half(opt.requests / 2);
+  nodes[killed].server->stop();
+  run_half(opt.requests - opt.requests / 2);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+          .count();
+  if (run_failed.load()) std::exit(1);
+
+  ClusterReport report;
+  report.nodes = kNodes;
+  report.tenants = tenants;
+  report.requests = completed.load();
+  report.wall_seconds = wall;
+  report.killed_node = killed;
+  std::vector<double> all;
+  all.reserve(opt.requests);
+  for (std::size_t t = 0; t < opt.threads; ++t) {
+    all.insert(all.end(), latencies[t].begin(), latencies[t].end());
+    report.failovers += failovers[t];
+    report.transport_errors += errors[t];
+  }
+  if (report.requests != opt.requests) {
+    std::cerr << "FAIL: expected " << opt.requests << " responses, got "
+              << report.requests << "\n";
+    std::exit(1);
+  }
+  if (wall > 0.0)
+    report.throughput_rps = static_cast<double>(report.requests) / wall;
+  std::sort(all.begin(), all.end());
+  const auto at = [&](double percent) {
+    if (all.empty()) return 0.0;
+    const auto rank = static_cast<std::size_t>(
+        percent / 100.0 * static_cast<double>(all.size() - 1) + 0.5);
+    return all[std::min(rank, all.size() - 1)] * 1e3;
+  };
+  report.p50_ms = at(50.0);
+  report.p95_ms = at(95.0);
+  report.p99_ms = at(99.0);
+
+  for (ClusterNode& node : nodes) {
+    node.replicator->stop();
+    node.server->stop();
+    node.service->shutdown();
+  }
+  return report;
+}
+
+void write_cluster_json(const std::string& path, const Options& opt,
+                        const ClusterReport& report) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "FAIL: cannot write " << path << "\n";
+    std::exit(1);
+  }
+  out << "{\n"
+      << "  \"schema\": \"medcc-bench-serving/v1\",\n"
+      << "  \"bench\": \"net_throughput\",\n"
+      << "  \"mode\": \"" << (opt.smoke ? "cluster-smoke" : "cluster")
+      << "\",\n"
+      << "  \"host_cores\": " << std::thread::hardware_concurrency() << ",\n"
+      << "  \"requests\": " << report.requests << ",\n"
+      << "  \"cluster\": {\n"
+      << "    \"nodes\": " << report.nodes << ",\n"
+      << "    \"tenants\": " << report.tenants << ",\n"
+      << "    \"killed_node\": " << report.killed_node << ",\n"
+      << "    \"throughput_rps\": " << report.throughput_rps << ",\n"
+      << "    \"p50_ms\": " << report.p50_ms << ",\n"
+      << "    \"p95_ms\": " << report.p95_ms << ",\n"
+      << "    \"p99_ms\": " << report.p99_ms << ",\n"
+      << "    \"failovers\": " << report.failovers << ",\n"
+      << "    \"transport_errors\": " << report.transport_errors << "\n"
+      << "  }\n}\n";
+}
+
+/// The --cluster entry point: run, print, assert, write JSON.
+int run_cluster_mode(const Options& opt, const SchedulingRequest& request) {
+  std::cout << "=== net_throughput --cluster: replicated serving ===\n"
+            << "requests=" << opt.requests << " threads=" << opt.threads
+            << " tiles=" << opt.tiles << "\n\n";
+  const ClusterReport report = run_cluster(opt, request);
+
+  medcc::util::Table table({"cluster serving", "value"});
+  table.add_row({"replicas", std::to_string(report.nodes)});
+  table.add_row({"tenants", std::to_string(report.tenants)});
+  table.add_row({"req/s", medcc::util::fmt(report.throughput_rps)});
+  table.add_row({"p50 (ms)", medcc::util::fmt(report.p50_ms)});
+  table.add_row({"p95 (ms)", medcc::util::fmt(report.p95_ms)});
+  table.add_row({"p99 (ms)", medcc::util::fmt(report.p99_ms)});
+  table.add_row({"failovers", std::to_string(report.failovers)});
+  table.add_row({"transport errors", std::to_string(report.transport_errors)});
+  std::cout << table.render() << "\n"
+            << "node " << report.killed_node
+            << " killed at the halfway mark; every request answered\n";
+
+  if (!opt.json_path.empty()) write_cluster_json(opt.json_path, opt, report);
+
+  if (report.failovers == 0) {
+    std::cerr << "FAIL: killed a replica mid-run but observed no failover\n";
+    return 1;
+  }
+  std::cout << (opt.smoke ? "smoke OK\n" : "OK\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Options opt = parse(argc, argv);
   const SchedulingRequest request = build_request(opt);
+  if (opt.cluster) return run_cluster_mode(opt, request);
   const unsigned cores = std::thread::hardware_concurrency();
 
   std::cout << "=== net_throughput: serving-path benchmark ===\n"

@@ -1,0 +1,51 @@
+#include "cluster/config.hpp"
+
+namespace medcc::cluster {
+
+std::vector<net::Endpoint> parse_peer_list(std::string_view text) {
+  std::vector<net::Endpoint> peers;
+  if (text.empty()) return peers;
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    const std::size_t comma = text.find(',', begin);
+    const std::string_view item =
+        text.substr(begin, comma == std::string_view::npos ? std::string_view::npos
+                                                           : comma - begin);
+    const auto endpoint = net::parse_endpoint(item);
+    if (!endpoint)
+      throw ClusterError("cluster: bad peer '" + std::string(item) +
+                         "' (expected host:port)");
+    for (const net::Endpoint& seen : peers)
+      if (seen == *endpoint)
+        throw ClusterError("cluster: duplicate peer '" +
+                           net::to_string(*endpoint) + "'");
+    peers.push_back(*endpoint);
+    if (comma == std::string_view::npos) break;
+    begin = comma + 1;
+  }
+  return peers;
+}
+
+void validate(const ClusterConfig& config) {
+  if (config.queue_capacity == 0)
+    throw ClusterError("cluster: queue_capacity must be positive");
+  if (config.batch_max == 0)
+    throw ClusterError("cluster: batch_max must be positive");
+  if (config.request_timeout_ms < 0.0)
+    throw ClusterError("cluster: request_timeout_ms must be >= 0");
+  if (config.connect_timeout_ms < 0.0)
+    throw ClusterError("cluster: connect_timeout_ms must be >= 0");
+  if (config.backoff_initial_ms <= 0.0)
+    throw ClusterError("cluster: backoff_initial_ms must be positive");
+  if (config.backoff_cap_ms < config.backoff_initial_ms)
+    throw ClusterError("cluster: backoff_cap_ms must be >= backoff_initial_ms");
+  if (config.v1_retry_ms <= 0.0)
+    throw ClusterError("cluster: v1_retry_ms must be positive");
+  for (std::size_t i = 0; i < config.peers.size(); ++i)
+    for (std::size_t j = i + 1; j < config.peers.size(); ++j)
+      if (config.peers[i] == config.peers[j])
+        throw ClusterError("cluster: duplicate peer '" +
+                           net::to_string(config.peers[i]) + "'");
+}
+
+}  // namespace medcc::cluster

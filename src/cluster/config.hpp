@@ -1,0 +1,63 @@
+// Static cluster membership: the parsed, validated form of
+// `medcc_server --peers host:port,...`.
+//
+// Membership is deliberately static for now (docs/cluster.md): every
+// replica is launched with the same total topology minus itself, so no
+// discovery protocol, no epochs, no split-brain. Dynamic membership
+// layers on top of this config type later without touching the
+// replication channel.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/endpoint.hpp"
+#include "util/error.hpp"
+
+namespace medcc::cluster {
+
+/// Invalid cluster configuration (bad peer syntax, duplicates, ...).
+class ClusterError : public Error {
+public:
+  explicit ClusterError(const std::string& what) : Error(what) {}
+};
+
+struct ClusterConfig {
+  /// This node's name, reported in hello and cluster_status ("" =
+  /// anonymous).
+  std::string node_id;
+  /// Replication targets (this node must NOT list itself; the config
+  /// cannot check that, the operator script does).
+  std::vector<net::Endpoint> peers;
+  /// Bounded per-peer replication queue: when full the OLDEST record
+  /// is dropped (and counted) in favour of the new one -- fresher
+  /// entries are the ones duplicate traffic will ask for.
+  std::size_t queue_capacity = 4096;
+  /// Records pipelined per repl_insert burst.
+  std::size_t batch_max = 64;
+  /// Wall-clock bound on one replication exchange with a peer.
+  double request_timeout_ms = 5000.0;
+  /// TCP connect bound per attempt.
+  double connect_timeout_ms = 2000.0;
+  /// Reconnect/re-handshake backoff on peer loss (exponential).
+  double backoff_initial_ms = 50.0;
+  double backoff_cap_ms = 2000.0;
+  /// How long a peer that negotiated down to v1 (no replication) is
+  /// left alone before the handshake is retried -- it may have been
+  /// upgraded and restarted since.
+  double v1_retry_ms = 5000.0;
+};
+
+/// Parses "host:port,host:port,..." (the --peers flag). Throws
+/// ClusterError on empty entries, malformed endpoints, or duplicates;
+/// an empty string yields an empty list (clustering disabled).
+[[nodiscard]] std::vector<net::Endpoint> parse_peer_list(
+    std::string_view text);
+
+/// Validates field ranges (positive capacities, sane timeouts) and
+/// peer uniqueness; throws ClusterError naming the offending field.
+void validate(const ClusterConfig& config);
+
+}  // namespace medcc::cluster

@@ -484,6 +484,110 @@ LoadStats MultiClient::run(const service::SchedulingRequest& request,
   return stats;
 }
 
+Hello Client::hello(const Hello& offer) {
+  connect();
+  const auto deadline = Deadline::from_timeout(config_.request_timeout_ms);
+  const std::uint64_t id = next_id_++;
+  try {
+    send_bytes(encode_hello_request(offer, id), deadline);
+    FrameHeader header;
+    const std::string body = read_frame(header, deadline);
+    if (header.type == FrameType::hello_response && header.request_id == id)
+      return decode_hello_response(body);
+    if (header.type == FrameType::error) {
+      const WireFault fault = decode_error(body);
+      if (fault.code == WireError::bad_version ||
+          fault.code == WireError::bad_frame_type) {
+        // A v1 peer rejecting the extension frame IS the negotiation
+        // result; it also closes the stream, so drop our side too.
+        close();
+        Hello granted;
+        granted.version = kVersion;
+        granted.features = 0;
+        return granted;
+      }
+      throw NetError(std::string("client: hello failed: wire ") +
+                     to_string(fault.code) + ": " + fault.message);
+    }
+    throw NetError("client: unexpected frame answering hello");
+  } catch (...) {
+    close();
+    throw;
+  }
+}
+
+std::vector<ReplAck> Client::repl_insert_batch(
+    const std::vector<std::string>& payloads) {
+  if (payloads.empty()) return {};
+  connect();
+  const auto deadline = Deadline::from_timeout(config_.request_timeout_ms);
+  const std::uint64_t base = next_id_;
+  next_id_ += payloads.size();
+  try {
+    std::string burst;
+    for (std::size_t i = 0; i < payloads.size(); ++i)
+      burst += encode_repl_insert(payloads[i], base + i);
+    send_bytes(burst, deadline);
+
+    std::vector<ReplAck> acks(payloads.size());
+    std::vector<bool> seen(payloads.size(), false);
+    for (std::size_t done = 0; done < payloads.size(); ++done) {
+      FrameHeader header;
+      const std::string body = read_frame(header, deadline);
+      if (header.request_id < base ||
+          header.request_id >= base + payloads.size())
+        throw NetError("client: repl ack for unknown request id " +
+                       std::to_string(header.request_id));
+      ReplAck ack;
+      if (header.type == FrameType::repl_ack) {
+        ack = decode_repl_ack(body);
+      } else if (header.type == FrameType::error) {
+        const WireFault fault = decode_error(body);
+        ack.applied = false;
+        ack.error = std::string("wire ") + to_string(fault.code) + ": " +
+                    fault.message;
+      } else {
+        throw NetError("client: unexpected frame answering repl_insert");
+      }
+      const std::size_t slot =
+          static_cast<std::size_t>(header.request_id - base);
+      if (seen[slot])
+        throw NetError("client: duplicate repl ack for request id " +
+                       std::to_string(header.request_id));
+      seen[slot] = true;
+      acks[slot] = std::move(ack);
+    }
+    return acks;
+  } catch (...) {
+    close();
+    throw;
+  }
+}
+
+ClusterStatus Client::cluster_status() {
+  connect();
+  const auto deadline = Deadline::from_timeout(config_.request_timeout_ms);
+  const std::uint64_t id = next_id_++;
+  try {
+    send_bytes(encode_cluster_status_request(id), deadline);
+    FrameHeader header;
+    const std::string body = read_frame(header, deadline);
+    if (header.type != FrameType::cluster_status_response ||
+        header.request_id != id) {
+      if (header.type == FrameType::error) {
+        const WireFault fault = decode_error(body);
+        throw NetError(std::string("client: cluster status failed: wire ") +
+                       to_string(fault.code) + ": " + fault.message);
+      }
+      throw NetError("client: unexpected frame answering cluster status");
+    }
+    return decode_cluster_status_response(body);
+  } catch (...) {
+    close();
+    throw;
+  }
+}
+
 std::string Client::stats(StatsFormat format) {
   connect();
   const auto deadline = Deadline::from_timeout(config_.request_timeout_ms);

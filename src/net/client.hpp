@@ -81,6 +81,24 @@ public:
   /// The server's metrics dump (docs/service.md) over the wire.
   [[nodiscard]] std::string stats(StatsFormat format = StatsFormat::text);
 
+  /// Version/feature negotiation (docs/cluster.md). Sends `offer` and
+  /// returns what the server granted. A pre-v2 peer answers the
+  /// unknown frame with a protocol error and closes; that comes back
+  /// as Hello{version = 1, features = 0} (the caller's signal to stay
+  /// on the v1 feature set) with the connection closed. Stream faults
+  /// still throw NetError.
+  [[nodiscard]] Hello hello(const Hello& offer);
+
+  /// Pipelines one repl_insert per payload (encoded cache records) and
+  /// collects the acks back into payload order. Replication is a
+  /// v2-only exchange: call hello() first and only replicate when the
+  /// peer granted kVersion2 + kFeatureReplication.
+  [[nodiscard]] std::vector<ReplAck> repl_insert_batch(
+      const std::vector<std::string>& payloads);
+
+  /// The server's membership/replication view (medcc_clusterctl).
+  [[nodiscard]] ClusterStatus cluster_status();
+
 private:
   struct Deadline;  // steady-clock deadline helper (see client.cpp)
 

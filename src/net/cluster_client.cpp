@@ -1,0 +1,156 @@
+#include "net/cluster_client.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace medcc::net {
+
+namespace {
+
+/// FNV-1a 64 -- stable across platforms, which keeps tenant placement
+/// identical for every client build sharing one endpoint list.
+std::uint64_t fnv1a(std::string_view bytes,
+                    std::uint64_t seed = 1469598103934665603ull) {
+  std::uint64_t h = seed;
+  for (const char c : bytes) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+ClusterClient::ClusterClient(ClusterClientConfig config)
+    : config_(std::move(config)),
+      endpoints_(config_.endpoints),
+      clock_(config_.clock != nullptr
+                 ? config_.clock
+                 : [] { return std::chrono::steady_clock::now(); }) {
+  MEDCC_EXPECTS(!endpoints_.empty());
+  MEDCC_EXPECTS(config_.virtual_nodes > 0);
+  for (std::size_t i = 0; i < endpoints_.size(); ++i)
+    for (std::size_t j = i + 1; j < endpoints_.size(); ++j)
+      MEDCC_EXPECTS(endpoints_[i] != endpoints_[j]);
+
+  peers_.reserve(endpoints_.size());
+  ring_.reserve(endpoints_.size() * config_.virtual_nodes);
+  for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+    ClientConfig client_config;
+    client_config.host = endpoints_[i].host;
+    client_config.port = endpoints_[i].port;
+    client_config.connect_attempts = config_.connect_attempts;
+    client_config.connect_timeout_ms = config_.connect_timeout_ms;
+    client_config.backoff_initial_ms = config_.backoff_initial_ms;
+    client_config.backoff_cap_ms = config_.backoff_cap_ms;
+    client_config.request_timeout_ms = config_.request_timeout_ms;
+    client_config.max_frame_body = config_.max_frame_body;
+    Peer peer;
+    peer.client = std::make_unique<Client>(std::move(client_config));
+    peers_.push_back(std::move(peer));
+
+    const std::string name = to_string(endpoints_[i]);
+    for (std::size_t v = 0; v < config_.virtual_nodes; ++v)
+      ring_.push_back(
+          Node{fnv1a(name + "#" + std::to_string(v)), i});
+  }
+  std::sort(ring_.begin(), ring_.end(), [](const Node& a, const Node& b) {
+    return a.hash != b.hash ? a.hash < b.hash : a.index < b.index;
+  });
+}
+
+std::vector<std::size_t> ClusterClient::route(std::string_view tenant) const {
+  // Tenants and ring points use different FNV seeds so an endpoint
+  // whose name equals a tenant id does not pin that tenant to itself.
+  const std::uint64_t h = fnv1a(tenant, 14695981039346656037ull);
+  const auto start = std::lower_bound(
+      ring_.begin(), ring_.end(), h,
+      [](const Node& node, std::uint64_t value) { return node.hash < value; });
+  std::vector<std::size_t> order;
+  order.reserve(endpoints_.size());
+  std::vector<bool> seen(endpoints_.size(), false);
+  const std::size_t first = static_cast<std::size_t>(
+      start == ring_.end() ? 0 : start - ring_.begin());
+  for (std::size_t step = 0;
+       step < ring_.size() && order.size() < endpoints_.size(); ++step) {
+    const Node& node = ring_[(first + step) % ring_.size()];
+    if (seen[node.index]) continue;
+    seen[node.index] = true;
+    order.push_back(node.index);
+  }
+  return order;
+}
+
+std::size_t ClusterClient::primary_index(std::string_view tenant) const {
+  return route(tenant).front();
+}
+
+service::SchedulingResponse ClusterClient::solve(
+    const service::SchedulingRequest& request) {
+  const std::vector<std::size_t> order = route(request.tenant);
+  const auto now = clock_();
+
+  // Live peers first (ring order), then the cooling-down ones as a
+  // last resort -- a full outage should report the real error, not
+  // "everything was marked down".
+  std::vector<std::size_t> candidates;
+  candidates.reserve(order.size());
+  for (const std::size_t index : order)
+    if (peers_[index].down_until <= now) candidates.push_back(index);
+  for (const std::size_t index : order)
+    if (peers_[index].down_until > now) candidates.push_back(index);
+
+  const auto cooldown =
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>(
+              std::max(0.0, config_.down_cooldown_ms)));
+  std::string last_error = "no endpoints";
+  for (std::size_t attempt = 0; attempt < candidates.size(); ++attempt) {
+    Peer& peer = peers_[candidates[attempt]];
+    ++peer.sent;
+    if (candidates[attempt] != order.front()) ++peer.failovers;
+    try {
+      service::SchedulingResponse response = peer.client->solve(request);
+      // A draining replica answers "shutting_down" instead of solving;
+      // the taxonomy says retry elsewhere, so treat it like a
+      // transport fault and keep walking the ring.
+      if (response.status == service::ResponseStatus::rejected &&
+          response.reject_reason == service::RejectReason::shutting_down) {
+        ++peer.errors;
+        peer.down_until = clock_() + cooldown;
+        last_error = "replica is shutting down";
+        continue;
+      }
+      peer.down_until = {};
+      ++peer.ok;
+      return response;
+    } catch (const NetError& e) {
+      ++peer.errors;
+      peer.down_until = clock_() + cooldown;
+      last_error = e.what();
+    }
+  }
+  throw NetError("cluster: every replica failed for tenant '" +
+                 request.tenant + "': " + last_error);
+}
+
+std::vector<ClusterClient::EndpointStats> ClusterClient::stats() const {
+  const auto now = clock_();
+  std::vector<EndpointStats> all;
+  all.reserve(peers_.size());
+  for (std::size_t i = 0; i < peers_.size(); ++i) {
+    EndpointStats s;
+    s.endpoint = endpoints_[i];
+    s.sent = peers_[i].sent;
+    s.ok = peers_[i].ok;
+    s.errors = peers_[i].errors;
+    s.failovers = peers_[i].failovers;
+    s.down = peers_[i].down_until > now;
+    all.push_back(std::move(s));
+  }
+  return all;
+}
+
+}  // namespace medcc::net

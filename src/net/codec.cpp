@@ -120,6 +120,20 @@ void WireReader::expect_fits(std::uint64_t count,
 
 // -- framing --------------------------------------------------------------
 
+namespace {
+
+/// The header version each frame type must carry: the legacy exchange
+/// stays byte-identical to protocol 1, the cluster extension is
+/// stamped 2 so pre-v2 peers reject it with a clean bad_version.
+std::uint16_t version_for(FrameType type) {
+  return static_cast<std::uint16_t>(type) <=
+                 static_cast<std::uint16_t>(FrameType::error)
+             ? kVersion
+             : kVersion2;
+}
+
+}  // namespace
+
 std::optional<FrameHeader> parse_frame_header(std::string_view buffer,
                                               std::size_t max_body) {
   if (buffer.size() < kHeaderSize) return std::nullopt;
@@ -127,16 +141,26 @@ std::optional<FrameHeader> parse_frame_header(std::string_view buffer,
   const std::uint32_t magic = reader.u32();
   if (magic != kMagic) fail(WireError::bad_magic, "wire: bad frame magic");
   const std::uint16_t version = reader.u16();
-  if (version != kVersion)
+  if (version < kVersion || version > kMaxVersion)
     fail(WireError::bad_version,
          "wire: unsupported protocol version " + std::to_string(version));
   const std::uint16_t raw_type = reader.u16();
+  const auto last_type =
+      static_cast<std::uint16_t>(FrameType::cluster_status_response);
   if (raw_type < static_cast<std::uint16_t>(FrameType::solve_request) ||
-      raw_type > static_cast<std::uint16_t>(FrameType::error))
+      raw_type > last_type)
     fail(WireError::bad_frame_type,
          "wire: unknown frame type " + std::to_string(raw_type));
+  // A type must travel under its own version: a v2 header on a legacy
+  // frame (or vice versa) is as malformed as an unknown version.
+  if (version != version_for(static_cast<FrameType>(raw_type)))
+    fail(WireError::bad_version,
+         "wire: frame type " + std::to_string(raw_type) +
+             " does not belong to protocol version " +
+             std::to_string(version));
   FrameHeader header;
   header.type = static_cast<FrameType>(raw_type);
+  header.version = version;
   header.request_id = reader.u64();
   header.body_size = reader.u32();
   if (header.body_size > max_body)
@@ -151,7 +175,7 @@ std::string encode_frame(FrameType type, std::uint64_t request_id,
   MEDCC_EXPECTS(body.size() <= kDefaultMaxBody);
   WireWriter writer;
   writer.u32(kMagic);
-  writer.u16(kVersion);
+  writer.u16(version_for(type));
   writer.u16(static_cast<std::uint16_t>(type));
   writer.u64(request_id);
   writer.u32(static_cast<std::uint32_t>(body.size()));
@@ -348,7 +372,7 @@ service::SchedulingResponse decode_solve_response(std::string_view body) {
   (void)reader.u8();  // reserved
   if (status > static_cast<std::uint8_t>(service::ResponseStatus::failed))
     fail(WireError::bad_body, "wire: unknown response status");
-  if (reason > static_cast<std::uint8_t>(service::RejectReason::tenant_quota))
+  if (reason > static_cast<std::uint8_t>(service::RejectReason::flow_control))
     fail(WireError::bad_body, "wire: unknown reject reason");
   if (cache >
       static_cast<std::uint8_t>(service::CacheOutcome::hit_isomorphic))
@@ -427,6 +451,160 @@ WireFault decode_error(std::string_view body) {
   fault.message = reader.str(kMaxString);
   reader.expect_done();
   return fault;
+}
+
+// -- hello ----------------------------------------------------------------
+
+namespace {
+
+std::string encode_hello(FrameType type, const Hello& hello,
+                         std::uint64_t request_id) {
+  WireWriter writer;
+  writer.u16(hello.version);
+  writer.u32(hello.features);
+  writer.str(hello.node_id);
+  return encode_frame(type, request_id, writer.bytes());
+}
+
+Hello decode_hello(std::string_view body) {
+  WireReader reader(body);
+  Hello hello;
+  hello.version = reader.u16();
+  if (hello.version < kVersion)
+    fail(WireError::bad_body, "wire: hello with version 0");
+  hello.features = reader.u32();
+  hello.node_id = reader.str(kMaxString);
+  reader.expect_done();
+  return hello;
+}
+
+}  // namespace
+
+std::string encode_hello_request(const Hello& hello,
+                                 std::uint64_t request_id) {
+  return encode_hello(FrameType::hello_request, hello, request_id);
+}
+
+Hello decode_hello_request(std::string_view body) {
+  return decode_hello(body);
+}
+
+std::string encode_hello_response(const Hello& hello,
+                                  std::uint64_t request_id) {
+  return encode_hello(FrameType::hello_response, hello, request_id);
+}
+
+Hello decode_hello_response(std::string_view body) {
+  return decode_hello(body);
+}
+
+// -- replication ----------------------------------------------------------
+
+std::string encode_repl_insert(std::string_view payload,
+                               std::uint64_t request_id) {
+  MEDCC_EXPECTS(payload.size() <= kMaxReplPayload);
+  // Raw u32 length + bytes (WireWriter::str caps at kMaxString, which
+  // is below the record ceiling).
+  WireWriter writer;
+  writer.u32(static_cast<std::uint32_t>(payload.size()));
+  std::string body = writer.take();
+  body.append(payload.data(), payload.size());
+  return encode_frame(FrameType::repl_insert, request_id, body);
+}
+
+std::string decode_repl_insert(std::string_view body) {
+  WireReader reader(body);
+  const std::uint32_t len = reader.u32();
+  if (len > kMaxReplPayload)
+    fail(WireError::limit_exceeded, "wire: replicated record too large");
+  if (len > reader.remaining())
+    fail(WireError::truncated, "wire: truncated replicated record");
+  std::string payload(body.substr(body.size() - reader.remaining(), len));
+  if (reader.remaining() != len)
+    fail(WireError::trailing_bytes,
+         "wire: trailing bytes after replicated record");
+  return payload;
+}
+
+std::string encode_repl_ack(const ReplAck& ack, std::uint64_t request_id) {
+  WireWriter writer;
+  writer.u8(ack.applied ? 1 : 0);
+  writer.str(ack.error);
+  return encode_frame(FrameType::repl_ack, request_id, writer.bytes());
+}
+
+ReplAck decode_repl_ack(std::string_view body) {
+  WireReader reader(body);
+  ReplAck ack;
+  const std::uint8_t applied = reader.u8();
+  if (applied > 1) fail(WireError::bad_body, "wire: unknown repl_ack status");
+  ack.applied = applied == 1;
+  ack.error = reader.str(kMaxString);
+  reader.expect_done();
+  return ack;
+}
+
+// -- cluster status -------------------------------------------------------
+
+namespace {
+
+/// Guard on the peer list (far above any real deployment).
+constexpr std::uint64_t kMaxPeers = 1u << 12;
+
+}  // namespace
+
+std::string encode_cluster_status_request(std::uint64_t request_id) {
+  return encode_frame(FrameType::cluster_status_request, request_id, {});
+}
+
+std::string encode_cluster_status_response(const ClusterStatus& status,
+                                           std::uint64_t request_id) {
+  WireWriter writer;
+  writer.str(status.node_id);
+  writer.u16(status.protocol_version);
+  writer.u64(status.repl_applied);
+  writer.u64(status.repl_apply_errors);
+  writer.u32(static_cast<std::uint32_t>(status.peers.size()));
+  for (const ClusterPeerStatus& peer : status.peers) {
+    writer.str(peer.address);
+    writer.str(peer.state);
+    writer.u16(peer.peer_version);
+    writer.u64(peer.queued);
+    writer.u64(peer.sent);
+    writer.u64(peer.acked);
+    writer.u64(peer.dropped);
+    writer.u64(peer.send_errors);
+  }
+  return encode_frame(FrameType::cluster_status_response, request_id,
+                      writer.bytes());
+}
+
+ClusterStatus decode_cluster_status_response(std::string_view body) {
+  WireReader reader(body);
+  ClusterStatus status;
+  status.node_id = reader.str(kMaxString);
+  status.protocol_version = reader.u16();
+  status.repl_applied = reader.u64();
+  status.repl_apply_errors = reader.u64();
+  const std::uint32_t peer_count = reader.u32();
+  if (peer_count > kMaxPeers)
+    fail(WireError::limit_exceeded, "wire: too many peers");
+  reader.expect_fits(peer_count, /*two strings + counters*/ 4 + 4 + 2 + 5 * 8);
+  status.peers.reserve(peer_count);
+  for (std::uint32_t i = 0; i < peer_count; ++i) {
+    ClusterPeerStatus peer;
+    peer.address = reader.str(kMaxString);
+    peer.state = reader.str(kMaxString);
+    peer.peer_version = reader.u16();
+    peer.queued = reader.u64();
+    peer.sent = reader.u64();
+    peer.acked = reader.u64();
+    peer.dropped = reader.u64();
+    peer.send_errors = reader.u64();
+    status.peers.push_back(std::move(peer));
+  }
+  reader.expect_done();
+  return status;
 }
 
 }  // namespace medcc::net

@@ -1,18 +1,29 @@
-// The MED-CC binary wire protocol (version 1): a versioned,
-// length-prefixed framing plus the message bodies that carry
-// SchedulingRequest / SchedulingResponse, a metrics (stats) exchange,
-// and a structured error frame.
+// The MED-CC binary wire protocol: a versioned, length-prefixed
+// framing plus the message bodies that carry SchedulingRequest /
+// SchedulingResponse, a metrics (stats) exchange, a structured error
+// frame, and -- since protocol version 2 -- the cluster extension
+// (hello handshake, cache replication, cluster status).
 //
 // Every frame starts with a fixed 20-byte header, all integers
 // little-endian regardless of host byte order:
 //
 //   offset  size  field
 //   0       4     magic 0x4343444D ("MDCC" as bytes 4D 44 43 43)
-//   4       2     protocol version (currently 1)
+//   4       2     protocol version (1 or 2; see below)
 //   6       2     frame type (FrameType)
 //   8       8     request id (client-chosen; echoed on the response)
 //   16      4     body length in bytes (bounded by max_body)
 //   20      n     body
+//
+// Version rules keep v1 peers interoperable: the original frame types
+// (solve/stats/error, 1..5) are ALWAYS stamped version 1, so a v1
+// server accepts every frame a v2 client sends on the ordinary solve
+// path. The cluster extension types (6..11) are stamped version 2; a
+// v1 peer that receives one rejects it with a bad_version (or
+// bad_frame_type) error frame and closes, which is exactly the signal
+// the hello handshake uses to detect a pre-v2 peer and fall back.
+// Conversely a v2 parser rejects a version-2 header on a legacy frame
+// type, so the version byte stays meaningful under fuzzing.
 //
 // Responses correlate to requests purely by request id, so a server may
 // answer out of order and a client may pipeline many requests on one
@@ -30,6 +41,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "service/request.hpp"
 #include "util/error.hpp"
@@ -44,6 +56,10 @@ public:
 
 inline constexpr std::uint32_t kMagic = 0x4343444Du;  // "MDCC"
 inline constexpr std::uint16_t kVersion = 1;
+/// Protocol version carrying the cluster extension (hello handshake,
+/// replication, cluster status). kMaxVersion is what hello offers.
+inline constexpr std::uint16_t kVersion2 = 2;
+inline constexpr std::uint16_t kMaxVersion = kVersion2;
 inline constexpr std::size_t kHeaderSize = 20;
 /// Default ceiling on one frame body; oversized length prefixes are
 /// rejected before any buffering happens.
@@ -55,6 +71,13 @@ enum class FrameType : std::uint16_t {
   stats_request = 3,
   stats_response = 4,
   error = 5,
+  // -- version 2 (cluster extension) --
+  hello_request = 6,           ///< version/feature negotiation
+  hello_response = 7,
+  repl_insert = 8,             ///< push one cache record to a peer
+  repl_ack = 9,
+  cluster_status_request = 10, ///< membership/replication inspection
+  cluster_status_response = 11,
 };
 
 /// Wire error codes carried by FrameType::error (and by CodecError).
@@ -87,6 +110,9 @@ private:
 
 struct FrameHeader {
   FrameType type = FrameType::error;
+  /// Header version the frame arrived with (1 for the legacy types,
+  /// 2 for the cluster extension; the parser enforces the pairing).
+  std::uint16_t version = kVersion;
   std::uint64_t request_id = 0;
   std::uint32_t body_size = 0;
 };
@@ -97,7 +123,8 @@ struct FrameHeader {
 [[nodiscard]] std::optional<FrameHeader> parse_frame_header(
     std::string_view buffer, std::size_t max_body = kDefaultMaxBody);
 
-/// Wraps `body` in a version-1 frame.
+/// Wraps `body` in a frame, stamping the version the type belongs to
+/// (1 for solve/stats/error, 2 for the cluster extension).
 [[nodiscard]] std::string encode_frame(FrameType type,
                                        std::uint64_t request_id,
                                        std::string_view body);
@@ -152,6 +179,84 @@ struct WireFault {
                                        std::string_view message,
                                        std::uint64_t request_id);
 [[nodiscard]] WireFault decode_error(std::string_view body);
+
+// -- hello (version negotiation, protocol v2) ------------------------------
+
+/// Feature bits advertised in the hello exchange. A peer may only rely
+/// on a feature both sides advertised.
+inline constexpr std::uint32_t kFeatureReplication = 1u << 0;
+
+/// What one side of the handshake offers (request) or granted
+/// (response). The negotiated version is min(client max, server max).
+struct Hello {
+  std::uint16_t version = kMaxVersion;
+  std::uint32_t features = 0;
+  /// Human-chosen node name ("" when unset); inspection only.
+  std::string node_id;
+};
+
+[[nodiscard]] std::string encode_hello_request(const Hello& hello,
+                                               std::uint64_t request_id);
+[[nodiscard]] Hello decode_hello_request(std::string_view body);
+
+[[nodiscard]] std::string encode_hello_response(const Hello& hello,
+                                                std::uint64_t request_id);
+[[nodiscard]] Hello decode_hello_response(std::string_view body);
+
+// -- replication (protocol v2) ---------------------------------------------
+
+/// Ceiling on one replicated cache-record payload. Far above any entry
+/// the service produces today, far below the frame body limit.
+inline constexpr std::size_t kMaxReplPayload = 16u << 20;
+
+/// Frame for one replicated cache record. The payload is the opaque
+/// service::persistence cache-record encoding (docs/FORMATS.md) -- the
+/// same bytes the durable store journals, so replication and
+/// persistence share one record codec.
+[[nodiscard]] std::string encode_repl_insert(std::string_view payload,
+                                             std::uint64_t request_id);
+[[nodiscard]] std::string decode_repl_insert(std::string_view body);
+
+struct ReplAck {
+  bool applied = false;
+  /// Reason when !applied ("" otherwise).
+  std::string error;
+};
+
+[[nodiscard]] std::string encode_repl_ack(const ReplAck& ack,
+                                          std::uint64_t request_id);
+[[nodiscard]] ReplAck decode_repl_ack(std::string_view body);
+
+// -- cluster status (protocol v2) ------------------------------------------
+
+/// One replication peer as seen by the answering node.
+struct ClusterPeerStatus {
+  std::string address;       ///< "host:port"
+  std::string state;         ///< "connected" | "connecting" | "down" | "v1-peer"
+  std::uint16_t peer_version = 0;  ///< negotiated version; 0 = no handshake yet
+  std::uint64_t queued = 0;        ///< records waiting in the bounded queue
+  std::uint64_t sent = 0;
+  std::uint64_t acked = 0;
+  std::uint64_t dropped = 0;       ///< bounded-queue overflow drops
+  std::uint64_t send_errors = 0;
+};
+
+/// The membership/replication view medcc_clusterctl renders.
+struct ClusterStatus {
+  std::string node_id;
+  std::uint16_t protocol_version = kMaxVersion;
+  std::uint64_t repl_applied = 0;       ///< records applied from peers
+  std::uint64_t repl_apply_errors = 0;
+  std::vector<ClusterPeerStatus> peers;
+};
+
+[[nodiscard]] std::string encode_cluster_status_request(
+    std::uint64_t request_id);
+
+[[nodiscard]] std::string encode_cluster_status_response(
+    const ClusterStatus& status, std::uint64_t request_id);
+[[nodiscard]] ClusterStatus decode_cluster_status_response(
+    std::string_view body);
 
 // -- primitives (exposed for tests) ---------------------------------------
 

@@ -1,0 +1,30 @@
+#include "net/endpoint.hpp"
+
+namespace medcc::net {
+
+std::string to_string(const Endpoint& endpoint) {
+  return endpoint.host + ":" + std::to_string(endpoint.port);
+}
+
+std::optional<Endpoint> parse_endpoint(std::string_view text) {
+  const std::size_t colon = text.rfind(':');
+  if (colon == std::string_view::npos || colon == 0 ||
+      colon + 1 == text.size())
+    return std::nullopt;
+  const std::string_view host = text.substr(0, colon);
+  const std::string_view port = text.substr(colon + 1);
+  if (host.find(':') != std::string_view::npos) return std::nullopt;
+  std::uint32_t value = 0;
+  for (const char c : port) {
+    if (c < '0' || c > '9') return std::nullopt;
+    value = value * 10 + static_cast<std::uint32_t>(c - '0');
+    if (value > 65535) return std::nullopt;
+  }
+  if (value == 0) return std::nullopt;
+  Endpoint endpoint;
+  endpoint.host = std::string(host);
+  endpoint.port = static_cast<std::uint16_t>(value);
+  return endpoint;
+}
+
+}  // namespace medcc::net

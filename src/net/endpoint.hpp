@@ -1,0 +1,33 @@
+// A network endpoint ("host:port") and its textual form -- the unit
+// the cluster layer configures peers and the ClusterClient's ring in.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace medcc::net {
+
+struct Endpoint {
+  std::string host;
+  std::uint16_t port = 0;
+
+  friend bool operator==(const Endpoint& a, const Endpoint& b) {
+    return a.port == b.port && a.host == b.host;
+  }
+  friend bool operator!=(const Endpoint& a, const Endpoint& b) {
+    return !(a == b);
+  }
+};
+
+/// "host:port" (the form parse_endpoint accepts back).
+[[nodiscard]] std::string to_string(const Endpoint& endpoint);
+
+/// Parses "host:port". Rejects -- as nullopt -- an empty host, a
+/// missing/empty/non-numeric port, port 0, and ports above 65535.
+/// IPv6 literals are not supported (nothing else in the stack speaks
+/// IPv6 yet); use a resolvable name instead.
+[[nodiscard]] std::optional<Endpoint> parse_endpoint(std::string_view text);
+
+}  // namespace medcc::net

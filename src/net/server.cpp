@@ -183,6 +183,9 @@ Server::Counters Server::counters() const {
   c.dropped_responses = dropped_responses_.load();
   c.backpressure_paused = backpressure_paused_.load();
   c.fastpath_hits = fastpath_hits_.load();
+  c.flow_control_rejects = flow_control_rejects_.load();
+  c.hellos = hellos_.load();
+  c.repl_records_in = repl_records_in_.load();
   return c;
 }
 
@@ -406,6 +409,21 @@ void Server::handle_frame(Reactor& r, Connection& conn,
         }
         service_.metrics().note_wire_fastpath(false);
       }
+      if (config_.max_inflight_frames > 0 &&
+          conn.pending >= config_.max_inflight_frames) {
+        // Connection-level flow control: shed THIS request with a
+        // structured reject rather than queueing unbounded worker-side
+        // state for one over-eager pipeliner. The client sees which
+        // request was shed (echoed id) and can back off and resend.
+        flow_control_rejects_.add();
+        service::SchedulingResponse response;
+        response.status = service::ResponseStatus::rejected;
+        response.reject_reason = service::RejectReason::flow_control;
+        service_.metrics().count_response(response);
+        queue_output(r, conn,
+                     encode_solve_response(response, header.request_id));
+        return;
+      }
       service::SchedulingRequest request;
       try {
         request = decode_solve_request(body);
@@ -472,9 +490,73 @@ void Server::handle_frame(Reactor& r, Connection& conn,
       }
       return;
     }
+    case FrameType::hello_request: {
+      // Version/feature negotiation: grant the highest version both
+      // sides speak and the feature intersection. Stateless -- the
+      // extension frames police themselves (a v1 server never reaches
+      // here; it rejected the frame at parse).
+      Hello offer;
+      try {
+        offer = decode_hello_request(body);
+      } catch (const CodecError& e) {
+        protocol_errors_.add();
+        queue_output(r, conn,
+                     encode_error(e.code(), e.what(), header.request_id));
+        return;
+      }
+      hellos_.add();
+      Hello granted;
+      granted.version = std::min(offer.version, kMaxVersion);
+      const std::uint32_t features =
+          config_.repl_apply != nullptr ? kFeatureReplication : 0u;
+      granted.features = offer.features & features;
+      granted.node_id = config_.node_id;
+      queue_output(r, conn, encode_hello_response(granted, header.request_id));
+      return;
+    }
+    case FrameType::repl_insert: {
+      std::string payload;
+      try {
+        payload = decode_repl_insert(body);
+      } catch (const CodecError& e) {
+        protocol_errors_.add();
+        queue_output(r, conn,
+                     encode_error(e.code(), e.what(), header.request_id));
+        return;
+      }
+      repl_records_in_.add();
+      ReplAck ack;
+      if (config_.repl_apply == nullptr) {
+        ack.applied = false;
+        ack.error = "replication not enabled on this node";
+      } else {
+        // Applying is a decode + sharded cache upsert -- cheap enough
+        // for the reactor thread (no solver, no disk write).
+        ack.applied = config_.repl_apply(payload);
+        if (!ack.applied) ack.error = "record rejected";
+      }
+      queue_output(r, conn, encode_repl_ack(ack, header.request_id));
+      return;
+    }
+    case FrameType::cluster_status_request: {
+      ClusterStatus status;
+      if (config_.cluster_status != nullptr) {
+        status = config_.cluster_status();
+      } else {
+        // A server without a cluster layer is a one-replica cluster.
+        status.node_id = config_.node_id;
+        status.protocol_version = kMaxVersion;
+      }
+      queue_output(r, conn,
+                   encode_cluster_status_response(status, header.request_id));
+      return;
+    }
     case FrameType::solve_response:
     case FrameType::stats_response:
-    case FrameType::error: {
+    case FrameType::error:
+    case FrameType::hello_response:
+    case FrameType::repl_ack:
+    case FrameType::cluster_status_response: {
       // Server-to-client frames arriving at the server: protocol abuse.
       protocol_errors_.add();
       conn.reading = false;

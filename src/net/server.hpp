@@ -58,8 +58,10 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <unordered_map>
 #include <utility>
@@ -98,6 +100,27 @@ struct ServerConfig {
   /// stop(): how long each reactor keeps flushing responses after the
   /// last in-flight solve completes before closing connections hard.
   double drain_grace_ms = 5000.0;
+  /// Cap on solves dispatched-but-unanswered per connection. A frame
+  /// past the cap is answered immediately with a structured
+  /// RejectReason::flow_control response instead of queueing unbounded
+  /// worker-side state -- the connection stays healthy and the client
+  /// sees exactly which request was shed. 0 = unlimited (the
+  /// compatible default; the service's bounded queue still applies).
+  std::size_t max_inflight_frames = 0;
+  /// Name reported in hello and cluster_status responses ("" = unset).
+  std::string node_id{};
+  /// Cluster hooks, filled by the cluster layer (src/cluster) so the
+  /// net layer stays free of a dependency on it.
+  ///
+  /// Applies one replicated cache record (repl_insert body payload);
+  /// returns whether it was applied. nullptr = replication not
+  /// offered: hello responses omit kFeatureReplication and repl_insert
+  /// frames are acked with applied = false.
+  std::function<bool(std::string_view payload)> repl_apply{};
+  /// Source of the node's membership/replication view for
+  /// cluster_status requests. nullptr = answer with an empty peer list
+  /// (a single-node server is a degenerate one-replica cluster).
+  std::function<ClusterStatus()> cluster_status{};
 };
 
 class Server {
@@ -133,6 +156,9 @@ public:
     std::uint64_t dropped_responses = 0;    ///< finished after peer left
     std::uint64_t backpressure_paused = 0;  ///< reads paused at high water
     std::uint64_t fastpath_hits = 0;  ///< responses served from WireCache
+    std::uint64_t flow_control_rejects = 0;  ///< max_inflight_frames sheds
+    std::uint64_t hellos = 0;            ///< hello handshakes answered
+    std::uint64_t repl_records_in = 0;   ///< repl_insert frames received
   };
   [[nodiscard]] Counters counters() const;
 
@@ -258,6 +284,9 @@ private:
   util::PaddedAtomic<std::uint64_t> dropped_responses_;
   util::PaddedAtomic<std::uint64_t> backpressure_paused_;
   util::PaddedAtomic<std::uint64_t> fastpath_hits_;
+  util::PaddedAtomic<std::uint64_t> flow_control_rejects_;
+  util::PaddedAtomic<std::uint64_t> hellos_;
+  util::PaddedAtomic<std::uint64_t> repl_records_in_;
 
   /// Sized in the constructor before any thread starts, structurally
   /// immutable afterwards. Last member: stop() joins the reactor

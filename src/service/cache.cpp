@@ -1,12 +1,27 @@
 #include "service/cache.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 namespace medcc::service {
 
-ResultCache::ResultCache(const Config& config) {
+namespace {
+
+std::int64_t steady_seconds() {
+  return std::chrono::duration_cast<std::chrono::seconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+ResultCache::ResultCache(const Config& config)
+    : ttl_s_(config.ttl_s),
+      clock_(config.clock ? config.clock : steady_seconds),
+      on_expired_(config.on_expired) {
   MEDCC_EXPECTS(config.capacity > 0);
   MEDCC_EXPECTS(config.shards > 0);
+  MEDCC_EXPECTS(config.ttl_s >= 0);
   const std::size_t shards = std::min(config.shards, config.capacity);
   shard_capacity_ = (config.capacity + shards - 1) / shards;
   shards_.reserve(shards);
@@ -16,17 +31,30 @@ ResultCache::ResultCache(const Config& config) {
 
 std::optional<CacheHit> ResultCache::find(const FingerprintDetail& fp) {
   Shard& shard = shard_for(fp.canonical);
-  const util::MutexLock lock(shard.mutex);
-  const auto it = shard.index.find(fp.canonical);
-  if (it == shard.index.end()) return std::nullopt;
-  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-  CacheEntry& entry = *it->second;
-  ++entry.hits;
-  CacheHit hit;
-  hit.exact = entry.exact == fp.exact;
-  hit.result = entry.result;
-  hit.assignment = entry.assignment;
-  hit.remappable = entry.remappable;
+  const std::int64_t at = now();
+  bool dropped = false;
+  std::optional<CacheHit> hit;
+  {
+    const util::MutexLock lock(shard.mutex);
+    const auto it = shard.index.find(fp.canonical);
+    if (it == shard.index.end()) return std::nullopt;
+    CacheEntry& entry = *it->second;
+    if (expired(entry, at)) {
+      shard.lru.erase(it->second);
+      shard.index.erase(it);
+      ++shard.expired;
+      dropped = true;
+    } else {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      ++entry.hits;
+      hit.emplace();
+      hit->exact = entry.exact == fp.exact;
+      hit->result = entry.result;
+      hit->assignment = entry.assignment;
+      hit->remappable = entry.remappable;
+    }
+  }
+  if (dropped) notify_expired(1);
   return hit;
 }
 
@@ -66,6 +94,7 @@ void ResultCache::restore(CacheEntry entry) {
 
 void ResultCache::upsert(CacheEntry entry, bool count_insertion) {
   Shard& shard = shard_for(entry.key);
+  entry.inserted_at = now();
   const util::MutexLock lock(shard.mutex);
   const auto it = shard.index.find(entry.key);
   if (it != shard.index.end()) {
@@ -82,6 +111,27 @@ void ResultCache::upsert(CacheEntry entry, bool count_insertion) {
     shard.lru.pop_back();
     ++shard.evictions;
   }
+}
+
+std::size_t ResultCache::sweep_expired() {
+  if (ttl_s_ <= 0) return 0;
+  const std::int64_t at = now();
+  std::size_t total = 0;
+  for (auto& shard : shards_) {
+    const util::MutexLock lock(shard->mutex);
+    for (auto it = shard->lru.begin(); it != shard->lru.end();) {
+      if (expired(*it, at)) {
+        shard->index.erase(it->key);
+        it = shard->lru.erase(it);
+        ++shard->expired;
+        ++total;
+      } else {
+        ++it;
+      }
+    }
+  }
+  notify_expired(total);
+  return total;
 }
 
 std::vector<CacheEntry> ResultCache::export_entries() const {
@@ -101,6 +151,7 @@ ResultCache::Stats ResultCache::stats() const {
     const util::MutexLock lock(shard->mutex);
     total.insertions += shard->insertions;
     total.evictions += shard->evictions;
+    total.expired += shard->expired;
     total.size += shard->lru.size();
   }
   return total;

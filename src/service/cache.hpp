@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <optional>
@@ -68,6 +69,11 @@ struct CacheEntry {
   bool remappable = false;
   /// Times this entry answered a lookup (hit metadata; persisted).
   std::uint64_t hits = 0;
+  /// Insertion timestamp in cache-clock seconds, stamped by the cache
+  /// itself on upsert. Runtime-only: NOT part of the persisted record
+  /// (the cache-record codec is unchanged), so restored and replicated
+  /// entries start a fresh TTL on the receiving node.
+  std::int64_t inserted_at = 0;
 };
 
 class ResultCache {
@@ -76,11 +82,23 @@ public:
     /// Total entries across all shards (>= 1 effective per shard).
     std::size_t capacity = 4096;
     std::size_t shards = 8;
+    /// Seconds an entry may answer lookups after its last upsert;
+    /// 0 disables expiry. Expired entries are evicted lazily on find()
+    /// and in bulk by sweep_expired().
+    std::int64_t ttl_s = 0;
+    /// Monotonic-ish seconds source; injectable so tests can age
+    /// entries without sleeping. Defaults to the steady clock.
+    std::function<std::int64_t()> clock{};
+    /// Invoked (outside the shard lock) with the number of entries an
+    /// operation expired; the service binds this to the cache_expired
+    /// metric.
+    std::function<void(std::size_t)> on_expired{};
   };
 
   struct Stats {
     std::uint64_t insertions = 0;
     std::uint64_t evictions = 0;
+    std::uint64_t expired = 0;
     std::size_t size = 0;
   };
 
@@ -105,6 +123,11 @@ public:
   /// are reported separately by the persist_* metrics).
   void restore(CacheEntry entry);
 
+  /// Erases every entry whose TTL has lapsed and returns how many were
+  /// dropped (0 when expiry is disabled). Called periodically by the
+  /// service's snapshot source, i.e. on the persist flusher thread.
+  std::size_t sweep_expired();
+
   /// Copies every entry out, least-recently-used first, so re-applying
   /// them in order (snapshot load, compaction) reproduces the LRU
   /// order. Order across shards is interleaved and insignificant.
@@ -126,15 +149,27 @@ private:
         index MEDCC_GUARDED_BY(mutex);
     std::uint64_t insertions MEDCC_GUARDED_BY(mutex) = 0;
     std::uint64_t evictions MEDCC_GUARDED_BY(mutex) = 0;
+    std::uint64_t expired MEDCC_GUARDED_BY(mutex) = 0;
   };
 
   void upsert(CacheEntry entry, bool count_insertion);
+  [[nodiscard]] std::int64_t now() const { return clock_(); }
+  [[nodiscard]] bool expired(const CacheEntry& entry,
+                             std::int64_t at) const {
+    return ttl_s_ > 0 && at - entry.inserted_at >= ttl_s_;
+  }
+  void notify_expired(std::size_t count) const {
+    if (count > 0 && on_expired_) on_expired_(count);
+  }
 
   [[nodiscard]] Shard& shard_for(const Fingerprint& fp) {
     return *shards_[fp.hi % shards_.size()];
   }
 
   std::size_t shard_capacity_;
+  std::int64_t ttl_s_;
+  std::function<std::int64_t()> clock_;
+  std::function<void(std::size_t)> on_expired_;
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 

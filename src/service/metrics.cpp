@@ -115,6 +115,9 @@ void MetricsRegistry::count_response(const SchedulingResponse& response) {
         case RejectReason::tenant_quota:
           tenant_quota_rejections_.add();
           break;
+        case RejectReason::flow_control:
+          rejected_flow_control_.add();
+          break;
         case RejectReason::invalid_request:
         case RejectReason::none:
           rejected_invalid_.add();
@@ -166,6 +169,7 @@ MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
   s.rejected_unknown_solver = rejected_unknown_solver_.load();
   s.rejected_invalid = rejected_invalid_.load();
   s.tenant_quota_rejections = tenant_quota_rejections_.load();
+  s.rejected_flow_control = rejected_flow_control_.load();
   s.queue_depth = queue_depth_.load();
   s.queue_depth_peak = queue_depth_peak_.load();
   s.persist_loaded_entries = persist_loaded_entries_.load();
@@ -173,6 +177,9 @@ MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
   s.persist_journal_appends = persist_journal_appends_.load();
   s.persist_replay_truncations = persist_replay_truncations_.load();
   s.persist_flushes = persist_flushes_.load();
+  s.cache_expired = cache_expired_.load();
+  s.repl_applied = repl_applied_.load();
+  s.repl_apply_errors = repl_apply_errors_.load();
   {
     const util::ReaderMutexLock lock(per_solver_mutex_);
     for (const auto& [name, counter] : per_solver_)
@@ -234,6 +241,7 @@ std::string render(const MetricsRegistry::Snapshot& s, bool csv) {
   emit(out, csv, "rejected_unknown_solver", s.rejected_unknown_solver);
   emit(out, csv, "rejected_invalid", s.rejected_invalid);
   emit(out, csv, "tenant_quota_rejections", s.tenant_quota_rejections);
+  emit(out, csv, "rejected_flow_control", s.rejected_flow_control);
   emit(out, csv, "queue_depth",
        static_cast<std::uint64_t>(std::max<std::int64_t>(0, s.queue_depth)));
   emit(out, csv, "queue_depth_peak",
@@ -244,6 +252,9 @@ std::string render(const MetricsRegistry::Snapshot& s, bool csv) {
   emit(out, csv, "persist_journal_appends", s.persist_journal_appends);
   emit(out, csv, "persist_replay_truncations", s.persist_replay_truncations);
   emit(out, csv, "persist_flushes", s.persist_flushes);
+  emit(out, csv, "cache_expired", s.cache_expired);
+  emit(out, csv, "repl_applied", s.repl_applied);
+  emit(out, csv, "repl_apply_errors", s.repl_apply_errors);
   for (const auto& [name, count] : s.per_solver)
     emit(out, csv, "requests_solver_" + name, count);
   emit_histogram(out, csv, "latency_queue_seconds", s.queue_delay);

@@ -78,6 +78,7 @@ public:
     std::uint64_t rejected_unknown_solver = 0;
     std::uint64_t rejected_invalid = 0;
     std::uint64_t tenant_quota_rejections = 0;
+    std::uint64_t rejected_flow_control = 0;
     std::int64_t queue_depth = 0;
     std::int64_t queue_depth_peak = 0;
     std::uint64_t persist_loaded_entries = 0;
@@ -85,6 +86,9 @@ public:
     std::uint64_t persist_journal_appends = 0;
     std::uint64_t persist_replay_truncations = 0;
     std::uint64_t persist_flushes = 0;
+    std::uint64_t cache_expired = 0;
+    std::uint64_t repl_applied = 0;
+    std::uint64_t repl_apply_errors = 0;
     std::map<std::string, std::uint64_t> per_solver;
     util::Histogram queue_delay;   ///< seconds spent queued
     util::Histogram solve;         ///< seconds in the solver / cache path
@@ -136,6 +140,13 @@ public:
   }
   void record_persist_load(double seconds) { persist_load_.record(seconds); }
 
+  /// TTL expiries (lazy find() drops plus sweep batches).
+  void add_cache_expired(std::uint64_t n) { cache_expired_.add(n); }
+
+  /// Replication counters, driven by apply_replicated_record().
+  void repl_applied() { repl_applied_.add(); }
+  void repl_apply_error() { repl_apply_errors_.add(); }
+
   /// Queue-depth gauge, driven by the service's admission/dispatch path.
   void queue_entered();
   void queue_left();
@@ -167,6 +178,7 @@ private:
   util::PaddedAtomic<std::uint64_t> rejected_unknown_solver_;
   util::PaddedAtomic<std::uint64_t> rejected_invalid_;
   util::PaddedAtomic<std::uint64_t> tenant_quota_rejections_;
+  util::PaddedAtomic<std::uint64_t> rejected_flow_control_;
   util::PaddedAtomic<std::int64_t> queue_depth_;
   util::PaddedAtomic<std::int64_t> queue_depth_peak_;
   util::PaddedAtomic<std::uint64_t> persist_loaded_entries_;
@@ -174,6 +186,9 @@ private:
   util::PaddedAtomic<std::uint64_t> persist_journal_appends_;
   util::PaddedAtomic<std::uint64_t> persist_replay_truncations_;
   util::PaddedAtomic<std::uint64_t> persist_flushes_;
+  util::PaddedAtomic<std::uint64_t> cache_expired_;
+  util::PaddedAtomic<std::uint64_t> repl_applied_;
+  util::PaddedAtomic<std::uint64_t> repl_apply_errors_;
 
   mutable util::SharedMutex per_solver_mutex_;
   /// The map structure is guarded; the pointed-to counters are atomics,

@@ -20,6 +20,7 @@ const char* to_string(RejectReason reason) {
     case RejectReason::unknown_solver: return "unknown_solver";
     case RejectReason::invalid_request: return "invalid_request";
     case RejectReason::tenant_quota: return "tenant_quota";
+    case RejectReason::flow_control: return "flow_control";
   }
   return "unknown";
 }

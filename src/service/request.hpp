@@ -56,6 +56,7 @@ enum class RejectReason {
   unknown_solver,    ///< no such id in the solver registry
   invalid_request,   ///< null instance or non-finite/negative budget
   tenant_quota,      ///< tenant already at max_inflight_per_tenant
+  flow_control,      ///< connection exceeded max_inflight_frames
 };
 
 /// How the response was produced (mirrored into the metrics registry).

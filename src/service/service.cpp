@@ -36,15 +36,23 @@ SchedulingService::SchedulingService(ServiceConfig config)
                  : [] { return std::chrono::steady_clock::now(); }),
       pool_(config_.threads) {
   MEDCC_EXPECTS(config_.queue_capacity > 0);
+  MEDCC_EXPECTS(config_.cache_ttl_s >= 0);
   if (config_.cache_capacity > 0) {
     ResultCache::Config cache_config;
     cache_config.capacity = config_.cache_capacity;
     cache_config.shards = std::max<std::size_t>(1, config_.cache_shards);
+    cache_config.ttl_s = config_.cache_ttl_s;
+    cache_config.clock = config_.cache_clock;
+    cache_config.on_expired = [this](std::size_t n) {
+      metrics_.add_cache_expired(n);
+    };
     cache_ = std::make_unique<ResultCache>(cache_config);
     if (config_.wire_cache_capacity > 0) {
       WireCache::Config wire_config;
       wire_config.capacity = config_.wire_cache_capacity;
       wire_config.shards = std::max<std::size_t>(1, config_.cache_shards);
+      wire_config.ttl_s = config_.cache_ttl_s;
+      wire_config.clock = config_.cache_clock;
       wire_cache_ = std::make_unique<WireCache>(wire_config);
     }
   }
@@ -63,6 +71,9 @@ SchedulingService::SchedulingService(ServiceConfig config)
     // is still waiting on that lock and lands in the rotated journal.
     store_ = std::make_unique<persist::DurableStore>(
         std::move(store_config), [this] {
+          // Piggyback the TTL sweep on the flusher's cadence so expired
+          // entries neither serve lookups nor survive into the snapshot.
+          cache_->sweep_expired();
           std::vector<std::string> payloads;
           for (const CacheEntry& entry : cache_->export_entries())
             payloads.push_back(encode_cache_record(entry));
@@ -279,19 +290,46 @@ SchedulingResponse SchedulingService::solve(const SchedulingRequest& request) {
   sched::detail::check_schedule_invariants(
       instance, response.result.schedule, response.result.eval,
       request.budget, sched::detail::kUnconstrained, "service");
-  if (store_ == nullptr) {
+  if (store_ == nullptr && config_.on_cache_insert == nullptr) {
     cache_->insert(fp, response.result);
   } else {
     // Insert BEFORE journaling: paired with the store's locked snapshot
     // source, this guarantees the entry is either in the next snapshot
     // or in the journal that survives it -- never dropped.
     CacheEntry entry = ResultCache::make_entry(fp, response.result);
-    const std::string payload = encode_cache_record(entry);
+    std::string payload = encode_cache_record(entry);
     cache_->insert(std::move(entry));
-    store_->append(payload);
-    metrics_.persist_append();
+    if (store_ != nullptr) {
+      store_->append(payload);
+      metrics_.persist_append();
+    }
+    // Publish the locally solved entry to the replicator (peers apply
+    // it via apply_replicated_record, which does not re-publish).
+    if (config_.on_cache_insert != nullptr)
+      config_.on_cache_insert(std::move(payload));
   }
   return response;
+}
+
+bool SchedulingService::apply_replicated_record(std::string_view payload) {
+  if (cache_ == nullptr) {
+    metrics_.repl_apply_error();
+    return false;
+  }
+  try {
+    cache_->restore(decode_cache_record(payload));
+  } catch (const std::exception&) {
+    // Malformed or foreign-version record from a peer: count and drop.
+    metrics_.repl_apply_error();
+    return false;
+  }
+  metrics_.repl_applied();
+  return true;
+}
+
+std::size_t SchedulingService::sweep_expired() {
+  if (cache_ == nullptr) return 0;
+  return cache_->sweep_expired();
 }
 
 void SchedulingService::drain() { pool_.wait_idle(); }

@@ -17,9 +17,11 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <memory>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -70,6 +72,23 @@ struct ServiceConfig {
   bool persist_fsync = true;
   /// Injectable time source (tests freeze it); default steady_clock.
   std::function<std::chrono::steady_clock::time_point()> clock{};
+  /// Seconds a cache entry may answer lookups after its (re-)insertion;
+  /// 0 disables expiry. Expired entries are evicted lazily on lookup
+  /// and swept in bulk by the persistence flusher (or sweep_expired()).
+  /// Applies to the wire cache too, so the fast path cannot outlive the
+  /// result it memoized. Counted by the cache_expired metric.
+  std::int64_t cache_ttl_s = 0;
+  /// Injectable seconds source for TTL accounting (tests age entries
+  /// without sleeping); default steady clock.
+  std::function<std::int64_t()> cache_clock{};
+  /// Invoked after a locally solved MISS is inserted into the cache,
+  /// with the encoded cache record (service/persistence.hpp codec) --
+  /// the bytes a replicator pushes to peers. NOT invoked for cache
+  /// hits, restores, or entries applied from peers
+  /// (apply_replicated_record), which is what keeps replication
+  /// loop-free: only the origin node publishes an entry. Called on a
+  /// worker thread; must be cheap (enqueue, don't send).
+  std::function<void(std::string payload)> on_cache_insert{};
   /// Solver table; nullptr = sched::SolverRegistry::built_in().
   const sched::SolverRegistry* registry = nullptr;
 };
@@ -126,6 +145,21 @@ public:
   /// Forces a snapshot + journal rotation now (persistence must be
   /// enabled). Throws persist::PersistError on IO failure.
   void flush_persistence();
+
+  /// Applies one replicated cache record (the bytes a peer's
+  /// on_cache_insert produced). Decodes and restores it into the result
+  /// cache -- after which a duplicate of the original request answers
+  /// as an exact hit, byte-identical to the origin's response. Does NOT
+  /// re-publish through on_cache_insert (the origin pushes to the full
+  /// peer set) and does not journal eagerly (the next snapshot exports
+  /// it). Returns false -- and counts repl_apply_errors -- on a
+  /// malformed record or when the cache is disabled; never throws.
+  bool apply_replicated_record(std::string_view payload);
+
+  /// Evicts every TTL-expired cache entry now; returns how many were
+  /// dropped. Runs automatically before each persistence snapshot; this
+  /// entry point serves cacheless-persistence setups and tests.
+  std::size_t sweep_expired();
   [[nodiscard]] std::size_t thread_count() const {
     return pool_.thread_count();
   }

@@ -1,14 +1,27 @@
 #include "service/wire_cache.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <functional>
 #include <utility>
 
 namespace medcc::service {
 
+namespace {
+
+std::int64_t steady_seconds() {
+  return std::chrono::duration_cast<std::chrono::seconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
 WireCache::WireCache() : WireCache(Config()) {}
 
-WireCache::WireCache(Config config) {
+WireCache::WireCache(Config config)
+    : ttl_s_(config.ttl_s),
+      clock_(config.clock ? std::move(config.clock) : steady_seconds) {
   capacity_ = std::max<std::size_t>(1, config.capacity);
   const std::size_t shard_count =
       std::max<std::size_t>(1, std::min(config.shards, capacity_));
@@ -25,9 +38,17 @@ WireCache::Shard& WireCache::shard_for(std::string_view key) {
 std::shared_ptr<const std::string> WireCache::find(
     std::string_view request_body) {
   Shard& shard = shard_for(request_body);
+  const std::int64_t at = now();
   const util::MutexLock lock(shard.mutex);
   const auto it = shard.index.find(request_body);
   if (it == shard.index.end()) {
+    ++shard.misses;
+    return nullptr;
+  }
+  if (ttl_s_ > 0 && at - it->second->inserted_at >= ttl_s_) {
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+    ++shard.expired;
     ++shard.misses;
     return nullptr;
   }
@@ -39,14 +60,16 @@ std::shared_ptr<const std::string> WireCache::find(
 void WireCache::insert(std::string_view request_body, std::string frame) {
   auto shared = std::make_shared<const std::string>(std::move(frame));
   Shard& shard = shard_for(request_body);
+  const std::int64_t at = now();
   const util::MutexLock lock(shard.mutex);
   const auto it = shard.index.find(request_body);
   if (it != shard.index.end()) {
     it->second->frame = std::move(shared);
+    it->second->inserted_at = at;
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return;
   }
-  shard.lru.push_front(Entry{std::string(request_body), std::move(shared)});
+  shard.lru.push_front(Entry{std::string(request_body), std::move(shared), at});
   shard.index.emplace(std::string_view(shard.lru.front().key),
                       shard.lru.begin());
   ++shard.insertions;
@@ -65,6 +88,7 @@ WireCache::Stats WireCache::stats() const {
     total.misses += shard->misses;
     total.insertions += shard->insertions;
     total.evictions += shard->evictions;
+    total.expired += shard->expired;
     total.size += shard->lru.size();
   }
   return total;

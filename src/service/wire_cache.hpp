@@ -25,6 +25,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <string>
@@ -42,6 +43,13 @@ class WireCache {
     /// Entries across all shards; per-shard LRU eviction.
     std::size_t capacity = 1024;
     std::size_t shards = 8;
+    /// Seconds a memoized frame may be served after insertion; 0
+    /// disables expiry. Mirrors ResultCache so a TTL-configured service
+    /// cannot serve fast-path bytes for an entry the result cache
+    /// already dropped.
+    std::int64_t ttl_s = 0;
+    /// Injectable seconds source (tests); defaults to the steady clock.
+    std::function<std::int64_t()> clock{};
   };
 
   struct Stats {
@@ -49,6 +57,7 @@ class WireCache {
     std::uint64_t misses = 0;
     std::uint64_t insertions = 0;
     std::uint64_t evictions = 0;
+    std::uint64_t expired = 0;
     std::size_t size = 0;
   };
 
@@ -74,6 +83,7 @@ class WireCache {
   struct Entry {
     std::string key;  // exact request-body bytes
     std::shared_ptr<const std::string> frame;
+    std::int64_t inserted_at = 0;  // cache-clock seconds
   };
   /// LRU list front = most recent; index views point into Entry::key,
   /// which is stable because list nodes never move.
@@ -86,12 +96,16 @@ class WireCache {
     std::uint64_t misses MEDCC_GUARDED_BY(mutex) = 0;
     std::uint64_t insertions MEDCC_GUARDED_BY(mutex) = 0;
     std::uint64_t evictions MEDCC_GUARDED_BY(mutex) = 0;
+    std::uint64_t expired MEDCC_GUARDED_BY(mutex) = 0;
   };
 
   [[nodiscard]] Shard& shard_for(std::string_view key);
+  [[nodiscard]] std::int64_t now() const { return clock_(); }
 
   std::size_t capacity_ = 0;
   std::size_t per_shard_capacity_ = 0;
+  std::int64_t ttl_s_ = 0;
+  std::function<std::int64_t()> clock_;
   /// Sized in the constructor, then structurally immutable (each shard
   /// locks itself).
   MEDCC_NOT_GUARDED std::vector<std::unique_ptr<Shard>> shards_;

@@ -1,0 +1,145 @@
+// Cluster configuration plumbing: endpoint parsing, the --peers list,
+// ClusterConfig validation, and the ClusterClient consistent-hash ring
+// (stable tenant routing, full distinct failover order, minimal
+// remapping when a replica leaves).
+#include "cluster/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "net/cluster_client.hpp"
+#include "net/endpoint.hpp"
+
+namespace {
+
+using medcc::cluster::ClusterConfig;
+using medcc::cluster::ClusterError;
+using medcc::cluster::parse_peer_list;
+using medcc::cluster::validate;
+using medcc::net::ClusterClient;
+using medcc::net::ClusterClientConfig;
+using medcc::net::Endpoint;
+using medcc::net::parse_endpoint;
+
+TEST(Endpoint, ParseAcceptsHostPort) {
+  const auto ep = parse_endpoint("cache-3.internal:7101");
+  ASSERT_TRUE(ep.has_value());
+  EXPECT_EQ(ep->host, "cache-3.internal");
+  EXPECT_EQ(ep->port, 7101);
+  EXPECT_EQ(medcc::net::to_string(*ep), "cache-3.internal:7101");
+  ASSERT_TRUE(parse_endpoint(medcc::net::to_string(*ep)).has_value());
+}
+
+TEST(Endpoint, ParseRejectsMalformedInput) {
+  for (const char* bad :
+       {"", "host", "host:", ":1234", "host:0", "host:65536", "host:12x4",
+        "host:-1", "a:b:1", "[::1]:80"})
+    EXPECT_FALSE(parse_endpoint(bad).has_value()) << bad;
+  EXPECT_TRUE(parse_endpoint("h:65535").has_value());
+  EXPECT_TRUE(parse_endpoint("h:1").has_value());
+}
+
+TEST(ClusterConfigTest, PeerListParsesSplitsAndChecksDuplicates) {
+  EXPECT_TRUE(parse_peer_list("").empty());
+
+  const auto one = parse_peer_list("10.0.0.1:7101");
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0].port, 7101);
+
+  const auto three = parse_peer_list("a:1,b:2,c:3");
+  ASSERT_EQ(three.size(), 3u);
+  EXPECT_EQ(three[1].host, "b");
+
+  EXPECT_THROW((void)parse_peer_list("a:1,,b:2"), ClusterError);
+  EXPECT_THROW((void)parse_peer_list("a:1,b"), ClusterError);
+  EXPECT_THROW((void)parse_peer_list("a:1,a:1"), ClusterError);
+  EXPECT_THROW((void)parse_peer_list(","), ClusterError);
+}
+
+TEST(ClusterConfigTest, ValidateNamesTheOffendingField) {
+  ClusterConfig good;
+  good.peers = parse_peer_list("a:1,b:2");
+  EXPECT_NO_THROW(validate(good));
+
+  ClusterConfig bad = good;
+  bad.queue_capacity = 0;
+  EXPECT_THROW(validate(bad), ClusterError);
+  bad = good;
+  bad.batch_max = 0;
+  EXPECT_THROW(validate(bad), ClusterError);
+  bad = good;
+  bad.backoff_initial_ms = 0.0;
+  EXPECT_THROW(validate(bad), ClusterError);
+  bad = good;
+  bad.backoff_cap_ms = bad.backoff_initial_ms / 2;
+  EXPECT_THROW(validate(bad), ClusterError);
+  bad = good;
+  bad.v1_retry_ms = 0.0;
+  EXPECT_THROW(validate(bad), ClusterError);
+  bad = good;
+  bad.peers.push_back(bad.peers.front());
+  EXPECT_THROW(validate(bad), ClusterError);
+}
+
+ClusterClientConfig ring_config(std::vector<Endpoint> endpoints) {
+  ClusterClientConfig config;
+  config.endpoints = std::move(endpoints);
+  return config;
+}
+
+std::vector<Endpoint> three_endpoints() {
+  return {{"10.0.0.1", 7101}, {"10.0.0.2", 7101}, {"10.0.0.3", 7101}};
+}
+
+TEST(ClusterClientRing, RoutingIsDeterministicAcrossInstances) {
+  const ClusterClient a(ring_config(three_endpoints()));
+  const ClusterClient b(ring_config(three_endpoints()));
+  for (int t = 0; t < 50; ++t) {
+    const std::string tenant = "tenant-" + std::to_string(t);
+    EXPECT_EQ(a.primary_index(tenant), b.primary_index(tenant));
+    EXPECT_EQ(a.route(tenant), b.route(tenant));
+  }
+}
+
+TEST(ClusterClientRing, RouteVisitsEveryEndpointExactlyOnce) {
+  const ClusterClient client(ring_config(three_endpoints()));
+  for (int t = 0; t < 50; ++t) {
+    const auto order = client.route("tenant-" + std::to_string(t));
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0], client.primary_index("tenant-" + std::to_string(t)));
+    const std::set<std::size_t> distinct(order.begin(), order.end());
+    EXPECT_EQ(distinct.size(), 3u);
+  }
+}
+
+TEST(ClusterClientRing, TenantsSpreadOverEveryReplica) {
+  const ClusterClient client(ring_config(three_endpoints()));
+  std::set<std::size_t> primaries;
+  for (int t = 0; t < 200; ++t)
+    primaries.insert(client.primary_index("tenant-" + std::to_string(t)));
+  EXPECT_EQ(primaries.size(), 3u);
+}
+
+TEST(ClusterClientRing, RemovingAReplicaOnlyRemapsItsTenants) {
+  auto endpoints = three_endpoints();
+  const ClusterClient full(ring_config(endpoints));
+  // Drop the last endpoint; tenants whose primary was elsewhere must
+  // keep their primary (consistent hashing's defining property).
+  const std::size_t removed = 2;
+  std::vector<Endpoint> remaining = {endpoints[0], endpoints[1]};
+  const ClusterClient reduced(ring_config(remaining));
+  for (int t = 0; t < 200; ++t) {
+    const std::string tenant = "tenant-" + std::to_string(t);
+    const std::size_t before = full.primary_index(tenant);
+    if (before == removed) continue;
+    EXPECT_EQ(reduced.endpoints()[reduced.primary_index(tenant)],
+              full.endpoints()[before])
+        << tenant;
+  }
+}
+
+}  // namespace

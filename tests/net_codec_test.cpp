@@ -151,7 +151,8 @@ TEST(NetCodec, BadVersionRejected) {
 }
 
 TEST(NetCodec, BadFrameTypeRejected) {
-  for (const std::uint8_t type : {std::uint8_t{0}, std::uint8_t{6},
+  // 12 is the first value past the v2 cluster types (6-11).
+  for (const std::uint8_t type : {std::uint8_t{0}, std::uint8_t{12},
                                   std::uint8_t{200}}) {
     std::string frame = medcc::net::encode_frame(FrameType::error, 0, "");
     frame[6] = static_cast<char>(type);  // frame type lives at offset 6
@@ -161,6 +162,29 @@ TEST(NetCodec, BadFrameTypeRejected) {
     } catch (const CodecError& err) {
       EXPECT_EQ(err.code(), WireError::bad_frame_type);
     }
+  }
+}
+
+TEST(NetCodec, VersionTypePairingEnforced) {
+  // A v1 header on a v2-only type (and vice versa) is rejected from
+  // the header alone, as a version fault -- a v1 peer can never be
+  // handed a cluster frame it cannot parse.
+  std::string v1_cluster = medcc::net::encode_frame(FrameType::error, 0, "");
+  v1_cluster[6] = 6;  // hello_request under version 1
+  try {
+    (void)medcc::net::parse_frame_header(v1_cluster);
+    FAIL() << "expected CodecError";
+  } catch (const CodecError& err) {
+    EXPECT_EQ(err.code(), WireError::bad_version);
+  }
+
+  std::string v2_legacy = medcc::net::encode_frame(FrameType::error, 0, "");
+  v2_legacy[4] = 2;  // error frame stamped with the cluster version
+  try {
+    (void)medcc::net::parse_frame_header(v2_legacy);
+    FAIL() << "expected CodecError";
+  } catch (const CodecError& err) {
+    EXPECT_EQ(err.code(), WireError::bad_version);
   }
 }
 

@@ -585,6 +585,185 @@ TEST(NetServer, MultiReactorShardsConnectionsAndServesAll) {
   EXPECT_EQ(server.counters().connections_active, 0u);
 }
 
+TEST(NetServer, FlowControlRejectsExcessInflightFrames) {
+  BlockingRegistryFixture fixture;
+  ServiceConfig service_config;
+  service_config.threads = 1;
+  service_config.registry = &fixture.registry();
+  SchedulingService service(std::move(service_config));
+  ServerConfig server_config;
+  server_config.max_inflight_frames = 1;
+  Server server(service, server_config);
+
+  const auto inst = example_instance();
+  RawConn conn(server.port());
+  // Two pipelined solves on one connection: the first occupies the
+  // single in-flight slot (parked in the solver), so the second must be
+  // shed with a structured flow_control rejection -- not a close, not
+  // an error frame.
+  conn.send(medcc::net::encode_solve_request(request_for(inst, 57.0, "block"),
+                                             1));
+  fixture.wait_until_blocked();
+  conn.send(medcc::net::encode_solve_request(request_for(inst, 57.0), 2));
+
+  FrameHeader header;
+  std::string body;
+  ASSERT_TRUE(conn.read_frame(header, body));
+  ASSERT_EQ(header.type, FrameType::solve_response);
+  EXPECT_EQ(header.request_id, 2u);
+  const SchedulingResponse shed = medcc::net::decode_solve_response(body);
+  EXPECT_EQ(shed.status, ResponseStatus::rejected);
+  EXPECT_EQ(shed.reject_reason, RejectReason::flow_control);
+
+  // The occupant finishes normally once released: the connection and
+  // its first request survived the shedding.
+  fixture.release();
+  ASSERT_TRUE(conn.read_frame(header, body));
+  EXPECT_EQ(header.request_id, 1u);
+  EXPECT_TRUE(medcc::net::decode_solve_response(body).ok());
+  EXPECT_EQ(server.counters().flow_control_rejects, 1u);
+  EXPECT_GE(service.metrics().snapshot().rejected_flow_control, 1u);
+}
+
+TEST(NetServer, HelloNegotiatesVersionAndFeatures) {
+  SchedulingService service({.threads = 1});
+  ServerConfig with_repl;
+  with_repl.node_id = "alpha";
+  with_repl.repl_apply = [](std::string_view) { return true; };
+  Server server(service, with_repl);
+
+  Client client(client_for(server));
+  medcc::net::Hello offer;
+  offer.version = medcc::net::kMaxVersion;
+  offer.features = medcc::net::kFeatureReplication;
+  offer.node_id = "tester";
+  const auto granted = client.hello(offer);
+  EXPECT_EQ(granted.version, medcc::net::kVersion2);
+  EXPECT_EQ(granted.features & medcc::net::kFeatureReplication,
+            medcc::net::kFeatureReplication);
+  EXPECT_EQ(granted.node_id, "alpha");
+  EXPECT_EQ(server.counters().hellos, 1u);
+
+  // Without a replication hook the feature bit is masked off.
+  SchedulingService plain_service({.threads = 1});
+  Server plain(plain_service);
+  Client plain_client(client_for(plain));
+  EXPECT_EQ(plain_client.hello(offer).features &
+                medcc::net::kFeatureReplication,
+            0u);
+
+  // A v1 offer is granted v1 (the server never talks up).
+  offer.version = 1;
+  Client v1_client(client_for(server));
+  EXPECT_EQ(v1_client.hello(offer).version, 1u);
+}
+
+TEST(NetServer, ReplInsertRestoresEntryServedByteIdentically) {
+  const auto inst = example_instance();
+  // Origin: solve once, capture the replication payload.
+  std::string payload;
+  ServiceConfig origin_config;
+  origin_config.threads = 1;
+  origin_config.on_cache_insert = [&payload](std::string bytes) {
+    payload = std::move(bytes);
+  };
+  SchedulingService origin(std::move(origin_config));
+  const auto solved = origin.submit(request_for(inst, 57.0)).get();
+  ASSERT_TRUE(solved.ok());
+  ASSERT_FALSE(payload.empty());
+
+  // Receiver: a server whose repl_apply restores into its service.
+  SchedulingService receiver({.threads = 1});
+  ServerConfig receiver_config;
+  receiver_config.repl_apply = [&receiver](std::string_view bytes) {
+    return receiver.apply_replicated_record(bytes);
+  };
+  Server server(receiver, receiver_config);
+  Client client(client_for(server));
+
+  const auto acks = client.repl_insert_batch({payload});
+  ASSERT_EQ(acks.size(), 1u);
+  EXPECT_TRUE(acks[0].applied) << acks[0].error;
+  EXPECT_EQ(server.counters().repl_records_in, 1u);
+  EXPECT_EQ(receiver.metrics().snapshot().repl_applied, 1u);
+
+  // The receiver never solved, yet serves the duplicate byte-exactly.
+  const auto hit = client.solve(request_for(inst, 57.0));
+  ASSERT_TRUE(hit.ok()) << hit.error;
+  EXPECT_EQ(hit.cache, medcc::service::CacheOutcome::hit_exact);
+  EXPECT_EQ(hit.result.schedule, solved.result.schedule);
+  expect_bits_equal(hit.result.eval.med, solved.result.eval.med);
+  expect_bits_equal(hit.result.eval.cost, solved.result.eval.cost);
+
+  // Garbage records are acked applied=false, stream intact.
+  const auto bad = client.repl_insert_batch({"not a cache record"});
+  ASSERT_EQ(bad.size(), 1u);
+  EXPECT_FALSE(bad[0].applied);
+  EXPECT_FALSE(bad[0].error.empty());
+
+  // A node without the hook refuses politely instead of closing.
+  SchedulingService no_repl({.threads = 1});
+  Server no_repl_server(no_repl);
+  Client no_repl_client(client_for(no_repl_server));
+  const auto refused = no_repl_client.repl_insert_batch({payload});
+  ASSERT_EQ(refused.size(), 1u);
+  EXPECT_FALSE(refused[0].applied);
+}
+
+TEST(NetServer, ClusterStatusServedFromHookAndDefault) {
+  SchedulingService service({.threads = 1});
+  ServerConfig config;
+  config.node_id = "beta";
+  config.cluster_status = [] {
+    medcc::net::ClusterStatus status;
+    status.node_id = "beta";
+    status.repl_applied = 7;
+    medcc::net::ClusterPeerStatus peer;
+    peer.address = "127.0.0.1:9999";
+    peer.state = "connected";
+    peer.peer_version = 2;
+    peer.sent = 3;
+    peer.acked = 3;
+    status.peers.push_back(std::move(peer));
+    return status;
+  };
+  Server server(service, config);
+  Client client(client_for(server));
+
+  const auto status = client.cluster_status();
+  EXPECT_EQ(status.node_id, "beta");
+  EXPECT_EQ(status.repl_applied, 7u);
+  ASSERT_EQ(status.peers.size(), 1u);
+  EXPECT_EQ(status.peers[0].state, "connected");
+  EXPECT_EQ(status.peers[0].acked, 3u);
+
+  // Hook-less server: a one-replica cluster.
+  SchedulingService solo_service({.threads = 1});
+  ServerConfig solo_config;
+  solo_config.node_id = "solo";
+  Server solo(solo_service, solo_config);
+  Client solo_client(client_for(solo));
+  const auto solo_status = solo_client.cluster_status();
+  EXPECT_EQ(solo_status.node_id, "solo");
+  EXPECT_EQ(solo_status.protocol_version, medcc::net::kMaxVersion);
+  EXPECT_TRUE(solo_status.peers.empty());
+}
+
+TEST(NetServer, ServerSideClusterFramesFromClientAreAbuse) {
+  SchedulingService service({.threads = 1});
+  Server server(service);
+  RawConn conn(server.port());
+  medcc::net::ReplAck ack;
+  ack.applied = true;
+  conn.send(medcc::net::encode_repl_ack(ack, 5));
+  FrameHeader header;
+  std::string body;
+  ASSERT_TRUE(conn.read_frame(header, body));
+  EXPECT_EQ(header.type, FrameType::error);
+  EXPECT_EQ(medcc::net::decode_error(body).code, WireError::unexpected_frame);
+  EXPECT_TRUE(conn.server_closed());
+}
+
 TEST(NetServer, IdleConnectionsAreReaped) {
   SchedulingService service({.threads = 1});
   ServerConfig config;

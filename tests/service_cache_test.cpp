@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <cstdint>
 #include <utility>
 #include <vector>
 
@@ -188,6 +190,93 @@ TEST(ResultCache, ShardCountClampedToCapacity) {
   ResultCache tiny({.capacity = 2, .shards = 16});
   EXPECT_LE(tiny.shard_count(), 2u);
   EXPECT_GE(tiny.capacity(), 2u);
+}
+
+TEST(ResultCache, TtlExpiresLazilyOnFind) {
+  std::int64_t now = 0;
+  std::size_t notified = 0;
+  ResultCache cache({.capacity = 8,
+                     .shards = 1,
+                     .ttl_s = 10,
+                     .clock = [&now] { return now; },
+                     .on_expired = [&notified](std::size_t n) {
+                       notified += n;
+                     }});
+  const auto inst = Instance::from_model(diamond_forward(), catalog_forward());
+  const auto fp = fp_of(inst, 50.0);
+  cache.insert(fp, result_with(Schedule{{0, 1, 1, 1, 0}}, 5.0, 40.0));
+
+  now = 9;  // inside the TTL
+  EXPECT_TRUE(cache.find(fp).has_value());
+  now = 10;  // exactly the TTL: expired
+  EXPECT_FALSE(cache.find(fp).has_value());
+  EXPECT_EQ(cache.stats().expired, 1u);
+  EXPECT_EQ(cache.stats().size, 0u);
+  EXPECT_EQ(notified, 1u);
+}
+
+TEST(ResultCache, SweepExpiredDropsOnlyAgedEntries) {
+  std::int64_t now = 0;
+  ResultCache cache({.capacity = 16,
+                     .shards = 2,
+                     .ttl_s = 10,
+                     .clock = [&now] { return now; }});
+  const auto inst = Instance::from_model(diamond_forward(), catalog_forward());
+  for (int b = 1; b <= 3; ++b)
+    cache.insert(fp_of(inst, static_cast<double>(b)),
+                 result_with(Schedule{{0, 0, 0, 0, 0}}, 1.0, 1.0));
+  now = 5;
+  cache.insert(fp_of(inst, 99.0),
+               result_with(Schedule{{0, 0, 0, 0, 0}}, 1.0, 1.0));
+
+  now = 12;  // the first three are >= 10s old, the fourth is 7s old
+  EXPECT_EQ(cache.sweep_expired(), 3u);
+  EXPECT_EQ(cache.stats().size, 1u);
+  EXPECT_EQ(cache.stats().expired, 3u);
+  EXPECT_TRUE(cache.find(fp_of(inst, 99.0)).has_value());
+}
+
+TEST(ResultCache, UpsertAndRestoreRestampTtl) {
+  std::int64_t now = 0;
+  ResultCache cache({.capacity = 8,
+                     .shards = 1,
+                     .ttl_s = 10,
+                     .clock = [&now] { return now; }});
+  const auto inst = Instance::from_model(diamond_forward(), catalog_forward());
+  const auto fp = fp_of(inst, 50.0);
+  cache.insert(fp, result_with(Schedule{{0, 1, 1, 1, 0}}, 5.0, 40.0));
+
+  now = 8;  // refreshing restarts the clock
+  cache.insert(fp, result_with(Schedule{{0, 1, 1, 1, 0}}, 5.0, 40.0));
+  now = 12;
+  EXPECT_TRUE(cache.find(fp).has_value());
+
+  // A restored (replicated / warm-started) entry gets a fresh TTL at
+  // the receiving node regardless of what its origin stamped.
+  auto entry = ResultCache::make_entry(
+      fp_of(inst, 60.0), result_with(Schedule{{0, 2, 2, 2, 0}}, 3.0, 49.0));
+  entry.inserted_at = -1000;
+  now = 20;
+  cache.restore(std::move(entry));
+  now = 29;
+  EXPECT_TRUE(cache.find(fp_of(inst, 60.0)).has_value());
+  now = 30;
+  EXPECT_FALSE(cache.find(fp_of(inst, 60.0)).has_value());
+}
+
+TEST(ResultCache, ZeroTtlNeverExpires) {
+  std::int64_t now = 0;
+  ResultCache cache({.capacity = 8,
+                     .shards = 1,
+                     .ttl_s = 0,
+                     .clock = [&now] { return now; }});
+  const auto inst = Instance::from_model(diamond_forward(), catalog_forward());
+  const auto fp = fp_of(inst, 50.0);
+  cache.insert(fp, result_with(Schedule{{0, 1, 1, 1, 0}}, 5.0, 40.0));
+  now = 1'000'000'000;
+  EXPECT_EQ(cache.sweep_expired(), 0u);
+  EXPECT_TRUE(cache.find(fp).has_value());
+  EXPECT_EQ(cache.stats().expired, 0u);
 }
 
 TEST(ResultCache, ClearEmptiesEveryShard) {

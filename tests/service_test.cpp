@@ -481,6 +481,114 @@ TEST(Service, MetricsDumpContainsKeyLines) {
   EXPECT_NE(csv.find("responses_ok,2"), std::string::npos);
 }
 
+TEST(Service, CacheTtlExpiresEntriesUnderInjectedClock) {
+  const auto inst = example_instance();
+  std::int64_t now = 0;
+  ServiceConfig config;
+  config.threads = 1;
+  config.cache_ttl_s = 10;
+  config.cache_clock = [&now] { return now; };
+  SchedulingService service(std::move(config));
+
+  const auto first = service.submit(request_for(inst, 57.0)).get();
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.cache, CacheOutcome::miss);
+
+  now = 9;  // still fresh
+  const auto warm = service.submit(request_for(inst, 57.0)).get();
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm.cache, CacheOutcome::hit_exact);
+  expect_identical(warm.result, first.result);
+
+  now = 25;  // aged out: the duplicate is solved afresh
+  const auto aged = service.submit(request_for(inst, 57.0)).get();
+  ASSERT_TRUE(aged.ok());
+  EXPECT_EQ(aged.cache, CacheOutcome::miss);
+  expect_identical(aged.result, first.result);  // solvers are deterministic
+
+  const auto snap = service.metrics().snapshot();
+  EXPECT_EQ(snap.cache_misses, 2u);
+  EXPECT_GE(snap.cache_expired, 1u);
+  EXPECT_NE(service.metrics().dump_text().find("cache_expired"),
+            std::string::npos);
+}
+
+TEST(Service, SweepExpiredDropsAgedEntriesInBulk) {
+  std::int64_t now = 0;
+  ServiceConfig config;
+  config.threads = 1;
+  config.cache_ttl_s = 5;
+  config.cache_clock = [&now] { return now; };
+  SchedulingService service(std::move(config));
+
+  ASSERT_TRUE(service.submit(request_for(example_instance(), 57.0)).get().ok());
+  ASSERT_TRUE(service.submit(request_for(example_instance(), 58.0)).get().ok());
+  EXPECT_EQ(service.sweep_expired(), 0u);
+  now = 5;
+  EXPECT_EQ(service.sweep_expired(), 2u);
+  EXPECT_GE(service.metrics().snapshot().cache_expired, 2u);
+}
+
+TEST(Service, OnCacheInsertFiresOnlyForLocalMisses) {
+  const auto inst = example_instance();
+  std::vector<std::string> published;
+  ServiceConfig config;
+  config.threads = 1;
+  config.on_cache_insert = [&published](std::string payload) {
+    published.push_back(std::move(payload));
+  };
+  SchedulingService service(std::move(config));
+
+  ASSERT_TRUE(service.submit(request_for(inst, 57.0)).get().ok());
+  ASSERT_EQ(published.size(), 1u);  // the miss
+  ASSERT_TRUE(service.submit(request_for(inst, 57.0)).get().ok());
+  EXPECT_EQ(published.size(), 1u);  // the hit publishes nothing
+
+  // Applying a replicated record must not re-publish either (that is
+  // what keeps origin-pushes-to-full-mesh replication loop-free).
+  SchedulingService receiver({.threads = 1});
+  ASSERT_TRUE(receiver.apply_replicated_record(published.front()));
+  EXPECT_EQ(published.size(), 1u);
+}
+
+TEST(Service, ApplyReplicatedRecordServesByteIdenticalHit) {
+  const auto inst = example_instance();
+  std::vector<std::string> published;
+  ServiceConfig origin_config;
+  origin_config.threads = 1;
+  origin_config.on_cache_insert = [&published](std::string payload) {
+    published.push_back(std::move(payload));
+  };
+  SchedulingService origin(std::move(origin_config));
+  const auto solved = origin.submit(request_for(inst, 57.0)).get();
+  ASSERT_TRUE(solved.ok());
+  ASSERT_EQ(published.size(), 1u);
+
+  SchedulingService receiver({.threads = 1});
+  ASSERT_TRUE(receiver.apply_replicated_record(published.front()));
+  const auto snap = receiver.metrics().snapshot();
+  EXPECT_EQ(snap.repl_applied, 1u);
+  EXPECT_EQ(snap.repl_apply_errors, 0u);
+
+  // The receiver never solved, yet answers the duplicate exactly.
+  const auto hit = receiver.submit(request_for(inst, 57.0)).get();
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(hit.cache, CacheOutcome::hit_exact);
+  expect_identical(hit.result, solved.result);
+}
+
+TEST(Service, ApplyReplicatedRecordRejectsGarbage) {
+  SchedulingService service({.threads = 1});
+  EXPECT_FALSE(service.apply_replicated_record("not a cache record"));
+  EXPECT_FALSE(service.apply_replicated_record(""));
+  EXPECT_EQ(service.metrics().snapshot().repl_apply_errors, 2u);
+
+  // A cache-disabled service cannot apply records at all.
+  SchedulingService uncached({.threads = 1, .cache_capacity = 0});
+  EXPECT_FALSE(uncached.apply_replicated_record("anything"));
+  EXPECT_EQ(uncached.metrics().snapshot().repl_apply_errors, 1u);
+}
+
 TEST(Service, PerSolverCountsTracked) {
   SchedulingService service({.threads = 1});
   (void)service.submit(request_for(example_instance(), 57.0, "cg")).get();

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <thread>
@@ -73,6 +74,31 @@ TEST(WireCache, LruPrefersRecentlyFoundEntries) {
   EXPECT_NE(cache.find("a"), nullptr);
   EXPECT_EQ(cache.find("b"), nullptr);
   EXPECT_NE(cache.find("c"), nullptr);
+}
+
+TEST(WireCache, TtlExpiresAndRestamps) {
+  std::int64_t now = 0;
+  WireCache::Config config;
+  config.capacity = 8;
+  config.shards = 1;
+  config.ttl_s = 10;
+  config.clock = [&now] { return now; };
+  WireCache cache(config);
+
+  cache.insert("key", "frame");
+  now = 9;
+  EXPECT_NE(cache.find("key"), nullptr);
+  now = 10;  // aged out: fast path must not outlive the result cache
+  EXPECT_EQ(cache.find("key"), nullptr);
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.expired, 1u);
+  EXPECT_EQ(stats.size, 0u);
+
+  // Re-inserting restarts the clock.
+  now = 20;
+  cache.insert("key", "frame");
+  now = 29;
+  EXPECT_NE(cache.find("key"), nullptr);
 }
 
 TEST(WireCache, ClearEmptiesEveryShard) {

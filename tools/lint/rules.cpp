@@ -324,7 +324,10 @@ const std::set<std::string>& sync_type_tokens() {
       "condition_variable", "condition_variable_any", "once_flag",
       "PaddedAtomic", "Mutex",        "SharedMutex",       "mutex",
       "shared_mutex", "timed_mutex",       "recursive_mutex",
-      "shared_timed_mutex"};
+      "shared_timed_mutex",
+      // C++20 coordination primitives: internally synchronized, so a
+      // field of one of these types needs no GUARDED_BY of its own.
+      "counting_semaphore", "binary_semaphore", "latch", "barrier"};
   return types;
 }
 

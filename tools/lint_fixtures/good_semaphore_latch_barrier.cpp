@@ -1,0 +1,28 @@
+// Self-test fixture: C++20 coordination primitives (semaphores,
+// latches, barriers) synchronize themselves, so fields of these types
+// need no MEDCC_GUARDED_BY even in a mutex-holding class.
+// medcc-lint-expect: clean
+#include <barrier>
+#include <deque>
+#include <latch>
+#include <mutex>
+#include <semaphore>
+
+#include "util/thread_annotations.hpp"
+
+namespace medcc::fixture {
+
+class PhasedPipeline {
+ public:
+  void submit(int task);
+
+ private:
+  std::mutex mutex_;
+  std::deque<int> pending_ MEDCC_GUARDED_BY(mutex_);
+  std::counting_semaphore<64> slots_{64};
+  std::binary_semaphore turn_{0};
+  std::latch started_{4};
+  std::barrier<> round_{4};
+};
+
+}  // namespace medcc::fixture

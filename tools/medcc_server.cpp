@@ -7,17 +7,30 @@
 // Usage: medcc_server [--bind ADDR] [--port P] [--threads N]
 //                     [--io-threads N] [--queue N] [--tenant-quota N]
 //                     [--idle-timeout MS] [--cache-dir DIR]
-//                     [--snapshot-interval S]
+//                     [--snapshot-interval S] [--cache-ttl S]
+//                     [--max-inflight N] [--peers HOST:PORT,...]
+//                     [--node-id NAME]
 //
 // With --cache-dir the result cache is durable: the service warm-starts
 // from DIR's snapshot + journal (crash-tolerant; torn tails are cut)
 // and persists every fresh solve, so a restarted server answers repeat
 // requests from the cache instead of re-solving.
+//
+// With --peers the server becomes one replica of a cluster
+// (docs/cluster.md): every locally solved cache entry is pushed to the
+// listed peers over the protocol-v2 replication channel, records
+// arriving from peers are applied into the local cache, and
+// cluster_status requests (tools/medcc_clusterctl) report the
+// per-peer replication state.
 #include <csignal>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
+#include "cluster/config.hpp"
+#include "cluster/replicator.hpp"
 #include "net/server.hpp"
 #include "service/service.hpp"
 #include "util/flags.hpp"
@@ -27,13 +40,15 @@ namespace {
 constexpr const char* kUsage =
     "usage: medcc_server [--bind ADDR] [--port P] [--threads N] "
     "[--io-threads N] [--queue N] [--tenant-quota N] [--idle-timeout MS] "
-    "[--cache-dir DIR] [--snapshot-interval S]\n";
+    "[--cache-dir DIR] [--snapshot-interval S] [--cache-ttl S] "
+    "[--max-inflight N] [--peers HOST:PORT,...] [--node-id NAME]\n";
 
 }  // namespace
 
 int main(int argc, char** argv) {
   medcc::service::ServiceConfig service_config;
   medcc::net::ServerConfig server_config;
+  std::vector<medcc::net::Endpoint> peers;
   // Numeric parsing throws on junk or out-of-range values; answer with
   // the usage string instead of an uncaught-exception abort.
   try {
@@ -61,13 +76,23 @@ int main(int argc, char** argv) {
       } else if (arg == "--snapshot-interval" && i + 1 < argc) {
         service_config.snapshot_interval_s =
             medcc::util::parse_flag_double(argv[++i]);
+      } else if (arg == "--cache-ttl" && i + 1 < argc) {
+        service_config.cache_ttl_s = static_cast<std::int64_t>(
+            medcc::util::parse_flag_size(argv[++i]));
+      } else if (arg == "--max-inflight" && i + 1 < argc) {
+        server_config.max_inflight_frames =
+            medcc::util::parse_flag_size(argv[++i]);
+      } else if (arg == "--peers" && i + 1 < argc) {
+        peers = medcc::cluster::parse_peer_list(argv[++i]);
+      } else if (arg == "--node-id" && i + 1 < argc) {
+        server_config.node_id = argv[++i];
       } else {
         std::cerr << kUsage;
         return 2;
       }
     }
-  } catch (const std::exception&) {
-    std::cerr << "medcc_server: invalid argument value\n" << kUsage;
+  } catch (const std::exception& ex) {
+    std::cerr << "medcc_server: " << ex.what() << "\n" << kUsage;
     return 2;
   }
 
@@ -84,14 +109,50 @@ int main(int argc, char** argv) {
   }
 
   try {
+    // Construction order is the wiring order: the replicator exists
+    // before the service (whose on_cache_insert publishes into it) and
+    // the service before the server (whose hooks call into it);
+    // destruction unwinds the reverse way, so nothing dangles.
+    std::unique_ptr<medcc::cluster::Replicator> replicator;
+    if (!peers.empty()) {
+      medcc::cluster::ClusterConfig cluster_config;
+      cluster_config.node_id = server_config.node_id;
+      cluster_config.peers = peers;
+      replicator =
+          std::make_unique<medcc::cluster::Replicator>(cluster_config);
+      service_config.on_cache_insert =
+          [repl = replicator.get()](std::string payload) {
+            repl->publish(payload);
+          };
+    }
+
     medcc::service::SchedulingService service(service_config);
+
+    server_config.repl_apply =
+        [&service](std::string_view payload) {
+          return service.apply_replicated_record(payload);
+        };
+    server_config.cluster_status =
+        [&service, repl = replicator.get(),
+         node_id = server_config.node_id]() {
+          medcc::net::ClusterStatus status;
+          if (repl != nullptr) status = repl->status();
+          status.node_id = node_id;
+          const auto snapshot = service.metrics().snapshot();
+          status.repl_applied = snapshot.repl_applied;
+          status.repl_apply_errors = snapshot.repl_apply_errors;
+          return status;
+        };
+
     medcc::net::Server server(service, server_config);
+    if (replicator != nullptr) replicator->start();
     std::cout << "medcc_server listening on " << server_config.bind_address
               << ":" << server.port() << " (" << service.thread_count()
               << " workers, " << server.reactor_count() << " reactors, cache "
               << (service.cache_enabled() ? "on" : "off")
               << ", persist "
-              << (service.persistence_enabled() ? "on" : "off") << ")"
+              << (service.persistence_enabled() ? "on" : "off")
+              << ", peers " << peers.size() << ")"
               << std::endl;
 
     int signal = 0;
@@ -102,6 +163,7 @@ int main(int argc, char** argv) {
     std::cout << "medcc_server: caught signal " << signal
               << ", draining..." << std::endl;
     server.stop();
+    if (replicator != nullptr) replicator->stop();
     service.drain();
 
     const auto wire = server.counters();
@@ -113,6 +175,9 @@ int main(int argc, char** argv) {
               << "idle_closed " << wire.idle_closed << "\n"
               << "dropped_responses " << wire.dropped_responses << "\n"
               << "backpressure_paused " << wire.backpressure_paused << "\n"
+              << "flow_control_rejects " << wire.flow_control_rejects << "\n"
+              << "hellos " << wire.hellos << "\n"
+              << "repl_records_in " << wire.repl_records_in << "\n"
               << "--- metrics ---\n"
               << service.metrics().dump_text();
   } catch (const std::exception& ex) {
