@@ -24,9 +24,20 @@
 //     requests (the survivors answer every tenant from their
 //     replicated caches) and at least one observed failover.
 //
+//  4. Trace overhead (--trace-overhead): the hit-path blast untraced
+//     vs with tracing on end to end (client mints a context per
+//     request, the server records spans/aggregates, head sampling at
+//     its default 1-in-64). Interleaved best-of-3 each way; asserts
+//     the traced ns/request stays within 5% of the untraced baseline
+//     -- the budget docs/observability.md promises for always-on
+//     tracing (relaxed to 15% on single-core hosts, where the client's
+//     minting serializes into the measured path instead of overlapping
+//     with it).
+//
 // Usage: net_throughput [--requests N] [--threads T] [--connections C]
 //                       [--window W] [--tiles K] [--seed S]
-//                       [--smoke] [--cluster] [--json PATH]
+//                       [--smoke] [--cluster] [--trace-overhead]
+//                       [--json PATH]
 // --json writes the numbers under schema "medcc-bench-serving/v1"
 // (documented in docs/perf.md); CI uploads it as the tracked baseline.
 #include <algorithm>
@@ -48,6 +59,7 @@
 #include "net/cluster_client.hpp"
 #include "net/endpoint.hpp"
 #include "net/server.hpp"
+#include "obs/trace.hpp"
 #include "sched/instance.hpp"
 #include "service/service.hpp"
 #include "util/flags.hpp"
@@ -73,6 +85,7 @@ struct Options {
   std::uint64_t seed = 20130801;  // ICPP'13
   bool smoke = false;
   bool cluster = false;
+  bool trace_overhead = false;
   std::string json_path;
 };
 
@@ -104,6 +117,8 @@ Options parse(int argc, char** argv) {
         opt.smoke = true;
       } else if (arg == "--cluster") {
         opt.cluster = true;
+      } else if (arg == "--trace-overhead") {
+        opt.trace_overhead = true;
       } else if (arg == "--json") {
         opt.json_path = next();
       } else {
@@ -165,25 +180,32 @@ struct BlastReport {
 
 /// Starts a fresh service + server, primes the caches with one request,
 /// then blasts `opt.requests` verbatim duplicates from `client_threads`
-/// MultiClients and reports aggregate client-side numbers.
+/// MultiClients and reports aggregate client-side numbers. Non-null
+/// tracers turn on end-to-end tracing: the client mints a context per
+/// request, the server records spans against it.
 BlastReport blast(const Options& opt, const SchedulingRequest& request,
                   std::size_t io_threads, bool wire_cache_on,
-                  std::size_t client_threads) {
+                  std::size_t client_threads,
+                  medcc::obs::Tracer* server_tracer = nullptr,
+                  medcc::obs::Tracer* client_tracer = nullptr) {
   medcc::service::ServiceConfig service_config;
   service_config.threads = 2;
   service_config.queue_capacity = opt.requests + 16;
   service_config.cache_capacity = 4096;
   service_config.wire_cache_capacity = wire_cache_on ? 1024 : 0;
+  service_config.tracer = server_tracer;
   medcc::service::SchedulingService service(std::move(service_config));
 
   medcc::net::ServerConfig server_config;
   server_config.io_threads = io_threads;
+  server_config.tracer = server_tracer;
   medcc::net::Server server(service, server_config);
 
   MultiClientConfig client_config;
   client_config.port = server.port();
   client_config.connections = opt.connections;
   client_config.window = opt.window;
+  client_config.tracer = client_tracer;
 
   // Prime: the first occurrence pays the solver; afterwards the result
   // cache (and, when enabled, the wire cache) hold the answer, so the
@@ -294,6 +316,136 @@ void write_json(const std::string& path, const Options& opt,
 }
 
 // ---------------------------------------------------------------------
+// --trace-overhead: hit path untraced vs traced, best of 3
+// ---------------------------------------------------------------------
+
+void write_trace_json(const std::string& path, const Options& opt,
+                      double untraced_ns, double traced_ns,
+                      double overhead_pct,
+                      const medcc::obs::TracerSnapshot& client,
+                      const medcc::obs::TracerSnapshot& server) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "FAIL: cannot write " << path << "\n";
+    std::exit(1);
+  }
+  out << "{\n"
+      << "  \"schema\": \"medcc-bench-serving/v1\",\n"
+      << "  \"bench\": \"net_throughput\",\n"
+      << "  \"mode\": \""
+      << (opt.smoke ? "trace-overhead-smoke" : "trace-overhead") << "\",\n"
+      << "  \"host_cores\": " << std::thread::hardware_concurrency() << ",\n"
+      << "  \"requests\": " << opt.requests << ",\n"
+      << "  \"trace_overhead\": {\n"
+      << "    \"untraced_ns_op\": " << untraced_ns << ",\n"
+      << "    \"traced_ns_op\": " << traced_ns << ",\n"
+      << "    \"overhead_pct\": " << overhead_pct << ",\n"
+      << "    \"client_contexts_minted\": " << client.started << ",\n"
+      << "    \"client_sampled\": " << client.sampled << ",\n"
+      << "    \"server_fastpath_spans\": "
+      << server.stages[static_cast<std::size_t>(
+             medcc::obs::Stage::wire_fastpath)].count
+      << "\n"
+      << "  }\n}\n";
+}
+
+/// The --trace-overhead entry point: hit-path blasts with tracing off
+/// vs on (default head sampling), best of 3 each; the traced path must
+/// stay within 5% of the untraced ns/request.
+int run_trace_overhead_mode(const Options& base_opt,
+                            const SchedulingRequest& request) {
+  // A per-request delta of a few percent needs long blasts to rise
+  // above loopback scheduling noise; requests are ~1.5us each on the
+  // fast path, so even the lengthened smoke stays fast.
+  Options opt = base_opt;
+  opt.requests = std::max<std::size_t>(opt.requests, 6000);
+
+  std::cout << "=== net_throughput --trace-overhead: hit path ===\n"
+            << "requests=" << opt.requests << " connections="
+            << opt.connections << " window=" << opt.window
+            << " sample_every="
+            << medcc::obs::Tracer::Config{}.sample_every << "\n\n";
+
+  // One tracer pair across the traced runs; counters accumulate.
+  medcc::obs::Tracer server_tracer;
+  medcc::obs::Tracer client_tracer;
+  // Interleaved best-of-N: alternating untraced/traced runs spreads
+  // slow drift (thermal, background load) across both sides instead of
+  // biasing whichever side ran last.
+  constexpr int kRuns = 3;
+  double untraced_ns = 0.0;
+  double traced_ns = 0.0;
+  std::uint64_t traced_fastpath = 0;
+  for (int run = 0; run < kRuns; ++run) {
+    const BlastReport untraced = blast(opt, request, 1, true, 1);
+    if (run == 0 || untraced.ns_per_request < untraced_ns)
+      untraced_ns = untraced.ns_per_request;
+    const BlastReport traced =
+        blast(opt, request, 1, true, 1, &server_tracer, &client_tracer);
+    if (run == 0 || traced.ns_per_request < traced_ns)
+      traced_ns = traced.ns_per_request;
+    traced_fastpath = traced.fastpath_hits;
+  }
+
+  const medcc::obs::TracerSnapshot client_snap = client_tracer.snapshot();
+  const medcc::obs::TracerSnapshot server_snap = server_tracer.snapshot();
+  const double overhead_pct =
+      untraced_ns > 0.0 ? (traced_ns - untraced_ns) / untraced_ns * 100.0
+                        : 0.0;
+
+  // On a single-core host the client's context minting serializes into
+  // the server's hit path instead of overlapping with it through the
+  // pipelined window (and run-to-run scheduling noise alone is a few
+  // percent), so the 5% budget only binds from 2 cores; below that a
+  // relaxed 15% bound still catches real regressions.
+  const unsigned cores = std::thread::hardware_concurrency();
+  const double budget_pct = cores >= 2 ? 5.0 : 15.0;
+
+  medcc::util::Table table({"hit path", "ns/req"});
+  table.add_row({"untraced", medcc::util::fmt(untraced_ns)});
+  table.add_row({"traced (sampled)", medcc::util::fmt(traced_ns)});
+  std::cout << table.render() << "\n"
+            << "trace overhead: " << medcc::util::fmt(overhead_pct)
+            << "% (budget " << medcc::util::fmt(budget_pct) << "%"
+            << (cores < 2 ? ", relaxed: single-core host" : "") << ")\n"
+            << "client contexts minted: " << client_snap.started
+            << " (sampled " << client_snap.sampled << ")\n"
+            << "server fast-path spans: "
+            << server_snap.stages[static_cast<std::size_t>(
+                   medcc::obs::Stage::wire_fastpath)].count
+            << "\n";
+
+  if (!opt.json_path.empty())
+    write_trace_json(opt.json_path, opt, untraced_ns, traced_ns,
+                     overhead_pct, client_snap, server_snap);
+
+  // The traced stream must actually have been traced, on the fast path.
+  if (traced_fastpath < opt.requests) {
+    std::cerr << "FAIL: traced run left the fast path (" << traced_fastpath
+              << " of " << opt.requests << " hits)\n";
+    return 1;
+  }
+  if (client_snap.started < static_cast<std::uint64_t>(opt.requests)) {
+    std::cerr << "FAIL: client minted " << client_snap.started
+              << " trace contexts for " << opt.requests * kRuns
+              << " traced requests\n";
+    return 1;
+  }
+  if (server_snap.stages[static_cast<std::size_t>(
+          medcc::obs::Stage::wire_fastpath)].count == 0) {
+    std::cerr << "FAIL: server tracer recorded no fast-path spans\n";
+    return 1;
+  }
+  if (overhead_pct > budget_pct) {
+    std::cerr << "FAIL: trace overhead " << overhead_pct
+              << "% above the " << budget_pct << "% budget\n";
+    return 1;
+  }
+  std::cout << (opt.smoke ? "smoke OK\n" : "OK\n");
+  return 0;
+}
+
+// ---------------------------------------------------------------------
 // --cluster: three in-process replicas, mid-run kill
 // ---------------------------------------------------------------------
 
@@ -343,10 +495,11 @@ ClusterReport run_cluster(const Options& opt,
     service_config.threads = 2;
     service_config.queue_capacity = opt.requests + 16;
     service_config.cache_capacity = 4096;
-    service_config.on_cache_insert = [slot = node.repl_slot](
-                                         std::string payload) {
+    service_config.on_cache_insert =
+        [slot = node.repl_slot](std::string payload,
+                                medcc::obs::TraceContext trace) {
       if (auto* repl = slot->load(std::memory_order_acquire))
-        repl->publish(payload);
+        repl->publish(payload, trace);
     };
     node.service = std::make_unique<medcc::service::SchedulingService>(
         std::move(service_config));
@@ -577,6 +730,7 @@ int main(int argc, char** argv) {
   const Options opt = parse(argc, argv);
   const SchedulingRequest request = build_request(opt);
   if (opt.cluster) return run_cluster_mode(opt, request);
+  if (opt.trace_overhead) return run_trace_overhead_mode(opt, request);
   const unsigned cores = std::thread::hardware_concurrency();
 
   std::cout << "=== net_throughput: serving-path benchmark ===\n"

@@ -40,7 +40,8 @@ void Replicator::stop() {
     if (peer->thread.joinable()) peer->thread.join();
 }
 
-void Replicator::publish(const std::string& payload) {
+void Replicator::publish(const std::string& payload,
+                         obs::TraceContext trace) {
   if (stop_.load(std::memory_order_relaxed)) return;
   for (auto& peer : peers_) {
     {
@@ -49,7 +50,7 @@ void Replicator::publish(const std::string& payload) {
         peer->queue.pop_front();  // oldest loses to freshest
         ++peer->dropped;
       }
-      peer->queue.push_back(payload);
+      peer->queue.push_back(net::ReplRecord{payload, trace});
     }
     peer->cv.notify_one();
   }
@@ -98,6 +99,7 @@ void Replicator::sender_loop(Peer& peer) {
 
   util::Backoff backoff(config_.backoff_initial_ms, config_.backoff_cap_ms);
   bool replicating = false;
+  bool peer_tracing = false;
 
   while (!stop_.load(std::memory_order_relaxed)) {
     if (!replicating) {
@@ -106,13 +108,16 @@ void Replicator::sender_loop(Peer& peer) {
       // for v1_retry_ms; a transport fault backs off exponentially.
       net::Hello offer;
       offer.version = net::kMaxVersion;
-      offer.features = net::kFeatureReplication;
+      offer.features = net::kFeatureReplication | net::kFeatureTracing;
       offer.node_id = config_.node_id;
       try {
         const net::Hello granted = client.hello(offer);
         if (granted.version >= net::kVersion2 &&
             (granted.features & net::kFeatureReplication) != 0) {
           replicating = true;
+          // Trace suffixes only go to peers that negotiated them: a
+          // pre-tracing v2 peer would reject the trailing bytes.
+          peer_tracing = (granted.features & net::kFeatureTracing) != 0;
           backoff.reset();
           const util::MutexLock lock(peer.mutex);
           peer.state = "connected";
@@ -139,7 +144,7 @@ void Replicator::sender_loop(Peer& peer) {
     }
 
     // Drain a burst (blocking until records arrive or stop()).
-    std::vector<std::string> batch;
+    std::vector<net::ReplRecord> batch;
     {
       util::MutexLock lock(peer.mutex);
       while (!stop_.load(std::memory_order_relaxed) && peer.queue.empty())
@@ -150,6 +155,8 @@ void Replicator::sender_loop(Peer& peer) {
       }
     }
     if (batch.empty()) continue;  // woken by stop()
+    if (!peer_tracing)
+      for (net::ReplRecord& record : batch) record.trace = {};
 
     try {
       const std::vector<net::ReplAck> acks = client.repl_insert_batch(batch);

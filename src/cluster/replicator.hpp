@@ -59,8 +59,12 @@ public:
 
   /// Enqueues one encoded cache record for every peer (bounded queues,
   /// oldest dropped on overflow). Thread-safe and cheap -- called from
-  /// solve workers via ServiceConfig::on_cache_insert.
-  void publish(const std::string& payload);
+  /// solve workers via ServiceConfig::on_cache_insert. `trace` is the
+  /// context of the solve that produced the record (invalid = untraced);
+  /// it rides the repl_insert frame to peers that negotiated
+  /// kFeatureTracing, so the apply on the far side stays on the origin
+  /// request's trace id.
+  void publish(const std::string& payload, obs::TraceContext trace = {});
 
   /// Per-peer replication view (addresses, states, counters). The
   /// node-level fields (repl_applied and friends) are left zero: they
@@ -76,7 +80,7 @@ private:
     mutable util::Mutex mutex;
     /// Internally synchronized; always signalled with `mutex` held.
     MEDCC_NOT_GUARDED std::condition_variable cv;
-    std::deque<std::string> queue MEDCC_GUARDED_BY(mutex);
+    std::deque<net::ReplRecord> queue MEDCC_GUARDED_BY(mutex);
     std::string state MEDCC_GUARDED_BY(mutex) = "connecting";
     std::uint16_t version MEDCC_GUARDED_BY(mutex) = 0;
     std::uint64_t sent MEDCC_GUARDED_BY(mutex) = 0;

@@ -220,7 +220,10 @@ service::SchedulingResponse Client::solve(
   const auto deadline = Deadline::from_timeout(config_.request_timeout_ms);
   const std::uint64_t id = next_id_++;
   try {
-    send_bytes(encode_solve_request(request, id), deadline);
+    send_bytes(request.trace.valid()
+                   ? encode_traced_solve_request(request, request.trace, id)
+                   : encode_solve_request(request, id),
+               deadline);
     FrameHeader header;
     const std::string body = read_frame(header, deadline);
     return response_from_frame(header, body, id, id);
@@ -242,7 +245,10 @@ std::vector<service::SchedulingResponse> Client::solve_batch(
   try {
     std::string burst;
     for (std::size_t i = 0; i < requests.size(); ++i)
-      burst += encode_solve_request(requests[i], base + i);
+      burst += requests[i].trace.valid()
+                   ? encode_traced_solve_request(requests[i],
+                                                 requests[i].trace, base + i)
+                   : encode_solve_request(requests[i], base + i);
     send_bytes(burst, deadline);
 
     std::vector<service::SchedulingResponse> responses(requests.size());
@@ -357,6 +363,21 @@ void patch_request_id(std::string& buffer, std::size_t at, std::uint64_t id) {
     buffer[at + 8 + i] = static_cast<char>((id >> (8 * i)) & 0xffu);
 }
 
+/// Patches the 17-byte trace context at the start of the body of the
+/// traced_solve_request frame that starts at `at` in `buffer` (little-
+/// endian id halves + flags byte, mirroring append_trace_context). The
+/// inner solve_request bytes behind it stay verbatim.
+void patch_trace_context(std::string& buffer, std::size_t at,
+                         const obs::TraceContext& context) {
+  const std::size_t base = at + kHeaderSize;
+  for (std::size_t i = 0; i < 8; ++i)
+    buffer[base + i] = static_cast<char>((context.id.hi >> (8 * i)) & 0xffu);
+  for (std::size_t i = 0; i < 8; ++i)
+    buffer[base + 8 + i] =
+        static_cast<char>((context.id.lo >> (8 * i)) & 0xffu);
+  buffer[base + 16] = static_cast<char>(context.sampled ? 1 : 0);
+}
+
 }  // namespace
 
 MultiClient::MultiClient() : MultiClient(MultiClientConfig()) {}
@@ -369,7 +390,11 @@ LoadStats MultiClient::run(const service::SchedulingRequest& request,
   LoadStats stats;
   if (total == 0) return stats;
 
-  const std::string frame = encode_solve_request(request, 0);
+  obs::Tracer* const tracer = config_.tracer;
+  const std::string frame =
+      tracer != nullptr
+          ? encode_traced_solve_request(request, tracer->new_context(), 0)
+          : encode_solve_request(request, 0);
   const std::size_t n_conns =
       std::min(std::max<std::size_t>(1, config_.connections), total);
   const std::size_t window = std::max<std::size_t>(1, config_.window);
@@ -389,6 +414,8 @@ LoadStats MultiClient::run(const service::SchedulingRequest& request,
       const std::size_t at = conn.outbuf.size();
       conn.outbuf.append(frame);
       patch_request_id(conn.outbuf, at, next_id);
+      if (tracer != nullptr)
+        patch_trace_context(conn.outbuf, at, tracer->new_context());
       conn.in_flight.emplace(next_id, std::chrono::steady_clock::now());
       ++next_id;
       ++assigned;
@@ -518,6 +545,14 @@ Hello Client::hello(const Hello& offer) {
 
 std::vector<ReplAck> Client::repl_insert_batch(
     const std::vector<std::string>& payloads) {
+  std::vector<ReplRecord> records(payloads.size());
+  for (std::size_t i = 0; i < payloads.size(); ++i)
+    records[i].payload = payloads[i];
+  return repl_insert_batch(records);
+}
+
+std::vector<ReplAck> Client::repl_insert_batch(
+    const std::vector<ReplRecord>& payloads) {
   if (payloads.empty()) return {};
   connect();
   const auto deadline = Deadline::from_timeout(config_.request_timeout_ms);
@@ -526,7 +561,8 @@ std::vector<ReplAck> Client::repl_insert_batch(
   try {
     std::string burst;
     for (std::size_t i = 0; i < payloads.size(); ++i)
-      burst += encode_repl_insert(payloads[i], base + i);
+      burst += encode_repl_insert(payloads[i].payload, base + i,
+                                  payloads[i].trace);
     send_bytes(burst, deadline);
 
     std::vector<ReplAck> acks(payloads.size());
@@ -582,6 +618,30 @@ ClusterStatus Client::cluster_status() {
       throw NetError("client: unexpected frame answering cluster status");
     }
     return decode_cluster_status_response(body);
+  } catch (...) {
+    close();
+    throw;
+  }
+}
+
+TraceDump Client::trace_dump(std::uint32_t max_traces) {
+  connect();
+  const auto deadline = Deadline::from_timeout(config_.request_timeout_ms);
+  const std::uint64_t id = next_id_++;
+  try {
+    send_bytes(encode_trace_dump_request(max_traces, id), deadline);
+    FrameHeader header;
+    const std::string body = read_frame(header, deadline);
+    if (header.type != FrameType::trace_dump_response ||
+        header.request_id != id) {
+      if (header.type == FrameType::error) {
+        const WireFault fault = decode_error(body);
+        throw NetError(std::string("client: trace dump failed: wire ") +
+                       to_string(fault.code) + ": " + fault.message);
+      }
+      throw NetError("client: unexpected frame answering trace dump");
+    }
+    return decode_trace_dump_response(body);
   } catch (...) {
     close();
     throw;

@@ -68,7 +68,9 @@ public:
   /// One round trip. Protocol-level faults that the server scopes to
   /// this request (an error frame echoing our id) come back as a
   /// `failed` response carrying the fault text; stream-level faults
-  /// close the connection and throw NetError.
+  /// close the connection and throw NetError. A request carrying a
+  /// valid trace context goes out as a traced_solve_request (v2
+  /// tracing feature) -- the response bytes are identical either way.
   [[nodiscard]] service::SchedulingResponse solve(
       const service::SchedulingRequest& request);
 
@@ -89,15 +91,26 @@ public:
   /// still throw NetError.
   [[nodiscard]] Hello hello(const Hello& offer);
 
-  /// Pipelines one repl_insert per payload (encoded cache records) and
-  /// collects the acks back into payload order. Replication is a
-  /// v2-only exchange: call hello() first and only replicate when the
-  /// peer granted kVersion2 + kFeatureReplication.
+  /// Pipelines one repl_insert per record (encoded cache record +
+  /// optional trace context) and collects the acks back into record
+  /// order. Replication is a v2-only exchange: call hello() first and
+  /// only replicate when the peer granted kVersion2 +
+  /// kFeatureReplication; only attach trace contexts when it also
+  /// granted kFeatureTracing.
+  [[nodiscard]] std::vector<ReplAck> repl_insert_batch(
+      const std::vector<ReplRecord>& records);
+  /// Payload-only convenience: every record untraced.
   [[nodiscard]] std::vector<ReplAck> repl_insert_batch(
       const std::vector<std::string>& payloads);
 
   /// The server's membership/replication view (medcc_clusterctl).
   [[nodiscard]] ClusterStatus cluster_status();
+
+  /// Reads back the server's tracer state: counters, per-stage
+  /// aggregates, and up to `max_traces` retained traces (newest first;
+  /// 0 = counters only). A tracerless server answers with enabled =
+  /// false. Tracing is a v2-only exchange, gated like replication.
+  [[nodiscard]] TraceDump trace_dump(std::uint32_t max_traces = 64);
 
 private:
   struct Deadline;  // steady-clock deadline helper (see client.cpp)
@@ -127,6 +140,12 @@ struct MultiClientConfig {
   /// Bound on each TCP connection establishment; 0 = no bound.
   double connect_timeout_ms = 10000.0;
   std::size_t max_frame_body = kDefaultMaxBody;
+  /// When set, every send goes out as a traced_solve_request with a
+  /// freshly minted context (patched in place next to the request id,
+  /// leaving the inner body verbatim so the server's wire cache still
+  /// hits). bench/net_throughput --trace-overhead uses this to price
+  /// tracing on the fast path. Not owned; must outlive run().
+  obs::Tracer* tracer = nullptr;
 };
 
 /// Aggregate outcome of one MultiClient::run.

@@ -89,6 +89,19 @@ std::size_t ClusterClient::primary_index(std::string_view tenant) const {
 
 service::SchedulingResponse ClusterClient::solve(
     const service::SchedulingRequest& request) {
+  // One trace context for the whole logical solve: a failover retry
+  // reuses it verbatim, so the survivor's server-side spans land under
+  // the same 128-bit id as our client_attempt/client_failover spans.
+  service::SchedulingRequest routed = request;
+  obs::Tracer* const tracer = config_.tracer;
+  std::shared_ptr<obs::Trace> trace_buffer;
+  std::int64_t trace_started = 0;
+  if (tracer != nullptr) {
+    if (!routed.trace.valid()) routed.trace = tracer->new_context();
+    trace_started = obs::Tracer::now_ns();
+    trace_buffer = tracer->open(routed.trace);
+  }
+
   const std::vector<std::size_t> order = route(request.tenant);
   const auto now = clock_();
 
@@ -111,8 +124,10 @@ service::SchedulingResponse ClusterClient::solve(
     Peer& peer = peers_[candidates[attempt]];
     ++peer.sent;
     if (candidates[attempt] != order.front()) ++peer.failovers;
+    const std::int64_t attempt_start =
+        tracer != nullptr ? obs::Tracer::now_ns() : 0;
     try {
-      service::SchedulingResponse response = peer.client->solve(request);
+      service::SchedulingResponse response = peer.client->solve(routed);
       // A draining replica answers "shutting_down" instead of solving;
       // the taxonomy says retry elsewhere, so treat it like a
       // transport fault and keep walking the ring.
@@ -121,16 +136,37 @@ service::SchedulingResponse ClusterClient::solve(
         ++peer.errors;
         peer.down_until = clock_() + cooldown;
         last_error = "replica is shutting down";
+        if (tracer != nullptr)
+          tracer->record(trace_buffer, obs::Stage::client_failover,
+                         attempt_start, obs::Tracer::now_ns());
         continue;
       }
       peer.down_until = {};
       ++peer.ok;
+      if (tracer != nullptr) {
+        const std::int64_t done = obs::Tracer::now_ns();
+        tracer->record(trace_buffer, obs::Stage::client_attempt,
+                       attempt_start, done);
+        tracer->record(trace_buffer, obs::Stage::request, trace_started,
+                       done);
+        tracer->finish(trace_buffer, "client");
+      }
       return response;
     } catch (const NetError& e) {
       ++peer.errors;
       peer.down_until = clock_() + cooldown;
       last_error = e.what();
+      // The wasted try IS the failover cost: span it so dumps show
+      // where a retried request's extra latency went.
+      if (tracer != nullptr)
+        tracer->record(trace_buffer, obs::Stage::client_failover,
+                       attempt_start, obs::Tracer::now_ns());
     }
+  }
+  if (tracer != nullptr) {
+    tracer->record(trace_buffer, obs::Stage::request, trace_started,
+                   obs::Tracer::now_ns());
+    tracer->finish(trace_buffer, "client");
   }
   throw NetError("cluster: every replica failed for tenant '" +
                  request.tenant + "': " + last_error);

@@ -56,6 +56,13 @@ struct ClusterClientConfig {
   std::size_t max_frame_body = kDefaultMaxBody;
   /// Injectable time source for the down-cooldown (tests).
   std::function<std::chrono::steady_clock::time_point()> clock{};
+  /// When set, every logical solve carries ONE trace context across all
+  /// of its failover attempts (minted here unless the request already
+  /// has one), so a retried request keeps a single trace id from the
+  /// first attempt through the survivor that answered. The client
+  /// records client_attempt / client_failover spans into this tracer
+  /// under origin "client". Not owned; must outlive the ClusterClient.
+  obs::Tracer* tracer = nullptr;
 };
 
 class ClusterClient {

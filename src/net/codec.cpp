@@ -146,7 +146,7 @@ std::optional<FrameHeader> parse_frame_header(std::string_view buffer,
          "wire: unsupported protocol version " + std::to_string(version));
   const std::uint16_t raw_type = reader.u16();
   const auto last_type =
-      static_cast<std::uint16_t>(FrameType::cluster_status_response);
+      static_cast<std::uint16_t>(FrameType::trace_dump_response);
   if (raw_type < static_cast<std::uint16_t>(FrameType::solve_request) ||
       raw_type > last_type)
     fail(WireError::bad_frame_type,
@@ -340,6 +340,51 @@ service::SchedulingRequest decode_solve_request(std::string_view body) {
   return request;
 }
 
+// -- trace context / traced solve ------------------------------------------
+
+void append_trace_context(std::string& out, const obs::TraceContext& context) {
+  WireWriter writer;
+  writer.u64(context.id.hi);
+  writer.u64(context.id.lo);
+  writer.u8(context.sampled ? 1 : 0);
+  out.append(writer.bytes());
+}
+
+obs::TraceContext read_trace_context(WireReader& reader) {
+  obs::TraceContext context;
+  context.id.hi = reader.u64();
+  context.id.lo = reader.u64();
+  const std::uint8_t flags = reader.u8();
+  if ((flags & ~1u) != 0)
+    fail(WireError::bad_body, "wire: unknown trace-context flags");
+  context.sampled = (flags & 1u) != 0;
+  return context;
+}
+
+std::string encode_traced_solve_request(
+    const service::SchedulingRequest& request,
+    const obs::TraceContext& context, std::uint64_t request_id) {
+  // Body = 17-byte trace prefix + a verbatim solve_request body, so
+  // servers can key the wire cache on (and decoders reuse) the inner
+  // bytes unchanged.
+  const std::string inner = encode_solve_request(request, request_id);
+  std::string body;
+  body.reserve(kTraceContextSize + inner.size() - kHeaderSize);
+  append_trace_context(body, context);
+  body.append(inner, kHeaderSize, inner.size() - kHeaderSize);
+  return encode_frame(FrameType::traced_solve_request, request_id, body);
+}
+
+TracedSolveBody split_traced_solve_request(std::string_view body) {
+  if (body.size() < kTraceContextSize)
+    fail(WireError::truncated, "wire: truncated trace context");
+  WireReader reader(body.substr(0, kTraceContextSize));
+  TracedSolveBody split;
+  split.trace = read_trace_context(reader);
+  split.inner = body.substr(kTraceContextSize);
+  return split;
+}
+
 // -- solve response -------------------------------------------------------
 
 std::string encode_solve_response(const service::SchedulingResponse& response,
@@ -410,7 +455,7 @@ std::string encode_stats_request(StatsFormat format,
 StatsFormat decode_stats_request(std::string_view body) {
   WireReader reader(body);
   const std::uint8_t format = reader.u8();
-  if (format > static_cast<std::uint8_t>(StatsFormat::csv))
+  if (format > static_cast<std::uint8_t>(StatsFormat::prometheus))
     fail(WireError::bad_body, "wire: unknown stats format");
   reader.expect_done();
   return static_cast<StatsFormat>(format);
@@ -501,29 +546,39 @@ Hello decode_hello_response(std::string_view body) {
 // -- replication ----------------------------------------------------------
 
 std::string encode_repl_insert(std::string_view payload,
-                               std::uint64_t request_id) {
+                               std::uint64_t request_id,
+                               const obs::TraceContext& trace) {
   MEDCC_EXPECTS(payload.size() <= kMaxReplPayload);
   // Raw u32 length + bytes (WireWriter::str caps at kMaxString, which
-  // is below the record ceiling).
+  // is below the record ceiling). A valid trace context rides as a
+  // fixed-size suffix so pre-tracing decoders that reject it do so
+  // with a clean trailing_bytes.
   WireWriter writer;
   writer.u32(static_cast<std::uint32_t>(payload.size()));
   std::string body = writer.take();
   body.append(payload.data(), payload.size());
+  if (trace.valid()) append_trace_context(body, trace);
   return encode_frame(FrameType::repl_insert, request_id, body);
 }
 
-std::string decode_repl_insert(std::string_view body) {
+ReplRecord decode_repl_insert(std::string_view body) {
   WireReader reader(body);
   const std::uint32_t len = reader.u32();
   if (len > kMaxReplPayload)
     fail(WireError::limit_exceeded, "wire: replicated record too large");
   if (len > reader.remaining())
     fail(WireError::truncated, "wire: truncated replicated record");
-  std::string payload(body.substr(body.size() - reader.remaining(), len));
-  if (reader.remaining() != len)
+  ReplRecord record;
+  record.payload.assign(body.substr(body.size() - reader.remaining(), len));
+  const std::size_t rest = reader.remaining() - len;
+  if (rest == kTraceContextSize) {
+    WireReader suffix(body.substr(body.size() - kTraceContextSize));
+    record.trace = read_trace_context(suffix);
+  } else if (rest != 0) {
     fail(WireError::trailing_bytes,
          "wire: trailing bytes after replicated record");
-  return payload;
+  }
+  return record;
 }
 
 std::string encode_repl_ack(const ReplAck& ack, std::uint64_t request_id) {
@@ -605,6 +660,114 @@ ClusterStatus decode_cluster_status_response(std::string_view body) {
   }
   reader.expect_done();
   return status;
+}
+
+// -- trace dump -----------------------------------------------------------
+
+std::string encode_trace_dump_request(std::uint32_t max_traces,
+                                      std::uint64_t request_id) {
+  WireWriter writer;
+  writer.u32(max_traces);
+  return encode_frame(FrameType::trace_dump_request, request_id,
+                      writer.bytes());
+}
+
+std::uint32_t decode_trace_dump_request(std::string_view body) {
+  WireReader reader(body);
+  const std::uint32_t max_traces = reader.u32();
+  reader.expect_done();
+  return max_traces;
+}
+
+std::string encode_trace_dump_response(const TraceDump& dump,
+                                       std::uint64_t request_id) {
+  WireWriter writer;
+  writer.str(dump.node_id);
+  writer.u8(dump.enabled ? 1 : 0);
+  writer.u64(dump.started);
+  writer.u64(dump.sampled);
+  writer.u64(dump.completed);
+  writer.u64(dump.dropped);
+  writer.u32(static_cast<std::uint32_t>(dump.stages.size()));
+  for (const obs::StageStat& stat : dump.stages) {
+    writer.u64(stat.count);
+    writer.u64(stat.total_ns);
+  }
+  writer.u32(static_cast<std::uint32_t>(dump.traces.size()));
+  for (const obs::TraceRecord& trace : dump.traces) {
+    writer.u64(trace.id.hi);
+    writer.u64(trace.id.lo);
+    writer.str(trace.origin);
+    writer.u64(static_cast<std::uint64_t>(trace.started_ns));
+    writer.u64(static_cast<std::uint64_t>(trace.total_ns));
+    writer.u8(trace.slow ? 1 : 0);
+    writer.u32(static_cast<std::uint32_t>(trace.spans.size()));
+    for (const obs::Span& span : trace.spans) {
+      writer.u8(static_cast<std::uint8_t>(span.stage));
+      writer.u64(static_cast<std::uint64_t>(span.start_ns));
+      writer.u64(static_cast<std::uint64_t>(span.end_ns));
+    }
+  }
+  return encode_frame(FrameType::trace_dump_response, request_id,
+                      writer.bytes());
+}
+
+TraceDump decode_trace_dump_response(std::string_view body) {
+  WireReader reader(body);
+  TraceDump dump;
+  dump.node_id = reader.str(kMaxString);
+  const std::uint8_t enabled = reader.u8();
+  if (enabled > 1) fail(WireError::bad_body, "wire: bad trace_dump flag");
+  dump.enabled = enabled == 1;
+  dump.started = reader.u64();
+  dump.sampled = reader.u64();
+  dump.completed = reader.u64();
+  dump.dropped = reader.u64();
+  const std::uint32_t stage_count = reader.u32();
+  // A newer peer may report stages this build does not know; extra
+  // entries are read and dropped, missing ones stay zero.
+  if (stage_count > 256)
+    fail(WireError::limit_exceeded, "wire: too many trace stages");
+  reader.expect_fits(stage_count, 16);
+  for (std::uint32_t s = 0; s < stage_count; ++s) {
+    const std::uint64_t count = reader.u64();
+    const std::uint64_t total_ns = reader.u64();
+    if (s < obs::kStageCount) dump.stages[s] = obs::StageStat{count, total_ns};
+  }
+  const std::uint32_t trace_count = reader.u32();
+  if (trace_count > kMaxDumpTraces)
+    fail(WireError::limit_exceeded, "wire: too many traces in dump");
+  reader.expect_fits(trace_count, 8 + 8 + 4 + 8 + 8 + 1 + 4);
+  dump.traces.reserve(trace_count);
+  for (std::uint32_t t = 0; t < trace_count; ++t) {
+    obs::TraceRecord trace;
+    trace.id.hi = reader.u64();
+    trace.id.lo = reader.u64();
+    trace.origin = reader.str(kMaxString);
+    trace.started_ns = static_cast<std::int64_t>(reader.u64());
+    trace.total_ns = static_cast<std::int64_t>(reader.u64());
+    const std::uint8_t slow = reader.u8();
+    if (slow > 1) fail(WireError::bad_body, "wire: bad trace slow flag");
+    trace.slow = slow == 1;
+    const std::uint32_t span_count = reader.u32();
+    if (span_count > kMaxDumpSpans)
+      fail(WireError::limit_exceeded, "wire: too many spans in trace");
+    reader.expect_fits(span_count, 1 + 8 + 8);
+    trace.spans.reserve(span_count);
+    for (std::uint32_t s = 0; s < span_count; ++s) {
+      const std::uint8_t stage = reader.u8();
+      if (stage >= obs::kStageCount)
+        fail(WireError::bad_body, "wire: unknown span stage");
+      obs::Span span;
+      span.stage = static_cast<obs::Stage>(stage);
+      span.start_ns = static_cast<std::int64_t>(reader.u64());
+      span.end_ns = static_cast<std::int64_t>(reader.u64());
+      trace.spans.push_back(span);
+    }
+    dump.traces.push_back(std::move(trace));
+  }
+  reader.expect_done();
+  return dump;
 }
 
 }  // namespace medcc::net

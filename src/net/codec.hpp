@@ -37,12 +37,14 @@
 // The full byte-layout tables live in docs/net.md.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "service/request.hpp"
 #include "util/error.hpp"
 
@@ -78,6 +80,10 @@ enum class FrameType : std::uint16_t {
   repl_ack = 9,
   cluster_status_request = 10, ///< membership/replication inspection
   cluster_status_response = 11,
+  // -- version 2 (tracing extension, kFeatureTracing) --
+  traced_solve_request = 12,   ///< solve_request + trace-context prefix
+  trace_dump_request = 13,     ///< admin: read back retained traces
+  trace_dump_response = 14,
 };
 
 /// Wire error codes carried by FrameType::error (and by CodecError).
@@ -156,9 +162,42 @@ struct FrameHeader {
 [[nodiscard]] service::SchedulingResponse decode_solve_response(
     std::string_view body);
 
+// -- trace context (tracing extension, protocol v2) ------------------------
+
+class WireReader;  // declared with the primitives below
+
+/// Fixed wire size of one trace context: u64 id hi, u64 id lo, u8 flags
+/// (bit 0 = sampled). In a traced_solve_request the context is the
+/// first kTraceContextSize bytes of the body, immediately followed by a
+/// verbatim solve_request body -- servers key the wire cache on the
+/// inner bytes, so traced and untraced duplicates share cache entries.
+inline constexpr std::size_t kTraceContextSize = 17;
+
+/// Appends the 17-byte wire form of `context` to `out`.
+void append_trace_context(std::string& out, const obs::TraceContext& context);
+/// Decodes one trace context through `reader` (throws on truncation).
+[[nodiscard]] obs::TraceContext read_trace_context(WireReader& reader);
+
+/// Full frame wrapping one solve_request body behind a trace context.
+[[nodiscard]] std::string encode_traced_solve_request(
+    const service::SchedulingRequest& request,
+    const obs::TraceContext& context, std::uint64_t request_id);
+
+/// A traced_solve_request body split into its two parts. `inner` views
+/// into the caller's buffer (the verbatim solve_request body bytes).
+struct TracedSolveBody {
+  obs::TraceContext trace;
+  std::string_view inner;
+};
+
+/// Splits a traced_solve_request body; throws CodecError(truncated)
+/// when the trace prefix does not fit. The inner body is NOT decoded.
+[[nodiscard]] TracedSolveBody split_traced_solve_request(
+    std::string_view body);
+
 // -- stats ----------------------------------------------------------------
 
-enum class StatsFormat : std::uint8_t { text = 0, csv = 1 };
+enum class StatsFormat : std::uint8_t { text = 0, csv = 1, prometheus = 2 };
 
 [[nodiscard]] std::string encode_stats_request(StatsFormat format,
                                                std::uint64_t request_id);
@@ -185,6 +224,9 @@ struct WireFault {
 /// Feature bits advertised in the hello exchange. A peer may only rely
 /// on a feature both sides advertised.
 inline constexpr std::uint32_t kFeatureReplication = 1u << 0;
+/// Trace-context propagation: traced_solve_request frames, the
+/// repl_insert trace suffix, and the trace_dump admin exchange.
+inline constexpr std::uint32_t kFeatureTracing = 1u << 1;
 
 /// What one side of the handshake offers (request) or granted
 /// (response). The negotiated version is min(client max, server max).
@@ -209,13 +251,24 @@ struct Hello {
 /// the service produces today, far below the frame body limit.
 inline constexpr std::size_t kMaxReplPayload = 16u << 20;
 
+/// One replicated cache record off the wire: the opaque payload plus
+/// the trace context of the solve that produced it (invalid id when
+/// the sender was untraced or pre-tracing).
+struct ReplRecord {
+  std::string payload;
+  obs::TraceContext trace;
+};
+
 /// Frame for one replicated cache record. The payload is the opaque
 /// service::persistence cache-record encoding (docs/FORMATS.md) -- the
 /// same bytes the durable store journals, so replication and
-/// persistence share one record codec.
-[[nodiscard]] std::string encode_repl_insert(std::string_view payload,
-                                             std::uint64_t request_id);
-[[nodiscard]] std::string decode_repl_insert(std::string_view body);
+/// persistence share one record codec. A valid `trace` context is
+/// appended as a 17-byte suffix (decoders accept both forms, so a
+/// tracing sender interoperates with a pre-tracing v2 peer).
+[[nodiscard]] std::string encode_repl_insert(
+    std::string_view payload, std::uint64_t request_id,
+    const obs::TraceContext& trace = {});
+[[nodiscard]] ReplRecord decode_repl_insert(std::string_view body);
 
 struct ReplAck {
   bool applied = false;
@@ -257,6 +310,36 @@ struct ClusterStatus {
     const ClusterStatus& status, std::uint64_t request_id);
 [[nodiscard]] ClusterStatus decode_cluster_status_response(
     std::string_view body);
+
+// -- trace dump (tracing extension, protocol v2) ---------------------------
+
+/// One node's tracer state as read back by medcc_tracectl: the counter
+/// snapshot, the per-stage aggregate breakdown, and the retained
+/// completed traces (bounded; newest first as the server dumped them).
+struct TraceDump {
+  std::string node_id;
+  bool enabled = false;
+  std::uint64_t started = 0;
+  std::uint64_t sampled = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t dropped = 0;
+  std::array<obs::StageStat, obs::kStageCount> stages{};
+  std::vector<obs::TraceRecord> traces;
+};
+
+/// Ceilings on a trace_dump_response, keeping hostile dumps bounded.
+inline constexpr std::uint64_t kMaxDumpTraces = 4096;
+inline constexpr std::uint64_t kMaxDumpSpans = 1024;
+
+/// `max_traces` caps how many retained traces the server returns
+/// (0 = counters and stage aggregates only).
+[[nodiscard]] std::string encode_trace_dump_request(std::uint32_t max_traces,
+                                                    std::uint64_t request_id);
+[[nodiscard]] std::uint32_t decode_trace_dump_request(std::string_view body);
+
+[[nodiscard]] std::string encode_trace_dump_response(
+    const TraceDump& dump, std::uint64_t request_id);
+[[nodiscard]] TraceDump decode_trace_dump_response(std::string_view body);
 
 // -- primitives (exposed for tests) ---------------------------------------
 

@@ -186,6 +186,8 @@ Server::Counters Server::counters() const {
   c.flow_control_rejects = flow_control_rejects_.load();
   c.hellos = hellos_.load();
   c.repl_records_in = repl_records_in_.load();
+  c.traced_solves = traced_solves_.load();
+  c.trace_dumps = trace_dumps_.load();
   return c;
 }
 
@@ -389,99 +391,74 @@ void Server::handle_frame(Reactor& r, Connection& conn,
   frames_in_.add();
   switch (header.type) {
     case FrameType::solve_request: {
-      if (stopping_.load(std::memory_order_acquire)) {
-        service::SchedulingResponse response;
-        response.status = service::ResponseStatus::rejected;
-        response.reject_reason = service::RejectReason::shutting_down;
-        queue_output(r, conn,
-                     encode_solve_response(response, header.request_id));
-        return;
-      }
-      if (wire_cache_ != nullptr) {
-        // Zero-copy exact-hit fast path: a verbatim duplicate of a
-        // previously answered request is served from the memoized
-        // frame without decoding the body or touching the service.
-        if (const auto frame = wire_cache_->find(body)) {
-          fastpath_hits_.add();
-          service_.metrics().note_wire_fastpath(true);
-          queue_cached_frame(r, conn, *frame, header.request_id);
-          return;
-        }
-        service_.metrics().note_wire_fastpath(false);
-      }
-      if (config_.max_inflight_frames > 0 &&
-          conn.pending >= config_.max_inflight_frames) {
-        // Connection-level flow control: shed THIS request with a
-        // structured reject rather than queueing unbounded worker-side
-        // state for one over-eager pipeliner. The client sees which
-        // request was shed (echoed id) and can back off and resend.
-        flow_control_rejects_.add();
-        service::SchedulingResponse response;
-        response.status = service::ResponseStatus::rejected;
-        response.reject_reason = service::RejectReason::flow_control;
-        service_.metrics().count_response(response);
-        queue_output(r, conn,
-                     encode_solve_response(response, header.request_id));
-        return;
-      }
-      service::SchedulingRequest request;
+      handle_solve(r, conn, header.request_id, body, obs::TraceContext{},
+                   obs::Tracer::now_ns());
+      return;
+    }
+    case FrameType::traced_solve_request: {
+      const std::int64_t started_ns = obs::Tracer::now_ns();
+      TracedSolveBody split;
       try {
-        request = decode_solve_request(body);
+        split = split_traced_solve_request(body);
       } catch (const CodecError& e) {
-        // Bad body, sound framing: report and keep the stream alive.
         protocol_errors_.add();
         queue_output(r, conn,
                      encode_error(e.code(), e.what(), header.request_id));
         return;
       }
-      const std::uint64_t serial = conn.serial;
-      const std::uint64_t id = header.request_id;
-      {
-        const util::MutexLock lock(r.completions->mutex);
-        ++r.completions->outstanding;
+      traced_solves_.add();
+      // A tracerless server still answers: the prefix is pure metadata,
+      // so it is stripped and forgotten rather than refused.
+      handle_solve(
+          r, conn, header.request_id, split.inner,
+          config_.tracer != nullptr ? split.trace : obs::TraceContext{},
+          started_ns);
+      return;
+    }
+    case FrameType::trace_dump_request: {
+      std::uint32_t max_traces = 0;
+      try {
+        max_traces = decode_trace_dump_request(body);
+      } catch (const CodecError& e) {
+        protocol_errors_.add();
+        queue_output(r, conn,
+                     encode_error(e.code(), e.what(), header.request_id));
+        return;
       }
-      ++conn.pending;
-      // The callback captures the shared CompletionQueue, never `this`:
-      // a solve that outlives stop()'s grace period (and possibly the
-      // Server) still posts into live memory and is merely dropped. The
-      // WireCache is service-owned, so `wire` outlives the callback too.
-      service_.submit_async(
-          std::move(request),
-          [queue = r.completions, wire = wire_cache_, serial, id,
-           key = wire_cache_ != nullptr ? std::string(body) : std::string()](
-              service::SchedulingResponse response) {
-            std::string bytes;
-            try {
-              bytes = encode_solve_response(response, id);
-            } catch (...) {
-              // Encoding cannot fail short of OOM; drop rather than die.
-            }
-            if (wire != nullptr && response.ok()) {
-              // Memoize the hit-count-independent template: id 0,
-              // timings zeroed, outcome pinned to hit_exact -- every
-              // other field is a deterministic function of the request
-              // bytes, so the entry never needs invalidation. Inserted
-              // before post() so a client that saw this response can
-              // rely on its verbatim duplicate hitting the fast path.
-              response.queue_delay_ms = 0.0;
-              response.solve_ms = 0.0;
-              response.cache = service::CacheOutcome::hit_exact;
-              try {
-                wire->insert(key, encode_solve_response(response, 0));
-              } catch (...) {
-                // Memoization is an optimization; never fail the reply.
-              }
-            }
-            queue->post(serial, std::move(bytes));
-          });
+      trace_dumps_.add();
+      // A tracerless node answers with an all-zero dump (enabled =
+      // false) so medcc_tracectl can sweep mixed clusters uniformly.
+      TraceDump dump;
+      dump.node_id = config_.node_id;
+      if (config_.tracer != nullptr) {
+        const obs::TracerSnapshot snap = config_.tracer->snapshot();
+        dump.enabled = snap.enabled;
+        dump.started = snap.started;
+        dump.sampled = snap.sampled;
+        dump.completed = snap.completed;
+        dump.dropped = snap.dropped;
+        dump.stages = snap.stages;
+        if (max_traces > 0) dump.traces = config_.tracer->recent(max_traces);
+      }
+      queue_output(r, conn,
+                   encode_trace_dump_response(dump, header.request_id));
       return;
     }
     case FrameType::stats_request: {
       try {
         const StatsFormat format = decode_stats_request(body);
-        const std::string dump = format == StatsFormat::csv
-                                     ? service_.metrics().dump_csv()
-                                     : service_.metrics().dump_text();
+        std::string dump;
+        switch (format) {
+          case StatsFormat::csv:
+            dump = service_.metrics().dump_csv();
+            break;
+          case StatsFormat::prometheus:
+            dump = service_.metrics().dump_prometheus();
+            break;
+          case StatsFormat::text:
+            dump = service_.metrics().dump_text();
+            break;
+        }
         queue_output(r, conn, encode_stats_response(dump, header.request_id));
       } catch (const CodecError& e) {
         protocol_errors_.add();
@@ -508,16 +485,17 @@ void Server::handle_frame(Reactor& r, Connection& conn,
       Hello granted;
       granted.version = std::min(offer.version, kMaxVersion);
       const std::uint32_t features =
-          config_.repl_apply != nullptr ? kFeatureReplication : 0u;
+          (config_.repl_apply != nullptr ? kFeatureReplication : 0u) |
+          (config_.tracer != nullptr ? kFeatureTracing : 0u);
       granted.features = offer.features & features;
       granted.node_id = config_.node_id;
       queue_output(r, conn, encode_hello_response(granted, header.request_id));
       return;
     }
     case FrameType::repl_insert: {
-      std::string payload;
+      ReplRecord record;
       try {
-        payload = decode_repl_insert(body);
+        record = decode_repl_insert(body);
       } catch (const CodecError& e) {
         protocol_errors_.add();
         queue_output(r, conn,
@@ -532,7 +510,16 @@ void Server::handle_frame(Reactor& r, Connection& conn,
       } else {
         // Applying is a decode + sharded cache upsert -- cheap enough
         // for the reactor thread (no solver, no disk write).
-        ack.applied = config_.repl_apply(payload);
+        const std::int64_t apply_start = obs::Tracer::now_ns();
+        ack.applied = config_.repl_apply(record.payload);
+        if (config_.tracer != nullptr && record.trace.valid()) {
+          // The record rode in on the origin request's trace: account
+          // the apply against that id so one trace spans both nodes.
+          config_.tracer->record_remote(record.trace,
+                                        obs::Stage::repl_apply, apply_start,
+                                        obs::Tracer::now_ns(),
+                                        config_.node_id);
+        }
         if (!ack.applied) ack.error = "record rejected";
       }
       queue_output(r, conn, encode_repl_ack(ack, header.request_id));
@@ -556,7 +543,8 @@ void Server::handle_frame(Reactor& r, Connection& conn,
     case FrameType::error:
     case FrameType::hello_response:
     case FrameType::repl_ack:
-    case FrameType::cluster_status_response: {
+    case FrameType::cluster_status_response:
+    case FrameType::trace_dump_response: {
       // Server-to-client frames arriving at the server: protocol abuse.
       protocol_errors_.add();
       conn.reading = false;
@@ -568,6 +556,122 @@ void Server::handle_frame(Reactor& r, Connection& conn,
       return;
     }
   }
+}
+
+void Server::handle_solve(Reactor& r, Connection& conn,
+                          std::uint64_t request_id, std::string_view inner,
+                          obs::TraceContext trace, std::int64_t started_ns) {
+  obs::Tracer* const tracer = config_.tracer;
+  if (stopping_.load(std::memory_order_acquire)) {
+    service::SchedulingResponse response;
+    response.status = service::ResponseStatus::rejected;
+    response.reject_reason = service::RejectReason::shutting_down;
+    queue_output(r, conn, encode_solve_response(response, request_id));
+    return;
+  }
+  if (wire_cache_ != nullptr) {
+    // Zero-copy exact-hit fast path: a verbatim duplicate of a
+    // previously answered request is served from the memoized frame
+    // without decoding the body or touching the service. Traced frames
+    // key on the inner bytes, so traced and untraced duplicates share
+    // one memo entry and one set of response bytes.
+    if (const auto frame = wire_cache_->find(inner)) {
+      fastpath_hits_.add();
+      service_.metrics().note_wire_fastpath(true);
+      if (tracer != nullptr && trace.valid()) {
+        // Single-span, allocation-free accounting: the hit's duration
+        // is already known, so no span buffer is opened (the <5%
+        // fast-path budget, bench/net_throughput --trace-overhead).
+        tracer->record_span(trace, obs::Stage::wire_fastpath, started_ns,
+                            obs::Tracer::now_ns(), config_.node_id);
+      }
+      queue_cached_frame(r, conn, *frame, request_id);
+      return;
+    }
+    service_.metrics().note_wire_fastpath(false);
+  }
+  if (config_.max_inflight_frames > 0 &&
+      conn.pending >= config_.max_inflight_frames) {
+    // Connection-level flow control: shed THIS request with a
+    // structured reject rather than queueing unbounded worker-side
+    // state for one over-eager pipeliner. The client sees which
+    // request was shed (echoed id) and can back off and resend.
+    flow_control_rejects_.add();
+    service::SchedulingResponse response;
+    response.status = service::ResponseStatus::rejected;
+    response.reject_reason = service::RejectReason::flow_control;
+    service_.metrics().count_response(response);
+    queue_output(r, conn, encode_solve_response(response, request_id));
+    return;
+  }
+  service::SchedulingRequest request;
+  try {
+    request = decode_solve_request(inner);
+  } catch (const CodecError& e) {
+    // Bad body, sound framing: report and keep the stream alive.
+    protocol_errors_.add();
+    queue_output(r, conn, encode_error(e.code(), e.what(), request_id));
+    return;
+  }
+  if (tracer != nullptr && trace.valid()) {
+    request.trace = trace;
+    request.trace_buffer = tracer->open(trace);
+    tracer->record(request.trace_buffer, obs::Stage::decode, started_ns,
+                   obs::Tracer::now_ns());
+  }
+  const std::uint64_t serial = conn.serial;
+  const std::uint64_t id = request_id;
+  // Copied out before submit_async so the lambda captures never race
+  // the indeterminately sequenced std::move(request) argument.
+  const obs::TraceContext trace_ctx = request.trace;
+  std::shared_ptr<obs::Trace> trace_buffer = request.trace_buffer;
+  {
+    const util::MutexLock lock(r.completions->mutex);
+    ++r.completions->outstanding;
+  }
+  ++conn.pending;
+  // The callback captures the shared CompletionQueue, never `this`:
+  // a solve that outlives stop()'s grace period (and possibly the
+  // Server) still posts into live memory and is merely dropped. The
+  // WireCache is service-owned, so `wire` outlives the callback too,
+  // and the tracer outlives the service by the ServerConfig contract.
+  service_.submit_async(
+      std::move(request),
+      [queue = r.completions, wire = wire_cache_, serial, id,
+       key = wire_cache_ != nullptr ? std::string(inner) : std::string(),
+       tracer, trace_ctx, buffer = std::move(trace_buffer), started_ns,
+       origin = config_.node_id](service::SchedulingResponse response) {
+        std::string bytes;
+        try {
+          bytes = encode_solve_response(response, id);
+        } catch (...) {
+          // Encoding cannot fail short of OOM; drop rather than die.
+        }
+        if (wire != nullptr && response.ok()) {
+          // Memoize the hit-count-independent template: id 0,
+          // timings zeroed, outcome pinned to hit_exact -- every
+          // other field is a deterministic function of the request
+          // bytes, so the entry never needs invalidation. Inserted
+          // before post() so a client that saw this response can
+          // rely on its verbatim duplicate hitting the fast path.
+          response.queue_delay_ms = 0.0;
+          response.solve_ms = 0.0;
+          response.cache = service::CacheOutcome::hit_exact;
+          try {
+            wire->insert(key, encode_solve_response(response, 0));
+          } catch (...) {
+            // Memoization is an optimization; never fail the reply.
+          }
+        }
+        if (tracer != nullptr && trace_ctx.valid()) {
+          // The edge-to-edge request span closes here, where the
+          // response bytes exist; finish() then decides retention.
+          tracer->record(buffer, obs::Stage::request, started_ns,
+                         obs::Tracer::now_ns());
+          tracer->finish(buffer, origin);
+        }
+        queue->post(serial, std::move(bytes));
+      });
 }
 
 std::string& Server::output_chunk(Reactor& r, Connection& conn,

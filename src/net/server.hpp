@@ -121,6 +121,12 @@ struct ServerConfig {
   /// cluster_status requests. nullptr = answer with an empty peer list
   /// (a single-node server is a degenerate one-replica cluster).
   std::function<ClusterStatus()> cluster_status{};
+  /// Request tracer (docs/observability.md). nullptr = tracing not
+  /// offered: hello responses omit kFeatureTracing, traced_solve_request
+  /// frames are still answered (the trace prefix is stripped and
+  /// ignored) and trace_dump requests return an empty dump. Not owned;
+  /// must outlive the server.
+  obs::Tracer* tracer = nullptr;
 };
 
 class Server {
@@ -159,6 +165,8 @@ public:
     std::uint64_t flow_control_rejects = 0;  ///< max_inflight_frames sheds
     std::uint64_t hellos = 0;            ///< hello handshakes answered
     std::uint64_t repl_records_in = 0;   ///< repl_insert frames received
+    std::uint64_t traced_solves = 0;     ///< traced_solve_request frames
+    std::uint64_t trace_dumps = 0;       ///< trace_dump requests answered
   };
   [[nodiscard]] Counters counters() const;
 
@@ -238,6 +246,13 @@ private:
   /// Handles one complete frame; may queue output or dispatch a solve.
   void handle_frame(Reactor& r, Connection& conn, const FrameHeader& header,
                     std::string_view body);
+  /// Shared tail of solve_request and traced_solve_request: wire-cache
+  /// fast path keyed on the inner (trace-free) request bytes, flow
+  /// control, decode, dispatch. `trace` is invalid for untraced frames;
+  /// `started_ns` anchors the request/decode spans when span-captured.
+  void handle_solve(Reactor& r, Connection& conn, std::uint64_t request_id,
+                    std::string_view inner, obs::TraceContext trace,
+                    std::int64_t started_ns);
   void queue_output(Reactor& r, Connection& conn, std::string bytes);
   /// Fast path: copies a memoized response frame into the tail pooled
   /// chunk and patches the request id in place.
@@ -287,6 +302,8 @@ private:
   util::PaddedAtomic<std::uint64_t> flow_control_rejects_;
   util::PaddedAtomic<std::uint64_t> hellos_;
   util::PaddedAtomic<std::uint64_t> repl_records_in_;
+  util::PaddedAtomic<std::uint64_t> traced_solves_;
+  util::PaddedAtomic<std::uint64_t> trace_dumps_;
 
   /// Sized in the constructor before any thread starts, structurally
   /// immutable afterwards. Last member: stop() joins the reactor

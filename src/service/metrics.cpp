@@ -144,6 +144,22 @@ void MetricsRegistry::count_response(const SchedulingResponse& response) {
   }
 }
 
+void MetricsRegistry::record_solver_latency(std::string_view solver,
+                                            double seconds) {
+  {
+    const util::ReaderMutexLock lock(per_solver_mutex_);
+    const auto it = per_solver_latency_.find(solver);
+    if (it != per_solver_latency_.end()) {
+      it->second->record(seconds);
+      return;
+    }
+  }
+  const util::WriterMutexLock lock(per_solver_mutex_);
+  auto& slot = per_solver_latency_[std::string(solver)];
+  if (slot == nullptr) slot = std::make_unique<LatencyRecorder>();
+  slot->record(seconds);
+}
+
 void MetricsRegistry::queue_entered() {
   const std::int64_t depth = queue_depth_.fetch_add(1) + 1;
   raise_peak(queue_depth_peak_, depth);
@@ -184,6 +200,8 @@ MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
     const util::ReaderMutexLock lock(per_solver_mutex_);
     for (const auto& [name, counter] : per_solver_)
       s.per_solver[name] = counter->load(std::memory_order_relaxed);
+    for (const auto& [name, recorder] : per_solver_latency_)
+      s.per_solver_latency.emplace(name, recorder->snapshot());
   }
   return s;
 }
@@ -260,8 +278,152 @@ std::string render(const MetricsRegistry::Snapshot& s, bool csv) {
   emit_histogram(out, csv, "latency_queue_seconds", s.queue_delay);
   emit_histogram(out, csv, "latency_solve_seconds", s.solve);
   emit_histogram(out, csv, "latency_total_seconds", s.total);
+  for (const auto& [name, hist] : s.per_solver_latency)
+    emit_histogram(out, csv, "latency_solver_" + name + "_seconds", hist);
   emit_histogram(out, csv, "persist_load_seconds", s.persist_load);
   emit_histogram(out, csv, "persist_flush_seconds", s.persist_flush);
+  return out.str();
+}
+
+// -- Prometheus text exposition -------------------------------------------
+
+/// Formats a double the way Prometheus expects ("+Inf" aside, plain
+/// shortest-round-trip is fine; exposition parsers accept any Go-style
+/// float).
+void prom_metric(std::ostringstream& out, std::string_view name,
+                 std::string_view help, std::string_view type) {
+  out << "# HELP " << name << ' ' << help << '\n'
+      << "# TYPE " << name << ' ' << type << '\n';
+}
+
+void prom_counter(std::ostringstream& out, std::string_view name,
+                  std::string_view help, std::uint64_t value,
+                  std::string_view labels = {}) {
+  prom_metric(out, name, help, "counter");
+  out << name << labels << ' ' << value << '\n';
+}
+
+void prom_gauge(std::ostringstream& out, std::string_view name,
+                std::string_view help, double value) {
+  prom_metric(out, name, help, "gauge");
+  out << name << ' ' << value << '\n';
+}
+
+/// One histogram as cumulative le-buckets. `labels` is the inner label
+/// list without braces ("" or `solver="cg"`). The _sum series is
+/// approximated from bucket midpoints (the recorder keeps counts, not
+/// sums); the relative error is bounded by the bucket growth factor.
+/// Interior zero-delta buckets are skipped -- the cumulative form
+/// loses nothing by omission and the page stays small.
+void prom_histogram(std::ostringstream& out, std::string_view name,
+                    std::string_view help, const util::Histogram& hist,
+                    std::string_view labels = {}, bool header = true) {
+  if (header) prom_metric(out, name, help, "histogram");
+  const std::string bucket_open =
+      labels.empty() ? std::string("{")
+                     : "{" + std::string(labels) + ",";
+  const std::string plain =
+      labels.empty() ? std::string() : "{" + std::string(labels) + "}";
+  const auto& edges = hist.edges();
+  std::uint64_t cumulative = 0;
+  double sum = 0.0;
+  for (std::size_t b = 0; b < hist.bucket_count(); ++b) {
+    cumulative += hist.bucket(b);
+    sum += static_cast<double>(hist.bucket(b)) *
+           (edges[b] + edges[b + 1]) / 2.0;
+    if (hist.bucket(b) == 0) continue;
+    out << name << "_bucket" << bucket_open << "le=\"" << edges[b + 1]
+        << "\"} " << cumulative << '\n';
+  }
+  out << name << "_bucket" << bucket_open << "le=\"+Inf\"} " << hist.count()
+      << '\n'
+      << name << "_sum" << plain << ' ' << sum << '\n'
+      << name << "_count" << plain << ' ' << hist.count() << '\n';
+}
+
+std::string render_prometheus(const MetricsRegistry::Snapshot& s) {
+  std::ostringstream out;
+  prom_counter(out, "medcc_requests_total", "Requests admitted or rejected",
+               s.requests_total);
+  prom_metric(out, "medcc_responses_total", "Responses by outcome", "counter");
+  out << "medcc_responses_total{status=\"ok\"} " << s.responses_ok << '\n'
+      << "medcc_responses_total{status=\"failed\"} " << s.responses_failed
+      << '\n';
+  prom_metric(out, "medcc_cache_events_total", "Result-cache outcomes",
+              "counter");
+  out << "medcc_cache_events_total{outcome=\"hit_exact\"} "
+      << s.cache_hits_exact << '\n'
+      << "medcc_cache_events_total{outcome=\"hit_isomorphic\"} "
+      << s.cache_hits_isomorphic << '\n'
+      << "medcc_cache_events_total{outcome=\"miss\"} " << s.cache_misses
+      << '\n'
+      << "medcc_cache_events_total{outcome=\"bypass\"} " << s.cache_bypass
+      << '\n'
+      << "medcc_cache_events_total{outcome=\"expired\"} " << s.cache_expired
+      << '\n';
+  prom_metric(out, "medcc_wire_fastpath_total",
+              "Wire-cache zero-copy fast path outcomes", "counter");
+  out << "medcc_wire_fastpath_total{outcome=\"hit\"} " << s.wire_fastpath_hits
+      << '\n'
+      << "medcc_wire_fastpath_total{outcome=\"miss\"} "
+      << s.wire_fastpath_misses << '\n';
+  prom_metric(out, "medcc_rejected_total", "Rejections by reason", "counter");
+  out << "medcc_rejected_total{reason=\"queue_full\"} "
+      << s.rejected_queue_full << '\n'
+      << "medcc_rejected_total{reason=\"shutting_down\"} "
+      << s.rejected_shutting_down << '\n'
+      << "medcc_rejected_total{reason=\"deadline_expired\"} "
+      << s.rejected_deadline << '\n'
+      << "medcc_rejected_total{reason=\"unknown_solver\"} "
+      << s.rejected_unknown_solver << '\n'
+      << "medcc_rejected_total{reason=\"invalid_request\"} "
+      << s.rejected_invalid << '\n'
+      << "medcc_rejected_total{reason=\"tenant_quota\"} "
+      << s.tenant_quota_rejections << '\n'
+      << "medcc_rejected_total{reason=\"flow_control\"} "
+      << s.rejected_flow_control << '\n';
+  prom_gauge(out, "medcc_queue_depth", "Requests currently queued",
+             static_cast<double>(std::max<std::int64_t>(0, s.queue_depth)));
+  prom_gauge(out, "medcc_queue_depth_peak", "High-water queue depth",
+             static_cast<double>(
+                 std::max<std::int64_t>(0, s.queue_depth_peak)));
+  prom_counter(out, "medcc_persist_loaded_entries_total",
+               "Cache entries warm-started from the durable store",
+               s.persist_loaded_entries);
+  prom_counter(out, "medcc_persist_load_errors_total",
+               "Warm-start load failures", s.persist_load_errors);
+  prom_counter(out, "medcc_persist_journal_appends_total",
+               "Journal appends", s.persist_journal_appends);
+  prom_counter(out, "medcc_persist_replay_truncations_total",
+               "Torn journal tails cut at replay",
+               s.persist_replay_truncations);
+  prom_counter(out, "medcc_persist_flushes_total", "Snapshot flushes",
+               s.persist_flushes);
+  prom_counter(out, "medcc_repl_applied_total",
+               "Replicated records applied from peers", s.repl_applied);
+  prom_counter(out, "medcc_repl_apply_errors_total",
+               "Replicated records that failed to apply",
+               s.repl_apply_errors);
+  prom_metric(out, "medcc_requests_by_solver_total", "Requests per solver",
+              "counter");
+  for (const auto& [name, count] : s.per_solver)
+    out << "medcc_requests_by_solver_total{solver=\"" << name << "\"} "
+        << count << '\n';
+  prom_histogram(out, "medcc_latency_queue_seconds",
+                 "Admission-queue wait", s.queue_delay);
+  prom_histogram(out, "medcc_latency_solve_seconds",
+                 "Solver / cache-path execution", s.solve);
+  prom_histogram(out, "medcc_latency_total_seconds",
+                 "Admission-to-response latency", s.total);
+  prom_metric(out, "medcc_latency_by_solver_seconds",
+              "Per-solver solve latency", "histogram");
+  for (const auto& [name, hist] : s.per_solver_latency)
+    prom_histogram(out, "medcc_latency_by_solver_seconds", "", hist,
+                   "solver=\"" + name + "\"", /*header=*/false);
+  prom_histogram(out, "medcc_persist_load_seconds", "Warm-start load time",
+                 s.persist_load);
+  prom_histogram(out, "medcc_persist_flush_seconds", "Snapshot flush time",
+                 s.persist_flush);
   return out.str();
 }
 
@@ -273,6 +435,10 @@ std::string MetricsRegistry::dump_text() const {
 
 std::string MetricsRegistry::dump_csv() const {
   return render(snapshot(), /*csv=*/true);
+}
+
+std::string MetricsRegistry::dump_prometheus() const {
+  return render_prometheus(snapshot());
 }
 
 }  // namespace medcc::service

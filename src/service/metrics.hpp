@@ -90,6 +90,10 @@ public:
     std::uint64_t repl_applied = 0;
     std::uint64_t repl_apply_errors = 0;
     std::map<std::string, std::uint64_t> per_solver;
+    /// Per-solver end-to-end solve latency (seconds), keyed like
+    /// per_solver; only solvers that completed at least one request
+    /// appear.
+    std::map<std::string, util::Histogram> per_solver_latency;
     util::Histogram queue_delay;   ///< seconds spent queued
     util::Histogram solve;         ///< seconds in the solver / cache path
     util::Histogram total;         ///< admission-to-response seconds
@@ -114,6 +118,9 @@ public:
   void record_queue_delay(double seconds) { queue_delay_.record(seconds); }
   void record_solve(double seconds) { solve_.record(seconds); }
   void record_total(double seconds) { total_.record(seconds); }
+  /// Per-solver latency breakdown (the solver that actually answered,
+  /// so cache hits count toward the solver whose result they reused).
+  void record_solver_latency(std::string_view solver, double seconds);
 
   /// Encoded-frame fast-path outcome, driven by the network server's
   /// WireCache lookups (such requests never reach the solver path, so
@@ -161,6 +168,10 @@ public:
   [[nodiscard]] std::string dump_text() const;
   /// "metric,value" lines with a header, for CSV consumers.
   [[nodiscard]] std::string dump_csv() const;
+  /// Prometheus text exposition format (# HELP/# TYPE lines, counters
+  /// suffixed _total, histograms as cumulative le-buckets); scrapeable
+  /// via the stats frame (StatsFormat::prometheus) or --metrics-dump.
+  [[nodiscard]] std::string dump_prometheus() const;
 
 private:
   util::PaddedAtomic<std::uint64_t> requests_total_;
@@ -196,6 +207,11 @@ private:
   std::map<std::string, std::unique_ptr<std::atomic<std::uint64_t>>,
            std::less<>>
       per_solver_ MEDCC_GUARDED_BY(per_solver_mutex_);
+  /// Same double-checked discipline as per_solver_: the map structure
+  /// is guarded, each LatencyRecorder is internally synchronized and
+  /// recorded into under a shared lock.
+  std::map<std::string, std::unique_ptr<LatencyRecorder>, std::less<>>
+      per_solver_latency_ MEDCC_GUARDED_BY(per_solver_mutex_);
 
   /// Internally synchronized (atomic buckets).
   MEDCC_NOT_GUARDED LatencyRecorder queue_delay_;

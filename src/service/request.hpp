@@ -11,6 +11,7 @@
 #include <memory>
 #include <string>
 
+#include "obs/trace.hpp"
 #include "sched/instance.hpp"
 #include "sched/schedule.hpp"
 
@@ -40,6 +41,14 @@ struct SchedulingRequest {
   /// the cache fingerprint, so tenants share cached results. Empty names
   /// the anonymous tenant, which is quota-limited like any other.
   std::string tenant;
+  /// Observability context (invalid id = untraced). Pure metadata: it
+  /// does not enter the cache fingerprint or the response bytes, so
+  /// traced and untraced duplicates share results bit-for-bit.
+  obs::TraceContext trace;
+  /// Span buffer when the request is span-captured (opened via
+  /// obs::Tracer::open by the front end that minted/received the
+  /// context); nullptr = aggregate-only accounting.
+  std::shared_ptr<obs::Trace> trace_buffer;
 };
 
 enum class ResponseStatus {

@@ -6,6 +6,7 @@
 
 #include "sched/verify_hook.hpp"
 #include "service/persistence.hpp"
+#include "util/log.hpp"
 
 namespace medcc::service {
 
@@ -25,6 +26,10 @@ struct SchedulingService::Ticket {
   SchedulingRequest request;
   std::function<void(SchedulingResponse)> done;
   std::chrono::steady_clock::time_point admitted;
+  /// Tracer time base of `admitted` (only meaningful when tracing):
+  /// spans always use the real steady clock even when config_.clock is
+  /// an injected fake, so traces stay truthful under frozen-clock tests.
+  std::int64_t admitted_ns = 0;
 };
 
 SchedulingService::SchedulingService(ServiceConfig config)
@@ -168,6 +173,7 @@ void SchedulingService::submit_async(
   }
   metrics_.queue_entered();
   ticket->admitted = clock_();
+  if (config_.tracer != nullptr) ticket->admitted_ns = obs::Tracer::now_ns();
 
   const bool submitted = pool_.try_submit([this, ticket] { run(*ticket); });
   if (!submitted) {
@@ -200,6 +206,19 @@ void SchedulingService::run(Ticket& ticket) {
   pending_.fetch_sub(1, std::memory_order_relaxed);
   metrics_.queue_left();
 
+  // Stamp this worker's log lines with the request's trace id for the
+  // duration of the request ("" = no stamp).
+  const util::LogTraceScope log_scope(
+      ticket.request.trace.valid() ? ticket.request.trace.id.to_hex()
+                                   : std::string());
+  obs::Tracer* const tracer = config_.tracer;
+  std::int64_t solve_start_ns = 0;
+  if (tracer != nullptr) {
+    solve_start_ns = obs::Tracer::now_ns();
+    tracer->record(ticket.request.trace_buffer, obs::Stage::queue_wait,
+                   ticket.admitted_ns, solve_start_ns);
+  }
+
   const double queue_delay_ms = to_ms(started - ticket.admitted);
   SchedulingResponse response;
   response.solver = ticket.request.solver;
@@ -231,6 +250,8 @@ void SchedulingService::run(Ticket& ticket) {
   metrics_.record_queue_delay(to_seconds(started - ticket.admitted));
   metrics_.record_solve(to_seconds(finished - started));
   metrics_.record_total(to_seconds(finished - ticket.admitted));
+  metrics_.record_solver_latency(response.solver,
+                                 to_seconds(finished - started));
   metrics_.count_response(response);
   // Free the quota slot before completing, so a caller reacting to its
   // own response can immediately resubmit without bouncing off its quota.
@@ -246,17 +267,31 @@ SchedulingResponse SchedulingService::solve(const SchedulingRequest& request) {
   SchedulingResponse response;
   response.status = ResponseStatus::ok;
 
+  obs::Tracer* const tracer = config_.tracer;
+  const auto span_clock = [tracer]() -> std::int64_t {
+    return tracer != nullptr ? obs::Tracer::now_ns() : 0;
+  };
+
   if (cache_ == nullptr) {
     response.cache = CacheOutcome::bypass;
+    const std::int64_t solver_start = span_clock();
     response.result = (*solver)(instance, request.budget);
+    if (tracer != nullptr)
+      tracer->record(request.trace_buffer, obs::Stage::solve, solver_start,
+                     obs::Tracer::now_ns());
     sched::detail::check_schedule_invariants(
         instance, response.result.schedule, response.result.eval,
         request.budget, sched::detail::kUnconstrained, "service");
     return response;
   }
 
+  const std::int64_t lookup_start = span_clock();
   const FingerprintDetail fp = fingerprint(request);
-  if (auto hit = cache_->find(fp)) {
+  auto hit = cache_->find(fp);
+  if (tracer != nullptr)
+    tracer->record(request.trace_buffer, obs::Stage::cache_lookup,
+                   lookup_start, obs::Tracer::now_ns());
+  if (hit) {
     if (hit->exact) {
       response.cache = CacheOutcome::hit_exact;
       response.result = std::move(hit->result);
@@ -286,7 +321,11 @@ SchedulingResponse SchedulingService::solve(const SchedulingRequest& request) {
   }
 
   response.cache = CacheOutcome::miss;
+  const std::int64_t solver_start = span_clock();
   response.result = (*solver)(instance, request.budget);
+  if (tracer != nullptr)
+    tracer->record(request.trace_buffer, obs::Stage::solve, solver_start,
+                   obs::Tracer::now_ns());
   sched::detail::check_schedule_invariants(
       instance, response.result.schedule, response.result.eval,
       request.budget, sched::detail::kUnconstrained, "service");
@@ -300,13 +339,24 @@ SchedulingResponse SchedulingService::solve(const SchedulingRequest& request) {
     std::string payload = encode_cache_record(entry);
     cache_->insert(std::move(entry));
     if (store_ != nullptr) {
+      const std::int64_t append_start = span_clock();
       store_->append(payload);
+      if (tracer != nullptr)
+        tracer->record(request.trace_buffer, obs::Stage::persist_append,
+                       append_start, obs::Tracer::now_ns());
       metrics_.persist_append();
     }
     // Publish the locally solved entry to the replicator (peers apply
-    // it via apply_replicated_record, which does not re-publish).
-    if (config_.on_cache_insert != nullptr)
-      config_.on_cache_insert(std::move(payload));
+    // it via apply_replicated_record, which does not re-publish). The
+    // request's trace context rides along so the replication hop stays
+    // on the same trace.
+    if (config_.on_cache_insert != nullptr) {
+      const std::int64_t push_start = span_clock();
+      config_.on_cache_insert(std::move(payload), request.trace);
+      if (tracer != nullptr)
+        tracer->record(request.trace_buffer, obs::Stage::repl_push,
+                       push_start, obs::Tracer::now_ns());
+    }
   }
   return response;
 }

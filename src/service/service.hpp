@@ -83,12 +83,20 @@ struct ServiceConfig {
   std::function<std::int64_t()> cache_clock{};
   /// Invoked after a locally solved MISS is inserted into the cache,
   /// with the encoded cache record (service/persistence.hpp codec) --
-  /// the bytes a replicator pushes to peers. NOT invoked for cache
-  /// hits, restores, or entries applied from peers
+  /// the bytes a replicator pushes to peers -- and the trace context of
+  /// the request that produced it (invalid id = untraced), so the
+  /// replication hop stays on the request's trace. NOT invoked for
+  /// cache hits, restores, or entries applied from peers
   /// (apply_replicated_record), which is what keeps replication
   /// loop-free: only the origin node publishes an entry. Called on a
   /// worker thread; must be cheap (enqueue, don't send).
-  std::function<void(std::string payload)> on_cache_insert{};
+  std::function<void(std::string payload, obs::TraceContext trace)>
+      on_cache_insert{};
+  /// Request tracer (docs/observability.md); nullptr = untraced. The
+  /// service records queue_wait / cache_lookup / solve /
+  /// persist_append / repl_push spans against each request's trace.
+  /// Not owned; must outlive the service.
+  obs::Tracer* tracer = nullptr;
   /// Solver table; nullptr = sched::SolverRegistry::built_in().
   const sched::SolverRegistry* registry = nullptr;
 };

@@ -1,19 +1,18 @@
 #include "util/log.hpp"
 
-#include <atomic>
-#include <iostream>
+#include <unistd.h>
 
-#include "util/mutex.hpp"
+#include <atomic>
+#include <utility>
 
 namespace medcc::util {
 namespace {
 
 std::atomic<LogLevel> g_threshold{LogLevel::Warn};
-/// Serializes writes to std::cerr so concurrent log lines never
-/// interleave mid-line. The stream itself is the guarded resource; the
-/// capability cannot name it, so the discipline is: all emission goes
-/// through log_line(), which takes this lock.
-Mutex g_emit_mutex;
+
+/// The current thread's trace stamp ("" = none), managed by
+/// LogTraceScope. thread_local, so no synchronization is needed.
+thread_local std::string t_trace_id;  // NOLINT(runtime/string)
 
 constexpr const char* level_name(LogLevel level) {
   switch (level) {
@@ -26,6 +25,35 @@ constexpr const char* level_name(LogLevel level) {
   return "?";
 }
 
+/// msg= values are double-quoted; escape the three characters that
+/// would break the quoting or the one-line framing.
+void append_quoted(std::string& out, const std::string& text) {
+  out.push_back('"');
+  for (const char c : text) {
+    switch (c) {
+      case '"': out.append("\\\""); break;
+      case '\\': out.append("\\\\"); break;
+      case '\n': out.append("\\n"); break;
+      default: out.push_back(c);
+    }
+  }
+  out.push_back('"');
+}
+
+/// One write(2) per line keeps concurrent lines from interleaving
+/// (atomic for writes up to PIPE_BUF; log lines are far below it).
+/// Short writes -- possible on weird stderr targets -- are continued;
+/// a failed write is dropped, logging must never throw.
+void write_line(const std::string& line) {
+  std::size_t off = 0;
+  while (off < line.size()) {
+    const ssize_t n =
+        ::write(STDERR_FILENO, line.data() + off, line.size() - off);
+    if (n <= 0) return;
+    off += static_cast<std::size_t>(n);
+  }
+}
+
 }  // namespace
 
 LogLevel log_threshold() { return g_threshold.load(std::memory_order_relaxed); }
@@ -35,8 +63,23 @@ void set_log_threshold(LogLevel level) {
 }
 
 void log_line(LogLevel level, const std::string& message) {
-  const MutexLock lock(g_emit_mutex);
-  std::cerr << "[medcc:" << level_name(level) << "] " << message << '\n';
+  std::string line = "level=";
+  line.append(level_name(level));
+  if (!t_trace_id.empty()) {
+    line.append(" trace=");
+    line.append(t_trace_id);
+  }
+  line.append(" msg=");
+  append_quoted(line, message);
+  line.push_back('\n');
+  write_line(line);
 }
+
+LogTraceScope::LogTraceScope(std::string_view trace_id)
+    : saved_(std::move(t_trace_id)) {
+  t_trace_id.assign(trace_id);
+}
+
+LogTraceScope::~LogTraceScope() { t_trace_id = std::move(saved_); }
 
 }  // namespace medcc::util

@@ -1,12 +1,28 @@
-// Minimal leveled logger for the simulator and bench drivers.
+// Minimal leveled logger for the library, the simulator, and the tool
+// drivers.
 //
 // Logging is off (Warn) by default so tests and benches stay quiet;
 // the simulator's trace facility (sim/trace.hpp) is the structured way
 // to observe execution, this logger is for diagnostics only.
+//
+// Output is one structured key=value line per call:
+//
+//   level=ERROR trace=4fd1...9c msg="socket closed" peer=10.0.0.3
+//
+// The level and (when a LogTraceScope is active on the thread) the
+// trace id are stamped first, the concatenated message travels as a
+// quoted msg= value, so the lines grep and parse uniformly.
+//
+// Thread contract: everything here is thread-safe. The threshold is an
+// atomic, and each line is emitted with a SINGLE write(2) to stderr --
+// POSIX guarantees writes to the same pipe/file below PIPE_BUF don't
+// interleave, so concurrent lines stay intact without any process-wide
+// lock on the emission path.
 #pragma once
 
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace medcc::util {
 
@@ -15,11 +31,30 @@ enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
 /// Returns the process-wide minimum level that is actually emitted.
 [[nodiscard]] LogLevel log_threshold();
 
-/// Sets the process-wide log threshold (not thread-safe; set at startup).
+/// Sets the process-wide log threshold. Thread-safe (atomic): callers
+/// may flip it at any time; in-flight lines use whichever value they
+/// observed.
 void set_log_threshold(LogLevel level);
 
-/// Emits one line to stderr if `level` passes the threshold.
+/// Emits one structured line to stderr if `level` passes the
+/// threshold. `message` becomes the quoted msg= value.
 void log_line(LogLevel level, const std::string& message);
+
+/// Stamps every log line emitted by THIS thread inside the scope with
+/// trace=<id> (the request's hex trace id). Scopes nest; the previous
+/// stamp is restored on exit. The id travels as a plain string so util
+/// stays independent of the obs subsystem.
+class LogTraceScope {
+public:
+  explicit LogTraceScope(std::string_view trace_id);
+  ~LogTraceScope();
+
+  LogTraceScope(const LogTraceScope&) = delete;
+  LogTraceScope& operator=(const LogTraceScope&) = delete;
+
+private:
+  std::string saved_;
+};
 
 namespace detail {
 template <typename... Args>

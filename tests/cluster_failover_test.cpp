@@ -79,10 +79,11 @@ public:
       ServiceConfig service_config;
       service_config.threads = 2;
       service_config.queue_capacity = 4096;
-      service_config.on_cache_insert = [slot = node.repl_slot](
-                                           std::string payload) {
+      service_config.on_cache_insert =
+          [slot = node.repl_slot](std::string payload,
+                                  medcc::obs::TraceContext trace) {
         if (auto* repl = slot->load(std::memory_order_acquire))
-          repl->publish(payload);
+          repl->publish(payload, trace);
       };
       node.service =
           std::make_unique<SchedulingService>(std::move(service_config));

@@ -81,8 +81,9 @@ TEST(ClusterReplication, PushesSolvedRecordsToPeerServedByteIdentically) {
   Replicator replicator(cluster_config);
   ServiceConfig origin_config;
   origin_config.threads = 1;
-  origin_config.on_cache_insert = [&replicator](std::string payload) {
-    replicator.publish(payload);
+  origin_config.on_cache_insert = [&replicator](std::string payload,
+                                               medcc::obs::TraceContext trace) {
+    replicator.publish(payload, trace);
   };
   SchedulingService origin(std::move(origin_config));
   replicator.start();

@@ -151,8 +151,8 @@ TEST(NetCodec, BadVersionRejected) {
 }
 
 TEST(NetCodec, BadFrameTypeRejected) {
-  // 12 is the first value past the v2 cluster types (6-11).
-  for (const std::uint8_t type : {std::uint8_t{0}, std::uint8_t{12},
+  // 15 is the first value past the v2 cluster + tracing types (6-14).
+  for (const std::uint8_t type : {std::uint8_t{0}, std::uint8_t{15},
                                   std::uint8_t{200}}) {
     std::string frame = medcc::net::encode_frame(FrameType::error, 0, "");
     frame[6] = static_cast<char>(type);  // frame type lives at offset 6

@@ -664,7 +664,8 @@ TEST(NetServer, ReplInsertRestoresEntryServedByteIdentically) {
   std::string payload;
   ServiceConfig origin_config;
   origin_config.threads = 1;
-  origin_config.on_cache_insert = [&payload](std::string bytes) {
+  origin_config.on_cache_insert = [&payload](std::string bytes,
+                                             medcc::obs::TraceContext) {
     payload = std::move(bytes);
   };
   SchedulingService origin(std::move(origin_config));

@@ -1,0 +1,183 @@
+// Golden-file test for the Prometheus text exposition: a
+// MetricsRegistry driven with a fixed, deterministic sequence of
+// requests, responses and latency samples must render byte-for-byte
+// the exposition checked in at tests/golden/metrics_prometheus.txt.
+// Any format drift -- renamed series, reordered labels, changed
+// histogram buckets -- breaks dashboards silently, so it must show up
+// here as a diff instead.
+//
+// To regenerate after an INTENTIONAL format change:
+//   MEDCC_UPDATE_GOLDEN=1 ./service_metrics_prometheus_test
+#include "service/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "service/request.hpp"
+
+namespace {
+
+using medcc::service::CacheOutcome;
+using medcc::service::MetricsRegistry;
+using medcc::service::RejectReason;
+using medcc::service::ResponseStatus;
+using medcc::service::SchedulingResponse;
+
+std::filesystem::path golden_path() {
+  return std::filesystem::path(__FILE__).parent_path() / "golden" /
+         "metrics_prometheus.txt";
+}
+
+SchedulingResponse response_with(ResponseStatus status, CacheOutcome cache,
+                                 RejectReason reason = RejectReason::none) {
+  SchedulingResponse response;
+  response.status = status;
+  response.cache = cache;
+  response.reject_reason = reason;
+  return response;
+}
+
+/// Drives every counter family at least once, with distinct values so
+/// a transposed counter cannot cancel out in the rendered text.
+void drive(MetricsRegistry& metrics) {
+  for (int i = 0; i < 5; ++i) metrics.count_request("cg");
+  for (int i = 0; i < 3; ++i) metrics.count_request("pcp");
+  metrics.count_request("greedy");
+
+  // ok: one exact hit, one isomorphic hit, two misses, one bypass.
+  metrics.count_response(
+      response_with(ResponseStatus::ok, CacheOutcome::hit_exact));
+  metrics.count_response(
+      response_with(ResponseStatus::ok, CacheOutcome::hit_isomorphic));
+  metrics.count_response(
+      response_with(ResponseStatus::ok, CacheOutcome::miss));
+  metrics.count_response(
+      response_with(ResponseStatus::ok, CacheOutcome::miss));
+  metrics.count_response(
+      response_with(ResponseStatus::ok, CacheOutcome::bypass));
+  // One solver failure (still a cache miss).
+  metrics.count_response(
+      response_with(ResponseStatus::failed, CacheOutcome::miss));
+  // One rejection of every reason the service can produce.
+  for (const RejectReason reason :
+       {RejectReason::queue_full, RejectReason::shutting_down,
+        RejectReason::deadline_expired, RejectReason::unknown_solver,
+        RejectReason::invalid_request, RejectReason::tenant_quota,
+        RejectReason::flow_control})
+    metrics.count_response(
+        response_with(ResponseStatus::rejected, CacheOutcome::bypass, reason));
+
+  // Latency samples at spread-out magnitudes: each lands in a distinct
+  // histogram bucket, so bucket-edge drift shows as a diff.
+  metrics.record_queue_delay(10e-6);
+  metrics.record_queue_delay(250e-6);
+  metrics.record_solve(1e-3);
+  metrics.record_solve(30e-3);
+  metrics.record_solve(1.5);
+  metrics.record_total(2e-3);
+  metrics.record_total(40e-3);
+  metrics.record_solver_latency("cg", 1e-3);
+  metrics.record_solver_latency("cg", 30e-3);
+  metrics.record_solver_latency("pcp", 5e-3);
+
+  metrics.note_wire_fastpath(true);
+  metrics.note_wire_fastpath(true);
+  metrics.note_wire_fastpath(false);
+
+  metrics.add_persist_loaded(12);
+  metrics.persist_load_error();
+  metrics.record_persist_load(7e-3);
+  for (int i = 0; i < 4; ++i) metrics.persist_append();
+  metrics.add_persist_truncations(1);
+  metrics.persist_flush(3e-3);
+  metrics.add_cache_expired(2);
+
+  metrics.repl_applied();
+  metrics.repl_applied();
+  metrics.repl_apply_error();
+
+  // Leave a live queue gauge: 3 entered, 1 left -> depth 2, peak 3.
+  metrics.queue_entered();
+  metrics.queue_entered();
+  metrics.queue_entered();
+  metrics.queue_left();
+}
+
+TEST(MetricsPrometheus, ExpositionMatchesGoldenFile) {
+  MetricsRegistry metrics;
+  drive(metrics);
+  const std::string actual = metrics.dump_prometheus();
+
+  if (std::getenv("MEDCC_UPDATE_GOLDEN") != nullptr) {
+    std::filesystem::create_directories(golden_path().parent_path());
+    std::ofstream out(golden_path(), std::ios::binary);
+    out << actual;
+    ASSERT_TRUE(out.good()) << "failed to write " << golden_path();
+    GTEST_SKIP() << "golden regenerated at " << golden_path();
+  }
+
+  std::ifstream in(golden_path(), std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << golden_path()
+                         << " (run with MEDCC_UPDATE_GOLDEN=1 to create)";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+
+  if (actual != expected.str()) {
+    // Point at the first diverging line -- a full 200-line dump diff is
+    // unreadable in test output.
+    std::istringstream a(actual);
+    std::istringstream e(expected.str());
+    std::string a_line;
+    std::string e_line;
+    int line = 0;
+    while (true) {
+      const bool a_more = static_cast<bool>(std::getline(a, a_line));
+      const bool e_more = static_cast<bool>(std::getline(e, e_line));
+      ++line;
+      if (!a_more && !e_more) break;
+      if (!a_more || !e_more || a_line != e_line) {
+        FAIL() << "prometheus exposition diverges from golden at line "
+               << line << "\n  expected: "
+               << (e_more ? e_line : std::string("<eof>"))
+               << "\n  actual:   "
+               << (a_more ? a_line : std::string("<eof>"))
+               << "\n(regenerate with MEDCC_UPDATE_GOLDEN=1 if intentional)";
+      }
+    }
+  }
+  SUCCEED();
+}
+
+// The golden file pins the full format; these pin the semantic bits a
+// scraper relies on even if the golden is regenerated carelessly.
+TEST(MetricsPrometheus, ExpositionCarriesTheDrivenValues) {
+  MetricsRegistry metrics;
+  drive(metrics);
+  const std::string dump = metrics.dump_prometheus();
+
+  EXPECT_NE(dump.find("medcc_requests_total 9"), std::string::npos);
+  EXPECT_NE(dump.find("medcc_responses_total{status=\"ok\"} 5"),
+            std::string::npos);
+  EXPECT_NE(dump.find("medcc_responses_total{status=\"failed\"} 1"),
+            std::string::npos);
+  EXPECT_NE(dump.find("medcc_cache_events_total{outcome=\"miss\"} 3"),
+            std::string::npos);
+  EXPECT_NE(dump.find("medcc_wire_fastpath_total{outcome=\"hit\"} 2"),
+            std::string::npos);
+  EXPECT_NE(dump.find("medcc_rejected_total{reason=\"tenant_quota\"} 1"),
+            std::string::npos);
+  EXPECT_NE(dump.find("medcc_queue_depth 2"), std::string::npos);
+  EXPECT_NE(dump.find("medcc_queue_depth_peak 3"), std::string::npos);
+  EXPECT_NE(dump.find("medcc_requests_by_solver_total{solver=\"cg\"} 5"),
+            std::string::npos);
+  EXPECT_NE(dump.find("medcc_repl_applied_total 2"), std::string::npos);
+  // Counter discipline: every medcc_* counter series ends in _total.
+  EXPECT_EQ(dump.find("medcc_requests_by_solver{"), std::string::npos);
+}
+
+}  // namespace

@@ -534,7 +534,8 @@ TEST(Service, OnCacheInsertFiresOnlyForLocalMisses) {
   std::vector<std::string> published;
   ServiceConfig config;
   config.threads = 1;
-  config.on_cache_insert = [&published](std::string payload) {
+  config.on_cache_insert = [&published](std::string payload,
+                                        medcc::obs::TraceContext) {
     published.push_back(std::move(payload));
   };
   SchedulingService service(std::move(config));
@@ -556,7 +557,8 @@ TEST(Service, ApplyReplicatedRecordServesByteIdenticalHit) {
   std::vector<std::string> published;
   ServiceConfig origin_config;
   origin_config.threads = 1;
-  origin_config.on_cache_insert = [&published](std::string payload) {
+  origin_config.on_cache_insert = [&published](std::string payload,
+                                               medcc::obs::TraceContext) {
     published.push_back(std::move(payload));
   };
   SchedulingService origin(std::move(origin_config));

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
 namespace {
 
 using medcc::util::LogLevel;
@@ -27,7 +32,8 @@ TEST(Log, ThresholdRoundTrips) {
 
 TEST(Log, EmissionRespectsThreshold) {
   ThresholdGuard guard;
-  // Capture stderr around emission.
+  // Capture stderr around emission (gtest redirects the fd, so the raw
+  // write(2) emission path is captured too).
   medcc::util::set_log_threshold(LogLevel::Error);
   testing::internal::CaptureStderr();
   medcc::util::log_debug("hidden ", 1);
@@ -36,7 +42,7 @@ TEST(Log, EmissionRespectsThreshold) {
   medcc::util::log_error("visible ", 4);
   const std::string err = testing::internal::GetCapturedStderr();
   EXPECT_EQ(err.find("hidden"), std::string::npos);
-  EXPECT_NE(err.find("[medcc:ERROR] visible 4"), std::string::npos);
+  EXPECT_NE(err.find("level=ERROR msg=\"visible 4\""), std::string::npos);
 }
 
 TEST(Log, OffSilencesEverything) {
@@ -53,7 +59,93 @@ TEST(Log, ConcatenatesHeterogeneousArguments) {
   testing::internal::CaptureStderr();
   medcc::util::log_debug("x=", 3, " y=", 2.5, " z=", "s");
   const std::string err = testing::internal::GetCapturedStderr();
-  EXPECT_NE(err.find("x=3 y=2.5 z=s"), std::string::npos);
+  EXPECT_NE(err.find("msg=\"x=3 y=2.5 z=s\""), std::string::npos);
+}
+
+TEST(Log, QuotesAndEscapesTheMessage) {
+  ThresholdGuard guard;
+  medcc::util::set_log_threshold(LogLevel::Debug);
+  testing::internal::CaptureStderr();
+  medcc::util::log_debug("say \"hi\"", " back\\slash", "\nnewline");
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(
+      err.find("msg=\"say \\\"hi\\\" back\\\\slash\\nnewline\""),
+      std::string::npos);
+  // One escaped line: no raw newline before the terminator.
+  EXPECT_EQ(err.find('\n'), err.size() - 1);
+}
+
+TEST(Log, TraceScopeStampsAndRestores) {
+  ThresholdGuard guard;
+  medcc::util::set_log_threshold(LogLevel::Debug);
+  testing::internal::CaptureStderr();
+  {
+    medcc::util::LogTraceScope outer("aaaa");
+    medcc::util::log_debug("outer");
+    {
+      medcc::util::LogTraceScope inner("bbbb");
+      medcc::util::log_debug("inner");
+    }
+    medcc::util::log_debug("outer again");
+  }
+  medcc::util::log_debug("no trace");
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("level=DEBUG trace=aaaa msg=\"outer\""),
+            std::string::npos);
+  EXPECT_NE(err.find("level=DEBUG trace=bbbb msg=\"inner\""),
+            std::string::npos);
+  EXPECT_NE(err.find("level=DEBUG trace=aaaa msg=\"outer again\""),
+            std::string::npos);
+  EXPECT_NE(err.find("level=DEBUG msg=\"no trace\""), std::string::npos);
+}
+
+// Regression for the documented-unsafe set_log_threshold and for
+// mid-line interleaving: many threads log while another thread flips
+// the threshold. Under TSan this is the data-race check; everywhere it
+// also proves every emitted line arrived intact (single-write
+// emission), never spliced with another thread's bytes.
+TEST(Log, ConcurrentLoggingAndThresholdFlipsKeepLinesIntact) {
+  ThresholdGuard guard;
+  medcc::util::set_log_threshold(LogLevel::Debug);
+  constexpr int kThreads = 8;
+  constexpr int kLines = 200;
+  testing::internal::CaptureStderr();
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads + 1);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      const std::string tag(16, static_cast<char>('a' + t));
+      medcc::util::LogTraceScope scope(tag);
+      for (int i = 0; i < kLines; ++i)
+        medcc::util::log_error("thread ", t, " line ", i, " ", tag);
+    });
+  }
+  threads.emplace_back([] {
+    for (int i = 0; i < 500; ++i)
+      medcc::util::set_log_threshold(i % 2 == 0 ? LogLevel::Debug
+                                                : LogLevel::Error);
+  });
+  for (auto& thread : threads) thread.join();
+  medcc::util::set_log_threshold(LogLevel::Debug);
+  const std::string err = testing::internal::GetCapturedStderr();
+
+  // Every captured line must be exactly one well-formed record whose
+  // trace tag matches the tag inside its own message.
+  std::istringstream lines(err);
+  std::string line;
+  int parsed = 0;
+  while (std::getline(lines, line)) {
+    ASSERT_EQ(line.rfind("level=ERROR trace=", 0), 0u) << line;
+    const std::string tag = line.substr(18, 16);
+    ASSERT_EQ(tag.find_first_not_of(tag[0]), std::string::npos) << line;
+    ASSERT_NE(line.find("msg=\""), std::string::npos) << line;
+    ASSERT_NE(line.find(" " + tag + "\""), std::string::npos) << line;
+    ++parsed;
+  }
+  // The threshold flipper makes the exact count nondeterministic, but
+  // at least the lines sent while the threshold rested at Error got out.
+  EXPECT_GT(parsed, 0);
+  EXPECT_LE(parsed, kThreads * kLines);
 }
 
 }  // namespace

@@ -672,6 +672,48 @@ class RawFopenRule final : public Rule {
 };
 
 // ---------------------------------------------------------------------------
+// raw-stderr
+
+/// stdio sinks that write straight to a FILE* stream (stderr in
+/// practice), bypassing the leveled logger.
+const std::set<std::string>& stdio_write_tokens() {
+  static const std::set<std::string> calls = {"fprintf", "vfprintf", "fputs",
+                                              "fputc", "perror"};
+  return calls;
+}
+
+class RawStderrRule final : public Rule {
+ public:
+  [[nodiscard]] std::string id() const override { return "raw-stderr"; }
+
+  [[nodiscard]] std::string rationale() const override {
+    return "stdio writes to stderr bypass the leveled, trace-stamped "
+           "util/log sink: lines interleave across threads, carry no "
+           "level or trace id, and ignore set_log_threshold";
+  }
+
+  void check(const SourceFile& file, std::vector<Finding>& out) const override {
+    // The logger implementation is the one sanctioned console writer.
+    if (path_contains(file.path, "util/log.cpp")) return;
+    const std::vector<Token>& toks = file.tokens;
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (toks[i].kind != TokenKind::Identifier) continue;
+      if (stdio_write_tokens().count(toks[i].text) != 0 &&
+          is_punct(toks[i + 1], '(')) {
+        out.push_back(Finding{
+            file.path.string(), toks[i].line, id(),
+            "'" + toks[i].text +
+                "' writes raw bytes to a stdio stream, skipping level "
+                "filtering, trace-id stamping, and the single-write "
+                "line discipline of util/log",
+            "use MEDCC_LOG_WARN(...) / MEDCC_LOG_ERROR(...) from "
+            "util/log.hpp"});
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
 // catch-by-value
 
 class CatchByValueRule final : public Rule {
@@ -798,6 +840,7 @@ std::vector<std::unique_ptr<Rule>> make_all_rules() {
   rules.push_back(std::make_unique<DetachedThreadRule>());
   rules.push_back(std::make_unique<LockGuardUnusedRule>());
   rules.push_back(std::make_unique<RawFopenRule>());
+  rules.push_back(std::make_unique<RawStderrRule>());
   rules.push_back(std::make_unique<CatchByValueRule>());
   rules.push_back(std::make_unique<LargeValueParamRule>());
   return rules;

@@ -1,0 +1,12 @@
+// Self-test fixture: raw stdio writes to stderr in library code.
+// medcc-lint-expect: raw-stderr
+#include <cstdio>
+
+namespace medcc::fixture {
+
+void warn_bad_config(const char* key) {
+  std::fprintf(stderr, "bad config key %s\n", key);  // no level, no trace id
+  std::fputs("falling back to defaults\n", stderr);
+}
+
+}  // namespace medcc::fixture

@@ -1,0 +1,20 @@
+// Self-test fixture: diagnostics through the leveled logger instead of
+// raw stderr writes; identifiers merely containing a banned token
+// ("perror" inside wrapper_error, "fputs" inside my_fputs_count") must
+// not trip raw-stderr.
+// medcc-lint-expect: clean
+#include <string>
+
+#include "util/log.hpp"
+
+namespace medcc::fixture {
+
+void warn_bad_config(const std::string& key) {
+  medcc::util::log_warn("bad config key=", key);
+  medcc::util::log_error("falling back to defaults");
+}
+
+int wrapper_error = 0;
+int my_fputs_count = 0;
+
+}  // namespace medcc::fixture

@@ -9,6 +9,13 @@
 //
 // Usage: medcc_serve_demo [--threads N] [--io-threads N] [--budget B]
 //                         [--connect HOST:PORT] [--stats]
+//                         [--trace-solve HOST:PORT,... [--tenant T]]
+//
+// --trace-solve drives ONE traced solve through a ClusterClient over
+// the given replicas (sample-every-1 client tracer, so the journey is
+// fully retained) and prints the minted trace id plus the client-side
+// span stages -- the driver half of tools/trace_smoke.sh, which then
+// reads the same id back out of the replicas with medcc_tracectl.
 #include <iostream>
 #include <memory>
 #include <optional>
@@ -19,7 +26,10 @@
 
 #include "cloud/vm_type.hpp"
 #include "net/client.hpp"
+#include "net/cluster_client.hpp"
+#include "net/endpoint.hpp"
 #include "net/server.hpp"
+#include "obs/trace.hpp"
 #include "sched/instance.hpp"
 #include "service/service.hpp"
 #include "util/flags.hpp"
@@ -71,6 +81,56 @@ SchedulingRequest make_request(std::shared_ptr<const Instance> inst, double b,
   return req;
 }
 
+/// One traced solve through a ClusterClient: prints the minted trace
+/// id and the client-side span stages, so a shell smoke can correlate
+/// the id against the replicas' trace dumps (medcc_tracectl).
+int trace_solve(const std::string& endpoint_list, const std::string& tenant,
+                double budget) {
+  medcc::net::ClusterClientConfig config;
+  std::size_t begin = 0;
+  while (begin <= endpoint_list.size()) {
+    const std::size_t comma = endpoint_list.find(',', begin);
+    const std::string_view token =
+        std::string_view(endpoint_list)
+            .substr(begin, comma == std::string::npos ? std::string::npos
+                                                      : comma - begin);
+    auto endpoint = medcc::net::parse_endpoint(token);
+    if (!endpoint) {
+      std::cerr << "medcc_serve_demo: bad endpoint '" << token << "'\n";
+      return 2;
+    }
+    config.endpoints.push_back(*std::move(endpoint));
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  medcc::obs::Tracer::Config trace_config;
+  trace_config.sample_every = 1;  // retain this solve's whole journey
+  medcc::obs::Tracer tracer(trace_config);
+  config.tracer = &tracer;
+  config.down_cooldown_ms = 200.0;
+  medcc::net::ClusterClient client(std::move(config));
+
+  const auto example = std::make_shared<const Instance>(Instance::from_model(
+      medcc::workflow::example6(), medcc::cloud::example_catalog()));
+  const SchedulingResponse response =
+      client.solve(make_request(example, budget, "cg", tenant));
+
+  const auto minted = tracer.recent(1);
+  std::cout << "trace "
+            << (minted.empty() ? std::string(32, '0')
+                               : minted[0].id.to_hex())
+            << " status " << to_string(response.status) << " spans ";
+  if (minted.empty()) {
+    std::cout << "-";
+  } else {
+    for (std::size_t i = 0; i < minted[0].spans.size(); ++i)
+      std::cout << (i == 0 ? "" : ",")
+                << medcc::obs::to_string(minted[0].spans[i].stage);
+  }
+  std::cout << "\n";
+  return response.ok() && !minted.empty() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -79,9 +139,12 @@ int main(int argc, char** argv) {
   double budget = 57.0;  // the paper's numerical example
   bool stats_only = false;
   std::optional<std::pair<std::string, std::uint16_t>> remote;
+  std::string trace_endpoints;
+  std::string tenant = "demo";
   constexpr const char* usage =
       "usage: medcc_serve_demo [--threads N] [--io-threads N] [--budget B] "
-      "[--connect HOST:PORT] [--stats]\n";
+      "[--connect HOST:PORT] [--stats] "
+      "[--trace-solve HOST:PORT,... [--tenant T]]\n";
   // Numeric parsing throws on junk or out-of-range values; answer with
   // the usage string instead of an uncaught-exception abort.
   try {
@@ -95,6 +158,10 @@ int main(int argc, char** argv) {
         budget = medcc::util::parse_flag_double(argv[++i]);
       } else if (arg == "--stats") {
         stats_only = true;
+      } else if (arg == "--trace-solve" && i + 1 < argc) {
+        trace_endpoints = argv[++i];
+      } else if (arg == "--tenant" && i + 1 < argc) {
+        tenant = argv[++i];
       } else if (arg == "--connect" && i + 1 < argc) {
         const std::string endpoint = argv[++i];
         const auto colon = endpoint.rfind(':');
@@ -115,6 +182,8 @@ int main(int argc, char** argv) {
   }
 
   try {
+    if (!trace_endpoints.empty())
+      return trace_solve(trace_endpoints, tenant, budget);
     // Without --connect, stand the whole stack up in-process and talk to
     // it over loopback TCP anyway: the demo exercises the same wire path
     // a remote client would.

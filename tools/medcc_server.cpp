@@ -9,7 +9,9 @@
 //                     [--idle-timeout MS] [--cache-dir DIR]
 //                     [--snapshot-interval S] [--cache-ttl S]
 //                     [--max-inflight N] [--peers HOST:PORT,...]
-//                     [--node-id NAME]
+//                     [--node-id NAME] [--trace]
+//                     [--trace-sample N] [--trace-slow-ms MS]
+//                     [--trace-ring N] [--metrics-dump FORMAT]
 //
 // With --cache-dir the result cache is durable: the service warm-starts
 // from DIR's snapshot + journal (crash-tolerant; torn tails are cut)
@@ -22,9 +24,19 @@
 // arriving from peers are applied into the local cache, and
 // cluster_status requests (tools/medcc_clusterctl) report the
 // per-peer replication state.
+//
+// With --trace the server runs a request tracer
+// (docs/observability.md): every request gets a 128-bit trace id,
+// 1-in-N requests (--trace-sample) plus every request slower than
+// --trace-slow-ms keep a full span tree in a bounded ring
+// (--trace-ring), and tools/medcc_tracectl reads it all back over the
+// trace_dump admin frame. --metrics-dump FORMAT (text, csv, or
+// prometheus) prints a final metrics exposition in that format at
+// shutdown in place of the default text dump.
 #include <csignal>
 #include <iostream>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -32,6 +44,7 @@
 #include "cluster/config.hpp"
 #include "cluster/replicator.hpp"
 #include "net/server.hpp"
+#include "obs/trace.hpp"
 #include "service/service.hpp"
 #include "util/flags.hpp"
 
@@ -41,7 +54,9 @@ constexpr const char* kUsage =
     "usage: medcc_server [--bind ADDR] [--port P] [--threads N] "
     "[--io-threads N] [--queue N] [--tenant-quota N] [--idle-timeout MS] "
     "[--cache-dir DIR] [--snapshot-interval S] [--cache-ttl S] "
-    "[--max-inflight N] [--peers HOST:PORT,...] [--node-id NAME]\n";
+    "[--max-inflight N] [--peers HOST:PORT,...] [--node-id NAME] "
+    "[--trace] [--trace-sample N] [--trace-slow-ms MS] [--trace-ring N] "
+    "[--metrics-dump text|csv|prometheus]\n";
 
 }  // namespace
 
@@ -49,6 +64,9 @@ int main(int argc, char** argv) {
   medcc::service::ServiceConfig service_config;
   medcc::net::ServerConfig server_config;
   std::vector<medcc::net::Endpoint> peers;
+  bool tracing = false;
+  medcc::obs::Tracer::Config tracer_config;
+  std::string metrics_dump = "text";
   // Numeric parsing throws on junk or out-of-range values; answer with
   // the usage string instead of an uncaught-exception abort.
   try {
@@ -86,6 +104,24 @@ int main(int argc, char** argv) {
         peers = medcc::cluster::parse_peer_list(argv[++i]);
       } else if (arg == "--node-id" && i + 1 < argc) {
         server_config.node_id = argv[++i];
+      } else if (arg == "--trace") {
+        tracing = true;
+      } else if (arg == "--trace-sample" && i + 1 < argc) {
+        tracing = true;
+        tracer_config.sample_every = static_cast<std::uint32_t>(
+            medcc::util::parse_flag_size(argv[++i]));
+      } else if (arg == "--trace-slow-ms" && i + 1 < argc) {
+        tracing = true;
+        tracer_config.slow_ms = medcc::util::parse_flag_double(argv[++i]);
+      } else if (arg == "--trace-ring" && i + 1 < argc) {
+        tracing = true;
+        tracer_config.ring_capacity = medcc::util::parse_flag_size(argv[++i]);
+      } else if (arg == "--metrics-dump" && i + 1 < argc) {
+        metrics_dump = argv[++i];
+        if (metrics_dump != "text" && metrics_dump != "csv" &&
+            metrics_dump != "prometheus")
+          throw std::invalid_argument("bad --metrics-dump format '" +
+                                      metrics_dump + "'");
       } else {
         std::cerr << kUsage;
         return 2;
@@ -109,10 +145,17 @@ int main(int argc, char** argv) {
   }
 
   try {
-    // Construction order is the wiring order: the replicator exists
-    // before the service (whose on_cache_insert publishes into it) and
-    // the service before the server (whose hooks call into it);
-    // destruction unwinds the reverse way, so nothing dangles.
+    // Construction order is the wiring order: the tracer and the
+    // replicator exist before the service (whose hooks record into /
+    // publish into them) and the service before the server (whose
+    // hooks call into it); destruction unwinds the reverse way, so
+    // nothing dangles.
+    std::unique_ptr<medcc::obs::Tracer> tracer;
+    if (tracing) {
+      tracer = std::make_unique<medcc::obs::Tracer>(tracer_config);
+      service_config.tracer = tracer.get();
+      server_config.tracer = tracer.get();
+    }
     std::unique_ptr<medcc::cluster::Replicator> replicator;
     if (!peers.empty()) {
       medcc::cluster::ClusterConfig cluster_config;
@@ -121,8 +164,9 @@ int main(int argc, char** argv) {
       replicator =
           std::make_unique<medcc::cluster::Replicator>(cluster_config);
       service_config.on_cache_insert =
-          [repl = replicator.get()](std::string payload) {
-            repl->publish(payload);
+          [repl = replicator.get()](std::string payload,
+                                    medcc::obs::TraceContext trace) {
+            repl->publish(payload, trace);
           };
     }
 
@@ -152,7 +196,8 @@ int main(int argc, char** argv) {
               << (service.cache_enabled() ? "on" : "off")
               << ", persist "
               << (service.persistence_enabled() ? "on" : "off")
-              << ", peers " << peers.size() << ")"
+              << ", peers " << peers.size()
+              << ", trace " << (tracing ? "on" : "off") << ")"
               << std::endl;
 
     int signal = 0;
@@ -178,8 +223,13 @@ int main(int argc, char** argv) {
               << "flow_control_rejects " << wire.flow_control_rejects << "\n"
               << "hellos " << wire.hellos << "\n"
               << "repl_records_in " << wire.repl_records_in << "\n"
+              << "traced_solves " << wire.traced_solves << "\n"
+              << "trace_dumps " << wire.trace_dumps << "\n"
               << "--- metrics ---\n"
-              << service.metrics().dump_text();
+              << (metrics_dump == "prometheus"
+                      ? service.metrics().dump_prometheus()
+                      : metrics_dump == "csv" ? service.metrics().dump_csv()
+                                              : service.metrics().dump_text());
   } catch (const std::exception& ex) {
     std::cerr << "medcc_server: " << ex.what() << "\n";
     return 1;
